@@ -1,0 +1,174 @@
+//! Criterion micro-benchmarks for the middleware's hot primitives:
+//! the wire codec, semantic-rule evaluation, queue operations, coalescing,
+//! the checkpoint round-trip, and EDE event processing.
+#![allow(clippy::field_reassign_with_default)]
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mirror_core::checkpoint::{CentralCheckpointer, MainUnitResponder};
+use mirror_core::adapt::MonitorReport;
+use mirror_core::event::{Event, EventType, PositionFix};
+use mirror_core::mirrorfn::{CoalescingMirror, MirrorFn};
+use mirror_core::params::MirrorParams;
+use mirror_core::queue::{BackupQueue, ReadyQueue};
+use mirror_core::rules::{Rule, RuleSet};
+use mirror_core::status::StatusTable;
+use mirror_core::timestamp::VectorTimestamp;
+use mirror_core::ControlMsg;
+use mirror_echo::wire::{decode_frame, encode_frame, Frame};
+use mirror_ede::Ede;
+
+fn fix() -> PositionFix {
+    PositionFix { lat: 33.6, lon: -84.4, alt_ft: 31000.0, speed_kts: 450.0, heading_deg: 270.0 }
+}
+
+fn stamped(seq: u64, flight: u32, size: usize) -> Event {
+    let mut e = Event::faa_position(seq, flight, fix()).with_total_size(size);
+    e.stamp.advance(0, seq);
+    e
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    for size in [256usize, 1024, 8192] {
+        let ev = stamped(42, 7, size);
+        g.throughput(Throughput::Bytes(ev.wire_size() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", size), &ev, |b, ev| {
+            b.iter(|| encode_frame(black_box(&Frame::Data(ev.clone()))))
+        });
+        let bytes = encode_frame(&Frame::Data(ev));
+        g.bench_with_input(BenchmarkId::new("decode", size), &bytes, |b, bytes| {
+            b.iter(|| decode_frame(black_box(bytes.clone())).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rules");
+    g.bench_function("overwrite_eval", |b| {
+        let mut rs =
+            RuleSet::new().with(Rule::Overwrite { ty: EventType::FaaPosition, max_len: 10 });
+        let mut table = StatusTable::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let e = stamped(seq, (seq % 100) as u32, 256);
+            table.observe(&e);
+            black_box(rs.evaluate(e, &mut table))
+        })
+    });
+    g.bench_function("empty_ruleset_eval", |b| {
+        let mut rs = RuleSet::new();
+        let mut table = StatusTable::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let e = stamped(seq, (seq % 100) as u32, 256);
+            table.observe(&e);
+            black_box(rs.evaluate(e, &mut table))
+        })
+    });
+    g.finish();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues");
+    g.bench_function("ready_push_pop", |b| {
+        let mut q = ReadyQueue::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            q.push(stamped(seq, 1, 256));
+            black_box(q.pop())
+        })
+    });
+    g.bench_function("backup_push_prune_50", |b| {
+        b.iter(|| {
+            let mut q = BackupQueue::new();
+            for seq in 1..=50 {
+                q.push(stamped(seq, 1, 256));
+            }
+            let commit = q.last_stamp();
+            black_box(q.prune(&commit))
+        })
+    });
+    g.finish();
+}
+
+fn bench_coalescing(c: &mut Criterion) {
+    c.bench_function("coalesce_fold_10", |b| {
+        let mut m = CoalescingMirror::new();
+        let mut p = MirrorParams::default();
+        p.coalesce = true;
+        p.coalesce_max = 10;
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            black_box(m.prepare(vec![stamped(seq, (seq % 4) as u32, 256)], &p))
+        })
+    });
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    c.bench_function("checkpoint_round_4_mirrors", |b| {
+        let mut central = CentralCheckpointer::new(vec![1, 2, 3, 4]);
+        let mut mains: Vec<MainUnitResponder> =
+            (0..5).map(|s| MainUnitResponder::new(s as u16)).collect();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let mut stamp = VectorTimestamp::new(1);
+            stamp.advance(0, seq);
+            for m in &mut mains {
+                m.record_processed(&stamp);
+            }
+            central.begin(stamp.clone());
+            for site in [1u16, 2, 3, 4] {
+                central.on_reply(central.rounds_started, site, stamp.clone());
+            }
+            black_box(central.on_reply(central.rounds_started, 0, stamp))
+        })
+    });
+    c.bench_function("chkpt_rep_encode_decode", |b| {
+        let msg = ControlMsg::ChkptRep {
+            round: 9,
+            site: 3,
+            stamp: VectorTimestamp::from_components(vec![100, 200]),
+            monitor: MonitorReport { ready_len: 5, backup_len: 50, pending_requests: 12 },
+        };
+        b.iter(|| {
+            let bytes = encode_frame(black_box(&Frame::Control(msg.clone())));
+            decode_frame(bytes).unwrap()
+        })
+    });
+}
+
+fn bench_ede(c: &mut Criterion) {
+    c.bench_function("ede_process_position", |b| {
+        let mut ede = Ede::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            black_box(ede.process(&stamped(seq, (seq % 100) as u32, 256)))
+        })
+    });
+    c.bench_function("ede_state_hash_1000_flights", |b| {
+        let mut ede = Ede::new();
+        for f in 0..1000u32 {
+            ede.process(&stamped(f as u64 + 1, f, 256));
+        }
+        b.iter(|| black_box(ede.state_hash()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_rules,
+    bench_queues,
+    bench_coalescing,
+    bench_checkpoint,
+    bench_ede
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks of whole-cluster simulation throughput: how many
+//! application events per second the experiment harness pushes through a
+//! simulated cluster under each mirroring configuration. These guard the
+//! harness itself against regressions (slow figures are unrunnable
+//! figures).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mirror_core::mirrorfn::MirrorFnKind;
+use mirror_ois::experiment::{run, ExperimentConfig};
+use mirror_workload::faa::FaaStreamConfig;
+
+fn small_stream(n: u64) -> FaaStreamConfig {
+    FaaStreamConfig {
+        flights: 50,
+        total_events: n,
+        events_per_sec: 2_500.0,
+        event_size: 1000,
+        seed: 0xFAA,
+        first_flight: 0,
+    }
+}
+
+fn bench_experiment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment");
+    g.sample_size(20);
+    let n = 2_000u64;
+    for (label, kind, mirrors) in [
+        ("no-mirroring", MirrorFnKind::None, 0usize),
+        ("simple-1", MirrorFnKind::Simple, 1),
+        ("simple-4", MirrorFnKind::Simple, 4),
+        ("selective-1", MirrorFnKind::Selective { overwrite: 10 }, 1),
+        ("coalescing-1", MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 50 }, 1),
+    ] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("run", label), &kind, |b, &kind| {
+            b.iter(|| {
+                black_box(run(&ExperimentConfig {
+                    mirrors,
+                    kind,
+                    faa: small_stream(n),
+                    ..Default::default()
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(sim_benches, bench_experiment);
+criterion_main!(sim_benches);

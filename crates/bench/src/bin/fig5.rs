@@ -1,0 +1,51 @@
+//! Figure 5 — Overheads implied by additional mirrors.
+//!
+//! Paper: total execution time vs. number of mirror sites (1, 2, 4, 6, 8)
+//! at constant event size, no client load. Reported shape: "on the
+//! average, there is a less than 10% increase in the execution time of the
+//! application when a new mirror site is added".
+
+use mirror_bench::{paper_stream, pct, print_table, secs};
+use mirror_core::mirrorfn::MirrorFnKind;
+use mirror_ois::experiment::{run, ExperimentConfig};
+
+fn main() {
+    let size = 2000usize;
+    let mirror_counts = [1usize, 2, 4, 6, 8];
+    let mut rows = Vec::new();
+    let mut totals = Vec::new();
+    for &m in &mirror_counts {
+        let r = run(&ExperimentConfig {
+            mirrors: m,
+            kind: MirrorFnKind::Simple,
+            faa: paper_stream(size),
+            ..Default::default()
+        });
+        totals.push((m, r.total_time_s));
+        let vs_prev = totals
+            .len()
+            .checked_sub(2)
+            .map(|i| {
+                let (pm, pt) = totals[i];
+                // Normalize to a per-added-mirror increase.
+                let per_mirror = (r.total_time_s / pt).powf(1.0 / (m - pm) as f64);
+                pct(per_mirror)
+            })
+            .unwrap_or_else(|| "-".into());
+        rows.push(vec![m.to_string(), secs(r.total_time_s), vs_prev]);
+    }
+    print_table(
+        &format!("Figure 5: additional mirrors at {size}B events — total execution time (s)"),
+        &["mirrors", "total(s)", "per-mirror"],
+        &rows,
+    );
+
+    let per_mirror_ok = totals.windows(2).all(|w| {
+        let (m0, t0) = w[0];
+        let (m1, t1) = w[1];
+        (t1 / t0).powf(1.0 / (m1 - m0) as f64) < 1.10
+    });
+    let monotone = totals.windows(2).all(|w| w[1].1 >= w[0].1);
+    println!("\nshape: each added mirror costs < 10%: {per_mirror_ok}");
+    println!("shape: execution time grows monotonically with mirrors: {monotone}");
+}

@@ -1,0 +1,61 @@
+//! Figure 6 — Mirroring to multiple mirror sites under constant request
+//! load (100 req/s balanced across the mirrors).
+//!
+//! Paper: total time (processing the whole event sequence **and**
+//! servicing all client requests) vs. event size, for 1, 2 and 4 mirror
+//! sites. Reported shape: "for data sizes larger than some cross-over size
+//! (where experimental lines intersect), mirroring overheads can be
+//! outweighed by the performance improvements attained from mirroring" —
+//! i.e. below the crossover fewer mirrors win (fan-out overhead dominates),
+//! above it more mirrors win (request servicing spread over more sites and
+//! more aggregate client bandwidth dominates).
+
+use mirror_bench::{paper_stream, print_table, secs};
+use mirror_core::mirrorfn::MirrorFnKind;
+use mirror_ois::experiment::{run, ExperimentConfig, RequestTargets};
+use mirror_workload::requests::RequestPattern;
+
+fn main() {
+    let sizes = [200usize, 1000, 2000, 3000, 4000, 5000, 6000];
+    let mirror_counts = [1usize, 2, 4];
+    let mut rows = Vec::new();
+    let mut table: Vec<(usize, Vec<f64>)> = Vec::new();
+    for &size in &sizes {
+        let mut totals = Vec::new();
+        for &m in &mirror_counts {
+            let r = run(&ExperimentConfig {
+                mirrors: m,
+                kind: MirrorFnKind::Simple,
+                faa: paper_stream(size),
+                requests: RequestPattern::Constant { rate: 100.0 },
+                request_horizon_us: 5_000_000,
+                targets: RequestTargets::MirrorsOnly,
+                ..Default::default()
+            });
+            totals.push(r.total_time_s);
+        }
+        rows.push(vec![
+            size.to_string(),
+            secs(totals[0]),
+            secs(totals[1]),
+            secs(totals[2]),
+        ]);
+        table.push((size, totals));
+    }
+    print_table(
+        "Figure 6: total execution time (s) under 100 req/s, by mirror count",
+        &["size(B)", "1 mirror", "2 mirrors", "4 mirrors"],
+        &rows,
+    );
+
+    // Locate the crossover: smallest size where 4 mirrors beat 1.
+    let crossover = table.iter().find(|(_, t)| t[2] < t[0]).map(|(s, _)| *s);
+    let small_prefers_fewer = table.first().map(|(_, t)| t[0] < t[2]).unwrap_or(false);
+    let large_prefers_more = table.last().map(|(_, t)| t[2] < t[0]).unwrap_or(false);
+    println!("\nshape: smallest size prefers 1 mirror: {small_prefers_fewer}");
+    println!("shape: largest size prefers 4 mirrors: {large_prefers_more}");
+    match crossover {
+        Some(s) => println!("shape: crossover size where 4 mirrors overtake 1: ~{s}B"),
+        None => println!("shape: no crossover found in the swept range"),
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 9 — Performance implications of dynamic adaptation of the
+//! mirroring function based on current operating conditions.
+//!
+//! Paper (§4.3): events arrive on their capture schedule while a **bursty**
+//! client-request pattern loads the sites. Two mirroring functions are
+//! alternated by the adaptation mechanism: the normal profile coalesces up
+//! to 10 events and checkpoints every 50; the degraded profile overwrites
+//! up to 20 and checkpoints every 100. Monitored variables (queue lengths,
+//! pending-request buffer) carry primary/secondary thresholds; decisions
+//! are made centrally and piggybacked on checkpoint messages. Reported
+//! shape: total processing latency of published events drops by up to
+//! ~40%, and clients see much less perturbation than without adaptation.
+//!
+//! Output: the per-second mean update-delay series (µs), adaptive vs
+//! non-adaptive, plus peak/mean comparisons.
+
+use mirror_bench::{paced_stream, print_table};
+use mirror_core::adapt::{AdaptAction, MonitorKind};
+use mirror_core::mirrorfn::MirrorFnKind;
+use mirror_ois::experiment::{run, AdaptSetup, ExperimentConfig, Ingest, RequestTargets};
+use mirror_workload::requests::RequestPattern;
+
+fn main() {
+    let normal = MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 50 };
+    let degraded = MirrorFnKind::Overwriting { overwrite: 20, checkpoint_every: 100 };
+    let bursty = RequestPattern::Bursty {
+        base: 20.0,
+        peak: 480.0,
+        burst_us: 2_000_000,
+        period_us: 5_000_000,
+    };
+    let cfg = |adapt| ExperimentConfig {
+        mirrors: 1,
+        kind: normal,
+        adapt,
+        faa: paced_stream(1000, 850.0, 12_000),
+        requests: bursty,
+        request_horizon_us: 14_000_000,
+        targets: RequestTargets::AllSites,
+        ingest: Ingest::Paced,
+        ..Default::default()
+    };
+    let fixed = run(&cfg(None));
+    let adaptive = run(&cfg(Some(AdaptSetup {
+        monitor: MonitorKind::PendingRequests,
+        primary: 10,
+        secondary: 7,
+        action: AdaptAction::SwitchMirrorFn { normal, engaged: degraded },
+    })));
+
+    // Align the two series on the union of seconds.
+    let mut rows = Vec::new();
+    let lookup = |series: &Vec<(f64, f64)>, t: f64| {
+        series.iter().find(|(s, _)| (*s - t).abs() < 0.5).map(|(_, v)| *v)
+    };
+    let horizon = fixed
+        .delay_series
+        .iter()
+        .chain(adaptive.delay_series.iter())
+        .map(|(t, _)| *t)
+        .fold(0.0f64, f64::max);
+    let mut t = 0.0;
+    while t <= horizon {
+        let f = lookup(&fixed.delay_series, t);
+        let a = lookup(&adaptive.delay_series, t);
+        rows.push(vec![
+            format!("{t:.0}"),
+            f.map(|v| format!("{:.0}", v)).unwrap_or_else(|| "-".into()),
+            a.map(|v| format!("{:.0}", v)).unwrap_or_else(|| "-".into()),
+        ]);
+        t += 1.0;
+    }
+    print_table(
+        "Figure 9: per-second mean update delay (µs), bursty requests",
+        &["t(s)", "no-adapt", "adaptive"],
+        &rows,
+    );
+
+    let peak = |s: &Vec<(f64, f64)>| s.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let mean = |s: &Vec<(f64, f64)>| s.iter().map(|(_, v)| *v).sum::<f64>() / s.len() as f64;
+    let (pf, pa) = (peak(&fixed.delay_series), peak(&adaptive.delay_series));
+    let (mf, ma) = (mean(&fixed.delay_series), mean(&adaptive.delay_series));
+    // The paper's "reduced by up to 40%": the largest per-second latency
+    // reduction over the run.
+    let mut max_reduction = 0.0f64;
+    let mut t2 = 0.0;
+    while t2 <= horizon {
+        if let (Some(f), Some(a)) =
+            (lookup(&fixed.delay_series, t2), lookup(&adaptive.delay_series, t2))
+        {
+            if f > 0.0 {
+                max_reduction = max_reduction.max(1.0 - a / f);
+            }
+        }
+        t2 += 1.0;
+    }
+    println!("\nadaptations applied: {} (at {:?} s)", adaptive.adaptations, adaptive.adaptation_times_s);
+    println!("peak per-second delay: no-adapt {pf:.0}µs, adaptive {pa:.0}µs ({:.1}% lower)", (1.0 - pa / pf) * 100.0);
+    println!("mean per-second delay: no-adapt {mf:.0}µs, adaptive {ma:.0}µs ({:.1}% lower)", (1.0 - ma / mf) * 100.0);
+    println!("largest per-second latency reduction: {:.1}%", max_reduction * 100.0);
+    println!("\nshape: adaptation engaged at least twice (engage+release): {}", adaptive.adaptations >= 2);
+    println!("shape: latency reduced by up to >=40% (paper: 'up to 40%'): {}", max_reduction >= 0.40);
+    println!("shape: adaptive peak lower (less perturbation at the spike): {}", pa < pf);
+    println!("shape: adaptive mean strictly lower (less perturbation): {}", ma < mf);
+}

@@ -1,0 +1,18 @@
+//! Compose-your-own experiment grid; CSV to stdout. See `--help`.
+
+use mirror_bench::sweep::{parse_args, run_sweep, USAGE};
+
+fn main() {
+    let spec = match parse_args(std::env::args().skip(1)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run_sweep(&spec, std::io::stdout().lock()) {
+        eprintln!("sweep failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,275 @@
+//! A parameterized experiment runner behind the `sweep` binary:
+//! compose your own experiment grid from the command line and get CSV out.
+//!
+//! ```text
+//! cargo run --release -p mirror-bench --bin sweep -- \
+//!     --mirrors 1,2,4 --sizes 500,1000,4000 --kind selective:10 \
+//!     --rate 100 --targets mirrors --events 10000 --paced
+//! ```
+
+use mirror_core::mirrorfn::MirrorFnKind;
+use mirror_ois::experiment::{run, ExperimentConfig, Ingest, RequestTargets};
+use mirror_workload::faa::FaaStreamConfig;
+use mirror_workload::requests::RequestPattern;
+
+/// A parsed sweep specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Mirror counts to sweep.
+    pub mirrors: Vec<usize>,
+    /// Event sizes (bytes) to sweep.
+    pub sizes: Vec<usize>,
+    /// Mirroring configuration.
+    pub kind: MirrorFnKind,
+    /// Client request rate (req/s); 0 = none.
+    pub rate: f64,
+    /// Which sites serve requests.
+    pub targets: RequestTargets,
+    /// Total events in the sequence.
+    pub events: u64,
+    /// Paced (capture-time) vs backlog ingest.
+    pub paced: bool,
+    /// Override the checkpoint interval.
+    pub checkpoint_every: Option<u32>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            mirrors: vec![1],
+            sizes: vec![1000],
+            kind: MirrorFnKind::Simple,
+            rate: 0.0,
+            targets: RequestTargets::AllSites,
+            events: 10_000,
+            paced: false,
+            checkpoint_every: None,
+        }
+    }
+}
+
+/// Error from argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for ParseError {}
+
+fn parse_list<T: std::str::FromStr>(v: &str, what: &str) -> Result<Vec<T>, ParseError> {
+    v.split(',')
+        .map(|p| p.trim().parse::<T>().map_err(|_| ParseError(format!("bad {what}: {p:?}"))))
+        .collect()
+}
+
+/// Parse a `--kind` value: `none`, `simple`, `selective:L`,
+/// `coalescing:N:F`, `overwriting:L:F`.
+pub fn parse_kind(v: &str) -> Result<MirrorFnKind, ParseError> {
+    let parts: Vec<&str> = v.split(':').collect();
+    let num = |i: usize| -> Result<u32, ParseError> {
+        parts
+            .get(i)
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| ParseError(format!("kind {v:?}: missing/bad numeric arg {i}")))
+    };
+    match parts[0] {
+        "none" => Ok(MirrorFnKind::None),
+        "simple" => Ok(MirrorFnKind::Simple),
+        "selective" => Ok(MirrorFnKind::Selective { overwrite: num(1)? }),
+        "coalescing" => {
+            Ok(MirrorFnKind::Coalescing { coalesce: num(1)?, checkpoint_every: num(2)? })
+        }
+        "overwriting" => {
+            Ok(MirrorFnKind::Overwriting { overwrite: num(1)?, checkpoint_every: num(2)? })
+        }
+        other => Err(ParseError(format!(
+            "unknown kind {other:?} (none|simple|selective:L|coalescing:N:F|overwriting:L:F)"
+        ))),
+    }
+}
+
+/// Parse command-line arguments (without the program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<SweepSpec, ParseError> {
+    let mut spec = SweepSpec::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().ok_or_else(|| ParseError(format!("flag {flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--mirrors" => spec.mirrors = parse_list(&value()?, "mirror count")?,
+            "--sizes" => spec.sizes = parse_list(&value()?, "size")?,
+            "--kind" => spec.kind = parse_kind(&value()?)?,
+            "--rate" => {
+                spec.rate = value()?
+                    .parse()
+                    .map_err(|_| ParseError("bad --rate".into()))?
+            }
+            "--events" => {
+                spec.events = value()?
+                    .parse()
+                    .map_err(|_| ParseError("bad --events".into()))?
+            }
+            "--checkpoint-every" => {
+                spec.checkpoint_every = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| ParseError("bad --checkpoint-every".into()))?,
+                )
+            }
+            "--targets" => {
+                spec.targets = match value()?.as_str() {
+                    "all" => RequestTargets::AllSites,
+                    "mirrors" => RequestTargets::MirrorsOnly,
+                    other => {
+                        return Err(ParseError(format!(
+                            "unknown --targets {other:?} (all|mirrors)"
+                        )))
+                    }
+                }
+            }
+            "--paced" => spec.paced = true,
+            "--help" | "-h" => {
+                return Err(ParseError(USAGE.to_string()));
+            }
+            other => return Err(ParseError(format!("unknown flag {other:?}\n{USAGE}"))),
+        }
+    }
+    if spec.mirrors.is_empty() || spec.sizes.is_empty() {
+        return Err(ParseError("need at least one mirror count and one size".into()));
+    }
+    Ok(spec)
+}
+
+/// Usage string for the sweep binary.
+pub const USAGE: &str = "\
+usage: sweep [--mirrors 1,2,4] [--sizes 500,1000,4000]
+             [--kind none|simple|selective:L|coalescing:N:F|overwriting:L:F]
+             [--rate REQ_PER_SEC] [--targets all|mirrors] [--events N]
+             [--checkpoint-every F] [--paced]";
+
+/// Run the sweep, emitting one CSV row per (mirrors, size) cell.
+pub fn run_sweep(spec: &SweepSpec, mut out: impl std::io::Write) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "mirrors,size_bytes,total_s,mean_update_delay_us,requests_served,\
+         mirrored_events,mirrored_kb,central_utilization,consistent"
+    )?;
+    for &m in &spec.mirrors {
+        for &size in &spec.sizes {
+            let r = run(&ExperimentConfig {
+                mirrors: m,
+                kind: spec.kind,
+                faa: FaaStreamConfig {
+                    flights: 100,
+                    total_events: spec.events,
+                    events_per_sec: 2_500.0,
+                    event_size: size,
+                    seed: 0xFAA,
+                    first_flight: 0,
+                },
+                requests: if spec.rate > 0.0 {
+                    RequestPattern::Constant { rate: spec.rate }
+                } else {
+                    RequestPattern::None
+                },
+                request_horizon_us: 5_000_000,
+                targets: spec.targets,
+                ingest: if spec.paced { Ingest::Paced } else { Ingest::Backlog },
+                checkpoint_every_override: spec.checkpoint_every,
+                ..Default::default()
+            });
+            let consistent = r.state_hashes.len() <= 2
+                || r.state_hashes[1..].windows(2).all(|w| w[0] == w[1]);
+            writeln!(
+                out,
+                "{m},{size},{:.3},{:.1},{},{},{},{:.3},{}",
+                r.total_time_s,
+                r.update_delay.mean_us(),
+                r.requests_served,
+                r.central.mirrored,
+                r.mirrored_bytes / 1024,
+                r.utilization.first().copied().unwrap_or(0.0),
+                consistent
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let spec = parse_args(args(
+            "--mirrors 1,2,4 --sizes 500,1000 --kind selective:10 --rate 100 \
+             --targets mirrors --events 5000 --paced --checkpoint-every 25",
+        ))
+        .unwrap();
+        assert_eq!(spec.mirrors, vec![1, 2, 4]);
+        assert_eq!(spec.sizes, vec![500, 1000]);
+        assert_eq!(spec.kind, MirrorFnKind::Selective { overwrite: 10 });
+        assert_eq!(spec.rate, 100.0);
+        assert_eq!(spec.targets, RequestTargets::MirrorsOnly);
+        assert_eq!(spec.events, 5000);
+        assert!(spec.paced);
+        assert_eq!(spec.checkpoint_every, Some(25));
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let spec = parse_args(Vec::<String>::new()).unwrap();
+        assert_eq!(spec, SweepSpec::default());
+    }
+
+    #[test]
+    fn kind_parsing_covers_all_variants() {
+        assert_eq!(parse_kind("none").unwrap(), MirrorFnKind::None);
+        assert_eq!(parse_kind("simple").unwrap(), MirrorFnKind::Simple);
+        assert_eq!(
+            parse_kind("coalescing:10:50").unwrap(),
+            MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 50 }
+        );
+        assert_eq!(
+            parse_kind("overwriting:20:100").unwrap(),
+            MirrorFnKind::Overwriting { overwrite: 20, checkpoint_every: 100 }
+        );
+        assert!(parse_kind("bogus").is_err());
+        assert!(parse_kind("selective").is_err(), "missing numeric arg");
+        assert!(parse_kind("coalescing:10").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(parse_args(args("--bogus 1")).is_err());
+        assert!(parse_args(args("--mirrors")).is_err());
+        assert!(parse_args(args("--targets sideways")).is_err());
+    }
+
+    #[test]
+    fn sweep_produces_csv_rows() {
+        let spec = SweepSpec {
+            mirrors: vec![1, 2],
+            sizes: vec![500],
+            events: 300,
+            ..Default::default()
+        };
+        let mut buf = Vec::new();
+        run_sweep(&spec, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 cells: {text}");
+        assert!(lines[0].starts_with("mirrors,size_bytes"));
+        assert!(lines[1].starts_with("1,500,"));
+        assert!(lines[2].starts_with("2,500,"));
+    }
+}

@@ -1,0 +1,829 @@
+//! The auxiliary unit — the mirroring half of every site.
+//!
+//! §3.1: each site is split into a *main unit* (the Event Derivation
+//! Engine, i.e. business logic — provided by `mirror-ede`) and an
+//! *auxiliary unit* implementing mirroring. Three tasks execute within the
+//! central site's auxiliary unit:
+//!
+//! 1. the **receiving task** retrieves events from the incoming streams,
+//!    timestamps them, applies the semantic rules, and places survivors on
+//!    the ready queue;
+//! 2. the **sending task** removes events from the ready queue, mirrors
+//!    them onto all outgoing channels, forwards them to the main unit, and
+//!    keeps a copy in the backup queue;
+//! 3. the **control task** runs checkpointing and adaptation.
+//!
+//! [`AuxUnit`] composes the three tasks into one deterministic step
+//! machine: every [`AuxInput`] yields a list of [`AuxAction`]s. The *same*
+//! state machine runs threaded under `mirror-runtime` (each task a thread
+//! sharing the unit behind a lock) and single-stepped under `mirror-sim`
+//! (actions costed onto virtual CPU/links), which is what makes the
+//! experiment results attributable to the algorithms rather than to two
+//! divergent implementations.
+
+use crate::adapt::{AdaptDecision, AdaptationController, MonitorReport};
+use crate::checkpoint::{CentralCheckpointer, CheckpointMsg, MirrorRelay};
+use crate::control::{AdaptDirective, ControlMsg};
+use crate::event::Event;
+use crate::metrics::AuxCounters;
+use crate::mirrorfn::{MirrorFn, MirrorFnKind};
+use crate::params::MirrorParams;
+use crate::queue::{BackupQueue, ReadyQueue};
+use crate::rules::RuleSet;
+use crate::status::StatusTable;
+use crate::timestamp::VectorTimestamp;
+
+pub use crate::control::{SiteId, CENTRAL_SITE};
+
+/// Input consumed by the auxiliary unit's step function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuxInput {
+    /// A data event: from a source (central site) or from the central
+    /// site's mirroring channel (mirror site).
+    Data(Event),
+    /// A control-channel message (checkpoint traffic; at the central site
+    /// this includes `ChkptRep`s relayed from mirrors and from the local
+    /// main unit).
+    Control(ControlMsg),
+    /// Drain the ready queue even if a coalescing watermark has not been
+    /// reached (end of stream, or the sending task waking up idle).
+    Flush,
+}
+
+/// Output action produced by the step function; the embedding runtime
+/// translates these into channel sends / simulator events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuxAction {
+    /// Put this event on every outgoing mirroring (data) channel.
+    Mirror(Event),
+    /// Deliver this event to the local main unit (regular processing path).
+    ForwardToMain(Event),
+    /// Send a control message to every mirror site's auxiliary unit.
+    ControlToMirrors(ControlMsg),
+    /// Send a control message to the central site's auxiliary unit.
+    ControlToCentral(ControlMsg),
+    /// Deliver a control message to the local main unit.
+    ControlToMain(ControlMsg),
+    /// The unit adopted a new parameter set / mirroring function (either by
+    /// local decision at the central site or via a piggybacked directive);
+    /// surfaced so embeddings can log/observe reconfiguration.
+    Reconfigured(MirrorParams),
+    /// The checkpoint coordinator declared a mirror failed (it missed
+    /// several consecutive rounds); embeddings should stop routing client
+    /// requests and mirroring traffic to it.
+    MirrorFailed(SiteId),
+}
+
+/// Role-specific state of an auxiliary unit.
+#[allow(clippy::large_enum_variant)] // exactly one Role per site, boxed state not worth the indirection
+enum Role {
+    /// The central (primary) site: coordinates checkpoints and adaptation.
+    Central { checkpointer: CentralCheckpointer, adapt: AdaptationController },
+    /// A secondary mirror site: relays checkpoint traffic.
+    Mirror { relay: MirrorRelay },
+}
+
+/// The auxiliary unit of one site.
+pub struct AuxUnit {
+    site: SiteId,
+    role: Role,
+    ready: ReadyQueue,
+    backup: BackupQueue,
+    status: StatusTable,
+    rules: RuleSet,
+    mirror_fn: Box<dyn MirrorFn>,
+    /// Forward-path customization (`set_fwd`): filters/transforms the
+    /// events handed to the local main unit. Default: pass everything.
+    fwd_fn: Box<dyn MirrorFn>,
+    params: MirrorParams,
+    /// The central receiving task's stamping clock: merges every incoming
+    /// event's (stream, seq) so each stamped event carries the frontier of
+    /// everything received before it.
+    clock: VectorTimestamp,
+    /// Data events processed since the last checkpoint was initiated (the
+    /// paper invokes checkpointing "at a constant frequency of once per 50
+    /// processed events").
+    processed_since_chkpt: u32,
+    /// Pending client requests at this site (set by the embedding server;
+    /// reported to the adaptation controller).
+    pending_requests: u64,
+    counters: AuxCounters,
+}
+
+impl AuxUnit {
+    /// Create the central site's auxiliary unit, mirroring to `mirrors`.
+    pub fn central(mirrors: Vec<SiteId>, params: MirrorParams) -> Self {
+        AuxUnit {
+            site: CENTRAL_SITE,
+            role: Role::Central {
+                checkpointer: CentralCheckpointer::new(mirrors),
+                adapt: AdaptationController::new(params.clone()),
+            },
+            ready: ReadyQueue::new(),
+            backup: BackupQueue::new(),
+            status: StatusTable::new(),
+            rules: RuleSet::new(),
+            mirror_fn: Box::new(crate::mirrorfn::IndependentMirror),
+            fwd_fn: Box::new(crate::mirrorfn::IndependentMirror),
+            params,
+            clock: VectorTimestamp::empty(),
+            processed_since_chkpt: 0,
+            pending_requests: 0,
+            counters: AuxCounters::default(),
+        }
+    }
+
+    /// Create a mirror site's auxiliary unit.
+    pub fn mirror(site: SiteId, params: MirrorParams) -> Self {
+        assert_ne!(site, CENTRAL_SITE, "mirror sites are numbered from 1");
+        AuxUnit {
+            site,
+            role: Role::Mirror { relay: MirrorRelay::new() },
+            ready: ReadyQueue::new(),
+            backup: BackupQueue::new(),
+            status: StatusTable::new(),
+            rules: RuleSet::new(),
+            mirror_fn: Box::new(crate::mirrorfn::IndependentMirror),
+            fwd_fn: Box::new(crate::mirrorfn::IndependentMirror),
+            params,
+            clock: VectorTimestamp::empty(),
+            processed_since_chkpt: 0,
+            pending_requests: 0,
+            counters: AuxCounters::default(),
+        }
+    }
+
+    /// This unit's site id.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Is this the central (coordinating) unit?
+    pub fn is_central(&self) -> bool {
+        matches!(self.role, Role::Central { .. })
+    }
+
+    /// Current parameter set.
+    pub fn params(&self) -> &MirrorParams {
+        &self.params
+    }
+
+    /// Install a new parameter set directly (`set_params`). At the central
+    /// site this also re-baselines the adaptation controller.
+    pub fn set_params(&mut self, mut params: MirrorParams) {
+        params.generation = self.params.generation + 1;
+        if let Role::Central { adapt, .. } = &mut self.role {
+            adapt.set_baseline(params.clone());
+        }
+        self.params = params;
+    }
+
+    /// Install a new rule set (the Table-1 `set_overwrite` /
+    /// `set_complex_seq` / `set_complex_tuple` calls mutate it through
+    /// [`rules_mut`](Self::rules_mut)).
+    pub fn set_rules(&mut self, rules: RuleSet) {
+        self.rules = rules;
+    }
+
+    /// Mutable access to the semantic rule set.
+    pub fn rules_mut(&mut self) -> &mut RuleSet {
+        &mut self.rules
+    }
+
+    /// The semantic rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Install a custom mirroring function (`set_mirror`). Any events the
+    /// outgoing function had buffered (partial coalescing runs) are
+    /// dropped from *this* call's perspective — call
+    /// [`handle`](Self::handle) with [`AuxInput::Flush`] first if they
+    /// must be released; the adaptation path does this automatically.
+    pub fn set_mirror_fn(&mut self, f: Box<dyn MirrorFn>) {
+        self.mirror_fn = f;
+    }
+
+    /// Install a custom forwarding function (`set_fwd`): it decides which
+    /// events the local main unit receives.
+    pub fn set_fwd_fn(&mut self, f: Box<dyn MirrorFn>) {
+        self.fwd_fn = f;
+    }
+
+    /// Install a named mirroring configuration: send-path function,
+    /// receive-path rules, and parameters together.
+    pub fn install_kind(&mut self, kind: MirrorFnKind) {
+        self.mirror_fn = kind.build();
+        self.rules = kind.rules();
+        let p = kind.params(&self.params);
+        self.set_params(p);
+    }
+
+    /// The adaptation controller (central site only).
+    pub fn adaptation_mut(&mut self) -> Option<&mut AdaptationController> {
+        match &mut self.role {
+            Role::Central { adapt, .. } => Some(adapt),
+            Role::Mirror { .. } => None,
+        }
+    }
+
+    /// Update the pending-client-requests gauge (a monitored variable).
+    pub fn set_pending_requests(&mut self, n: u64) {
+        self.pending_requests = n;
+    }
+
+    /// Current monitored-variable snapshot for this site.
+    pub fn monitor_report(&self) -> MonitorReport {
+        MonitorReport {
+            ready_len: self.ready.len() as u64,
+            backup_len: self.backup.len() as u64,
+            pending_requests: self.pending_requests,
+        }
+    }
+
+    /// Counters for experiments.
+    pub fn counters(&self) -> AuxCounters {
+        self.counters
+    }
+
+    /// Ready-queue length (monitored variable).
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Backup-queue length (monitored variable).
+    pub fn backup_len(&self) -> usize {
+        self.backup.len()
+    }
+
+    /// The receiving task's stamping clock frontier.
+    pub fn clock(&self) -> &VectorTimestamp {
+        &self.clock
+    }
+
+    /// Readmit a previously failed mirror into checkpoint rounds (central
+    /// site only; call after the mirror's state has been re-seeded).
+    pub fn readmit_mirror(&mut self, site: SiteId) {
+        if let Role::Central { checkpointer, .. } = &mut self.role {
+            checkpointer.readmit(site);
+        }
+    }
+
+    /// Set the failure-detection threshold in missed checkpoint rounds
+    /// (central site only; 0 disables detection).
+    pub fn set_suspect_after(&mut self, rounds: u32) {
+        if let Role::Central { checkpointer, .. } = &mut self.role {
+            checkpointer.set_suspect_after(rounds);
+        }
+    }
+
+    /// Mirrors currently participating in checkpoint rounds (central only).
+    pub fn live_mirrors(&self) -> Option<Vec<SiteId>> {
+        match &self.role {
+            Role::Central { checkpointer, .. } => Some(checkpointer.mirrors().to_vec()),
+            Role::Mirror { .. } => None,
+        }
+    }
+
+    /// Last committed checkpoint (central site only).
+    pub fn committed(&self) -> Option<VectorTimestamp> {
+        match &self.role {
+            Role::Central { checkpointer, .. } => Some(checkpointer.committed().clone()),
+            Role::Mirror { .. } => None,
+        }
+    }
+
+    /// Feed one input through the unit, producing the actions to perform.
+    pub fn handle(&mut self, input: AuxInput) -> Vec<AuxAction> {
+        match input {
+            AuxInput::Data(event) => match self.is_central() {
+                true => self.central_on_data(event),
+                false => self.mirror_on_data(event),
+            },
+            AuxInput::Control(msg) => self.on_control(msg),
+            AuxInput::Flush => self.drain_ready(true),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Receiving task (central): stamp, record, filter.
+    // ------------------------------------------------------------------
+
+    fn central_on_data(&mut self, mut event: Event) -> Vec<AuxAction> {
+        self.counters.received += 1;
+
+        // Timestamping: advance the clock with this event's (stream, seq)
+        // and stamp the event with the resulting frontier.
+        self.clock.advance(event.stream as usize, event.seq);
+        event.stamp = self.clock.clone();
+
+        // Status-table history first, then rule evaluation (§3.2.1).
+        self.status.observe(&event);
+        let outcome = self.rules.evaluate(event, &mut self.status);
+
+        let mut actions = Vec::new();
+        if let Some(fwd) = outcome.forward {
+            for f in self.fwd_fn.prepare(vec![fwd], &self.params) {
+                self.counters.forwarded += 1;
+                actions.push(AuxAction::ForwardToMain(f));
+            }
+        }
+        if let Some(mir) = outcome.mirror {
+            self.ready.push(mir);
+        } else {
+            self.counters.suppressed += 1;
+        }
+        for derived in outcome.derived {
+            // Derived events are new application-level facts: they go to
+            // the main unit and onto the mirror path.
+            self.counters.forwarded += 1;
+            actions.push(AuxAction::ForwardToMain(derived.clone()));
+            self.ready.push(derived);
+        }
+
+        // Sending task: drain whatever is pending. Per-flight coalescing
+        // state is held inside the mirroring function, so draining eagerly
+        // still produces coalesced wire events.
+        actions.extend(self.drain_ready(false));
+
+        // Control task: checkpoint once per `checkpoint_every` processed
+        // events.
+        self.processed_since_chkpt += 1;
+        if self.processed_since_chkpt >= self.params.checkpoint_every {
+            self.processed_since_chkpt = 0;
+            actions.extend(self.begin_checkpoint());
+        }
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Sending task (central): mirror, retain, trigger checkpoints.
+    // ------------------------------------------------------------------
+
+    fn drain_ready(&mut self, flush: bool) -> Vec<AuxAction> {
+        if !self.is_central() {
+            // Mirror-side data drains in mirror_on_data; a Flush on a
+            // mirror site is a no-op.
+            return Vec::new();
+        }
+        let batch = self.ready.drain_up_to(usize::MAX);
+        let mut wire = self.mirror_fn.prepare(batch, &self.params);
+        if flush {
+            wire.extend(self.mirror_fn.flush(&self.params));
+        }
+
+        let mut actions = Vec::with_capacity(wire.len() + 2);
+        for ev in wire {
+            self.counters.mirrored += 1;
+            self.counters.mirrored_bytes += ev.wire_size() as u64;
+            self.backup.push(ev.clone());
+            actions.push(AuxAction::Mirror(ev));
+        }
+        actions
+    }
+
+    /// Idle-time liveness: if this is the central unit, no round is in
+    /// flight, and uncommitted events remain in the backup queue, start a
+    /// fresh checkpoint round. Called by embeddings on sending-task
+    /// wakeups so the tail of a stream eventually commits even when no new
+    /// events arrive to trigger the rate-based checkpointing.
+    pub fn idle_checkpoint(&mut self) -> Vec<AuxAction> {
+        match &self.role {
+            Role::Central { checkpointer, .. }
+                if !checkpointer.round_in_flight() && !self.backup.is_empty() =>
+            {
+                self.processed_since_chkpt = 0;
+                self.begin_checkpoint()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn begin_checkpoint(&mut self) -> Vec<AuxAction> {
+        let proposal = self.backup.last_stamp();
+        let (checkpointer, adapt) = match &mut self.role {
+            Role::Central { checkpointer, adapt } => (checkpointer, adapt),
+            Role::Mirror { .. } => return Vec::new(),
+        };
+        // Record the central site's own monitored variables for this round.
+        let report = MonitorReport {
+            ready_len: self.ready.len() as u64,
+            backup_len: self.backup.len() as u64,
+            pending_requests: self.pending_requests,
+        };
+        adapt.record_report(CENTRAL_SITE, report);
+        self.counters.checkpoints += 1;
+        let msgs = checkpointer.begin(proposal);
+        let failed = checkpointer.take_newly_failed();
+        for &site in &failed {
+            // A dead site's last (possibly alarming) monitor report must
+            // not keep driving adaptation decisions.
+            adapt.remove_report(site);
+        }
+        let mut actions = self.route_checkpoint_msgs(msgs);
+        actions.extend(failed.into_iter().map(AuxAction::MirrorFailed));
+        actions
+    }
+
+    // ------------------------------------------------------------------
+    // Control task.
+    // ------------------------------------------------------------------
+
+    fn on_control(&mut self, msg: ControlMsg) -> Vec<AuxAction> {
+        match (&mut self.role, msg) {
+            // --- central site -------------------------------------------------
+            (Role::Central { checkpointer, adapt }, ControlMsg::ChkptRep { round, site, stamp, monitor }) => {
+                // The local main unit only knows the pending-request count;
+                // its reply must not clobber the central's real queue
+                // lengths in the adaptation monitors.
+                let monitor = if site == CENTRAL_SITE {
+                    MonitorReport {
+                        ready_len: self.ready.len() as u64,
+                        backup_len: self.backup.len() as u64,
+                        pending_requests: monitor.pending_requests.max(self.pending_requests),
+                    }
+                } else {
+                    monitor
+                };
+                adapt.record_report(site, monitor);
+                let reply = checkpointer.on_reply(round, site, stamp);
+                let failed = checkpointer.take_newly_failed();
+                for &f in &failed {
+                    adapt.remove_report(f);
+                }
+                let mut failure_actions: Vec<AuxAction> =
+                    failed.into_iter().map(AuxAction::MirrorFailed).collect();
+                match reply {
+                    None => failure_actions,
+                    Some((commit, msgs)) => {
+                        // Voting complete: decide adaptation, attach the
+                        // directive to the commit, prune our own backup.
+                        let directive = match adapt.decide() {
+                            AdaptDecision::Hold => None,
+                            AdaptDecision::Engage(d) | AdaptDecision::Release(d) => Some(d),
+                        };
+                        self.backup.prune(&commit);
+                        let mut actions = Vec::new();
+                        for m in msgs {
+                            let routed = attach_directive(m, &directive);
+                            actions.push(route_one(routed));
+                        }
+                        if let Some(d) = directive {
+                            actions.extend(self.apply_directive(d));
+                        }
+                        self.counters.control_msgs += actions.len() as u64;
+                        failure_actions.extend(actions);
+                        failure_actions
+                    }
+                }
+            }
+            // The central site never receives CHKPT/COMMIT from others.
+            (Role::Central { .. }, _other) => Vec::new(),
+
+            // --- mirror site --------------------------------------------------
+            (Role::Mirror { relay }, msg @ ControlMsg::Chkpt { .. }) => {
+                let msgs = relay.on_chkpt(msg);
+                self.counters.control_msgs += msgs.len() as u64;
+                self.route_checkpoint_msgs(msgs)
+            }
+            (Role::Mirror { relay }, ControlMsg::ChkptRep { round, site, stamp, monitor }) => {
+                // Reply from our local main unit: refresh the monitored
+                // variables with this unit's own queue lengths (the main
+                // unit only knows the pending-request count) and relay.
+                let monitor = MonitorReport {
+                    ready_len: self.ready.len() as u64,
+                    backup_len: self.backup.len() as u64,
+                    pending_requests: monitor.pending_requests.max(self.pending_requests),
+                };
+                let msgs = relay.on_main_reply(round, site, stamp, monitor, &self.backup);
+                self.counters.control_msgs += msgs.len() as u64;
+                self.route_checkpoint_msgs(msgs)
+            }
+            (Role::Mirror { relay }, msg @ ControlMsg::Commit { .. }) => {
+                let directive = match &msg {
+                    ControlMsg::Commit { adapt, .. } => adapt.clone(),
+                    _ => None,
+                };
+                let (pruned, msgs) = relay.on_commit(msg, &mut self.backup);
+                if pruned > 0 {
+                    self.counters.checkpoints += 1;
+                }
+                let mut actions = self.route_checkpoint_msgs(msgs);
+                if let Some(d) = directive {
+                    actions.extend(self.apply_directive(d));
+                }
+                actions
+            }
+        }
+    }
+
+    /// Apply a (generation-guarded) adaptation directive to this unit.
+    fn apply_directive(&mut self, d: AdaptDirective) -> Vec<AuxAction> {
+        if d.params.generation <= self.params.generation {
+            return Vec::new(); // stale directive
+        }
+        let mut actions = Vec::new();
+        if let Some(kind) = d.mirror_fn {
+            // Release anything the outgoing function buffered (partial
+            // coalescing runs) before swapping it out — a reconfiguration
+            // must never silently drop events from the mirror path.
+            for ev in self.mirror_fn.flush(&self.params) {
+                self.counters.mirrored += 1;
+                self.counters.mirrored_bytes += ev.wire_size() as u64;
+                self.backup.push(ev.clone());
+                actions.push(AuxAction::Mirror(ev));
+            }
+            self.mirror_fn = kind.build();
+            self.rules = kind.rules();
+        }
+        self.params = d.params.clone();
+        self.counters.adaptations += 1;
+        actions.push(AuxAction::Reconfigured(d.params));
+        actions
+    }
+
+    fn route_checkpoint_msgs(&mut self, msgs: Vec<CheckpointMsg>) -> Vec<AuxAction> {
+        msgs.into_iter().map(route_one).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Mirror-site data path.
+    // ------------------------------------------------------------------
+
+    fn mirror_on_data(&mut self, event: Event) -> Vec<AuxAction> {
+        self.counters.received += 1;
+        self.clock.merge(&event.stamp);
+        self.status.observe(&event);
+        // Mirror sites retain a copy for checkpoint-bounded recovery and
+        // hand the event to their main unit (whose EDE replicates state and
+        // serves client requests).
+        self.backup.push(event.clone());
+        self.counters.forwarded += 1;
+        vec![AuxAction::ForwardToMain(event)]
+    }
+}
+
+/// Attach an adaptation directive to a routed commit message.
+fn attach_directive(msg: CheckpointMsg, directive: &Option<AdaptDirective>) -> CheckpointMsg {
+    let Some(d) = directive else { return msg };
+    let patch = |m: ControlMsg| match m {
+        ControlMsg::Commit { round, stamp, .. } => {
+            ControlMsg::Commit { round, stamp, adapt: Some(d.clone()) }
+        }
+        other => other,
+    };
+    match msg {
+        CheckpointMsg::BroadcastToMirrors(m) => CheckpointMsg::BroadcastToMirrors(patch(m)),
+        CheckpointMsg::ToLocalMain(m) => CheckpointMsg::ToLocalMain(patch(m)),
+        CheckpointMsg::ToCentral(m) => CheckpointMsg::ToCentral(patch(m)),
+    }
+}
+
+/// Translate a checkpoint routing instruction into an aux action.
+fn route_one(msg: CheckpointMsg) -> AuxAction {
+    match msg {
+        CheckpointMsg::BroadcastToMirrors(m) => AuxAction::ControlToMirrors(m),
+        CheckpointMsg::ToLocalMain(m) => AuxAction::ControlToMain(m),
+        CheckpointMsg::ToCentral(m) => AuxAction::ControlToCentral(m),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventType, PositionFix};
+    use crate::rules::Rule;
+
+    fn fix() -> PositionFix {
+        PositionFix { lat: 0.0, lon: 0.0, alt_ft: 30000.0, speed_kts: 450.0, heading_deg: 0.0 }
+    }
+
+    fn pos(seq: u64, flight: u32) -> Event {
+        Event::faa_position(seq, flight, fix())
+    }
+
+    /// Drive a full checkpoint round by hand: run the main-unit responders
+    /// and feed their replies back, return total mirror-side prunes.
+    fn run_round(
+        central: &mut AuxUnit,
+        mirrors: &mut [AuxUnit],
+        actions: Vec<AuxAction>,
+        mains: &mut [crate::checkpoint::MainUnitResponder],
+    ) -> Vec<AuxAction> {
+        use crate::adapt::MonitorReport;
+        let mut commits = Vec::new();
+        // Deliver CHKPT broadcast + local main.
+        for a in actions {
+            match a {
+                AuxAction::ControlToMirrors(m) => {
+                    for (i, mu) in mirrors.iter_mut().enumerate() {
+                        let acts = mu.handle(AuxInput::Control(m.clone()));
+                        for act in acts {
+                            if let AuxAction::ControlToMain(cm) = act {
+                                // mirror main unit replies
+                                if let Some(rep) =
+                                    mains[i + 1].on_chkpt(&cm, MonitorReport::default())
+                                {
+                                    let back = mu.handle(AuxInput::Control(rep));
+                                    for b in back {
+                                        if let AuxAction::ControlToCentral(r) = b {
+                                            commits.extend(
+                                                central.handle(AuxInput::Control(r)),
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                AuxAction::ControlToMain(m) => {
+                    if let Some(rep) = mains[0].on_chkpt(&m, MonitorReport::default()) {
+                        commits.extend(central.handle(AuxInput::Control(rep)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        commits
+    }
+
+    #[test]
+    fn central_stamps_and_mirrors_every_event_by_default() {
+        let mut aux = AuxUnit::central(vec![1], MirrorParams::default());
+        let actions = aux.handle(AuxInput::Data(pos(1, 7)));
+        let mirrors: Vec<_> =
+            actions.iter().filter(|a| matches!(a, AuxAction::Mirror(_))).collect();
+        let fwds: Vec<_> =
+            actions.iter().filter(|a| matches!(a, AuxAction::ForwardToMain(_))).collect();
+        assert_eq!(mirrors.len(), 1);
+        assert_eq!(fwds.len(), 1);
+        if let AuxAction::Mirror(e) = mirrors[0] {
+            assert_eq!(e.stamp.get(0), 1, "event must be stamped at ingress");
+        }
+        assert_eq!(aux.backup_len(), 1, "mirrored event retained in backup queue");
+    }
+
+    #[test]
+    fn selective_rules_suppress_mirror_but_not_forward() {
+        let mut aux = AuxUnit::central(vec![1], MirrorParams::default());
+        aux.rules_mut().push(Rule::Overwrite { ty: EventType::FaaPosition, max_len: 5 });
+        let mut mirrored = 0;
+        let mut forwarded = 0;
+        for seq in 1..=50 {
+            for a in aux.handle(AuxInput::Data(pos(seq, 3))) {
+                match a {
+                    AuxAction::Mirror(_) => mirrored += 1,
+                    AuxAction::ForwardToMain(_) => forwarded += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(forwarded, 50, "forward path lossless");
+        assert!((10..=11).contains(&mirrored), "1-in-5 mirrored, got {mirrored}");
+        assert_eq!(aux.counters().suppressed as usize, 50 - mirrored);
+    }
+
+    #[test]
+    fn coalescing_accumulates_per_flight_until_cap_or_flush() {
+        let mut params = MirrorParams::default();
+        params.coalesce = true;
+        params.coalesce_max = 4;
+        let mut aux = AuxUnit::central(vec![1], params);
+        aux.set_mirror_fn(Box::new(crate::mirrorfn::CoalescingMirror::new()));
+        let mut mirrored = Vec::new();
+        for seq in 1..=3 {
+            for a in aux.handle(AuxInput::Data(pos(seq, 1))) {
+                if let AuxAction::Mirror(e) = a {
+                    mirrored.push(e);
+                }
+            }
+        }
+        assert!(mirrored.is_empty(), "run of 3 < cap 4: still accumulating");
+        for a in aux.handle(AuxInput::Data(pos(4, 1))) {
+            if let AuxAction::Mirror(e) = a {
+                mirrored.push(e);
+            }
+        }
+        assert_eq!(mirrored.len(), 1, "cap reached: one coalesced wire event");
+        // A partial run is released by Flush.
+        aux.handle(AuxInput::Data(pos(5, 1)));
+        let flushed = aux.handle(AuxInput::Flush);
+        assert!(flushed.iter().any(|a| matches!(a, AuxAction::Mirror(_))));
+    }
+
+    #[test]
+    fn checkpoint_fires_every_n_sent_events_and_prunes() {
+        let mut params = MirrorParams::default();
+        params.checkpoint_every = 10;
+        let mut central = AuxUnit::central(vec![1], params.clone());
+        let mut mirror = AuxUnit::mirror(1, params);
+        let mut mains = vec![
+            crate::checkpoint::MainUnitResponder::new(CENTRAL_SITE),
+            crate::checkpoint::MainUnitResponder::new(1),
+        ];
+
+        let mut chkpt_actions = Vec::new();
+        for seq in 1..=10 {
+            for a in central.handle(AuxInput::Data(pos(seq, 1))) {
+                match a {
+                    AuxAction::Mirror(e) => {
+                        // Deliver to the mirror; its main unit processes.
+                        for ma in mirror.handle(AuxInput::Data(e)) {
+                            if let AuxAction::ForwardToMain(ev) = ma {
+                                mains[1].record_processed(&ev.stamp);
+                            }
+                        }
+                    }
+                    AuxAction::ForwardToMain(ev) => mains[0].record_processed(&ev.stamp),
+                    other => chkpt_actions.push(other),
+                }
+            }
+        }
+        assert!(
+            chkpt_actions
+                .iter()
+                .any(|a| matches!(a, AuxAction::ControlToMirrors(ControlMsg::Chkpt { .. }))),
+            "checkpoint initiated after 10 sent events"
+        );
+        assert_eq!(central.backup_len(), 10);
+        assert_eq!(mirror.backup_len(), 10);
+
+        let commits = run_round(&mut central, &mut [mirror], chkpt_actions, &mut mains);
+        // Commit messages were broadcast.
+        assert!(commits
+            .iter()
+            .any(|a| matches!(a, AuxAction::ControlToMirrors(ControlMsg::Commit { .. }))));
+        // Central pruned everything it had mirrored (all processed).
+        assert_eq!(central.backup_len(), 0);
+        assert_eq!(central.committed().unwrap().get(0), 10);
+    }
+
+    #[test]
+    fn mirror_applies_piggybacked_directive() {
+        let mut mirror = AuxUnit::mirror(1, MirrorParams::default());
+        let mut new_params = MirrorParams::profile_degraded();
+        new_params.generation = 5;
+        let commit = ControlMsg::Commit {
+            round: 1,
+            stamp: VectorTimestamp::empty(),
+            adapt: Some(AdaptDirective {
+                params: new_params.clone(),
+                mirror_fn: Some(MirrorFnKind::Coalescing { coalesce: 20, checkpoint_every: 100 }),
+            }),
+        };
+        let actions = mirror.handle(AuxInput::Control(commit));
+        assert!(actions.iter().any(|a| matches!(a, AuxAction::Reconfigured(_))));
+        assert_eq!(mirror.params().coalesce_max, 20);
+        assert_eq!(mirror.counters().adaptations, 1);
+
+        // A stale (older-generation) directive is ignored.
+        let mut stale = MirrorParams::default();
+        stale.generation = 2;
+        let commit = ControlMsg::Commit {
+            round: 2,
+            stamp: VectorTimestamp::empty(),
+            adapt: Some(AdaptDirective { params: stale, mirror_fn: None }),
+        };
+        let actions = mirror.handle(AuxInput::Control(commit));
+        assert!(actions.iter().all(|a| !matches!(a, AuxAction::Reconfigured(_))));
+        assert_eq!(mirror.params().coalesce_max, 20);
+    }
+
+    #[test]
+    fn mirror_data_path_forwards_and_retains() {
+        let mut mirror = AuxUnit::mirror(2, MirrorParams::default());
+        let mut e = pos(1, 9);
+        e.stamp.advance(0, 1);
+        let actions = mirror.handle(AuxInput::Data(e));
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], AuxAction::ForwardToMain(_)));
+        assert_eq!(mirror.backup_len(), 1);
+        assert_eq!(mirror.clock().get(0), 1);
+    }
+
+    #[test]
+    fn monitor_report_reflects_queues_and_requests() {
+        let mut aux = AuxUnit::central(vec![1], MirrorParams::default());
+        for seq in 1..=5 {
+            aux.handle(AuxInput::Data(pos(seq, 1)));
+        }
+        aux.set_pending_requests(42);
+        let r = aux.monitor_report();
+        assert_eq!(r.backup_len, 5, "mirrored events retained until commit");
+        assert_eq!(r.pending_requests, 42);
+    }
+
+    #[test]
+    fn install_kind_swaps_whole_configuration() {
+        let mut aux = AuxUnit::central(vec![1], MirrorParams::default());
+        aux.install_kind(MirrorFnKind::Selective { overwrite: 10 });
+        assert_eq!(aux.rules().rules().len(), 1);
+        assert_eq!(aux.params().overwrite_max, 10);
+        aux.install_kind(MirrorFnKind::Coalescing { coalesce: 20, checkpoint_every: 100 });
+        assert!(aux.params().coalesce);
+        assert_eq!(aux.params().checkpoint_every, 100);
+        assert!(aux.rules().is_empty());
+    }
+}

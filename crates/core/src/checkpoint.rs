@@ -1,0 +1,592 @@
+//! Checkpointing — the paper's modified two-phase commit (§3.2.1, Fig. 3).
+//!
+//! The central auxiliary unit coordinates; all mirror sites participate.
+//! The protocol deviates from textbook 2PC in ways that exploit the
+//! setting (reliable in-order intra-cluster channels, idempotent pruning):
+//!
+//! * **Voting phase** — the coordinator proposes a timestamp up to which the
+//!   consistent view can advance (usually the most recent value in its
+//!   backup queue). Each site replies with the most recent event its
+//!   business logic has processed, capped by the proposal.
+//! * **Commit phase** — the coordinator takes the (componentwise) minimum of
+//!   all replies and issues a commit for it; every unit may then discard
+//!   backup-queue events up to that value.
+//! * There are **no NO votes and no ABORT messages**; no commit-phase
+//!   acknowledgements are awaited; **no timeouts** are used — if a round has
+//!   not committed before the next one starts, the later commit encapsulates
+//!   the earlier one, and a commit naming an event a unit no longer holds is
+//!   simply ignored.
+//!
+//! The state machines here are sans-IO: they consume [`ControlMsg`]s and
+//! yield [`CheckpointMsg`] routing instructions which the auxiliary unit
+//! (or a test harness) turns into channel sends.
+
+use crate::adapt::MonitorReport;
+use crate::control::{ControlMsg, SiteId, CENTRAL_SITE};
+use crate::queue::BackupQueue;
+use crate::timestamp::VectorTimestamp;
+
+/// A routing instruction emitted by a checkpoint state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointMsg {
+    /// Send to every mirror site's auxiliary unit.
+    BroadcastToMirrors(ControlMsg),
+    /// Send to this site's own main unit.
+    ToLocalMain(ControlMsg),
+    /// Send to the central site's auxiliary unit.
+    ToCentral(ControlMsg),
+}
+
+/// One in-flight voting round at the coordinator.
+#[derive(Debug)]
+struct PendingRound {
+    round: u64,
+    proposal: VectorTimestamp,
+    /// Replies received so far, one per expected participant.
+    replies: Vec<(SiteId, VectorTimestamp)>,
+}
+
+/// Failure detection is **disabled by default** (`0`): the paper's
+/// protocol deliberately has no timeouts, and under a processing backlog
+/// checkpoint replies legitimately lag many rounds behind — treating that
+/// as failure would be wrong. Embeddings that want the §6 recovery
+/// extension opt in via
+/// [`CentralCheckpointer::set_suspect_after`].
+pub const DEFAULT_SUSPECT_AFTER: u32 = 0;
+
+/// Coordinator state machine running in the **central site's auxiliary
+/// unit**.
+#[derive(Debug)]
+pub struct CentralCheckpointer {
+    mirrors: Vec<SiteId>,
+    next_round: u64,
+    pending: Option<PendingRound>,
+    committed: VectorTimestamp,
+    /// Highest round number each participant has ever replied to (stale
+    /// replies included). Failure detection compares these: a mirror whose
+    /// newest reply lags `suspect_after` rounds behind another
+    /// participant's newest reply is declared failed — the comparison
+    /// baseline travels through the same queues, so a cluster-wide backlog
+    /// never looks like a failure.
+    last_reply_round: std::collections::HashMap<SiteId, u64>,
+    /// Missed-round threshold for failure detection (0 disables).
+    suspect_after: u32,
+    /// Mirrors declared failed, not yet collected by the embedding.
+    newly_failed: Vec<SiteId>,
+    /// All mirrors ever declared failed (and not readmitted).
+    pub failed: Vec<SiteId>,
+    /// Rounds started.
+    pub rounds_started: u64,
+    /// Rounds that reached commit.
+    pub rounds_committed: u64,
+    /// Rounds abandoned because a newer round superseded them.
+    pub rounds_abandoned: u64,
+}
+
+impl CentralCheckpointer {
+    /// A coordinator for the given set of mirror sites.
+    pub fn new(mirrors: Vec<SiteId>) -> Self {
+        CentralCheckpointer {
+            mirrors,
+            next_round: 1,
+            pending: None,
+            committed: VectorTimestamp::empty(),
+            last_reply_round: std::collections::HashMap::new(),
+            suspect_after: DEFAULT_SUSPECT_AFTER,
+            newly_failed: Vec::new(),
+            failed: Vec::new(),
+            rounds_started: 0,
+            rounds_committed: 0,
+            rounds_abandoned: 0,
+        }
+    }
+
+    /// Change the failure-detection threshold: a mirror whose newest reply
+    /// lags this many rounds behind another participant's newest reply is
+    /// declared failed. `0` disables detection; non-zero values are
+    /// clamped to at least 2 (a lag of 1 round is normal in-flight skew).
+    pub fn set_suspect_after(&mut self, rounds: u32) {
+        self.suspect_after = if rounds == 0 { 0 } else { rounds.max(2) };
+    }
+
+    /// Mirrors declared failed since the last call (drains the list); the
+    /// embedding should stop routing requests and data to them.
+    pub fn take_newly_failed(&mut self) -> Vec<SiteId> {
+        std::mem::take(&mut self.newly_failed)
+    }
+
+    /// Re-admit a mirror (after external recovery/state transfer): it
+    /// resumes participating in checkpoint rounds.
+    pub fn readmit(&mut self, site: SiteId) {
+        self.failed.retain(|&s| s != site);
+        // Give the rejoined site a fresh baseline so it is not instantly
+        // re-flagged for rounds it never saw.
+        let newest = self.last_reply_round.values().copied().max().unwrap_or(0);
+        self.last_reply_round.insert(site, newest);
+        if !self.mirrors.contains(&site) {
+            self.mirrors.push(site);
+        }
+    }
+
+    /// The set of mirror sites participating.
+    pub fn mirrors(&self) -> &[SiteId] {
+        &self.mirrors
+    }
+
+    /// Timestamp of the last committed checkpoint.
+    pub fn committed(&self) -> &VectorTimestamp {
+        &self.committed
+    }
+
+    /// Is a voting round currently awaiting replies?
+    pub fn round_in_flight(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// `init_CHKPT`: start a voting round proposing `proposal` ("chkpt =
+    /// last on backup queue"). Any incomplete previous round is abandoned —
+    /// the new round's commit will encapsulate it.
+    pub fn begin(&mut self, proposal: VectorTimestamp) -> Vec<CheckpointMsg> {
+        if self.pending.take().is_some() {
+            self.rounds_abandoned += 1;
+        }
+        let round = self.next_round;
+        self.next_round += 1;
+        self.rounds_started += 1;
+        self.pending = Some(PendingRound { round, proposal: proposal.clone(), replies: Vec::new() });
+        let msg = ControlMsg::Chkpt { round, stamp: proposal };
+        vec![
+            CheckpointMsg::BroadcastToMirrors(msg.clone()),
+            CheckpointMsg::ToLocalMain(msg),
+        ]
+    }
+
+    /// `CHKPT_REP`: record a participant's reply. When every expected
+    /// participant (each mirror plus the central main unit, reporting as
+    /// [`CENTRAL_SITE`]) has replied, compute `commit = min over replies`,
+    /// record it, and emit the commit messages. The caller appends any
+    /// adaptation directive and prunes the local backup queue.
+    ///
+    /// Replies for abandoned rounds are ignored.
+    pub fn on_reply(
+        &mut self,
+        round: u64,
+        site: SiteId,
+        stamp: VectorTimestamp,
+    ) -> Option<(VectorTimestamp, Vec<CheckpointMsg>)> {
+        // Any reply — even stale or duplicate — is a sign of life; record
+        // the newest round this participant has answered.
+        let newest = self.last_reply_round.entry(site).or_insert(0);
+        *newest = (*newest).max(round);
+        // Failure detection: replies are flowing from mirror `site` up to
+        // `round`, so a *peer* mirror whose replies stop `suspect_after`
+        // rounds earlier is gone. Only mirror replies serve as the
+        // comparison baseline — they traverse the same two-hop pipeline, so
+        // a cluster-wide backlog delays all of them alike, whereas the
+        // central main unit's replies take a local shortcut and would make
+        // healthy mirrors look laggy during bursts. (Consequence: a
+        // single-mirror cluster has no detection baseline; exclusion there
+        // needs an operator, as in the paper.)
+        if self.suspect_after > 0 && site != CENTRAL_SITE {
+            let mirrors = self.mirrors.clone();
+            for other in mirrors {
+                if other == site {
+                    continue;
+                }
+                let last = self.last_reply_round.get(&other).copied().unwrap_or(0);
+                if round.saturating_sub(last) >= self.suspect_after as u64 {
+                    self.mirrors.retain(|&s| s != other);
+                    self.failed.push(other);
+                    self.newly_failed.push(other);
+                }
+            }
+        }
+        if site != CENTRAL_SITE && !self.mirrors.contains(&site) {
+            return None; // reply from an excluded (failed) or unknown site
+        }
+        let pending = self.pending.as_mut()?;
+        if pending.round != round {
+            return None; // stale reply for an abandoned round
+        }
+        if pending.replies.iter().any(|(s, _)| *s == site) {
+            return None; // duplicate
+        }
+        pending.replies.push((site, stamp));
+
+        let expected = self.mirrors.len() + 1; // mirrors + central main unit
+        if pending.replies.len() < expected {
+            return None;
+        }
+        let pending = self.pending.take().unwrap();
+        let commit = pending
+            .replies
+            .iter()
+            .fold(pending.proposal.clone(), |acc, (_, s)| acc.meet(s));
+        self.committed.merge(&commit);
+        self.rounds_committed += 1;
+        let msg = ControlMsg::Commit { round: pending.round, stamp: commit.clone(), adapt: None };
+        Some((
+            commit,
+            vec![
+                CheckpointMsg::BroadcastToMirrors(msg.clone()),
+                CheckpointMsg::ToLocalMain(msg),
+            ],
+        ))
+    }
+}
+
+/// Relay state machine running in a **mirror site's auxiliary unit**.
+///
+/// Per Figure 3: a `CHKPT` is forwarded to the local main unit; the main
+/// unit's `CHKPT_REP` is forwarded to the central site if its stamp refers
+/// to an event this site's backup history covers; a `COMMIT` prunes the
+/// local backup queue and is forwarded to the main unit.
+#[derive(Debug, Default)]
+pub struct MirrorRelay {
+    /// Commits applied (for statistics).
+    pub commits_applied: u64,
+    /// Commits ignored because they named events never seen here.
+    pub commits_ignored: u64,
+}
+
+impl MirrorRelay {
+    /// A fresh relay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle a `CHKPT` from the central site.
+    pub fn on_chkpt(&mut self, msg: ControlMsg) -> Vec<CheckpointMsg> {
+        debug_assert!(matches!(msg, ControlMsg::Chkpt { .. }));
+        vec![CheckpointMsg::ToLocalMain(msg)]
+    }
+
+    /// Handle the local main unit's `CHKPT_REP`: forward to the central
+    /// site if the stamp is covered by this site's backup history ("if
+    /// chkpt_rep in backup queue").
+    pub fn on_main_reply(
+        &mut self,
+        round: u64,
+        site: SiteId,
+        stamp: VectorTimestamp,
+        monitor: MonitorReport,
+        backup: &BackupQueue,
+    ) -> Vec<CheckpointMsg> {
+        // The paper's guard ("if chkpt_rep in backup queue") suppresses
+        // replies referencing events this site never held — except on a
+        // *fresh* site (just started, or rejoined with seeded state): its
+        // reply stamp is correct information even though its backup
+        // history is empty, and suppressing it would lock the site out of
+        // rounds until new traffic arrived.
+        if backup.covers(&stamp) || stamp.is_zero() || backup.is_fresh() {
+            vec![CheckpointMsg::ToCentral(ControlMsg::ChkptRep { round, site, stamp, monitor })]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Handle a `COMMIT`: prune the backup queue if the committed event is
+    /// known here, and forward the commit to the main unit either way (the
+    /// main unit applies its own guard).
+    pub fn on_commit(
+        &mut self,
+        msg: ControlMsg,
+        backup: &mut BackupQueue,
+    ) -> (usize, Vec<CheckpointMsg>) {
+        let pruned = if let ControlMsg::Commit { stamp, .. } = &msg {
+            if backup.covers(stamp) || stamp.is_zero() {
+                self.commits_applied += 1;
+                backup.prune(stamp)
+            } else {
+                // "If a unit receives a commit identifying an event no
+                // longer in its backup, this event is ignored."
+                self.commits_ignored += 1;
+                0
+            }
+        } else {
+            0
+        };
+        (pruned, vec![CheckpointMsg::ToLocalMain(msg)])
+    }
+}
+
+/// Responder state machine running in every site's **main unit**.
+///
+/// Tracks the frontier of events the business logic has processed; on a
+/// `CHKPT` it replies with `min{chkpt, last processed}`.
+#[derive(Debug)]
+pub struct MainUnitResponder {
+    site: SiteId,
+    processed: VectorTimestamp,
+    committed: VectorTimestamp,
+}
+
+impl MainUnitResponder {
+    /// A responder for the given site.
+    pub fn new(site: SiteId) -> Self {
+        MainUnitResponder {
+            site,
+            processed: VectorTimestamp::empty(),
+            committed: VectorTimestamp::empty(),
+        }
+    }
+
+    /// The site this responder reports as.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Record that the business logic processed an event with this stamp.
+    pub fn record_processed(&mut self, stamp: &VectorTimestamp) {
+        self.processed.merge(stamp);
+    }
+
+    /// Frontier of processed events.
+    pub fn processed(&self) -> &VectorTimestamp {
+        &self.processed
+    }
+
+    /// Last committed checkpoint this unit has seen.
+    pub fn committed(&self) -> &VectorTimestamp {
+        &self.committed
+    }
+
+    /// Handle a `CHKPT`: reply with `min{chkpt, last processed}` plus the
+    /// caller-supplied monitor report, addressed to the local aux unit.
+    pub fn on_chkpt(&mut self, msg: &ControlMsg, monitor: MonitorReport) -> Option<ControlMsg> {
+        if let ControlMsg::Chkpt { round, stamp } = msg {
+            let rep = stamp.meet(&self.processed);
+            Some(ControlMsg::ChkptRep { round: *round, site: self.site, stamp: rep, monitor })
+        } else {
+            None
+        }
+    }
+
+    /// Handle a `COMMIT`: advance the committed frontier (monotonically).
+    pub fn on_commit(&mut self, msg: &ControlMsg) {
+        if let ControlMsg::Commit { stamp, .. } = msg {
+            self.committed.merge(stamp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventBody, FlightStatus};
+
+    fn stamped(stream: u16, seq: u64) -> Event {
+        let mut e = Event::new(stream, seq, 1, EventBody::Status(FlightStatus::EnRoute));
+        e.stamp.advance(stream as usize, seq);
+        e
+    }
+
+    fn vt(c: &[u64]) -> VectorTimestamp {
+        VectorTimestamp::from_components(c.to_vec())
+    }
+
+    #[test]
+    fn full_round_commits_minimum() {
+        let mut central = CentralCheckpointer::new(vec![1, 2]);
+        let msgs = central.begin(vt(&[10, 5]));
+        assert_eq!(msgs.len(), 2);
+        assert!(central.round_in_flight());
+
+        // Mirror 1 processed everything, mirror 2 lags, central main mid.
+        assert!(central.on_reply(1, 1, vt(&[10, 5])).is_none());
+        assert!(central.on_reply(1, 2, vt(&[7, 5])).is_none());
+        let (commit, out) = central.on_reply(1, CENTRAL_SITE, vt(&[9, 4])).unwrap();
+        assert_eq!(commit, vt(&[7, 4]));
+        assert_eq!(out.len(), 2);
+        assert_eq!(central.committed(), &vt(&[7, 4]));
+        assert_eq!(central.rounds_committed, 1);
+        assert!(!central.round_in_flight());
+    }
+
+    #[test]
+    fn duplicate_replies_are_ignored() {
+        let mut central = CentralCheckpointer::new(vec![1]);
+        central.begin(vt(&[3]));
+        assert!(central.on_reply(1, 1, vt(&[3])).is_none());
+        assert!(central.on_reply(1, 1, vt(&[2])).is_none(), "duplicate site reply");
+        assert!(central.on_reply(1, CENTRAL_SITE, vt(&[3])).is_some());
+    }
+
+    #[test]
+    fn later_round_supersedes_incomplete_earlier_round() {
+        let mut central = CentralCheckpointer::new(vec![1, 2]);
+        central.begin(vt(&[5]));
+        assert!(central.on_reply(1, 1, vt(&[5])).is_none());
+        // Second round starts before the first completes.
+        central.begin(vt(&[9]));
+        assert_eq!(central.rounds_abandoned, 1);
+        // Stale reply for round 1 is ignored.
+        assert!(central.on_reply(1, 2, vt(&[5])).is_none());
+        assert!(central.on_reply(2, 1, vt(&[9])).is_none());
+        assert!(central.on_reply(2, 2, vt(&[8])).is_none());
+        let (commit, _) = central.on_reply(2, CENTRAL_SITE, vt(&[9])).unwrap();
+        assert_eq!(commit, vt(&[8]));
+    }
+
+    #[test]
+    fn main_unit_caps_reply_at_its_processed_frontier() {
+        let mut main = MainUnitResponder::new(3);
+        main.record_processed(&vt(&[4, 2]));
+        let chkpt = ControlMsg::Chkpt { round: 1, stamp: vt(&[10, 1]) };
+        let rep = main.on_chkpt(&chkpt, MonitorReport::default()).unwrap();
+        match rep {
+            ControlMsg::ChkptRep { site, stamp, .. } => {
+                assert_eq!(site, 3);
+                assert_eq!(stamp, vt(&[4, 1]));
+            }
+            m => panic!("unexpected {m:?}"),
+        }
+    }
+
+    #[test]
+    fn mirror_relay_guards_reply_by_backup_coverage() {
+        let mut relay = MirrorRelay::new();
+        let mut backup = BackupQueue::new();
+        backup.push(stamped(0, 3));
+        // Covered stamp → forwarded to central.
+        let out = relay.on_main_reply(1, 1, vt(&[2]), MonitorReport::default(), &backup);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0], CheckpointMsg::ToCentral(ControlMsg::ChkptRep { .. })));
+        // Uncovered stamp on a site WITH history → suppressed.
+        let out = relay.on_main_reply(1, 1, vt(&[9]), MonitorReport::default(), &backup);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fresh_seeded_mirror_reply_is_not_suppressed() {
+        // A rejoined mirror has a seeded (non-zero) processed frontier but
+        // an empty, never-used backup queue; its replies must flow so it
+        // can participate in rounds before new traffic arrives.
+        let mut relay = MirrorRelay::new();
+        let backup = BackupQueue::new();
+        let out = relay.on_main_reply(5, 2, vt(&[500]), MonitorReport::default(), &backup);
+        assert_eq!(out.len(), 1, "fresh site must not be locked out of rounds");
+    }
+
+    #[test]
+    fn mirror_relay_commit_prunes_and_forwards() {
+        let mut relay = MirrorRelay::new();
+        let mut backup = BackupQueue::new();
+        backup.push(stamped(0, 1));
+        backup.push(stamped(0, 2));
+        backup.push(stamped(0, 3));
+        let commit = ControlMsg::Commit { round: 1, stamp: vt(&[2]), adapt: None };
+        let (pruned, out) = relay.on_commit(commit, &mut backup);
+        assert_eq!(pruned, 2);
+        assert_eq!(backup.len(), 1);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0], CheckpointMsg::ToLocalMain(ControlMsg::Commit { .. })));
+        assert_eq!(relay.commits_applied, 1);
+    }
+
+    #[test]
+    fn unknown_commit_is_ignored_but_still_forwarded() {
+        let mut relay = MirrorRelay::new();
+        let mut backup = BackupQueue::new();
+        backup.push(stamped(0, 1));
+        // A commit on a stream this site never saw.
+        let commit = ControlMsg::Commit { round: 1, stamp: vt(&[0, 42]), adapt: None };
+        let (pruned, out) = relay.on_commit(commit, &mut backup);
+        assert_eq!(pruned, 0);
+        assert_eq!(backup.len(), 1);
+        assert_eq!(relay.commits_ignored, 1);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn committed_frontier_is_monotone_under_reordering() {
+        let mut main = MainUnitResponder::new(1);
+        main.on_commit(&ControlMsg::Commit { round: 2, stamp: vt(&[5, 5]), adapt: None });
+        // An older commit arriving late cannot regress the frontier.
+        main.on_commit(&ControlMsg::Commit { round: 1, stamp: vt(&[3, 9]), adapt: None });
+        assert_eq!(main.committed(), &vt(&[5, 9]));
+    }
+
+    #[test]
+    fn silent_mirror_is_declared_failed_and_commits_resume() {
+        let mut central = CentralCheckpointer::new(vec![1, 2]);
+        central.set_suspect_after(3);
+        // Mirror 2 replies once, then goes silent; mirror 1 keeps lagging
+        // in-flight by one round, which must NOT trip detection.
+        for i in 1..=5u64 {
+            central.begin(vt(&[i]));
+            central.on_reply(central.rounds_started, 1, vt(&[i]));
+            if i == 1 {
+                central.on_reply(central.rounds_started, 2, vt(&[1]));
+            }
+        }
+        // Mirror 1's reply to round 5 arrived while mirror 2's newest is
+        // round 1: lag 4 ≥ 3 → failed.
+        assert_eq!(central.take_newly_failed(), vec![2]);
+        assert_eq!(central.mirrors(), &[1]);
+        // The next round commits with the survivor alone.
+        central.begin(vt(&[9]));
+        assert!(central.on_reply(central.rounds_started, 1, vt(&[9])).is_none());
+        let done = central.on_reply(central.rounds_started, CENTRAL_SITE, vt(&[9]));
+        assert!(done.is_some(), "commit must resume among survivors");
+        // A straggler reply from the failed site is ignored.
+        central.begin(vt(&[10]));
+        assert!(central.on_reply(central.rounds_started, 2, vt(&[10])).is_none());
+        assert!(central.on_reply(central.rounds_started, 1, vt(&[10])).is_none());
+        assert!(central
+            .on_reply(central.rounds_started, CENTRAL_SITE, vt(&[10]))
+            .is_some());
+    }
+
+    #[test]
+    fn backlogged_mirror_is_not_declared_failed() {
+        // A mirror whose replies trail by one round (normal in-flight skew)
+        // survives detection indefinitely.
+        let mut central = CentralCheckpointer::new(vec![1, 2]);
+        central.set_suspect_after(3);
+        for i in 1..=20u64 {
+            central.begin(vt(&[i]));
+            central.on_reply(central.rounds_started, 1, vt(&[i]));
+            if i > 1 {
+                // Mirror 2 answers the *previous* round, one behind.
+                central.on_reply(central.rounds_started - 1, 2, vt(&[i - 1]));
+            }
+        }
+        assert!(central.take_newly_failed().is_empty());
+        assert_eq!(central.mirrors(), &[1, 2]);
+    }
+
+    #[test]
+    fn readmitted_mirror_participates_again() {
+        let mut central = CentralCheckpointer::new(vec![1, 2]);
+        central.set_suspect_after(2);
+        for i in 1..=3u64 {
+            central.begin(vt(&[i]));
+            central.on_reply(central.rounds_started, 1, vt(&[i]));
+        }
+        assert_eq!(central.take_newly_failed(), vec![2]);
+        central.readmit(2);
+        assert_eq!(central.mirrors(), &[1, 2]);
+        // The in-flight round now completes with both mirrors replying
+        // (the readmitted site got a fresh lag baseline).
+        central.on_reply(central.rounds_started, 2, vt(&[3]));
+        assert!(central
+            .on_reply(central.rounds_started, CENTRAL_SITE, vt(&[3]))
+            .is_some());
+        assert!(central.failed.is_empty(), "failed: {:?}", central.failed);
+    }
+
+    #[test]
+    fn fresh_site_with_zero_stamp_still_replies() {
+        let relay_backup = BackupQueue::new();
+        let mut relay = MirrorRelay::new();
+        let out = relay.on_main_reply(
+            1,
+            2,
+            VectorTimestamp::empty(),
+            MonitorReport::default(),
+            &relay_backup,
+        );
+        assert_eq!(out.len(), 1, "zero stamp must not deadlock a fresh site");
+    }
+}

@@ -1,0 +1,292 @@
+//! Lightweight metrics used across the framework.
+//!
+//! The paper's evaluation reports two quantities: **total execution time**
+//! for a fixed event sequence (the scalability metric of §1) and **update
+//! delay** — the time from an event's entry into the OIS until the central
+//! EDE sends it to clients (Figures 8 and 9). [`DelayStats`] accumulates
+//! the latter; [`TimeSeries`] records it over time for the adaptation
+//! experiment.
+
+/// Running summary of a delay distribution (microseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DelayStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples (µs).
+    pub sum_us: u64,
+    /// Largest sample (µs).
+    pub max_us: u64,
+    /// Smallest sample (µs); 0 when empty.
+    pub min_us: u64,
+}
+
+impl DelayStats {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one delay sample.
+    pub fn record(&mut self, delay_us: u64) {
+        if self.count == 0 {
+            self.min_us = delay_us;
+        } else {
+            self.min_us = self.min_us.min(delay_us);
+        }
+        self.count += 1;
+        self.sum_us += delay_us;
+        self.max_us = self.max_us.max(delay_us);
+    }
+
+    /// Arithmetic mean (µs); 0 when empty.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &DelayStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+        self.min_us = self.min_us.min(other.min_us);
+    }
+}
+
+/// A delay distribution that retains its samples for percentile queries
+/// (used by experiment reports; the running [`DelayStats`] stays O(1) for
+/// the hot path).
+#[derive(Debug, Clone, Default)]
+pub struct DelayDistribution {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl DelayDistribution {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample (µs).
+    pub fn record(&mut self, delay_us: u64) {
+        self.samples.push(delay_us);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `p`-th percentile (0.0–100.0), nearest-rank; 0 when empty.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.clamp(1, self.samples.len()) - 1]
+    }
+
+    /// Mean (µs); 0 when empty.
+    pub fn mean_us(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+        }
+    }
+}
+
+/// A time series of (time µs, value) samples — e.g. update delay over the
+/// run, bucketed per second for Figure 9.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    samples: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample; times should be non-decreasing.
+    pub fn push(&mut self, t_us: u64, value: f64) {
+        self.samples.push((t_us, value));
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[(u64, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Bucket samples into fixed windows of `width_us`, averaging within
+    /// each bucket; returns (bucket start µs, mean value) for non-empty
+    /// buckets in time order. This is how Figure 9's per-second series is
+    /// produced from raw per-event delays.
+    pub fn bucket_mean(&self, width_us: u64) -> Vec<(u64, f64)> {
+        assert!(width_us > 0, "bucket width must be positive");
+        let mut out: Vec<(u64, f64, u64)> = Vec::new(); // (start, sum, n)
+        for &(t, v) in &self.samples {
+            let start = (t / width_us) * width_us;
+            match out.last_mut() {
+                Some((s, sum, n)) if *s == start => {
+                    *sum += v;
+                    *n += 1;
+                }
+                _ => out.push((start, v, 1)),
+            }
+        }
+        out.into_iter().map(|(s, sum, n)| (s, sum / n as f64)).collect()
+    }
+
+    /// Peak value over the whole series.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean value over the whole series; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Counters kept by an auxiliary unit; sampled by experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuxCounters {
+    /// Events received from sources / from the central site.
+    pub received: u64,
+    /// Events forwarded to the local main unit.
+    pub forwarded: u64,
+    /// Events put on the wire toward mirrors.
+    pub mirrored: u64,
+    /// Bytes put on the wire toward mirrors (per destination).
+    pub mirrored_bytes: u64,
+    /// Events suppressed by semantic rules (mirror path).
+    pub suppressed: u64,
+    /// Checkpoint rounds initiated (central) or commits applied (mirror).
+    pub checkpoints: u64,
+    /// Control messages emitted.
+    pub control_msgs: u64,
+    /// Adaptation directives applied.
+    pub adaptations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_stats_basic() {
+        let mut d = DelayStats::new();
+        d.record(10);
+        d.record(30);
+        d.record(20);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.mean_us(), 20.0);
+        assert_eq!(d.min_us, 10);
+        assert_eq!(d.max_us, 30);
+    }
+
+    #[test]
+    fn delay_stats_empty_mean_is_zero() {
+        assert_eq!(DelayStats::new().mean_us(), 0.0);
+    }
+
+    #[test]
+    fn delay_stats_merge() {
+        let mut a = DelayStats::new();
+        a.record(5);
+        let mut b = DelayStats::new();
+        b.record(15);
+        b.record(25);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min_us, 5);
+        assert_eq!(a.max_us, 25);
+        let mut empty = DelayStats::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        a.merge(&DelayStats::new());
+        assert_eq!(a.count, 3);
+    }
+
+    #[test]
+    fn distribution_percentiles_nearest_rank() {
+        let mut d = DelayDistribution::new();
+        for v in [50u64, 10, 40, 20, 30] {
+            d.record(v);
+        }
+        assert_eq!(d.percentile(0.0), 10);
+        assert_eq!(d.percentile(50.0), 30);
+        assert_eq!(d.percentile(90.0), 50);
+        assert_eq!(d.percentile(100.0), 50);
+        assert_eq!(d.mean_us(), 30.0);
+        assert_eq!(d.len(), 5);
+        // Recording after a query re-sorts lazily.
+        d.record(5);
+        assert_eq!(d.percentile(0.0), 5);
+    }
+
+    #[test]
+    fn empty_distribution_is_zero() {
+        let mut d = DelayDistribution::new();
+        assert!(d.is_empty());
+        assert_eq!(d.percentile(99.0), 0);
+        assert_eq!(d.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn bucket_mean_averages_within_windows() {
+        let mut ts = TimeSeries::new();
+        ts.push(100, 2.0);
+        ts.push(200, 4.0);
+        ts.push(1_000_100, 10.0);
+        let b = ts.bucket_mean(1_000_000);
+        assert_eq!(b, vec![(0, 3.0), (1_000_000, 10.0)]);
+    }
+
+    #[test]
+    fn series_max_and_mean() {
+        let mut ts = TimeSeries::new();
+        ts.push(0, 1.0);
+        ts.push(1, 3.0);
+        assert_eq!(ts.max(), 3.0);
+        assert_eq!(ts.mean(), 2.0);
+        assert_eq!(ts.len(), 2);
+        assert!(!ts.is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! The auxiliary unit's shared data queues.
+//!
+//! The paper's auxiliary unit synchronizes its three tasks through two
+//! queues (§3.1): the **ready queue**, into which the receiving task places
+//! stamped (and rule-filtered) events and from which the sending task
+//! drains, and the **backup queue**, where sent events are retained until a
+//! checkpoint commits past them. Queue lengths are the monitored variables
+//! driving adaptive mirroring, so both queues keep occupancy statistics.
+
+use std::collections::VecDeque;
+
+use crate::event::Event;
+use crate::timestamp::VectorTimestamp;
+
+/// Occupancy statistics for a queue; sampled by the adaptation monitors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Total events ever enqueued.
+    pub enqueued: u64,
+    /// Total events ever dequeued/pruned.
+    pub dequeued: u64,
+    /// Largest length observed.
+    pub high_watermark: usize,
+}
+
+/// FIFO of stamped events awaiting the sending task.
+#[derive(Debug, Default)]
+pub struct ReadyQueue {
+    q: VecDeque<Event>,
+    stats: QueueStats,
+}
+
+impl ReadyQueue {
+    /// An empty ready queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, e: Event) {
+        self.q.push_back(e);
+        self.stats.enqueued += 1;
+        self.stats.high_watermark = self.stats.high_watermark.max(self.q.len());
+    }
+
+    /// Remove the oldest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        let e = self.q.pop_front();
+        if e.is_some() {
+            self.stats.dequeued += 1;
+        }
+        e
+    }
+
+    /// Peek at the oldest event without removing it.
+    pub fn front(&self) -> Option<&Event> {
+        self.q.front()
+    }
+
+    /// Current length — a monitored variable for adaptation.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Iterate pending events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.q.iter()
+    }
+
+    /// Drain up to `n` oldest events (used by coalescing mirror functions,
+    /// which combine a run of pending events into one mirror event).
+    pub fn drain_up_to(&mut self, n: usize) -> Vec<Event> {
+        let take = n.min(self.q.len());
+        self.stats.dequeued += take as u64;
+        self.q.drain(..take).collect()
+    }
+
+    /// Occupancy statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+/// Events already mirrored but not yet covered by a committed checkpoint.
+///
+/// On commit, every event whose stamp is dominated by the committed
+/// timestamp is discarded (paper Figure 3: "update backup queue"). A commit
+/// naming an event no longer present is simply a no-op prune.
+#[derive(Debug, Default)]
+pub struct BackupQueue {
+    q: VecDeque<Event>,
+    stats: QueueStats,
+    /// Join of all stamps ever retained; `last()` falls back to this when
+    /// the queue has just been pruned empty.
+    frontier: VectorTimestamp,
+}
+
+impl BackupQueue {
+    /// An empty backup queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Retain a sent event until a checkpoint covers it.
+    pub fn push(&mut self, e: Event) {
+        self.frontier.merge(&e.stamp);
+        self.q.push_back(e);
+        self.stats.enqueued += 1;
+        self.stats.high_watermark = self.stats.high_watermark.max(self.q.len());
+    }
+
+    /// Stamp of the most recently retained event — the checkpoint proposal
+    /// the central control task makes ("chkpt = last on backup queue").
+    /// Falls back to the all-time frontier when the queue is empty, so a
+    /// freshly pruned site still proposes a meaningful value.
+    pub fn last_stamp(&self) -> VectorTimestamp {
+        self.q.back().map(|e| e.stamp.clone()).unwrap_or_else(|| self.frontier.clone())
+    }
+
+    /// Does the queue (or its history) cover the given stamp — i.e. would a
+    /// commit at `stamp` refer to an event this site has seen? Used for the
+    /// paper's "if commit in backup queue" guard.
+    pub fn covers(&self, stamp: &VectorTimestamp) -> bool {
+        stamp.dominated_by(&self.frontier)
+    }
+
+    /// Has this queue never retained anything? A freshly (re)started site
+    /// is *fresh*: its guards should not suppress traffic merely because
+    /// its history is empty (e.g. a rejoined mirror whose seeded frontier
+    /// references events it never held).
+    pub fn is_fresh(&self) -> bool {
+        self.frontier.is_zero() && self.stats.enqueued == 0
+    }
+
+    /// Discard every retained event dominated by `commit`; returns how many
+    /// events were pruned. Events concurrent with or after the commit stay.
+    pub fn prune(&mut self, commit: &VectorTimestamp) -> usize {
+        let before = self.q.len();
+        self.q.retain(|e| !e.stamp.dominated_by(commit));
+        let pruned = before - self.q.len();
+        self.stats.dequeued += pruned as u64;
+        pruned
+    }
+
+    /// Current length — a monitored variable for adaptation.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when nothing is awaiting a checkpoint.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Iterate retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.q.iter()
+    }
+
+    /// Occupancy statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventBody, FlightStatus};
+    use crate::timestamp::VectorTimestamp;
+
+    fn ev(stream: u16, seq: u64) -> Event {
+        let mut e = Event::new(stream, seq, 1, EventBody::Status(FlightStatus::EnRoute));
+        let mut stamp = VectorTimestamp::new(2);
+        stamp.advance(stream as usize, seq);
+        e.stamp = stamp;
+        e
+    }
+
+    #[test]
+    fn ready_queue_is_fifo() {
+        let mut q = ReadyQueue::new();
+        q.push(ev(0, 1));
+        q.push(ev(0, 2));
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ready_queue_stats_track_watermark() {
+        let mut q = ReadyQueue::new();
+        for s in 1..=5 {
+            q.push(ev(0, s));
+        }
+        q.pop();
+        q.push(ev(0, 6));
+        let st = q.stats();
+        assert_eq!(st.enqueued, 6);
+        assert_eq!(st.dequeued, 1);
+        assert_eq!(st.high_watermark, 5);
+    }
+
+    #[test]
+    fn drain_up_to_takes_oldest_first_and_caps() {
+        let mut q = ReadyQueue::new();
+        for s in 1..=3 {
+            q.push(ev(0, s));
+        }
+        let drained = q.drain_up_to(10);
+        assert_eq!(drained.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn backup_prunes_dominated_events_only() {
+        let mut b = BackupQueue::new();
+        b.push(ev(0, 1));
+        b.push(ev(0, 2));
+        b.push(ev(1, 1)); // concurrent with stream-0 stamps
+        b.push(ev(0, 3));
+        let mut commit = VectorTimestamp::new(2);
+        commit.advance(0, 2);
+        let pruned = b.prune(&commit);
+        assert_eq!(pruned, 2); // (0,1) and (0,2)
+        assert_eq!(b.len(), 2); // (1,1) concurrent, (0,3) after
+    }
+
+    #[test]
+    fn last_stamp_survives_full_prune() {
+        let mut b = BackupQueue::new();
+        b.push(ev(0, 1));
+        b.push(ev(0, 2));
+        let last = b.last_stamp();
+        b.prune(&last);
+        assert!(b.is_empty());
+        // The frontier remembers what was covered.
+        assert_eq!(b.last_stamp(), last);
+        assert!(b.covers(&last));
+    }
+
+    #[test]
+    fn commit_for_unknown_event_is_ignored_gracefully() {
+        let mut b = BackupQueue::new();
+        b.push(ev(0, 1));
+        let mut unknown = VectorTimestamp::new(2);
+        unknown.advance(1, 99);
+        assert!(!b.covers(&unknown));
+        // Pruning at a stamp that only covers stream 1 leaves stream-0
+        // events alone.
+        assert_eq!(b.prune(&unknown), 0);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn freshness_reflects_history() {
+        let mut b = BackupQueue::new();
+        assert!(b.is_fresh());
+        b.push(ev(0, 1));
+        assert!(!b.is_fresh());
+        let last = b.last_stamp();
+        b.prune(&last);
+        assert!(!b.is_fresh(), "a pruned queue is empty but not fresh");
+    }
+
+    #[test]
+    fn covers_tracks_history_not_just_contents() {
+        let mut b = BackupQueue::new();
+        b.push(ev(0, 5));
+        let mut probe = VectorTimestamp::new(2);
+        probe.advance(0, 4);
+        assert!(b.covers(&probe));
+        probe.advance(0, 9);
+        assert!(!b.covers(&probe));
+    }
+}

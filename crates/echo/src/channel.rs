@@ -1,0 +1,334 @@
+//! Typed publish/subscribe event channels.
+//!
+//! ECho's core abstraction: a named channel to which any number of sources
+//! publish and any number of sinks subscribe. Delivery is reliable and
+//! per-subscriber FIFO (the checkpoint protocol of `mirror-core` depends on
+//! exactly this contract). Channels are cheap: a publisher clones the
+//! message once per subscriber; subscribers own independent unbounded
+//! queues so a slow sink never blocks the publisher (back-pressure is the
+//! application's job — it is precisely the monitored queue growth that
+//! drives adaptive mirroring).
+
+use std::sync::Arc;
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use mirror_core::event::Event;
+use mirror_core::ControlMsg;
+
+/// Shared state of one channel.
+struct Shared<T> {
+    name: String,
+    subs: Mutex<Vec<Sender<T>>>,
+    published: Mutex<u64>,
+}
+
+/// A named, typed event channel.
+pub struct EventChannel<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for EventChannel<T> {
+    fn clone(&self) -> Self {
+        EventChannel { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T: Clone + Send + 'static> EventChannel<T> {
+    /// Create a channel with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        EventChannel {
+            shared: Arc::new(Shared {
+                name: name.into(),
+                subs: Mutex::new(Vec::new()),
+                published: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// The channel's name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Create a publisher handle.
+    pub fn publisher(&self) -> Publisher<T> {
+        Publisher { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Subscribe; returns a handle owning an independent FIFO of every
+    /// message published after this call.
+    pub fn subscribe(&self) -> Subscriber<T> {
+        let (tx, rx) = channel::unbounded();
+        self.shared.subs.lock().push(tx);
+        Subscriber { rx, name: self.shared.name.clone() }
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.shared.subs.lock().len()
+    }
+
+    /// Total messages published on this channel.
+    pub fn published(&self) -> u64 {
+        *self.shared.published.lock()
+    }
+}
+
+/// Publishing handle for a channel.
+pub struct Publisher<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Publisher<T> {
+    fn clone(&self) -> Self {
+        Publisher { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T: Clone + Send + 'static> Publisher<T> {
+    /// Publish one message to every current subscriber. Subscribers whose
+    /// receiving side has been dropped are pruned. Returns the number of
+    /// subscribers reached.
+    pub fn publish(&self, msg: T) -> usize {
+        let mut subs = self.shared.subs.lock();
+        let mut delivered = 0;
+        subs.retain(|s| {
+            // One clone per subscriber; the last one could move, but the
+            // uniform path keeps the code simple and the clone is cheap
+            // relative to the wire work this models.
+            if s.send(msg.clone()).is_ok() {
+                delivered += 1;
+                true
+            } else {
+                false
+            }
+        });
+        *self.shared.published.lock() += 1;
+        delivered
+    }
+
+    /// The channel's name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+}
+
+/// Outcome of [`Subscriber::recv_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvStatus<T> {
+    /// A message arrived.
+    Msg(T),
+    /// Nothing arrived within the timeout; the channel is still open.
+    Timeout,
+    /// Every publisher is gone.
+    Disconnected,
+}
+
+/// Subscription handle: an independent FIFO of published messages.
+pub struct Subscriber<T> {
+    rx: Receiver<T>,
+    name: String,
+}
+
+impl<T> Subscriber<T> {
+    /// Block until a message arrives or every publisher is gone.
+    pub fn recv(&self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        match self.rx.try_recv() {
+            Ok(v) => Some(v),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Receive with a timeout; `None` on timeout or disconnect.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<T> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(v) => Some(v),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Receive with a timeout, distinguishing timeout from channel
+    /// shutdown — needed by pump threads that must keep polling a stop
+    /// flag while the channel is quiet.
+    pub fn recv_status(&self, timeout: std::time::Duration) -> RecvStatus<T> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(v) => RecvStatus::Msg(v),
+            Err(RecvTimeoutError::Timeout) => RecvStatus::Timeout,
+            Err(RecvTimeoutError::Disconnected) => RecvStatus::Disconnected,
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn backlog(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Channel name this subscription belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.rx.len());
+        while let Ok(v) = self.rx.try_recv() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// The paper's per-link channel pair: a *data* channel carrying
+/// application events and a bi-directional *control* channel carrying
+/// checkpoint/adaptation messages.
+pub struct ChannelPair {
+    /// Application events.
+    pub data: EventChannel<Event>,
+    /// Control traffic (both directions publish here; subscribers filter by
+    /// message kind/addressing at the site layer).
+    pub control: EventChannel<ControlMsg>,
+}
+
+impl ChannelPair {
+    /// Create a named pair (`<name>.data` / `<name>.ctrl`).
+    pub fn new(name: &str) -> Self {
+        ChannelPair {
+            data: EventChannel::new(format!("{name}.data")),
+            control: EventChannel::new(format!("{name}.ctrl")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fanout_reaches_all_subscribers() {
+        let ch: EventChannel<u32> = EventChannel::new("t");
+        let s1 = ch.subscribe();
+        let s2 = ch.subscribe();
+        let p = ch.publisher();
+        assert_eq!(p.publish(7), 2);
+        assert_eq!(s1.recv(), Some(7));
+        assert_eq!(s2.recv(), Some(7));
+        assert_eq!(ch.published(), 1);
+    }
+
+    #[test]
+    fn per_subscriber_fifo_order() {
+        let ch: EventChannel<u32> = EventChannel::new("t");
+        let s = ch.subscribe();
+        let p = ch.publisher();
+        for i in 0..100 {
+            p.publish(i);
+        }
+        let got = s.drain();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let ch: EventChannel<u32> = EventChannel::new("t");
+        let s1 = ch.subscribe();
+        let s2 = ch.subscribe();
+        drop(s2);
+        let p = ch.publisher();
+        assert_eq!(p.publish(1), 1);
+        assert_eq!(s1.recv(), Some(1));
+    }
+
+    #[test]
+    fn late_subscriber_misses_earlier_messages() {
+        let ch: EventChannel<u32> = EventChannel::new("t");
+        let p = ch.publisher();
+        p.publish(1);
+        let s = ch.subscribe();
+        p.publish(2);
+        assert_eq!(s.try_recv(), Some(2));
+        assert_eq!(s.try_recv(), None);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let ch: EventChannel<u32> = EventChannel::new("t");
+        let s = ch.subscribe();
+        let _p = ch.publisher();
+        assert_eq!(s.recv_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let ch: EventChannel<u64> = EventChannel::new("t");
+        let s = ch.subscribe();
+        let p = ch.publisher();
+        let h = std::thread::spawn(move || {
+            for i in 0..1000u64 {
+                p.publish(i);
+            }
+        });
+        let mut sum = 0;
+        for _ in 0..1000 {
+            sum += s.recv().unwrap();
+        }
+        h.join().unwrap();
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn concurrent_publishers_deliver_everything() {
+        let ch: EventChannel<u64> = EventChannel::new("t");
+        let s = ch.subscribe();
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let publisher = ch.publisher();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    publisher.publish(p * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(v) = s.try_recv() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 1000, "no message lost under concurrent publishers");
+        // Per-publisher FIFO holds even when publishers interleave.
+        for p in 0..4u64 {
+            let mine: Vec<u64> = got.iter().copied().filter(|v| v / 1000 == p).collect();
+            assert_eq!(mine, (0..250).map(|i| p * 1000 + i).collect::<Vec<_>>());
+        }
+        assert_eq!(ch.published(), 1000);
+    }
+
+    #[test]
+    fn recv_status_distinguishes_timeout_from_disconnect() {
+        let ch: EventChannel<u8> = EventChannel::new("t");
+        let s = ch.subscribe();
+        let p = ch.publisher();
+        assert_eq!(s.recv_status(Duration::from_millis(5)), RecvStatus::Timeout);
+        p.publish(9);
+        assert_eq!(s.recv_status(Duration::from_millis(5)), RecvStatus::Msg(9));
+        drop(p);
+        drop(ch);
+        assert_eq!(s.recv_status(Duration::from_millis(5)), RecvStatus::Disconnected);
+    }
+
+    #[test]
+    fn channel_pair_names() {
+        let pair = ChannelPair::new("central->m1");
+        assert_eq!(pair.data.name(), "central->m1.data");
+        assert_eq!(pair.control.name(), "central->m1.ctrl");
+    }
+}

@@ -1,0 +1,34 @@
+//! # mirror-echo — typed event-channel substrate
+//!
+//! The paper moves data with the **ECho** event communication
+//! infrastructure \[Eisenhauer, Bustamante, Schwan — HPDC-9\]:
+//! publish/subscribe *event channels*, with a *data* channel and a
+//! bi-directional *control* channel between each pair of communicating
+//! units. ECho is not available as open source, so this crate provides the
+//! equivalent substrate:
+//!
+//! * [`wire`] — a compact, versioned binary wire format for events and
+//!   control messages ([`bytes`]-based). The encoded size of an event is
+//!   exactly [`mirror_core::event::Event::wire_size`], which is also what
+//!   the cluster simulator charges to links — real and simulated byte
+//!   accounting agree by construction.
+//! * [`channel`] — in-process typed event channels with multiple
+//!   subscribers ([`crossbeam`] under the hood), paired into
+//!   [`channel::ChannelPair`]s (data + control) as the paper prescribes.
+//! * [`trace`] — record/replay persistence for timed event streams (the
+//!   "demo replay" capability the paper's experiments rely on);
+//! * [`transport`] — a length-delimited framed TCP transport
+//!   (`std::net`) carrying the same wire format between processes, plus a
+//!   loopback in-process transport with identical semantics. Both provide
+//!   the reliable in-order delivery the checkpoint protocol assumes.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod trace;
+pub mod transport;
+pub mod wire;
+
+pub use channel::{ChannelPair, EventChannel, Publisher, RecvStatus, Subscriber};
+pub use transport::{InProcTransport, TcpTransport, Transport};
+pub use wire::{decode_frame, encode_frame, Frame, WireError, WIRE_VERSION};

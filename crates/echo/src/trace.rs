@@ -1,0 +1,182 @@
+//! Event-trace persistence: record a timed event stream to a file and
+//! replay it later, byte-identically.
+//!
+//! The paper's experiments replay "a demo replay of original FAA streams";
+//! this module provides that capability for our own captures — a workload
+//! generated once (or recorded off a live cluster) can be saved and
+//! replayed across machines and versions, making experiments portable
+//! artifacts rather than in-memory accidents.
+//!
+//! Format: `MTRC` magic, a format version byte, then records of
+//! `u64 time_us (LE) | u32 frame_len (LE) | frame bytes`, where the frame
+//! bytes are the standard [`crate::wire`] encoding of a data frame.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::Bytes;
+
+use mirror_core::event::Event;
+
+use crate::transport::MAX_FRAME;
+use crate::wire::{decode_frame, encode_frame, Frame};
+
+/// File magic.
+pub const TRACE_MAGIC: &[u8; 4] = b"MTRC";
+/// Trace format version.
+pub const TRACE_VERSION: u8 = 1;
+
+/// Write a timed event stream to `w`.
+pub fn write_trace<W: Write>(mut w: W, events: &[(u64, Event)]) -> io::Result<()> {
+    w.write_all(TRACE_MAGIC)?;
+    w.write_all(&[TRACE_VERSION])?;
+    for (t, e) in events {
+        let frame = encode_frame(&Frame::Data(e.clone()));
+        w.write_all(&t.to_le_bytes())?;
+        w.write_all(&(frame.len() as u32).to_le_bytes())?;
+        w.write_all(&frame)?;
+    }
+    Ok(())
+}
+
+/// Read a timed event stream from `r`.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<(u64, Event)>> {
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    if &magic[..4] != TRACE_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a trace file"));
+    }
+    if magic[4] != TRACE_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {}", magic[4]),
+        ));
+    }
+    let mut out = Vec::new();
+    loop {
+        // Distinguish clean end-of-trace (no bytes at a record boundary)
+        // from a truncated record (some but not all of the time prefix).
+        let mut first = [0u8; 1];
+        if r.read(&mut first)? == 0 {
+            break;
+        }
+        let mut t_buf = [0u8; 8];
+        t_buf[0] = first[0];
+        r.read_exact(&mut t_buf[1..])?;
+        let mut len_buf = [0u8; 4];
+        r.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf);
+        if len > MAX_FRAME {
+            // A corrupt length prefix must not become an allocation bomb.
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "trace record length corrupt"));
+        }
+        let len = len as usize;
+        let mut frame = vec![0u8; len];
+        r.read_exact(&mut frame)?;
+        match decode_frame(Bytes::from(frame)) {
+            Ok(Frame::Data(e)) => out.push((u64::from_le_bytes(t_buf), e)),
+            Ok(Frame::Control(_)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "control frame in event trace",
+                ))
+            }
+            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+        }
+    }
+    Ok(out)
+}
+
+/// Save a timed event stream to a file.
+pub fn save(path: impl AsRef<Path>, events: &[(u64, Event)]) -> io::Result<()> {
+    write_trace(BufWriter::new(File::create(path)?), events)
+}
+
+/// Load a timed event stream from a file.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Vec<(u64, Event)>> {
+    read_trace(BufReader::new(File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirror_core::event::{FlightStatus, PositionFix};
+
+    fn sample() -> Vec<(u64, Event)> {
+        let fix = PositionFix {
+            lat: 33.6,
+            lon: -84.4,
+            alt_ft: 30_000.0,
+            speed_kts: 440.0,
+            heading_deg: 270.0,
+        };
+        (1..=50u64)
+            .map(|seq| {
+                let mut e = if seq % 5 == 0 {
+                    Event::delta_status(seq, (seq % 7) as u32, FlightStatus::EnRoute)
+                } else {
+                    Event::faa_position(seq, (seq % 7) as u32, fix)
+                }
+                .with_total_size(256 + (seq as usize % 128))
+                .with_ingress_us(seq * 1000);
+                e.stamp.advance(0, seq);
+                e
+            })
+            .map(|e| (e.ingress_us, e))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let events = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let events = sample();
+        let path = std::env::temp_dir().join(format!("mirror-trace-{}.mtrc", std::process::id()));
+        save(&path, &events).unwrap();
+        let back = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert!(read_trace(&b"XXXX\x01"[..]).is_err());
+        assert!(read_trace(&b"MTRC\x63"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let events = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).unwrap();
+        for cut in [6, 10, buf.len() - 3] {
+            assert!(read_trace(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected_not_allocated() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(TRACE_MAGIC);
+        buf.push(TRACE_VERSION);
+        buf.extend_from_slice(&42u64.to_le_bytes()); // time
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap(), Vec::new());
+    }
+}

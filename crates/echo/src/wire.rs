@@ -1,0 +1,536 @@
+//! Binary wire format.
+//!
+//! Every frame is `[u8 version][u8 kind][payload…]`; transports additionally
+//! length-prefix frames with a little-endian `u32`. Integers are
+//! little-endian throughout. The format is hand-rolled (no reflection, no
+//! text) because mirroring throughput is the whole point of the paper: an
+//! event's encoded size equals [`Event::wire_size`] exactly, byte for byte.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mirror_core::control::AdaptDirective;
+use mirror_core::event::{Event, EventBody, FlightStatus, PositionFix};
+use mirror_core::adapt::MonitorReport;
+use mirror_core::mirrorfn::MirrorFnKind;
+use mirror_core::params::MirrorParams;
+use mirror_core::timestamp::VectorTimestamp;
+use mirror_core::ControlMsg;
+
+/// Wire-format version byte; bumped on incompatible change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame kinds.
+const KIND_DATA: u8 = 0;
+const KIND_CONTROL: u8 = 1;
+
+/// Decoding/encoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame shorter than its headers claim.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unknown frame kind / body tag / enum discriminant.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag(t) => write!(f, "unknown tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded frame: either an application event or a control message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Application data event.
+    Data(Event),
+    /// Checkpoint/adaptation control message.
+    Control(ControlMsg),
+}
+
+/// Encode a frame (version + kind + payload) into a fresh buffer.
+pub fn encode_frame(frame: &Frame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u8(WIRE_VERSION);
+    match frame {
+        Frame::Data(e) => {
+            buf.put_u8(KIND_DATA);
+            encode_event(e, &mut buf);
+        }
+        Frame::Control(c) => {
+            buf.put_u8(KIND_CONTROL);
+            encode_control(c, &mut buf);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a frame from a buffer (consumes it).
+pub fn decode_frame(mut buf: Bytes) -> Result<Frame, WireError> {
+    if buf.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    match buf.get_u8() {
+        KIND_DATA => Ok(Frame::Data(decode_event(&mut buf)?)),
+        KIND_CONTROL => Ok(Frame::Control(decode_control(&mut buf)?)),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------
+
+/// Encode an event. Layout (matching `EVENT_HEADER_WIRE_SIZE`): stream u16,
+/// seq u64, flight u32, body-tag u8, stamp-count u16, padding-len u32,
+/// ingress u64, stamp components, body fields, padding zeros.
+pub fn encode_event(e: &Event, buf: &mut BytesMut) {
+    buf.put_u16_le(e.stream);
+    buf.put_u64_le(e.seq);
+    buf.put_u32_le(e.flight);
+    buf.put_u8(e.body.tag());
+    buf.put_u16_le(e.stamp.width() as u16);
+    buf.put_u32_le(e.padding);
+    buf.put_u64_le(e.ingress_us);
+    for &c in e.stamp.components() {
+        buf.put_u64_le(c);
+    }
+    match &e.body {
+        EventBody::Position(p) => encode_fix(p, buf),
+        EventBody::Status(s) => buf.put_u8(*s as u8),
+        EventBody::Boarding { boarded, expected } => {
+            buf.put_u32_le(*boarded);
+            buf.put_u32_le(*expected);
+        }
+        EventBody::Derived { status, collapsed } => {
+            buf.put_u8(*status as u8);
+            buf.put_u32_le(*collapsed);
+        }
+        EventBody::Coalesced { last, count } => {
+            encode_fix(last, buf);
+            buf.put_u32_le(*count);
+        }
+        EventBody::Opaque(b) => {
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+        EventBody::Baggage { loaded, reconciled } => {
+            buf.put_u32_le(*loaded);
+            buf.put_u32_le(*reconciled);
+        }
+    }
+    buf.put_bytes(0, e.padding as usize);
+}
+
+/// Decode an event.
+pub fn decode_event(buf: &mut Bytes) -> Result<Event, WireError> {
+    const FIXED: usize = 2 + 8 + 4 + 1 + 2 + 4 + 8;
+    if buf.remaining() < FIXED {
+        return Err(WireError::Truncated);
+    }
+    let stream = buf.get_u16_le();
+    let seq = buf.get_u64_le();
+    let flight = buf.get_u32_le();
+    let tag = buf.get_u8();
+    let stamp_n = buf.get_u16_le() as usize;
+    let padding = buf.get_u32_le();
+    let ingress_us = buf.get_u64_le();
+    if buf.remaining() < stamp_n * 8 {
+        return Err(WireError::Truncated);
+    }
+    let mut comps = Vec::with_capacity(stamp_n);
+    for _ in 0..stamp_n {
+        comps.push(buf.get_u64_le());
+    }
+    let body = match tag {
+        0 => EventBody::Position(decode_fix(buf)?),
+        1 => EventBody::Status(decode_status(buf)?),
+        2 => {
+            need(buf, 8)?;
+            EventBody::Boarding { boarded: buf.get_u32_le(), expected: buf.get_u32_le() }
+        }
+        3 => {
+            need(buf, 5)?;
+            let status = decode_status(buf)?;
+            EventBody::Derived { status, collapsed: buf.get_u32_le() }
+        }
+        4 => {
+            let last = decode_fix(buf)?;
+            need(buf, 4)?;
+            EventBody::Coalesced { last, count: buf.get_u32_le() }
+        }
+        5 => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n)?;
+            let mut v = vec![0u8; n];
+            buf.copy_to_slice(&mut v);
+            EventBody::Opaque(v)
+        }
+        6 => {
+            need(buf, 8)?;
+            EventBody::Baggage { loaded: buf.get_u32_le(), reconciled: buf.get_u32_le() }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    need(buf, padding as usize)?;
+    buf.advance(padding as usize);
+    Ok(Event {
+        stream,
+        seq,
+        flight,
+        body,
+        stamp: VectorTimestamp::from_components(comps),
+        padding,
+        ingress_us,
+    })
+}
+
+fn encode_fix(p: &PositionFix, buf: &mut BytesMut) {
+    buf.put_f64_le(p.lat);
+    buf.put_f64_le(p.lon);
+    buf.put_f64_le(p.alt_ft);
+    buf.put_f64_le(p.speed_kts);
+    buf.put_f64_le(p.heading_deg);
+}
+
+fn decode_fix(buf: &mut Bytes) -> Result<PositionFix, WireError> {
+    need(buf, PositionFix::WIRE_SIZE)?;
+    Ok(PositionFix {
+        lat: buf.get_f64_le(),
+        lon: buf.get_f64_le(),
+        alt_ft: buf.get_f64_le(),
+        speed_kts: buf.get_f64_le(),
+        heading_deg: buf.get_f64_le(),
+    })
+}
+
+fn decode_status(buf: &mut Bytes) -> Result<FlightStatus, WireError> {
+    need(buf, 1)?;
+    let b = buf.get_u8();
+    FlightStatus::from_u8(b).ok_or(WireError::BadTag(b))
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Control messages
+// ---------------------------------------------------------------------
+
+const CTRL_CHKPT: u8 = 0;
+const CTRL_REP: u8 = 1;
+const CTRL_COMMIT: u8 = 2;
+
+/// Encode a control message.
+pub fn encode_control(c: &ControlMsg, buf: &mut BytesMut) {
+    match c {
+        ControlMsg::Chkpt { round, stamp } => {
+            buf.put_u8(CTRL_CHKPT);
+            buf.put_u64_le(*round);
+            encode_stamp(stamp, buf);
+        }
+        ControlMsg::ChkptRep { round, site, stamp, monitor } => {
+            buf.put_u8(CTRL_REP);
+            buf.put_u64_le(*round);
+            buf.put_u16_le(*site);
+            encode_stamp(stamp, buf);
+            buf.put_u64_le(monitor.ready_len);
+            buf.put_u64_le(monitor.backup_len);
+            buf.put_u64_le(monitor.pending_requests);
+        }
+        ControlMsg::Commit { round, stamp, adapt } => {
+            buf.put_u8(CTRL_COMMIT);
+            buf.put_u64_le(*round);
+            encode_stamp(stamp, buf);
+            match adapt {
+                None => buf.put_u8(0),
+                Some(d) => {
+                    buf.put_u8(1);
+                    encode_params(&d.params, buf);
+                    encode_kind(&d.mirror_fn, buf);
+                }
+            }
+        }
+    }
+}
+
+/// Decode a control message.
+pub fn decode_control(buf: &mut Bytes) -> Result<ControlMsg, WireError> {
+    need(buf, 1 + 8)?;
+    let tag = buf.get_u8();
+    let round = buf.get_u64_le();
+    match tag {
+        CTRL_CHKPT => Ok(ControlMsg::Chkpt { round, stamp: decode_stamp(buf)? }),
+        CTRL_REP => {
+            need(buf, 2)?;
+            let site = buf.get_u16_le();
+            let stamp = decode_stamp(buf)?;
+            need(buf, 24)?;
+            let monitor = MonitorReport {
+                ready_len: buf.get_u64_le(),
+                backup_len: buf.get_u64_le(),
+                pending_requests: buf.get_u64_le(),
+            };
+            Ok(ControlMsg::ChkptRep { round, site, stamp, monitor })
+        }
+        CTRL_COMMIT => {
+            let stamp = decode_stamp(buf)?;
+            need(buf, 1)?;
+            let adapt = match buf.get_u8() {
+                0 => None,
+                1 => Some(AdaptDirective {
+                    params: decode_params(buf)?,
+                    mirror_fn: decode_kind(buf)?,
+                }),
+                t => return Err(WireError::BadTag(t)),
+            };
+            Ok(ControlMsg::Commit { round, stamp, adapt })
+        }
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn encode_stamp(s: &VectorTimestamp, buf: &mut BytesMut) {
+    buf.put_u16_le(s.width() as u16);
+    for &c in s.components() {
+        buf.put_u64_le(c);
+    }
+}
+
+fn decode_stamp(buf: &mut Bytes) -> Result<VectorTimestamp, WireError> {
+    need(buf, 2)?;
+    let n = buf.get_u16_le() as usize;
+    need(buf, n * 8)?;
+    let mut comps = Vec::with_capacity(n);
+    for _ in 0..n {
+        comps.push(buf.get_u64_le());
+    }
+    Ok(VectorTimestamp::from_components(comps))
+}
+
+fn encode_params(p: &MirrorParams, buf: &mut BytesMut) {
+    buf.put_u8(p.coalesce as u8);
+    buf.put_u32_le(p.coalesce_max);
+    buf.put_u32_le(p.checkpoint_every);
+    buf.put_u32_le(p.overwrite_max);
+    buf.put_u64_le(p.generation);
+}
+
+fn decode_params(buf: &mut Bytes) -> Result<MirrorParams, WireError> {
+    need(buf, 1 + 4 + 4 + 4 + 8)?;
+    Ok(MirrorParams {
+        coalesce: buf.get_u8() != 0,
+        coalesce_max: buf.get_u32_le(),
+        checkpoint_every: buf.get_u32_le(),
+        overwrite_max: buf.get_u32_le(),
+        generation: buf.get_u64_le(),
+    })
+}
+
+fn encode_kind(k: &Option<MirrorFnKind>, buf: &mut BytesMut) {
+    match k {
+        None => buf.put_u8(0),
+        Some(MirrorFnKind::None) => buf.put_u8(1),
+        Some(MirrorFnKind::Simple) => buf.put_u8(2),
+        Some(MirrorFnKind::Selective { overwrite }) => {
+            buf.put_u8(3);
+            buf.put_u32_le(*overwrite);
+        }
+        Some(MirrorFnKind::Coalescing { coalesce, checkpoint_every }) => {
+            buf.put_u8(4);
+            buf.put_u32_le(*coalesce);
+            buf.put_u32_le(*checkpoint_every);
+        }
+        Some(MirrorFnKind::Overwriting { overwrite, checkpoint_every }) => {
+            buf.put_u8(5);
+            buf.put_u32_le(*overwrite);
+            buf.put_u32_le(*checkpoint_every);
+        }
+    }
+}
+
+fn decode_kind(buf: &mut Bytes) -> Result<Option<MirrorFnKind>, WireError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => Ok(Some(MirrorFnKind::None)),
+        2 => Ok(Some(MirrorFnKind::Simple)),
+        3 => {
+            need(buf, 4)?;
+            Ok(Some(MirrorFnKind::Selective { overwrite: buf.get_u32_le() }))
+        }
+        4 => {
+            need(buf, 8)?;
+            Ok(Some(MirrorFnKind::Coalescing {
+                coalesce: buf.get_u32_le(),
+                checkpoint_every: buf.get_u32_le(),
+            }))
+        }
+        5 => {
+            need(buf, 8)?;
+            Ok(Some(MirrorFnKind::Overwriting {
+                overwrite: buf.get_u32_le(),
+                checkpoint_every: buf.get_u32_le(),
+            }))
+        }
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirror_core::event::EVENT_HEADER_WIRE_SIZE;
+
+    fn fix() -> PositionFix {
+        PositionFix { lat: 33.6, lon: -84.4, alt_ft: 31000.0, speed_kts: 450.0, heading_deg: 271.5 }
+    }
+
+    fn stamped_event() -> Event {
+        let mut e = Event::faa_position(42, 1234, fix()).with_total_size(1000).with_ingress_us(777);
+        e.stamp.advance(0, 42);
+        e.stamp.advance(1, 7);
+        e
+    }
+
+    #[test]
+    fn event_roundtrip() {
+        let e = stamped_event();
+        let bytes = encode_frame(&Frame::Data(e.clone()));
+        match decode_frame(bytes).unwrap() {
+            Frame::Data(d) => assert_eq!(d, e),
+            f => panic!("wrong frame {f:?}"),
+        }
+    }
+
+    #[test]
+    fn encoded_event_size_matches_wire_size_exactly() {
+        for target in [0usize, 100, 1000, 8192] {
+            let e = Event::faa_position(1, 2, fix()).with_total_size(target);
+            let mut buf = BytesMut::new();
+            encode_event(&e, &mut buf);
+            assert_eq!(buf.len(), e.wire_size(), "target {target}");
+        }
+        // Sanity: header constant matches the fixed prefix we write.
+        let e = Event::delta_status(1, 2, FlightStatus::Landed);
+        let mut buf = BytesMut::new();
+        encode_event(&e, &mut buf);
+        assert_eq!(buf.len(), EVENT_HEADER_WIRE_SIZE + 1);
+    }
+
+    #[test]
+    fn all_body_variants_roundtrip() {
+        let bodies = vec![
+            EventBody::Position(fix()),
+            EventBody::Status(FlightStatus::AtGate),
+            EventBody::Boarding { boarded: 7, expected: 180 },
+            EventBody::Derived { status: FlightStatus::Arrived, collapsed: 3 },
+            EventBody::Coalesced { last: fix(), count: 10 },
+            EventBody::Opaque(vec![1, 2, 3, 4, 5]),
+            EventBody::Baggage { loaded: 96, reconciled: 95 },
+        ];
+        for body in bodies {
+            let mut e = Event::new(1, 9, 77, body);
+            e.stamp.advance(1, 9);
+            let bytes = encode_frame(&Frame::Data(e.clone()));
+            assert_eq!(decode_frame(bytes).unwrap(), Frame::Data(e));
+        }
+    }
+
+    #[test]
+    fn control_roundtrip_all_variants() {
+        let stamp = VectorTimestamp::from_components(vec![5, 9]);
+        let msgs = vec![
+            ControlMsg::Chkpt { round: 1, stamp: stamp.clone() },
+            ControlMsg::ChkptRep {
+                round: 2,
+                site: 3,
+                stamp: stamp.clone(),
+                monitor: MonitorReport { ready_len: 1, backup_len: 2, pending_requests: 3 },
+            },
+            ControlMsg::Commit { round: 3, stamp: stamp.clone(), adapt: None },
+            ControlMsg::Commit {
+                round: 4,
+                stamp,
+                adapt: Some(AdaptDirective {
+                    params: MirrorParams::profile_degraded(),
+                    mirror_fn: Some(MirrorFnKind::Coalescing { coalesce: 20, checkpoint_every: 100 }),
+                }),
+            },
+        ];
+        for m in msgs {
+            let bytes = encode_frame(&Frame::Control(m.clone()));
+            assert_eq!(decode_frame(bytes).unwrap(), Frame::Control(m));
+        }
+    }
+
+    #[test]
+    fn mirror_fn_kinds_roundtrip() {
+        for k in [
+            None,
+            Some(MirrorFnKind::None),
+            Some(MirrorFnKind::Simple),
+            Some(MirrorFnKind::Selective { overwrite: 10 }),
+            Some(MirrorFnKind::Coalescing { coalesce: 20, checkpoint_every: 100 }),
+            Some(MirrorFnKind::Overwriting { overwrite: 20, checkpoint_every: 100 }),
+        ] {
+            let mut buf = BytesMut::new();
+            encode_kind(&k, &mut buf);
+            let mut b = buf.freeze();
+            assert_eq!(decode_kind(&mut b).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let e = stamped_event();
+        let bytes = encode_frame(&Frame::Data(e));
+        for cut in [0, 1, 2, 5, 10, bytes.len() - 1] {
+            let res = decode_frame(bytes.slice(..cut));
+            assert!(res.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_version_and_tag_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(99);
+        raw.put_u8(KIND_DATA);
+        assert_eq!(decode_frame(raw.freeze()), Err(WireError::BadVersion(99)));
+
+        let mut raw = BytesMut::new();
+        raw.put_u8(WIRE_VERSION);
+        raw.put_u8(7);
+        assert_eq!(decode_frame(raw.freeze()), Err(WireError::BadTag(7)));
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic() {
+        // Decoding must fail cleanly on arbitrary inputs.
+        let mut seed = 0x12345u64;
+        for len in 0..200 {
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v.push((seed >> 33) as u8);
+            }
+            let _ = decode_frame(Bytes::from(v));
+        }
+    }
+}

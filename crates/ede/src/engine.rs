@@ -1,0 +1,237 @@
+//! The Event Derivation Engine proper.
+//!
+//! [`Ede::process`] is the main unit's business logic: it applies each
+//! incoming event to the operational state, evaluates derivation rules, and
+//! emits (a) *update events* for regular clients — the continuous output
+//! stream whose timeliness the paper's predictability requirement governs —
+//! and (b) *derived events* (new application-level facts such as
+//! `boarding complete` or `flight arrived`).
+//!
+//! The engine is deterministic: mirrors processing the same input sequence
+//! produce byte-identical outputs and state (verified by property tests).
+
+use mirror_core::event::{streams, Event, EventBody, FlightStatus};
+
+use crate::state::OperationalState;
+
+/// What processing one event produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdeOutput {
+    /// State updates to push to regular clients (at least the triggering
+    /// event when it changed state).
+    pub client_updates: Vec<Event>,
+    /// Newly derived application-level events.
+    pub derived: Vec<Event>,
+}
+
+impl EdeOutput {
+    /// Did processing produce anything?
+    pub fn is_empty(&self) -> bool {
+        self.client_updates.is_empty() && self.derived.is_empty()
+    }
+}
+
+/// The Event Derivation Engine: operational state + derivation rules.
+#[derive(Debug, Default)]
+pub struct Ede {
+    state: OperationalState,
+    /// Monotone sequence for derived events (kept per-engine; derived
+    /// events are deterministic functions of the input sequence).
+    derived_seq: u64,
+    /// Events processed.
+    pub processed: u64,
+    /// Derived events emitted.
+    pub derivations: u64,
+}
+
+impl Ede {
+    /// A fresh engine with empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The operational state (read-only).
+    pub fn state(&self) -> &OperationalState {
+        &self.state
+    }
+
+    /// Install externally built state (snapshot recovery).
+    pub fn install_state(&mut self, state: OperationalState) {
+        self.state = state;
+    }
+
+    /// Canonical digest of the engine's application state.
+    pub fn state_hash(&self) -> u64 {
+        self.state.state_hash()
+    }
+
+    /// Process one incoming event through the business rules.
+    pub fn process(&mut self, event: &Event) -> EdeOutput {
+        self.processed += 1;
+        let mut out = EdeOutput::default();
+
+        // Pre-state needed by edge-triggered rules.
+        let was_boarding_complete =
+            self.state.flight(event.flight).map(|f| f.boarding_complete()).unwrap_or(false);
+
+        let changed = self.state.apply(event);
+        if changed {
+            // Regular clients receive every state-changing update.
+            out.client_updates.push(event.clone());
+        }
+
+        // Rule 1 — boarding completion: "determine from multiple events
+        // received from gate readers that all passengers of a flight have
+        // boarded" (§2). Edge-triggered: fires exactly once per flight.
+        if let EventBody::Boarding { .. } = &event.body {
+            let now_complete = self
+                .state
+                .flight(event.flight)
+                .map(|f| f.boarding_complete())
+                .unwrap_or(false);
+            if now_complete && !was_boarding_complete {
+                out.derived.push(self.derive(event, FlightStatus::Boarding, 1));
+            }
+        }
+
+        // Rule 2 — arrival derivation: landing at the gate completes the
+        // flight. (When the mirroring layer's complex-tuple rule already
+        // collapsed the sequence, the incoming event is itself Derived and
+        // this rule is a no-op thanks to the status regression guard.)
+        if event.status_value() == Some(FlightStatus::AtGate) {
+            let arrived = self.derive(event, FlightStatus::Arrived, 3);
+            if self.state.apply(&arrived) {
+                out.client_updates.push(arrived.clone());
+                out.derived.push(arrived);
+            }
+        }
+
+        out
+    }
+
+    /// Build a derived event attributed to the triggering event's flight
+    /// and timing (the update-delay metric follows the trigger).
+    fn derive(&mut self, trigger: &Event, status: FlightStatus, collapsed: u32) -> Event {
+        self.derived_seq += 1;
+        self.derivations += 1;
+        let mut e = Event::new(
+            streams::DELTA,
+            self.derived_seq,
+            trigger.flight,
+            EventBody::Derived { status, collapsed },
+        );
+        e.stamp = trigger.stamp.clone();
+        e.ingress_us = trigger.ingress_us;
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirror_core::event::PositionFix;
+
+    fn fix() -> PositionFix {
+        PositionFix { lat: 0.0, lon: 0.0, alt_ft: 30000.0, speed_kts: 450.0, heading_deg: 0.0 }
+    }
+
+    #[test]
+    fn state_changing_events_become_client_updates() {
+        let mut ede = Ede::new();
+        let out = ede.process(&Event::faa_position(1, 7, fix()));
+        assert_eq!(out.client_updates.len(), 1);
+        assert!(out.derived.is_empty());
+    }
+
+    #[test]
+    fn stale_events_produce_no_updates() {
+        let mut ede = Ede::new();
+        ede.process(&Event::faa_position(5, 7, fix()));
+        let out = ede.process(&Event::faa_position(3, 7, fix()));
+        assert!(out.is_empty(), "stale position absorbed silently");
+        assert_eq!(ede.processed, 2);
+    }
+
+    #[test]
+    fn boarding_completion_derivation_fires_once() {
+        let mut ede = Ede::new();
+        let partial = Event::new(1, 1, 9, EventBody::Boarding { boarded: 10, expected: 20 });
+        assert!(ede.process(&partial).derived.is_empty());
+        let full = Event::new(1, 2, 9, EventBody::Boarding { boarded: 20, expected: 20 });
+        let out = ede.process(&full);
+        assert_eq!(out.derived.len(), 1);
+        // Duplicate completion report: no re-derivation.
+        let dup = Event::new(1, 3, 9, EventBody::Boarding { boarded: 20, expected: 20 });
+        assert!(ede.process(&dup).derived.is_empty());
+        assert_eq!(ede.derivations, 1);
+    }
+
+    #[test]
+    fn at_gate_derives_arrival() {
+        let mut ede = Ede::new();
+        ede.process(&Event::delta_status(1, 4, FlightStatus::Landed));
+        let out = ede.process(&Event::delta_status(2, 4, FlightStatus::AtGate));
+        assert_eq!(out.derived.len(), 1);
+        assert_eq!(out.derived[0].status_value(), Some(FlightStatus::Arrived));
+        assert_eq!(ede.state().flight(4).unwrap().status, FlightStatus::Arrived);
+        // The derived event also went to regular clients.
+        assert_eq!(out.client_updates.len(), 2);
+    }
+
+    #[test]
+    fn collapsed_tuple_input_is_idempotent() {
+        // A mirror receiving the already-derived Arrived event (tuple rule
+        // collapsed upstream) lands in the same state as one that derived
+        // it locally.
+        let mut local = Ede::new();
+        local.process(&Event::delta_status(1, 4, FlightStatus::Landed));
+        local.process(&Event::delta_status(2, 4, FlightStatus::AtGate));
+
+        let mut remote = Ede::new();
+        remote.process(&Event::delta_status(1, 4, FlightStatus::Landed));
+        let mut derived = Event::new(
+            streams::DELTA,
+            2,
+            4,
+            EventBody::Derived { status: FlightStatus::Arrived, collapsed: 3 },
+        );
+        derived.stamp.advance(1, 2);
+        remote.process(&derived);
+
+        assert_eq!(
+            local.state().flight(4).unwrap().status,
+            remote.state().flight(4).unwrap().status
+        );
+    }
+
+    #[test]
+    fn derived_events_inherit_trigger_timing() {
+        let mut ede = Ede::new();
+        let mut gate = Event::delta_status(2, 4, FlightStatus::AtGate).with_ingress_us(12345);
+        gate.stamp.advance(1, 2);
+        let out = ede.process(&gate);
+        assert_eq!(out.derived[0].ingress_us, 12345);
+        assert_eq!(out.derived[0].stamp, gate.stamp);
+    }
+
+    #[test]
+    fn deterministic_across_engines() {
+        let events: Vec<Event> = (1..=30)
+            .map(|i| {
+                if i % 5 == 0 {
+                    Event::delta_status(i, (i % 3) as u32, FlightStatus::Landed)
+                } else {
+                    Event::faa_position(i, (i % 3) as u32, fix())
+                }
+            })
+            .collect();
+        let mut a = Ede::new();
+        let mut b = Ede::new();
+        for e in &events {
+            let oa = a.process(e);
+            let ob = b.process(e);
+            assert_eq!(oa, ob);
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+}

@@ -1,0 +1,431 @@
+//! Downstream operations monitoring — the "complex" end of the paper's
+//! client spectrum.
+//!
+//! §2: the outputs of the central server "are used by a myriad of clients,
+//! ranging from simple airport flight displays to complex web-based
+//! reservation systems", and captured operational information includes
+//! "crew dispositions, passengers, airplanes". [`OpsMonitor`] is such a
+//! complex client: it consumes the very update-event stream the cluster
+//! publishes (or mirrors) and maintains *derived operational state* —
+//! crew duty exposure, passenger connections, aircraft turnarounds —
+//! raising [`OpsAlert`]s as the day unfolds.
+//!
+//! Like the EDE itself, the monitor is deterministic: the same update
+//! stream produces the same alerts, so an operations client recovered from
+//! a mirror snapshot and replaying the stream reaches the same picture.
+
+use std::collections::HashMap;
+
+use mirror_core::event::{Event, FlightId, FlightStatus};
+
+/// Identifier of a crew (pilot/cabin) pairing.
+pub type CrewId = u32;
+
+/// Identifier of a group of connecting passengers.
+pub type PaxGroupId = u32;
+
+/// A planned passenger connection between two flights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionPlan {
+    /// The connecting passenger group.
+    pub group: PaxGroupId,
+    /// Inbound flight.
+    pub from: FlightId,
+    /// Outbound flight.
+    pub to: FlightId,
+    /// Passengers in the group.
+    pub passengers: u32,
+}
+
+/// An alert raised by the operations monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpsAlert {
+    /// A crew's flight pushed them past their duty window.
+    CrewDutyExceeded {
+        /// The crew pairing affected.
+        crew: CrewId,
+        /// The flight they were working.
+        flight: FlightId,
+        /// Duty time at the triggering event (µs).
+        duty_us: u64,
+    },
+    /// An outbound flight departed while an inbound with connecting
+    /// passengers had not yet arrived.
+    MissedConnection {
+        /// The stranded group.
+        group: PaxGroupId,
+        /// Inbound flight (still en route / not arrived).
+        from: FlightId,
+        /// Outbound flight that left without them.
+        to: FlightId,
+        /// Passengers affected.
+        passengers: u32,
+    },
+    /// A connection became tight: the inbound landed only after the
+    /// outbound began boarding.
+    TightConnection {
+        /// The group at risk.
+        group: PaxGroupId,
+        /// Inbound flight.
+        from: FlightId,
+        /// Outbound flight.
+        to: FlightId,
+    },
+    /// An aircraft completed its turnaround (arrived, then the next leg on
+    /// the same tail departed).
+    TurnaroundComplete {
+        /// Arriving leg.
+        inbound: FlightId,
+        /// Departing leg on the same aircraft.
+        outbound: FlightId,
+    },
+    /// A flight departed with unreconciled bags in the hold — a positive
+    /// passenger-bag-match violation.
+    BaggageMismatch {
+        /// The departing flight.
+        flight: FlightId,
+        /// Bags loaded.
+        loaded: u32,
+        /// Bags reconciled against boarded passengers.
+        reconciled: u32,
+    },
+}
+
+/// Per-crew duty state.
+#[derive(Debug, Clone, Copy)]
+struct CrewDuty {
+    flight: FlightId,
+    started_us: u64,
+    alerted: bool,
+}
+
+/// The operations monitor: derived crew/connection/turnaround state over
+/// the update-event stream.
+#[derive(Debug, Default)]
+pub struct OpsMonitor {
+    /// Maximum crew duty window (µs) before an alert; 0 disables.
+    duty_limit_us: u64,
+    crews: HashMap<CrewId, CrewDuty>,
+    connections: Vec<ConnectionPlan>,
+    /// Tail rotations: inbound flight → outbound flight on the same
+    /// aircraft.
+    rotations: HashMap<FlightId, FlightId>,
+    /// Latest observed status per flight.
+    status: HashMap<FlightId, FlightStatus>,
+    /// Latest baggage counts per flight: (loaded, reconciled).
+    baggage: HashMap<FlightId, (u32, u32)>,
+    /// Groups already alerted (each connection alerts at most once).
+    alerted_groups: std::collections::HashSet<PaxGroupId>,
+    /// Alerts raised so far (monotone log).
+    pub alerts: Vec<OpsAlert>,
+}
+
+impl OpsMonitor {
+    /// A monitor with no plans registered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the crew duty window (µs since assignment) after which a still
+    /// en-route flight raises [`OpsAlert::CrewDutyExceeded`].
+    pub fn set_duty_limit_us(&mut self, limit: u64) {
+        self.duty_limit_us = limit;
+    }
+
+    /// Register a crew pairing working `flight`, on duty since `start_us`.
+    pub fn assign_crew(&mut self, crew: CrewId, flight: FlightId, start_us: u64) {
+        self.crews.insert(crew, CrewDuty { flight, started_us: start_us, alerted: false });
+    }
+
+    /// Register a planned passenger connection.
+    pub fn plan_connection(&mut self, plan: ConnectionPlan) {
+        self.connections.push(plan);
+    }
+
+    /// Register a tail rotation: the aircraft arriving as `inbound` next
+    /// departs as `outbound`.
+    pub fn plan_rotation(&mut self, inbound: FlightId, outbound: FlightId) {
+        self.rotations.insert(inbound, outbound);
+    }
+
+    /// Latest status the monitor has seen for a flight.
+    pub fn status(&self, flight: FlightId) -> Option<FlightStatus> {
+        self.status.get(&flight).copied()
+    }
+
+    /// Has a flight reached (at least) the given status?
+    fn reached(&self, flight: FlightId, status: FlightStatus) -> bool {
+        self.status
+            .get(&flight)
+            .map(|s| *s >= status && *s != FlightStatus::Cancelled)
+            .unwrap_or(false)
+    }
+
+    /// Feed one update event; returns the alerts this event raised (also
+    /// appended to [`alerts`](Self::alerts)).
+    pub fn observe(&mut self, event: &Event) -> Vec<OpsAlert> {
+        let mut raised = Vec::new();
+        // Baggage reports update reconciliation state.
+        if let mirror_core::event::EventBody::Baggage { loaded, reconciled } = &event.body {
+            let entry = self.baggage.entry(event.flight).or_insert((0, 0));
+            entry.0 = entry.0.max(*loaded);
+            entry.1 = entry.1.max(*reconciled);
+        }
+        let Some(status) = event.status_value() else {
+            // Position fixes don't change derived ops state, but duty
+            // clocks keep ticking: check limits on every event.
+            self.check_duty(event, &mut raised);
+            return raised;
+        };
+        self.status.insert(event.flight, status);
+
+        match status {
+            FlightStatus::Departed => {
+                // Missed connections: outbound left while an inbound with
+                // connecting passengers has not arrived.
+                let missed: Vec<ConnectionPlan> = self
+                    .connections
+                    .iter()
+                    .filter(|p| {
+                        p.to == event.flight && !self.reached(p.from, FlightStatus::Arrived)
+                    })
+                    .copied()
+                    .collect();
+                for plan in missed {
+                    if self.alerted_groups.insert(plan.group) {
+                        raised.push(OpsAlert::MissedConnection {
+                            group: plan.group,
+                            from: plan.from,
+                            to: plan.to,
+                            passengers: plan.passengers,
+                        });
+                    }
+                }
+                // Positive passenger-bag match: departing with unreconciled
+                // bags is a violation.
+                if let Some(&(loaded, reconciled)) = self.baggage.get(&event.flight) {
+                    if reconciled < loaded {
+                        raised.push(OpsAlert::BaggageMismatch {
+                            flight: event.flight,
+                            loaded,
+                            reconciled,
+                        });
+                    }
+                }
+                // Turnaround: the inbound leg of this tail arrived earlier.
+                if let Some((&inbound, _)) =
+                    self.rotations.iter().find(|(_, &out)| out == event.flight)
+                {
+                    if self.reached(inbound, FlightStatus::Arrived) {
+                        raised.push(OpsAlert::TurnaroundComplete {
+                            inbound,
+                            outbound: event.flight,
+                        });
+                    }
+                }
+            }
+            FlightStatus::Landed | FlightStatus::Arrived => {
+                // Tight connections: inbound only landing while outbound is
+                // already boarding.
+                let tight: Vec<ConnectionPlan> = self
+                    .connections
+                    .iter()
+                    .filter(|p| {
+                        p.from == event.flight
+                            && self.reached(p.to, FlightStatus::Boarding)
+                            && !self.reached(p.to, FlightStatus::Departed)
+                    })
+                    .copied()
+                    .collect();
+                for plan in tight {
+                    if self.alerted_groups.insert(plan.group) {
+                        raised.push(OpsAlert::TightConnection {
+                            group: plan.group,
+                            from: plan.from,
+                            to: plan.to,
+                        });
+                    }
+                }
+                // Crew comes off duty when their flight arrives.
+                if status == FlightStatus::Arrived {
+                    self.crews.retain(|_, duty| duty.flight != event.flight);
+                }
+            }
+            _ => {}
+        }
+        self.check_duty(event, &mut raised);
+        self.alerts.extend(raised.iter().cloned());
+        raised
+    }
+
+    fn check_duty(&mut self, event: &Event, raised: &mut Vec<OpsAlert>) {
+        if self.duty_limit_us == 0 {
+            return;
+        }
+        let now = event.ingress_us;
+        for (&crew, duty) in self.crews.iter_mut() {
+            if duty.alerted {
+                continue;
+            }
+            let elapsed = now.saturating_sub(duty.started_us);
+            let flight_open = self
+                .status
+                .get(&duty.flight)
+                .map(|s| *s < FlightStatus::Arrived)
+                .unwrap_or(true);
+            if flight_open && elapsed > self.duty_limit_us {
+                duty.alerted = true;
+                raised.push(OpsAlert::CrewDutyExceeded {
+                    crew,
+                    flight: duty.flight,
+                    duty_us: elapsed,
+                });
+            }
+        }
+        // Duty alerts raised here are appended by `observe` only for the
+        // status branch; append directly for the position branch.
+        if event.status_value().is_none() {
+            self.alerts.extend(raised.iter().cloned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirror_core::event::{Event, PositionFix};
+
+    fn status(seq: u64, flight: FlightId, s: FlightStatus, at_us: u64) -> Event {
+        Event::delta_status(seq, flight, s).with_ingress_us(at_us)
+    }
+
+    fn pos(seq: u64, flight: FlightId, at_us: u64) -> Event {
+        Event::faa_position(
+            seq,
+            flight,
+            PositionFix { lat: 0.0, lon: 0.0, alt_ft: 30000.0, speed_kts: 450.0, heading_deg: 0.0 },
+        )
+        .with_ingress_us(at_us)
+    }
+
+    #[test]
+    fn missed_connection_fires_when_outbound_departs_first() {
+        let mut ops = OpsMonitor::new();
+        ops.plan_connection(ConnectionPlan { group: 1, from: 10, to: 20, passengers: 12 });
+        // Inbound en route, outbound departs.
+        ops.observe(&status(1, 10, FlightStatus::EnRoute, 100));
+        let raised = ops.observe(&status(2, 20, FlightStatus::Departed, 200));
+        assert_eq!(
+            raised,
+            vec![OpsAlert::MissedConnection { group: 1, from: 10, to: 20, passengers: 12 }]
+        );
+    }
+
+    #[test]
+    fn connection_made_when_inbound_arrives_first() {
+        let mut ops = OpsMonitor::new();
+        ops.plan_connection(ConnectionPlan { group: 1, from: 10, to: 20, passengers: 12 });
+        ops.observe(&status(1, 10, FlightStatus::Arrived, 100));
+        let raised = ops.observe(&status(2, 20, FlightStatus::Departed, 200));
+        assert!(raised.is_empty(), "arrived inbound ⇒ no missed connection");
+    }
+
+    #[test]
+    fn tight_connection_on_late_landing() {
+        let mut ops = OpsMonitor::new();
+        ops.plan_connection(ConnectionPlan { group: 7, from: 1, to: 2, passengers: 3 });
+        ops.observe(&status(1, 2, FlightStatus::Boarding, 50));
+        let raised = ops.observe(&status(2, 1, FlightStatus::Landed, 100));
+        assert_eq!(raised, vec![OpsAlert::TightConnection { group: 7, from: 1, to: 2 }]);
+        // Once the outbound has departed it is a miss, not merely tight.
+        let mut ops2 = OpsMonitor::new();
+        ops2.plan_connection(ConnectionPlan { group: 7, from: 1, to: 2, passengers: 3 });
+        ops2.observe(&status(1, 2, FlightStatus::Departed, 50));
+        let raised = ops2.observe(&status(2, 1, FlightStatus::Landed, 100));
+        assert!(raised.is_empty());
+    }
+
+    #[test]
+    fn crew_duty_alert_fires_once_and_clears_on_arrival() {
+        let mut ops = OpsMonitor::new();
+        ops.set_duty_limit_us(1_000);
+        ops.assign_crew(5, 9, 0);
+        ops.observe(&status(1, 9, FlightStatus::EnRoute, 100));
+        assert!(ops.alerts.is_empty());
+        // A position fix past the limit trips the alert…
+        let raised = ops.observe(&pos(2, 9, 2_000));
+        assert_eq!(raised.len(), 1);
+        assert!(matches!(
+            raised[0],
+            OpsAlert::CrewDutyExceeded { crew: 5, flight: 9, duty_us: 2_000 }
+        ));
+        // …exactly once.
+        assert!(ops.observe(&pos(3, 9, 3_000)).is_empty());
+        // A different crew still on duty alerts independently.
+        ops.assign_crew(6, 9, 2_900);
+        ops.observe(&status(4, 9, FlightStatus::Arrived, 3_100));
+        // Crew released on arrival: no further duty alerts even far later.
+        assert!(ops.observe(&pos(5, 9, 10_000_000)).is_empty());
+    }
+
+    #[test]
+    fn turnaround_completes_in_order_only() {
+        let mut ops = OpsMonitor::new();
+        ops.plan_rotation(100, 200);
+        // Outbound departs before the inbound arrived: no turnaround.
+        assert!(ops.observe(&status(1, 200, FlightStatus::Departed, 10)).is_empty());
+
+        let mut ops2 = OpsMonitor::new();
+        ops2.plan_rotation(100, 200);
+        ops2.observe(&status(1, 100, FlightStatus::Arrived, 10));
+        let raised = ops2.observe(&status(2, 200, FlightStatus::Departed, 20));
+        assert_eq!(raised, vec![OpsAlert::TurnaroundComplete { inbound: 100, outbound: 200 }]);
+    }
+
+    #[test]
+    fn baggage_mismatch_fires_on_departure_only() {
+        use mirror_core::event::EventBody;
+        let mut ops = OpsMonitor::new();
+        let bag = |seq, loaded, reconciled, at| {
+            Event::new(1, seq, 5, EventBody::Baggage { loaded, reconciled }).with_ingress_us(at)
+        };
+        ops.observe(&bag(1, 80, 40, 10));
+        assert!(ops.alerts.is_empty(), "no alert before departure");
+        let raised = ops.observe(&status(2, 5, FlightStatus::Departed, 20));
+        assert_eq!(
+            raised,
+            vec![OpsAlert::BaggageMismatch { flight: 5, loaded: 80, reconciled: 40 }]
+        );
+
+        // Fully reconciled flights depart silently.
+        let mut clean = OpsMonitor::new();
+        clean.observe(&bag(1, 80, 80, 10));
+        assert!(clean.observe(&status(2, 5, FlightStatus::Departed, 20)).is_empty());
+    }
+
+    #[test]
+    fn monitor_is_deterministic_over_a_stream() {
+        let events: Vec<Event> = vec![
+            status(1, 1, FlightStatus::Boarding, 10),
+            status(2, 2, FlightStatus::Boarding, 20),
+            pos(3, 1, 30),
+            status(4, 1, FlightStatus::Departed, 40),
+            status(5, 1, FlightStatus::Landed, 50),
+            status(6, 2, FlightStatus::Departed, 60),
+        ];
+        let build = || {
+            let mut ops = OpsMonitor::new();
+            ops.set_duty_limit_us(25);
+            ops.assign_crew(1, 1, 0);
+            ops.plan_connection(ConnectionPlan { group: 1, from: 1, to: 2, passengers: 5 });
+            ops
+        };
+        let mut a = build();
+        let mut b = build();
+        for e in &events {
+            assert_eq!(a.observe(e), b.observe(e));
+        }
+        assert_eq!(a.alerts, b.alerts);
+        assert!(!a.alerts.is_empty());
+    }
+}

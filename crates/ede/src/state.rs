@@ -1,0 +1,230 @@
+//! The deterministic operational state store.
+//!
+//! "All mirrors produce the same output events, and produce identical
+//! modifications to their locally maintained application states" (§3.1).
+//! [`OperationalState`] is that application state: the set of
+//! [`FlightView`]s. Applying the same event sequence always yields the same
+//! store, and [`state_hash`](OperationalState::state_hash) produces a
+//! canonical digest (iteration-order independent) with which tests and the
+//! experiment harness verify cross-mirror consistency.
+
+use std::collections::HashMap;
+
+use mirror_core::event::{Event, EventBody, FlightId, FlightStatus};
+
+use crate::flight::FlightView;
+
+/// The operational state of the OIS: one view per known flight.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OperationalState {
+    flights: HashMap<FlightId, FlightView>,
+    /// Events applied (including ones absorbed as stale).
+    pub applied: u64,
+}
+
+impl OperationalState {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one event deterministically. Stale/regressive updates are
+    /// absorbed (the store never errors — see `flight` module docs).
+    /// Returns `true` if the event changed state.
+    pub fn apply(&mut self, event: &Event) -> bool {
+        self.applied += 1;
+        let view = self.flights.entry(event.flight).or_default();
+        match &event.body {
+            EventBody::Position(p) => view.apply_position(event.seq, *p),
+            EventBody::Coalesced { last, count: _ } => view.apply_position(event.seq, *last),
+            EventBody::Status(s) => view.transition(*s).is_ok(),
+            EventBody::Derived { status, .. } => view.transition(*status).is_ok(),
+            EventBody::Boarding { boarded, expected } => {
+                view.apply_boarding(*boarded, *expected);
+                true
+            }
+            EventBody::Baggage { loaded, reconciled } => {
+                view.apply_baggage(*loaded, *reconciled)
+            }
+            EventBody::Opaque(_) => false,
+        }
+    }
+
+    /// Look up a flight.
+    pub fn flight(&self, id: FlightId) -> Option<&FlightView> {
+        self.flights.get(&id)
+    }
+
+    /// Number of flights tracked.
+    pub fn flight_count(&self) -> usize {
+        self.flights.len()
+    }
+
+    /// Iterate flights in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlightId, &FlightView)> {
+        self.flights.iter()
+    }
+
+    /// Flights currently airborne.
+    pub fn airborne_count(&self) -> usize {
+        self.flights.values().filter(|f| f.airborne()).count()
+    }
+
+    /// Flights in a given status.
+    pub fn count_in_status(&self, status: FlightStatus) -> usize {
+        self.flights.values().filter(|f| f.status == status).count()
+    }
+
+    /// Canonical digest of the store: FNV-1a over flights serialized in
+    /// ascending flight-id order. Two mirrors hold identical application
+    /// state iff their hashes agree.
+    pub fn state_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut ids: Vec<FlightId> = self.flights.keys().copied().collect();
+        ids.sort_unstable();
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for id in ids {
+            let f = &self.flights[&id];
+            eat(&id.to_le_bytes());
+            eat(&[f.status as u8]);
+            eat(&f.position_seq.to_le_bytes());
+            if let Some(p) = &f.position {
+                eat(&p.lat.to_bits().to_le_bytes());
+                eat(&p.lon.to_bits().to_le_bytes());
+                eat(&p.alt_ft.to_bits().to_le_bytes());
+            }
+            eat(&f.boarded.to_le_bytes());
+            eat(&f.expected.to_le_bytes());
+            eat(&f.bags_loaded.to_le_bytes());
+            eat(&f.bags_reconciled.to_le_bytes());
+        }
+        h
+    }
+
+    /// Replace this store's contents (used when installing a snapshot).
+    pub fn install(&mut self, flights: HashMap<FlightId, FlightView>) {
+        self.flights = flights;
+    }
+
+    /// Clone out the flight map (snapshot construction).
+    pub fn flights(&self) -> &HashMap<FlightId, FlightView> {
+        &self.flights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirror_core::event::PositionFix;
+
+    fn fix(alt: f64) -> PositionFix {
+        PositionFix { lat: 10.0, lon: 20.0, alt_ft: alt, speed_kts: 400.0, heading_deg: 90.0 }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::delta_status(1, 100, FlightStatus::Boarding),
+            Event::faa_position(1, 100, fix(0.0)),
+            Event::new(1, 2, 100, EventBody::Boarding { boarded: 150, expected: 150 }),
+            Event::delta_status(3, 100, FlightStatus::Departed),
+            Event::faa_position(2, 100, fix(31000.0)),
+            Event::delta_status(4, 200, FlightStatus::Cancelled),
+            Event::faa_position(3, 300, fix(5000.0)),
+        ]
+    }
+
+    #[test]
+    fn apply_builds_consistent_views() {
+        let mut s = OperationalState::new();
+        for e in sample_events() {
+            s.apply(&e);
+        }
+        assert_eq!(s.flight_count(), 3);
+        let f = s.flight(100).unwrap();
+        assert_eq!(f.status, FlightStatus::Departed);
+        assert_eq!(f.position.unwrap().alt_ft, 31000.0);
+        assert!(f.boarding_complete());
+        assert_eq!(s.flight(200).unwrap().status, FlightStatus::Cancelled);
+        assert_eq!(s.count_in_status(FlightStatus::Cancelled), 1);
+        assert_eq!(s.airborne_count(), 1);
+    }
+
+    #[test]
+    fn same_sequence_same_hash() {
+        let mut a = OperationalState::new();
+        let mut b = OperationalState::new();
+        for e in sample_events() {
+            a.apply(&e);
+            b.apply(&e);
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash_is_insertion_order_independent() {
+        // Different arrival order of *independent* flights must hash equal.
+        let e1 = Event::delta_status(1, 1, FlightStatus::Boarding);
+        let e2 = Event::delta_status(1, 2, FlightStatus::Landed);
+        let mut a = OperationalState::new();
+        a.apply(&e1);
+        a.apply(&e2);
+        let mut b = OperationalState::new();
+        b.apply(&e2);
+        b.apply(&e1);
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn hash_detects_divergence() {
+        let mut a = OperationalState::new();
+        let mut b = OperationalState::new();
+        a.apply(&Event::delta_status(1, 1, FlightStatus::Landed));
+        b.apply(&Event::delta_status(1, 1, FlightStatus::Arrived));
+        assert_ne!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn stale_events_do_not_change_state() {
+        let mut s = OperationalState::new();
+        s.apply(&Event::faa_position(5, 1, fix(1000.0)));
+        let h = s.state_hash();
+        assert!(!s.apply(&Event::faa_position(2, 1, fix(9999.0))), "stale seq absorbed");
+        assert_eq!(s.state_hash(), h);
+    }
+
+    #[test]
+    fn baggage_reports_change_state_and_hash() {
+        let mut s = OperationalState::new();
+        s.apply(&Event::delta_status(1, 7, FlightStatus::Boarding));
+        let before = s.state_hash();
+        assert!(s.apply(&Event::new(1, 2, 7, EventBody::Baggage { loaded: 90, reconciled: 45 })));
+        assert_ne!(s.state_hash(), before, "baggage must be part of replicated state");
+        let f = s.flight(7).unwrap();
+        assert_eq!((f.bags_loaded, f.bags_reconciled), (90, 45));
+        // A stale report neither changes state nor the hash.
+        let h = s.state_hash();
+        assert!(!s.apply(&Event::new(1, 3, 7, EventBody::Baggage { loaded: 10, reconciled: 5 })));
+        assert_eq!(s.state_hash(), h);
+    }
+
+    #[test]
+    fn coalesced_events_apply_like_their_last_fix() {
+        let mut direct = OperationalState::new();
+        direct.apply(&Event::faa_position(10, 1, fix(22000.0)));
+
+        let mut via_coalesced = OperationalState::new();
+        let mut c = Event::new(0, 10, 1, EventBody::Coalesced { last: fix(22000.0), count: 10 });
+        c.stamp.advance(0, 10);
+        via_coalesced.apply(&c);
+
+        assert_eq!(direct.state_hash(), via_coalesced.state_hash());
+    }
+}

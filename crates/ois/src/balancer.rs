@@ -1,0 +1,181 @@
+//! Client-request load balancing across mirror sites.
+//!
+//! "Clients' requests for IS state may be satisfied not just by one, but by
+//! any one of the mirror machines. The resulting parallelization of request
+//! processing for clients coupled with simple load balancing strategies
+//! enables us to offer timely services" (§1). The paper cites prior work
+//! showing simple strategies suffice [1, 10]; we provide round-robin and
+//! least-pending, plus the failover behaviour the paper's §6 lists as
+//! future work: a site marked failed stops receiving requests and its share
+//! redistributes over the survivors.
+
+use mirror_core::aux_unit::SiteId;
+
+/// Balancing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancerPolicy {
+    /// Rotate through live sites.
+    RoundRobin,
+    /// Pick the live site with the smallest reported backlog.
+    LeastPending,
+}
+
+/// A request load balancer over a set of sites.
+#[derive(Debug, Clone)]
+pub struct Balancer {
+    sites: Vec<SiteId>,
+    alive: Vec<bool>,
+    pending: Vec<u64>,
+    next: usize,
+    policy: BalancerPolicy,
+    /// Requests dispatched per site (index-aligned with `sites`).
+    pub dispatched: Vec<u64>,
+}
+
+impl Balancer {
+    /// A balancer over `sites` with the given policy.
+    pub fn new(sites: Vec<SiteId>, policy: BalancerPolicy) -> Self {
+        assert!(!sites.is_empty(), "balancer needs at least one site");
+        let n = sites.len();
+        Balancer {
+            sites,
+            alive: vec![true; n],
+            pending: vec![0; n],
+            next: 0,
+            policy,
+            dispatched: vec![0; n],
+        }
+    }
+
+    /// Sites under management.
+    pub fn sites(&self) -> &[SiteId] {
+        &self.sites
+    }
+
+    /// Number of live sites.
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Mark a site failed: it stops receiving requests.
+    pub fn mark_failed(&mut self, site: SiteId) {
+        if let Some(i) = self.sites.iter().position(|&s| s == site) {
+            self.alive[i] = false;
+        }
+    }
+
+    /// Mark a site recovered.
+    pub fn mark_recovered(&mut self, site: SiteId) {
+        if let Some(i) = self.sites.iter().position(|&s| s == site) {
+            self.alive[i] = true;
+        }
+    }
+
+    /// Update a site's reported backlog (for [`BalancerPolicy::LeastPending`]).
+    pub fn report_pending(&mut self, site: SiteId, pending: u64) {
+        if let Some(i) = self.sites.iter().position(|&s| s == site) {
+            self.pending[i] = pending;
+        }
+    }
+
+    /// Pick the site for the next request; `None` if every site is down.
+    pub fn pick(&mut self) -> Option<SiteId> {
+        if self.live_count() == 0 {
+            return None;
+        }
+        let idx = match self.policy {
+            BalancerPolicy::RoundRobin => {
+                let n = self.sites.len();
+                let mut idx = self.next % n;
+                while !self.alive[idx] {
+                    idx = (idx + 1) % n;
+                }
+                self.next = idx + 1;
+                idx
+            }
+            BalancerPolicy::LeastPending => {
+                let mut best = None;
+                for i in 0..self.sites.len() {
+                    if !self.alive[i] {
+                        continue;
+                    }
+                    match best {
+                        None => best = Some(i),
+                        Some(b) if self.pending[i] < self.pending[b] => best = Some(i),
+                        _ => {}
+                    }
+                }
+                best.expect("live_count > 0")
+            }
+        };
+        self.dispatched[idx] += 1;
+        // Optimistically count the dispatch toward the backlog so bursts
+        // spread even between pending reports.
+        self.pending[idx] += 1;
+        Some(self.sites[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_evenly() {
+        let mut b = Balancer::new(vec![1, 2, 3], BalancerPolicy::RoundRobin);
+        let picks: Vec<SiteId> = (0..9).map(|_| b.pick().unwrap()).collect();
+        assert_eq!(picks, vec![1, 2, 3, 1, 2, 3, 1, 2, 3]);
+        assert_eq!(b.dispatched, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn failed_site_is_skipped_and_share_redistributes() {
+        let mut b = Balancer::new(vec![1, 2, 3], BalancerPolicy::RoundRobin);
+        b.mark_failed(2);
+        let picks: Vec<SiteId> = (0..6).map(|_| b.pick().unwrap()).collect();
+        assert!(picks.iter().all(|&s| s != 2));
+        assert_eq!(picks.iter().filter(|&&s| s == 1).count(), 3);
+        assert_eq!(picks.iter().filter(|&&s| s == 3).count(), 3);
+    }
+
+    #[test]
+    fn recovery_restores_rotation() {
+        let mut b = Balancer::new(vec![1, 2], BalancerPolicy::RoundRobin);
+        b.mark_failed(1);
+        assert_eq!(b.pick(), Some(2));
+        b.mark_recovered(1);
+        let picks: Vec<SiteId> = (0..4).map(|_| b.pick().unwrap()).collect();
+        assert!(picks.contains(&1) && picks.contains(&2));
+    }
+
+    #[test]
+    fn all_down_returns_none() {
+        let mut b = Balancer::new(vec![1], BalancerPolicy::RoundRobin);
+        b.mark_failed(1);
+        assert_eq!(b.pick(), None);
+        assert_eq!(b.live_count(), 0);
+    }
+
+    #[test]
+    fn least_pending_prefers_idle_site() {
+        let mut b = Balancer::new(vec![1, 2], BalancerPolicy::LeastPending);
+        b.report_pending(1, 100);
+        b.report_pending(2, 0);
+        assert_eq!(b.pick(), Some(2));
+        // The optimistic increment spreads a burst rather than dogpiling.
+        b.report_pending(1, 0);
+        b.report_pending(2, 0);
+        let picks: Vec<SiteId> = (0..4).map(|_| b.pick().unwrap()).collect();
+        assert_eq!(picks.iter().filter(|&&s| s == 1).count(), 2);
+        assert_eq!(picks.iter().filter(|&&s| s == 2).count(), 2);
+    }
+
+    #[test]
+    fn least_pending_skips_failed() {
+        let mut b = Balancer::new(vec![1, 2], BalancerPolicy::LeastPending);
+        b.report_pending(1, 0);
+        b.report_pending(2, 50);
+        b.mark_failed(1);
+        assert_eq!(b.pick(), Some(2));
+    }
+}

@@ -1,0 +1,507 @@
+//! The experiment harness.
+//!
+//! Every figure in the paper's §4 is a run (or sweep) of
+//! [`run`]: build a simulated cluster — central site, `mirrors` secondary
+//! sites, a client-population sink — replay the FAA/Delta event sequence
+//! and a client-request schedule, and report the paper's metrics: **total
+//! execution time** for the whole sequence plus all requests, and **update
+//! delay** (event ingress → EDE emission at the central site).
+//!
+//! Two ingestion modes match the two kinds of experiments:
+//!
+//! * [`Ingest::Backlog`] — the event sequence is presented as fast as the
+//!   server can consume it (the paper's total-execution-time
+//!   microbenchmarks, Figures 4–7);
+//! * [`Ingest::Paced`] — events arrive on their capture-time schedule (the
+//!   delay-over-time experiments, Figures 8–9).
+
+use std::sync::{Arc, Mutex};
+
+use mirror_core::adapt::{AdaptAction, MonitorKind, MonitorThresholds};
+use mirror_core::api::MirrorConfig;
+use mirror_core::metrics::{AuxCounters, DelayStats};
+use mirror_core::mirrorfn::MirrorFnKind;
+use mirror_sim::engine::{Shared, Sim, SimProcess};
+use mirror_sim::{CostModel, LinkParams};
+use mirror_workload::faa::{self, FaaStreamConfig};
+use mirror_workload::delta::{self, DeltaStreamConfig};
+use mirror_workload::requests::{RequestPattern, RequestSchedule};
+use mirror_workload::merge_schedules;
+
+use crate::payload::Payload;
+use crate::site::{ClientSink, SiteProcess};
+
+/// How the event sequence is presented to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// All events available immediately; the server runs flat out
+    /// (total-execution-time experiments).
+    Backlog,
+    /// Events arrive at their capture-time schedule (delay experiments).
+    Paced,
+}
+
+/// Which sites receive client requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestTargets {
+    /// Requests balanced over every site, central included — the paper's
+    /// §4.2 setup ("constant request load evenly distributed across the
+    /// mirrors", the central site being the primary mirror).
+    AllSites,
+    /// Requests balanced over secondary mirrors only — the §1 deployment
+    /// intent ("bursty client requests are directed to mirror sites").
+    MirrorsOnly,
+}
+
+/// Adaptation configuration for a run (§3.2.2 / §4.3).
+#[derive(Debug, Clone)]
+pub struct AdaptSetup {
+    /// Which variable is monitored.
+    pub monitor: MonitorKind,
+    /// Primary threshold (engage at ≥).
+    pub primary: u64,
+    /// Secondary threshold (release below primary − secondary).
+    pub secondary: u64,
+    /// What to change when engaged.
+    pub action: AdaptAction,
+}
+
+/// Full configuration of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of secondary mirror sites.
+    pub mirrors: usize,
+    /// Mirroring configuration under test.
+    pub kind: MirrorFnKind,
+    /// Optional runtime adaptation.
+    pub adapt: Option<AdaptSetup>,
+    /// FAA position stream.
+    pub faa: FaaStreamConfig,
+    /// Optional Delta status stream.
+    pub delta: Option<DeltaStreamConfig>,
+    /// Client-request arrival pattern.
+    pub requests: RequestPattern,
+    /// Request-generation horizon (µs); 0 = use the FAA stream's span.
+    pub request_horizon_us: u64,
+    /// Which sites serve requests.
+    pub targets: RequestTargets,
+    /// Ingestion mode.
+    pub ingest: Ingest,
+    /// Override the checkpoint interval after the mirroring kind is
+    /// installed (the Figure 7 "decreased checkpointing frequency" knob).
+    pub checkpoint_every_override: Option<u32>,
+    /// Cost model (calibrated by default).
+    pub cost: CostModel,
+    /// Override the intra-cluster link parameters (None = the calibrated
+    /// high-bandwidth fabric).
+    pub intra_link: Option<LinkParams>,
+    /// Sending-task wakeup period for coalescing modes (µs).
+    pub flush_period_us: u64,
+    /// Seed for the request schedule.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Simple,
+            adapt: None,
+            faa: FaaStreamConfig::default(),
+            delta: None,
+            requests: RequestPattern::None,
+            request_horizon_us: 0,
+            targets: RequestTargets::AllSites,
+            ingest: Ingest::Backlog,
+            checkpoint_every_override: None,
+            intra_link: None,
+            cost: CostModel::calibrated(),
+            flush_period_us: 50_000,
+            seed: 7,
+        }
+    }
+}
+
+/// Everything a run reports.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Total execution time (s): until the last event is processed and the
+    /// last request answered — the paper's scalability metric.
+    pub total_time_s: f64,
+    /// Update delay at the central EDE.
+    pub update_delay: DelayStats,
+    /// Median update delay (µs).
+    pub update_delay_p50_us: u64,
+    /// 99th-percentile update delay (µs).
+    pub update_delay_p99_us: u64,
+    /// Per-second mean update delay (µs): the Figure 9 series.
+    pub delay_series: Vec<(f64, f64)>,
+    /// Central auxiliary-unit counters.
+    pub central: AuxCounters,
+    /// EDE state hash per site (central first, then mirrors in order).
+    pub state_hashes: Vec<u64>,
+    /// Client requests served across all sites.
+    pub requests_served: u64,
+    /// Client-observed request latency.
+    pub request_latency: DelayStats,
+    /// Adaptation directives applied at the central site.
+    pub adaptations: u64,
+    /// Times (s) at which the central site reconfigured.
+    pub adaptation_times_s: Vec<f64>,
+    /// Total bytes mirrored by the central site (sum over destinations).
+    pub mirrored_bytes: u64,
+    /// Events presented to the system.
+    pub events: u64,
+    /// Largest pending-request backlog observed at any site.
+    pub max_pending_requests: usize,
+    /// CPU utilization per site over the run (central first): busy time /
+    /// total time. The binding resource of each configuration.
+    pub utilization: Vec<f64>,
+}
+
+/// Run one experiment.
+pub fn run(cfg: &ExperimentConfig) -> ExperimentResult {
+    let mirroring = cfg.kind.mirrors();
+    let mirrors = if mirroring { cfg.mirrors } else { 0 };
+    let sink_node = mirrors + 1;
+
+    // ---- build sites ----------------------------------------------------
+    let mirror_sites: Vec<u16> = (1..=mirrors as u16).collect();
+    let mut central_aux = MirrorConfig::default().build_central(mirror_sites.clone());
+    central_aux.install_kind(cfg.kind);
+    if let Some(every) = cfg.checkpoint_every_override {
+        let mut p = central_aux.params().clone();
+        p.checkpoint_every = every.max(1);
+        central_aux.set_params(p);
+    }
+    if let (Some(setup), Some(ctrl)) = (&cfg.adapt, central_aux.adaptation_mut()) {
+        ctrl.set_monitor_values(setup.monitor, MonitorThresholds::new(setup.primary, setup.secondary));
+        ctrl.set_action(setup.action.clone());
+    }
+    let central = SiteProcess::central(
+        central_aux,
+        mirroring,
+        0,
+        (1..=mirrors).collect(),
+        sink_node,
+        cfg.cost,
+    );
+    let (central_shared, central_handle) = Shared::new(central);
+
+    let mut mirror_handles: Vec<Arc<Mutex<SiteProcess>>> = Vec::new();
+    let mut procs: Vec<Box<dyn SimProcess<Payload>>> = vec![Box::new(central_shared)];
+    for site in mirror_sites {
+        let mut aux = MirrorConfig::default().build_mirror(site);
+        aux.install_kind(cfg.kind);
+        let proc = SiteProcess::mirror(aux, site as usize, 0, sink_node, cfg.cost);
+        let (shared, handle) = Shared::new(proc);
+        procs.push(Box::new(shared));
+        mirror_handles.push(handle);
+    }
+    let (sink_shared, sink_handle) = Shared::new(ClientSink::new());
+    procs.push(Box::new(sink_shared));
+
+    let mut sim = Sim::new(procs, cfg.intra_link.unwrap_or_else(LinkParams::intra_cluster));
+    for node in 0..=mirrors {
+        sim.set_link(node, sink_node, LinkParams::client_ethernet());
+    }
+
+    // ---- workload -------------------------------------------------------
+    let faa_events = faa::generate(&cfg.faa);
+    let span = faa_events.last().map(|(t, _)| *t).unwrap_or(0);
+    let mut schedules = vec![faa_events];
+    if let Some(dc) = &cfg.delta {
+        schedules.push(delta::generate(dc));
+    }
+    let events = merge_schedules(schedules);
+    let n_events = events.len() as u64;
+
+    match cfg.ingest {
+        Ingest::Backlog => {
+            for (_, e) in events {
+                sim.inject(0, 0, Payload::Source(e));
+            }
+        }
+        Ingest::Paced => {
+            for (t, e) in events {
+                sim.inject(t, 0, Payload::Source(e));
+            }
+        }
+    }
+
+    // Sending-task wakeups for coalescing configurations: without them a
+    // sub-watermark tail would sit in the ready queue forever.
+    let horizon = if cfg.request_horizon_us > 0 { cfg.request_horizon_us } else { span };
+    if matches!(cfg.kind, MirrorFnKind::Coalescing { .. }) && cfg.flush_period_us > 0 {
+        let mut t = cfg.flush_period_us;
+        while t <= horizon.saturating_mul(2) {
+            sim.inject(t, 0, Payload::Flush);
+            t += cfg.flush_period_us;
+        }
+    }
+
+    // ---- client requests --------------------------------------------------
+    let schedule = RequestSchedule::generate(cfg.requests, horizon.max(1), cfg.seed);
+    let n_requests = schedule.len() as u64;
+    let target_nodes: Vec<usize> = match cfg.targets {
+        RequestTargets::AllSites => (0..=mirrors).collect(),
+        RequestTargets::MirrorsOnly if mirrors > 0 => (1..=mirrors).collect(),
+        RequestTargets::MirrorsOnly => vec![0],
+    };
+    for (i, r) in schedule.requests.iter().enumerate() {
+        let node = target_nodes[i % target_nodes.len()];
+        sim.inject(r.at_us, node, Payload::Request(*r));
+    }
+
+    // ---- run (+ drain coalescing tails) -----------------------------------
+    let mut total = sim.run();
+    for _ in 0..3 {
+        let t = sim.now().max(total) + 1;
+        sim.inject(t, 0, Payload::Flush);
+        total = total.max(sim.run());
+    }
+    let utilization: Vec<f64> = (0..=mirrors)
+        .map(|n| {
+            let stats = sim.node_stats(n);
+            if total == 0 {
+                0.0
+            } else {
+                stats.cpu_used as f64 / total as f64
+            }
+        })
+        .collect();
+
+    // ---- collect ----------------------------------------------------------
+    let central = central_handle.lock().expect("central poisoned");
+    let sink = sink_handle.lock().expect("sink poisoned");
+    let mut state_hashes = vec![central.state_hash()];
+    let mut requests_served = central.metrics.requests_served;
+    let mut max_pending = central.metrics.max_pending_requests;
+    for h in &mirror_handles {
+        let m = h.lock().expect("mirror poisoned");
+        state_hashes.push(m.state_hash());
+        requests_served += m.metrics.requests_served;
+        max_pending = max_pending.max(m.metrics.max_pending_requests);
+    }
+    debug_assert_eq!(requests_served, n_requests, "open-loop load must drain");
+
+    let mut delay_dist = mirror_core::metrics::DelayDistribution::new();
+    for &(_, v) in central.metrics.delay_series.samples() {
+        delay_dist.record(v as u64);
+    }
+    ExperimentResult {
+        total_time_s: mirror_sim::as_secs(total),
+        update_delay: central.metrics.update_delay,
+        update_delay_p50_us: delay_dist.percentile(50.0),
+        update_delay_p99_us: delay_dist.percentile(99.0),
+        delay_series: central
+            .metrics
+            .delay_series
+            .bucket_mean(1_000_000)
+            .into_iter()
+            .map(|(t, v)| (t as f64 / 1e6, v))
+            .collect(),
+        central: central.aux_counters(),
+        state_hashes,
+        requests_served,
+        request_latency: sink.request_latency,
+        adaptations: central.metrics.adaptations,
+        adaptation_times_s: central
+            .metrics
+            .adaptation_times
+            .iter()
+            .map(|&t| mirror_sim::as_secs(t))
+            .collect(),
+        mirrored_bytes: central.aux_counters().mirrored_bytes,
+        events: n_events,
+        max_pending_requests: max_pending,
+        utilization,
+    }
+}
+
+/// Convenience: assert all *mirror* sites hold identical state (the
+/// replication invariant; the central may differ under selective rules
+/// only in what was filtered, never among mirrors).
+pub fn mirrors_consistent(result: &ExperimentResult) -> bool {
+    result.state_hashes.len() <= 2
+        || result.state_hashes[1..].windows(2).all(|w| w[0] == w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_faa(n: u64, size: usize) -> FaaStreamConfig {
+        FaaStreamConfig {
+            flights: 20,
+            total_events: n,
+            events_per_sec: 700.0,
+            event_size: size,
+            seed: 0xFAA,
+            first_flight: 0,
+        }
+    }
+
+    #[test]
+    fn baseline_vs_simple_mirroring_overhead_band() {
+        // Figure 4's headline: simple mirroring to one site costs roughly
+        // 15–20% over no mirroring.
+        let base = run(&ExperimentConfig {
+            mirrors: 0,
+            kind: MirrorFnKind::None,
+            faa: small_faa(2000, 1000),
+            ..Default::default()
+        });
+        let simple = run(&ExperimentConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Simple,
+            faa: small_faa(2000, 1000),
+            ..Default::default()
+        });
+        let ratio = simple.total_time_s / base.total_time_s;
+        assert!(
+            (1.08..=1.30).contains(&ratio),
+            "simple/base = {ratio:.3} (base {:.2}s simple {:.2}s)",
+            base.total_time_s,
+            simple.total_time_s
+        );
+    }
+
+    #[test]
+    fn selective_mirroring_cuts_overhead() {
+        let simple = run(&ExperimentConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Simple,
+            faa: small_faa(2000, 4000),
+            ..Default::default()
+        });
+        let selective = run(&ExperimentConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Selective { overwrite: 10 },
+            faa: small_faa(2000, 4000),
+            ..Default::default()
+        });
+        assert!(
+            selective.total_time_s < simple.total_time_s,
+            "selective {:.2}s !< simple {:.2}s",
+            selective.total_time_s,
+            simple.total_time_s
+        );
+        assert!(selective.mirrored_bytes < simple.mirrored_bytes / 5);
+    }
+
+    #[test]
+    fn mirrors_replicate_consistently() {
+        let r = run(&ExperimentConfig {
+            mirrors: 3,
+            kind: MirrorFnKind::Simple,
+            faa: small_faa(1500, 800),
+            delta: Some(DeltaStreamConfig {
+                flights: 20,
+                span_us: 2_000_000,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        assert!(mirrors_consistent(&r), "hashes {:?}", r.state_hashes);
+        // Under simple mirroring every site (central included) agrees.
+        assert!(
+            r.state_hashes.windows(2).all(|w| w[0] == w[1]),
+            "simple mirroring replicates everything: {:?}",
+            r.state_hashes
+        );
+    }
+
+    #[test]
+    fn requests_all_served_and_latency_positive() {
+        let r = run(&ExperimentConfig {
+            mirrors: 2,
+            kind: MirrorFnKind::Simple,
+            faa: small_faa(800, 500),
+            requests: RequestPattern::Constant { rate: 100.0 },
+            targets: RequestTargets::MirrorsOnly,
+            ..Default::default()
+        });
+        assert!(r.requests_served > 0);
+        assert_eq!(r.request_latency.count, r.requests_served);
+        assert!(r.request_latency.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn request_load_slows_the_run() {
+        let quiet = run(&ExperimentConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Simple,
+            faa: small_faa(1500, 1000),
+            ..Default::default()
+        });
+        let loaded = run(&ExperimentConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Simple,
+            faa: small_faa(1500, 1000),
+            requests: RequestPattern::Constant { rate: 300.0 },
+            ..Default::default()
+        });
+        assert!(loaded.total_time_s > quiet.total_time_s);
+    }
+
+    #[test]
+    fn paced_ingest_records_time_spread_series() {
+        let r = run(&ExperimentConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Simple,
+            faa: small_faa(2000, 600),
+            ingest: Ingest::Paced,
+            ..Default::default()
+        });
+        assert!(r.delay_series.len() >= 2, "series {:?}", r.delay_series.len());
+    }
+
+    #[test]
+    fn coalescing_mode_drains_fully() {
+        let r = run(&ExperimentConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 50 },
+            faa: small_faa(1003, 700), // not a multiple of the watermark
+            ..Default::default()
+        });
+        // Every event reached the mirror EDE (as a coalesced representative
+        // or directly): the mirror state hash must match a directly fed one.
+        assert_eq!(r.events, 1003);
+        assert!(mirrors_consistent(&r));
+        assert!(r.central.mirrored > 0);
+        assert!(
+            r.central.mirrored < 1003 / 5,
+            "coalescing must compress: {} wire events",
+            r.central.mirrored
+        );
+    }
+
+    #[test]
+    fn adaptation_engages_under_storm() {
+        let r = run(&ExperimentConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 50 },
+            adapt: Some(AdaptSetup {
+                monitor: MonitorKind::PendingRequests,
+                primary: 20,
+                secondary: 15,
+                action: AdaptAction::SwitchMirrorFn {
+                    normal: MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 50 },
+                    engaged: MirrorFnKind::Coalescing { coalesce: 20, checkpoint_every: 100 },
+                },
+            }),
+            faa: small_faa(4000, 800),
+            ingest: Ingest::Paced,
+            requests: RequestPattern::RecoveryStorm {
+                at_us: 1_000_000,
+                count: 300,
+                spread_us: 200_000,
+            },
+            targets: RequestTargets::MirrorsOnly,
+            ..Default::default()
+        });
+        assert!(r.adaptations >= 1, "storm must trigger adaptation");
+        assert!(r.max_pending_requests >= 20);
+    }
+}

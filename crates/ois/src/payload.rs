@@ -1,0 +1,69 @@
+//! Messages exchanged between simulated cluster nodes.
+
+use mirror_core::event::Event;
+use mirror_core::ControlMsg;
+use mirror_workload::requests::Request;
+
+/// A message delivered to a node in the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// An update event arriving from the wide-area collection
+    /// infrastructure (delivered to the central site only).
+    Source(Event),
+    /// A mirrored event on a central→mirror data channel.
+    MirrorData(Event),
+    /// A checkpoint/adaptation message on a control channel.
+    Control(ControlMsg),
+    /// A client's initial-state request arriving at a site.
+    Request(Request),
+    /// Self-message: serve the next buffered client request.
+    ServeNext,
+    /// A snapshot response on a site→client link.
+    Snapshot {
+        /// Request being answered.
+        request_id: u64,
+        /// When the request arrived at the OIS (for latency accounting).
+        issued_us: u64,
+        /// Response size.
+        bytes: usize,
+    },
+    /// A regular state update pushed to operational-data clients.
+    ClientUpdate {
+        /// Update size.
+        bytes: usize,
+        /// Ingress time of the underlying event (sink computes delivery
+        /// delay).
+        ingress_us: u64,
+    },
+    /// Sending-task wakeup: drain coalescing buffers.
+    Flush,
+}
+
+impl Payload {
+    /// Bytes this payload occupies on a link (used when a send's byte count
+    /// should match the payload; sites usually pass explicit sizes).
+    pub fn nominal_bytes(&self) -> usize {
+        match self {
+            Payload::Source(e) | Payload::MirrorData(e) => e.wire_size(),
+            Payload::Control(c) => c.wire_size(),
+            Payload::Request(_) => 64,
+            Payload::ServeNext | Payload::Flush => 0,
+            Payload::Snapshot { bytes, .. } | Payload::ClientUpdate { bytes, .. } => *bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirror_core::event::FlightStatus;
+
+    #[test]
+    fn nominal_bytes_match_event_wire_size() {
+        let e = Event::delta_status(1, 2, FlightStatus::Landed).with_total_size(512);
+        assert_eq!(Payload::Source(e.clone()).nominal_bytes(), 512);
+        assert_eq!(Payload::MirrorData(e).nominal_bytes(), 512);
+        assert_eq!(Payload::Flush.nominal_bytes(), 0);
+        assert_eq!(Payload::Snapshot { request_id: 1, issued_us: 0, bytes: 9 }.nominal_bytes(), 9);
+    }
+}

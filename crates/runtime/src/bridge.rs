@@ -1,0 +1,247 @@
+//! Bridging a mirror site into another process.
+//!
+//! The in-process cluster exchanges events over `mirror-echo` channels; a
+//! *bridge* pumps those channels over a pair of [`Transport`]s (typically
+//! TCP) so a mirror site can run in a different process or on a different
+//! machine — the deployment the paper actually targets. Each direction
+//! uses its own transport connection, so every connection is driven by
+//! exactly one writer and one reader thread:
+//!
+//! * **downlink** (central → mirror): mirrored data events + CHKPT/COMMIT
+//!   control broadcasts;
+//! * **uplink** (mirror → central): CHKPT_REP replies.
+//!
+//! Shutdown cascades naturally: when one side's publishers drop, its pump
+//! threads end, the transport reaches EOF, and the remote side unwinds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Sender};
+
+use mirror_core::event::Event;
+use mirror_core::ControlMsg;
+use mirror_echo::channel::{EventChannel, Publisher, RecvStatus, Subscriber};
+use mirror_echo::wire::Frame;
+use mirror_echo::Transport;
+
+const POLL: Duration = Duration::from_millis(20);
+
+/// Handle holding a bridge's threads; joining waits for the cascade to
+/// finish.
+///
+/// A bridge's reader thread blocks in `Transport::recv` until the *remote*
+/// endpoint's writer closes its transport, which happens when the remote
+/// endpoint is stopped. Therefore: **call [`BridgeHandle::stop`] on both
+/// endpoints (in any order) before calling [`BridgeHandle::join`] on
+/// either** — stop is non-blocking, join then completes on both sides.
+pub struct BridgeHandle {
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl BridgeHandle {
+    /// Ask the pumps to stop at their next poll.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop and join all bridge threads.
+    pub fn join(mut self) {
+        self.stop();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn pump_sub<T: Send + 'static>(
+    sub: Subscriber<T>,
+    stop: Arc<AtomicBool>,
+    tx: Sender<Frame>,
+    wrap: impl Fn(T) -> Frame + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        if stop.load(Ordering::SeqCst) {
+            // Drain everything already published before stopping: stop is
+            // a shutdown signal, not permission to drop queued traffic.
+            while let Some(m) = sub.try_recv() {
+                if tx.send(wrap(m)).is_err() {
+                    return;
+                }
+            }
+            break;
+        }
+        match sub.recv_status(POLL) {
+            RecvStatus::Msg(m) => {
+                if tx.send(wrap(m)).is_err() {
+                    break;
+                }
+            }
+            RecvStatus::Timeout => continue,
+            RecvStatus::Disconnected => break,
+        }
+    })
+}
+
+fn writer(
+    mut transport: Box<dyn Transport>,
+    rx: channel::Receiver<Frame>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while let Ok(frame) = rx.recv() {
+            if transport.send(&frame).is_err() {
+                break;
+            }
+        }
+    })
+}
+
+/// Central-side endpoint: ship the cluster's data + control downlinks to a
+/// remote mirror and feed its replies back into the control uplink.
+pub fn central_endpoint(
+    data: &EventChannel<Event>,
+    ctrl_down: &EventChannel<ControlMsg>,
+    ctrl_up_pub: Publisher<ControlMsg>,
+    down: Box<dyn Transport>,
+    mut up: Box<dyn Transport>,
+) -> BridgeHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = channel::unbounded::<Frame>();
+    let mut threads = vec![
+        pump_sub(data.subscribe(), Arc::clone(&stop), tx.clone(), Frame::Data),
+        pump_sub(ctrl_down.subscribe(), Arc::clone(&stop), tx, Frame::Control),
+        writer(down, rx),
+    ];
+    threads.push(std::thread::spawn(move || {
+        while let Ok(Some(frame)) = up.recv() {
+            if let Frame::Control(m) = frame {
+                ctrl_up_pub.publish(m);
+            }
+        }
+    }));
+    BridgeHandle { stop, threads }
+}
+
+/// Mirror-side endpoint: materialize local data/control-down channels from
+/// the downlink transport and ship the local control-uplink over the
+/// uplink transport.
+///
+/// `setup` runs with the three channels (data, control-down, control-up)
+/// **before** the downlink reader starts, so its subscriptions — typically
+/// a [`crate::site::MirrorSite`] — cannot miss early frames (a channel
+/// subscriber only sees messages published after it subscribes).
+pub fn mirror_endpoint<R>(
+    mut down: Box<dyn Transport>,
+    up: Box<dyn Transport>,
+    setup: impl FnOnce(
+        &EventChannel<Event>,
+        &EventChannel<ControlMsg>,
+        &EventChannel<ControlMsg>,
+    ) -> R,
+) -> (R, BridgeHandle) {
+    let data = EventChannel::new("bridge.data");
+    let ctrl_down = EventChannel::new("bridge.ctrl.down");
+    let ctrl_up = EventChannel::new("bridge.ctrl.up");
+
+    // Attach consumers before any frame can flow.
+    let out = setup(&data, &ctrl_down, &ctrl_up);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let data_pub = data.publisher();
+    let ctrl_down_pub = ctrl_down.publisher();
+    let mut threads = vec![std::thread::spawn(move || {
+        while let Ok(Some(frame)) = down.recv() {
+            match frame {
+                Frame::Data(e) => {
+                    data_pub.publish(e);
+                }
+                Frame::Control(m) => {
+                    ctrl_down_pub.publish(m);
+                }
+            }
+        }
+    })];
+    let (tx, rx) = channel::unbounded::<Frame>();
+    threads.push(pump_sub(ctrl_up.subscribe(), Arc::clone(&stop), tx, Frame::Control));
+    threads.push(writer(up, rx));
+
+    (out, BridgeHandle { stop, threads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::RuntimeClock;
+    use crate::site::MirrorSite;
+    use mirror_core::api::{MirrorConfig, MirrorHandle};
+    use mirror_core::event::PositionFix;
+    use mirror_echo::transport::InProcTransport;
+
+    fn fix() -> PositionFix {
+        PositionFix { lat: 0.0, lon: 0.0, alt_ft: 1.0, speed_kts: 1.0, heading_deg: 0.0 }
+    }
+
+    #[test]
+    fn bridged_mirror_receives_data_and_replies() {
+        // "Remote" side channels come from the bridge; local side owns the
+        // cluster channels.
+        let data = EventChannel::new("t.data");
+        let ctrl_down = EventChannel::new("t.ctrl.down");
+        let ctrl_up = EventChannel::new("t.ctrl.up");
+
+        let (down_a, down_b) = InProcTransport::pair("down");
+        let (up_a, up_b) = InProcTransport::pair("up");
+
+        let central_bridge = central_endpoint(
+            &data,
+            &ctrl_down,
+            ctrl_up.publisher(),
+            Box::new(down_a),
+            Box::new(up_b),
+        );
+        let (mut mirror, mirror_bridge) =
+            mirror_endpoint(Box::new(down_b), Box::new(up_a), |data, ctrl_down, ctrl_up| {
+                MirrorSite::start(
+                    MirrorHandle::new(MirrorConfig::default().build_mirror(1)),
+                    RuntimeClock::new(),
+                    data,
+                    ctrl_down,
+                    ctrl_up.publisher(),
+                )
+            });
+
+        // Publish events + a checkpoint proposal from the "central" side.
+        let data_pub = data.publisher();
+        let up_sub = ctrl_up.subscribe();
+        for seq in 1..=20u64 {
+            let mut e = Event::faa_position(seq, 3, fix());
+            e.stamp.advance(0, seq);
+            data_pub.publish(e);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while mirror.processed() < 20 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(mirror.processed(), 20, "all events must cross the bridge");
+
+        let mut stamp = mirror_core::timestamp::VectorTimestamp::new(1);
+        stamp.advance(0, 20);
+        ctrl_down.publisher().publish(ControlMsg::Chkpt { round: 1, stamp });
+        let rep = up_sub.recv_timeout(Duration::from_secs(5));
+        match rep {
+            Some(ControlMsg::ChkptRep { round: 1, site: 1, stamp, .. }) => {
+                assert_eq!(stamp.get(0), 20);
+            }
+            other => panic!("expected a bridged ChkptRep, got {other:?}"),
+        }
+
+        // Stop both endpoints before joining either (see BridgeHandle docs).
+        central_bridge.stop();
+        mirror_bridge.stop();
+        mirror.stop();
+        central_bridge.join();
+        mirror_bridge.join();
+    }
+}

@@ -1,0 +1,48 @@
+//! Wall-clock time base for the runtime.
+//!
+//! Events carry `ingress_us` relative to a run's start; every site in one
+//! cluster shares a [`RuntimeClock`] so update delays are measured on a
+//! common axis.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared monotonic clock, microseconds since creation.
+#[derive(Debug, Clone)]
+pub struct RuntimeClock {
+    start: Arc<Instant>,
+}
+
+impl Default for RuntimeClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeClock {
+    /// Start a new clock at zero.
+    pub fn new() -> Self {
+        RuntimeClock { start: Arc::new(Instant::now()) }
+    }
+
+    /// Microseconds elapsed since the clock started.
+    pub fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_shared() {
+        let c = RuntimeClock::new();
+        let c2 = c.clone();
+        let a = c.now_us();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c2.now_us();
+        assert!(b > a);
+        assert!(b >= 2_000);
+    }
+}

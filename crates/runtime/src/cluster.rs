@@ -1,0 +1,448 @@
+//! In-process cluster assembly.
+//!
+//! [`Cluster::start`] brings up the paper's Figure-2 topology on threads:
+//! one central site, *n* mirror sites, a shared data channel
+//! (central → mirrors), a control downlink (CHKPT/COMMIT broadcasts) and a
+//! control uplink (CHKPT_REP replies). All sites share one
+//! [`RuntimeClock`] so update delays are comparable.
+
+use std::time::{Duration, Instant};
+
+use mirror_core::api::{MirrorConfig, MirrorHandle};
+use mirror_core::aux_unit::SiteId;
+use mirror_core::event::Event;
+use mirror_core::mirrorfn::MirrorFnKind;
+use mirror_core::ControlMsg;
+use mirror_echo::channel::{EventChannel, Subscriber};
+use mirror_ede::Snapshot;
+
+use crate::clock::RuntimeClock;
+use crate::site::{CentralSite, MirrorSite};
+
+/// Cluster start-up configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of mirror sites.
+    pub mirrors: u16,
+    /// Initial mirroring configuration installed at every site.
+    pub kind: MirrorFnKind,
+    /// Failure detection: a mirror missing this many consecutive
+    /// checkpoint rounds is declared failed and excluded (0 = disabled,
+    /// the paper's timeout-free default).
+    pub suspect_after: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { mirrors: 1, kind: MirrorFnKind::Simple, suspect_after: 0 }
+    }
+}
+
+/// Point-in-time statistics for one site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteStats {
+    /// Events the EDE processed.
+    pub processed: u64,
+    /// Events mirrored onto outgoing channels.
+    pub mirrored: u64,
+    /// Snapshots served.
+    pub snapshots: u64,
+    /// Adaptation directives applied.
+    pub adaptations: u64,
+    /// Mean update delay so far (µs; central only in practice).
+    pub mean_update_delay_us: f64,
+}
+
+/// Point-in-time statistics across a running cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// The central site.
+    pub central: SiteStats,
+    /// Each mirror, in site order.
+    pub mirrors: Vec<SiteStats>,
+    /// Last committed checkpoint at the coordinator.
+    pub committed: Option<mirror_core::timestamp::VectorTimestamp>,
+    /// Mirrors declared failed.
+    pub failed_mirrors: Vec<SiteId>,
+}
+
+/// A running in-process cluster.
+pub struct Cluster {
+    clock: RuntimeClock,
+    central: CentralSite,
+    mirrors: Vec<MirrorSite>,
+    /// Mirror site ids retired by promotion (kept for index stability).
+    retired: Vec<SiteId>,
+    /// Kept so late mirror processes (e.g. over a bridge) can join.
+    data: EventChannel<Event>,
+    ctrl_down: EventChannel<ControlMsg>,
+    ctrl_up: EventChannel<ControlMsg>,
+}
+
+impl Cluster {
+    /// Start a cluster.
+    pub fn start(cfg: ClusterConfig) -> Self {
+        let clock = RuntimeClock::new();
+        let data = EventChannel::new("cluster.data");
+        let ctrl_down = EventChannel::new("cluster.ctrl.down");
+        let ctrl_up = EventChannel::new("cluster.ctrl.up");
+
+        // Mirrors first, so their subscriptions exist before the central
+        // publishes anything.
+        let mut mirrors = Vec::with_capacity(cfg.mirrors as usize);
+        for site in 1..=cfg.mirrors {
+            let mut aux = MirrorConfig::default().build_mirror(site);
+            aux.install_kind(cfg.kind);
+            mirrors.push(MirrorSite::start(
+                MirrorHandle::new(aux),
+                clock.clone(),
+                &data,
+                &ctrl_down,
+                ctrl_up.publisher(),
+            ));
+        }
+
+        let sites: Vec<SiteId> = (1..=cfg.mirrors).collect();
+        let mut aux = MirrorConfig::default().build_central(sites);
+        aux.install_kind(cfg.kind);
+        aux.set_suspect_after(cfg.suspect_after);
+        let central = CentralSite::start(
+            MirrorHandle::new(aux),
+            clock.clone(),
+            data.publisher(),
+            ctrl_down.publisher(),
+            &ctrl_up,
+        );
+
+        Cluster { clock, central, mirrors, retired: Vec::new(), data, ctrl_down, ctrl_up }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &RuntimeClock {
+        &self.clock
+    }
+
+    /// The central site.
+    pub fn central(&self) -> &CentralSite {
+        &self.central
+    }
+
+    /// Mirror sites, in site-id order (site 1 first).
+    pub fn mirrors(&self) -> &[MirrorSite] {
+        &self.mirrors
+    }
+
+    /// The intra-cluster channels (for attaching bridged remote mirrors).
+    pub fn channels(
+        &self,
+    ) -> (&EventChannel<Event>, &EventChannel<ControlMsg>, &EventChannel<ControlMsg>) {
+        (&self.data, &self.ctrl_down, &self.ctrl_up)
+    }
+
+    /// Submit one source event to the central site.
+    pub fn submit(&self, event: Event) {
+        self.central.submit(event);
+    }
+
+    /// Subscribe to the regular-client update stream.
+    pub fn subscribe_updates(&self) -> Subscriber<Event> {
+        self.central.subscribe_updates()
+    }
+
+    /// Serve an initial-state request from the given mirror (0 = central —
+    /// any site can answer, which is the point of mirroring).
+    pub fn snapshot(&self, site: SiteId) -> Snapshot {
+        if site == 0 {
+            self.central.snapshot()
+        } else {
+            self.mirrors[(site - 1) as usize].snapshot()
+        }
+    }
+
+    /// A point-in-time statistics snapshot across the cluster.
+    pub fn stats(&self) -> ClusterStats {
+        use std::sync::atomic::Ordering;
+        let site = |c: &crate::site::SiteCounters| SiteStats {
+            processed: c.processed.load(Ordering::Relaxed),
+            mirrored: c.mirrored.load(Ordering::Relaxed),
+            snapshots: c.snapshots.load(Ordering::Relaxed),
+            adaptations: c.adaptations.load(Ordering::Relaxed),
+            mean_update_delay_us: c.mean_delay_us(),
+        };
+        ClusterStats {
+            central: site(self.central.counters()),
+            mirrors: self.mirrors.iter().map(|m| site(m.counters())).collect(),
+            committed: self.central.committed(),
+            failed_mirrors: self.failed_mirrors(),
+        }
+    }
+
+    /// EDE state hashes: central first, then each mirror.
+    pub fn state_hashes(&self) -> Vec<u64> {
+        let mut out = vec![self.central.state_hash()];
+        out.extend(self.mirrors.iter().map(|m| m.state_hash()));
+        out
+    }
+
+    /// Block until every site's EDE has processed at least `n` events or
+    /// the timeout expires; returns whether the target was reached.
+    /// (Mirrors under selective/coalescing configurations see fewer events
+    /// than the central — pass per-site expectations via `predicate`
+    /// variants in tests when needed.)
+    pub fn wait_all_processed(&self, n: u64, timeout: Duration) -> bool {
+        self.wait(timeout, |c| {
+            c.central.processed() >= n
+                && c.mirrors
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !c.retired.contains(&((*i as SiteId) + 1)))
+                    .all(|(_, m)| m.processed() >= n)
+        })
+    }
+
+    /// Block until `predicate` holds or the timeout expires.
+    pub fn wait(&self, timeout: Duration, predicate: impl Fn(&Cluster) -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if predicate(self) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        predicate(self)
+    }
+
+    /// Simulate a mirror crash (test/ops hook): stop the site's threads;
+    /// its subscriptions drop and it stops answering checkpoint rounds, so
+    /// the coordinator's failure detector (if enabled) will exclude it.
+    pub fn fail_mirror(&mut self, site: SiteId) {
+        assert!(site >= 1 && (site as usize) <= self.mirrors.len());
+        self.mirrors[(site - 1) as usize].stop();
+    }
+
+    /// Mirrors the coordinator has declared failed.
+    pub fn failed_mirrors(&self) -> Vec<SiteId> {
+        self.central.failed_mirrors()
+    }
+
+    /// Replace a failed mirror with a fresh one recovered from the central
+    /// site's state (the paper's §6 recovery extension): the replacement
+    /// subscribes first (missing nothing), is seeded with a snapshot from
+    /// the central EDE, replays anything that arrived meanwhile, and is
+    /// readmitted into checkpoint rounds.
+    pub fn rejoin_mirror(&mut self, site: SiteId) {
+        assert!(site >= 1 && (site as usize) <= self.mirrors.len());
+        let kind_params = self.central.handle().params();
+        let mut aux = MirrorConfig::with_params(kind_params).build_mirror(site);
+        // Mirror rule/function config follows the central's current view.
+        aux.set_rules(self.central.handle().with(|a| a.rules().clone()));
+        let replacement = MirrorSite::start_seeded(
+            MirrorHandle::new(aux),
+            self.clock.clone(),
+            &self.data,
+            &self.ctrl_down,
+            self.ctrl_up.publisher(),
+        );
+        // Subscriptions are live; now capture the recovery state and seed.
+        let snapshot = self.central.snapshot();
+        let frontier = snapshot.as_of.clone();
+        replacement.seed(snapshot.restore(), frontier);
+        self.central.readmit_mirror(site);
+        self.mirrors[(site - 1) as usize] = replacement;
+    }
+
+    /// Simulate a central-site crash (test/ops hook): stop its threads.
+    /// The stream stalls until [`promote_mirror`](Self::promote_mirror)
+    /// installs a new coordinator.
+    pub fn fail_central(&mut self) {
+        self.central.stop();
+    }
+
+    /// Promote a mirror to be the new central site — the deepest payoff of
+    /// mirroring: every site holds the replicated state, so any of them
+    /// can take over coordination. The promoted mirror's state seeds the
+    /// new coordinator; the mirror itself is retired from the roster and
+    /// the survivors keep their subscriptions (data and control flow from
+    /// the new coordinator through the same channels).
+    ///
+    /// Returns the site ids of the mirrors remaining under the new
+    /// coordinator. Source traffic submitted after this call flows through
+    /// the new central site.
+    pub fn promote_mirror(&mut self, site: SiteId) -> Vec<SiteId> {
+        assert!(site >= 1 && (site as usize) <= self.mirrors.len());
+        let idx = (site - 1) as usize;
+
+        // Retire the promoted mirror FIRST, after quiescing: wait for its
+        // processed counter to stop advancing (in-flight events draining
+        // through the pumps), then stop() — the aux and main threads
+        // process everything already delivered before exiting — then
+        // snapshot. The seed thus includes every event the old central
+        // broadcast, so the new coordinator is not behind the survivors.
+        let mut last = self.mirrors[idx].processed();
+        let mut stable = 0;
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while stable < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+            let now = self.mirrors[idx].processed();
+            if now == last {
+                stable += 1;
+            } else {
+                stable = 0;
+                last = now;
+            }
+        }
+        self.mirrors[idx].stop();
+        let snapshot = self.mirrors[idx].snapshot();
+
+        // Survivors: every mirror except the promoted one (stopped sites
+        // stay in the vec as tombstones to keep site-id indexing stable;
+        // callers should not address them again).
+        let survivors: Vec<SiteId> = (1..=self.mirrors.len() as SiteId)
+            .filter(|&s| s != site && !self.retired.contains(&s))
+            .collect();
+        self.retired.push(site);
+
+        // New coordinator: seeded from the promoted mirror's state; its
+        // subscriptions (ctrl-up) attach before any new traffic flows.
+        let params = self.central.handle().params();
+        let rules = self.central.handle().with(|a| a.rules().clone());
+        let mut aux = MirrorConfig::with_params(params).build_central(survivors.clone());
+        aux.set_rules(rules);
+        let replacement = CentralSite::start_seeded(
+            MirrorHandle::new(aux),
+            self.clock.clone(),
+            self.data.publisher(),
+            self.ctrl_down.publisher(),
+            &self.ctrl_up,
+        );
+        replacement.seed(snapshot.restore(), snapshot.as_of.clone());
+        self.central = replacement;
+        survivors
+    }
+
+    /// Stop every site and join all threads.
+    pub fn shutdown(mut self) {
+        self.central.stop();
+        for m in &mut self.mirrors {
+            m.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirror_core::event::{FlightStatus, PositionFix};
+
+    fn fix() -> PositionFix {
+        PositionFix { lat: 1.0, lon: 2.0, alt_ft: 30000.0, speed_kts: 450.0, heading_deg: 10.0 }
+    }
+
+    #[test]
+    fn simple_mirroring_replicates_state_to_all_sites() {
+        let cluster = Cluster::start(ClusterConfig { mirrors: 2, ..Default::default() });
+        for seq in 1..=200u64 {
+            cluster.submit(Event::faa_position(seq, (seq % 10) as u32, fix()));
+        }
+        assert!(
+            cluster.wait_all_processed(200, Duration::from_secs(5)),
+            "all sites must process 200 events; got central={} mirrors={:?}",
+            cluster.central().processed(),
+            cluster.mirrors().iter().map(|m| m.processed()).collect::<Vec<_>>()
+        );
+        let hashes = cluster.state_hashes();
+        assert!(hashes.windows(2).all(|w| w[0] == w[1]), "hashes diverged: {hashes:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn regular_clients_receive_updates() {
+        let cluster = Cluster::start(ClusterConfig::default());
+        let updates = cluster.subscribe_updates();
+        for seq in 1..=50u64 {
+            cluster.submit(Event::faa_position(seq, 1, fix()));
+        }
+        let mut got = 0;
+        while got < 50 {
+            match updates.recv_timeout(Duration::from_secs(5)) {
+                Some(_) => got += 1,
+                None => break,
+            }
+        }
+        assert_eq!(got, 50);
+        assert!(cluster.central().counters().mean_delay_us() > 0.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn thin_client_recovers_from_mirror_snapshot() {
+        let cluster = Cluster::start(ClusterConfig::default());
+        for seq in 1..=100u64 {
+            cluster.submit(Event::faa_position(seq, (seq % 5) as u32, fix()));
+        }
+        cluster.submit(Event::delta_status(1, 2, FlightStatus::Landed));
+        assert!(cluster.wait_all_processed(101, Duration::from_secs(5)));
+        let snap = cluster.snapshot(1);
+        assert_eq!(snap.flight_count(), 5);
+        let restored = snap.restore();
+        assert_eq!(restored.state_hash(), cluster.state_hashes()[1]);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn checkpoints_prune_backup_queues_at_runtime() {
+        let cluster = Cluster::start(ClusterConfig::default());
+        cluster.central().handle().set_params(false, 1, 10); // checkpoint every 10
+        for seq in 1..=100u64 {
+            cluster.submit(Event::faa_position(seq, 1, fix()));
+        }
+        assert!(cluster.wait_all_processed(100, Duration::from_secs(5)));
+        // Give the final checkpoint round a moment to commit.
+        let committed = cluster.wait(Duration::from_secs(5), |c| {
+            c.central().committed().map(|t| t.get(0) >= 90).unwrap_or(false)
+        });
+        assert!(committed, "checkpoint must commit most of the stream");
+        let backup_len = cluster.central().handle().with(|a| a.backup_len());
+        assert!(backup_len <= 20, "backup queue must be pruned, len={backup_len}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stats_snapshot_reflects_activity() {
+        let cluster = Cluster::start(ClusterConfig::default());
+        for seq in 1..=60u64 {
+            cluster.submit(Event::faa_position(seq, 1, fix()));
+        }
+        assert!(cluster.wait_all_processed(60, Duration::from_secs(5)));
+        let _ = cluster.snapshot(1);
+        let stats = cluster.stats();
+        assert_eq!(stats.central.processed, 60);
+        assert_eq!(stats.central.mirrored, 60);
+        assert_eq!(stats.mirrors.len(), 1);
+        assert_eq!(stats.mirrors[0].processed, 60);
+        assert_eq!(stats.mirrors[0].snapshots, 1);
+        assert!(stats.failed_mirrors.is_empty());
+        assert!(stats.central.mean_update_delay_us > 0.0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn selective_mirroring_thins_mirror_traffic_live() {
+        let cluster = Cluster::start(ClusterConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Selective { overwrite: 10 },
+            suspect_after: 0,
+        });
+        for seq in 1..=100u64 {
+            cluster.submit(Event::faa_position(seq, 7, fix()));
+        }
+        // Central processes all 100; the mirror only the overwrite
+        // survivors (~10).
+        assert!(cluster.wait(Duration::from_secs(5), |c| c.central().processed() >= 100));
+        assert!(cluster.wait(Duration::from_secs(5), |c| c.mirrors()[0].processed() >= 10));
+        std::thread::sleep(Duration::from_millis(50));
+        let mirror_seen = cluster.mirrors()[0].processed();
+        assert!(mirror_seen <= 15, "mirror saw {mirror_seen} events, expected ~10");
+        cluster.shutdown();
+    }
+}

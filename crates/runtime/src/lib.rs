@@ -1,0 +1,28 @@
+//! # mirror-runtime — the real threads-and-channels runtime
+//!
+//! `mirror-sim` reruns the paper's experiments deterministically; this
+//! crate runs the *same* sans-IO site logic (`mirror_core::AuxUnit`,
+//! `mirror_ede::Ede`) as an actual concurrent system: one thread per unit,
+//! typed `mirror-echo` event channels between sites, `parking_lot` guarding
+//! the shared state the paper's three auxiliary tasks synchronize over.
+//!
+//! The entry point is [`cluster::Cluster`]: start a central site plus *n*
+//! in-process mirror sites, push source events, watch regular-client
+//! updates flow out of the central EDE, request initial-state snapshots
+//! from any mirror, and reconfigure mirroring live through the Table-1
+//! [`mirror_core::MirrorHandle`]. The [`bridge`] module pumps a site's
+//! data/control channels over a `mirror-echo` TCP transport so mirrors can
+//! live in other processes.
+
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod clock;
+pub mod cluster;
+pub mod requests;
+pub mod site;
+
+pub use clock::RuntimeClock;
+pub use requests::{RequestClient, RequestGateway};
+pub use cluster::{Cluster, ClusterConfig, ClusterStats, SiteStats};
+pub use site::{CentralSite, MirrorSite};

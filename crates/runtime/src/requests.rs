@@ -1,0 +1,206 @@
+//! Server-side request gateways.
+//!
+//! In the paper, client requests arrive over the network and queue in "an
+//! application level buffer holding all pending client requests" — one of
+//! the monitored variables driving adaptive mirroring (§3.2.2). A
+//! [`RequestGateway`] gives a running site exactly that: a serving thread
+//! with a FIFO of initial-state requests whose occupancy feeds the site's
+//! pending-requests gauge (and therefore the checkpoint-piggybacked
+//! monitor reports), so the central adaptation controller reacts to real
+//! request pressure in the live runtime, not just in the simulator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+use mirror_ede::Snapshot;
+
+/// A request job: answered with a state snapshot.
+struct Job {
+    reply: Sender<Snapshot>,
+}
+
+/// Client-side handle: submit initial-state requests to a site's gateway.
+#[derive(Clone)]
+pub struct RequestClient {
+    tx: Sender<Job>,
+}
+
+/// Why a gateway request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestError {
+    /// The gateway has shut down.
+    Closed,
+    /// No response within the deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Closed => write!(f, "gateway closed"),
+            RequestError::Timeout => write!(f, "request timed out"),
+        }
+    }
+}
+impl std::error::Error for RequestError {}
+
+impl RequestClient {
+    /// Submit a request and wait for the snapshot (with a deadline).
+    pub fn fetch(&self, timeout: Duration) -> Result<Snapshot, RequestError> {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.tx.send(Job { reply: reply_tx }).map_err(|_| RequestError::Closed)?;
+        reply_rx.recv_timeout(timeout).map_err(|_| RequestError::Timeout)
+    }
+
+    /// Fire a request without waiting (load-generation helper); the reply
+    /// is discarded when the returned receiver is dropped.
+    pub fn fire(&self) -> Result<Receiver<Snapshot>, RequestError> {
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        self.tx.send(Job { reply: reply_tx }).map_err(|_| RequestError::Closed)?;
+        Ok(reply_rx)
+    }
+}
+
+/// The serving side of a gateway, owned by the site wrapper.
+pub struct RequestGateway {
+    client: RequestClient,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RequestGateway {
+    /// Spawn a gateway thread serving snapshots via `snapshot_fn`, pushing
+    /// queue occupancy into `pending_gauge` (the site's monitored
+    /// variable) and counting completions into `served`.
+    ///
+    /// `service_pad` models the per-request work beyond the in-memory
+    /// snapshot clone — marshalling and pushing the initial view over a
+    /// client link — which is what makes request storms *load* (zero for
+    /// pure functional tests).
+    pub(crate) fn spawn(
+        snapshot_fn: impl Fn() -> Snapshot + Send + 'static,
+        pending_gauge: Arc<AtomicU64>,
+        served: Arc<AtomicU64>,
+        service_pad: Duration,
+    ) -> Self {
+        let (tx, rx) = channel::unbounded::<Job>();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_in_thread = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("request-gateway".into())
+            .spawn(move || {
+                loop {
+                    // Check the stop flag every iteration, not only on
+                    // timeouts — a steady stream of requests must not be
+                    // able to starve shutdown.
+                    if stop_in_thread.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let job = match rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok(j) => j,
+                        Err(channel::RecvTimeoutError::Timeout) => continue,
+                        Err(channel::RecvTimeoutError::Disconnected) => break,
+                    };
+                    // Occupancy right now: this job plus everything queued.
+                    pending_gauge.store(rx.len() as u64 + 1, Ordering::Relaxed);
+                    let snap = snapshot_fn();
+                    if !service_pad.is_zero() {
+                        std::thread::sleep(service_pad);
+                    }
+                    let _ = job.reply.send(snap);
+                    served.fetch_add(1, Ordering::Relaxed);
+                    pending_gauge.store(rx.len() as u64, Ordering::Relaxed);
+                }
+                pending_gauge.store(0, Ordering::Relaxed);
+            })
+            .expect("spawn request gateway");
+        RequestGateway { client: RequestClient { tx }, stop, thread: Some(thread) }
+    }
+
+    /// A client handle for this gateway (cheap to clone).
+    pub fn client(&self) -> RequestClient {
+        self.client.clone()
+    }
+
+    /// Stop the gateway: the queue drains no further; pending `fetch`
+    /// calls see [`RequestError::Timeout`], new ones
+    /// [`RequestError::Closed`] once every client handle is gone.
+    pub fn stop(mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirror_core::timestamp::VectorTimestamp;
+    use mirror_ede::OperationalState;
+
+    fn gateway(pad: Duration) -> (RequestGateway, Arc<AtomicU64>, Arc<AtomicU64>) {
+        let pending = Arc::new(AtomicU64::new(0));
+        let served = Arc::new(AtomicU64::new(0));
+        let gw = RequestGateway::spawn(
+            || Snapshot::capture(&OperationalState::new(), VectorTimestamp::empty()),
+            Arc::clone(&pending),
+            Arc::clone(&served),
+            pad,
+        );
+        (gw, pending, served)
+    }
+
+    #[test]
+    fn serves_requests_and_counts() {
+        let (gw, _pending, served) = gateway(Duration::ZERO);
+        let client = gw.client();
+        for _ in 0..20 {
+            let snap = client.fetch(Duration::from_secs(5)).unwrap();
+            assert_eq!(snap.flight_count(), 0);
+        }
+        assert_eq!(served.load(Ordering::Relaxed), 20);
+        drop(client);
+        gw.stop();
+    }
+
+    #[test]
+    fn backlog_raises_the_pending_gauge() {
+        let (gw, pending, served) = gateway(Duration::from_millis(5));
+        let client = gw.client();
+        let mut receivers = Vec::new();
+        for _ in 0..30 {
+            receivers.push(client.fire().unwrap());
+        }
+        // While the gateway grinds through the queue, occupancy is visible.
+        let mut peak = 0;
+        for _ in 0..200 {
+            peak = peak.max(pending.load(Ordering::Relaxed));
+            if served.load(Ordering::Relaxed) >= 30 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(peak >= 10, "queue must be observable, peak {peak}");
+        for r in receivers {
+            assert!(r.recv_timeout(Duration::from_secs(5)).is_ok());
+        }
+        assert_eq!(pending.load(Ordering::Relaxed), 0);
+        drop(client);
+        gw.stop();
+    }
+
+    #[test]
+    fn closed_gateway_reports_errors() {
+        let (gw, _, _) = gateway(Duration::ZERO);
+        let client = gw.client();
+        gw.stop();
+        assert!(matches!(
+            client.fetch(Duration::from_millis(100)),
+            Err(RequestError::Closed) | Err(RequestError::Timeout)
+        ));
+    }
+}

@@ -1,0 +1,607 @@
+//! Threaded site runtimes.
+//!
+//! Each site runs two long-lived threads mirroring the paper's unit split:
+//!
+//! * the **aux thread** executes the auxiliary unit (receiving, sending and
+//!   control tasks — the [`mirror_core::AuxUnit`] step machine behind the
+//!   Table-1 [`MirrorHandle`]), translating its actions into channel
+//!   publishes;
+//! * the **main thread** executes the Event Derivation Engine and the main
+//!   unit's checkpoint responder, feeding replies back to the aux thread.
+//!
+//! Channel-subscription forwarder threads pump `mirror-echo` subscriptions
+//! into a site's inbox, so no thread ever blocks on more than one source.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Sender};
+use parking_lot::Mutex;
+
+use mirror_core::api::MirrorHandle;
+use mirror_core::aux_unit::{AuxAction, AuxInput, SiteId};
+use mirror_core::adapt::MonitorReport;
+use mirror_core::checkpoint::MainUnitResponder;
+use mirror_core::event::Event;
+use mirror_core::timestamp::VectorTimestamp;
+use mirror_core::ControlMsg;
+use mirror_echo::channel::{EventChannel, Publisher, Subscriber};
+use mirror_ede::{Ede, OperationalState, Snapshot};
+
+use crate::clock::RuntimeClock;
+
+/// How often an idle aux thread flushes coalescing buffers.
+const FLUSH_PERIOD: Duration = Duration::from_millis(20);
+
+/// A message in a site's aux inbox.
+#[derive(Debug)]
+pub(crate) enum SiteMsg {
+    /// A data event (source ingest at the central site, mirrored event at a
+    /// mirror site).
+    Data(Event),
+    /// A control-channel message.
+    Ctrl(ControlMsg),
+    /// Stop the site.
+    Stop,
+}
+
+/// A message for a site's main (EDE) thread.
+#[derive(Debug)]
+enum MainMsg {
+    Event(Event),
+    Ctrl(ControlMsg),
+    /// Install recovered state (mirror rejoin): the operational state plus
+    /// the frontier it reflects. Events buffered while awaiting the seed
+    /// are replayed on top (stale ones are absorbed idempotently).
+    Seed(Box<mirror_ede::OperationalState>, VectorTimestamp),
+    Stop,
+}
+
+/// Shared atomic counters for a running site.
+#[derive(Debug, Default)]
+pub struct SiteCounters {
+    /// Events the EDE processed.
+    pub processed: AtomicU64,
+    /// Events mirrored onto outgoing channels.
+    pub mirrored: AtomicU64,
+    /// Update-delay sum (µs) across emitted client updates (central).
+    pub delay_sum_us: AtomicU64,
+    /// Update count backing the delay mean.
+    pub delay_count: AtomicU64,
+    /// Adaptation directives applied.
+    pub adaptations: AtomicU64,
+    /// Snapshots served.
+    pub snapshots: AtomicU64,
+}
+
+impl SiteCounters {
+    /// Mean update delay (µs) so far.
+    pub fn mean_delay_us(&self) -> f64 {
+        let n = self.delay_count.load(Ordering::Relaxed);
+        if n == 0 {
+            0.0
+        } else {
+            self.delay_sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+}
+
+/// State shared by a site's threads and its owner.
+struct SiteShared {
+    ede: Mutex<Ede>,
+    responder: Mutex<MainUnitResponder>,
+    counters: SiteCounters,
+    /// Pending client requests at this site (the §3.2.2 monitored
+    /// variable); shared with any request gateway serving this site.
+    pending_gauge: Arc<AtomicU64>,
+    clock: RuntimeClock,
+}
+
+/// Common runtime machinery for one site.
+struct SiteCore {
+    shared: Arc<SiteShared>,
+    handle: MirrorHandle,
+    inbox_tx: Sender<SiteMsg>,
+    /// Direct line to the main thread (mirror rejoin seeding).
+    seed_tx: Sender<MainMsg>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SiteCore {
+    /// Spawn the aux + main threads for a site.
+    ///
+    /// `on_action` routes non-local aux actions (publishes to mirrors /
+    /// central); local main-unit traffic is wired here.
+    fn spawn(
+        site: SiteId,
+        handle: MirrorHandle,
+        clock: RuntimeClock,
+        on_action: impl Fn(&AuxAction) + Send + 'static,
+        updates_pub: Option<Publisher<Event>>,
+        await_seed: bool,
+    ) -> (Self, Sender<SiteMsg>) {
+        let (inbox_tx, inbox_rx) = channel::unbounded::<SiteMsg>();
+        let (main_tx, main_rx) = channel::unbounded::<MainMsg>();
+        let shared = Arc::new(SiteShared {
+            ede: Mutex::new(Ede::new()),
+            responder: Mutex::new(MainUnitResponder::new(site)),
+            counters: SiteCounters::default(),
+            pending_gauge: Arc::new(AtomicU64::new(0)),
+            clock,
+        });
+
+        // --- aux thread -----------------------------------------------------
+        let aux_handle = handle.clone();
+        let aux_shared = Arc::clone(&shared);
+        let aux_main_tx = main_tx.clone();
+        let aux = std::thread::Builder::new()
+            .name(format!("aux-{site}"))
+            .spawn(move || loop {
+                let msg = match inbox_rx.recv_timeout(FLUSH_PERIOD) {
+                    Ok(m) => m,
+                    Err(channel::RecvTimeoutError::Timeout) => {
+                        // Sending-task wakeup: drain coalescing buffers and
+                        // keep the checkpoint frontier moving while idle.
+                        let mut actions = aux_handle.mirror();
+                        actions.extend(aux_handle.idle_checkpoint());
+                        route_actions(actions, &aux_shared, &aux_main_tx, &on_action);
+                        continue;
+                    }
+                    Err(channel::RecvTimeoutError::Disconnected) => break,
+                };
+                match msg {
+                    SiteMsg::Data(e) => {
+                        let actions = aux_handle.fwd(e);
+                        route_actions(actions, &aux_shared, &aux_main_tx, &on_action);
+                    }
+                    SiteMsg::Ctrl(m) => {
+                        let actions = aux_handle.with(|a| a.handle(AuxInput::Control(m)));
+                        route_actions(actions, &aux_shared, &aux_main_tx, &on_action);
+                    }
+                    SiteMsg::Stop => {
+                        let actions = aux_handle.mirror();
+                        route_actions(actions, &aux_shared, &aux_main_tx, &on_action);
+                        let _ = aux_main_tx.send(MainMsg::Stop);
+                        break;
+                    }
+                }
+            })
+            .expect("spawn aux thread");
+
+        // --- main (EDE) thread ----------------------------------------------
+        let main_shared = Arc::clone(&shared);
+        let main_inbox = inbox_tx.clone();
+        let main = std::thread::Builder::new()
+            .name(format!("main-{site}"))
+            .spawn(move || {
+                // Mirror rejoin: until the seed state arrives, data events
+                // are buffered; the seed install replays them on top
+                // (stale updates are absorbed idempotently by the EDE).
+                let mut awaiting_seed = await_seed;
+                let mut seed_buffer: Vec<Event> = Vec::new();
+                let process_event = |shared: &Arc<SiteShared>, ev: &Event| {
+                    // Apply to the EDE before advancing the frontier: see
+                    // the ordering note below (snapshot safety).
+                    let out = shared.ede.lock().process(ev);
+                    shared.responder.lock().record_processed(&ev.stamp);
+                    shared.counters.processed.fetch_add(1, Ordering::Relaxed);
+                    let now = shared.clock.now_us();
+                    for u in out.client_updates {
+                        let delay = now.saturating_sub(u.ingress_us);
+                        shared.counters.delay_sum_us.fetch_add(delay, Ordering::Relaxed);
+                        shared.counters.delay_count.fetch_add(1, Ordering::Relaxed);
+                        if let Some(p) = &updates_pub {
+                            p.publish(u);
+                        }
+                    }
+                };
+                while let Ok(msg) = main_rx.recv() {
+                    match msg {
+                        MainMsg::Event(ev) => {
+                            if awaiting_seed {
+                                seed_buffer.push(ev);
+                                continue;
+                            }
+                            process_event(&main_shared, &ev);
+                        }
+                        MainMsg::Seed(state, frontier) => {
+                            main_shared.ede.lock().install_state(*state);
+                            main_shared.responder.lock().record_processed(&frontier);
+                            awaiting_seed = false;
+                            for ev in seed_buffer.drain(..) {
+                                process_event(&main_shared, &ev);
+                            }
+                        }
+                        MainMsg::Ctrl(m) => match &m {
+                            ControlMsg::Chkpt { .. } => {
+                                let report = MonitorReport {
+                                    ready_len: 0,
+                                    backup_len: 0,
+                                    pending_requests: main_shared
+                                        .pending_gauge
+                                        .load(Ordering::Relaxed),
+                                };
+                                let rep = main_shared.responder.lock().on_chkpt(&m, report);
+                                if let Some(rep) = rep {
+                                    let _ = main_inbox.send(SiteMsg::Ctrl(rep));
+                                }
+                            }
+                            ControlMsg::Commit { .. } => {
+                                main_shared.responder.lock().on_commit(&m)
+                            }
+                            ControlMsg::ChkptRep { .. } => {}
+                        },
+                        MainMsg::Stop => break,
+                    }
+                }
+            })
+            .expect("spawn main thread");
+
+        let tx = inbox_tx.clone();
+        (
+            SiteCore {
+                shared,
+                handle,
+                inbox_tx,
+                seed_tx: main_tx,
+                stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+                threads: vec![aux, main],
+            },
+            tx,
+        )
+    }
+}
+
+/// Pump a subscription into a sink until the stop flag is set or the
+/// channel closes.
+fn pump<T>(
+    sub: Subscriber<T>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    mut sink: impl FnMut(T) -> bool,
+) {
+    use mirror_echo::channel::RecvStatus;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            // Drain the backlog before exiting so a stop signal never
+            // drops traffic that was already published.
+            while let Some(m) = sub.try_recv() {
+                if !sink(m) {
+                    return;
+                }
+            }
+            break;
+        }
+        match sub.recv_status(FLUSH_PERIOD) {
+            RecvStatus::Msg(m) => {
+                if !sink(m) {
+                    break;
+                }
+            }
+            RecvStatus::Timeout => continue,
+            RecvStatus::Disconnected => break,
+        }
+    }
+}
+
+/// Route aux actions: local main-unit traffic by channel, everything else
+/// through the site-specific callback.
+fn route_actions(
+    actions: Vec<AuxAction>,
+    shared: &Arc<SiteShared>,
+    main_tx: &Sender<MainMsg>,
+    on_action: &impl Fn(&AuxAction),
+) {
+    for action in actions {
+        match &action {
+            AuxAction::ForwardToMain(ev) => {
+                let _ = main_tx.send(MainMsg::Event(ev.clone()));
+            }
+            AuxAction::ControlToMain(m) => {
+                let _ = main_tx.send(MainMsg::Ctrl(m.clone()));
+            }
+            AuxAction::Mirror(_) => {
+                shared.counters.mirrored.fetch_add(1, Ordering::Relaxed);
+                on_action(&action);
+            }
+            AuxAction::Reconfigured(_) => {
+                shared.counters.adaptations.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => on_action(&action),
+        }
+    }
+}
+
+/// Shared behaviour of running sites.
+macro_rules! site_common_impl {
+    () => {
+        /// Dynamic Table-1 configuration handle.
+        pub fn handle(&self) -> &MirrorHandle {
+            &self.core.handle
+        }
+
+        /// Shared counters.
+        pub fn counters(&self) -> &SiteCounters {
+            &self.core.shared.counters
+        }
+
+        /// Digest of this site's EDE state.
+        pub fn state_hash(&self) -> u64 {
+            self.core.shared.ede.lock().state_hash()
+        }
+
+        /// Events this site's EDE has processed.
+        pub fn processed(&self) -> u64 {
+            self.core.shared.counters.processed.load(Ordering::Relaxed)
+        }
+
+        /// Spawn a request gateway for this site: a serving thread with a
+        /// FIFO of initial-state requests whose occupancy feeds the site's
+        /// pending-requests monitored variable (so live adaptation reacts
+        /// to real request pressure). `service_pad` models per-request
+        /// transfer work beyond the in-memory snapshot.
+        pub fn serve_requests(
+            &self,
+            service_pad: std::time::Duration,
+        ) -> crate::requests::RequestGateway {
+            let shared = Arc::clone(&self.core.shared);
+            let served = Arc::new(AtomicU64::new(0));
+            // Mirror the gateway gauge into the aux unit's monitored
+            // variable on every checkpoint reply via the shared field.
+            let snapshot_fn = move || {
+                let as_of: VectorTimestamp = shared.responder.lock().processed().clone();
+                Snapshot::capture(shared.ede.lock().state(), as_of)
+            };
+            crate::requests::RequestGateway::spawn(
+                snapshot_fn,
+                self.pending_gauge(),
+                served,
+                service_pad,
+            )
+        }
+
+        /// The shared pending-requests gauge (reported to the adaptation
+        /// controller in checkpoint replies).
+        pub fn pending_gauge(&self) -> Arc<AtomicU64> {
+            Arc::clone(&self.core.shared.pending_gauge)
+        }
+
+        /// Install recovered state into a site started in awaiting-seed
+        /// mode; events buffered meanwhile replay on top (stale updates
+        /// are absorbed idempotently by the EDE).
+        pub fn seed(&self, state: OperationalState, frontier: VectorTimestamp) {
+            let _ = self.core.seed_tx.send(MainMsg::Seed(Box::new(state), frontier));
+        }
+
+        /// Serve an initial-state request: snapshot this site's EDE state
+        /// at its processed frontier (the thin-client recovery path).
+        pub fn snapshot(&self) -> Snapshot {
+            // Note: direct synchronous snapshots do NOT touch the shared
+            // pending-requests gauge — a gateway owns that gauge with
+            // absolute stores, and mixing add/sub here could interleave
+            // into an underflow. Queued request pressure is the gateway's
+            // to report.
+            let as_of: VectorTimestamp = self.core.shared.responder.lock().processed().clone();
+            let snap = Snapshot::capture(self.core.shared.ede.lock().state(), as_of);
+            self.core.shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+            snap
+        }
+
+        /// Stop the site's threads (idempotent; joins on completion).
+        pub fn stop(&mut self) {
+            self.core.stop.store(true, Ordering::SeqCst);
+            let _ = self.core.inbox_tx.send(SiteMsg::Stop);
+            for t in self.core.threads.drain(..) {
+                let _ = t.join();
+            }
+        }
+    };
+}
+
+/// The running central site.
+pub struct CentralSite {
+    core: SiteCore,
+    updates: EventChannel<Event>,
+    /// Mirrors the checkpoint coordinator has declared failed.
+    failed: Arc<Mutex<Vec<SiteId>>>,
+}
+
+impl CentralSite {
+    /// Start a central site mirroring to `mirrors` over the given channel
+    /// pair (data + downlink control), receiving replies on the uplink.
+    pub fn start(
+        handle: MirrorHandle,
+        clock: RuntimeClock,
+        data_pub: Publisher<Event>,
+        ctrl_down_pub: Publisher<ControlMsg>,
+        ctrl_up: &EventChannel<ControlMsg>,
+    ) -> Self {
+        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, false)
+    }
+
+    /// Start a central site that buffers incoming events until
+    /// [`seed`](Self::seed) installs state — the **promotion** path: when
+    /// the central node fails, a mirror's replicated state seeds a new
+    /// coordinator and the service continues (the deepest payoff of
+    /// mirroring: any site can take over).
+    pub fn start_seeded(
+        handle: MirrorHandle,
+        clock: RuntimeClock,
+        data_pub: Publisher<Event>,
+        ctrl_down_pub: Publisher<ControlMsg>,
+        ctrl_up: &EventChannel<ControlMsg>,
+    ) -> Self {
+        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, true)
+    }
+
+    fn start_inner(
+        handle: MirrorHandle,
+        clock: RuntimeClock,
+        data_pub: Publisher<Event>,
+        ctrl_down_pub: Publisher<ControlMsg>,
+        ctrl_up: &EventChannel<ControlMsg>,
+        await_seed: bool,
+    ) -> Self {
+        assert!(handle.with(|a| a.is_central()));
+        let updates = EventChannel::new("central.updates");
+        let updates_pub = updates.publisher();
+        let failed: Arc<Mutex<Vec<SiteId>>> = Arc::new(Mutex::new(Vec::new()));
+        let failed_in_route = Arc::clone(&failed);
+        let route = move |action: &AuxAction| match action {
+            AuxAction::Mirror(ev) => {
+                data_pub.publish(ev.clone());
+            }
+            AuxAction::ControlToMirrors(m) => {
+                ctrl_down_pub.publish(m.clone());
+            }
+            AuxAction::MirrorFailed(site) => {
+                failed_in_route.lock().push(*site);
+            }
+            _ => {}
+        };
+        let (core, inbox_tx) = SiteCore::spawn(
+            mirror_core::CENTRAL_SITE,
+            handle,
+            clock,
+            route,
+            Some(updates_pub),
+            await_seed,
+        );
+
+        // Forward checkpoint replies from mirrors into the aux inbox.
+        let up_sub = ctrl_up.subscribe();
+        let mut site = CentralSite { core, updates, failed };
+        let stop = Arc::clone(&site.core.stop);
+        let fwd = std::thread::Builder::new()
+            .name("central-ctrl-up".into())
+            .spawn(move || pump(up_sub, stop, move |m| inbox_tx.send(SiteMsg::Ctrl(m)).is_ok()))
+            .expect("spawn ctrl-up forwarder");
+        site.core.threads.push(fwd);
+        site
+    }
+
+    /// Submit a source event (stamped with the shared clock's ingress time
+    /// if the caller has not set one).
+    pub fn submit(&self, mut event: Event) {
+        if event.ingress_us == 0 {
+            event.ingress_us = self.core.shared.clock.now_us();
+        }
+        let _ = self.core.inbox_tx.send(SiteMsg::Data(event));
+    }
+
+    /// Subscribe to the regular-client update stream.
+    pub fn subscribe_updates(&self) -> Subscriber<Event> {
+        self.updates.subscribe()
+    }
+
+    /// Last committed checkpoint at the coordinator.
+    pub fn committed(&self) -> Option<VectorTimestamp> {
+        self.core.handle.with(|a| a.committed())
+    }
+
+    /// Mirrors the checkpoint coordinator has declared failed so far.
+    pub fn failed_mirrors(&self) -> Vec<SiteId> {
+        self.failed.lock().clone()
+    }
+
+    /// Re-admit a recovered mirror into checkpoint rounds (after its state
+    /// has been re-seeded).
+    pub fn readmit_mirror(&self, site: SiteId) {
+        self.failed.lock().retain(|&s| s != site);
+        self.core.handle.with(|a| a.readmit_mirror(site));
+    }
+
+    site_common_impl!();
+}
+
+/// A running mirror site.
+pub struct MirrorSite {
+    core: SiteCore,
+}
+
+impl MirrorSite {
+    /// Start a mirror site: subscribe to the central's data and control
+    /// downlinks, publish checkpoint replies on the uplink.
+    pub fn start(
+        handle: MirrorHandle,
+        clock: RuntimeClock,
+        data: &EventChannel<Event>,
+        ctrl_down: &EventChannel<ControlMsg>,
+        ctrl_up_pub: Publisher<ControlMsg>,
+    ) -> Self {
+        Self::start_inner(handle, clock, data, ctrl_down, ctrl_up_pub, false)
+    }
+
+    /// Start a mirror site that **buffers** incoming events until
+    /// [`seed`](Self::seed) installs recovered state — the rejoin path: a
+    /// replacement mirror subscribes first (so it misses nothing), then is
+    /// seeded from a surviving site's snapshot, then replays the buffer
+    /// (stale events are absorbed idempotently).
+    pub fn start_seeded(
+        handle: MirrorHandle,
+        clock: RuntimeClock,
+        data: &EventChannel<Event>,
+        ctrl_down: &EventChannel<ControlMsg>,
+        ctrl_up_pub: Publisher<ControlMsg>,
+    ) -> Self {
+        Self::start_inner(handle, clock, data, ctrl_down, ctrl_up_pub, true)
+    }
+
+    fn start_inner(
+        handle: MirrorHandle,
+        clock: RuntimeClock,
+        data: &EventChannel<Event>,
+        ctrl_down: &EventChannel<ControlMsg>,
+        ctrl_up_pub: Publisher<ControlMsg>,
+        await_seed: bool,
+    ) -> Self {
+        let site = handle.with(|a| a.site());
+        assert_ne!(site, mirror_core::CENTRAL_SITE);
+        let route = move |action: &AuxAction| {
+            if let AuxAction::ControlToCentral(m) = action {
+                ctrl_up_pub.publish(m.clone());
+            }
+        };
+        let (core, inbox_tx) = SiteCore::spawn(site, handle, clock, route, None, await_seed);
+
+        let mut s = MirrorSite { core };
+        let data_sub = data.subscribe();
+        let tx1 = inbox_tx.clone();
+        let stop1 = Arc::clone(&s.core.stop);
+        let f1 = std::thread::Builder::new()
+            .name(format!("mirror-{site}-data"))
+            .spawn(move || pump(data_sub, stop1, move |e| tx1.send(SiteMsg::Data(e)).is_ok()))
+            .expect("spawn data forwarder");
+        let ctrl_sub = ctrl_down.subscribe();
+        let stop2 = Arc::clone(&s.core.stop);
+        let f2 = std::thread::Builder::new()
+            .name(format!("mirror-{site}-ctrl"))
+            .spawn(move || pump(ctrl_sub, stop2, move |m| inbox_tx.send(SiteMsg::Ctrl(m)).is_ok()))
+            .expect("spawn ctrl forwarder");
+        s.core.threads.push(f1);
+        s.core.threads.push(f2);
+        s
+    }
+
+    /// This mirror's site id.
+    pub fn site(&self) -> SiteId {
+        self.core.handle.with(|a| a.site())
+    }
+
+
+
+    site_common_impl!();
+}
+
+impl Drop for CentralSite {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl Drop for MirrorSite {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

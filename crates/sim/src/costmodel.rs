@@ -1,0 +1,235 @@
+//! The calibrated cost model.
+//!
+//! These constants stand in for the paper's testbed (300 MHz Pentium-III
+//! servers, Solaris 5.5.1, 100 Mbps client Ethernet). They were calibrated
+//! — see EXPERIMENTS.md — so that:
+//!
+//! * the *no-mirroring* baseline over the experiment event sequence lands
+//!   in the paper's 4–20 s total-execution-time range across the 0–8 KB
+//!   event-size sweep (Figure 4's axes);
+//! * *simple mirroring to one site* costs 15–20 % over the baseline,
+//!   growing with event size ("this increase is due to event resubmission,
+//!   thread scheduling, queue management and execution of the control
+//!   mechanism") — Figure 4;
+//! * each *additional* mirror site adds < 10 % — Figure 5.
+//!
+//! Absolute values are not the reproduction target (our substrate is a
+//! simulator, not their cluster); the *ratios* between these constants are
+//! what carries the figures' shapes.
+
+use crate::SimTime;
+
+/// Per-operation CPU costs (µs) charged by the OIS site processes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    // ---- main unit (EDE) ------------------------------------------------
+    /// Business-logic processing of one event: fixed part.
+    pub ede_base_us: SimTime,
+    /// Business-logic processing: per payload byte (parsing/analysis).
+    pub ede_per_byte_us: f64,
+    /// Building a client initial-state snapshot: fixed part.
+    pub snapshot_base_us: SimTime,
+    /// Snapshot construction: per flight in the state.
+    pub snapshot_per_flight_us: f64,
+    /// Snapshot construction/transmission CPU per snapshot byte. Initial
+    /// views carry each flight's current record, so snapshots (and request
+    /// cost) grow with the experiment's event size — the effect behind
+    /// Figure 6's crossover.
+    pub snapshot_per_byte_us: f64,
+    /// Fraction of an event's wire size that persists into the per-flight
+    /// state record (the EDE stores parsed fields, not the raw padded
+    /// event). Scales snapshot size with the experiment's event size
+    /// without letting client links swamp every other effect.
+    pub state_record_fraction: f64,
+
+    // ---- auxiliary unit: receiving task ---------------------------------
+    /// Timestamping + event conversion + ready-queue insert, per event.
+    pub recv_base_us: SimTime,
+    /// Receive-path per-byte handling (copy into queues).
+    pub recv_per_byte_us: f64,
+    /// Evaluating one semantic rule against one event.
+    pub rule_eval_us: SimTime,
+
+    // ---- auxiliary unit: sending task ------------------------------------
+    /// Per wire event: resubmission, backup-queue insert, bookkeeping.
+    pub send_base_us: SimTime,
+    /// Send-path per-byte handling.
+    pub send_per_byte_us: f64,
+    /// Additional cost per *destination* per wire event (channel submit).
+    pub per_dest_us: SimTime,
+    /// Additional per-destination per-byte cost (buffer handoff).
+    pub per_dest_per_byte_us: f64,
+
+    // ---- control task -----------------------------------------------------
+    /// Handling one control message (any site).
+    pub ctrl_msg_us: SimTime,
+    /// Coordinator-side cost per checkpoint round. In the paper's threaded
+    /// implementation the control task synchronizes with the receiving and
+    /// sending tasks over the shared queues, stalling the event pipeline
+    /// for far longer than the pure message handling; this constant models
+    /// that stall (calibrated so halving the checkpoint frequency under
+    /// load recovers ≈10% of total time, as reported for Figure 7).
+    pub chkpt_round_us: SimTime,
+    /// Participant-side (mirror main+aux) stall per checkpoint round, same
+    /// rationale as [`Self::chkpt_round_us`].
+    pub chkpt_participant_us: SimTime,
+    /// Scanning/pruning one backup-queue entry at commit.
+    pub prune_per_event_us: f64,
+    /// Queue-management cost charged per mirrored event per entry already
+    /// in the backup queue ("this increase is due to event resubmission,
+    /// thread scheduling, **queue management**…"). Negligible while
+    /// checkpoints commit promptly (queue ≈ checkpoint interval), but when
+    /// an overloaded mirror delays its checkpoint replies, the central
+    /// backup queue grows and mirroring itself gets costlier — the
+    /// load-coupling behind the delay blow-ups of Figures 8 and 9.
+    pub queue_mgmt_per_entry_us: f64,
+
+    // ---- client requests ---------------------------------------------------
+    /// Fixed per-request servicing overhead (connection, dispatch).
+    pub request_base_us: SimTime,
+    /// Per-original-event cost of combining events into a coalesced mirror
+    /// event ("combining events based on event values" is real work on the
+    /// receive/send path; pure overwriting, which merely discards, avoids
+    /// it — the trade the §4.3 adaptive profiles exercise).
+    pub coalesce_fold_us: SimTime,
+}
+
+impl CostModel {
+    /// The calibrated model used by all experiments.
+    pub fn calibrated() -> Self {
+        CostModel {
+            ede_base_us: 380,
+            ede_per_byte_us: 0.145,
+            snapshot_base_us: 600,
+            snapshot_per_flight_us: 4.0,
+            snapshot_per_byte_us: 0.04,
+            state_record_fraction: 0.25,
+            recv_base_us: 20,
+            recv_per_byte_us: 0.004,
+            rule_eval_us: 2,
+            send_base_us: 25,
+            send_per_byte_us: 0.012,
+            per_dest_us: 25,
+            per_dest_per_byte_us: 0.002,
+            ctrl_msg_us: 40,
+            chkpt_round_us: 1_000,
+            chkpt_participant_us: 1_200,
+            prune_per_event_us: 1.5,
+            queue_mgmt_per_entry_us: 0.005,
+            request_base_us: 150,
+            coalesce_fold_us: 45,
+        }
+    }
+
+    /// EDE cost of processing one event of `bytes` total wire size.
+    pub fn ede_cost(&self, bytes: usize) -> SimTime {
+        self.ede_base_us + (self.ede_per_byte_us * bytes as f64) as SimTime
+    }
+
+    /// Receive-path cost of one incoming event under `rules` active rules.
+    pub fn recv_cost(&self, bytes: usize, rules: usize) -> SimTime {
+        self.recv_base_us
+            + (self.recv_per_byte_us * bytes as f64) as SimTime
+            + self.rule_eval_us * rules as SimTime
+    }
+
+    /// Send-path cost of putting one wire event of `bytes` onto `dests`
+    /// outgoing channels.
+    pub fn send_cost(&self, bytes: usize, dests: usize) -> SimTime {
+        self.send_base_us
+            + (self.send_per_byte_us * bytes as f64) as SimTime
+            + dests as SimTime
+                * (self.per_dest_us + (self.per_dest_per_byte_us * bytes as f64) as SimTime)
+    }
+
+    /// Cost of servicing one initial-state request: a snapshot over
+    /// `flights` flight records totalling `bytes` on the wire.
+    pub fn request_cost(&self, flights: usize, bytes: usize) -> SimTime {
+        self.request_base_us
+            + self.snapshot_base_us
+            + (self.snapshot_per_flight_us * flights as f64) as SimTime
+            + (self.snapshot_per_byte_us * bytes as f64) as SimTime
+    }
+
+    /// Cost of a commit that prunes `entries` backup-queue entries.
+    pub fn prune_cost(&self, entries: usize) -> SimTime {
+        (self.prune_per_event_us * entries as f64) as SimTime
+    }
+
+    /// Queue-management surcharge for mirroring one event while `backlog`
+    /// entries sit uncommitted in the backup queue.
+    pub fn queue_mgmt_cost(&self, backlog: usize) -> SimTime {
+        (self.queue_mgmt_per_entry_us * backlog as f64) as SimTime
+    }
+
+    /// Cost of having folded `count` original events into one coalesced
+    /// wire event (status-table lookups, value combination, copies) —
+    /// charged when the coalesced event is emitted.
+    pub fn fold_cost(&self, count: u32) -> SimTime {
+        self.coalesce_fold_us * count as SimTime
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ede_cost_scales_with_size() {
+        let m = CostModel::calibrated();
+        let small = m.ede_cost(100);
+        let large = m.ede_cost(8000);
+        assert!(large > small);
+        // Calibration target: ~380µs at tiny events, ~1.5ms at 8KB —
+        // 10k events span roughly 4s → 16s as in Figure 4's axes.
+        assert!((350..=450).contains(&small), "{small}");
+        assert!((1300..=1700).contains(&large), "{large}");
+    }
+
+    #[test]
+    fn simple_mirroring_overhead_in_paper_band() {
+        // Overhead of mirroring one event to one destination relative to
+        // EDE processing should sit in the paper's 15–20% band across
+        // sizes (Figure 4).
+        let m = CostModel::calibrated();
+        for bytes in [200usize, 1000, 4000, 8000] {
+            let base = m.ede_cost(bytes) as f64;
+            let overhead = (m.recv_cost(bytes, 0) + m.send_cost(bytes, 1)) as f64;
+            let ratio = overhead / base;
+            assert!(
+                (0.10..=0.25).contains(&ratio),
+                "overhead ratio {ratio:.3} at {bytes}B out of band"
+            );
+        }
+    }
+
+    #[test]
+    fn additional_mirror_costs_under_ten_percent() {
+        // Figure 5: each added mirror site < 10% of total execution time.
+        let m = CostModel::calibrated();
+        for bytes in [1000usize, 4000] {
+            let base = (m.ede_cost(bytes) + m.recv_cost(bytes, 0) + m.send_cost(bytes, 1)) as f64;
+            let extra = (m.send_cost(bytes, 2) - m.send_cost(bytes, 1)) as f64;
+            assert!(extra / base < 0.10, "per-mirror increment {:.3} at {bytes}B", extra / base);
+        }
+    }
+
+    #[test]
+    fn request_cost_scales_with_state_and_size() {
+        let m = CostModel::calibrated();
+        assert!(m.request_cost(1000, 100_000) > m.request_cost(10, 1_000));
+        // Larger flight records (bigger events) make snapshots costlier —
+        // the lever behind Figure 6's crossover.
+        assert!(m.request_cost(100, 100 * 6061) > 2 * m.request_cost(100, 100 * 261));
+        // A few hundred flights of ~1KB records → service in the
+        // low-millisecond range (sub-minute initialization under load).
+        let c = m.request_cost(300, 300 * 1061);
+        assert!((2000..=20_000).contains(&c), "{c}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Link modelling: latency, bandwidth, and serialization.
+//!
+//! A message of `b` bytes sent at time `t` over a link with parameters
+//! `(latency, bandwidth)`:
+//!
+//! 1. waits until the link's transmitter is free (serialization queue —
+//!    transmissions on one link do not overlap),
+//! 2. occupies the transmitter for `b / bandwidth`,
+//! 3. then propagates for `latency` before delivery.
+//!
+//! This is the standard store-and-forward approximation; it is what makes
+//! larger mirrored events cost more in Figure 4 and what lets mirroring
+//! traffic interfere with itself when fan-out grows in Figure 5.
+
+use crate::SimTime;
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// One-way propagation latency (µs).
+    pub latency_us: SimTime,
+    /// Bandwidth in bytes per microsecond (i.e. MB/s).
+    pub bytes_per_us: f64,
+}
+
+impl LinkParams {
+    /// An effectively infinite link (zero latency, unbounded bandwidth) —
+    /// for intra-node delivery.
+    pub fn instant() -> Self {
+        LinkParams { latency_us: 0, bytes_per_us: f64::INFINITY }
+    }
+
+    /// The paper's intra-cluster interconnect: "high bandwidth, low
+    /// latency" switched 100 MB/s-class fabric with ~50 µs latency.
+    pub fn intra_cluster() -> Self {
+        LinkParams { latency_us: 50, bytes_per_us: 100.0 }
+    }
+
+    /// The paper's client connectivity: 100 Mbps Ethernet (12.5 MB/s) with
+    /// ~200 µs latency.
+    pub fn client_ethernet() -> Self {
+        LinkParams { latency_us: 200, bytes_per_us: 12.5 }
+    }
+
+    /// Transmission (serialization) time for a message of `bytes`.
+    pub fn tx_time(&self, bytes: usize) -> SimTime {
+        if self.bytes_per_us.is_infinite() {
+            0
+        } else {
+            (bytes as f64 / self.bytes_per_us).ceil() as SimTime
+        }
+    }
+}
+
+/// Dynamic link state: when its transmitter frees up, and counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkState {
+    /// Time at which the transmitter becomes idle.
+    pub busy_until: SimTime,
+    /// Messages carried.
+    pub messages: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+}
+
+impl LinkState {
+    /// Schedule a transmission starting no earlier than `now`; returns the
+    /// delivery time and updates the serialization queue.
+    pub fn transmit(&mut self, now: SimTime, bytes: usize, params: &LinkParams) -> SimTime {
+        let start = now.max(self.busy_until);
+        let done = start + params.tx_time(bytes);
+        self.busy_until = done;
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        done + params.latency_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_scales_with_bytes() {
+        let p = LinkParams { latency_us: 10, bytes_per_us: 100.0 };
+        assert_eq!(p.tx_time(0), 0);
+        assert_eq!(p.tx_time(100), 1);
+        assert_eq!(p.tx_time(10_000), 100);
+    }
+
+    #[test]
+    fn instant_link_is_free() {
+        let p = LinkParams::instant();
+        let mut s = LinkState::default();
+        assert_eq!(s.transmit(5, 1_000_000, &p), 5);
+        assert_eq!(s.transmit(5, 1_000_000, &p), 5);
+    }
+
+    #[test]
+    fn serialization_queue_delays_back_to_back_sends() {
+        let p = LinkParams { latency_us: 10, bytes_per_us: 1.0 };
+        let mut s = LinkState::default();
+        // 100-byte message at t=0: tx 0..100, arrives 110.
+        assert_eq!(s.transmit(0, 100, &p), 110);
+        // Second message at t=0 must wait: tx 100..200, arrives 210.
+        assert_eq!(s.transmit(0, 100, &p), 210);
+        // A later message after the queue drained starts immediately.
+        assert_eq!(s.transmit(500, 100, &p), 610);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 300);
+    }
+
+    #[test]
+    fn paper_presets_are_sane() {
+        let intra = LinkParams::intra_cluster();
+        let client = LinkParams::client_ethernet();
+        // Intra-cluster must be far faster than the client network, which
+        // is the architectural premise of mirroring (§1).
+        assert!(intra.bytes_per_us > 4.0 * client.bytes_per_us);
+        assert!(intra.latency_us < client.latency_us);
+        // 8 KB over 100 Mbps ≈ 655 µs.
+        let t = client.tx_time(8192);
+        assert!((600..=700).contains(&t), "8KB on client link took {t}µs");
+    }
+}

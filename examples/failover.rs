@@ -1,0 +1,112 @@
+//! Mirror failure and recovery — the paper's §6 extension in action.
+//!
+//! A cluster streams flight events while mirror 2 serves its share of
+//! thin-client requests. The node crashes mid-run; the checkpoint
+//! coordinator's failure detector notices the silence, excludes it (so
+//! commits resume among the survivors), and the load balancer redirects
+//! its requests. A replacement node is then seeded from the central
+//! site's state and readmitted — clients never see an error.
+//!
+//! Run with: `cargo run --example failover`
+
+use std::time::Duration;
+
+use adaptable_mirroring::core::event::{Event, PositionFix};
+use adaptable_mirroring::core::mirrorfn::MirrorFnKind;
+use adaptable_mirroring::ois::balancer::{Balancer, BalancerPolicy};
+use adaptable_mirroring::runtime::{Cluster, ClusterConfig};
+
+fn fix(seq: u64) -> PositionFix {
+    PositionFix {
+        lat: 25.0 + (seq % 40) as f64 * 0.2,
+        lon: -80.0 - (seq % 17) as f64 * 0.4,
+        alt_ft: 31_000.0,
+        speed_kts: 470.0,
+        heading_deg: 315.0,
+    }
+}
+
+fn feed(cluster: &Cluster, seq: &mut u64, n: u64) {
+    for _ in 0..n {
+        *seq += 1;
+        cluster.submit(Event::faa_position(*seq, (*seq % 12) as u32, fix(*seq)));
+        if seq.is_multiple_of(10) {
+            std::thread::sleep(Duration::from_micros(400));
+        }
+    }
+}
+
+fn main() {
+    let mut cluster = Cluster::start(ClusterConfig {
+        mirrors: 2,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 5,
+    });
+    cluster.central().handle().set_params(false, 1, 20);
+    let mut balancer = Balancer::new(vec![1, 2], BalancerPolicy::RoundRobin);
+    let mut seq = 0u64;
+    let mut served = 0u64;
+
+    // Normal operations: stream events, serve requests from both mirrors.
+    feed(&cluster, &mut seq, 200);
+    for _ in 0..10 {
+        let site = balancer.pick().unwrap();
+        let snap = cluster.snapshot(site);
+        assert!(snap.flight_count() > 0);
+        served += 1;
+    }
+    println!("phase 1: {} events, {served} requests over 2 mirrors", seq);
+
+    // Mirror 2 crashes.
+    cluster.fail_mirror(2);
+    println!("phase 2: mirror 2 crashed");
+    feed(&cluster, &mut seq, 300);
+    let detected = cluster.wait(Duration::from_secs(10), |c| !c.failed_mirrors().is_empty());
+    println!(
+        "detector flagged: {:?} (detected={detected})",
+        cluster.failed_mirrors()
+    );
+    for &site in &cluster.failed_mirrors() {
+        balancer.mark_failed(site);
+    }
+    // Requests keep flowing through the survivor.
+    for _ in 0..10 {
+        let site = balancer.pick().expect("a live mirror remains");
+        assert_ne!(site, 2, "balancer must avoid the failed site");
+        let snap = cluster.snapshot(site);
+        assert!(snap.flight_count() > 0);
+        served += 1;
+    }
+    // …and commits resume without mirror 2.
+    feed(&cluster, &mut seq, 100);
+    let target = seq - 50;
+    let commits_resumed = cluster.wait(Duration::from_secs(10), |c| {
+        c.central().committed().map(|t| t.get(0) >= target).unwrap_or(false)
+    });
+    println!("commits past the crash point: {commits_resumed}");
+
+    // A replacement node comes up, seeded from the central site.
+    cluster.rejoin_mirror(2);
+    balancer.mark_recovered(2);
+    println!("phase 3: mirror 2 rejoined (seeded from central)");
+    feed(&cluster, &mut seq, 200);
+    let converged = cluster.wait(Duration::from_secs(10), |c| {
+        let h = c.state_hashes();
+        h.windows(2).all(|w| w[0] == w[1])
+    });
+    println!("replacement converged to cluster state: {converged}");
+    for _ in 0..10 {
+        let site = balancer.pick().unwrap();
+        let snap = cluster.snapshot(site);
+        assert!(snap.flight_count() > 0);
+        served += 1;
+    }
+    println!(
+        "final: {} events, {served} requests served, state hashes {:?}",
+        seq,
+        cluster.state_hashes()
+    );
+    assert!(detected && commits_resumed && converged);
+    cluster.shutdown();
+    println!("done.");
+}

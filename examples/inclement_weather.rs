@@ -1,0 +1,103 @@
+//! Inclement weather — the paper's Case (2) (§1): "in inclement weather
+//! conditions, it would be appropriate to track planes at increased levels
+//! of precision, thus resulting in increased loads on servers… and in
+//! increased communication loads due to the distribution of tracking
+//! data."
+//!
+//! The scenario demonstrates *application-specific* mirroring: when the
+//! weather turns, the operator tightens what gets mirrored — low-altitude
+//! (approach-phase) traffic keeps full fidelity while cruise traffic is
+//! aggressively overwritten — trading mirror-state precision where it is
+//! cheap for bandwidth where it matters. Semantic rules also discard FAA
+//! fixes for flights that already landed (the paper's
+//! `set_complex_seq(Delta, landed, FAA)` example) and collapse the
+//! landing/runway/gate triple into one derived `Arrived` event
+//! (`set_complex_tuple`).
+//!
+//! Run with: `cargo run --example inclement_weather`
+
+use std::time::Duration;
+
+use adaptable_mirroring::core::event::{Event, EventType, FlightStatus, PositionFix};
+use adaptable_mirroring::core::rules::{ContentPredicate, Rule};
+use adaptable_mirroring::runtime::{Cluster, ClusterConfig};
+
+fn fix(alt: f64) -> PositionFix {
+    PositionFix { lat: 33.6, lon: -84.4, alt_ft: alt, speed_kts: 300.0, heading_deg: 90.0 }
+}
+
+fn main() {
+    let cluster = Cluster::start(ClusterConfig { mirrors: 1, ..Default::default() });
+    let handle = cluster.central().handle();
+
+    // -- storm configuration ---------------------------------------------
+    // Cruise traffic (≥ 10k ft): mirror 1-in-10 and drop anything above
+    // 20k ft entirely — approach traffic keeps full fidelity.
+    handle.set_overwrite(EventType::FaaPosition, 10);
+    handle.with(|aux| {
+        aux.rules_mut().push(Rule::Filter {
+            ty: EventType::FaaPosition,
+            pred: ContentPredicate::AltitudeAtLeast(20_000.0),
+        });
+    });
+    // Once a flight lands, its FAA fixes are noise.
+    handle.set_complex_seq(EventType::DeltaStatus, FlightStatus::Landed, EventType::FaaPosition);
+    // Collapse the arrival triple into one derived event.
+    handle.set_complex_tuple(
+        vec![FlightStatus::Landed, FlightStatus::AtRunway, FlightStatus::AtGate],
+        FlightStatus::Arrived,
+    );
+
+    // -- traffic ------------------------------------------------------------
+    let mut seq = 0u64;
+    // Flight 1: on approach, descending through the storm — every fix counts.
+    // Flight 2: in cruise high above it — heavily overwritten/filtered.
+    // Flight 3: landing during the window.
+    for round in 0..60 {
+        seq += 1;
+        cluster.submit(Event::faa_position(seq, 1, fix(8_000.0 - round as f64 * 100.0)));
+        seq += 1;
+        cluster.submit(Event::faa_position(seq, 2, fix(35_000.0)));
+        seq += 1;
+        cluster.submit(Event::faa_position(seq, 3, fix(3_000.0 - round as f64 * 50.0)));
+    }
+    let mut dseq = 0u64;
+    for status in [FlightStatus::Landed, FlightStatus::AtRunway, FlightStatus::AtGate] {
+        dseq += 1;
+        cluster.submit(Event::delta_status(dseq, 3, status));
+    }
+    // Post-landing FAA noise for flight 3: discarded by the sequence rule.
+    for _ in 0..20 {
+        seq += 1;
+        cluster.submit(Event::faa_position(seq, 3, fix(0.0)));
+    }
+
+    let total = 60 * 3 + 3 + 20;
+    assert!(cluster.wait(Duration::from_secs(5), |c| c.central().processed() >= total));
+    std::thread::sleep(Duration::from_millis(100)); // mirror drain
+
+    let central = cluster.central().processed();
+    let mirrored = cluster.mirrors()[0].processed();
+    let suppressed = cluster.central().handle().with(|a| a.counters().suppressed);
+    println!("events processed centrally : {central}");
+    println!("events reaching the mirror : {mirrored}");
+    println!("suppressed by rules        : {suppressed}");
+    println!(
+        "mirroring traffic reduction: {:.0}%",
+        (1.0 - mirrored as f64 / central as f64) * 100.0
+    );
+
+    // The mirror still knows what matters: flight 3 arrived, flight 1 is
+    // tracked on approach.
+    let snap = cluster.snapshot(1);
+    println!("mirror view of flight 3    : {:?}", snap.flight(3).map(|f| f.status));
+    println!(
+        "mirror tracks approach flt 1: {}",
+        snap.flight(1).map(|f| f.position.is_some()).unwrap_or(false)
+    );
+    assert_eq!(snap.flight(3).map(|f| f.status), Some(FlightStatus::Arrived));
+    assert!(mirrored < central / 2, "storm rules must cut mirror traffic");
+
+    cluster.shutdown();
+    println!("done.");
+}

@@ -1,0 +1,126 @@
+//! Failure detection and mirror recovery — the paper's §6 "future work"
+//! extension: "extending the mirroring infrastructure with recovery
+//! support, for both client failures, and failures of a node within the
+//! cluster server."
+
+use std::time::Duration;
+
+use adaptable_mirroring::core::event::{Event, PositionFix};
+use adaptable_mirroring::core::mirrorfn::MirrorFnKind;
+use adaptable_mirroring::runtime::{Cluster, ClusterConfig};
+
+fn fix() -> PositionFix {
+    PositionFix { lat: 40.6, lon: -73.8, alt_ft: 20_000.0, speed_kts: 420.0, heading_deg: 90.0 }
+}
+
+/// Paced feed: in a real deployment events arrive over time, so checkpoint
+/// rounds are far slower than channel transit. A tiny inter-batch pause
+/// keeps the round rate realistic relative to reply latency (burst-fast
+/// rounds would make reply lag indistinguishable from failure).
+fn feed(cluster: &Cluster, from: u64, to: u64) {
+    for seq in from..=to {
+        cluster.submit(Event::faa_position(seq, (seq % 6) as u32, fix()));
+        if seq % 10 == 0 {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+#[test]
+fn dead_mirror_is_detected_and_commits_resume() {
+    let mut cluster = Cluster::start(ClusterConfig {
+        mirrors: 2,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 5,
+    });
+    cluster.central().handle().set_params(false, 1, 20);
+
+    feed(&cluster, 1, 100);
+    assert!(cluster.wait_all_processed(100, Duration::from_secs(5)));
+
+    // Mirror 2 crashes. Keep traffic flowing so checkpoint rounds keep
+    // turning over (detection counts missed rounds, not wall time).
+    cluster.fail_mirror(2);
+    feed(&cluster, 101, 400);
+
+    let detected = cluster.wait(Duration::from_secs(10), |c| c.failed_mirrors() == vec![2]);
+    assert!(detected, "failed mirrors: {:?}", cluster.failed_mirrors());
+
+    // Commits resume among the survivors past the crash point.
+    feed(&cluster, 401, 500);
+    let committed = cluster.wait(Duration::from_secs(10), |c| {
+        c.central().committed().map(|t| t.get(0) >= 450).unwrap_or(false)
+    });
+    assert!(committed, "commit frontier: {:?}", cluster.central().committed());
+    // Survivor consistency holds.
+    assert_eq!(cluster.state_hashes()[0], cluster.state_hashes()[1]);
+    cluster.shutdown();
+}
+
+#[test]
+fn rejoined_mirror_recovers_full_state_and_participates() {
+    let mut cluster = Cluster::start(ClusterConfig {
+        mirrors: 2,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 5,
+    });
+    cluster.central().handle().set_params(false, 1, 20);
+
+    feed(&cluster, 1, 200);
+    assert!(cluster.wait_all_processed(200, Duration::from_secs(5)));
+
+    cluster.fail_mirror(2);
+    feed(&cluster, 201, 500);
+    assert!(cluster.wait(Duration::from_secs(10), |c| c.failed_mirrors() == vec![2]));
+
+    // Bring a replacement up, seeded from the central site, while traffic
+    // continues to flow.
+    cluster.rejoin_mirror(2);
+    assert!(cluster.failed_mirrors().is_empty());
+    feed(&cluster, 501, 700);
+
+    assert!(
+        cluster.wait(Duration::from_secs(10), |c| c.central().processed() >= 700),
+        "central stalled"
+    );
+    // The replacement converges to the same state as central & mirror 1.
+    let converged = cluster.wait(Duration::from_secs(10), |c| {
+        let h = c.state_hashes();
+        h[0] == h[1] && h[1] == h[2]
+    });
+    assert!(converged, "hashes {:?}", cluster.state_hashes());
+
+    // …and it answers initial-state requests like any other mirror.
+    let snap = cluster.snapshot(2);
+    assert_eq!(snap.flight_count(), 6);
+
+    // …and checkpoint rounds include it again (commits keep advancing).
+    feed(&cluster, 701, 800);
+    let committed = cluster.wait(Duration::from_secs(10), |c| {
+        c.central().committed().map(|t| t.get(0) >= 750).unwrap_or(false)
+    });
+    assert!(committed, "commit frontier: {:?}", cluster.central().committed());
+    cluster.shutdown();
+}
+
+#[test]
+fn detection_disabled_by_default_never_excludes() {
+    let mut cluster = Cluster::start(ClusterConfig {
+        mirrors: 2,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 0, // paper default: no timeouts, no exclusion
+    });
+    cluster.central().handle().set_params(false, 1, 10);
+    feed(&cluster, 1, 50);
+    assert!(cluster.wait_all_processed(50, Duration::from_secs(5)));
+    cluster.fail_mirror(2);
+    feed(&cluster, 51, 300);
+    assert!(cluster.wait(Duration::from_secs(5), |c| c.central().processed() >= 300));
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(cluster.failed_mirrors().is_empty(), "no detection when disabled");
+    // Commits stall (the dead participant never replies) — the documented
+    // price of the timeout-free protocol, and why §6 plans recovery.
+    let frontier = cluster.central().committed().map(|t| t.get(0)).unwrap_or(0);
+    assert!(frontier <= 60, "commits should stall near the crash, got {frontier}");
+    cluster.shutdown();
+}

@@ -1,0 +1,324 @@
+//! Property-based tests on the core invariants, spanning crates.
+#![allow(clippy::field_reassign_with_default)]
+
+use proptest::prelude::*;
+
+use adaptable_mirroring::core::event::{Event, EventBody, EventType, FlightStatus, PositionFix};
+use adaptable_mirroring::core::mirrorfn::{CoalescingMirror, MirrorFn};
+use adaptable_mirroring::core::params::MirrorParams;
+use adaptable_mirroring::core::queue::BackupQueue;
+use adaptable_mirroring::core::rules::{Rule, RuleSet};
+use adaptable_mirroring::core::status::StatusTable;
+use adaptable_mirroring::core::timestamp::{StampOrdering, VectorTimestamp};
+use adaptable_mirroring::echo::wire::{decode_frame, encode_frame, Frame};
+use adaptable_mirroring::ede::{Ede, OperationalState, Snapshot};
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn arb_fix() -> impl Strategy<Value = PositionFix> {
+    (
+        -90.0f64..90.0,
+        -180.0f64..180.0,
+        0.0f64..45_000.0,
+        0.0f64..600.0,
+        0.0f64..360.0,
+    )
+        .prop_map(|(lat, lon, alt_ft, speed_kts, heading_deg)| PositionFix {
+            lat,
+            lon,
+            alt_ft,
+            speed_kts,
+            heading_deg,
+        })
+}
+
+fn arb_status() -> impl Strategy<Value = FlightStatus> {
+    prop::sample::select(FlightStatus::ALL.to_vec())
+}
+
+fn arb_body() -> impl Strategy<Value = EventBody> {
+    prop_oneof![
+        arb_fix().prop_map(EventBody::Position),
+        arb_status().prop_map(EventBody::Status),
+        (0u32..500, 1u32..500)
+            .prop_map(|(b, e)| EventBody::Boarding { boarded: b.min(e), expected: e }),
+        (0u32..300, 0u32..300)
+            .prop_map(|(l, r)| EventBody::Baggage { loaded: l, reconciled: r.min(l) }),
+        (arb_status(), 1u32..10)
+            .prop_map(|(status, collapsed)| EventBody::Derived { status, collapsed }),
+        (arb_fix(), 1u32..100).prop_map(|(last, count)| EventBody::Coalesced { last, count }),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(EventBody::Opaque),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u16..4,
+        1u64..1_000_000,
+        0u32..500,
+        arb_body(),
+        prop::collection::vec(0u64..1_000_000, 0..4),
+        0u32..4096,
+        0u64..10_000_000,
+    )
+        .prop_map(|(stream, seq, flight, body, stamp, padding, ingress)| Event {
+            stream,
+            seq,
+            flight,
+            body,
+            stamp: VectorTimestamp::from_components(stamp),
+            padding,
+            ingress_us: ingress,
+        })
+}
+
+fn arb_stamp() -> impl Strategy<Value = VectorTimestamp> {
+    prop::collection::vec(0u64..1000, 0..5).prop_map(VectorTimestamp::from_components)
+}
+
+// ---------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn wire_roundtrip_any_event(ev in arb_event()) {
+        let bytes = encode_frame(&Frame::Data(ev.clone()));
+        prop_assert_eq!(bytes.len(), 2 + ev.wire_size(),
+            "frame = version+kind+exact wire size");
+        let back = decode_frame(bytes).unwrap();
+        prop_assert_eq!(back, Frame::Data(ev));
+    }
+
+    #[test]
+    fn wire_decode_never_panics_on_corruption(ev in arb_event(), cut in 0usize..64, flip in 0usize..64) {
+        let bytes = encode_frame(&Frame::Data(ev));
+        // Truncation never panics.
+        let cut = cut.min(bytes.len());
+        let _ = decode_frame(bytes.slice(..cut));
+        // Bit flips never panic.
+        let mut v = bytes.to_vec();
+        if !v.is_empty() {
+            let i = flip % v.len();
+            v[i] ^= 0xFF;
+            let _ = decode_frame(bytes::Bytes::from(v));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vector timestamps: lattice laws
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn stamp_join_meet_laws(a in arb_stamp(), b in arb_stamp(), c in arb_stamp()) {
+        // Commutativity.
+        prop_assert_eq!(a.join(&b).compare(&b.join(&a)), StampOrdering::Equal);
+        prop_assert_eq!(a.meet(&b).compare(&b.meet(&a)), StampOrdering::Equal);
+        // Associativity of join.
+        prop_assert_eq!(
+            a.join(&b).join(&c).compare(&a.join(&b.join(&c))),
+            StampOrdering::Equal
+        );
+        // Bounds: meet ≤ a ≤ join.
+        prop_assert!(a.meet(&b).dominated_by(&a));
+        prop_assert!(a.dominated_by(&a.join(&b)));
+        // Absorption: a ∧ (a ∨ b) = a.
+        prop_assert_eq!(a.meet(&a.join(&b)).compare(&a), StampOrdering::Equal);
+        // Idempotence.
+        prop_assert_eq!(a.join(&a).compare(&a), StampOrdering::Equal);
+    }
+
+    #[test]
+    fn stamp_compare_is_antisymmetric(a in arb_stamp(), b in arb_stamp()) {
+        match a.compare(&b) {
+            StampOrdering::Before => prop_assert_eq!(b.compare(&a), StampOrdering::After),
+            StampOrdering::After => prop_assert_eq!(b.compare(&a), StampOrdering::Before),
+            StampOrdering::Equal => prop_assert_eq!(b.compare(&a), StampOrdering::Equal),
+            StampOrdering::Concurrent => {
+                prop_assert_eq!(b.compare(&a), StampOrdering::Concurrent)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backup queue / checkpoint pruning
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn backup_prune_only_removes_dominated(
+        seqs in prop::collection::vec((0u16..3, 1u64..100), 1..60),
+        commit in arb_stamp(),
+    ) {
+        let mut q = BackupQueue::new();
+        let mut clock = VectorTimestamp::empty();
+        for (stream, seq) in seqs {
+            let mut e = Event::new(stream, seq, 1, EventBody::Status(FlightStatus::EnRoute));
+            clock.advance(stream as usize, seq);
+            e.stamp = clock.clone();
+            q.push(e);
+        }
+        let before: Vec<VectorTimestamp> = q.iter().map(|e| e.stamp.clone()).collect();
+        q.prune(&commit);
+        let after: Vec<VectorTimestamp> = q.iter().map(|e| e.stamp.clone()).collect();
+        // Everything surviving is NOT dominated by the commit…
+        for s in &after {
+            prop_assert!(!s.dominated_by(&commit));
+        }
+        // …and everything removed WAS dominated.
+        for s in &before {
+            if !after.contains(s) {
+                prop_assert!(s.dominated_by(&commit));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overwrite rule counting
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn overwrite_keeps_one_in_max_len(n in 1u64..300, max_len in 2u32..20) {
+        let mut rs = RuleSet::new()
+            .with(Rule::Overwrite { ty: EventType::FaaPosition, max_len });
+        let mut table = StatusTable::new();
+        let mut mirrored = 0u64;
+        for seq in 1..=n {
+            let e = Event::faa_position(seq, 1, PositionFix {
+                lat: 0.0, lon: 0.0, alt_ft: 0.0, speed_kts: 0.0, heading_deg: 0.0,
+            });
+            table.observe(&e);
+            if rs.evaluate(e, &mut table).mirror.is_some() {
+                mirrored += 1;
+            }
+        }
+        // Exactly ⌈n / max_len⌉ survive: the first of each run.
+        prop_assert_eq!(mirrored, n.div_ceil(max_len as u64));
+    }
+}
+
+// ---------------------------------------------------------------------
+// EDE determinism and snapshot/replay equivalence
+// ---------------------------------------------------------------------
+
+fn arb_ops_events() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (0u32..8, prop_oneof![
+            arb_fix().prop_map(EventBody::Position),
+            arb_status().prop_map(EventBody::Status),
+            (0u32..200, 1u32..200)
+                .prop_map(|(b, e)| EventBody::Boarding { boarded: b.min(e), expected: e }),
+        ]),
+        1..120,
+    )
+    .prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (flight, body))| {
+                let mut e = Event::new(0, i as u64 + 1, flight, body);
+                e.stamp.advance(0, i as u64 + 1);
+                e
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn ede_is_deterministic(events in arb_ops_events()) {
+        let mut a = Ede::new();
+        let mut b = Ede::new();
+        for e in &events {
+            prop_assert_eq!(a.process(e), b.process(e));
+        }
+        prop_assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn snapshot_then_replay_converges(events in arb_ops_events(), split in 0usize..120) {
+        let split = split.min(events.len());
+        // Server processes everything.
+        let mut server = OperationalState::new();
+        for e in &events {
+            server.apply(e);
+        }
+        // Client snapshots at `split`, then replays the tail.
+        let mut at_split = OperationalState::new();
+        for e in &events[..split] {
+            at_split.apply(e);
+        }
+        let snap = Snapshot::capture(&at_split, VectorTimestamp::empty());
+        let mut client = snap.restore();
+        for e in &events[split..] {
+            client.apply(e);
+        }
+        prop_assert_eq!(client.state_hash(), server.state_hash());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coalescing conservation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn coalescing_conserves_events_and_last_fix(
+        flights in prop::collection::vec(0u32..5, 1..100),
+        cap in 2u32..12,
+    ) {
+        let mut m = CoalescingMirror::new();
+        let mut params = MirrorParams::default();
+        params.coalesce = true;
+        params.coalesce_max = cap;
+
+        let mut last_fix_per_flight = std::collections::HashMap::new();
+        let mut out = Vec::new();
+        for (i, &flight) in flights.iter().enumerate() {
+            let fix = PositionFix {
+                lat: i as f64,
+                lon: 0.0,
+                alt_ft: 0.0,
+                speed_kts: 0.0,
+                heading_deg: 0.0,
+            };
+            last_fix_per_flight.insert(flight, fix);
+            let mut e = Event::faa_position(i as u64 + 1, flight, fix);
+            e.stamp.advance(0, i as u64 + 1);
+            out.extend(m.prepare(vec![e], &params));
+        }
+        out.extend(m.flush(&params));
+
+        // Conservation: the counts of coalesced events sum to the input.
+        let total: u64 = out
+            .iter()
+            .map(|e| match &e.body {
+                EventBody::Coalesced { count, .. } => *count as u64,
+                _ => 1,
+            })
+            .sum();
+        prop_assert_eq!(total, flights.len() as u64);
+
+        // No run exceeds the cap.
+        for e in &out {
+            if let EventBody::Coalesced { count, .. } = &e.body {
+                prop_assert!(*count <= cap);
+            }
+        }
+
+        // The last coalesced event per flight carries that flight's last fix.
+        for (&flight, &fix) in &last_fix_per_flight {
+            let last = out.iter().rev().find(|e| e.flight == flight).unwrap();
+            if let EventBody::Coalesced { last: got, .. } = &last.body {
+                prop_assert_eq!(got.lat, fix.lat);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Live adaptation in the threaded runtime — the §4.3 mechanism end to
+//! end on real threads: a request storm through a mirror's gateway raises
+//! its pending-request gauge, the gauge rides checkpoint replies to the
+//! central adaptation controller, the controller engages the degraded
+//! profile (piggybacked on the commit), and releases it when the storm
+//! drains.
+
+use std::time::Duration;
+
+use adaptable_mirroring::core::adapt::{AdaptAction, MonitorKind};
+use adaptable_mirroring::core::event::{Event, PositionFix};
+use adaptable_mirroring::core::mirrorfn::MirrorFnKind;
+use adaptable_mirroring::runtime::{Cluster, ClusterConfig};
+
+fn fix() -> PositionFix {
+    PositionFix { lat: 39.0, lon: -104.0, alt_ft: 36_000.0, speed_kts: 480.0, heading_deg: 90.0 }
+}
+
+#[test]
+fn request_storm_engages_and_releases_adaptation_live() {
+    let cluster = Cluster::start(ClusterConfig {
+        mirrors: 1,
+        kind: MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 25 },
+        suspect_after: 0,
+    });
+    // Configure adaptation through the Table-1 API on the live cluster.
+    let normal = MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 25 };
+    let degraded = MirrorFnKind::Overwriting { overwrite: 20, checkpoint_every: 100 };
+    cluster.central().handle().set_monitor_values(MonitorKind::PendingRequests, 10, 7);
+    cluster
+        .central()
+        .handle()
+        .set_adapt_action(AdaptAction::SwitchMirrorFn { normal, engaged: degraded });
+
+    // Gateway on the mirror with a per-request pad so a burst queues.
+    let gateway = cluster.mirrors()[0].serve_requests(Duration::from_millis(4));
+    let client = gateway.client();
+
+    // Paced background stream keeps checkpoint rounds (the adaptation
+    // transport) turning over.
+    let feeder_cluster = std::sync::Arc::new(cluster);
+    let cluster = std::sync::Arc::clone(&feeder_cluster);
+    let feeder = std::thread::spawn(move || {
+        for seq in 1..=3_000u64 {
+            feeder_cluster.submit(Event::faa_position(seq, (seq % 8) as u32, fix()));
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    });
+
+    // Let normal operation settle, then unleash the storm.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(cluster.central().counters().adaptations.load(std::sync::atomic::Ordering::Relaxed), 0);
+    let mut receivers = Vec::new();
+    for _ in 0..120 {
+        receivers.push(client.fire().unwrap());
+    }
+
+    // Engagement: the central aux applies the directive to itself.
+    let engaged = cluster.wait(Duration::from_secs(10), |c| {
+        c.central().handle().params().overwrite_max == 20
+    });
+    assert!(engaged, "storm must engage the degraded profile");
+    // The mirror receives the piggybacked directive too.
+    let mirror_engaged = cluster.wait(Duration::from_secs(10), |c| {
+        c.mirrors()[0].handle().params().overwrite_max == 20
+    });
+    assert!(mirror_engaged, "directive must reach the mirror");
+
+    // Storm drains → release back to the normal profile.
+    for r in receivers {
+        let _ = r.recv_timeout(Duration::from_secs(10));
+    }
+    let released = cluster.wait(Duration::from_secs(10), |c| {
+        c.central().handle().params().coalesce_max == 10
+            && c.central().handle().params().checkpoint_every == 25
+    });
+    assert!(released, "draining the storm must release the adaptation");
+
+    feeder.join().unwrap();
+    gateway.stop();
+    match std::sync::Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}

@@ -1,0 +1,212 @@
+//! Integration tests of the real (threaded) runtime: live clusters over
+//! in-process channels and over TCP, exercising the same middleware the
+//! simulator measures.
+
+use std::time::Duration;
+
+use adaptable_mirroring::core::api::{MirrorConfig, MirrorHandle};
+use adaptable_mirroring::core::event::{Event, EventType, FlightStatus, PositionFix};
+use adaptable_mirroring::core::mirrorfn::MirrorFnKind;
+use adaptable_mirroring::echo::channel::EventChannel;
+use adaptable_mirroring::echo::transport::TcpTransport;
+use adaptable_mirroring::runtime::bridge::{central_endpoint, mirror_endpoint};
+use adaptable_mirroring::runtime::{Cluster, ClusterConfig, MirrorSite, RuntimeClock};
+
+fn fix(alt: f64) -> PositionFix {
+    PositionFix { lat: 10.0, lon: 20.0, alt_ft: alt, speed_kts: 400.0, heading_deg: 45.0 }
+}
+
+#[test]
+fn four_mirror_cluster_replicates_a_full_day() {
+    let cluster = Cluster::start(ClusterConfig { mirrors: 4, ..Default::default() });
+    let mut seq = 0u64;
+    // Positions + full lifecycle for 8 flights.
+    for round in 0..50 {
+        for flight in 0..8u32 {
+            seq += 1;
+            cluster.submit(Event::faa_position(seq, flight, fix(1000.0 * round as f64)));
+        }
+    }
+    let mut dseq = 0u64;
+    for flight in 0..8u32 {
+        for status in [
+            FlightStatus::Boarding,
+            FlightStatus::Departed,
+            FlightStatus::Landed,
+            FlightStatus::AtGate,
+        ] {
+            dseq += 1;
+            cluster.submit(Event::delta_status(dseq, flight, status));
+        }
+    }
+    let total = 400 + 32;
+    assert!(
+        cluster.wait_all_processed(total, Duration::from_secs(10)),
+        "processed: central {} mirrors {:?}",
+        cluster.central().processed(),
+        cluster.mirrors().iter().map(|m| m.processed()).collect::<Vec<_>>()
+    );
+    let hashes = cluster.state_hashes();
+    assert!(hashes.windows(2).all(|w| w[0] == w[1]), "{hashes:?}");
+    // Arrival derivation happened everywhere (AtGate ⇒ Arrived).
+    let snap = cluster.snapshot(3);
+    assert_eq!(snap.flight(0).map(|f| f.status), Some(FlightStatus::Arrived));
+    cluster.shutdown();
+}
+
+#[test]
+fn dynamic_reconfiguration_mid_stream() {
+    let cluster = Cluster::start(ClusterConfig { mirrors: 1, ..Default::default() });
+    for seq in 1..=50u64 {
+        cluster.submit(Event::faa_position(seq, 1, fix(100.0)));
+    }
+    assert!(cluster.wait(Duration::from_secs(5), |c| c.mirrors()[0].processed() >= 50));
+
+    // Table-1 dynamic call: switch to 1-in-25 overwriting, live.
+    cluster.central().handle().set_overwrite(EventType::FaaPosition, 25);
+    for seq in 51..=150u64 {
+        cluster.submit(Event::faa_position(seq, 1, fix(200.0)));
+    }
+    assert!(cluster.wait(Duration::from_secs(5), |c| c.central().processed() >= 150));
+    std::thread::sleep(Duration::from_millis(100));
+    let mirror_seen = cluster.mirrors()[0].processed();
+    assert!(
+        (50..=60).contains(&(mirror_seen as i64)),
+        "after reconfig the mirror should see ~4 of 100 new events, saw {} total",
+        mirror_seen
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_submitters_do_not_corrupt_state() {
+    let cluster = std::sync::Arc::new(Cluster::start(ClusterConfig {
+        mirrors: 2,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 0,
+    }));
+    // Four threads, each its own stream id, so per-stream seq stays unique.
+    let mut handles = Vec::new();
+    for stream in 0..4u16 {
+        let cluster = std::sync::Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            for seq in 1..=100u64 {
+                let mut e = Event::faa_position(seq, stream as u32, fix(5.0));
+                e.stream = stream;
+                cluster.submit(e);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(cluster.wait_all_processed(400, Duration::from_secs(10)));
+    let hashes = cluster.state_hashes();
+    assert!(hashes.windows(2).all(|w| w[0] == w[1]), "{hashes:?}");
+    match std::sync::Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}
+
+#[test]
+fn checkpoint_commits_under_live_load() {
+    let cluster = Cluster::start(ClusterConfig { mirrors: 2, ..Default::default() });
+    cluster.central().handle().set_params(false, 1, 20);
+    for seq in 1..=200u64 {
+        cluster.submit(Event::faa_position(seq, (seq % 3) as u32, fix(9.0)));
+    }
+    assert!(cluster.wait_all_processed(200, Duration::from_secs(10)));
+    assert!(
+        cluster.wait(Duration::from_secs(5), |c| {
+            c.central().committed().map(|t| t.get(0) >= 160).unwrap_or(false)
+        }),
+        "commit frontier: {:?}",
+        cluster.central().committed()
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn tcp_bridged_mirror_matches_inproc_mirror() {
+    // Cluster channels.
+    let data = EventChannel::new("t.data");
+    let ctrl_down = EventChannel::new("t.ctrl.down");
+    let ctrl_up = EventChannel::new("t.ctrl.up");
+    let clock = RuntimeClock::new();
+
+    // In-proc mirror (site 1).
+    let mut local = MirrorSite::start(
+        MirrorHandle::new(MirrorConfig::default().build_mirror(1)),
+        clock.clone(),
+        &data,
+        &ctrl_down,
+        ctrl_up.publisher(),
+    );
+
+    // TCP-bridged mirror (site 2) in a "remote process".
+    let down_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let up_listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let down_addr = down_listener.local_addr().unwrap();
+    let up_addr = up_listener.local_addr().unwrap();
+    let remote = std::thread::spawn(move || {
+        let down = TcpTransport::accept_one(&down_listener).unwrap();
+        let up = TcpTransport::connect(up_addr).unwrap();
+        let (mut site, bridge) =
+            mirror_endpoint(Box::new(down), Box::new(up), |data, ctrl_down, ctrl_up| {
+                MirrorSite::start(
+                    MirrorHandle::new(MirrorConfig::default().build_mirror(2)),
+                    RuntimeClock::new(),
+                    data,
+                    ctrl_down,
+                    ctrl_up.publisher(),
+                )
+            });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while site.processed() < 300 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let hash = site.state_hash();
+        let n = site.processed();
+        site.stop();
+        bridge.stop();
+        bridge.join();
+        (n, hash)
+    });
+    let down = TcpTransport::connect(down_addr).unwrap();
+    let up = TcpTransport::accept_one(&up_listener).unwrap();
+    let bridge = central_endpoint(
+        &data,
+        &ctrl_down,
+        ctrl_up.publisher(),
+        Box::new(down),
+        Box::new(up),
+    );
+
+    // Publish the same stamped stream to both mirrors.
+    let p = data.publisher();
+    let mut clock_stamp = adaptable_mirroring::core::timestamp::VectorTimestamp::new(1);
+    for seq in 1..=300u64 {
+        let mut e = Event::faa_position(seq, (seq % 12) as u32, fix(500.0));
+        clock_stamp.advance(0, seq);
+        e.stamp = clock_stamp.clone();
+        p.publish(e);
+    }
+
+    // Stop our bridge endpoint first so the remote side's join can finish.
+    bridge.stop();
+    let (remote_n, remote_hash) = remote.join().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while local.processed() < 300 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(remote_n, 300);
+    assert_eq!(local.processed(), 300);
+    assert_eq!(
+        local.state_hash(),
+        remote_hash,
+        "a TCP-bridged mirror must hold the same state as an in-proc one"
+    );
+    local.stop();
+    bridge.join();
+}
