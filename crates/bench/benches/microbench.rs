@@ -5,8 +5,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use mirror_core::checkpoint::{CentralCheckpointer, MainUnitResponder};
 use mirror_core::adapt::MonitorReport;
+use mirror_core::checkpoint::{CentralCheckpointer, MainUnitResponder};
 use mirror_core::event::{Event, EventType, PositionFix};
 use mirror_core::mirrorfn::{CoalescingMirror, MirrorFn};
 use mirror_core::params::MirrorParams;

@@ -52,11 +52,7 @@ fn checkpoint_interval() {
             checkpoint_every_override: Some(every),
             ..Default::default()
         });
-        rows.push(vec![
-            every.to_string(),
-            secs(r.total_time_s),
-            r.central.checkpoints.to_string(),
-        ]);
+        rows.push(vec![every.to_string(), secs(r.total_time_s), r.central.checkpoints.to_string()]);
     }
     print_table(
         "Ablation 2: checkpoint interval (simple mirroring, 10k events, 1KB)",
@@ -138,7 +134,9 @@ fn intra_cluster_bandwidth() {
     // by clients". Degrade the interconnect and watch mirroring overhead
     // grow toward unviability.
     let mut rows = Vec::new();
-    for (label, mbps) in [("1000 MB/s", 1000.0), ("100 MB/s", 100.0), ("12.5 MB/s", 12.5), ("3 MB/s", 3.0)] {
+    for (label, mbps) in
+        [("1000 MB/s", 1000.0), ("100 MB/s", 100.0), ("12.5 MB/s", 12.5), ("3 MB/s", 3.0)]
+    {
         let r = run(&ExperimentConfig {
             mirrors: 4,
             kind: MirrorFnKind::Simple,

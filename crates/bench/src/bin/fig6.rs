@@ -34,12 +34,7 @@ fn main() {
             });
             totals.push(r.total_time_s);
         }
-        rows.push(vec![
-            size.to_string(),
-            secs(totals[0]),
-            secs(totals[1]),
-            secs(totals[2]),
-        ]);
+        rows.push(vec![size.to_string(), secs(totals[0]), secs(totals[1]), secs(totals[2])]);
         table.push((size, totals));
     }
     print_table(

@@ -94,12 +94,27 @@ fn main() {
         }
         t2 += 1.0;
     }
-    println!("\nadaptations applied: {} (at {:?} s)", adaptive.adaptations, adaptive.adaptation_times_s);
-    println!("peak per-second delay: no-adapt {pf:.0}µs, adaptive {pa:.0}µs ({:.1}% lower)", (1.0 - pa / pf) * 100.0);
-    println!("mean per-second delay: no-adapt {mf:.0}µs, adaptive {ma:.0}µs ({:.1}% lower)", (1.0 - ma / mf) * 100.0);
+    println!(
+        "\nadaptations applied: {} (at {:?} s)",
+        adaptive.adaptations, adaptive.adaptation_times_s
+    );
+    println!(
+        "peak per-second delay: no-adapt {pf:.0}µs, adaptive {pa:.0}µs ({:.1}% lower)",
+        (1.0 - pa / pf) * 100.0
+    );
+    println!(
+        "mean per-second delay: no-adapt {mf:.0}µs, adaptive {ma:.0}µs ({:.1}% lower)",
+        (1.0 - ma / mf) * 100.0
+    );
     println!("largest per-second latency reduction: {:.1}%", max_reduction * 100.0);
-    println!("\nshape: adaptation engaged at least twice (engage+release): {}", adaptive.adaptations >= 2);
-    println!("shape: latency reduced by up to >=40% (paper: 'up to 40%'): {}", max_reduction >= 0.40);
+    println!(
+        "\nshape: adaptation engaged at least twice (engage+release): {}",
+        adaptive.adaptations >= 2
+    );
+    println!(
+        "shape: latency reduced by up to >=40% (paper: 'up to 40%'): {}",
+        max_reduction >= 0.40
+    );
     println!("shape: adaptive peak lower (less perturbation at the spike): {}", pa < pf);
     println!("shape: adaptive mean strictly lower (less perturbation): {}", ma < mf);
 }

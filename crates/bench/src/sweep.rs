@@ -96,28 +96,21 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<SweepSpec, 
     let mut spec = SweepSpec::default();
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next().ok_or_else(|| ParseError(format!("flag {flag} needs a value")))
-        };
+        let mut value =
+            || it.next().ok_or_else(|| ParseError(format!("flag {flag} needs a value")));
         match flag.as_str() {
             "--mirrors" => spec.mirrors = parse_list(&value()?, "mirror count")?,
             "--sizes" => spec.sizes = parse_list(&value()?, "size")?,
             "--kind" => spec.kind = parse_kind(&value()?)?,
             "--rate" => {
-                spec.rate = value()?
-                    .parse()
-                    .map_err(|_| ParseError("bad --rate".into()))?
+                spec.rate = value()?.parse().map_err(|_| ParseError("bad --rate".into()))?
             }
             "--events" => {
-                spec.events = value()?
-                    .parse()
-                    .map_err(|_| ParseError("bad --events".into()))?
+                spec.events = value()?.parse().map_err(|_| ParseError("bad --events".into()))?
             }
             "--checkpoint-every" => {
                 spec.checkpoint_every = Some(
-                    value()?
-                        .parse()
-                        .map_err(|_| ParseError("bad --checkpoint-every".into()))?,
+                    value()?.parse().map_err(|_| ParseError("bad --checkpoint-every".into()))?,
                 )
             }
             "--targets" => {
@@ -182,8 +175,8 @@ pub fn run_sweep(spec: &SweepSpec, mut out: impl std::io::Write) -> std::io::Res
                 checkpoint_every_override: spec.checkpoint_every,
                 ..Default::default()
             });
-            let consistent = r.state_hashes.len() <= 2
-                || r.state_hashes[1..].windows(2).all(|w| w[0] == w[1]);
+            let consistent =
+                r.state_hashes.len() <= 2 || r.state_hashes[1..].windows(2).all(|w| w[0] == w[1]);
             writeln!(
                 out,
                 "{m},{size},{:.3},{:.1},{},{},{},{:.3},{}",
@@ -257,12 +250,8 @@ mod tests {
 
     #[test]
     fn sweep_produces_csv_rows() {
-        let spec = SweepSpec {
-            mirrors: vec![1, 2],
-            sizes: vec![500],
-            events: 300,
-            ..Default::default()
-        };
+        let spec =
+            SweepSpec { mirrors: vec![1, 2], sizes: vec![500], events: 300, ..Default::default() };
         let mut buf = Vec::new();
         run_sweep(&spec, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();

@@ -209,14 +209,10 @@ impl AdaptationController {
             return AdaptDecision::Hold;
         }
         let agg = self.aggregate();
-        let any_over_primary = self
-            .thresholds
-            .iter()
-            .any(|(kind, th)| agg.value(*kind) >= th.primary);
-        let all_below_release = self
-            .thresholds
-            .iter()
-            .all(|(kind, th)| agg.value(*kind) < th.release_point());
+        let any_over_primary =
+            self.thresholds.iter().any(|(kind, th)| agg.value(*kind) >= th.primary);
+        let all_below_release =
+            self.thresholds.iter().all(|(kind, th)| agg.value(*kind) < th.release_point());
 
         if !self.engaged && any_over_primary {
             self.engaged = true;
@@ -261,10 +257,7 @@ mod tests {
 
     fn controller_with_switch() -> AdaptationController {
         let mut c = AdaptationController::new(MirrorParams::profile_normal());
-        c.set_monitor_values(
-            MonitorKind::PendingRequests,
-            MonitorThresholds::new(100, 60),
-        );
+        c.set_monitor_values(MonitorKind::PendingRequests, MonitorThresholds::new(100, 60));
         c.set_action(AdaptAction::SwitchMirrorFn {
             normal: MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 50 },
             engaged: MirrorFnKind::Coalescing { coalesce: 20, checkpoint_every: 100 },

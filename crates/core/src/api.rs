@@ -155,6 +155,18 @@ impl MirrorHandle {
         self.with(|aux| aux.handle(AuxInput::Data(event)))
     }
 
+    /// Replay retained backup-queue events from send index `idx` on (see
+    /// [`AuxUnit::retransmit_from`]).
+    pub fn retransmit_from(&self, idx: u64) -> Vec<(u64, crate::event::Event)> {
+        self.with(|aux| aux.retransmit_from(idx))
+    }
+
+    /// Declare a mirror failed immediately — the transport layer knows its
+    /// link is dead (see [`AuxUnit::declare_mirror_failed`]).
+    pub fn declare_mirror_failed(&self, site: crate::SiteId) -> Vec<AuxAction> {
+        self.with(|aux| aux.declare_mirror_failed(site))
+    }
+
     /// `set_mirror(func)` — install a custom per-event mirroring function.
     pub fn set_mirror<F>(&self, label: &'static str, f: F)
     where
@@ -291,11 +303,8 @@ mod tests {
         h.set_overwrite(EventType::FaaPosition, 10);
         let mut mirrored = 0;
         for seq in 2..=41 {
-            mirrored += h
-                .fwd(pos(seq, 1))
-                .iter()
-                .filter(|a| matches!(a, AuxAction::Mirror(_)))
-                .count();
+            mirrored +=
+                h.fwd(pos(seq, 1)).iter().filter(|a| matches!(a, AuxAction::Mirror(_))).count();
         }
         assert!(mirrored <= 5, "overwriting must suppress most events, got {mirrored}");
         assert_eq!(h.params().overwrite_max, 10);
@@ -360,10 +369,10 @@ mod tests {
         });
         h.with(|aux| {
             let ctrl = aux.adaptation_mut().unwrap();
-            ctrl.record_report(1, crate::adapt::MonitorReport {
-                pending_requests: 500,
-                ..Default::default()
-            });
+            ctrl.record_report(
+                1,
+                crate::adapt::MonitorReport { pending_requests: 500, ..Default::default() },
+            );
             assert!(matches!(ctrl.decide(), crate::adapt::AdaptDecision::Engage(_)));
         });
     }

@@ -269,6 +269,35 @@ impl AuxUnit {
         }
     }
 
+    /// Declare a mirror failed immediately (central site only) — the
+    /// escalation path for a transport link whose reconnect budget is
+    /// exhausted. Unlike `suspect_after` detection, which waits out rounds
+    /// of silence, this acts on positive knowledge that the link is dead.
+    /// Returns the same [`AuxAction::MirrorFailed`] the detector would.
+    pub fn declare_mirror_failed(&mut self, site: SiteId) -> Vec<AuxAction> {
+        if let Role::Central { checkpointer, .. } = &mut self.role {
+            if checkpointer.declare_failed(site) {
+                return vec![AuxAction::MirrorFailed(site)];
+            }
+        }
+        Vec::new()
+    }
+
+    /// Replay retained backup-queue events from send index `idx` on
+    /// (oldest first): the recovery stream for a peer that reconnected
+    /// after losing in-flight traffic. Events already pruned by a
+    /// committed checkpoint are omitted — the peer's committed state
+    /// covers them.
+    pub fn retransmit_from(&self, idx: u64) -> Vec<(u64, Event)> {
+        self.backup.retransmit_from(idx)
+    }
+
+    /// The send index the next mirrored event will receive (see
+    /// [`BackupQueue::next_send_idx`]).
+    pub fn next_send_idx(&self) -> u64 {
+        self.backup.next_send_idx()
+    }
+
     /// Set the failure-detection threshold in missed checkpoint rounds
     /// (central site only; 0 disables detection).
     pub fn set_suspect_after(&mut self, rounds: u32) {
@@ -432,7 +461,10 @@ impl AuxUnit {
     fn on_control(&mut self, msg: ControlMsg) -> Vec<AuxAction> {
         match (&mut self.role, msg) {
             // --- central site -------------------------------------------------
-            (Role::Central { checkpointer, adapt }, ControlMsg::ChkptRep { round, site, stamp, monitor }) => {
+            (
+                Role::Central { checkpointer, adapt },
+                ControlMsg::ChkptRep { round, site, stamp, monitor },
+            ) => {
                 // The local main unit only knows the pending-request count;
                 // its reply must not clobber the central's real queue
                 // lengths in the adaptation monitors.
@@ -628,9 +660,7 @@ mod tests {
                                     let back = mu.handle(AuxInput::Control(rep));
                                     for b in back {
                                         if let AuxAction::ControlToCentral(r) = b {
-                                            commits.extend(
-                                                central.handle(AuxInput::Control(r)),
-                                            );
+                                            commits.extend(central.handle(AuxInput::Control(r)));
                                         }
                                     }
                                 }

@@ -115,6 +115,19 @@ impl CentralCheckpointer {
         std::mem::take(&mut self.newly_failed)
     }
 
+    /// Declare a mirror failed out-of-band — the transport layer reports
+    /// its link dead (reconnect budget exhausted), so there is no point
+    /// waiting `suspect_after` rounds of silence. Returns `true` if the
+    /// site was participating and is now excluded.
+    pub fn declare_failed(&mut self, site: SiteId) -> bool {
+        let was_in = self.mirrors.contains(&site);
+        if was_in {
+            self.mirrors.retain(|&s| s != site);
+            self.failed.push(site);
+        }
+        was_in
+    }
+
     /// Re-admit a mirror (after external recovery/state transfer): it
     /// resumes participating in checkpoint rounds.
     pub fn readmit(&mut self, site: SiteId) {
@@ -153,12 +166,10 @@ impl CentralCheckpointer {
         let round = self.next_round;
         self.next_round += 1;
         self.rounds_started += 1;
-        self.pending = Some(PendingRound { round, proposal: proposal.clone(), replies: Vec::new() });
+        self.pending =
+            Some(PendingRound { round, proposal: proposal.clone(), replies: Vec::new() });
         let msg = ControlMsg::Chkpt { round, stamp: proposal };
-        vec![
-            CheckpointMsg::BroadcastToMirrors(msg.clone()),
-            CheckpointMsg::ToLocalMain(msg),
-        ]
+        vec![CheckpointMsg::BroadcastToMirrors(msg.clone()), CheckpointMsg::ToLocalMain(msg)]
     }
 
     /// `CHKPT_REP`: record a participant's reply. When every expected
@@ -218,19 +229,14 @@ impl CentralCheckpointer {
             return None;
         }
         let pending = self.pending.take().unwrap();
-        let commit = pending
-            .replies
-            .iter()
-            .fold(pending.proposal.clone(), |acc, (_, s)| acc.meet(s));
+        let commit =
+            pending.replies.iter().fold(pending.proposal.clone(), |acc, (_, s)| acc.meet(s));
         self.committed.merge(&commit);
         self.rounds_committed += 1;
         let msg = ControlMsg::Commit { round: pending.round, stamp: commit.clone(), adapt: None };
         Some((
             commit,
-            vec![
-                CheckpointMsg::BroadcastToMirrors(msg.clone()),
-                CheckpointMsg::ToLocalMain(msg),
-            ],
+            vec![CheckpointMsg::BroadcastToMirrors(msg.clone()), CheckpointMsg::ToLocalMain(msg)],
         ))
     }
 }
@@ -533,9 +539,7 @@ mod tests {
         central.begin(vt(&[10]));
         assert!(central.on_reply(central.rounds_started, 2, vt(&[10])).is_none());
         assert!(central.on_reply(central.rounds_started, 1, vt(&[10])).is_none());
-        assert!(central
-            .on_reply(central.rounds_started, CENTRAL_SITE, vt(&[10]))
-            .is_some());
+        assert!(central.on_reply(central.rounds_started, CENTRAL_SITE, vt(&[10])).is_some());
     }
 
     #[test]
@@ -570,9 +574,7 @@ mod tests {
         // The in-flight round now completes with both mirrors replying
         // (the readmitted site got a fresh lag baseline).
         central.on_reply(central.rounds_started, 2, vt(&[3]));
-        assert!(central
-            .on_reply(central.rounds_started, CENTRAL_SITE, vt(&[3]))
-            .is_some());
+        assert!(central.on_reply(central.rounds_started, CENTRAL_SITE, vt(&[3])).is_some());
         assert!(central.failed.is_empty(), "failed: {:?}", central.failed);
     }
 

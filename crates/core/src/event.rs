@@ -290,7 +290,10 @@ impl Event {
     /// padding). Both `mirror-echo` framing and `mirror-sim` link costs use
     /// this figure, keeping real and simulated byte accounting identical.
     pub fn wire_size(&self) -> usize {
-        EVENT_HEADER_WIRE_SIZE + self.stamp.wire_size() + self.body.wire_size() + self.padding as usize
+        EVENT_HEADER_WIRE_SIZE
+            + self.stamp.wire_size()
+            + self.body.wire_size()
+            + self.padding as usize
     }
 
     /// Convenience constructor for an FAA position event.
@@ -309,7 +312,13 @@ mod tests {
     use super::*;
 
     fn fix() -> PositionFix {
-        PositionFix { lat: 33.64, lon: -84.42, alt_ft: 31000.0, speed_kts: 440.0, heading_deg: 270.0 }
+        PositionFix {
+            lat: 33.64,
+            lon: -84.42,
+            alt_ft: 31000.0,
+            speed_kts: 440.0,
+            heading_deg: 270.0,
+        }
     }
 
     #[test]

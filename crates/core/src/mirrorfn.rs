@@ -326,7 +326,18 @@ mod tests {
         // Events arrive one drain at a time (the realistic pattern).
         let mut out = Vec::new();
         for seq in 1..=7 {
-            out.extend(m.prepare(batch(1, 1).into_iter().map(|mut e| { e.seq = seq; e }).collect(), &p));
+            out.extend(
+                m.prepare(
+                    batch(1, 1)
+                        .into_iter()
+                        .map(|mut e| {
+                            e.seq = seq;
+                            e
+                        })
+                        .collect(),
+                    &p,
+                ),
+            );
         }
         assert_eq!(out.len(), 1, "first run of 4 closed");
         assert!(matches!(out[0].body, EventBody::Coalesced { count: 4, .. }));

@@ -91,27 +91,56 @@ impl ReadyQueue {
 /// On commit, every event whose stamp is dominated by the committed
 /// timestamp is discarded (paper Figure 3: "update backup queue"). A commit
 /// naming an event no longer present is simply a no-op prune.
+///
+/// Each retained event also carries a monotone **send index** (1, 2, 3…
+/// in push order). The index is what makes the backup queue double as a
+/// retransmission source for unreliable links: a recovering peer names the
+/// last index it saw and [`retransmit_from`](Self::retransmit_from) replays
+/// everything retained from that point on.
 #[derive(Debug, Default)]
 pub struct BackupQueue {
-    q: VecDeque<Event>,
+    q: VecDeque<(u64, Event)>,
     stats: QueueStats,
     /// Join of all stamps ever retained; `last()` falls back to this when
     /// the queue has just been pruned empty.
     frontier: VectorTimestamp,
+    /// Send index assigned to the next pushed event (starts at 1).
+    next_idx: u64,
 }
 
 impl BackupQueue {
     /// An empty backup queue.
     pub fn new() -> Self {
-        Self::default()
+        BackupQueue { next_idx: 1, ..Self::default() }
     }
 
-    /// Retain a sent event until a checkpoint covers it.
-    pub fn push(&mut self, e: Event) {
+    /// Retain a sent event until a checkpoint covers it; returns the send
+    /// index assigned to it.
+    pub fn push(&mut self, e: Event) -> u64 {
+        // `Default` can't set 1, so normalize lazily for default-built
+        // queues.
+        if self.next_idx == 0 {
+            self.next_idx = 1;
+        }
+        let idx = self.next_idx;
+        self.next_idx += 1;
         self.frontier.merge(&e.stamp);
-        self.q.push_back(e);
+        self.q.push_back((idx, e));
         self.stats.enqueued += 1;
         self.stats.high_watermark = self.stats.high_watermark.max(self.q.len());
+        idx
+    }
+
+    /// The send index the next pushed event will receive.
+    pub fn next_send_idx(&self) -> u64 {
+        self.next_idx.max(1)
+    }
+
+    /// Replay every retained event with send index `>= idx`, oldest first.
+    /// Events already pruned by a committed checkpoint are gone — by
+    /// definition the peer acknowledged a state that covers them.
+    pub fn retransmit_from(&self, idx: u64) -> Vec<(u64, Event)> {
+        self.q.iter().filter(|(i, _)| *i >= idx).cloned().collect()
     }
 
     /// Stamp of the most recently retained event — the checkpoint proposal
@@ -119,7 +148,7 @@ impl BackupQueue {
     /// Falls back to the all-time frontier when the queue is empty, so a
     /// freshly pruned site still proposes a meaningful value.
     pub fn last_stamp(&self) -> VectorTimestamp {
-        self.q.back().map(|e| e.stamp.clone()).unwrap_or_else(|| self.frontier.clone())
+        self.q.back().map(|(_, e)| e.stamp.clone()).unwrap_or_else(|| self.frontier.clone())
     }
 
     /// Does the queue (or its history) cover the given stamp — i.e. would a
@@ -141,7 +170,7 @@ impl BackupQueue {
     /// events were pruned. Events concurrent with or after the commit stay.
     pub fn prune(&mut self, commit: &VectorTimestamp) -> usize {
         let before = self.q.len();
-        self.q.retain(|e| !e.stamp.dominated_by(commit));
+        self.q.retain(|(_, e)| !e.stamp.dominated_by(commit));
         let pruned = before - self.q.len();
         self.stats.dequeued += pruned as u64;
         pruned
@@ -159,7 +188,7 @@ impl BackupQueue {
 
     /// Iterate retained events oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
-        self.q.iter()
+        self.q.iter().map(|(_, e)| e)
     }
 
     /// Occupancy statistics.
@@ -266,6 +295,50 @@ mod tests {
         let last = b.last_stamp();
         b.prune(&last);
         assert!(!b.is_fresh(), "a pruned queue is empty but not fresh");
+    }
+
+    #[test]
+    fn send_indices_are_monotone_and_survive_pruning() {
+        let mut b = BackupQueue::new();
+        assert_eq!(b.next_send_idx(), 1);
+        assert_eq!(b.push(ev(0, 1)), 1);
+        assert_eq!(b.push(ev(0, 2)), 2);
+        assert_eq!(b.push(ev(1, 1)), 3);
+        let mut commit = VectorTimestamp::new(2);
+        commit.advance(0, 2);
+        b.prune(&commit); // drops indices 1 and 2
+                          // Indices keep counting; pruning never reuses them.
+        assert_eq!(b.push(ev(0, 3)), 4);
+        assert_eq!(b.next_send_idx(), 5);
+    }
+
+    #[test]
+    fn retransmit_from_replays_retained_suffix() {
+        let mut b = BackupQueue::new();
+        for s in 1..=5 {
+            b.push(ev(0, s));
+        }
+        let replay = b.retransmit_from(3);
+        assert_eq!(replay.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(replay.iter().map(|(_, e)| e.seq).collect::<Vec<_>>(), vec![3, 4, 5]);
+        // From beyond the end: nothing to replay.
+        assert!(b.retransmit_from(99).is_empty());
+        // From 0/1: everything retained.
+        assert_eq!(b.retransmit_from(0).len(), 5);
+    }
+
+    #[test]
+    fn retransmit_skips_pruned_events() {
+        let mut b = BackupQueue::new();
+        b.push(ev(0, 1));
+        b.push(ev(0, 2));
+        b.push(ev(1, 1));
+        let mut commit = VectorTimestamp::new(2);
+        commit.advance(0, 2);
+        b.prune(&commit);
+        let replay = b.retransmit_from(1);
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].0, 3);
     }
 
     #[test]

@@ -232,8 +232,7 @@ impl RuleSet {
                     if !parts.contains(&this_status) {
                         continue;
                     }
-                    let all_seen =
-                        parts.iter().all(|p| table.has_seen_status(ev.flight, *p));
+                    let all_seen = parts.iter().all(|p| table.has_seen_status(ev.flight, *p));
                     let already_emitted = table.has_seen_status(ev.flight, *emit);
                     if all_seen && !already_emitted {
                         let mut derived = Event::new(
@@ -265,10 +264,9 @@ fn same_slot(a: &Rule, b: &Rule) -> bool {
     match (a, b) {
         (Rule::Filter { ty: t1, .. }, Rule::Filter { ty: t2, .. }) => t1 == t2,
         (Rule::Overwrite { ty: t1, .. }, Rule::Overwrite { ty: t2, .. }) => t1 == t2,
-        (
-            Rule::ComplexSeq { discard_ty: d1, .. },
-            Rule::ComplexSeq { discard_ty: d2, .. },
-        ) => d1 == d2,
+        (Rule::ComplexSeq { discard_ty: d1, .. }, Rule::ComplexSeq { discard_ty: d2, .. }) => {
+            d1 == d2
+        }
         (Rule::ComplexTuple { emit: e1, .. }, Rule::ComplexTuple { emit: e2, .. }) => e1 == e2,
         _ => false,
     }
@@ -505,11 +503,7 @@ mod tests {
 
     #[test]
     fn coalesce_preserves_status_ordering() {
-        let run = vec![
-            pos(1, 1),
-            Event::delta_status(1, 1, FlightStatus::Landed),
-            pos(2, 1),
-        ];
+        let run = vec![pos(1, 1), Event::delta_status(1, 1, FlightStatus::Landed), pos(2, 1)];
         let out = coalesce_run(run, 0);
         assert_eq!(out.len(), 3);
         assert!(matches!(out[0].body, EventBody::Coalesced { count: 1, .. }));

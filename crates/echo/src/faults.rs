@@ -1,0 +1,400 @@
+//! Deterministic fault injection for transports.
+//!
+//! [`FaultyTransport`] decorates any [`Transport`] and misbehaves according
+//! to a seedable [`FaultPlan`]: dropping, duplicating, delaying (reordering)
+//! outbound frames, corrupting inbound frames, and forcibly disconnecting
+//! after every N frames. Every decision is a pure function of the plan's
+//! seed and a per-frame counter — never of wall-clock time or thread
+//! interleaving — so a failing chaos run reproduces from its seed alone.
+//!
+//! The decision counters live in a shared [`FaultState`] (an
+//! `Arc<Mutex<_>>`) that survives the transport it is attached to. A
+//! reconnecting link wraps each fresh connection in a new `FaultyTransport`
+//! around the *same* state, so the fault schedule continues across
+//! reconnects instead of restarting.
+//!
+//! A one-way partition falls out of the design: wrap only one endpoint (or
+//! only one direction's transport) and the other direction stays healthy.
+
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::transport::{Polled, Transport};
+use crate::wire::Frame;
+
+/// A seedable schedule of link misbehavior. Probabilities are per-mille
+/// (parts per thousand) so plans stay integer-only and exactly
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for all fault decisions.
+    pub seed: u64,
+    /// Chance (‰) an outbound frame is silently dropped.
+    pub drop_per_mille: u32,
+    /// Chance (‰) an outbound frame is sent twice.
+    pub dup_per_mille: u32,
+    /// Chance (‰) an outbound frame is held and emitted after its
+    /// successor (a one-slot reorder/delay).
+    pub reorder_per_mille: u32,
+    /// Chance (‰) an inbound frame is corrupted (surfaces as an
+    /// `InvalidData` receive error, as a corrupt TCP stream would).
+    pub corrupt_per_mille: u32,
+    /// Force a disconnect error after every N outbound frames (0 = never).
+    pub disconnect_every: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults; enable faults with the
+    /// builder methods.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            reorder_per_mille: 0,
+            corrupt_per_mille: 0,
+            disconnect_every: 0,
+        }
+    }
+
+    /// Drop outbound frames with probability `per_mille`/1000.
+    pub fn drops(mut self, per_mille: u32) -> Self {
+        self.drop_per_mille = per_mille;
+        self
+    }
+
+    /// Duplicate outbound frames with probability `per_mille`/1000.
+    pub fn dups(mut self, per_mille: u32) -> Self {
+        self.dup_per_mille = per_mille;
+        self
+    }
+
+    /// Reorder (delay by one frame) with probability `per_mille`/1000.
+    pub fn reorders(mut self, per_mille: u32) -> Self {
+        self.reorder_per_mille = per_mille;
+        self
+    }
+
+    /// Corrupt inbound frames with probability `per_mille`/1000.
+    pub fn corrupts(mut self, per_mille: u32) -> Self {
+        self.corrupt_per_mille = per_mille;
+        self
+    }
+
+    /// Force a disconnect after every `n` outbound frames (0 = never).
+    pub fn disconnect_every(mut self, n: u64) -> Self {
+        self.disconnect_every = n;
+        self
+    }
+
+    /// The adversarial preset used by the chaos tests: 15% drops, 10%
+    /// duplicates, 5% reorders, disconnect every 100 frames.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan::new(seed).drops(150).dups(100).reorders(50).disconnect_every(100)
+    }
+
+    /// Wrap this plan in the shared state a [`FaultyTransport`] needs.
+    pub fn state(self) -> Arc<Mutex<FaultState>> {
+        Arc::new(Mutex::new(FaultState::new(self)))
+    }
+}
+
+/// Counters of injected faults, for assertions and reproducibility checks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Outbound frames offered to the faulty link.
+    pub sent: u64,
+    /// Inbound frames that passed through the faulty link.
+    pub received: u64,
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames sent twice.
+    pub duplicated: u64,
+    /// Frames delayed behind their successor.
+    pub reordered: u64,
+    /// Inbound frames corrupted.
+    pub corrupted: u64,
+    /// Forced disconnects.
+    pub disconnects: u64,
+}
+
+/// Shared, lock-protected fault schedule state; see the module docs for
+/// why it outlives any single connection.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    summary: FaultSummary,
+    /// A frame held back by a reorder decision, emitted after the next
+    /// successfully sent frame.
+    held: Option<Frame>,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan) -> Self {
+        FaultState { plan, summary: FaultSummary::default(), held: None }
+    }
+
+    /// Snapshot the fault counters.
+    pub fn summary(&self) -> FaultSummary {
+        self.summary.clone()
+    }
+
+    /// Deterministic per-mille roll for frame `idx` and decision `salt`.
+    fn roll(&self, salt: u64, idx: u64) -> u32 {
+        (splitmix64(self.plan.seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F) ^ idx) % 1000) as u32
+    }
+}
+
+const SALT_DROP: u64 = 1;
+const SALT_DUP: u64 = 2;
+const SALT_REORDER: u64 = 3;
+const SALT_CORRUPT: u64 = 4;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A [`Transport`] decorator that injects the faults its [`FaultPlan`]
+/// prescribes. Once a forced disconnect fires, the instance is broken for
+/// good (every call errors), exactly like a closed socket; reconnect by
+/// wrapping a fresh inner transport via [`FaultyTransport::with_state`].
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    state: Arc<Mutex<FaultState>>,
+    broken: bool,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wrap `inner` with a fresh state for `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        Self::with_state(inner, plan.state())
+    }
+
+    /// Wrap `inner`, continuing an existing fault schedule.
+    pub fn with_state(inner: T, state: Arc<Mutex<FaultState>>) -> Self {
+        FaultyTransport { inner, state, broken: false }
+    }
+
+    /// The shared schedule state (for summaries and reconnect wrapping).
+    pub fn state(&self) -> Arc<Mutex<FaultState>> {
+        Arc::clone(&self.state)
+    }
+
+    fn check_broken(&self) -> io::Result<()> {
+        if self.broken {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "fault: link broken"));
+        }
+        Ok(())
+    }
+
+    fn filter_inbound(&mut self, frame: Frame) -> io::Result<Frame> {
+        let mut st = self.state.lock().expect("fault state poisoned");
+        st.summary.received += 1;
+        let idx = st.summary.received;
+        if st.plan.corrupt_per_mille > 0 && st.roll(SALT_CORRUPT, idx) < st.plan.corrupt_per_mille {
+            st.summary.corrupted += 1;
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "fault: frame corrupted"));
+        }
+        Ok(frame)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.check_broken()?;
+        // Decide under the lock, transmit outside it.
+        let (disconnect, drop, dup, hold, release) = {
+            let mut st = self.state.lock().expect("fault state poisoned");
+            st.summary.sent += 1;
+            let idx = st.summary.sent;
+            let disconnect =
+                st.plan.disconnect_every > 0 && idx.is_multiple_of(st.plan.disconnect_every);
+            let drop = !disconnect
+                && st.plan.drop_per_mille > 0
+                && st.roll(SALT_DROP, idx) < st.plan.drop_per_mille;
+            let dup = !disconnect
+                && !drop
+                && st.plan.dup_per_mille > 0
+                && st.roll(SALT_DUP, idx) < st.plan.dup_per_mille;
+            let hold = !disconnect
+                && !drop
+                && st.held.is_none()
+                && st.plan.reorder_per_mille > 0
+                && st.roll(SALT_REORDER, idx) < st.plan.reorder_per_mille;
+            if disconnect {
+                st.summary.disconnects += 1;
+            } else if drop {
+                st.summary.dropped += 1;
+            } else if hold {
+                st.summary.reordered += 1;
+                st.held = Some(frame.clone());
+            } else if dup {
+                st.summary.duplicated += 1;
+            }
+            let release = if !disconnect && !drop && !hold { st.held.take() } else { None };
+            (disconnect, drop, dup, hold, release)
+        };
+        if disconnect {
+            self.broken = true;
+            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "fault: forced disconnect"));
+        }
+        if drop || hold {
+            // Swallowed (or delayed): the caller sees success, the peer
+            // sees nothing (yet) — exactly what a lossy link looks like.
+            return Ok(());
+        }
+        self.inner.send(frame)?;
+        if dup {
+            self.inner.send(frame)?;
+        }
+        if let Some(h) = release {
+            self.inner.send(&h)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Frame>> {
+        self.check_broken()?;
+        match self.inner.recv()? {
+            Some(f) => self.filter_inbound(f).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Polled> {
+        self.check_broken()?;
+        match self.inner.recv_timeout(timeout)? {
+            Polled::Frame(f) => self.filter_inbound(f).map(Polled::Frame),
+            other => Ok(other),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("faulty:{}", self.inner.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcTransport;
+    use mirror_core::event::{Event, FlightStatus};
+
+    fn ev(seq: u64) -> Frame {
+        Frame::Data(Event::delta_status(seq, 7, FlightStatus::Boarding))
+    }
+
+    fn run_schedule(plan: FaultPlan, frames: u64) -> (FaultSummary, Vec<Frame>) {
+        let (near, mut far) = InProcTransport::pair("fault");
+        let mut t = FaultyTransport::new(near, plan);
+        for i in 1..=frames {
+            match t.send(&ev(i)) {
+                Ok(()) => {}
+                Err(_) => break, // forced disconnect
+            }
+        }
+        let state = t.state();
+        drop(t);
+        let mut got = Vec::new();
+        while let Ok(Some(f)) = far.recv() {
+            got.push(f);
+        }
+        let summary = state.lock().unwrap().summary();
+        (summary, got)
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let (summary, got) = run_schedule(FaultPlan::new(1), 100);
+        assert_eq!(summary.dropped + summary.duplicated + summary.reordered, 0);
+        assert_eq!(got.len(), 100);
+        for (i, f) in got.iter().enumerate() {
+            assert_eq!(*f, ev(i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let (a, got_a) = run_schedule(FaultPlan::chaos(42), 500);
+        let (b, got_b) = run_schedule(FaultPlan::chaos(42), 500);
+        assert_eq!(a, b);
+        assert_eq!(got_a, got_b);
+        assert!(a.dropped > 0, "chaos plan should drop: {a:?}");
+        assert!(a.duplicated > 0, "chaos plan should duplicate: {a:?}");
+        assert!(a.disconnects > 0, "chaos plan should disconnect: {a:?}");
+    }
+
+    #[test]
+    fn different_seed_different_schedule() {
+        let (a, _) = run_schedule(FaultPlan::chaos(1), 500);
+        let (b, _) = run_schedule(FaultPlan::chaos(2), 500);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored() {
+        let (summary, got) = run_schedule(FaultPlan::new(7).drops(200), 2000);
+        assert_eq!(summary.sent, 2000);
+        let rate = summary.dropped as f64 / 2000.0;
+        assert!((0.15..0.25).contains(&rate), "drop rate {rate} out of band");
+        assert_eq!(got.len() as u64, 2000 - summary.dropped);
+    }
+
+    #[test]
+    fn forced_disconnect_breaks_until_rewrapped() {
+        let (near, _far) = InProcTransport::pair("fault");
+        let plan = FaultPlan::new(3).disconnect_every(5);
+        let mut t = FaultyTransport::new(near, plan);
+        for i in 1..5 {
+            t.send(&ev(i)).unwrap();
+        }
+        assert!(t.send(&ev(5)).is_err());
+        assert!(t.send(&ev(6)).is_err(), "stays broken after disconnect");
+        assert!(t.recv().is_err(), "recv is broken too");
+        // A new wrap over the same state continues the schedule: sends
+        // 6..=9 pass, the 10th overall (disconnect_every=5) breaks again.
+        let state = t.state();
+        let (near2, _far2) = InProcTransport::pair("fault2");
+        let mut t2 = FaultyTransport::with_state(near2, state);
+        for i in 6..10 {
+            t2.send(&ev(i)).unwrap();
+        }
+        assert!(t2.send(&ev(10)).is_err());
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_frames() {
+        // With 100% reorder, frame 1 is held; frame 2 cannot be held (slot
+        // taken) so it goes out, releasing frame 1 after it, and so on.
+        let (summary, got) = run_schedule(FaultPlan::new(5).reorders(1000), 10);
+        assert!(summary.reordered > 0);
+        // All frames arrive exactly once (barring one still held at the
+        // end), just not in order.
+        let mut seqs: Vec<u64> = got
+            .iter()
+            .map(|f| match f {
+                Frame::Data(e) => e.seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_ne!(seqs, (1..=seqs.len() as u64).collect::<Vec<_>>(), "should be out of order");
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert!(seqs.len() >= 9, "at most the final held frame may be missing");
+    }
+
+    #[test]
+    fn corruption_surfaces_as_invalid_data() {
+        let (near, far) = InProcTransport::pair("fault");
+        let mut sender = near;
+        let mut t = FaultyTransport::new(far, FaultPlan::new(11).corrupts(1000));
+        sender.send(&ev(1)).unwrap();
+        let err = t.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(t.state().lock().unwrap().summary().corrupted, 1);
+    }
+}

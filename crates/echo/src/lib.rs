@@ -20,15 +20,32 @@
 //! * [`transport`] — a length-delimited framed TCP transport
 //!   (`std::net`) carrying the same wire format between processes, plus a
 //!   loopback in-process transport with identical semantics. Both provide
-//!   the reliable in-order delivery the checkpoint protocol assumes.
+//!   reliable in-order delivery for as long as a connection lives.
+//! * [`resilient`] — sequence numbers, cumulative acks, bounded
+//!   retransmission and reconnect-with-backoff layered over any transport,
+//!   lifting the paper's "reliable communication across mirror sites"
+//!   assumption.
+//! * [`faults`] — a deterministic, seedable fault-injection decorator
+//!   (drops, duplicates, reorders, corruption, forced disconnects) so the
+//!   resilient layer — and the whole cluster — can be tested under
+//!   adversarial links.
 
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod faults;
+pub mod resilient;
 pub mod trace;
 pub mod transport;
 pub mod wire;
 
 pub use channel::{ChannelPair, EventChannel, Publisher, RecvStatus, Subscriber};
-pub use transport::{InProcTransport, TcpTransport, Transport};
+pub use faults::{FaultPlan, FaultState, FaultSummary, FaultyTransport};
+pub use resilient::{
+    Connector, LinkEvent, LinkHealth, LinkMonitor, ResilientTransport, RetryPolicy,
+};
+pub use transport::{
+    inproc_rendezvous, InProcDialer, InProcListener, InProcTransport, Polled, TcpOptions,
+    TcpTransport, Transport,
+};
 pub use wire::{decode_frame, encode_frame, Frame, WireError, WIRE_VERSION};

@@ -76,10 +76,10 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<(u64, Event)>> {
         r.read_exact(&mut frame)?;
         match decode_frame(Bytes::from(frame)) {
             Ok(Frame::Data(e)) => out.push((u64::from_le_bytes(t_buf), e)),
-            Ok(Frame::Control(_)) => {
+            Ok(_) => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    "control frame in event trace",
+                    "non-data frame in event trace",
                 ))
             }
             Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),

@@ -16,16 +16,33 @@
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 
 use crate::wire::{decode_frame, encode_frame, Frame, WireError};
 
 /// Maximum accepted frame size (guards against corrupt length prefixes).
 pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
-/// A reliable, in-order, bidirectional frame transport.
+/// Outcome of a bounded-wait receive ([`Transport::recv_timeout`]).
+#[derive(Debug, PartialEq)]
+pub enum Polled {
+    /// A frame arrived.
+    Frame(Frame),
+    /// The peer shut the link down cleanly.
+    Eof,
+    /// Nothing arrived within the timeout; the link is still up.
+    Idle,
+}
+
+/// A bidirectional frame transport.
+///
+/// The base implementations ([`InProcTransport`], [`TcpTransport`]) are
+/// reliable and in-order for as long as the connection lives; surviving
+/// frame loss, reordering and reconnects is layered on top by
+/// [`ResilientTransport`](crate::resilient::ResilientTransport).
 pub trait Transport: Send {
     /// Send one frame.
     fn send(&mut self, frame: &Frame) -> io::Result<()>;
@@ -33,6 +50,17 @@ pub trait Transport: Send {
     /// Block until a frame arrives; `Ok(None)` on clean shutdown of the
     /// peer.
     fn recv(&mut self) -> io::Result<Option<Frame>>;
+
+    /// Wait up to `timeout` for a frame. The default implementation simply
+    /// blocks in [`recv`](Transport::recv) (no timeout); transports that
+    /// can wait with a bound override it, which is what lets the resilient
+    /// layer multiplex sending, receiving and reconnecting on one thread.
+    fn recv_timeout(&mut self, _timeout: Duration) -> io::Result<Polled> {
+        match self.recv()? {
+            Some(f) => Ok(Polled::Frame(f)),
+            None => Ok(Polled::Eof),
+        }
+    }
 
     /// Diagnostic label.
     fn label(&self) -> String;
@@ -68,9 +96,7 @@ impl InProcTransport {
 impl Transport for InProcTransport {
     fn send(&mut self, frame: &Frame) -> io::Result<()> {
         let bytes = encode_frame(frame);
-        self.tx
-            .send(bytes)
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+        self.tx.send(bytes).map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
     }
 
     fn recv(&mut self) -> io::Result<Option<Frame>> {
@@ -80,7 +106,77 @@ impl Transport for InProcTransport {
         }
     }
 
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Polled> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(bytes) => decode_frame(bytes).map(Polled::Frame).map_err(wire_err),
+            Err(RecvTimeoutError::Timeout) => Ok(Polled::Idle),
+            Err(RecvTimeoutError::Disconnected) => Ok(Polled::Eof),
+        }
+    }
+
     fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-process reconnection rendezvous
+// ---------------------------------------------------------------------
+
+/// Dialing side of an in-process "listener": every [`dial`](Self::dial)
+/// manufactures a fresh [`InProcTransport`] pair and hands the far half to
+/// the matching [`InProcListener`]. This gives in-process deployments (and
+/// chaos tests) the same connect/accept lifecycle a TCP deployment has, so
+/// reconnect-with-backoff paths can be exercised without sockets.
+pub struct InProcDialer {
+    tx: Sender<InProcTransport>,
+    label: String,
+    dialed: u64,
+}
+
+/// Accepting side of an in-process rendezvous; see [`InProcDialer`].
+pub struct InProcListener {
+    rx: Receiver<InProcTransport>,
+    label: String,
+}
+
+/// Create a connected dialer/listener rendezvous named `label`.
+pub fn inproc_rendezvous(label: &str) -> (InProcDialer, InProcListener) {
+    let (tx, rx) = channel::unbounded();
+    (
+        InProcDialer { tx, label: label.to_string(), dialed: 0 },
+        InProcListener { rx, label: label.to_string() },
+    )
+}
+
+impl InProcDialer {
+    /// Establish a fresh connection, returning the near half.
+    pub fn dial(&mut self) -> io::Result<InProcTransport> {
+        self.dialed += 1;
+        let (near, far) = InProcTransport::pair(&format!("{}#{}", self.label, self.dialed));
+        self.tx
+            .send(far)
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "listener dropped"))?;
+        Ok(near)
+    }
+}
+
+impl InProcListener {
+    /// Wait up to `timeout` for the dialer to connect.
+    pub fn accept(&mut self, timeout: Duration) -> io::Result<InProcTransport> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(t) => Ok(t),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "no incoming connection"))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(io::Error::new(io::ErrorKind::ConnectionAborted, "dialer dropped"))
+            }
+        }
+    }
+
+    /// Diagnostic label.
+    pub fn label(&self) -> String {
         self.label.clone()
     }
 }
@@ -89,24 +185,65 @@ impl Transport for InProcTransport {
 // TCP
 // ---------------------------------------------------------------------
 
+/// Socket-level options for [`TcpTransport`].
+#[derive(Debug, Clone, Default)]
+pub struct TcpOptions {
+    /// If set, `recv` fails with `TimedOut` after this long with no
+    /// complete frame. Without it a stalled peer blocks `recv` forever,
+    /// defeating failure detection. A timed-out `recv` leaves any
+    /// partially read frame buffered; the next call resumes it.
+    pub read_timeout: Option<Duration>,
+    /// If set, blocked writes fail with `TimedOut` after this long.
+    pub write_timeout: Option<Duration>,
+}
+
+impl TcpOptions {
+    /// Options with the given read timeout.
+    pub fn with_read_timeout(timeout: Duration) -> Self {
+        TcpOptions { read_timeout: Some(timeout), write_timeout: None }
+    }
+}
+
 /// A TCP transport endpoint.
+///
+/// The read path is an incremental parser: bytes accumulate in an internal
+/// buffer until a full length-prefixed frame is present, so a read timeout
+/// firing mid-frame never desynchronizes the stream.
 pub struct TcpTransport {
     stream: TcpStream,
     peer: String,
+    /// Bytes of the current frame read so far: 4-byte length prefix, then
+    /// the body. Empty between frames.
+    partial: Vec<u8>,
+    /// The read timeout currently programmed on the socket (avoids a
+    /// setsockopt per recv).
+    socket_timeout: Option<Duration>,
+    opts: TcpOptions,
 }
 
 impl TcpTransport {
-    /// Connect to a listening peer.
+    /// Connect to a listening peer with default options.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with(addr, TcpOptions::default())
+    }
+
+    /// Connect to a listening peer.
+    pub fn connect_with(addr: impl ToSocketAddrs, opts: TcpOptions) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        Self::from_stream(stream)
+        Self::from_stream_with(stream, opts)
+    }
+
+    /// Wrap an accepted stream with default options.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        Self::from_stream_with(stream, TcpOptions::default())
     }
 
     /// Wrap an accepted stream.
-    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+    pub fn from_stream_with(stream: TcpStream, opts: TcpOptions) -> io::Result<Self> {
         stream.set_nodelay(true)?;
+        stream.set_write_timeout(opts.write_timeout)?;
         let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
-        Ok(TcpTransport { stream, peer })
+        Ok(TcpTransport { stream, peer, partial: Vec::new(), socket_timeout: None, opts })
     }
 
     /// Bind a listener and accept exactly one connection (convenience for
@@ -116,34 +253,103 @@ impl TcpTransport {
         let (stream, _) = listener.accept()?;
         Self::from_stream(stream)
     }
+
+    /// Like [`accept_one`](Self::accept_one), with options.
+    pub fn accept_one_with(listener: &TcpListener, opts: TcpOptions) -> io::Result<Self> {
+        let (stream, _) = listener.accept()?;
+        Self::from_stream_with(stream, opts)
+    }
+
+    fn set_socket_timeout(&mut self, t: Option<Duration>) -> io::Result<()> {
+        // `set_read_timeout(Some(0))` is an error; clamp up.
+        let t = t.map(|d| d.max(Duration::from_millis(1)));
+        if t != self.socket_timeout {
+            self.stream.set_read_timeout(t)?;
+            self.socket_timeout = t;
+        }
+        Ok(())
+    }
+
+    /// How many bytes the in-progress frame still needs before it is
+    /// complete, and (once known) the body length.
+    fn frame_want(&self) -> io::Result<usize> {
+        if self.partial.len() < 4 {
+            return Ok(4 - self.partial.len());
+        }
+        let len = u32::from_le_bytes([
+            self.partial[0],
+            self.partial[1],
+            self.partial[2],
+            self.partial[3],
+        ]);
+        if len > MAX_FRAME {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length corrupt"));
+        }
+        Ok(4 + len as usize - self.partial.len())
+    }
+
+    /// One bounded read pass: accumulate until a full frame, EOF, or the
+    /// programmed socket timeout.
+    fn read_frame(&mut self) -> io::Result<Polled> {
+        loop {
+            let want = self.frame_want()?;
+            if want == 0 {
+                let body = Bytes::from(self.partial.split_off(4));
+                self.partial.clear();
+                return decode_frame(body).map(Polled::Frame).map_err(wire_err);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let cap = want.min(chunk.len());
+            match self.stream.read(&mut chunk[..cap]) {
+                Ok(0) => {
+                    if self.partial.is_empty() {
+                        return Ok(Polled::Eof);
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ));
+                }
+                Ok(n) => self.partial.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Polled::Idle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
 impl Transport for TcpTransport {
     fn send(&mut self, frame: &Frame) -> io::Result<()> {
         let bytes = encode_frame(frame);
-        let len = bytes.len() as u32;
-        if len > MAX_FRAME {
+        // Compare before narrowing: casting first would let an oversized
+        // frame wrap around the u32 and slip past the check.
+        if bytes.len() > MAX_FRAME as usize {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
         }
+        let len = bytes.len() as u32;
         self.stream.write_all(&len.to_le_bytes())?;
         self.stream.write_all(&bytes)?;
         Ok(())
     }
 
     fn recv(&mut self) -> io::Result<Option<Frame>> {
-        let mut len_buf = [0u8; 4];
-        match self.stream.read_exact(&mut len_buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e),
+        self.set_socket_timeout(self.opts.read_timeout)?;
+        match self.read_frame()? {
+            Polled::Frame(f) => Ok(Some(f)),
+            Polled::Eof => Ok(None),
+            Polled::Idle => Err(io::Error::new(io::ErrorKind::TimedOut, "recv timed out")),
         }
-        let len = u32::from_le_bytes(len_buf);
-        if len > MAX_FRAME {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length corrupt"));
-        }
-        let mut buf = vec![0u8; len as usize];
-        self.stream.read_exact(&mut buf)?;
-        decode_frame(Bytes::from(buf)).map(Some).map_err(wire_err)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Polled> {
+        self.set_socket_timeout(Some(timeout))?;
+        self.read_frame()
     }
 
     fn label(&self) -> String {

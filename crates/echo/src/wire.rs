@@ -7,9 +7,9 @@
 //! event's encoded size equals [`Event::wire_size`] exactly, byte for byte.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mirror_core::adapt::MonitorReport;
 use mirror_core::control::AdaptDirective;
 use mirror_core::event::{Event, EventBody, FlightStatus, PositionFix};
-use mirror_core::adapt::MonitorReport;
 use mirror_core::mirrorfn::MirrorFnKind;
 use mirror_core::params::MirrorParams;
 use mirror_core::timestamp::VectorTimestamp;
@@ -21,6 +21,9 @@ pub const WIRE_VERSION: u8 = 1;
 /// Frame kinds.
 const KIND_DATA: u8 = 0;
 const KIND_CONTROL: u8 = 1;
+const KIND_SEQ: u8 = 2;
+const KIND_ACK: u8 = 3;
+const KIND_HELLO: u8 = 4;
 
 /// Decoding/encoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,34 +48,79 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// A decoded frame: either an application event or a control message.
+/// A decoded frame: an application event, a control message, or one of the
+/// reliability envelopes spoken by
+/// [`ResilientTransport`](crate::resilient::ResilientTransport).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Application data event.
     Data(Event),
     /// Checkpoint/adaptation control message.
     Control(ControlMsg),
+    /// A sequence-numbered envelope around another frame. Sequence numbers
+    /// start at 1 and increase by one per envelope on a given link
+    /// direction; nesting an envelope inside an envelope is rejected.
+    Seq {
+        /// Per-link, per-direction sequence number (first frame is 1).
+        seq: u64,
+        /// The application frame being carried.
+        inner: Box<Frame>,
+    },
+    /// Cumulative acknowledgment: every envelope with `seq <= cum` has been
+    /// delivered to the receiving application.
+    Ack {
+        /// Highest contiguously delivered sequence number.
+        cum: u64,
+    },
+    /// Sent by each side after (re)connecting: the next sequence number the
+    /// sender expects to receive. The peer retransmits its unacknowledged
+    /// window from that point.
+    Hello {
+        /// Next expected incoming sequence number.
+        next: u64,
+    },
 }
 
 /// Encode a frame (version + kind + payload) into a fresh buffer.
 pub fn encode_frame(frame: &Frame) -> Bytes {
     let mut buf = BytesMut::with_capacity(64);
+    encode_frame_into(frame, &mut buf);
+    buf.freeze()
+}
+
+fn encode_frame_into(frame: &Frame, buf: &mut BytesMut) {
     buf.put_u8(WIRE_VERSION);
     match frame {
         Frame::Data(e) => {
             buf.put_u8(KIND_DATA);
-            encode_event(e, &mut buf);
+            encode_event(e, buf);
         }
         Frame::Control(c) => {
             buf.put_u8(KIND_CONTROL);
-            encode_control(c, &mut buf);
+            encode_control(c, buf);
+        }
+        Frame::Seq { seq, inner } => {
+            buf.put_u8(KIND_SEQ);
+            buf.put_u64_le(*seq);
+            encode_frame_into(inner, buf);
+        }
+        Frame::Ack { cum } => {
+            buf.put_u8(KIND_ACK);
+            buf.put_u64_le(*cum);
+        }
+        Frame::Hello { next } => {
+            buf.put_u8(KIND_HELLO);
+            buf.put_u64_le(*next);
         }
     }
-    buf.freeze()
 }
 
 /// Decode a frame from a buffer (consumes it).
-pub fn decode_frame(mut buf: Bytes) -> Result<Frame, WireError> {
+pub fn decode_frame(buf: Bytes) -> Result<Frame, WireError> {
+    decode_frame_at(buf, 0)
+}
+
+fn decode_frame_at(mut buf: Bytes, depth: u8) -> Result<Frame, WireError> {
     if buf.remaining() < 2 {
         return Err(WireError::Truncated);
     }
@@ -83,6 +131,23 @@ pub fn decode_frame(mut buf: Bytes) -> Result<Frame, WireError> {
     match buf.get_u8() {
         KIND_DATA => Ok(Frame::Data(decode_event(&mut buf)?)),
         KIND_CONTROL => Ok(Frame::Control(decode_control(&mut buf)?)),
+        // A Seq envelope may not carry another Seq envelope: one level of
+        // nesting is all the protocol produces, and the cap keeps a corrupt
+        // or hostile frame from driving unbounded recursion.
+        KIND_SEQ if depth == 0 => {
+            need(&buf, 8)?;
+            let seq = buf.get_u64_le();
+            let inner = decode_frame_at(buf, depth + 1)?;
+            Ok(Frame::Seq { seq, inner: Box::new(inner) })
+        }
+        KIND_ACK => {
+            need(&buf, 8)?;
+            Ok(Frame::Ack { cum: buf.get_u64_le() })
+        }
+        KIND_HELLO => {
+            need(&buf, 8)?;
+            Ok(Frame::Hello { next: buf.get_u64_le() })
+        }
         t => Err(WireError::BadTag(t)),
     }
 }
@@ -470,7 +535,10 @@ mod tests {
                 stamp,
                 adapt: Some(AdaptDirective {
                     params: MirrorParams::profile_degraded(),
-                    mirror_fn: Some(MirrorFnKind::Coalescing { coalesce: 20, checkpoint_every: 100 }),
+                    mirror_fn: Some(MirrorFnKind::Coalescing {
+                        coalesce: 20,
+                        checkpoint_every: 100,
+                    }),
                 }),
             },
         ];
@@ -518,6 +586,45 @@ mod tests {
         raw.put_u8(WIRE_VERSION);
         raw.put_u8(7);
         assert_eq!(decode_frame(raw.freeze()), Err(WireError::BadTag(7)));
+    }
+
+    #[test]
+    fn seq_ack_hello_roundtrip() {
+        let frames = vec![
+            Frame::Seq { seq: 1, inner: Box::new(Frame::Data(stamped_event())) },
+            Frame::Seq {
+                seq: u64::MAX,
+                inner: Box::new(Frame::Control(ControlMsg::Chkpt {
+                    round: 7,
+                    stamp: VectorTimestamp::from_components(vec![1, 2]),
+                })),
+            },
+            Frame::Ack { cum: 0 },
+            Frame::Ack { cum: 123_456_789 },
+            Frame::Hello { next: 1 },
+            Frame::Hello { next: 42 },
+        ];
+        for f in frames {
+            let bytes = encode_frame(&f);
+            assert_eq!(decode_frame(bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn nested_seq_envelopes_rejected() {
+        let inner = Frame::Seq { seq: 2, inner: Box::new(Frame::Ack { cum: 1 }) };
+        let outer = Frame::Seq { seq: 1, inner: Box::new(inner) };
+        let bytes = encode_frame(&outer);
+        assert_eq!(decode_frame(bytes), Err(WireError::BadTag(KIND_SEQ)));
+    }
+
+    #[test]
+    fn truncated_seq_envelope_errors() {
+        let f = Frame::Seq { seq: 9, inner: Box::new(Frame::Data(stamped_event())) };
+        let bytes = encode_frame(&f);
+        for cut in [2, 5, 9, 10, 11, bytes.len() - 1] {
+            assert!(decode_frame(bytes.slice(..cut)).is_err(), "cut at {cut} should fail");
+        }
     }
 
     #[test]

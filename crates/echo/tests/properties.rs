@@ -1,0 +1,205 @@
+//! Property tests for the framed transport stack.
+//!
+//! Two layers are hammered with generated inputs:
+//!
+//! * the **framed TCP read path** — arbitrary chunk boundaries, garbage
+//!   bytes and hostile length prefixes must never panic, never desync and
+//!   never surface a mangled frame as valid, and
+//! * the **resilient link layer** — under arbitrary drop / duplicate /
+//!   reorder / corrupt / disconnect schedules, the application must see
+//!   every frame exactly once, in order, and never a corrupt one.
+
+use std::io;
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use mirror_core::event::{Event, FlightStatus};
+use mirror_echo::faults::{FaultPlan, FaultState, FaultyTransport};
+use mirror_echo::resilient::{ResilientTransport, RetryPolicy};
+use mirror_echo::transport::{inproc_rendezvous, InProcDialer, InProcListener, Polled, MAX_FRAME};
+use mirror_echo::wire::{decode_frame, encode_frame, Frame, WIRE_VERSION};
+use mirror_echo::{TcpTransport, Transport};
+
+fn data(seq: u64) -> Frame {
+    Frame::Data(Event::delta_status(seq, (seq % 40) as u32, FlightStatus::Boarding))
+}
+
+/// Write `bytes` to a fresh loopback connection in `chunk`-sized pieces
+/// and hand the accepted transport to `check`.
+fn with_raw_writer<R>(bytes: Vec<u8>, chunk: usize, check: impl FnOnce(TcpTransport) -> R) -> R {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        use std::io::Write;
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        for c in bytes.chunks(chunk.max(1)) {
+            // The reader may reject the stream and close mid-write
+            // (oversized prefix, garbage): that's its prerogative.
+            if s.write_all(c).is_err() {
+                return;
+            }
+        }
+        // Dropping the stream closes it: the reader sees EOF afterwards.
+    });
+    let t = TcpTransport::accept_one(&listener).expect("accept");
+    let out = check(t);
+    writer.join().expect("writer thread");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pure decode over arbitrary bytes: errors are fine, panics are not.
+    #[test]
+    fn decode_frame_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_frame(bytes::Bytes::from(bytes));
+    }
+
+    /// The reliability envelopes roundtrip bit-exactly for any field
+    /// values, including the extremes.
+    #[test]
+    fn protocol_frames_roundtrip(seq in any::<u64>(), cum in any::<u64>(), next in any::<u64>()) {
+        let frames = [
+            Frame::Seq { seq, inner: Box::new(data(seq % 1000 + 1)) },
+            Frame::Ack { cum },
+            Frame::Hello { next },
+        ];
+        for f in frames {
+            prop_assert_eq!(decode_frame(encode_frame(&f)), Ok(f));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A valid frame stream split at arbitrary byte boundaries (TCP gives
+    /// no message framing) reassembles into exactly the sent frames, in
+    /// order, with a clean EOF at the end.
+    #[test]
+    fn tcp_reassembles_arbitrarily_chunked_streams(
+        seqs in prop::collection::vec(1u64..10_000, 1..8),
+        chunk in 1usize..9,
+    ) {
+        let frames: Vec<Frame> = seqs.iter().map(|&s| data(s)).collect();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            let b = encode_frame(f);
+            bytes.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&b);
+        }
+        let got = with_raw_writer(bytes, chunk, |mut t| {
+            let mut got = Vec::new();
+            while let Ok(Some(f)) = t.recv() {
+                got.push(f);
+            }
+            got
+        });
+        prop_assert_eq!(got, frames);
+    }
+
+    /// A well-framed payload of garbage must come back as an error (or,
+    /// for streams that happen to decode, a frame) — never a panic, and
+    /// never a "valid" frame when the version byte is wrong.
+    #[test]
+    fn tcp_read_path_survives_garbage_payloads(
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        chunk in 1usize..9,
+    ) {
+        let bad_version = payload.first().is_some_and(|&v| v != WIRE_VERSION);
+        let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+        let res = with_raw_writer(bytes, chunk, |mut t| t.recv());
+        if bad_version || payload.len() < 2 {
+            prop_assert!(res.is_err(), "garbage decoded as a frame: {res:?}");
+        }
+    }
+
+    /// A length prefix beyond `MAX_FRAME` is rejected before any
+    /// allocation, whatever follows it.
+    #[test]
+    fn tcp_read_path_rejects_oversized_length_prefix(extra in 1u32..1_000_000) {
+        let mut bytes = (MAX_FRAME.saturating_add(extra)).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        let res = with_raw_writer(bytes, 16, |mut t| t.recv());
+        prop_assert!(res.is_err(), "oversized frame must be refused: {res:?}");
+    }
+}
+
+fn faulty_dialer(
+    mut dialer: InProcDialer,
+    state: Arc<Mutex<FaultState>>,
+) -> impl FnMut() -> io::Result<Box<dyn Transport>> {
+    move || {
+        let raw = dialer.dial()?;
+        Ok(Box::new(FaultyTransport::with_state(raw, Arc::clone(&state))) as Box<dyn Transport>)
+    }
+}
+
+fn acceptor(mut listener: InProcListener) -> impl FnMut() -> io::Result<Box<dyn Transport>> {
+    move || listener.accept(Duration::from_millis(5)).map(|t| Box::new(t) as Box<dyn Transport>)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the fault schedule — drops, duplicates, reorders, inbound
+    /// corruption, periodic forced disconnects — a resilient link delivers
+    /// the application's frames exactly once, in order, and never
+    /// surfaces a corrupted frame (corruption is detected and handled as
+    /// link failure below the application).
+    #[test]
+    fn resilient_link_is_exactly_once_in_order_under_arbitrary_faults(
+        seed in any::<u64>(),
+        drops in 0u32..=350,
+        dups in 0u32..=300,
+        reorders in 0u32..=200,
+        corrupts in 0u32..=150,
+        disconnect in prop_oneof![Just(0u64), 3u64..20],
+    ) {
+        const N: u64 = 40;
+        let plan = FaultPlan::new(seed)
+            .drops(drops)
+            .dups(dups)
+            .reorders(reorders)
+            .corrupts(corrupts)
+            .disconnect_every(disconnect);
+        let (dialer, listener) = inproc_rendezvous("prop.link");
+        let state = plan.state();
+        let mut tx = ResilientTransport::new(
+            faulty_dialer(dialer, Arc::clone(&state)),
+            RetryPolicy::fast(1_000_000),
+            "prop.tx",
+        );
+        let mut rx = ResilientTransport::new(
+            acceptor(listener),
+            RetryPolicy::fast(1_000_000),
+            "prop.rx",
+        );
+
+        let mut got = Vec::new();
+        let mut sent = 0u64;
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while got.len() < N as usize && Instant::now() < deadline {
+            if sent < N {
+                sent += 1;
+                tx.send(&data(sent)).expect("send must absorb link faults");
+            } else {
+                tx.tick(Duration::from_millis(1));
+            }
+            while let Ok(Polled::Frame(f)) = rx.recv_timeout(Duration::from_millis(1)) {
+                got.push(f);
+            }
+        }
+
+        let summary = state.lock().unwrap().summary();
+        prop_assert_eq!(got.len() as u64, N, "lost or duplicated frames under {:?}", summary);
+        for (i, f) in got.iter().enumerate() {
+            prop_assert_eq!(f, &data(i as u64 + 1), "order violated at {} under {:?}", i, summary);
+        }
+    }
+}

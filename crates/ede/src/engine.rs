@@ -84,11 +84,8 @@ impl Ede {
         // received from gate readers that all passengers of a flight have
         // boarded" (§2). Edge-triggered: fires exactly once per flight.
         if let EventBody::Boarding { .. } = &event.body {
-            let now_complete = self
-                .state
-                .flight(event.flight)
-                .map(|f| f.boarding_complete())
-                .unwrap_or(false);
+            let now_complete =
+                self.state.flight(event.flight).map(|f| f.boarding_complete()).unwrap_or(false);
             if now_complete && !was_boarding_complete {
                 out.derived.push(self.derive(event, FlightStatus::Boarding, 1));
             }

@@ -34,7 +34,7 @@ pub mod snapshot;
 pub mod state;
 
 pub use engine::{Ede, EdeOutput};
-pub use ops::{OpsAlert, OpsMonitor};
 pub use flight::{FlightView, TransitionError};
+pub use ops::{OpsAlert, OpsMonitor};
 pub use snapshot::{Snapshot, SNAPSHOT_FLIGHT_WIRE_SIZE};
 pub use state::OperationalState;

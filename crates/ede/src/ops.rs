@@ -217,10 +217,8 @@ impl OpsMonitor {
                     self.rotations.iter().find(|(_, &out)| out == event.flight)
                 {
                     if self.reached(inbound, FlightStatus::Arrived) {
-                        raised.push(OpsAlert::TurnaroundComplete {
-                            inbound,
-                            outbound: event.flight,
-                        });
+                        raised
+                            .push(OpsAlert::TurnaroundComplete { inbound, outbound: event.flight });
                     }
                 }
             }
@@ -268,11 +266,8 @@ impl OpsMonitor {
                 continue;
             }
             let elapsed = now.saturating_sub(duty.started_us);
-            let flight_open = self
-                .status
-                .get(&duty.flight)
-                .map(|s| *s < FlightStatus::Arrived)
-                .unwrap_or(true);
+            let flight_open =
+                self.status.get(&duty.flight).map(|s| *s < FlightStatus::Arrived).unwrap_or(true);
             if flight_open && elapsed > self.duty_limit_us {
                 duty.alerted = true;
                 raised.push(OpsAlert::CrewDutyExceeded {

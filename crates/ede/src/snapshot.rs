@@ -100,10 +100,7 @@ mod tests {
         let small = Snapshot::capture(&populated_state(10), VectorTimestamp::empty());
         let large = Snapshot::capture(&populated_state(100), VectorTimestamp::empty());
         assert!(large.wire_size() > small.wire_size());
-        assert_eq!(
-            large.wire_size() - small.wire_size(),
-            90 * SNAPSHOT_FLIGHT_WIRE_SIZE
-        );
+        assert_eq!(large.wire_size() - small.wire_size(), 90 * SNAPSHOT_FLIGHT_WIRE_SIZE);
     }
 
     #[test]

@@ -43,9 +43,7 @@ impl OperationalState {
                 view.apply_boarding(*boarded, *expected);
                 true
             }
-            EventBody::Baggage { loaded, reconciled } => {
-                view.apply_baggage(*loaded, *reconciled)
-            }
+            EventBody::Baggage { loaded, reconciled } => view.apply_baggage(*loaded, *reconciled),
             EventBody::Opaque(_) => false,
         }
     }

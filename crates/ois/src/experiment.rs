@@ -23,10 +23,10 @@ use mirror_core::metrics::{AuxCounters, DelayStats};
 use mirror_core::mirrorfn::MirrorFnKind;
 use mirror_sim::engine::{Shared, Sim, SimProcess};
 use mirror_sim::{CostModel, LinkParams};
-use mirror_workload::faa::{self, FaaStreamConfig};
 use mirror_workload::delta::{self, DeltaStreamConfig};
-use mirror_workload::requests::{RequestPattern, RequestSchedule};
+use mirror_workload::faa::{self, FaaStreamConfig};
 use mirror_workload::merge_schedules;
+use mirror_workload::requests::{RequestPattern, RequestSchedule};
 
 use crate::payload::Payload;
 use crate::site::{ClientSink, SiteProcess};
@@ -175,7 +175,10 @@ pub fn run(cfg: &ExperimentConfig) -> ExperimentResult {
         central_aux.set_params(p);
     }
     if let (Some(setup), Some(ctrl)) = (&cfg.adapt, central_aux.adaptation_mut()) {
-        ctrl.set_monitor_values(setup.monitor, MonitorThresholds::new(setup.primary, setup.secondary));
+        ctrl.set_monitor_values(
+            setup.monitor,
+            MonitorThresholds::new(setup.primary, setup.secondary),
+        );
         ctrl.set_action(setup.action.clone());
     }
     let central = SiteProcess::central(
@@ -323,8 +326,7 @@ pub fn run(cfg: &ExperimentConfig) -> ExperimentResult {
 /// replication invariant; the central may differ under selective rules
 /// only in what was filtered, never among mirrors).
 pub fn mirrors_consistent(result: &ExperimentResult) -> bool {
-    result.state_hashes.len() <= 2
-        || result.state_hashes[1..].windows(2).all(|w| w[0] == w[1])
+    result.state_hashes.len() <= 2 || result.state_hashes[1..].windows(2).all(|w| w[0] == w[1])
 }
 
 #[cfg(test)]

@@ -11,14 +11,14 @@
 
 use std::collections::VecDeque;
 
+use mirror_core::adapt::MonitorReport;
 use mirror_core::aux_unit::{AuxAction, AuxInput, AuxUnit, SiteId, CENTRAL_SITE};
 use mirror_core::checkpoint::MainUnitResponder;
 use mirror_core::event::Event;
-use mirror_core::adapt::MonitorReport;
 use mirror_core::metrics::{AuxCounters, DelayStats, TimeSeries};
 use mirror_core::ControlMsg;
-use mirror_ede::Ede;
 use mirror_ede::snapshot::SNAPSHOT_FLIGHT_WIRE_SIZE;
+use mirror_ede::Ede;
 use mirror_sim::engine::{NodeId, SimProcess, Step};
 use mirror_sim::{CostModel, SimTime};
 
@@ -167,7 +167,8 @@ impl SiteProcess {
     /// updates (central only).
     fn run_ede(&mut self, ev: Event, now: SimTime, cpu: &mut SimTime, step: &mut Step<Payload>) {
         self.events_seen += 1;
-        self.avg_event_bytes += (ev.wire_size() as f64 - self.avg_event_bytes) / self.events_seen as f64;
+        self.avg_event_bytes +=
+            (ev.wire_size() as f64 - self.avg_event_bytes) / self.events_seen as f64;
         *cpu += self.cost.ede_cost(ev.wire_size());
         self.main.record_processed(&ev.stamp);
         self.metrics.events_processed += 1;
@@ -181,7 +182,10 @@ impl SiteProcess {
                 step.sends.push(mirror_sim::engine::Send {
                     to: self.sink_node,
                     bytes: u.wire_size(),
-                    payload: Payload::ClientUpdate { bytes: u.wire_size(), ingress_us: u.ingress_us },
+                    payload: Payload::ClientUpdate {
+                        bytes: u.wire_size(),
+                        ingress_us: u.ingress_us,
+                    },
                 });
             }
         }
@@ -424,12 +428,9 @@ mod tests {
 
     /// Minimal cluster: central(0) + mirror(1) + sink(2).
     #[allow(clippy::type_complexity)]
-    fn build_cluster() -> (
-        Sim<Payload>,
-        SharedProc<SiteProcess>,
-        SharedProc<SiteProcess>,
-        SharedProc<ClientSink>,
-    ) {
+    fn build_cluster(
+    ) -> (Sim<Payload>, SharedProc<SiteProcess>, SharedProc<SiteProcess>, SharedProc<ClientSink>)
+    {
         let cost = CostModel::calibrated();
         let central_aux = MirrorConfig::default().build_central(vec![1]);
         let mirror_aux = MirrorConfig::default().build_mirror(1);
@@ -479,11 +480,7 @@ mod tests {
         sim.run();
         let c = central.lock().unwrap();
         let m = mirror.lock().unwrap();
-        assert_eq!(
-            c.state_hash(),
-            m.state_hash(),
-            "simple mirroring must replicate state exactly"
-        );
+        assert_eq!(c.state_hash(), m.state_hash(), "simple mirroring must replicate state exactly");
     }
 
     #[test]
@@ -514,8 +511,7 @@ mod tests {
         let central = SiteProcess::central(central_aux, false, 0, Vec::new(), 1, cost);
         let (c_shared, c) = mirror_sim::engine::Shared::new(central);
         let (s_shared, s) = mirror_sim::engine::Shared::new(ClientSink::new());
-        let procs: Vec<Box<dyn SimProcess<Payload>>> =
-            vec![Box::new(c_shared), Box::new(s_shared)];
+        let procs: Vec<Box<dyn SimProcess<Payload>>> = vec![Box::new(c_shared), Box::new(s_shared)];
         let mut sim = Sim::new(procs, LinkParams::intra_cluster());
         sim.set_link(0, 1, LinkParams::client_ethernet());
         for seq in 1..=60 {

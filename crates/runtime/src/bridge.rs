@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{self, Sender};
+use crossbeam::channel::{self, RecvTimeoutError, Sender};
 
 use mirror_core::event::Event;
 use mirror_core::ControlMsg;
@@ -89,13 +89,36 @@ fn writer(
     mut transport: Box<dyn Transport>,
     rx: channel::Receiver<Frame>,
 ) -> std::thread::JoinHandle<()> {
-    std::thread::spawn(move || {
-        while let Ok(frame) = rx.recv() {
-            if transport.send(&frame).is_err() {
-                break;
+    std::thread::spawn(move || loop {
+        match rx.recv_timeout(POLL) {
+            Ok(frame) => {
+                if transport.send(&frame).is_err() {
+                    break;
+                }
             }
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle tick: a resilient transport services its acks and
+                // retransmit requests here when no app traffic flows. The
+                // writer direction carries no inbound application frames,
+                // so anything surfaced is discarded.
+                let _ = transport.recv_timeout(Duration::from_millis(1));
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
         }
     })
+}
+
+/// Strip reliability envelopes: a [`Frame::Seq`] yields its payload,
+/// protocol-only frames (acks, hellos) yield `None`. Bridges normally run
+/// over [`mirror_echo::ResilientTransport`], which consumes these
+/// internally — this guard keeps a mixed (resilient-to-plain) deployment
+/// from misrouting protocol frames into application channels.
+fn app_frame(frame: Frame) -> Option<Frame> {
+    match frame {
+        Frame::Seq { inner, .. } => app_frame(*inner),
+        Frame::Ack { .. } | Frame::Hello { .. } => None,
+        f => Some(f),
+    }
 }
 
 /// Central-side endpoint: ship the cluster's data + control downlinks to a
@@ -116,7 +139,7 @@ pub fn central_endpoint(
     ];
     threads.push(std::thread::spawn(move || {
         while let Ok(Some(frame)) = up.recv() {
-            if let Frame::Control(m) = frame {
+            if let Some(Frame::Control(m)) = app_frame(frame) {
                 ctrl_up_pub.publish(m);
             }
         }
@@ -135,11 +158,7 @@ pub fn central_endpoint(
 pub fn mirror_endpoint<R>(
     mut down: Box<dyn Transport>,
     up: Box<dyn Transport>,
-    setup: impl FnOnce(
-        &EventChannel<Event>,
-        &EventChannel<ControlMsg>,
-        &EventChannel<ControlMsg>,
-    ) -> R,
+    setup: impl FnOnce(&EventChannel<Event>, &EventChannel<ControlMsg>, &EventChannel<ControlMsg>) -> R,
 ) -> (R, BridgeHandle) {
     let data = EventChannel::new("bridge.data");
     let ctrl_down = EventChannel::new("bridge.ctrl.down");
@@ -153,13 +172,14 @@ pub fn mirror_endpoint<R>(
     let ctrl_down_pub = ctrl_down.publisher();
     let mut threads = vec![std::thread::spawn(move || {
         while let Ok(Some(frame)) = down.recv() {
-            match frame {
-                Frame::Data(e) => {
+            match app_frame(frame) {
+                Some(Frame::Data(e)) => {
                     data_pub.publish(e);
                 }
-                Frame::Control(m) => {
+                Some(Frame::Control(m)) => {
                     ctrl_down_pub.publish(m);
                 }
+                _ => {}
             }
         }
     })];

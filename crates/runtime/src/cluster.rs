@@ -14,6 +14,7 @@ use mirror_core::event::Event;
 use mirror_core::mirrorfn::MirrorFnKind;
 use mirror_core::ControlMsg;
 use mirror_echo::channel::{EventChannel, Subscriber};
+use mirror_echo::resilient::{LinkHealth, LinkMonitor};
 use mirror_ede::Snapshot;
 
 use crate::clock::RuntimeClock;
@@ -64,6 +65,9 @@ pub struct ClusterStats {
     pub committed: Option<mirror_core::timestamp::VectorTimestamp>,
     /// Mirrors declared failed.
     pub failed_mirrors: Vec<SiteId>,
+    /// Transport link health per bridged mirror (empty for purely
+    /// in-process clusters).
+    pub links: Vec<(SiteId, LinkHealth)>,
 }
 
 /// A running in-process cluster.
@@ -174,6 +178,7 @@ impl Cluster {
             mirrors: self.mirrors.iter().map(|m| site(m.counters())).collect(),
             committed: self.central.committed(),
             failed_mirrors: self.failed_mirrors(),
+            links: self.central.link_health(),
         }
     }
 
@@ -223,6 +228,39 @@ impl Cluster {
     /// Mirrors the coordinator has declared failed.
     pub fn failed_mirrors(&self) -> Vec<SiteId> {
         self.central.failed_mirrors()
+    }
+
+    /// Register the link monitor serving a bridged mirror so
+    /// [`stats`](Self::stats) reports its health.
+    pub fn attach_link_monitor(&self, site: SiteId, monitor: std::sync::Arc<LinkMonitor>) {
+        self.central.attach_link_monitor(site, monitor);
+    }
+
+    /// Per-mirror transport link health (bridged mirrors only).
+    pub fn link_health(&self) -> Vec<(SiteId, LinkHealth)> {
+        self.central.link_health()
+    }
+
+    /// Escalate a dead transport link into checkpoint-round exclusion
+    /// (see [`CentralSite::declare_link_dead`]).
+    pub fn declare_link_dead(&self, site: SiteId) {
+        self.central.declare_link_dead(site);
+    }
+
+    /// Replay the central backup queue's retained suffix from send index
+    /// `from_idx` onto the shared data channel. A mirror that reconnected
+    /// after an outage longer than its link's retransmit window catches up
+    /// this way; sites that already processed the events absorb the
+    /// replays idempotently (stale vector stamps do not advance EDE
+    /// state). Returns how many events were replayed.
+    pub fn resync_mirror(&self, from_idx: u64) -> usize {
+        let events = self.central.handle().retransmit_from(from_idx);
+        let n = events.len();
+        let data_pub = self.data.publisher();
+        for (_, e) in events {
+            data_pub.publish(e);
+        }
+        n
     }
 
     /// Replace a failed mirror with a fresh one recovered from the central

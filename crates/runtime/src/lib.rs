@@ -23,6 +23,6 @@ pub mod requests;
 pub mod site;
 
 pub use clock::RuntimeClock;
-pub use requests::{RequestClient, RequestGateway};
 pub use cluster::{Cluster, ClusterConfig, ClusterStats, SiteStats};
+pub use requests::{RequestClient, RequestGateway};
 pub use site::{CentralSite, MirrorSite};

@@ -110,8 +110,10 @@ impl RequestGateway {
                     if !service_pad.is_zero() {
                         std::thread::sleep(service_pad);
                     }
-                    let _ = job.reply.send(snap);
+                    // Count before replying: a caller woken by the reply
+                    // must already observe its own completion in `served`.
                     served.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(snap);
                     pending_gauge.store(rx.len() as u64, Ordering::Relaxed);
                 }
                 pending_gauge.store(0, Ordering::Relaxed);
@@ -169,24 +171,51 @@ mod tests {
 
     #[test]
     fn backlog_raises_the_pending_gauge() {
-        let (gw, pending, served) = gateway(Duration::from_millis(5));
+        let pending = Arc::new(AtomicU64::new(0));
+        let served = Arc::new(AtomicU64::new(0));
+        // Gate each serve on a permit: the backlog is held open for as
+        // long as the test needs to observe it, whatever the scheduler
+        // does to this thread meanwhile.
+        let (permit_tx, permit_rx) = channel::unbounded::<()>();
+        let gw = RequestGateway::spawn(
+            move || {
+                let _ = permit_rx.recv_timeout(Duration::from_secs(10));
+                Snapshot::capture(&OperationalState::new(), VectorTimestamp::empty())
+            },
+            Arc::clone(&pending),
+            Arc::clone(&served),
+            Duration::ZERO,
+        );
         let client = gw.client();
         let mut receivers = Vec::new();
         for _ in 0..30 {
             receivers.push(client.fire().unwrap());
         }
-        // While the gateway grinds through the queue, occupancy is visible.
+        // Let one request through: completing it makes the gateway
+        // dequeue the next job, which publishes the still-held backlog.
+        permit_tx.send(()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
         let mut peak = 0;
-        for _ in 0..200 {
+        while std::time::Instant::now() < deadline {
             peak = peak.max(pending.load(Ordering::Relaxed));
-            if served.load(Ordering::Relaxed) >= 30 {
+            if peak >= 10 {
                 break;
             }
             std::thread::sleep(Duration::from_millis(1));
         }
         assert!(peak >= 10, "queue must be observable, peak {peak}");
+        for _ in 0..29 {
+            permit_tx.send(()).unwrap();
+        }
         for r in receivers {
             assert!(r.recv_timeout(Duration::from_secs(5)).is_ok());
+        }
+        assert_eq!(served.load(Ordering::Relaxed), 30);
+        // The final gauge store trails the last reply; under a loaded
+        // machine the gateway thread can be starved for a while first.
+        let drained = std::time::Instant::now() + Duration::from_secs(10);
+        while pending.load(Ordering::Relaxed) != 0 && std::time::Instant::now() < drained {
+            std::thread::sleep(Duration::from_millis(1));
         }
         assert_eq!(pending.load(Ordering::Relaxed), 0);
         drop(client);

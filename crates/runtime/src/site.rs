@@ -19,14 +19,15 @@ use std::time::Duration;
 use crossbeam::channel::{self, Sender};
 use parking_lot::Mutex;
 
+use mirror_core::adapt::MonitorReport;
 use mirror_core::api::MirrorHandle;
 use mirror_core::aux_unit::{AuxAction, AuxInput, SiteId};
-use mirror_core::adapt::MonitorReport;
 use mirror_core::checkpoint::MainUnitResponder;
 use mirror_core::event::Event;
 use mirror_core::timestamp::VectorTimestamp;
 use mirror_core::ControlMsg;
 use mirror_echo::channel::{EventChannel, Publisher, Subscriber};
+use mirror_echo::resilient::{LinkEvent, LinkHealth, LinkMonitor};
 use mirror_ede::{Ede, OperationalState, Snapshot};
 
 use crate::clock::RuntimeClock;
@@ -228,9 +229,7 @@ impl SiteCore {
                                     let _ = main_inbox.send(SiteMsg::Ctrl(rep));
                                 }
                             }
-                            ControlMsg::Commit { .. } => {
-                                main_shared.responder.lock().on_commit(&m)
-                            }
+                            ControlMsg::Commit { .. } => main_shared.responder.lock().on_commit(&m),
                             ControlMsg::ChkptRep { .. } => {}
                         },
                         MainMsg::Stop => break,
@@ -405,7 +404,13 @@ pub struct CentralSite {
     updates: EventChannel<Event>,
     /// Mirrors the checkpoint coordinator has declared failed.
     failed: Arc<Mutex<Vec<SiteId>>>,
+    /// Per-mirror transport link monitors (bridged mirrors only): the
+    /// status table's link-health column.
+    links: LinkTable,
 }
+
+/// Shared registry of transport link monitors, keyed by mirror site.
+type LinkTable = Arc<Mutex<Vec<(SiteId, Arc<LinkMonitor>)>>>;
 
 impl CentralSite {
     /// Start a central site mirroring to `mirrors` over the given channel
@@ -471,7 +476,8 @@ impl CentralSite {
 
         // Forward checkpoint replies from mirrors into the aux inbox.
         let up_sub = ctrl_up.subscribe();
-        let mut site = CentralSite { core, updates, failed };
+        let mut site =
+            CentralSite { core, updates, failed, links: Arc::new(Mutex::new(Vec::new())) };
         let stop = Arc::clone(&site.core.stop);
         let fwd = std::thread::Builder::new()
             .name("central-ctrl-up".into())
@@ -510,6 +516,55 @@ impl CentralSite {
     pub fn readmit_mirror(&self, site: SiteId) {
         self.failed.lock().retain(|&s| s != site);
         self.core.handle.with(|a| a.readmit_mirror(site));
+    }
+
+    /// Record `monitor` as the transport link serving `site`, so
+    /// [`link_health`](Self::link_health) reports it. Bridged mirrors
+    /// attach one monitor per direction or a single downlink monitor.
+    pub fn attach_link_monitor(&self, site: SiteId, monitor: Arc<LinkMonitor>) {
+        self.links.lock().push((site, monitor));
+    }
+
+    /// Snapshot per-mirror link health (the status table's transport
+    /// column). Sites with several attached links report each.
+    pub fn link_health(&self) -> Vec<(SiteId, LinkHealth)> {
+        self.links.lock().iter().map(|(s, m)| (*s, m.health())).collect()
+    }
+
+    /// Escalate a dead transport link: exclude `site` from checkpoint
+    /// rounds immediately instead of waiting out `suspect_after` rounds of
+    /// silence. Idempotent; composes with the round-lag detector (whichever
+    /// fires first wins).
+    pub fn declare_link_dead(&self, site: SiteId) {
+        let actions = self.core.handle.declare_mirror_failed(site);
+        if !actions.is_empty() {
+            let mut f = self.failed.lock();
+            if !f.contains(&site) {
+                f.push(site);
+            }
+        }
+    }
+
+    /// An observer closure for
+    /// [`ResilientTransport::on_event`](mirror_echo::ResilientTransport::on_event):
+    /// routes a link's [`LinkEvent::Dead`] into
+    /// [`declare_link_dead`](Self::declare_link_dead). Down/Up transitions
+    /// are left to the monitor counters — transient outages are the
+    /// resilient layer's to heal, not the cluster's to react to.
+    pub fn link_escalator(&self, site: SiteId) -> impl Fn(&LinkEvent) + Send + 'static {
+        let handle = self.core.handle.clone();
+        let failed = Arc::clone(&self.failed);
+        move |ev| {
+            if matches!(ev, LinkEvent::Dead) {
+                let actions = handle.declare_mirror_failed(site);
+                if !actions.is_empty() {
+                    let mut f = failed.lock();
+                    if !f.contains(&site) {
+                        f.push(site);
+                    }
+                }
+            }
+        }
     }
 
     site_common_impl!();
@@ -588,8 +643,6 @@ impl MirrorSite {
     pub fn site(&self) -> SiteId {
         self.core.handle.with(|a| a.site())
     }
-
-
 
     site_common_impl!();
 }

@@ -307,8 +307,7 @@ mod tests {
 
     #[test]
     fn ping_pong_accumulates_link_and_cpu_time() {
-        let procs: Vec<Box<dyn SimProcess<u32>>> =
-            vec![echo(10, Some(1)), echo(10, Some(0))];
+        let procs: Vec<Box<dyn SimProcess<u32>>> = vec![echo(10, Some(1)), echo(10, Some(0))];
         let mut sim = Sim::new(procs, LinkParams { latency_us: 5, bytes_per_us: 100.0 });
         sim.inject(0, 0, 4); // 4 hops remain after first handling
         let end = sim.run();
@@ -364,8 +363,7 @@ mod tests {
         // same injections yield the same completion time and stats, runs
         // over runs.
         let run_once = || {
-            let procs: Vec<Box<dyn SimProcess<u32>>> =
-                vec![echo(7, Some(1)), echo(13, Some(0))];
+            let procs: Vec<Box<dyn SimProcess<u32>>> = vec![echo(7, Some(1)), echo(13, Some(0))];
             let mut sim = Sim::new(procs, LinkParams { latency_us: 3, bytes_per_us: 50.0 });
             // A deterministic pseudo-random schedule (no RNG: LCG inline).
             let mut x = 0x2545F491u64;

@@ -60,13 +60,14 @@ pub fn generate(cfg: &DeltaStreamConfig) -> Vec<TimedEvent> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut out: Vec<TimedEvent> = Vec::new();
     let mut seq = 0u64;
-    let push = |out: &mut Vec<TimedEvent>, seq: &mut u64, t: u64, flight: FlightId, body: EventBody| {
-        *seq += 1;
-        let ev = Event::new(streams::DELTA, *seq, flight, body)
-            .with_total_size(cfg.event_size)
-            .with_ingress_us(t);
-        out.push((t, ev));
-    };
+    let push =
+        |out: &mut Vec<TimedEvent>, seq: &mut u64, t: u64, flight: FlightId, body: EventBody| {
+            *seq += 1;
+            let ev = Event::new(streams::DELTA, *seq, flight, body)
+                .with_total_size(cfg.event_size)
+                .with_ingress_us(t);
+            out.push((t, ev));
+        };
 
     for i in 0..cfg.flights {
         let flight = cfg.first_flight + i;
@@ -178,11 +179,8 @@ mod tests {
         let cfg = DeltaStreamConfig { flights: 4, bags: 60, ..Default::default() };
         let evs = generate(&cfg);
         for f in 0..4u32 {
-            let flight_events: Vec<&EventBody> = evs
-                .iter()
-                .filter(|(_, e)| e.flight == f)
-                .map(|(_, e)| &e.body)
-                .collect();
+            let flight_events: Vec<&EventBody> =
+                evs.iter().filter(|(_, e)| e.flight == f).map(|(_, e)| &e.body).collect();
             let bag_idx: Vec<usize> = flight_events
                 .iter()
                 .enumerate()

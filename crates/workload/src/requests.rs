@@ -186,8 +186,7 @@ mod tests {
             15_000_000,
             42,
         );
-        let in_burst =
-            s.requests.iter().filter(|r| r.at_us % 5_000_000 < 1_000_000).count();
+        let in_burst = s.requests.iter().filter(|r| r.at_us % 5_000_000 < 1_000_000).count();
         let off_burst = s.len() - in_burst;
         assert!(in_burst > 3 * off_burst, "bursts must dominate: {in_burst} vs {off_burst}");
     }

@@ -115,14 +115,17 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
     let mut crews = Vec::new();
     let mut late_inbounds = Vec::new();
 
-    let push_status =
-        |events: &mut Vec<TimedEvent>, delta_seq: &mut u64, t: u64, f: FlightId, body: EventBody| {
-            *delta_seq += 1;
-            let e = Event::new(streams::DELTA, *delta_seq, f, body)
-                .with_total_size(cfg.event_size)
-                .with_ingress_us(t);
-            events.push((t, e));
-        };
+    let push_status = |events: &mut Vec<TimedEvent>,
+                       delta_seq: &mut u64,
+                       t: u64,
+                       f: FlightId,
+                       body: EventBody| {
+        *delta_seq += 1;
+        let e = Event::new(streams::DELTA, *delta_seq, f, body)
+            .with_total_size(cfg.event_size)
+            .with_ingress_us(t);
+        events.push((t, e));
+    };
 
     for bank in 0..cfg.banks {
         let bank_start = bank as u64 * cfg.bank_span_us;
@@ -131,8 +134,7 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
             // Late inbounds: the flight's lifecycle stretches past its
             // bank, landing around (or after) its connecting outbound's
             // departure — putting the connection at risk.
-            let late = bank + 1 < cfg.banks
-                && rng.gen_range(0..100) < cfg.late_inbound_pct;
+            let late = bank + 1 < cfg.banks && rng.gen_range(0..100) < cfg.late_inbound_pct;
             if late {
                 late_inbounds.push(flight);
             }
@@ -147,18 +149,48 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
             // Crew on duty from boarding.
             crews.push(CrewAssignment { crew: 1000 + flight, flight, start_us: at(0.0) });
 
-            push_status(&mut events, &mut delta_seq, at(0.00), flight,
-                EventBody::Status(FlightStatus::Boarding));
-            push_status(&mut events, &mut delta_seq, at(0.04), flight,
-                EventBody::Boarding { boarded: cfg.passengers / 2, expected: cfg.passengers });
-            push_status(&mut events, &mut delta_seq, at(0.08), flight,
-                EventBody::Boarding { boarded: cfg.passengers, expected: cfg.passengers });
-            push_status(&mut events, &mut delta_seq, at(0.10), flight,
-                EventBody::Baggage { loaded: cfg.bags, reconciled: cfg.bags });
-            push_status(&mut events, &mut delta_seq, at(0.12), flight,
-                EventBody::Status(FlightStatus::Departed));
-            push_status(&mut events, &mut delta_seq, at(0.15), flight,
-                EventBody::Status(FlightStatus::EnRoute));
+            push_status(
+                &mut events,
+                &mut delta_seq,
+                at(0.00),
+                flight,
+                EventBody::Status(FlightStatus::Boarding),
+            );
+            push_status(
+                &mut events,
+                &mut delta_seq,
+                at(0.04),
+                flight,
+                EventBody::Boarding { boarded: cfg.passengers / 2, expected: cfg.passengers },
+            );
+            push_status(
+                &mut events,
+                &mut delta_seq,
+                at(0.08),
+                flight,
+                EventBody::Boarding { boarded: cfg.passengers, expected: cfg.passengers },
+            );
+            push_status(
+                &mut events,
+                &mut delta_seq,
+                at(0.10),
+                flight,
+                EventBody::Baggage { loaded: cfg.bags, reconciled: cfg.bags },
+            );
+            push_status(
+                &mut events,
+                &mut delta_seq,
+                at(0.12),
+                flight,
+                EventBody::Status(FlightStatus::Departed),
+            );
+            push_status(
+                &mut events,
+                &mut delta_seq,
+                at(0.15),
+                flight,
+                EventBody::Status(FlightStatus::EnRoute),
+            );
             // Cruise positions.
             for p in 0..cfg.positions_per_flight {
                 faa_seq += 1;

@@ -94,7 +94,11 @@ fn main() {
     println!("storm wall time          : {storm_total:?} (worst display {worst:?})");
     println!(
         "requests per mirror      : {:?}",
-        cluster.mirrors().iter().map(|m| m.counters().snapshots.load(Ordering::Relaxed)).collect::<Vec<_>>()
+        cluster
+            .mirrors()
+            .iter()
+            .map(|m| m.counters().snapshots.load(Ordering::Relaxed))
+            .collect::<Vec<_>>()
     );
     println!("events streamed          : {n}");
     println!("central mean update delay: {:.0}µs", cluster.central().counters().mean_delay_us());

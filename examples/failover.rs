@@ -37,11 +37,8 @@ fn feed(cluster: &Cluster, seq: &mut u64, n: u64) {
 }
 
 fn main() {
-    let mut cluster = Cluster::start(ClusterConfig {
-        mirrors: 2,
-        kind: MirrorFnKind::Simple,
-        suspect_after: 5,
-    });
+    let mut cluster =
+        Cluster::start(ClusterConfig { mirrors: 2, kind: MirrorFnKind::Simple, suspect_after: 5 });
     cluster.central().handle().set_params(false, 1, 20);
     let mut balancer = Balancer::new(vec![1, 2], BalancerPolicy::RoundRobin);
     let mut seq = 0u64;
@@ -62,10 +59,7 @@ fn main() {
     println!("phase 2: mirror 2 crashed");
     feed(&cluster, &mut seq, 300);
     let detected = cluster.wait(Duration::from_secs(10), |c| !c.failed_mirrors().is_empty());
-    println!(
-        "detector flagged: {:?} (detected={detected})",
-        cluster.failed_mirrors()
-    );
+    println!("detector flagged: {:?} (detected={detected})", cluster.failed_mirrors());
     for &site in &cluster.failed_mirrors() {
         balancer.mark_failed(site);
     }

@@ -102,10 +102,10 @@ fn main() {
     assert_eq!(ops.alerts, rebooted.alerts, "derived ops state must rebuild identically");
 
     // Sanity: the stranded connection and the turnaround were both seen.
-    assert!(ops
-        .alerts
-        .iter()
-        .any(|a| matches!(a, adaptable_mirroring::ede::OpsAlert::MissedConnection { group: 78, .. })));
+    assert!(ops.alerts.iter().any(|a| matches!(
+        a,
+        adaptable_mirroring::ede::OpsAlert::MissedConnection { group: 78, .. }
+    )));
     assert!(ops
         .alerts
         .iter()

@@ -67,13 +67,8 @@ fn main() {
     let ctrl_up = EventChannel::new("central.ctrl.up");
     let down = TcpTransport::connect(down_addr).expect("connect downlink");
     let up = TcpTransport::accept_one(&up_listener).expect("accept uplink");
-    let bridge = central_endpoint(
-        &data,
-        &ctrl_down,
-        ctrl_up.publisher(),
-        Box::new(down),
-        Box::new(up),
-    );
+    let bridge =
+        central_endpoint(&data, &ctrl_down, ctrl_up.publisher(), Box::new(down), Box::new(up));
 
     // Publish the stream (stamped, as the central receiving task would).
     let pub_data = data.publisher();

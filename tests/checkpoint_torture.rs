@@ -239,10 +239,7 @@ fn run_schedule(mirror_count: u8, steps: Vec<Step>) {
             // Invariant 1: a reply never claims more than the site processed.
             if site != 0 {
                 let w = &worlds[(site - 1) as usize];
-                assert!(
-                    stamp.get(0) <= w.main.processed().get(0),
-                    "reply beyond processed"
-                );
+                assert!(stamp.get(0) <= w.main.processed().get(0), "reply beyond processed");
             }
             if let Some((commit, msgs)) = central.on_reply(round, site, stamp) {
                 // Invariant 2: monotone commits.
@@ -286,7 +283,10 @@ fn run_schedule(mirror_count: u8, steps: Vec<Step>) {
                     w.relay.on_main_reply(round, site, stamp, MonitorReport::default(), &w.backup);
                 for o in out {
                     if let CheckpointMsg::ToCentral(ControlMsg::ChkptRep {
-                        round, site, stamp, ..
+                        round,
+                        site,
+                        stamp,
+                        ..
                     }) = o
                     {
                         replies_in_flight.push((round, site, stamp));

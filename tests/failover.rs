@@ -28,11 +28,8 @@ fn feed(cluster: &Cluster, from: u64, to: u64) {
 
 #[test]
 fn dead_mirror_is_detected_and_commits_resume() {
-    let mut cluster = Cluster::start(ClusterConfig {
-        mirrors: 2,
-        kind: MirrorFnKind::Simple,
-        suspect_after: 5,
-    });
+    let mut cluster =
+        Cluster::start(ClusterConfig { mirrors: 2, kind: MirrorFnKind::Simple, suspect_after: 5 });
     cluster.central().handle().set_params(false, 1, 20);
 
     feed(&cluster, 1, 100);
@@ -59,11 +56,8 @@ fn dead_mirror_is_detected_and_commits_resume() {
 
 #[test]
 fn rejoined_mirror_recovers_full_state_and_participates() {
-    let mut cluster = Cluster::start(ClusterConfig {
-        mirrors: 2,
-        kind: MirrorFnKind::Simple,
-        suspect_after: 5,
-    });
+    let mut cluster =
+        Cluster::start(ClusterConfig { mirrors: 2, kind: MirrorFnKind::Simple, suspect_after: 5 });
     cluster.central().handle().set_params(false, 1, 20);
 
     feed(&cluster, 1, 200);

@@ -18,20 +18,15 @@ use adaptable_mirroring::ede::{Ede, OperationalState, Snapshot};
 // ---------------------------------------------------------------------
 
 fn arb_fix() -> impl Strategy<Value = PositionFix> {
-    (
-        -90.0f64..90.0,
-        -180.0f64..180.0,
-        0.0f64..45_000.0,
-        0.0f64..600.0,
-        0.0f64..360.0,
-    )
-        .prop_map(|(lat, lon, alt_ft, speed_kts, heading_deg)| PositionFix {
+    (-90.0f64..90.0, -180.0f64..180.0, 0.0f64..45_000.0, 0.0f64..600.0, 0.0f64..360.0).prop_map(
+        |(lat, lon, alt_ft, speed_kts, heading_deg)| PositionFix {
             lat,
             lon,
             alt_ft,
             speed_kts,
             heading_deg,
-        })
+        },
+    )
 }
 
 fn arb_status() -> impl Strategy<Value = FlightStatus> {
@@ -210,12 +205,15 @@ proptest! {
 
 fn arb_ops_events() -> impl Strategy<Value = Vec<Event>> {
     prop::collection::vec(
-        (0u32..8, prop_oneof![
-            arb_fix().prop_map(EventBody::Position),
-            arb_status().prop_map(EventBody::Status),
-            (0u32..200, 1u32..200)
-                .prop_map(|(b, e)| EventBody::Boarding { boarded: b.min(e), expected: e }),
-        ]),
+        (
+            0u32..8,
+            prop_oneof![
+                arb_fix().prop_map(EventBody::Position),
+                arb_status().prop_map(EventBody::Status),
+                (0u32..200, 1u32..200)
+                    .prop_map(|(b, e)| EventBody::Boarding { boarded: b.min(e), expected: e }),
+            ],
+        ),
         1..120,
     )
     .prop_map(|pairs| {

@@ -49,21 +49,22 @@ fn request_storm_engages_and_releases_adaptation_live() {
 
     // Let normal operation settle, then unleash the storm.
     std::thread::sleep(Duration::from_millis(100));
-    assert_eq!(cluster.central().counters().adaptations.load(std::sync::atomic::Ordering::Relaxed), 0);
+    assert_eq!(
+        cluster.central().counters().adaptations.load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
     let mut receivers = Vec::new();
     for _ in 0..120 {
         receivers.push(client.fire().unwrap());
     }
 
     // Engagement: the central aux applies the directive to itself.
-    let engaged = cluster.wait(Duration::from_secs(10), |c| {
-        c.central().handle().params().overwrite_max == 20
-    });
+    let engaged = cluster
+        .wait(Duration::from_secs(10), |c| c.central().handle().params().overwrite_max == 20);
     assert!(engaged, "storm must engage the degraded profile");
     // The mirror receives the piggybacked directive too.
-    let mirror_engaged = cluster.wait(Duration::from_secs(10), |c| {
-        c.mirrors()[0].handle().params().overwrite_max == 20
-    });
+    let mirror_engaged = cluster
+        .wait(Duration::from_secs(10), |c| c.mirrors()[0].handle().params().overwrite_max == 20);
     assert!(mirror_engaged, "directive must reach the mirror");
 
     // Storm drains → release back to the normal profile.

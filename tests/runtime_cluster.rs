@@ -175,13 +175,8 @@ fn tcp_bridged_mirror_matches_inproc_mirror() {
     });
     let down = TcpTransport::connect(down_addr).unwrap();
     let up = TcpTransport::accept_one(&up_listener).unwrap();
-    let bridge = central_endpoint(
-        &data,
-        &ctrl_down,
-        ctrl_up.publisher(),
-        Box::new(down),
-        Box::new(up),
-    );
+    let bridge =
+        central_endpoint(&data, &ctrl_down, ctrl_up.publisher(), Box::new(down), Box::new(up));
 
     // Publish the same stamped stream to both mirrors.
     let p = data.publisher();

@@ -43,11 +43,8 @@ fn full_day_through_live_cluster_matches_ground_truth() {
     let day = generate(&cfg);
     assert!(!day.late_inbounds.is_empty(), "scenario must contain late inbounds");
 
-    let cluster = Cluster::start(ClusterConfig {
-        mirrors: 2,
-        kind: MirrorFnKind::Simple,
-        suspect_after: 0,
-    });
+    let cluster =
+        Cluster::start(ClusterConfig { mirrors: 2, kind: MirrorFnKind::Simple, suspect_after: 0 });
     let updates = cluster.subscribe_updates();
 
     // Stream the day (events carry scenario ingress times; delivery order
@@ -72,39 +69,34 @@ fn full_day_through_live_cluster_matches_ground_truth() {
     // (tight or missed), and no on-time group may be flagged missed.
     for &late in &day.late_inbounds {
         let group = 5000 + late;
-        let flagged = ops.alerts.iter().any(|a| matches!(a,
+        let flagged = ops.alerts.iter().any(|a| {
+            matches!(a,
             OpsAlert::MissedConnection { group: g, .. } |
-            OpsAlert::TightConnection { group: g, .. } if *g == group));
+            OpsAlert::TightConnection { group: g, .. } if *g == group)
+        });
         assert!(flagged, "late inbound {late}: group {group} not flagged; alerts {:?}", ops.alerts);
     }
     for c in &day.connections {
         if !day.late_inbounds.contains(&c.from) {
-            let missed = ops.alerts.iter().any(|a| matches!(a,
-                OpsAlert::MissedConnection { group: g, .. } if *g == c.group));
+            let missed = ops.alerts.iter().any(|a| {
+                matches!(a,
+                OpsAlert::MissedConnection { group: g, .. } if *g == c.group)
+            });
             assert!(!missed, "on-time group {} flagged missed", c.group);
         }
     }
     // Turnarounds complete only where the inbound made it in time; at
     // minimum every on-time rotation must complete.
-    let turnarounds = ops
-        .alerts
-        .iter()
-        .filter(|a| matches!(a, OpsAlert::TurnaroundComplete { .. }))
-        .count();
-    let on_time_rotations = day
-        .rotations
-        .iter()
-        .filter(|(inb, _)| !day.late_inbounds.contains(inb))
-        .count();
+    let turnarounds =
+        ops.alerts.iter().filter(|a| matches!(a, OpsAlert::TurnaroundComplete { .. })).count();
+    let on_time_rotations =
+        day.rotations.iter().filter(|(inb, _)| !day.late_inbounds.contains(inb)).count();
     assert!(
         turnarounds >= on_time_rotations,
         "turnarounds {turnarounds} < on-time rotations {on_time_rotations}"
     );
     // All flights departed fully reconciled: no baggage alerts.
-    assert!(ops
-        .alerts
-        .iter()
-        .all(|a| !matches!(a, OpsAlert::BaggageMismatch { .. })));
+    assert!(ops.alerts.iter().all(|a| !matches!(a, OpsAlert::BaggageMismatch { .. })));
 
     // Replication invariant across the whole day.
     let hashes = cluster.state_hashes();

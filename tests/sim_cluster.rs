@@ -28,11 +28,7 @@ fn mixed_streams_replicate_consistently_across_many_mirrors() {
         mirrors: 6,
         kind: MirrorFnKind::Simple,
         faa: stream(3_000, 700),
-        delta: Some(DeltaStreamConfig {
-            flights: 30,
-            span_us: 3_000_000,
-            ..Default::default()
-        }),
+        delta: Some(DeltaStreamConfig { flights: 30, span_us: 3_000_000, ..Default::default() }),
         ..Default::default()
     });
     assert_eq!(r.state_hashes.len(), 7);
@@ -199,10 +195,7 @@ fn utilization_is_sane_and_identifies_the_bottleneck() {
     });
     assert_eq!(r.utilization.len(), 3);
     for (i, u) in r.utilization.iter().enumerate() {
-        assert!(
-            (0.0..=1.0 + 1e-9).contains(u),
-            "site {i} utilization {u} out of range"
-        );
+        assert!((0.0..=1.0 + 1e-9).contains(u), "site {i} utilization {u} out of range");
     }
     // Under backlog ingest with no requests, the central site (EDE +
     // mirroring + checkpoint coordination) is the binding resource.
