@@ -15,8 +15,12 @@ use mirror_core::rules::{Rule, RuleSet};
 use mirror_core::status::StatusTable;
 use mirror_core::timestamp::VectorTimestamp;
 use mirror_core::ControlMsg;
-use mirror_echo::wire::{decode_frame, encode_frame, Frame};
+use mirror_echo::wire::{
+    decode_frame, encode_batch_from_encoded, encode_frame, encode_frame_shared, Frame, SharedEvent,
+};
 use mirror_ede::Ede;
+
+use std::sync::Arc;
 
 fn fix() -> PositionFix {
     PositionFix { lat: 33.6, lon: -84.4, alt_ft: 31000.0, speed_kts: 450.0, heading_deg: 270.0 }
@@ -31,14 +35,76 @@ fn stamped(seq: u64, flight: u32, size: usize) -> Event {
 fn bench_wire(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire");
     for size in [256usize, 1024, 8192] {
-        let ev = stamped(42, 7, size);
+        let ev = Arc::new(stamped(42, 7, size));
         g.throughput(Throughput::Bytes(ev.wire_size() as u64));
         g.bench_with_input(BenchmarkId::new("encode", size), &ev, |b, ev| {
-            b.iter(|| encode_frame(black_box(&Frame::Data(ev.clone()))))
+            b.iter(|| encode_frame(black_box(&Frame::Data(Arc::clone(ev)))))
         });
         let bytes = encode_frame(&Frame::Data(ev));
         g.bench_with_input(BenchmarkId::new("decode", size), &bytes, |b, bytes| {
             b.iter(|| decode_frame(black_box(bytes.clone())).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Batch framing: packing a burst of events into one [`Frame::Batch`] —
+/// both the generic path (re-encoding every member) and the zero-copy
+/// bridge path ([`encode_batch_from_encoded`], header-only work over
+/// cached member encodings) — plus decoding the batch back out.
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch");
+    for n in [8usize, 64] {
+        let members: Vec<Frame> =
+            (1..=n as u64).map(|s| Frame::Data(Arc::new(stamped(s, 7, 1024)))).collect();
+        let batch = Frame::Batch(members.clone());
+        let parts: Vec<bytes::Bytes> = members.iter().map(encode_frame_shared).collect();
+        let payload: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        g.throughput(Throughput::Bytes(payload));
+        g.bench_with_input(BenchmarkId::new("encode_full", n), &batch, |b, batch| {
+            b.iter(|| encode_frame(black_box(batch)))
+        });
+        g.bench_with_input(BenchmarkId::new("encode_from_encoded", n), &parts, |b, parts| {
+            b.iter(|| encode_batch_from_encoded(black_box(parts)))
+        });
+        let bytes = encode_frame(&batch);
+        g.bench_with_input(BenchmarkId::new("decode", n), &bytes, |b, bytes| {
+            b.iter(|| decode_frame(black_box(bytes.clone())).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Channel fan-out: one publish cloned to N subscribers. `deep` clones a
+/// whole 1 KiB event per subscriber (the pre-zero-copy data path);
+/// `shared` bumps two reference counts per subscriber ([`SharedEvent`]).
+fn bench_fanout(c: &mut Criterion) {
+    use mirror_echo::channel::EventChannel;
+    let mut g = c.benchmark_group("fanout");
+    for subs in [2usize, 8] {
+        g.bench_with_input(BenchmarkId::new("deep_1KiB", subs), &subs, |b, &subs| {
+            let ch: EventChannel<Event> = EventChannel::new("bench.deep");
+            let taps: Vec<_> = (0..subs).map(|_| ch.subscribe()).collect();
+            let p = ch.publisher();
+            let ev = stamped(1, 7, 1024);
+            b.iter(|| {
+                p.publish(black_box(ev.clone()));
+                for t in &taps {
+                    black_box(t.try_recv());
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("shared_1KiB", subs), &subs, |b, &subs| {
+            let ch: EventChannel<SharedEvent> = EventChannel::new("bench.shared");
+            let taps: Vec<_> = (0..subs).map(|_| ch.subscribe()).collect();
+            let p = ch.publisher();
+            let ev = SharedEvent::from(stamped(1, 7, 1024));
+            b.iter(|| {
+                p.publish(black_box(ev.clone()));
+                for t in &taps {
+                    black_box(t.try_recv());
+                }
+            })
         });
     }
     g.finish();
@@ -89,7 +155,7 @@ fn bench_queues(c: &mut Criterion) {
             for seq in 1..=50 {
                 q.push(stamped(seq, 1, 256));
             }
-            let commit = q.last_stamp();
+            let commit = q.last_stamp().clone();
             black_box(q.prune(&commit))
         })
     });
@@ -165,6 +231,8 @@ fn bench_ede(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_wire,
+    bench_batch,
+    bench_fanout,
     bench_rules,
     bench_queues,
     bench_coalescing,

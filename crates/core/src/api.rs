@@ -150,14 +150,18 @@ impl MirrorHandle {
     }
 
     /// `fwd()` — feed one event through the unit (stamping, rules,
-    /// forwarding, mirroring); returns the actions to perform.
-    pub fn fwd(&self, event: crate::event::Event) -> Vec<AuxAction> {
+    /// forwarding, mirroring); returns the actions to perform. Accepts an
+    /// owned event or an already-shared `Arc<Event>` (the zero-copy path
+    /// used by the runtime's channel fan-out).
+    pub fn fwd(&self, event: impl Into<std::sync::Arc<crate::event::Event>>) -> Vec<AuxAction> {
+        let event = event.into();
         self.with(|aux| aux.handle(AuxInput::Data(event)))
     }
 
     /// Replay retained backup-queue events from send index `idx` on (see
-    /// [`AuxUnit::retransmit_from`]).
-    pub fn retransmit_from(&self, idx: u64) -> Vec<(u64, crate::event::Event)> {
+    /// [`AuxUnit::retransmit_from`]). Replayed events share their
+    /// allocation with the backup queue.
+    pub fn retransmit_from(&self, idx: u64) -> Vec<(u64, std::sync::Arc<crate::event::Event>)> {
         self.with(|aux| aux.retransmit_from(idx))
     }
 

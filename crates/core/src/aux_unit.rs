@@ -21,6 +21,8 @@
 //! experiment results attributable to the algorithms rather than to two
 //! divergent implementations.
 
+use std::sync::Arc;
+
 use crate::adapt::{AdaptDecision, AdaptationController, MonitorReport};
 use crate::checkpoint::{CentralCheckpointer, CheckpointMsg, MirrorRelay};
 use crate::control::{AdaptDirective, ControlMsg};
@@ -39,8 +41,11 @@ pub use crate::control::{SiteId, CENTRAL_SITE};
 #[derive(Debug, Clone, PartialEq)]
 pub enum AuxInput {
     /// A data event: from a source (central site) or from the central
-    /// site's mirroring channel (mirror site).
-    Data(Event),
+    /// site's mirroring channel (mirror site). Shared (`Arc`) so the same
+    /// allocation can flow through channels, queues and transports without
+    /// deep copies; at ingress the `Arc` is typically unique and the unit
+    /// reclaims it without copying.
+    Data(Arc<Event>),
     /// A control-channel message (checkpoint traffic; at the central site
     /// this includes `ChkptRep`s relayed from mirrors and from the local
     /// main unit).
@@ -54,10 +59,13 @@ pub enum AuxInput {
 /// translates these into channel sends / simulator events.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AuxAction {
-    /// Put this event on every outgoing mirroring (data) channel.
-    Mirror(Event),
+    /// Put this event on every outgoing mirroring (data) channel. The
+    /// `Arc` is shared with the backup queue's retained copy: fanning the
+    /// event out to N mirrors plus retention costs reference-count bumps,
+    /// not N+1 deep clones.
+    Mirror(Arc<Event>),
     /// Deliver this event to the local main unit (regular processing path).
-    ForwardToMain(Event),
+    ForwardToMain(Arc<Event>),
     /// Send a control message to every mirror site's auxiliary unit.
     ControlToMirrors(ControlMsg),
     /// Send a control message to the central site's auxiliary unit.
@@ -288,7 +296,7 @@ impl AuxUnit {
     /// after losing in-flight traffic. Events already pruned by a
     /// committed checkpoint are omitted — the peer's committed state
     /// covers them.
-    pub fn retransmit_from(&self, idx: u64) -> Vec<(u64, Event)> {
+    pub fn retransmit_from(&self, idx: u64) -> Vec<(u64, Arc<Event>)> {
         self.backup.retransmit_from(idx)
     }
 
@@ -338,8 +346,12 @@ impl AuxUnit {
     // Receiving task (central): stamp, record, filter.
     // ------------------------------------------------------------------
 
-    fn central_on_data(&mut self, mut event: Event) -> Vec<AuxAction> {
+    fn central_on_data(&mut self, event: Arc<Event>) -> Vec<AuxAction> {
         self.counters.received += 1;
+
+        // Reclaim the event: at ingress the Arc is almost always unique
+        // (freshly submitted), so this is a move, not a copy.
+        let mut event = Arc::try_unwrap(event).unwrap_or_else(|a| (*a).clone());
 
         // Timestamping: advance the clock with this event's (stream, seq)
         // and stamp the event with the resulting frontier.
@@ -354,7 +366,7 @@ impl AuxUnit {
         if let Some(fwd) = outcome.forward {
             for f in self.fwd_fn.prepare(vec![fwd], &self.params) {
                 self.counters.forwarded += 1;
-                actions.push(AuxAction::ForwardToMain(f));
+                actions.push(AuxAction::ForwardToMain(Arc::new(f)));
             }
         }
         if let Some(mir) = outcome.mirror {
@@ -366,7 +378,7 @@ impl AuxUnit {
             // Derived events are new application-level facts: they go to
             // the main unit and onto the mirror path.
             self.counters.forwarded += 1;
-            actions.push(AuxAction::ForwardToMain(derived.clone()));
+            actions.push(AuxAction::ForwardToMain(Arc::new(derived.clone())));
             self.ready.push(derived);
         }
 
@@ -405,7 +417,10 @@ impl AuxUnit {
         for ev in wire {
             self.counters.mirrored += 1;
             self.counters.mirrored_bytes += ev.wire_size() as u64;
-            self.backup.push(ev.clone());
+            // One allocation shared between the backup queue and every
+            // outgoing mirror channel.
+            let ev = Arc::new(ev);
+            self.backup.push(Arc::clone(&ev));
             actions.push(AuxAction::Mirror(ev));
         }
         actions
@@ -429,7 +444,7 @@ impl AuxUnit {
     }
 
     fn begin_checkpoint(&mut self) -> Vec<AuxAction> {
-        let proposal = self.backup.last_stamp();
+        let proposal = self.backup.last_stamp().clone();
         let (checkpointer, adapt) = match &mut self.role {
             Role::Central { checkpointer, adapt } => (checkpointer, adapt),
             Role::Mirror { .. } => return Vec::new(),
@@ -562,7 +577,8 @@ impl AuxUnit {
             for ev in self.mirror_fn.flush(&self.params) {
                 self.counters.mirrored += 1;
                 self.counters.mirrored_bytes += ev.wire_size() as u64;
-                self.backup.push(ev.clone());
+                let ev = Arc::new(ev);
+                self.backup.push(Arc::clone(&ev));
                 actions.push(AuxAction::Mirror(ev));
             }
             self.mirror_fn = kind.build();
@@ -582,14 +598,14 @@ impl AuxUnit {
     // Mirror-site data path.
     // ------------------------------------------------------------------
 
-    fn mirror_on_data(&mut self, event: Event) -> Vec<AuxAction> {
+    fn mirror_on_data(&mut self, event: Arc<Event>) -> Vec<AuxAction> {
         self.counters.received += 1;
         self.clock.merge(&event.stamp);
         self.status.observe(&event);
         // Mirror sites retain a copy for checkpoint-bounded recovery and
         // hand the event to their main unit (whose EDE replicates state and
-        // serves client requests).
-        self.backup.push(event.clone());
+        // serves client requests). Both copies share one allocation.
+        self.backup.push(Arc::clone(&event));
         self.counters.forwarded += 1;
         vec![AuxAction::ForwardToMain(event)]
     }
@@ -682,7 +698,7 @@ mod tests {
     #[test]
     fn central_stamps_and_mirrors_every_event_by_default() {
         let mut aux = AuxUnit::central(vec![1], MirrorParams::default());
-        let actions = aux.handle(AuxInput::Data(pos(1, 7)));
+        let actions = aux.handle(AuxInput::Data(pos(1, 7).into()));
         let mirrors: Vec<_> =
             actions.iter().filter(|a| matches!(a, AuxAction::Mirror(_))).collect();
         let fwds: Vec<_> =
@@ -702,7 +718,7 @@ mod tests {
         let mut mirrored = 0;
         let mut forwarded = 0;
         for seq in 1..=50 {
-            for a in aux.handle(AuxInput::Data(pos(seq, 3))) {
+            for a in aux.handle(AuxInput::Data(pos(seq, 3).into())) {
                 match a {
                     AuxAction::Mirror(_) => mirrored += 1,
                     AuxAction::ForwardToMain(_) => forwarded += 1,
@@ -724,21 +740,21 @@ mod tests {
         aux.set_mirror_fn(Box::new(crate::mirrorfn::CoalescingMirror::new()));
         let mut mirrored = Vec::new();
         for seq in 1..=3 {
-            for a in aux.handle(AuxInput::Data(pos(seq, 1))) {
+            for a in aux.handle(AuxInput::Data(pos(seq, 1).into())) {
                 if let AuxAction::Mirror(e) = a {
                     mirrored.push(e);
                 }
             }
         }
         assert!(mirrored.is_empty(), "run of 3 < cap 4: still accumulating");
-        for a in aux.handle(AuxInput::Data(pos(4, 1))) {
+        for a in aux.handle(AuxInput::Data(pos(4, 1).into())) {
             if let AuxAction::Mirror(e) = a {
                 mirrored.push(e);
             }
         }
         assert_eq!(mirrored.len(), 1, "cap reached: one coalesced wire event");
         // A partial run is released by Flush.
-        aux.handle(AuxInput::Data(pos(5, 1)));
+        aux.handle(AuxInput::Data(pos(5, 1).into()));
         let flushed = aux.handle(AuxInput::Flush);
         assert!(flushed.iter().any(|a| matches!(a, AuxAction::Mirror(_))));
     }
@@ -756,7 +772,7 @@ mod tests {
 
         let mut chkpt_actions = Vec::new();
         for seq in 1..=10 {
-            for a in central.handle(AuxInput::Data(pos(seq, 1))) {
+            for a in central.handle(AuxInput::Data(pos(seq, 1).into())) {
                 match a {
                     AuxAction::Mirror(e) => {
                         // Deliver to the mirror; its main unit processes.
@@ -826,7 +842,7 @@ mod tests {
         let mut mirror = AuxUnit::mirror(2, MirrorParams::default());
         let mut e = pos(1, 9);
         e.stamp.advance(0, 1);
-        let actions = mirror.handle(AuxInput::Data(e));
+        let actions = mirror.handle(AuxInput::Data(e.into()));
         assert_eq!(actions.len(), 1);
         assert!(matches!(actions[0], AuxAction::ForwardToMain(_)));
         assert_eq!(mirror.backup_len(), 1);
@@ -837,7 +853,7 @@ mod tests {
     fn monitor_report_reflects_queues_and_requests() {
         let mut aux = AuxUnit::central(vec![1], MirrorParams::default());
         for seq in 1..=5 {
-            aux.handle(AuxInput::Data(pos(seq, 1)));
+            aux.handle(AuxInput::Data(pos(seq, 1).into()));
         }
         aux.set_pending_requests(42);
         let r = aux.monitor_report();

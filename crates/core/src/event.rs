@@ -14,9 +14,28 @@
 //! bytes to 8 KB; `padding` models that sweep without materializing buffers
 //! on the simulation path.
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::timestamp::{Seq, VectorTimestamp};
+
+/// Serde adapter for [`Bytes`] payloads: serialized as a plain byte
+/// sequence (identical to `Vec<u8>`), deserialized into an owned buffer.
+/// Keeps the wire/serde representation independent of the zero-copy
+/// in-memory type.
+#[allow(dead_code)] // referenced from derive-generated code only
+mod opaque_bytes {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(b.iter())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        Ok(Bytes::from(Vec::<u8>::deserialize(d)?))
+    }
+}
 
 /// Identifier of an incoming event stream (one vector-timestamp component
 /// per stream).
@@ -143,7 +162,11 @@ pub enum EventBody {
         count: u32,
     },
     /// Opaque application payload (used by tests and custom deployments).
-    Opaque(Vec<u8>),
+    ///
+    /// Backed by [`Bytes`] so that cloning an event — which happens at
+    /// every queue/channel hop of the mirroring fan-out — bumps a
+    /// reference count instead of copying the payload.
+    Opaque(#[serde(with = "opaque_bytes")] Bytes),
 }
 
 impl EventBody {
@@ -345,7 +368,10 @@ mod tests {
             EventType::of(&EventBody::Derived { status: FlightStatus::Arrived, collapsed: 3 }),
             EventType::Derived
         );
-        assert_eq!(EventType::of(&EventBody::Opaque(vec![1, 2])), EventType::Custom(0));
+        assert_eq!(
+            EventType::of(&EventBody::Opaque(Bytes::from_static(&[1, 2]))),
+            EventType::Custom(0)
+        );
     }
 
     #[test]
@@ -368,7 +394,7 @@ mod tests {
         assert_eq!(EventBody::Position(fix()).wire_size(), 40);
         assert_eq!(EventBody::Status(FlightStatus::Landed).wire_size(), 1);
         assert_eq!(EventBody::Boarding { boarded: 3, expected: 120 }.wire_size(), 8);
-        assert_eq!(EventBody::Opaque(vec![0; 10]).wire_size(), 14);
+        assert_eq!(EventBody::Opaque(Bytes::from(vec![0u8; 10])).wire_size(), 14);
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! ship a full replacement parameter set to every mirror piggybacked on
 //! checkpoint control messages, guaranteeing that "all mirrors are adapted
 //! in the same fashion".
+//!
+//! These knobs decide *what* gets mirrored. The complementary transport
+//! knobs — how the surviving frames ride the wire (batch size, byte bound,
+//! flush linger) — live in `mirror_runtime::bridge::BatchPolicy`, which is
+//! fixed per bridge rather than adapted at runtime.
 
 use serde::{Deserialize, Serialize};
 

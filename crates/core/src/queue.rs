@@ -8,6 +8,7 @@
 //! driving adaptive mirroring, so both queues keep occupancy statistics.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::event::Event;
 use crate::timestamp::VectorTimestamp;
@@ -97,9 +98,13 @@ impl ReadyQueue {
 /// retransmission source for unreliable links: a recovering peer names the
 /// last index it saw and [`retransmit_from`](Self::retransmit_from) replays
 /// everything retained from that point on.
+///
+/// Events are retained as `Arc<Event>` so that the backup copy shares its
+/// allocation with the in-flight mirror copy: retaining a sent event is a
+/// reference-count bump, not a deep clone of the payload.
 #[derive(Debug, Default)]
 pub struct BackupQueue {
-    q: VecDeque<(u64, Event)>,
+    q: VecDeque<(u64, Arc<Event>)>,
     stats: QueueStats,
     /// Join of all stamps ever retained; `last()` falls back to this when
     /// the queue has just been pruned empty.
@@ -115,8 +120,10 @@ impl BackupQueue {
     }
 
     /// Retain a sent event until a checkpoint covers it; returns the send
-    /// index assigned to it.
-    pub fn push(&mut self, e: Event) -> u64 {
+    /// index assigned to it. Accepts an owned event or an `Arc` shared with
+    /// the outgoing mirror path (the zero-copy case).
+    pub fn push(&mut self, e: impl Into<Arc<Event>>) -> u64 {
+        let e = e.into();
         // `Default` can't set 1, so normalize lazily for default-built
         // queues.
         if self.next_idx == 0 {
@@ -138,17 +145,20 @@ impl BackupQueue {
 
     /// Replay every retained event with send index `>= idx`, oldest first.
     /// Events already pruned by a committed checkpoint are gone — by
-    /// definition the peer acknowledged a state that covers them.
-    pub fn retransmit_from(&self, idx: u64) -> Vec<(u64, Event)> {
+    /// definition the peer acknowledged a state that covers them. Replayed
+    /// events share their allocation with the queue (`Arc` clones).
+    pub fn retransmit_from(&self, idx: u64) -> Vec<(u64, Arc<Event>)> {
         self.q.iter().filter(|(i, _)| *i >= idx).cloned().collect()
     }
 
     /// Stamp of the most recently retained event — the checkpoint proposal
     /// the central control task makes ("chkpt = last on backup queue").
     /// Falls back to the all-time frontier when the queue is empty, so a
-    /// freshly pruned site still proposes a meaningful value.
-    pub fn last_stamp(&self) -> VectorTimestamp {
-        self.q.back().map(|(_, e)| e.stamp.clone()).unwrap_or_else(|| self.frontier.clone())
+    /// freshly pruned site still proposes a meaningful value. Returned by
+    /// reference: this sits on the per-event send path, so it must not
+    /// allocate a fresh timestamp per call.
+    pub fn last_stamp(&self) -> &VectorTimestamp {
+        self.q.back().map(|(_, e)| &e.stamp).unwrap_or(&self.frontier)
     }
 
     /// Does the queue (or its history) cover the given stamp — i.e. would a
@@ -188,7 +198,7 @@ impl BackupQueue {
 
     /// Iterate retained events oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
-        self.q.iter().map(|(_, e)| e)
+        self.q.iter().map(|(_, e)| e.as_ref())
     }
 
     /// Occupancy statistics.
@@ -265,11 +275,11 @@ mod tests {
         let mut b = BackupQueue::new();
         b.push(ev(0, 1));
         b.push(ev(0, 2));
-        let last = b.last_stamp();
+        let last = b.last_stamp().clone();
         b.prune(&last);
         assert!(b.is_empty());
         // The frontier remembers what was covered.
-        assert_eq!(b.last_stamp(), last);
+        assert_eq!(b.last_stamp(), &last);
         assert!(b.covers(&last));
     }
 
@@ -292,7 +302,7 @@ mod tests {
         assert!(b.is_fresh());
         b.push(ev(0, 1));
         assert!(!b.is_fresh());
-        let last = b.last_stamp();
+        let last = b.last_stamp().clone();
         b.prune(&last);
         assert!(!b.is_fresh(), "a pruned queue is empty but not fresh");
     }

@@ -9,6 +9,7 @@
 //! application's job — it is precisely the monitored queue growth that
 //! drives adaptive mirroring).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -21,7 +22,9 @@ use mirror_core::ControlMsg;
 struct Shared<T> {
     name: String,
     subs: Mutex<Vec<Sender<T>>>,
-    published: Mutex<u64>,
+    /// Lock-free counter: read by monitoring threads while publishers are
+    /// hot, so it must not contend on the subscriber lock.
+    published: AtomicU64,
 }
 
 /// A named, typed event channel.
@@ -42,7 +45,7 @@ impl<T: Clone + Send + 'static> EventChannel<T> {
             shared: Arc::new(Shared {
                 name: name.into(),
                 subs: Mutex::new(Vec::new()),
-                published: Mutex::new(0),
+                published: AtomicU64::new(0),
             }),
         }
     }
@@ -72,7 +75,7 @@ impl<T: Clone + Send + 'static> EventChannel<T> {
 
     /// Total messages published on this channel.
     pub fn published(&self) -> u64 {
-        *self.shared.published.lock()
+        self.shared.published.load(Ordering::Relaxed)
     }
 }
 
@@ -105,7 +108,7 @@ impl<T: Clone + Send + 'static> Publisher<T> {
                 false
             }
         });
-        *self.shared.published.lock() += 1;
+        self.shared.published.fetch_add(1, Ordering::Relaxed);
         delivered
     }
 

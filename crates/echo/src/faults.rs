@@ -285,7 +285,7 @@ mod tests {
     use mirror_core::event::{Event, FlightStatus};
 
     fn ev(seq: u64) -> Frame {
-        Frame::Data(Event::delta_status(seq, 7, FlightStatus::Boarding))
+        Frame::Data(std::sync::Arc::new(Event::delta_status(seq, 7, FlightStatus::Boarding)))
     }
 
     fn run_schedule(plan: FaultPlan, frames: u64) -> (FaultSummary, Vec<Frame>) {

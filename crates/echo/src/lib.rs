@@ -48,4 +48,7 @@ pub use transport::{
     inproc_rendezvous, InProcDialer, InProcListener, InProcTransport, Polled, TcpOptions,
     TcpTransport, Transport,
 };
-pub use wire::{decode_frame, encode_frame, Frame, WireError, WIRE_VERSION};
+pub use wire::{
+    decode_frame, encode_batch_from_encoded, encode_frame, encode_frame_shared,
+    encode_seq_envelope, Frame, SharedEvent, WireError, WIRE_VERSION,
+};

@@ -10,6 +10,8 @@
 //! * **cumulative acks** — the receiver acknowledges the highest
 //!   contiguously delivered sequence number ([`Frame::Ack`]);
 //! * **a bounded retransmit window** — unacknowledged frames are retained
+//!   as their wire encoding, shared with the fan-out path so a frame is
+//!   encoded once per link lifetime
 //!   (the transport-level analogue of the paper's backup queue) and
 //!   replayed when the peer announces what it has via [`Frame::Hello`];
 //! * **reconnect with exponential backoff + jitter** under a retry
@@ -36,8 +38,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
+
 use crate::transport::{Polled, Transport};
-use crate::wire::Frame;
+use crate::wire::{encode_frame_shared, encode_seq_envelope, Frame};
 
 /// Default retransmit-window bound (frames retained awaiting ack).
 pub const DEFAULT_WINDOW: usize = 8192;
@@ -206,8 +210,11 @@ pub struct ResilientTransport {
     inner: Option<Box<dyn Transport>>,
     /// Next sequence number to assign to an outbound frame.
     send_next: u64,
-    /// Unacknowledged outbound frames, oldest first.
-    window: VecDeque<(u64, Frame)>,
+    /// Unacknowledged outbound frames, oldest first, kept as their wire
+    /// encoding (unenveloped): each frame is encoded exactly once per
+    /// link lifetime, and retransmission replays the stored bytes with a
+    /// fresh [`Frame::Seq`] header prepended — no re-encoding ever.
+    window: VecDeque<(u64, Bytes)>,
     max_window: usize,
     /// Next expected inbound sequence number.
     recv_next: u64,
@@ -380,6 +387,19 @@ impl ResilientTransport {
         }
     }
 
+    fn wire_send_encoded(&mut self, bytes: &Bytes) -> io::Result<()> {
+        match self.inner.as_mut() {
+            Some(t) => {
+                if let Err(e) = t.send_encoded(bytes) {
+                    self.fail_link();
+                    return Err(e);
+                }
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotConnected, "not connected")),
+        }
+    }
+
     fn deliver(&mut self, frame: Frame) {
         self.recv_next += 1;
         self.monitor.delivered.fetch_add(1, Ordering::Relaxed);
@@ -445,13 +465,14 @@ impl ResilientTransport {
         }
     }
 
-    /// Re-offer every unacknowledged frame to the wire.
+    /// Re-offer every unacknowledged frame to the wire, replaying the
+    /// stored encodings (cheap clones of refcounted byte buffers).
     fn retransmit_window(&mut self) {
-        let pending: Vec<(u64, Frame)> = self.window.iter().cloned().collect();
+        let pending: Vec<(u64, Bytes)> = self.window.iter().cloned().collect();
         let n = pending.len() as u64;
-        for (seq, f) in pending {
-            let env = Frame::Seq { seq, inner: Box::new(f) };
-            if self.wire_send(&env).is_err() {
+        for (seq, bytes) in pending {
+            let env = encode_seq_envelope(seq, &bytes);
+            if self.wire_send_encoded(&env).is_err() {
                 break;
             }
         }
@@ -507,6 +528,10 @@ impl ResilientTransport {
 
 impl Transport for ResilientTransport {
     fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.send_encoded(&encode_frame_shared(frame))
+    }
+
+    fn send_encoded(&mut self, bytes: &Bytes) -> io::Result<()> {
         self.ensure_connected()?;
         // Backpressure: a full window means the peer isn't acking. Give
         // the protocol a bounded chance to drain before refusing.
@@ -524,9 +549,9 @@ impl Transport for ResilientTransport {
         }
         let seq = self.send_next;
         self.send_next += 1;
-        self.window.push_back((seq, frame.clone()));
-        let env = Frame::Seq { seq, inner: Box::new(frame.clone()) };
-        if self.wire_send(&env).is_err() {
+        self.window.push_back((seq, bytes.clone()));
+        let env = encode_seq_envelope(seq, bytes);
+        if self.wire_send_encoded(&env).is_err() {
             // The frame is safely windowed; reconnect (or die trying) and
             // let the Hello exchange trigger its retransmission.
             self.ensure_connected()?;
@@ -582,7 +607,7 @@ mod tests {
     use mirror_core::event::{Event, FlightStatus};
 
     fn ev(seq: u64) -> Frame {
-        Frame::Data(Event::delta_status(seq, 7, FlightStatus::Boarding))
+        Frame::Data(Arc::new(Event::delta_status(seq, 7, FlightStatus::Boarding)))
     }
 
     fn listener_connector(mut l: InProcListener) -> impl Connector {

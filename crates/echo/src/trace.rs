@@ -32,7 +32,7 @@ pub fn write_trace<W: Write>(mut w: W, events: &[(u64, Event)]) -> io::Result<()
     w.write_all(TRACE_MAGIC)?;
     w.write_all(&[TRACE_VERSION])?;
     for (t, e) in events {
-        let frame = encode_frame(&Frame::Data(e.clone()));
+        let frame = encode_frame(&Frame::Data(std::sync::Arc::new(e.clone())));
         w.write_all(&t.to_le_bytes())?;
         w.write_all(&(frame.len() as u32).to_le_bytes())?;
         w.write_all(&frame)?;
@@ -75,7 +75,10 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<(u64, Event)>> {
         let mut frame = vec![0u8; len];
         r.read_exact(&mut frame)?;
         match decode_frame(Bytes::from(frame)) {
-            Ok(Frame::Data(e)) => out.push((u64::from_le_bytes(t_buf), e)),
+            Ok(Frame::Data(e)) => out.push((
+                u64::from_le_bytes(t_buf),
+                std::sync::Arc::try_unwrap(e).unwrap_or_else(|a| (*a).clone()),
+            )),
             Ok(_) => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,

@@ -14,7 +14,7 @@
 //! protocol of the paper assumes ("this version assumes reliable
 //! communication across mirror sites").
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -46,6 +46,21 @@ pub enum Polled {
 pub trait Transport: Send {
     /// Send one frame.
     fn send(&mut self, frame: &Frame) -> io::Result<()>;
+
+    /// Send a frame that has already been encoded (see
+    /// [`encode_frame_shared`](crate::wire::encode_frame_shared)). This is
+    /// the zero-copy fast path: callers that fan one frame out to many
+    /// links encode once and hand the same `Bytes` to every transport.
+    ///
+    /// The default implementation decodes and delegates to
+    /// [`send`](Transport::send), so wrappers that inspect frames (fault
+    /// injection, tracing) keep seeing every frame without overriding
+    /// this; the base transports override it to move bytes straight to
+    /// the wire.
+    fn send_encoded(&mut self, bytes: &Bytes) -> io::Result<()> {
+        let frame = decode_frame(bytes.clone()).map_err(wire_err)?;
+        self.send(&frame)
+    }
 
     /// Block until a frame arrives; `Ok(None)` on clean shutdown of the
     /// peer.
@@ -96,7 +111,13 @@ impl InProcTransport {
 impl Transport for InProcTransport {
     fn send(&mut self, frame: &Frame) -> io::Result<()> {
         let bytes = encode_frame(frame);
-        self.tx.send(bytes).map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+        self.send_encoded(&bytes)
+    }
+
+    fn send_encoded(&mut self, bytes: &Bytes) -> io::Result<()> {
+        self.tx
+            .send(bytes.clone())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
     }
 
     fn recv(&mut self) -> io::Result<Option<Frame>> {
@@ -327,14 +348,33 @@ impl TcpTransport {
 impl Transport for TcpTransport {
     fn send(&mut self, frame: &Frame) -> io::Result<()> {
         let bytes = encode_frame(frame);
+        self.send_encoded(&bytes)
+    }
+
+    fn send_encoded(&mut self, bytes: &Bytes) -> io::Result<()> {
         // Compare before narrowing: casting first would let an oversized
         // frame wrap around the u32 and slip past the check.
         if bytes.len() > MAX_FRAME as usize {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
         }
-        let len = bytes.len() as u32;
-        self.stream.write_all(&len.to_le_bytes())?;
-        self.stream.write_all(&bytes)?;
+        let len = (bytes.len() as u32).to_le_bytes();
+        // Gather the length prefix and body into one vectored write so a
+        // frame (even a large batch) normally costs a single syscall.
+        let mut slices = [IoSlice::new(&len), IoSlice::new(bytes)];
+        let mut bufs: &mut [IoSlice<'_>] = &mut slices;
+        while !bufs.is_empty() {
+            match self.stream.write_vectored(bufs) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "failed to write whole frame",
+                    ));
+                }
+                Ok(n) => IoSlice::advance_slices(&mut bufs, n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
         Ok(())
     }
 
@@ -365,7 +405,9 @@ mod tests {
     use mirror_core::ControlMsg;
 
     fn ev(seq: u64) -> Frame {
-        Frame::Data(Event::delta_status(seq, 55, FlightStatus::Boarding).with_total_size(256))
+        Frame::Data(std::sync::Arc::new(
+            Event::delta_status(seq, 55, FlightStatus::Boarding).with_total_size(256),
+        ))
     }
 
     #[test]
@@ -436,6 +478,33 @@ mod tests {
             assert_eq!(t.recv().unwrap(), None);
         });
         let c = TcpTransport::connect(addr).unwrap();
+        drop(c);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn inproc_send_encoded_matches_send() {
+        use crate::wire::encode_frame_shared;
+        let (mut a, mut b) = InProcTransport::pair("enc");
+        let f = ev(7);
+        a.send_encoded(&encode_frame_shared(&f)).unwrap();
+        assert_eq!(b.recv().unwrap(), Some(f));
+    }
+
+    #[test]
+    fn tcp_send_encoded_batch_roundtrip() {
+        use crate::wire::encode_frame_shared;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let batch = Frame::Batch(vec![ev(1), ev(2), ev(3)]);
+        let expect = batch.clone();
+        let server = std::thread::spawn(move || {
+            let mut t = TcpTransport::accept_one(&listener).unwrap();
+            assert_eq!(t.recv().unwrap(), Some(expect));
+            assert_eq!(t.recv().unwrap(), None);
+        });
+        let mut c = TcpTransport::connect(addr).unwrap();
+        c.send_encoded(&encode_frame_shared(&batch)).unwrap();
         drop(c);
         server.join().unwrap();
     }

@@ -6,6 +6,8 @@
 //! text) because mirroring throughput is the whole point of the paper: an
 //! event's encoded size equals [`Event::wire_size`] exactly, byte for byte.
 
+use std::sync::{Arc, OnceLock};
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mirror_core::adapt::MonitorReport;
 use mirror_core::control::AdaptDirective;
@@ -24,6 +26,7 @@ const KIND_CONTROL: u8 = 1;
 const KIND_SEQ: u8 = 2;
 const KIND_ACK: u8 = 3;
 const KIND_HELLO: u8 = 4;
+const KIND_BATCH: u8 = 5;
 
 /// Decoding/encoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,8 +56,10 @@ impl std::error::Error for WireError {}
 /// [`ResilientTransport`](crate::resilient::ResilientTransport).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
-    /// Application data event.
-    Data(Event),
+    /// Application data event. Shared (`Arc`) so a frame clone — e.g. into
+    /// a retransmission window or across a fan-out of mirror links — bumps
+    /// a reference count instead of deep-copying the event.
+    Data(Arc<Event>),
     /// Checkpoint/adaptation control message.
     Control(ControlMsg),
     /// A sequence-numbered envelope around another frame. Sequence numbers
@@ -79,6 +84,14 @@ pub enum Frame {
         /// Next expected incoming sequence number.
         next: u64,
     },
+    /// A batch of application frames transmitted as one unit: a burst of N
+    /// events costs one length-prefixed transport frame (and, over TCP, one
+    /// syscall) instead of N. Only [`Frame::Data`] and [`Frame::Control`]
+    /// may appear inside; a batch may itself be wrapped in a single
+    /// [`Frame::Seq`] envelope, in which case one ack covers the whole
+    /// batch and the resilient layer's exactly-once ordering applies to the
+    /// batch as a unit.
+    Batch(Vec<Frame>),
 }
 
 /// Encode a frame (version + kind + payload) into a fresh buffer.
@@ -86,6 +99,111 @@ pub fn encode_frame(frame: &Frame) -> Bytes {
     let mut buf = BytesMut::with_capacity(64);
     encode_frame_into(frame, &mut buf);
     buf.freeze()
+}
+
+/// Encode a frame once into a shareable buffer.
+///
+/// The returned [`Bytes`] is the encode-once handle of the zero-copy send
+/// path: cloning it is a reference-count bump, so one encoding can be
+/// handed to every outgoing mirror channel (and retained in a
+/// retransmission window) without re-encoding or copying. Transports accept
+/// it directly via [`crate::Transport::send_encoded`].
+///
+/// The byte layout is identical to [`encode_frame`].
+pub fn encode_frame_shared(frame: &Frame) -> Bytes {
+    encode_frame(frame)
+}
+
+/// Build the encoded form of `Frame::Seq { seq, inner }` by prepending the
+/// envelope header to the inner frame's existing encoding.
+///
+/// A Seq envelope embeds its inner frame's encoding verbatim as a suffix,
+/// so a sender that already holds `encode_frame(inner)` (e.g. from the
+/// encode-once fan-out) can build the envelope with one small copy of the
+/// 10-byte header instead of re-encoding the payload.
+pub fn encode_seq_envelope(seq: u64, inner_encoded: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(10 + inner_encoded.len());
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(KIND_SEQ);
+    buf.put_u64_le(seq);
+    buf.put_slice(inner_encoded);
+    buf.freeze()
+}
+
+/// Build the encoded form of `Frame::Batch` from already-encoded member
+/// frames, without re-encoding any of them.
+///
+/// This is the hot path of the batching bridge writer: each member is the
+/// cached [`SharedEvent::encoded`] (or any `encode_frame` output), and the
+/// batch frame is their concatenation behind a count header.
+pub fn encode_batch_from_encoded(parts: &[Bytes]) -> Bytes {
+    let total: usize = parts.iter().map(|p| 4 + p.len()).sum();
+    let mut buf = BytesMut::with_capacity(2 + 4 + total);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(KIND_BATCH);
+    buf.put_u32_le(parts.len() as u32);
+    for p in parts {
+        buf.put_u32_le(p.len() as u32);
+        buf.put_slice(p);
+    }
+    buf.freeze()
+}
+
+/// An event paired with a lazily computed, shared wire encoding.
+///
+/// This is the unit that flows through the runtime's data channels: cloning
+/// it (once per subscriber per publish) costs two reference-count bumps.
+/// The first caller of [`encoded`](Self::encoded) pays the encoding cost;
+/// every other bridge/link reuses the same buffer — encode once, send
+/// everywhere. In-process consumers touch only [`event`](Self::event) and
+/// never pay for an encoding at all.
+#[derive(Clone, Debug)]
+pub struct SharedEvent {
+    event: Arc<Event>,
+    encoded: Arc<OnceLock<Bytes>>,
+}
+
+impl SharedEvent {
+    /// Wrap an event for shared fan-out.
+    pub fn new(event: Arc<Event>) -> Self {
+        SharedEvent { event, encoded: Arc::new(OnceLock::new()) }
+    }
+
+    /// The event itself.
+    pub fn event(&self) -> &Arc<Event> {
+        &self.event
+    }
+
+    /// Unwrap into the shared event, dropping the encoding cache handle.
+    pub fn into_event(self) -> Arc<Event> {
+        self.event
+    }
+
+    /// The event's wire encoding as a [`Frame::Data`] frame, computed once
+    /// across all clones of this `SharedEvent` and shared thereafter.
+    pub fn encoded(&self) -> Bytes {
+        self.encoded
+            .get_or_init(|| encode_frame_shared(&Frame::Data(Arc::clone(&self.event))))
+            .clone()
+    }
+}
+
+impl From<Event> for SharedEvent {
+    fn from(e: Event) -> Self {
+        SharedEvent::new(Arc::new(e))
+    }
+}
+
+impl From<Arc<Event>> for SharedEvent {
+    fn from(e: Arc<Event>) -> Self {
+        SharedEvent::new(e)
+    }
+}
+
+impl PartialEq for SharedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.event == other.event
+    }
 }
 
 fn encode_frame_into(frame: &Frame, buf: &mut BytesMut) {
@@ -112,6 +230,16 @@ fn encode_frame_into(frame: &Frame, buf: &mut BytesMut) {
             buf.put_u8(KIND_HELLO);
             buf.put_u64_le(*next);
         }
+        Frame::Batch(frames) => {
+            buf.put_u8(KIND_BATCH);
+            buf.put_u32_le(frames.len() as u32);
+            for f in frames {
+                let mut inner = BytesMut::with_capacity(64);
+                encode_frame_into(f, &mut inner);
+                buf.put_u32_le(inner.len() as u32);
+                buf.put_slice(&inner);
+            }
+        }
     }
 }
 
@@ -129,7 +257,7 @@ fn decode_frame_at(mut buf: Bytes, depth: u8) -> Result<Frame, WireError> {
         return Err(WireError::BadVersion(version));
     }
     match buf.get_u8() {
-        KIND_DATA => Ok(Frame::Data(decode_event(&mut buf)?)),
+        KIND_DATA => Ok(Frame::Data(Arc::new(decode_event(&mut buf)?))),
         KIND_CONTROL => Ok(Frame::Control(decode_control(&mut buf)?)),
         // A Seq envelope may not carry another Seq envelope: one level of
         // nesting is all the protocol produces, and the cap keeps a corrupt
@@ -140,13 +268,30 @@ fn decode_frame_at(mut buf: Bytes, depth: u8) -> Result<Frame, WireError> {
             let inner = decode_frame_at(buf, depth + 1)?;
             Ok(Frame::Seq { seq, inner: Box::new(inner) })
         }
-        KIND_ACK => {
+        KIND_ACK if depth < 2 => {
             need(&buf, 8)?;
             Ok(Frame::Ack { cum: buf.get_u64_le() })
         }
-        KIND_HELLO => {
+        KIND_HELLO if depth < 2 => {
             need(&buf, 8)?;
             Ok(Frame::Hello { next: buf.get_u64_le() })
+        }
+        // A batch may stand alone or sit inside one Seq envelope; its
+        // members (decoded at depth 2) may only be Data/Control frames —
+        // no nested batches, no reliability frames smuggled inside.
+        KIND_BATCH if depth <= 1 => {
+            need(&buf, 4)?;
+            let count = buf.get_u32_le() as usize;
+            let mut frames = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                need(&buf, 4)?;
+                let len = buf.get_u32_le() as usize;
+                need(&buf, len)?;
+                let part = buf.slice(..len);
+                buf.advance(len);
+                frames.push(decode_frame_at(part, 2)?);
+            }
+            Ok(Frame::Batch(frames))
         }
         t => Err(WireError::BadTag(t)),
     }
@@ -238,9 +383,10 @@ pub fn decode_event(buf: &mut Bytes) -> Result<Event, WireError> {
             need(buf, 4)?;
             let n = buf.get_u32_le() as usize;
             need(buf, n)?;
-            let mut v = vec![0u8; n];
-            buf.copy_to_slice(&mut v);
-            EventBody::Opaque(v)
+            // Zero-copy: the payload is a slice of the receive buffer.
+            let b = buf.slice(..n);
+            buf.advance(n);
+            EventBody::Opaque(b)
         }
         6 => {
             need(buf, 8)?;
@@ -477,9 +623,9 @@ mod tests {
     #[test]
     fn event_roundtrip() {
         let e = stamped_event();
-        let bytes = encode_frame(&Frame::Data(e.clone()));
+        let bytes = encode_frame(&Frame::Data(Arc::new(e.clone())));
         match decode_frame(bytes).unwrap() {
-            Frame::Data(d) => assert_eq!(d, e),
+            Frame::Data(d) => assert_eq!(*d, e),
             f => panic!("wrong frame {f:?}"),
         }
     }
@@ -507,14 +653,14 @@ mod tests {
             EventBody::Boarding { boarded: 7, expected: 180 },
             EventBody::Derived { status: FlightStatus::Arrived, collapsed: 3 },
             EventBody::Coalesced { last: fix(), count: 10 },
-            EventBody::Opaque(vec![1, 2, 3, 4, 5]),
+            EventBody::Opaque(vec![1u8, 2, 3, 4, 5].into()),
             EventBody::Baggage { loaded: 96, reconciled: 95 },
         ];
         for body in bodies {
             let mut e = Event::new(1, 9, 77, body);
             e.stamp.advance(1, 9);
-            let bytes = encode_frame(&Frame::Data(e.clone()));
-            assert_eq!(decode_frame(bytes).unwrap(), Frame::Data(e));
+            let bytes = encode_frame(&Frame::Data(Arc::new(e.clone())));
+            assert_eq!(decode_frame(bytes).unwrap(), Frame::Data(Arc::new(e)));
         }
     }
 
@@ -568,7 +714,7 @@ mod tests {
     #[test]
     fn truncated_frames_error() {
         let e = stamped_event();
-        let bytes = encode_frame(&Frame::Data(e));
+        let bytes = encode_frame(&Frame::Data(Arc::new(e)));
         for cut in [0, 1, 2, 5, 10, bytes.len() - 1] {
             let res = decode_frame(bytes.slice(..cut));
             assert!(res.is_err(), "cut at {cut} should fail");
@@ -591,7 +737,7 @@ mod tests {
     #[test]
     fn seq_ack_hello_roundtrip() {
         let frames = vec![
-            Frame::Seq { seq: 1, inner: Box::new(Frame::Data(stamped_event())) },
+            Frame::Seq { seq: 1, inner: Box::new(Frame::Data(Arc::new(stamped_event()))) },
             Frame::Seq {
                 seq: u64::MAX,
                 inner: Box::new(Frame::Control(ControlMsg::Chkpt {
@@ -620,11 +766,73 @@ mod tests {
 
     #[test]
     fn truncated_seq_envelope_errors() {
-        let f = Frame::Seq { seq: 9, inner: Box::new(Frame::Data(stamped_event())) };
+        let f = Frame::Seq { seq: 9, inner: Box::new(Frame::Data(Arc::new(stamped_event()))) };
         let bytes = encode_frame(&f);
         for cut in [2, 5, 9, 10, 11, bytes.len() - 1] {
             assert!(decode_frame(bytes.slice(..cut)).is_err(), "cut at {cut} should fail");
         }
+    }
+
+    #[test]
+    fn batch_roundtrip_bare_and_in_seq_envelope() {
+        let members = vec![
+            Frame::Data(Arc::new(stamped_event())),
+            Frame::Control(ControlMsg::Chkpt {
+                round: 1,
+                stamp: VectorTimestamp::from_components(vec![3, 4]),
+            }),
+            Frame::Data(Arc::new(Event::delta_status(2, 8, FlightStatus::Landed))),
+        ];
+        let batch = Frame::Batch(members);
+        assert_eq!(decode_frame(encode_frame(&batch)).unwrap(), batch);
+        let env = Frame::Seq { seq: 77, inner: Box::new(batch) };
+        assert_eq!(decode_frame(encode_frame(&env)).unwrap(), env);
+    }
+
+    #[test]
+    fn batch_rejects_nested_batch_and_protocol_members() {
+        let nested = Frame::Batch(vec![Frame::Batch(vec![])]);
+        assert_eq!(decode_frame(encode_frame(&nested)), Err(WireError::BadTag(KIND_BATCH)));
+        for bad in [
+            Frame::Ack { cum: 3 },
+            Frame::Hello { next: 9 },
+            Frame::Seq { seq: 1, inner: Box::new(Frame::Ack { cum: 0 }) },
+        ] {
+            let tag = match &bad {
+                Frame::Ack { .. } => KIND_ACK,
+                Frame::Hello { .. } => KIND_HELLO,
+                _ => KIND_SEQ,
+            };
+            let batch = Frame::Batch(vec![bad]);
+            assert_eq!(decode_frame(encode_frame(&batch)), Err(WireError::BadTag(tag)));
+        }
+    }
+
+    #[test]
+    fn batch_from_encoded_matches_frame_encoding() {
+        let frames =
+            vec![Frame::Data(Arc::new(stamped_event())), Frame::Data(Arc::new(stamped_event()))];
+        let parts: Vec<Bytes> = frames.iter().map(encode_frame_shared).collect();
+        assert_eq!(encode_batch_from_encoded(&parts), encode_frame(&Frame::Batch(frames)));
+    }
+
+    #[test]
+    fn seq_envelope_helper_matches_frame_encoding() {
+        let inner = Frame::Data(Arc::new(stamped_event()));
+        let encoded = encode_frame_shared(&inner);
+        let expect = encode_frame(&Frame::Seq { seq: 99, inner: Box::new(inner) });
+        assert_eq!(encode_seq_envelope(99, &encoded), expect);
+    }
+
+    #[test]
+    fn shared_event_encodes_once_and_compares_by_event() {
+        let e = stamped_event();
+        let shared = SharedEvent::from(e.clone());
+        let first = shared.encoded();
+        let again = shared.clone().encoded();
+        assert_eq!(first, again);
+        assert_eq!(first, encode_frame(&Frame::Data(Arc::new(e.clone()))));
+        assert_eq!(shared, SharedEvent::from(e));
     }
 
     #[test]

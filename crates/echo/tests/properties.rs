@@ -24,7 +24,7 @@ use mirror_echo::wire::{decode_frame, encode_frame, Frame, WIRE_VERSION};
 use mirror_echo::{TcpTransport, Transport};
 
 fn data(seq: u64) -> Frame {
-    Frame::Data(Event::delta_status(seq, (seq % 40) as u32, FlightStatus::Boarding))
+    Frame::Data(Arc::new(Event::delta_status(seq, (seq % 40) as u32, FlightStatus::Boarding)))
 }
 
 /// Write `bytes` to a fresh loopback connection in `chunk`-sized pieces
@@ -71,6 +71,31 @@ proptest! {
         for f in frames {
             prop_assert_eq!(decode_frame(encode_frame(&f)), Ok(f));
         }
+    }
+
+    /// Batches of any size (including empty) roundtrip bit-exactly, bare
+    /// and inside the one permitted Seq envelope, and their encoding obeys
+    /// the MAX_FRAME bound for any size the event path can produce.
+    #[test]
+    fn batch_frames_roundtrip(
+        seqs in prop::collection::vec(1u64..10_000, 0..48),
+        seq in any::<u64>(),
+    ) {
+        let batch = Frame::Batch(seqs.iter().map(|&s| data(s)).collect());
+        let encoded = encode_frame(&batch);
+        prop_assert!(encoded.len() <= MAX_FRAME as usize);
+        prop_assert_eq!(decode_frame(encoded), Ok(batch.clone()));
+        let env = Frame::Seq { seq, inner: Box::new(batch) };
+        prop_assert_eq!(decode_frame(encode_frame(&env)), Ok(env));
+    }
+
+    /// The decoder's nesting-depth limit: a batch inside a batch (however
+    /// the inner one is shaped) never decodes, it errors.
+    #[test]
+    fn nested_batches_are_rejected(seqs in prop::collection::vec(1u64..10_000, 0..8)) {
+        let inner = Frame::Batch(seqs.iter().map(|&s| data(s)).collect());
+        let nested = Frame::Batch(vec![data(1), inner]);
+        prop_assert!(decode_frame(encode_frame(&nested)).is_err());
     }
 }
 

@@ -1,5 +1,7 @@
 //! Messages exchanged between simulated cluster nodes.
 
+use std::sync::Arc;
+
 use mirror_core::event::Event;
 use mirror_core::ControlMsg;
 use mirror_workload::requests::Request;
@@ -10,8 +12,10 @@ pub enum Payload {
     /// An update event arriving from the wide-area collection
     /// infrastructure (delivered to the central site only).
     Source(Event),
-    /// A mirrored event on a central→mirror data channel.
-    MirrorData(Event),
+    /// A mirrored event on a central→mirror data channel. Shared with the
+    /// sender's backup queue and every other mirror's copy: the simulated
+    /// fan-out, like the real one, is a reference-count bump per link.
+    MirrorData(Arc<Event>),
     /// A checkpoint/adaptation message on a control channel.
     Control(ControlMsg),
     /// A client's initial-state request arriving at a site.
@@ -44,7 +48,8 @@ impl Payload {
     /// should match the payload; sites usually pass explicit sizes).
     pub fn nominal_bytes(&self) -> usize {
         match self {
-            Payload::Source(e) | Payload::MirrorData(e) => e.wire_size(),
+            Payload::Source(e) => e.wire_size(),
+            Payload::MirrorData(e) => e.wire_size(),
             Payload::Control(c) => c.wire_size(),
             Payload::Request(_) => 64,
             Payload::ServeNext | Payload::Flush => 0,
@@ -62,7 +67,7 @@ mod tests {
     fn nominal_bytes_match_event_wire_size() {
         let e = Event::delta_status(1, 2, FlightStatus::Landed).with_total_size(512);
         assert_eq!(Payload::Source(e.clone()).nominal_bytes(), 512);
-        assert_eq!(Payload::MirrorData(e).nominal_bytes(), 512);
+        assert_eq!(Payload::MirrorData(Arc::new(e)).nominal_bytes(), 512);
         assert_eq!(Payload::Flush.nominal_bytes(), 0);
         assert_eq!(Payload::Snapshot { request_id: 1, issued_us: 0, bytes: 9 }.nominal_bytes(), 9);
     }

@@ -10,6 +10,7 @@
 //! request latencies.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use mirror_core::adapt::MonitorReport;
 use mirror_core::aux_unit::{AuxAction, AuxInput, AuxUnit, SiteId, CENTRAL_SITE};
@@ -165,14 +166,14 @@ impl SiteProcess {
 
     /// Run the EDE over one event; record update delays and emit client
     /// updates (central only).
-    fn run_ede(&mut self, ev: Event, now: SimTime, cpu: &mut SimTime, step: &mut Step<Payload>) {
+    fn run_ede(&mut self, ev: &Event, now: SimTime, cpu: &mut SimTime, step: &mut Step<Payload>) {
         self.events_seen += 1;
         self.avg_event_bytes +=
             (ev.wire_size() as f64 - self.avg_event_bytes) / self.events_seen as f64;
         *cpu += self.cost.ede_cost(ev.wire_size());
         self.main.record_processed(&ev.stamp);
         self.metrics.events_processed += 1;
-        let out = self.ede.process(&ev);
+        let out = self.ede.process(ev);
         if self.site == CENTRAL_SITE {
             for u in out.client_updates {
                 let done = now + *cpu;
@@ -222,12 +223,14 @@ impl SiteProcess {
                             step.sends.push(mirror_sim::engine::Send {
                                 to: mn,
                                 bytes,
-                                payload: Payload::MirrorData(ev.clone()),
+                                // Arc clone: all mirror copies (and the
+                                // backup-queue copy) share one allocation.
+                                payload: Payload::MirrorData(Arc::clone(&ev)),
                             });
                         }
                     }
                     AuxAction::ForwardToMain(ev) => {
-                        self.run_ede(ev, now, cpu, step);
+                        self.run_ede(&ev, now, cpu, step);
                     }
                     AuxAction::ControlToMirrors(m) => {
                         *cpu += self.cost.ctrl_msg_us;
@@ -299,10 +302,10 @@ impl SimProcess<Payload> for SiteProcess {
                 debug_assert_eq!(self.site, CENTRAL_SITE, "sources feed the central site");
                 cpu += self.cost.recv_cost(e.wire_size(), self.aux.rules().rules().len());
                 if self.mirroring {
-                    self.drive_aux(AuxInput::Data(e), now, &mut cpu, &mut step);
+                    self.drive_aux(AuxInput::Data(e.into()), now, &mut cpu, &mut step);
                 } else {
                     // No-mirroring baseline: straight to the EDE.
-                    self.run_ede(e, now, &mut cpu, &mut step);
+                    self.run_ede(&e, now, &mut cpu, &mut step);
                 }
             }
             Payload::MirrorData(e) => {

@@ -11,22 +11,88 @@
 //!   control broadcasts;
 //! * **uplink** (mirror → central): CHKPT_REP replies.
 //!
+//! # Data path: encode once, batch, one syscall per burst
+//!
+//! The downlink writer is the hot edge of the whole system, so it runs the
+//! zero-copy fan-out discipline end-to-end:
+//!
+//! * the data channel carries [`SharedEvent`]s — a publish clones two
+//!   `Arc`s per subscriber, never the event payload;
+//! * each writer asks the `SharedEvent` for its wire encoding, which is
+//!   computed **once** across every bridge attached to the cluster (the
+//!   first writer to ask pays; all others reuse the same buffer);
+//! * frames are packed into a [`Frame::Batch`] under a [`BatchPolicy`]
+//!   (max-events / max-bytes / max-delay) built from the already-encoded
+//!   member buffers ([`encode_batch_from_encoded`] — no re-encoding), and
+//!   handed to [`Transport::send_encoded`], so a burst of *N* events costs
+//!   one length-prefixed transport frame and (over TCP) one vectored
+//!   syscall instead of *N*.
+//!
+//! Batches compose with the resilient layer: a
+//! [`ResilientTransport`](mirror_echo::ResilientTransport) wraps the whole
+//! batch in a single `Frame::Seq` envelope (one small header prepended to
+//! the shared encoding), one ack covers the batch, and retransmission
+//! replays the stored bytes — the batch is the exactly-once unit.
+//!
 //! Shutdown cascades naturally: when one side's publishers drop, its pump
 //! threads end, the transport reaches EOF, and the remote side unwinds.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, RecvTimeoutError, Sender};
+use bytes::Bytes;
+use crossbeam::channel::{self, RecvTimeoutError, Sender, TryRecvError};
 
-use mirror_core::event::Event;
 use mirror_core::ControlMsg;
 use mirror_echo::channel::{EventChannel, Publisher, RecvStatus, Subscriber};
-use mirror_echo::wire::Frame;
+use mirror_echo::wire::{encode_batch_from_encoded, encode_frame_shared, Frame, SharedEvent};
 use mirror_echo::Transport;
 
 const POLL: Duration = Duration::from_millis(20);
+
+/// Flush policy of the batching bridge writer: how long and how large a
+/// [`Frame::Batch`] may grow before it must go to the wire.
+///
+/// The writer flushes as soon as **any** bound is hit; an isolated frame
+/// (nothing else arrives within `max_delay`) is sent bare, so a quiet
+/// stream pays no batching latency beyond the linger and a bursty stream
+/// amortizes its syscalls. These are deployment knobs in the same spirit
+/// as [`mirror_core::params::MirrorParams`] — but where `MirrorParams`
+/// tunes *what* is mirrored (coalescing, overwriting, checkpoint cadence)
+/// and adapts at runtime, `BatchPolicy` tunes *how* the surviving frames
+/// ride the wire and is fixed per bridge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum member frames per batch. `1` disables batching entirely
+    /// (every frame is sent bare — the pre-batching behaviour).
+    pub max_events: usize,
+    /// Maximum accumulated encoded payload bytes per batch. The writer
+    /// stops adding members once the running total reaches this bound, so
+    /// a batch never exceeds it by more than one frame. Keep well under
+    /// [`mirror_echo::transport::MAX_FRAME`].
+    pub max_bytes: usize,
+    /// How long the writer lingers for further traffic after the first
+    /// frame of a batch arrives before flushing what it has.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        // 64 × 8 KiB events still sits far below MAX_FRAME; half a
+        // millisecond of linger is invisible next to checkpoint cadence
+        // but spans a burst at any realistic source rate.
+        BatchPolicy { max_events: 64, max_bytes: 512 * 1024, max_delay: Duration::from_micros(500) }
+    }
+}
+
+impl BatchPolicy {
+    /// One frame per transport send — the pre-batching data path, kept
+    /// for comparison benchmarks and latency-critical deployments.
+    pub fn unbatched() -> Self {
+        BatchPolicy { max_events: 1, max_bytes: usize::MAX, max_delay: Duration::ZERO }
+    }
+}
 
 /// Handle holding a bridge's threads; joining waits for the cascade to
 /// finish.
@@ -56,11 +122,30 @@ impl BridgeHandle {
     }
 }
 
+/// A frame queued for a bridge writer, kept in its channel form so the
+/// writer can reuse cached encodings instead of re-encoding.
+enum OutMsg {
+    Data(SharedEvent),
+    Ctrl(ControlMsg),
+}
+
+impl OutMsg {
+    /// The wire encoding of this message's frame. For data events this is
+    /// the [`SharedEvent`] cache — computed once across every bridge and
+    /// retained window that touches the event.
+    fn encoded(&self) -> Bytes {
+        match self {
+            OutMsg::Data(e) => e.encoded(),
+            OutMsg::Ctrl(m) => encode_frame_shared(&Frame::Control(m.clone())),
+        }
+    }
+}
+
 fn pump_sub<T: Send + 'static>(
     sub: Subscriber<T>,
     stop: Arc<AtomicBool>,
-    tx: Sender<Frame>,
-    wrap: impl Fn(T) -> Frame + Send + 'static,
+    tx: Sender<OutMsg>,
+    wrap: impl Fn(T) -> OutMsg + Send + 'static,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || loop {
         if stop.load(Ordering::SeqCst) {
@@ -85,63 +170,136 @@ fn pump_sub<T: Send + 'static>(
     })
 }
 
+/// The batching writer: drain the writer channel greedily under the flush
+/// policy, pack bursts into one [`Frame::Batch`] built from the members'
+/// cached encodings, and move it to the wire with a single
+/// [`Transport::send_encoded`].
 fn writer(
     mut transport: Box<dyn Transport>,
-    rx: channel::Receiver<Frame>,
+    rx: channel::Receiver<OutMsg>,
+    policy: BatchPolicy,
 ) -> std::thread::JoinHandle<()> {
-    std::thread::spawn(move || loop {
-        match rx.recv_timeout(POLL) {
-            Ok(frame) => {
-                if transport.send(&frame).is_err() {
-                    break;
+    std::thread::spawn(move || {
+        let mut parts: Vec<Bytes> = Vec::with_capacity(policy.max_events.min(1024));
+        'outer: loop {
+            let first = match rx.recv_timeout(POLL) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    // Idle tick: a resilient transport services its acks
+                    // and retransmit requests here when no app traffic
+                    // flows. The writer direction carries no inbound
+                    // application frames, so anything surfaced is
+                    // discarded.
+                    let _ = transport.recv_timeout(Duration::from_millis(1));
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
+            parts.clear();
+            let mut total = 0usize;
+            let enc = first.encoded();
+            total += enc.len();
+            parts.push(enc);
+            // Linger up to max_delay for companions, but never past the
+            // size bounds: flush on whichever limit is hit first.
+            let deadline = Instant::now() + policy.max_delay;
+            while parts.len() < policy.max_events && total < policy.max_bytes {
+                let next = match rx.try_recv() {
+                    Ok(m) => Some(m),
+                    Err(TryRecvError::Empty) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            None
+                        } else {
+                            rx.recv_timeout(deadline - now).ok()
+                        }
+                    }
+                    Err(TryRecvError::Disconnected) => None,
+                };
+                match next {
+                    Some(m) => {
+                        let enc = m.encoded();
+                        total += enc.len();
+                        parts.push(enc);
+                    }
+                    None => break,
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {
-                // Idle tick: a resilient transport services its acks and
-                // retransmit requests here when no app traffic flows. The
-                // writer direction carries no inbound application frames,
-                // so anything surfaced is discarded.
-                let _ = transport.recv_timeout(Duration::from_millis(1));
+            let sent = if parts.len() == 1 {
+                // An isolated frame travels bare: no batch framing cost,
+                // and plain (non-batch-aware) peers keep working.
+                transport.send_encoded(&parts[0])
+            } else {
+                transport.send_encoded(&encode_batch_from_encoded(&parts))
+            };
+            if sent.is_err() {
+                break 'outer;
             }
-            Err(RecvTimeoutError::Disconnected) => break,
         }
     })
 }
 
-/// Strip reliability envelopes: a [`Frame::Seq`] yields its payload,
-/// protocol-only frames (acks, hellos) yield `None`. Bridges normally run
-/// over [`mirror_echo::ResilientTransport`], which consumes these
-/// internally — this guard keeps a mixed (resilient-to-plain) deployment
-/// from misrouting protocol frames into application channels.
-fn app_frame(frame: Frame) -> Option<Frame> {
+/// Strip reliability envelopes and fan out application frames: a
+/// [`Frame::Seq`] yields its payload, a [`Frame::Batch`] yields each
+/// member in order, protocol-only frames (acks, hellos) yield nothing.
+/// Bridges normally run over [`mirror_echo::ResilientTransport`], which
+/// consumes protocol frames internally — this guard keeps a mixed
+/// (resilient-to-plain) deployment from misrouting them into application
+/// channels.
+fn for_each_app_frame(frame: Frame, sink: &mut impl FnMut(Frame)) {
     match frame {
-        Frame::Seq { inner, .. } => app_frame(*inner),
-        Frame::Ack { .. } | Frame::Hello { .. } => None,
-        f => Some(f),
+        Frame::Seq { inner, .. } => for_each_app_frame(*inner, sink),
+        Frame::Batch(members) => {
+            for m in members {
+                // Members are Data/Control by wire-format construction;
+                // recursing keeps that invariant even for hand-built
+                // frames.
+                for_each_app_frame(m, sink);
+            }
+        }
+        Frame::Ack { .. } | Frame::Hello { .. } => {}
+        f => sink(f),
     }
 }
 
 /// Central-side endpoint: ship the cluster's data + control downlinks to a
 /// remote mirror and feed its replies back into the control uplink.
+///
+/// Uses the default [`BatchPolicy`]; see [`central_endpoint_with`] to tune
+/// or disable batching.
 pub fn central_endpoint(
-    data: &EventChannel<Event>,
+    data: &EventChannel<SharedEvent>,
+    ctrl_down: &EventChannel<ControlMsg>,
+    ctrl_up_pub: Publisher<ControlMsg>,
+    down: Box<dyn Transport>,
+    up: Box<dyn Transport>,
+) -> BridgeHandle {
+    central_endpoint_with(data, ctrl_down, ctrl_up_pub, down, up, BatchPolicy::default())
+}
+
+/// [`central_endpoint`] with an explicit downlink flush policy.
+pub fn central_endpoint_with(
+    data: &EventChannel<SharedEvent>,
     ctrl_down: &EventChannel<ControlMsg>,
     ctrl_up_pub: Publisher<ControlMsg>,
     down: Box<dyn Transport>,
     mut up: Box<dyn Transport>,
+    policy: BatchPolicy,
 ) -> BridgeHandle {
     let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = channel::unbounded::<Frame>();
+    let (tx, rx) = channel::unbounded::<OutMsg>();
     let mut threads = vec![
-        pump_sub(data.subscribe(), Arc::clone(&stop), tx.clone(), Frame::Data),
-        pump_sub(ctrl_down.subscribe(), Arc::clone(&stop), tx, Frame::Control),
-        writer(down, rx),
+        pump_sub(data.subscribe(), Arc::clone(&stop), tx.clone(), OutMsg::Data),
+        pump_sub(ctrl_down.subscribe(), Arc::clone(&stop), tx, OutMsg::Ctrl),
+        writer(down, rx, policy),
     ];
     threads.push(std::thread::spawn(move || {
         while let Ok(Some(frame)) = up.recv() {
-            if let Some(Frame::Control(m)) = app_frame(frame) {
-                ctrl_up_pub.publish(m);
-            }
+            for_each_app_frame(frame, &mut |f| {
+                if let Frame::Control(m) = f {
+                    ctrl_up_pub.publish(m);
+                }
+            });
         }
     }));
     BridgeHandle { stop, threads }
@@ -156,9 +314,27 @@ pub fn central_endpoint(
 /// a [`crate::site::MirrorSite`] — cannot miss early frames (a channel
 /// subscriber only sees messages published after it subscribes).
 pub fn mirror_endpoint<R>(
+    down: Box<dyn Transport>,
+    up: Box<dyn Transport>,
+    setup: impl FnOnce(
+        &EventChannel<SharedEvent>,
+        &EventChannel<ControlMsg>,
+        &EventChannel<ControlMsg>,
+    ) -> R,
+) -> (R, BridgeHandle) {
+    mirror_endpoint_with(down, up, BatchPolicy::default(), setup)
+}
+
+/// [`mirror_endpoint`] with an explicit uplink flush policy.
+pub fn mirror_endpoint_with<R>(
     mut down: Box<dyn Transport>,
     up: Box<dyn Transport>,
-    setup: impl FnOnce(&EventChannel<Event>, &EventChannel<ControlMsg>, &EventChannel<ControlMsg>) -> R,
+    policy: BatchPolicy,
+    setup: impl FnOnce(
+        &EventChannel<SharedEvent>,
+        &EventChannel<ControlMsg>,
+        &EventChannel<ControlMsg>,
+    ) -> R,
 ) -> (R, BridgeHandle) {
     let data = EventChannel::new("bridge.data");
     let ctrl_down = EventChannel::new("bridge.ctrl.down");
@@ -172,20 +348,20 @@ pub fn mirror_endpoint<R>(
     let ctrl_down_pub = ctrl_down.publisher();
     let mut threads = vec![std::thread::spawn(move || {
         while let Ok(Some(frame)) = down.recv() {
-            match app_frame(frame) {
-                Some(Frame::Data(e)) => {
-                    data_pub.publish(e);
+            for_each_app_frame(frame, &mut |f| match f {
+                Frame::Data(e) => {
+                    data_pub.publish(SharedEvent::new(e));
                 }
-                Some(Frame::Control(m)) => {
+                Frame::Control(m) => {
                     ctrl_down_pub.publish(m);
                 }
                 _ => {}
-            }
+            });
         }
     })];
-    let (tx, rx) = channel::unbounded::<Frame>();
-    threads.push(pump_sub(ctrl_up.subscribe(), Arc::clone(&stop), tx, Frame::Control));
-    threads.push(writer(up, rx));
+    let (tx, rx) = channel::unbounded::<OutMsg>();
+    threads.push(pump_sub(ctrl_up.subscribe(), Arc::clone(&stop), tx, OutMsg::Ctrl));
+    threads.push(writer(up, rx, policy));
 
     (out, BridgeHandle { stop, threads })
 }
@@ -196,15 +372,14 @@ mod tests {
     use crate::clock::RuntimeClock;
     use crate::site::MirrorSite;
     use mirror_core::api::{MirrorConfig, MirrorHandle};
-    use mirror_core::event::PositionFix;
+    use mirror_core::event::{Event, PositionFix};
     use mirror_echo::transport::InProcTransport;
 
     fn fix() -> PositionFix {
         PositionFix { lat: 0.0, lon: 0.0, alt_ft: 1.0, speed_kts: 1.0, heading_deg: 0.0 }
     }
 
-    #[test]
-    fn bridged_mirror_receives_data_and_replies() {
+    fn run_bridged_roundtrip(policy: BatchPolicy) {
         // "Remote" side channels come from the bridge; local side owns the
         // cluster channels.
         let data = EventChannel::new("t.data");
@@ -214,12 +389,13 @@ mod tests {
         let (down_a, down_b) = InProcTransport::pair("down");
         let (up_a, up_b) = InProcTransport::pair("up");
 
-        let central_bridge = central_endpoint(
+        let central_bridge = central_endpoint_with(
             &data,
             &ctrl_down,
             ctrl_up.publisher(),
             Box::new(down_a),
             Box::new(up_b),
+            policy,
         );
         let (mut mirror, mirror_bridge) =
             mirror_endpoint(Box::new(down_b), Box::new(up_a), |data, ctrl_down, ctrl_up| {
@@ -238,7 +414,7 @@ mod tests {
         for seq in 1..=20u64 {
             let mut e = Event::faa_position(seq, 3, fix());
             e.stamp.advance(0, seq);
-            data_pub.publish(e);
+            data_pub.publish(e.into());
         }
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while mirror.processed() < 20 && std::time::Instant::now() < deadline {
@@ -263,5 +439,99 @@ mod tests {
         mirror.stop();
         central_bridge.join();
         mirror_bridge.join();
+    }
+
+    #[test]
+    fn bridged_mirror_receives_data_and_replies() {
+        run_bridged_roundtrip(BatchPolicy::default());
+    }
+
+    #[test]
+    fn bridged_mirror_works_unbatched() {
+        run_bridged_roundtrip(BatchPolicy::unbatched());
+    }
+
+    #[test]
+    fn bridged_mirror_works_with_aggressive_batching() {
+        // Force nearly everything into batches: tiny byte bound off, long
+        // linger, deep batches.
+        run_bridged_roundtrip(BatchPolicy {
+            max_events: 256,
+            max_bytes: 1 << 20,
+            max_delay: Duration::from_millis(10),
+        });
+    }
+
+    /// The writer really does pack bursts into `Frame::Batch` frames and
+    /// preserves order through mixed data/control traffic.
+    #[test]
+    fn writer_packs_bursts_into_batches() {
+        let (tx_t, mut rx_t) = InProcTransport::pair("w");
+        let (tx, rx) = channel::unbounded::<OutMsg>();
+        // Long linger so the whole pre-queued burst lands in one batch.
+        let policy = BatchPolicy {
+            max_events: 8,
+            max_bytes: 1 << 20,
+            max_delay: Duration::from_millis(200),
+        };
+        for seq in 1..=20u64 {
+            let e = Event::faa_position(seq, 1, fix());
+            tx.send(OutMsg::Data(SharedEvent::from(e))).unwrap();
+        }
+        drop(tx);
+        let w = writer(Box::new(tx_t), rx, policy);
+
+        let mut seqs = Vec::new();
+        let mut batches = 0usize;
+        while seqs.len() < 20 {
+            match rx_t.recv().unwrap() {
+                Some(Frame::Batch(members)) => {
+                    assert!(members.len() <= 8, "max_events bound");
+                    batches += 1;
+                    for m in members {
+                        match m {
+                            Frame::Data(e) => seqs.push(e.seq),
+                            other => panic!("unexpected member {other:?}"),
+                        }
+                    }
+                }
+                Some(Frame::Data(e)) => seqs.push(e.seq),
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert!(seqs.iter().copied().eq(1..=20), "order preserved: {seqs:?}");
+        assert!(batches >= 2, "a 20-event burst with max_events=8 needs ≥3 sends");
+        w.join().unwrap();
+    }
+
+    /// max_bytes flushes a batch before max_events is reached.
+    #[test]
+    fn writer_respects_byte_bound() {
+        let (tx_t, mut rx_t) = InProcTransport::pair("wb");
+        let (tx, rx) = channel::unbounded::<OutMsg>();
+        let policy = BatchPolicy {
+            max_events: 1000,
+            // Two 1 KiB events cross this bound, so batches hold ≤2.
+            max_bytes: 1500,
+            max_delay: Duration::from_millis(200),
+        };
+        for seq in 1..=6u64 {
+            let e = Event::faa_position(seq, 1, fix()).with_total_size(1024);
+            tx.send(OutMsg::Data(SharedEvent::from(e))).unwrap();
+        }
+        drop(tx);
+        let w = writer(Box::new(tx_t), rx, policy);
+        let mut got = 0;
+        while got < 6 {
+            match rx_t.recv().unwrap() {
+                Some(Frame::Batch(members)) => {
+                    assert!(members.len() <= 2, "byte bound must cap batch size");
+                    got += members.len();
+                }
+                Some(Frame::Data(_)) => got += 1,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        w.join().unwrap();
     }
 }

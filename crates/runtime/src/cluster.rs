@@ -15,6 +15,7 @@ use mirror_core::mirrorfn::MirrorFnKind;
 use mirror_core::ControlMsg;
 use mirror_echo::channel::{EventChannel, Subscriber};
 use mirror_echo::resilient::{LinkHealth, LinkMonitor};
+use mirror_echo::wire::SharedEvent;
 use mirror_ede::Snapshot;
 
 use crate::clock::RuntimeClock;
@@ -77,8 +78,11 @@ pub struct Cluster {
     mirrors: Vec<MirrorSite>,
     /// Mirror site ids retired by promotion (kept for index stability).
     retired: Vec<SiteId>,
-    /// Kept so late mirror processes (e.g. over a bridge) can join.
-    data: EventChannel<Event>,
+    /// Kept so late mirror processes (e.g. over a bridge) can join. The
+    /// data channel carries [`SharedEvent`]s: one publish per mirrored
+    /// event, one `Arc` clone per subscriber, one wire encoding across
+    /// every attached bridge.
+    data: EventChannel<SharedEvent>,
     ctrl_down: EventChannel<ControlMsg>,
     ctrl_up: EventChannel<ControlMsg>,
 }
@@ -139,7 +143,7 @@ impl Cluster {
     /// The intra-cluster channels (for attaching bridged remote mirrors).
     pub fn channels(
         &self,
-    ) -> (&EventChannel<Event>, &EventChannel<ControlMsg>, &EventChannel<ControlMsg>) {
+    ) -> (&EventChannel<SharedEvent>, &EventChannel<ControlMsg>, &EventChannel<ControlMsg>) {
         (&self.data, &self.ctrl_down, &self.ctrl_up)
     }
 
@@ -258,7 +262,9 @@ impl Cluster {
         let n = events.len();
         let data_pub = self.data.publisher();
         for (_, e) in events {
-            data_pub.publish(e);
+            // Replays share the backup queue's allocation (Arc), like the
+            // original sends did.
+            data_pub.publish(SharedEvent::new(e));
         }
         n
     }

@@ -28,6 +28,7 @@ use mirror_core::timestamp::VectorTimestamp;
 use mirror_core::ControlMsg;
 use mirror_echo::channel::{EventChannel, Publisher, Subscriber};
 use mirror_echo::resilient::{LinkEvent, LinkHealth, LinkMonitor};
+use mirror_echo::wire::SharedEvent;
 use mirror_ede::{Ede, OperationalState, Snapshot};
 
 use crate::clock::RuntimeClock;
@@ -39,8 +40,10 @@ const FLUSH_PERIOD: Duration = Duration::from_millis(20);
 #[derive(Debug)]
 pub(crate) enum SiteMsg {
     /// A data event (source ingest at the central site, mirrored event at a
-    /// mirror site).
-    Data(Event),
+    /// mirror site). Shared: the zero-copy fan-out hands the same
+    /// allocation to the aux unit, the backup queue, and every outgoing
+    /// channel.
+    Data(Arc<Event>),
     /// A control-channel message.
     Ctrl(ControlMsg),
     /// Stop the site.
@@ -50,7 +53,7 @@ pub(crate) enum SiteMsg {
 /// A message for a site's main (EDE) thread.
 #[derive(Debug)]
 enum MainMsg {
-    Event(Event),
+    Event(Arc<Event>),
     Ctrl(ControlMsg),
     /// Install recovered state (mirror rejoin): the operational state plus
     /// the frontier it reflects. Events buffered while awaiting the seed
@@ -181,7 +184,7 @@ impl SiteCore {
                 // are buffered; the seed install replays them on top
                 // (stale updates are absorbed idempotently by the EDE).
                 let mut awaiting_seed = await_seed;
-                let mut seed_buffer: Vec<Event> = Vec::new();
+                let mut seed_buffer: Vec<Arc<Event>> = Vec::new();
                 let process_event = |shared: &Arc<SiteShared>, ev: &Event| {
                     // Apply to the EDE before advancing the frontier: see
                     // the ordering note below (snapshot safety).
@@ -295,7 +298,8 @@ fn route_actions(
     for action in actions {
         match &action {
             AuxAction::ForwardToMain(ev) => {
-                let _ = main_tx.send(MainMsg::Event(ev.clone()));
+                // Arc clone: the main thread shares the aux unit's copy.
+                let _ = main_tx.send(MainMsg::Event(Arc::clone(ev)));
             }
             AuxAction::ControlToMain(m) => {
                 let _ = main_tx.send(MainMsg::Ctrl(m.clone()));
@@ -418,7 +422,7 @@ impl CentralSite {
     pub fn start(
         handle: MirrorHandle,
         clock: RuntimeClock,
-        data_pub: Publisher<Event>,
+        data_pub: Publisher<SharedEvent>,
         ctrl_down_pub: Publisher<ControlMsg>,
         ctrl_up: &EventChannel<ControlMsg>,
     ) -> Self {
@@ -433,7 +437,7 @@ impl CentralSite {
     pub fn start_seeded(
         handle: MirrorHandle,
         clock: RuntimeClock,
-        data_pub: Publisher<Event>,
+        data_pub: Publisher<SharedEvent>,
         ctrl_down_pub: Publisher<ControlMsg>,
         ctrl_up: &EventChannel<ControlMsg>,
     ) -> Self {
@@ -443,7 +447,7 @@ impl CentralSite {
     fn start_inner(
         handle: MirrorHandle,
         clock: RuntimeClock,
-        data_pub: Publisher<Event>,
+        data_pub: Publisher<SharedEvent>,
         ctrl_down_pub: Publisher<ControlMsg>,
         ctrl_up: &EventChannel<ControlMsg>,
         await_seed: bool,
@@ -455,7 +459,10 @@ impl CentralSite {
         let failed_in_route = Arc::clone(&failed);
         let route = move |action: &AuxAction| match action {
             AuxAction::Mirror(ev) => {
-                data_pub.publish(ev.clone());
+                // One publish fans out to every mirror subscriber as an
+                // Arc clone; the wire encoding is computed at most once
+                // across all bridges (SharedEvent's cache).
+                data_pub.publish(SharedEvent::new(Arc::clone(ev)));
             }
             AuxAction::ControlToMirrors(m) => {
                 ctrl_down_pub.publish(m.clone());
@@ -493,7 +500,7 @@ impl CentralSite {
         if event.ingress_us == 0 {
             event.ingress_us = self.core.shared.clock.now_us();
         }
-        let _ = self.core.inbox_tx.send(SiteMsg::Data(event));
+        let _ = self.core.inbox_tx.send(SiteMsg::Data(Arc::new(event)));
     }
 
     /// Subscribe to the regular-client update stream.
@@ -581,7 +588,7 @@ impl MirrorSite {
     pub fn start(
         handle: MirrorHandle,
         clock: RuntimeClock,
-        data: &EventChannel<Event>,
+        data: &EventChannel<SharedEvent>,
         ctrl_down: &EventChannel<ControlMsg>,
         ctrl_up_pub: Publisher<ControlMsg>,
     ) -> Self {
@@ -596,7 +603,7 @@ impl MirrorSite {
     pub fn start_seeded(
         handle: MirrorHandle,
         clock: RuntimeClock,
-        data: &EventChannel<Event>,
+        data: &EventChannel<SharedEvent>,
         ctrl_down: &EventChannel<ControlMsg>,
         ctrl_up_pub: Publisher<ControlMsg>,
     ) -> Self {
@@ -606,7 +613,7 @@ impl MirrorSite {
     fn start_inner(
         handle: MirrorHandle,
         clock: RuntimeClock,
-        data: &EventChannel<Event>,
+        data: &EventChannel<SharedEvent>,
         ctrl_down: &EventChannel<ControlMsg>,
         ctrl_up_pub: Publisher<ControlMsg>,
         await_seed: bool,
@@ -626,7 +633,11 @@ impl MirrorSite {
         let stop1 = Arc::clone(&s.core.stop);
         let f1 = std::thread::Builder::new()
             .name(format!("mirror-{site}-data"))
-            .spawn(move || pump(data_sub, stop1, move |e| tx1.send(SiteMsg::Data(e)).is_ok()))
+            .spawn(move || {
+                pump(data_sub, stop1, move |e: SharedEvent| {
+                    tx1.send(SiteMsg::Data(e.into_event())).is_ok()
+                })
+            })
             .expect("spawn data forwarder");
         let ctrl_sub = ctrl_down.subscribe();
         let stop2 = Arc::clone(&s.core.stop);

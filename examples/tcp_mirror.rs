@@ -79,7 +79,7 @@ fn main() {
         clock.advance(0, seq);
         e.stamp = clock.clone();
         reference.process(&e);
-        pub_data.publish(e);
+        pub_data.publish(e.into());
     }
     // Run one checkpoint round across the wire.
     let up_sub = ctrl_up.subscribe();

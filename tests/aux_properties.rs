@@ -56,7 +56,7 @@ proptest! {
         let events = build_events(&spec);
         let mut forwarded = 0usize;
         for e in events.iter().cloned() {
-            for a in aux.handle(AuxInput::Data(e)) {
+            for a in aux.handle(AuxInput::Data(e.into())) {
                 if let AuxAction::ForwardToMain(f) = a {
                     // Derived events (from tuple rules) would add extras;
                     // none are configured here, so the forward stream is
@@ -82,7 +82,7 @@ proptest! {
         let mut full = Ede::new();
         let mut thin = Ede::new();
         for e in events.iter().cloned() {
-            for a in aux.handle(AuxInput::Data(e)) {
+            for a in aux.handle(AuxInput::Data(e.into())) {
                 match a {
                     AuxAction::ForwardToMain(f) => {
                         full.process(&f);
@@ -122,7 +122,7 @@ proptest! {
         let events = build_events(&spec);
         let mut last = adaptable_mirroring::core::timestamp::VectorTimestamp::empty();
         for e in events {
-            for a in aux.handle(AuxInput::Data(e)) {
+            for a in aux.handle(AuxInput::Data(e.into())) {
                 if let AuxAction::ForwardToMain(f) = a {
                     prop_assert!(last.dominated_by(&f.stamp),
                         "stamp regressed: {} then {}", last, f.stamp);
@@ -141,7 +141,7 @@ proptest! {
         let events = build_events(&spec);
         let n = events.len() as u64;
         for e in events {
-            aux.handle(AuxInput::Data(e));
+            aux.handle(AuxInput::Data(e.into()));
         }
         let c = aux.counters();
         prop_assert_eq!(c.received, n);
@@ -160,7 +160,7 @@ fn coalescing_conserves_counts_across_flushes() {
     let mut sent = 0u64;
     for seq in 1..=97u64 {
         let e = Event::faa_position(seq, (seq % 3) as u32, fix(seq as f64));
-        for a in aux.handle(AuxInput::Data(e)) {
+        for a in aux.handle(AuxInput::Data(e.into())) {
             if let AuxAction::Mirror(m) = a {
                 sent += 1;
                 if let EventBody::Coalesced { count, .. } = m.body {

@@ -151,7 +151,7 @@ fn run_schedule(mirror_count: u8, steps: Vec<Step>) {
                 }
             }
             Step::Begin => {
-                let proposal = central_backup.last_stamp();
+                let proposal = central_backup.last_stamp().clone();
                 let msgs = central.begin(proposal);
                 apply_commit_msgs(msgs, &mut worlds, &mut central_main, &mut replies_in_flight);
             }
@@ -256,7 +256,7 @@ fn run_schedule(mirror_count: u8, steps: Vec<Step>) {
 
     // Invariant 4 (liveness via subsumption): a final, fully-delivered
     // round commits the common frontier.
-    let msgs = central.begin(central_backup.last_stamp());
+    let msgs = central.begin(central_backup.last_stamp().clone());
     apply_commit_msgs(msgs, &mut worlds, &mut central_main, &mut replies_in_flight);
     for m in 0..mirror_count {
         // Deliver everything outstanding, then answer the newest CHKPT.

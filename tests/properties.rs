@@ -44,7 +44,7 @@ fn arb_body() -> impl Strategy<Value = EventBody> {
         (arb_status(), 1u32..10)
             .prop_map(|(status, collapsed)| EventBody::Derived { status, collapsed }),
         (arb_fix(), 1u32..100).prop_map(|(last, count)| EventBody::Coalesced { last, count }),
-        prop::collection::vec(any::<u8>(), 0..64).prop_map(EventBody::Opaque),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(|v| EventBody::Opaque(v.into())),
     ]
 }
 
@@ -80,16 +80,16 @@ fn arb_stamp() -> impl Strategy<Value = VectorTimestamp> {
 proptest! {
     #[test]
     fn wire_roundtrip_any_event(ev in arb_event()) {
-        let bytes = encode_frame(&Frame::Data(ev.clone()));
+        let bytes = encode_frame(&Frame::Data(std::sync::Arc::new(ev.clone())));
         prop_assert_eq!(bytes.len(), 2 + ev.wire_size(),
             "frame = version+kind+exact wire size");
         let back = decode_frame(bytes).unwrap();
-        prop_assert_eq!(back, Frame::Data(ev));
+        prop_assert_eq!(back, Frame::Data(std::sync::Arc::new(ev)));
     }
 
     #[test]
     fn wire_decode_never_panics_on_corruption(ev in arb_event(), cut in 0usize..64, flip in 0usize..64) {
-        let bytes = encode_frame(&Frame::Data(ev));
+        let bytes = encode_frame(&Frame::Data(std::sync::Arc::new(ev)));
         // Truncation never panics.
         let cut = cut.min(bytes.len());
         let _ = decode_frame(bytes.slice(..cut));

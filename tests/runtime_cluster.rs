@@ -185,7 +185,7 @@ fn tcp_bridged_mirror_matches_inproc_mirror() {
         let mut e = Event::faa_position(seq, (seq % 12) as u32, fix(500.0));
         clock_stamp.advance(0, seq);
         e.stamp = clock_stamp.clone();
-        p.publish(e);
+        p.publish(e.into());
     }
 
     // Stop our bridge endpoint first so the remote side's join can finish.
