@@ -6,7 +6,7 @@
 //! [`MirrorSite`] behind its own transport pair. The clock runs from the
 //! first publish until **both** remote EDEs have absorbed the stream.
 //!
-//! Four cases, the cross product of:
+//! Five cases: the cross product of
 //!
 //! * **transport** — `inproc` (in-process rendezvous, no sockets) and
 //!   `tcp` (loopback sockets, real syscalls);
@@ -17,15 +17,23 @@
 //!   [`BatchPolicy`]: encode-once fan-out, `Frame::Batch` packing, one
 //!   vectored send per burst). The baseline still benefits from today's
 //!   vectored frame writer (the old one issued two `write_all`s), so the
-//!   reported speedup slightly *understates* the change.
+//!   reported speedup slightly *understates* the change;
 //!
-//! Emits `BENCH_mirror_throughput.json` for CI artifact upload and prints
-//! a human-readable table. `--smoke` shrinks the stream for CI; `--events`,
-//! `--size` and `--trials` override the defaults; `--out` redirects the
-//! JSON.
+//! plus `inproc_batched_journal`, the batched in-process path with the
+//! central site's real durability handle ([`Journal`]: async writer thread
+//! over a segmented event log, fsync every 64 — the cluster default)
+//! journaling every event before publish. The JSON reports
+//! `journal_overhead` (journaled / plain throughput); the target is a
+//! < 15 % regression.
+//!
+//! Emits `results/BENCH_mirror_throughput.json` for CI artifact upload and
+//! prints a human-readable table. `--smoke` shrinks the stream for CI;
+//! `--events`, `--size` and `--trials` override the defaults; `--out`
+//! redirects the JSON.
 
 use std::io;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use mirror_core::api::{MirrorConfig, MirrorHandle};
@@ -33,10 +41,11 @@ use mirror_core::event::{Event, PositionFix};
 use mirror_core::timestamp::VectorTimestamp;
 use mirror_echo::channel::EventChannel;
 use mirror_echo::transport::{InProcTransport, Polled, TcpTransport};
-use mirror_echo::wire::{encode_frame, Frame};
+use mirror_echo::wire::{encode_frame, Frame, SharedEvent};
 use mirror_echo::Transport;
 use mirror_runtime::bridge::{central_endpoint_with, mirror_endpoint_with, BatchPolicy};
-use mirror_runtime::{MirrorSite, RuntimeClock};
+use mirror_runtime::{DurabilityConfig, Journal, MirrorSite, RuntimeClock};
+use mirror_store::FsyncPolicy;
 
 const MIRRORS: u16 = 2;
 
@@ -98,9 +107,31 @@ struct RunStats {
     mbytes_per_sec: f64,
 }
 
+/// Open a fresh [`Journal`] (the central site's real durability handle:
+/// async writer thread over a segmented [`mirror_store::EventLog`]) in a
+/// throwaway directory, tuned like the cluster default: `fsync` every 64
+/// appends.
+fn bench_journal() -> (Journal, std::path::PathBuf) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mirror-bench-journal-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal = Journal::open(&DurabilityConfig {
+        fsync: FsyncPolicy::EveryN(64),
+        ..DurabilityConfig::new(&dir)
+    })
+    .expect("open bench journal");
+    (journal, dir)
+}
+
 /// One measured case: publish `n` events of `size` bytes to `MIRRORS`
-/// bridged mirror sites and wait for full absorption.
-fn run_case(n: u64, size: usize, tcp: bool, batched: bool) -> RunStats {
+/// bridged mirror sites and wait for full absorption. With `journal`, each
+/// event's cached wire encoding is appended to a real [`Journal`] before
+/// publish — exactly what the journaled central data path does per event.
+fn run_case(n: u64, size: usize, tcp: bool, batched: bool, journal: bool) -> RunStats {
     let policy = if batched { BatchPolicy::default() } else { BatchPolicy::unbatched() };
 
     let data = EventChannel::new("bench.data");
@@ -137,10 +168,18 @@ fn run_case(n: u64, size: usize, tcp: bool, batched: bool) -> RunStats {
     }
 
     let frame_bytes = encode_frame(&Frame::Data(event(1, size).into())).len() as u64;
+    let journal_store = journal.then(bench_journal);
     let pub_data = data.publisher();
     let start = Instant::now();
     for seq in 1..=n {
-        pub_data.publish(event(seq, size).into());
+        let se = SharedEvent::from(event(seq, size));
+        if let Some((j, _)) = journal_store.as_ref() {
+            // Write-ahead append: two Arc bumps and a queue push here; the
+            // journal's writer thread encodes (into the shared cache the
+            // bridges reuse) and drives the segmented log.
+            j.append(seq, &se);
+        }
+        pub_data.publish(se);
     }
     // A trial that hits the deadline is scored by what it achieved rather
     // than aborted: on starved machines (CI runners, single-core boxes)
@@ -173,6 +212,11 @@ fn run_case(n: u64, size: usize, tcp: bool, batched: bool) -> RunStats {
     for mut s in sites {
         s.stop();
     }
+    if let Some((j, dir)) = journal_store {
+        assert!(j.last_error().is_none(), "bench journal must stay healthy");
+        drop(j); // joins the writer; every append reaches the log
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     RunStats {
         events: n_done,
@@ -188,8 +232,16 @@ fn run_case(n: u64, size: usize, tcp: bool, batched: bool) -> RunStats {
 /// loaded or single-core machines are bimodal, so a median over a few
 /// trials reports the typical rate where a single run might report either
 /// mode.
-fn run_median(trials: usize, n: u64, size: usize, tcp: bool, batched: bool) -> RunStats {
-    let mut runs: Vec<RunStats> = (0..trials).map(|_| run_case(n, size, tcp, batched)).collect();
+fn run_median(
+    trials: usize,
+    n: u64,
+    size: usize,
+    tcp: bool,
+    batched: bool,
+    journal: bool,
+) -> RunStats {
+    let mut runs: Vec<RunStats> =
+        (0..trials).map(|_| run_case(n, size, tcp, batched, journal)).collect();
     runs.sort_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec));
     runs.remove(runs.len() / 2)
 }
@@ -219,7 +271,12 @@ fn main() {
     let size: usize = opt("--size").map(|v| v.parse().expect("--size")).unwrap_or(1024);
     let trials: usize =
         opt("--trials").map(|v| v.parse().expect("--trials")).unwrap_or(if smoke { 1 } else { 3 });
-    let out = opt("--out").unwrap_or_else(|| "BENCH_mirror_throughput.json".to_string());
+    let out = opt("--out").unwrap_or_else(|| "results/BENCH_mirror_throughput.json".to_string());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
 
     println!(
         "mirror_throughput: {n} events x {size} B -> {MIRRORS} mirrors \
@@ -227,15 +284,16 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut measured = Vec::new();
-    for (name, tcp, batched) in [
-        ("inproc_baseline", false, false),
-        ("inproc_batched", false, true),
-        ("tcp_baseline", true, false),
-        ("tcp_batched", true, true),
+    for (name, tcp, batched, journal) in [
+        ("inproc_baseline", false, false, false),
+        ("inproc_batched", false, true, false),
+        ("inproc_batched_journal", false, true, true),
+        ("tcp_baseline", true, false, false),
+        ("tcp_batched", true, true, false),
     ] {
-        let s = run_median(trials, n, size, tcp, batched);
+        let s = run_median(trials, n, size, tcp, batched, journal);
         println!(
-            "  {name:<16} {:>10.0} ev/s  {:>10.0} delivered/s  {:>8.2} MiB/s/link  ({:.3} s)",
+            "  {name:<22} {:>10.0} ev/s  {:>10.0} delivered/s  {:>8.2} MiB/s/link  ({:.3} s)",
             s.events_per_sec, s.delivered_per_sec, s.mbytes_per_sec, s.secs
         );
         rows.push(format!("    \"{name}\": {}", json_case(&s)));
@@ -249,13 +307,20 @@ fn main() {
     };
     let inproc_x = speedup("inproc_baseline", "inproc_batched");
     let tcp_x = speedup("tcp_baseline", "tcp_batched");
+    // Journaled / plain throughput: 1.0 = free, 0.85 = the 15 % regression
+    // bound the recovery PR accepts for fsync-every-64 durability.
+    let journal_overhead = speedup("inproc_batched", "inproc_batched_journal");
     println!("  speedup: inproc {inproc_x:.2}x, tcp {tcp_x:.2}x (batched+zero-copy vs baseline)");
+    println!(
+        "  journal: {journal_overhead:.3}x of plain in-proc batched throughput \
+         (fsync every 64; < 15% regression expected)"
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"mirror_throughput\",\n  \"event_size_bytes\": {size},\n  \
          \"events\": {n},\n  \"mirrors\": {MIRRORS},\n  \"smoke\": {smoke},\n  \
          \"runs\": {{\n{}\n  }},\n  \"speedup\": {{\"inproc\": {inproc_x:.3}, \
-         \"tcp\": {tcp_x:.3}}}\n}}\n",
+         \"tcp\": {tcp_x:.3}}},\n  \"journal_overhead\": {journal_overhead:.3}\n}}\n",
         rows.join(",\n")
     );
     std::fs::write(&out, json).expect("write benchmark json");

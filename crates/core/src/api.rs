@@ -165,6 +165,14 @@ impl MirrorHandle {
         self.with(|aux| aux.retransmit_from(idx))
     }
 
+    /// Every send index strictly below this value is covered by a
+    /// committed checkpoint (see
+    /// [`crate::queue::BackupQueue::truncation_floor`]): the durable
+    /// truncation watermark a write-ahead journal may advance to.
+    pub fn truncation_floor(&self) -> u64 {
+        self.with(|aux| aux.truncation_floor())
+    }
+
     /// Declare a mirror failed immediately — the transport layer knows its
     /// link is dead (see [`AuxUnit::declare_mirror_failed`]).
     pub fn declare_mirror_failed(&self, site: crate::SiteId) -> Vec<AuxAction> {
@@ -302,13 +310,13 @@ mod tests {
         let h = MirrorHandle::new(aux);
         // Default: everything mirrored.
         let out = h.fwd(pos(1, 1));
-        assert!(out.iter().any(|a| matches!(a, AuxAction::Mirror(_))));
+        assert!(out.iter().any(|a| matches!(a, AuxAction::Mirror { .. })));
         // Install 1-in-10 overwriting.
         h.set_overwrite(EventType::FaaPosition, 10);
         let mut mirrored = 0;
         for seq in 2..=41 {
             mirrored +=
-                h.fwd(pos(seq, 1)).iter().filter(|a| matches!(a, AuxAction::Mirror(_))).count();
+                h.fwd(pos(seq, 1)).iter().filter(|a| matches!(a, AuxAction::Mirror { .. })).count();
         }
         assert!(mirrored <= 5, "overwriting must suppress most events, got {mirrored}");
         assert_eq!(h.params().overwrite_max, 10);
@@ -343,7 +351,7 @@ mod tests {
             for a in h.fwd(pos(seq, 1)) {
                 match a {
                     AuxAction::ForwardToMain(_) => fwd += 1,
-                    AuxAction::Mirror(_) => mirrored += 1,
+                    AuxAction::Mirror { .. } => mirrored += 1,
                     _ => {}
                 }
             }
@@ -358,7 +366,7 @@ mod tests {
         let h = MirrorHandle::new(aux);
         h.set_mirror("drop-all", |_, _| MirrorDecision::Drop);
         let out = h.fwd(pos(1, 1));
-        assert!(out.iter().all(|a| !matches!(a, AuxAction::Mirror(_))));
+        assert!(out.iter().all(|a| !matches!(a, AuxAction::Mirror { .. })));
         assert!(out.iter().any(|a| matches!(a, AuxAction::ForwardToMain(_))));
     }
 

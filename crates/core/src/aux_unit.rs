@@ -62,8 +62,17 @@ pub enum AuxAction {
     /// Put this event on every outgoing mirroring (data) channel. The
     /// `Arc` is shared with the backup queue's retained copy: fanning the
     /// event out to N mirrors plus retention costs reference-count bumps,
-    /// not N+1 deep clones.
-    Mirror(Arc<Event>),
+    /// not N+1 deep clones. `idx` is the monotone send index the backup
+    /// queue assigned on retention — the durable name of this send, shared
+    /// by retransmission ([`AuxUnit::retransmit_from`]) and by write-ahead
+    /// journaling (`mirror-store`), so a journal entry and the in-memory
+    /// retained copy always agree on identity.
+    Mirror {
+        /// Send index assigned by the backup queue (1, 2, 3… in push order).
+        idx: u64,
+        /// The mirrored event, sharing its allocation with the backup queue.
+        event: Arc<Event>,
+    },
     /// Deliver this event to the local main unit (regular processing path).
     ForwardToMain(Arc<Event>),
     /// Send a control message to every mirror site's auxiliary unit.
@@ -306,6 +315,13 @@ impl AuxUnit {
         self.backup.next_send_idx()
     }
 
+    /// Everything below this send index is covered by a committed
+    /// checkpoint (see [`BackupQueue::truncation_floor`]) — the durable
+    /// truncation watermark a write-ahead journal may advance to.
+    pub fn truncation_floor(&self) -> u64 {
+        self.backup.truncation_floor()
+    }
+
     /// Set the failure-detection threshold in missed checkpoint rounds
     /// (central site only; 0 disables detection).
     pub fn set_suspect_after(&mut self, rounds: u32) {
@@ -420,27 +436,40 @@ impl AuxUnit {
             // One allocation shared between the backup queue and every
             // outgoing mirror channel.
             let ev = Arc::new(ev);
-            self.backup.push(Arc::clone(&ev));
-            actions.push(AuxAction::Mirror(ev));
+            let idx = self.backup.push(Arc::clone(&ev));
+            actions.push(AuxAction::Mirror { idx, event: ev });
         }
         actions
     }
 
-    /// Idle-time liveness: if this is the central unit, no round is in
-    /// flight, and uncommitted events remain in the backup queue, start a
-    /// fresh checkpoint round. Called by embeddings on sending-task
-    /// wakeups so the tail of a stream eventually commits even when no new
-    /// events arrive to trigger the rate-based checkpointing.
+    /// Idle-time liveness for the central unit, called by embeddings on
+    /// sending-task wakeups. Two duties:
+    ///
+    /// * **tail commit** — no round in flight but uncommitted events
+    ///   remain: start a round so the tail of a stream commits even when
+    ///   no new events arrive to trigger rate-based checkpointing;
+    /// * **wedged-round restart** — the in-flight round is
+    ///   [wedged](CentralCheckpointer::pending_wedged): every participant
+    ///   still in the membership has replied, yet the round cannot commit
+    ///   because an eviction removed the straggler *after* its peers'
+    ///   replies were consumed. No future reply will arrive, so abandon
+    ///   it by starting a fresh round under current membership. A round
+    ///   that is merely waiting on a slow or partitioned member is left
+    ///   alone — restarting those would inflate the round counter during
+    ///   an outage and make the survivor's reply lag look like failure.
     pub fn idle_checkpoint(&mut self) -> Vec<AuxAction> {
-        match &self.role {
-            Role::Central { checkpointer, .. }
-                if !checkpointer.round_in_flight() && !self.backup.is_empty() =>
-            {
-                self.processed_since_chkpt = 0;
-                self.begin_checkpoint()
+        let Role::Central { checkpointer, .. } = &self.role else {
+            return Vec::new();
+        };
+        if checkpointer.round_in_flight() {
+            if !checkpointer.pending_wedged() {
+                return Vec::new();
             }
-            _ => Vec::new(),
+        } else if self.backup.is_empty() {
+            return Vec::new();
         }
+        self.processed_since_chkpt = 0;
+        self.begin_checkpoint()
     }
 
     fn begin_checkpoint(&mut self) -> Vec<AuxAction> {
@@ -578,8 +607,8 @@ impl AuxUnit {
                 self.counters.mirrored += 1;
                 self.counters.mirrored_bytes += ev.wire_size() as u64;
                 let ev = Arc::new(ev);
-                self.backup.push(Arc::clone(&ev));
-                actions.push(AuxAction::Mirror(ev));
+                let idx = self.backup.push(Arc::clone(&ev));
+                actions.push(AuxAction::Mirror { idx, event: ev });
             }
             self.mirror_fn = kind.build();
             self.rules = kind.rules();
@@ -700,13 +729,14 @@ mod tests {
         let mut aux = AuxUnit::central(vec![1], MirrorParams::default());
         let actions = aux.handle(AuxInput::Data(pos(1, 7).into()));
         let mirrors: Vec<_> =
-            actions.iter().filter(|a| matches!(a, AuxAction::Mirror(_))).collect();
+            actions.iter().filter(|a| matches!(a, AuxAction::Mirror { .. })).collect();
         let fwds: Vec<_> =
             actions.iter().filter(|a| matches!(a, AuxAction::ForwardToMain(_))).collect();
         assert_eq!(mirrors.len(), 1);
         assert_eq!(fwds.len(), 1);
-        if let AuxAction::Mirror(e) = mirrors[0] {
-            assert_eq!(e.stamp.get(0), 1, "event must be stamped at ingress");
+        if let AuxAction::Mirror { idx, event } = mirrors[0] {
+            assert_eq!(event.stamp.get(0), 1, "event must be stamped at ingress");
+            assert_eq!(*idx, 1, "first send carries index 1");
         }
         assert_eq!(aux.backup_len(), 1, "mirrored event retained in backup queue");
     }
@@ -720,7 +750,7 @@ mod tests {
         for seq in 1..=50 {
             for a in aux.handle(AuxInput::Data(pos(seq, 3).into())) {
                 match a {
-                    AuxAction::Mirror(_) => mirrored += 1,
+                    AuxAction::Mirror { .. } => mirrored += 1,
                     AuxAction::ForwardToMain(_) => forwarded += 1,
                     _ => {}
                 }
@@ -741,22 +771,22 @@ mod tests {
         let mut mirrored = Vec::new();
         for seq in 1..=3 {
             for a in aux.handle(AuxInput::Data(pos(seq, 1).into())) {
-                if let AuxAction::Mirror(e) = a {
-                    mirrored.push(e);
+                if let AuxAction::Mirror { event, .. } = a {
+                    mirrored.push(event);
                 }
             }
         }
         assert!(mirrored.is_empty(), "run of 3 < cap 4: still accumulating");
         for a in aux.handle(AuxInput::Data(pos(4, 1).into())) {
-            if let AuxAction::Mirror(e) = a {
-                mirrored.push(e);
+            if let AuxAction::Mirror { event, .. } = a {
+                mirrored.push(event);
             }
         }
         assert_eq!(mirrored.len(), 1, "cap reached: one coalesced wire event");
         // A partial run is released by Flush.
         aux.handle(AuxInput::Data(pos(5, 1).into()));
         let flushed = aux.handle(AuxInput::Flush);
-        assert!(flushed.iter().any(|a| matches!(a, AuxAction::Mirror(_))));
+        assert!(flushed.iter().any(|a| matches!(a, AuxAction::Mirror { .. })));
     }
 
     #[test]
@@ -774,9 +804,9 @@ mod tests {
         for seq in 1..=10 {
             for a in central.handle(AuxInput::Data(pos(seq, 1).into())) {
                 match a {
-                    AuxAction::Mirror(e) => {
+                    AuxAction::Mirror { event, .. } => {
                         // Deliver to the mirror; its main unit processes.
-                        for ma in mirror.handle(AuxInput::Data(e)) {
+                        for ma in mirror.handle(AuxInput::Data(event)) {
                             if let AuxAction::ForwardToMain(ev) = ma {
                                 mains[1].record_processed(&ev.stamp);
                             }
@@ -859,6 +889,46 @@ mod tests {
         let r = aux.monitor_report();
         assert_eq!(r.backup_len, 5, "mirrored events retained until commit");
         assert_eq!(r.pending_requests, 42);
+    }
+
+    #[test]
+    fn idle_checkpoint_restarts_a_wedged_round() {
+        use crate::control::ControlMsg;
+
+        // Central mirrors to sites 1 and 2; a round starts and everyone
+        // but mirror 2 replies.
+        let mut params = MirrorParams::default();
+        params.checkpoint_every = 1;
+        let mut aux = AuxUnit::central(vec![1, 2], params);
+        aux.handle(AuxInput::Data(pos(1, 7).into()));
+        let stamp = aux.clock().clone();
+        let reply = |site| ControlMsg::ChkptRep {
+            round: 1,
+            site,
+            stamp: stamp.clone(),
+            monitor: crate::adapt::MonitorReport::default(),
+        };
+        aux.handle(AuxInput::Control(reply(CENTRAL_SITE)));
+        aux.handle(AuxInput::Control(reply(1)));
+
+        // Mirror 2 is merely slow (a long link outage, say): the round is
+        // waiting, not wedged. Idle wakeups must leave it alone however
+        // many elapse — abandoning it would inflate the round counter and
+        // make the survivor's reply lag read as failure.
+        for _ in 0..5 {
+            assert!(aux.idle_checkpoint().is_empty(), "a waiting round must not be restarted");
+        }
+
+        // Mirror 2's link is now declared dead. Its reply will never come
+        // and everyone else already answered, so the round is wedged: the
+        // next idle wakeup abandons it and starts a fresh one (new CHKPT
+        // broadcast) under the surviving membership, restoring liveness.
+        aux.declare_mirror_failed(2);
+        let actions = aux.idle_checkpoint();
+        assert!(
+            actions.iter().any(|a| matches!(a, AuxAction::ControlToMirrors(_))),
+            "wedged round must be superseded, got {actions:?}"
+        );
     }
 
     #[test]

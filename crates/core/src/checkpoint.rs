@@ -42,8 +42,20 @@ pub enum CheckpointMsg {
 struct PendingRound {
     round: u64,
     proposal: VectorTimestamp,
+    /// The participant set the `CHKPT` was broadcast to (the member
+    /// mirrors at `begin` time, plus the central main unit). Completion is
+    /// judged against this set, not current membership: a mirror
+    /// readmitted mid-round never saw this round's proposal and must not
+    /// gate it.
+    participants: Vec<SiteId>,
     /// Replies received so far, one per expected participant.
     replies: Vec<(SiteId, VectorTimestamp)>,
+}
+
+impl PendingRound {
+    fn replied(&self, site: SiteId) -> bool {
+        self.replies.iter().any(|(s, _)| *s == site)
+    }
 }
 
 /// Failure detection is **disabled by default** (`0`): the paper's
@@ -156,6 +168,25 @@ impl CentralCheckpointer {
         self.pending.is_some()
     }
 
+    /// Is the in-flight round *wedged* — no future reply can complete it?
+    ///
+    /// True exactly when every participant still in the membership has
+    /// already replied and yet the round did not commit. That state is
+    /// only reachable when membership shrank *after* the last reply was
+    /// consumed: completion is checked on reply arrival, so an eviction
+    /// that removes the one straggler leaves nothing to trigger it. The
+    /// round must be abandoned and restarted. A round merely waiting on a
+    /// slow or partitioned member is **not** wedged — its reply will
+    /// arrive (or detection will evict it, producing this state).
+    pub fn pending_wedged(&self) -> bool {
+        let Some(p) = &self.pending else {
+            return false;
+        };
+        p.participants
+            .iter()
+            .all(|&site| !(site == CENTRAL_SITE || self.mirrors.contains(&site)) || p.replied(site))
+    }
+
     /// `init_CHKPT`: start a voting round proposing `proposal` ("chkpt =
     /// last on backup queue"). Any incomplete previous round is abandoned —
     /// the new round's commit will encapsulate it.
@@ -166,8 +197,14 @@ impl CentralCheckpointer {
         let round = self.next_round;
         self.next_round += 1;
         self.rounds_started += 1;
-        self.pending =
-            Some(PendingRound { round, proposal: proposal.clone(), replies: Vec::new() });
+        let mut participants = self.mirrors.clone();
+        participants.push(CENTRAL_SITE);
+        self.pending = Some(PendingRound {
+            round,
+            proposal: proposal.clone(),
+            participants,
+            replies: Vec::new(),
+        });
         let msg = ControlMsg::Chkpt { round, stamp: proposal };
         vec![CheckpointMsg::BroadcastToMirrors(msg.clone()), CheckpointMsg::ToLocalMain(msg)]
     }
@@ -198,7 +235,19 @@ impl CentralCheckpointer {
         // healthy mirrors look laggy during bursts. (Consequence: a
         // single-mirror cluster has no detection baseline; exclusion there
         // needs an operator, as in the paper.)
-        if self.suspect_after > 0 && site != CENTRAL_SITE {
+        //
+        // Only a reply to the *current* round is admissible evidence. When
+        // a burst starts rounds faster than replies are consumed, the
+        // coordinator can process a straggler's queued reply to round `r`
+        // while a healthy peer's replies to rounds `r..r+k` are still
+        // sitting unprocessed in the same queue — by `last_reply_round`
+        // alone the healthy peer looks `k` rounds behind and gets evicted.
+        // A current-round reply cannot be such an artifact: it proves the
+        // reporter has drained its pipeline to the newest round, so a peer
+        // whose newest answer is `suspect_after` rounds older genuinely
+        // stopped answering.
+        let current = self.pending.as_ref().is_some_and(|p| p.round == round);
+        if self.suspect_after > 0 && site != CENTRAL_SITE && current {
             let mirrors = self.mirrors.clone();
             for other in mirrors {
                 if other == site {
@@ -219,13 +268,22 @@ impl CentralCheckpointer {
         if pending.round != round {
             return None; // stale reply for an abandoned round
         }
-        if pending.replies.iter().any(|(s, _)| *s == site) {
+        if pending.replied(site) {
             return None; // duplicate
         }
         pending.replies.push((site, stamp));
 
-        let expected = self.mirrors.len() + 1; // mirrors + central main unit
-        if pending.replies.len() < expected {
+        // The round completes when every participant the CHKPT went to —
+        // minus any evicted since — has replied. Membership is re-checked
+        // per participant so an eviction mid-round stops gating completion,
+        // while a mirror readmitted mid-round (not a participant) never
+        // blocks a round it was never asked about.
+        let mirrors = &self.mirrors;
+        let complete = pending
+            .participants
+            .iter()
+            .all(|&p| !(p == CENTRAL_SITE || mirrors.contains(&p)) || pending.replied(p));
+        if !complete {
             return None;
         }
         let pending = self.pending.take().unwrap();
@@ -558,6 +616,39 @@ mod tests {
         }
         assert!(central.take_newly_failed().is_empty());
         assert_eq!(central.mirrors(), &[1, 2]);
+    }
+
+    #[test]
+    fn stale_queued_reply_is_not_failure_evidence() {
+        // Burst scenario: rounds 1..=6 start back-to-back, and the
+        // coordinator happens to consume mirror 2's queued reply to an old
+        // round while mirror 1's equally queued replies are still
+        // unprocessed. By newest-reply bookkeeping alone mirror 1 looks 4
+        // rounds behind — but that lag is a processing-order artifact, not
+        // silence, and must not evict it.
+        let mut central = CentralCheckpointer::new(vec![1, 2]);
+        central.set_suspect_after(3);
+        for i in 1..=6u64 {
+            central.begin(vt(&[i]));
+        }
+        // Mirror 2's reply to round 4 drains first (stale: pending is 6).
+        assert!(central.on_reply(4, 2, vt(&[4])).is_none());
+        assert!(central.take_newly_failed().is_empty(), "stale reply evicted a healthy peer");
+        assert_eq!(central.mirrors(), &[1, 2]);
+        // Mirror 1's queued replies drain next; its answer to the current
+        // round IS admissible evidence, and mirror 2 (newest reply 4, lag
+        // 2 < 3) still survives.
+        for i in 1..=6u64 {
+            central.on_reply(i, 1, vt(&[i]));
+        }
+        assert!(central.take_newly_failed().is_empty());
+        // Only when mirror 2 stays silent while current rounds keep being
+        // answered does detection fire.
+        for i in 7..=7u64 {
+            central.begin(vt(&[i]));
+            central.on_reply(i, 1, vt(&[i]));
+        }
+        assert_eq!(central.take_newly_failed(), vec![2]);
     }
 
     #[test]

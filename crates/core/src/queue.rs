@@ -143,6 +143,22 @@ impl BackupQueue {
         self.next_idx.max(1)
     }
 
+    /// The oldest send index still retained, if any.
+    pub fn oldest_retained_idx(&self) -> Option<u64> {
+        self.q.front().map(|(i, _)| *i)
+    }
+
+    /// Every send index strictly below this value is covered by a
+    /// committed checkpoint (central stamps are totally ordered along push
+    /// order, so pruning removes a prefix of indices). When the queue is
+    /// empty everything ever pushed has committed and the floor equals
+    /// [`next_send_idx`](Self::next_send_idx). A durable journal may
+    /// delete storage for entries below the floor — this is the
+    /// commit-driven truncation watermark of `mirror-store`.
+    pub fn truncation_floor(&self) -> u64 {
+        self.oldest_retained_idx().unwrap_or_else(|| self.next_send_idx())
+    }
+
     /// Replay every retained event with send index `>= idx`, oldest first.
     /// Events already pruned by a committed checkpoint are gone — by
     /// definition the peer acknowledged a state that covers them. Replayed
@@ -349,6 +365,51 @@ mod tests {
         let replay = b.retransmit_from(1);
         assert_eq!(replay.len(), 1);
         assert_eq!(replay[0].0, 3);
+    }
+
+    #[test]
+    fn retransmit_at_prune_boundaries() {
+        // Push 1..=6, commit through (0,4): indices 1..=4 pruned, floor 5.
+        let mut b = BackupQueue::new();
+        for s in 1..=6 {
+            b.push(ev(0, s));
+        }
+        let mut commit = VectorTimestamp::new(2);
+        commit.advance(0, 4);
+        assert_eq!(b.prune(&commit), 4);
+        assert_eq!(b.truncation_floor(), 5);
+        assert_eq!(b.oldest_retained_idx(), Some(5));
+
+        // Exactly at the truncation point: full retained suffix.
+        let at = b.retransmit_from(5);
+        assert_eq!(at.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![5, 6]);
+        // One below: the pruned index 4 is gone — the replay silently
+        // starts at the retained suffix. Callers must detect the gap via
+        // truncation_floor, not from the result length.
+        let below = b.retransmit_from(4);
+        assert_eq!(below.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![5, 6]);
+        assert!(b.truncation_floor() > 4, "idx 4 predates the floor: gap");
+        // Far below: same retained suffix, same gap signal.
+        let far = b.retransmit_from(1);
+        assert_eq!(far.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![5, 6]);
+        assert!(b.truncation_floor() > 1);
+    }
+
+    #[test]
+    fn truncation_floor_tracks_prunes_and_empty_queue() {
+        let mut b = BackupQueue::new();
+        assert_eq!(b.truncation_floor(), 1, "fresh queue: nothing committed");
+        for s in 1..=3 {
+            b.push(ev(0, s));
+        }
+        assert_eq!(b.truncation_floor(), 1, "nothing pruned yet");
+        let last = b.last_stamp().clone();
+        b.prune(&last);
+        assert!(b.is_empty());
+        assert_eq!(b.truncation_floor(), 4, "everything pushed has committed");
+        assert_eq!(b.oldest_retained_idx(), None);
+        b.push(ev(0, 4));
+        assert_eq!(b.truncation_floor(), 4, "new retained entry pins the floor");
     }
 
     #[test]

@@ -96,9 +96,23 @@ pub enum Frame {
 
 /// Encode a frame (version + kind + payload) into a fresh buffer.
 pub fn encode_frame(frame: &Frame) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+    let mut buf = BytesMut::with_capacity(frame_size_hint(frame));
     encode_frame_into(frame, &mut buf);
     buf.freeze()
+}
+
+/// Capacity to reserve before encoding `frame`, so the hot encode paths
+/// (notably ~1 KiB padded data events) fill one right-sized allocation
+/// instead of growing a small buffer through a realloc-and-copy chain.
+/// Exact for data/seq/ack/hello frames ([`Event::wire_size`] is exact);
+/// a floor for control and batch frames, which are off the hot path.
+fn frame_size_hint(frame: &Frame) -> usize {
+    2 + match frame {
+        Frame::Data(e) => e.wire_size(),
+        Frame::Seq { seq: _, inner } => 8 + frame_size_hint(inner),
+        Frame::Ack { .. } | Frame::Hello { .. } => 8,
+        Frame::Control(_) | Frame::Batch(_) => 62,
+    }
 }
 
 /// Encode a frame once into a shareable buffer.
@@ -234,7 +248,7 @@ fn encode_frame_into(frame: &Frame, buf: &mut BytesMut) {
             buf.put_u8(KIND_BATCH);
             buf.put_u32_le(frames.len() as u32);
             for f in frames {
-                let mut inner = BytesMut::with_capacity(64);
+                let mut inner = BytesMut::with_capacity(frame_size_hint(f));
                 encode_frame_into(f, &mut inner);
                 buf.put_u32_le(inner.len() as u32);
                 buf.put_slice(&inner);
@@ -339,8 +353,21 @@ pub fn encode_event(e: &Event, buf: &mut BytesMut) {
             buf.put_u32_le(*reconciled);
         }
     }
-    buf.put_bytes(0, e.padding as usize);
+    // Chunked zero fill instead of `put_bytes(0, n)`: padding dominates the
+    // wire size of benchmark-scale events (~1 KiB), and `put_bytes` is
+    // byte-at-a-time in minimal `BufMut` implementations, which made this
+    // single call most of the whole encode cost. `put_slice` is a bulk copy
+    // everywhere.
+    let mut left = e.padding as usize;
+    while left > 0 {
+        let n = left.min(ZERO_PAD.len());
+        buf.put_slice(&ZERO_PAD[..n]);
+        left -= n;
+    }
 }
+
+/// Source block for zero padding in [`encode_event`].
+static ZERO_PAD: [u8; 1024] = [0; 1024];
 
 /// Decode an event.
 pub fn decode_event(buf: &mut Bytes) -> Result<Event, WireError> {

@@ -97,6 +97,11 @@ pub struct ExperimentConfig {
     pub intra_link: Option<LinkParams>,
     /// Sending-task wakeup period for coalescing modes (µs).
     pub flush_period_us: u64,
+    /// Simulated durability cost: charge the central sending task for
+    /// journaling every mirrored event to a write-ahead log (`None` = the
+    /// paper's in-memory-only protocol). Prices the `mirror-store`
+    /// fsync-policy trade-off inside the §4-style experiments.
+    pub journal: Option<crate::site::JournalCost>,
     /// Seed for the request schedule.
     pub seed: u64,
 }
@@ -117,6 +122,7 @@ impl Default for ExperimentConfig {
             intra_link: None,
             cost: CostModel::calibrated(),
             flush_period_us: 50_000,
+            journal: None,
             seed: 7,
         }
     }
@@ -181,7 +187,7 @@ pub fn run(cfg: &ExperimentConfig) -> ExperimentResult {
         );
         ctrl.set_action(setup.action.clone());
     }
-    let central = SiteProcess::central(
+    let mut central = SiteProcess::central(
         central_aux,
         mirroring,
         0,
@@ -189,6 +195,9 @@ pub fn run(cfg: &ExperimentConfig) -> ExperimentResult {
         sink_node,
         cfg.cost,
     );
+    if let Some(journal) = cfg.journal {
+        central = central.with_journal(journal);
+    }
     let (central_shared, central_handle) = Shared::new(central);
 
     let mut mirror_handles: Vec<Arc<Mutex<SiteProcess>>> = Vec::new();
@@ -477,6 +486,32 @@ mod tests {
             "coalescing must compress: {} wire events",
             r.central.mirrored
         );
+    }
+
+    #[test]
+    fn journaling_costs_a_bounded_premium() {
+        // Durability is not free, but with the every-64 fsync amortization
+        // it must stay a modest tax on simple mirroring (the bench's
+        // < 15 % acceptance bound, with margin for the sim's coarser
+        // model).
+        let plain = run(&ExperimentConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Simple,
+            faa: small_faa(2000, 1000),
+            ..Default::default()
+        });
+        let journaled = run(&ExperimentConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Simple,
+            faa: small_faa(2000, 1000),
+            journal: Some(crate::site::JournalCost::default()),
+            ..Default::default()
+        });
+        let ratio = journaled.total_time_s / plain.total_time_s;
+        assert!(ratio > 1.0, "journaling must cost something, ratio={ratio:.3}");
+        assert!(ratio < 1.15, "journaling premium out of band: {ratio:.3}");
+        // Durability must not change what the mirrors converge to.
+        assert_eq!(journaled.state_hashes, plain.state_hashes);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use mirror_echo::wire::SharedEvent;
 use mirror_ede::Snapshot;
 
 use crate::clock::RuntimeClock;
+use crate::durability::{DurabilityConfig, Journal, ResyncOutcome, ResyncSource};
 use crate::site::{CentralSite, MirrorSite};
 
 /// Cluster start-up configuration.
@@ -32,11 +33,17 @@ pub struct ClusterConfig {
     /// checkpoint rounds is declared failed and excluded (0 = disabled,
     /// the paper's timeout-free default).
     pub suspect_after: u32,
+    /// Durable journaling of the central site's mirrored events (`None` =
+    /// the paper's in-memory-only protocol). With a store configured,
+    /// [`Cluster::resync_mirror`] heals outages longer than one commit
+    /// interval from the log, and [`Cluster::recover_site`] cold-starts
+    /// mirrors from snapshot + replay without a live central seed.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { mirrors: 1, kind: MirrorFnKind::Simple, suspect_after: 0 }
+        ClusterConfig { mirrors: 1, kind: MirrorFnKind::Simple, suspect_after: 0, durability: None }
     }
 }
 
@@ -85,6 +92,9 @@ pub struct Cluster {
     data: EventChannel<SharedEvent>,
     ctrl_down: EventChannel<ControlMsg>,
     ctrl_up: EventChannel<ControlMsg>,
+    /// The durable-store configuration the cluster was started with, kept
+    /// for [`recover_site`](Cluster::recover_site).
+    durability: Option<DurabilityConfig>,
 }
 
 impl Cluster {
@@ -114,15 +124,38 @@ impl Cluster {
         let mut aux = MirrorConfig::default().build_central(sites);
         aux.install_kind(cfg.kind);
         aux.set_suspect_after(cfg.suspect_after);
-        let central = CentralSite::start(
-            MirrorHandle::new(aux),
-            clock.clone(),
-            data.publisher(),
-            ctrl_down.publisher(),
-            &ctrl_up,
-        );
+        let central = match &cfg.durability {
+            Some(dcfg) => {
+                let journal = Journal::open(dcfg)
+                    .unwrap_or_else(|e| panic!("open durable store at {:?}: {e}", dcfg.dir));
+                CentralSite::start_journaled(
+                    MirrorHandle::new(aux),
+                    clock.clone(),
+                    data.publisher(),
+                    ctrl_down.publisher(),
+                    &ctrl_up,
+                    std::sync::Arc::new(journal),
+                )
+            }
+            None => CentralSite::start(
+                MirrorHandle::new(aux),
+                clock.clone(),
+                data.publisher(),
+                ctrl_down.publisher(),
+                &ctrl_up,
+            ),
+        };
 
-        Cluster { clock, central, mirrors, retired: Vec::new(), data, ctrl_down, ctrl_up }
+        Cluster {
+            clock,
+            central,
+            mirrors,
+            retired: Vec::new(),
+            data,
+            ctrl_down,
+            ctrl_up,
+            durability: cfg.durability,
+        }
     }
 
     /// The shared clock.
@@ -251,22 +284,58 @@ impl Cluster {
         self.central.declare_link_dead(site);
     }
 
-    /// Replay the central backup queue's retained suffix from send index
-    /// `from_idx` onto the shared data channel. A mirror that reconnected
-    /// after an outage longer than its link's retransmit window catches up
-    /// this way; sites that already processed the events absorb the
-    /// replays idempotently (stale vector stamps do not advance EDE
-    /// state). Returns how many events were replayed.
-    pub fn resync_mirror(&self, from_idx: u64) -> usize {
-        let events = self.central.handle().retransmit_from(from_idx);
-        let n = events.len();
-        let data_pub = self.data.publisher();
-        for (_, e) in events {
-            // Replays share the backup queue's allocation (Arc), like the
-            // original sends did.
-            data_pub.publish(SharedEvent::new(e));
+    /// Replay the retained suffix from send index `from_idx` onto the
+    /// shared data channel. A mirror that reconnected after an outage
+    /// longer than its link's retransmit window catches up this way; sites
+    /// that already processed the events absorb the replays idempotently
+    /// (stale vector stamps do not advance EDE state).
+    ///
+    /// The in-memory backup queue serves outages shorter than one commit
+    /// interval; past that, the durable event log (if the cluster was
+    /// started with a [`DurabilityConfig`]) serves the rest. When neither
+    /// retains `from_idx`, the result is [`ResyncOutcome::Gap`] — replay
+    /// would silently skip events, so the caller must seed a snapshot
+    /// instead ([`rejoin_mirror`](Self::rejoin_mirror) /
+    /// [`recover_site`](Self::recover_site)).
+    pub fn resync_mirror(&self, from_idx: u64) -> ResyncOutcome {
+        let floor = self.central.handle().truncation_floor();
+        if from_idx >= floor {
+            let events = self.central.handle().retransmit_from(from_idx);
+            let n = events.len();
+            let data_pub = self.data.publisher();
+            for (_, e) in events {
+                // Replays share the backup queue's allocation (Arc), like
+                // the original sends did.
+                data_pub.publish(SharedEvent::new(e));
+            }
+            return ResyncOutcome::Replayed { events: n, source: ResyncSource::Memory };
         }
-        n
+        // The queue was pruned past from_idx: fall back to the log.
+        if let Some(journal) = self.central.journal() {
+            let log_first = journal.first_retained_idx();
+            if log_first.is_some_and(|first| first <= from_idx) {
+                match journal.replay_from(from_idx) {
+                    Ok(entries) => {
+                        let n = entries.len();
+                        let data_pub = self.data.publisher();
+                        for (_, e) in entries {
+                            data_pub.publish(SharedEvent::new(e));
+                        }
+                        return ResyncOutcome::Replayed {
+                            events: n,
+                            source: ResyncSource::DurableLog,
+                        };
+                    }
+                    Err(_) => {
+                        return ResyncOutcome::Gap { first_retained: log_first };
+                    }
+                }
+            }
+            return ResyncOutcome::Gap {
+                first_retained: log_first.map(|f| f.min(floor)).or(Some(floor)),
+            };
+        }
+        ResyncOutcome::Gap { first_retained: Some(floor) }
     }
 
     /// Replace a failed mirror with a fresh one recovered from the central
@@ -293,6 +362,58 @@ impl Cluster {
         replacement.seed(snapshot.restore(), frontier);
         self.central.readmit_mirror(site);
         self.mirrors[(site - 1) as usize] = replacement;
+    }
+
+    /// Persist the central EDE state as the durable recovery snapshot
+    /// (atomic replace). Bounds [`recover_site`](Self::recover_site)'s
+    /// replay work to the log suffix after this point. Returns the number
+    /// of flights captured; errors if the cluster has no durable store.
+    pub fn persist_snapshot(&self) -> std::io::Result<usize> {
+        self.central.persist_snapshot()
+    }
+
+    /// Cold-start recovery of a mirror from the durable store — no live
+    /// seed from the central EDE required (contrast
+    /// [`rejoin_mirror`](Self::rejoin_mirror), which snapshots the running
+    /// central): the replacement subscribes first (missing nothing), its
+    /// state is rebuilt from the persisted snapshot plus a full replay of
+    /// the retained log suffix, and it is readmitted into checkpoint
+    /// rounds. Stale replays are absorbed by the EDE's idempotent
+    /// per-flight guards, so over-replay converges to the live peers'
+    /// state hash.
+    ///
+    /// Returns the number of log entries replayed into the recovered
+    /// state. Errors if the cluster was started without a
+    /// [`DurabilityConfig`] or the store cannot be read.
+    pub fn recover_site(&mut self, site: SiteId) -> std::io::Result<usize> {
+        assert!(site >= 1 && (site as usize) <= self.mirrors.len());
+        let dir = self.durability.as_ref().map(|d| d.dir.clone()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::Unsupported, "cluster has no durable store")
+        })?;
+
+        let kind_params = self.central.handle().params();
+        let mut aux = MirrorConfig::with_params(kind_params).build_mirror(site);
+        aux.set_rules(self.central.handle().with(|a| a.rules().clone()));
+        let replacement = MirrorSite::start_seeded(
+            MirrorHandle::new(aux),
+            self.clock.clone(),
+            &self.data,
+            &self.ctrl_down,
+            self.ctrl_up.publisher(),
+        );
+        // Subscriptions are live; rebuild state from disk and seed it.
+        // Anything published between here and the seed install is buffered
+        // by the awaiting-seed main thread and replayed on top. The live
+        // journal must first push queued/buffered appends into the files
+        // this read is about to scan.
+        if let Some(j) = self.central.journal() {
+            j.flush()?;
+        }
+        let recovered = mirror_store::recover(&dir)?;
+        replacement.seed(recovered.state, recovered.frontier);
+        self.central.readmit_mirror(site);
+        self.mirrors[(site - 1) as usize] = replacement;
+        Ok(recovered.replayed)
     }
 
     /// Simulate a central-site crash (test/ops hook): stop its threads.
@@ -476,6 +597,7 @@ mod tests {
             mirrors: 1,
             kind: MirrorFnKind::Selective { overwrite: 10 },
             suspect_after: 0,
+            durability: None,
         });
         for seq in 1..=100u64 {
             cluster.submit(Event::faa_position(seq, 7, fix()));

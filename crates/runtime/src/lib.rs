@@ -19,10 +19,12 @@
 pub mod bridge;
 pub mod clock;
 pub mod cluster;
+pub mod durability;
 pub mod requests;
 pub mod site;
 
 pub use clock::RuntimeClock;
 pub use cluster::{Cluster, ClusterConfig, ClusterStats, SiteStats};
+pub use durability::{DurabilityConfig, Journal, ResyncOutcome, ResyncSource};
 pub use requests::{RequestClient, RequestGateway};
 pub use site::{CentralSite, MirrorSite};

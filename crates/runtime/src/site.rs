@@ -32,6 +32,7 @@ use mirror_echo::wire::SharedEvent;
 use mirror_ede::{Ede, OperationalState, Snapshot};
 
 use crate::clock::RuntimeClock;
+use crate::durability::Journal;
 
 /// How often an idle aux thread flushes coalescing buffers.
 const FLUSH_PERIOD: Duration = Duration::from_millis(20);
@@ -304,7 +305,7 @@ fn route_actions(
             AuxAction::ControlToMain(m) => {
                 let _ = main_tx.send(MainMsg::Ctrl(m.clone()));
             }
-            AuxAction::Mirror(_) => {
+            AuxAction::Mirror { .. } => {
                 shared.counters.mirrored.fetch_add(1, Ordering::Relaxed);
                 on_action(&action);
             }
@@ -411,6 +412,9 @@ pub struct CentralSite {
     /// Per-mirror transport link monitors (bridged mirrors only): the
     /// status table's link-health column.
     links: LinkTable,
+    /// Durable event journal (present when the cluster was started with a
+    /// [`DurabilityConfig`](crate::durability::DurabilityConfig)).
+    journal: Option<Arc<Journal>>,
 }
 
 /// Shared registry of transport link monitors, keyed by mirror site.
@@ -426,7 +430,22 @@ impl CentralSite {
         ctrl_down_pub: Publisher<ControlMsg>,
         ctrl_up: &EventChannel<ControlMsg>,
     ) -> Self {
-        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, false)
+        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, false, None)
+    }
+
+    /// Start a central site that journals every mirrored event (and its
+    /// checkpoint-commit watermarks) to the given durable store. The
+    /// journal write shares the event's cached wire encoding with the
+    /// data-channel fan-out: one encode, one extra `write`.
+    pub fn start_journaled(
+        handle: MirrorHandle,
+        clock: RuntimeClock,
+        data_pub: Publisher<SharedEvent>,
+        ctrl_down_pub: Publisher<ControlMsg>,
+        ctrl_up: &EventChannel<ControlMsg>,
+        journal: Arc<Journal>,
+    ) -> Self {
+        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, false, Some(journal))
     }
 
     /// Start a central site that buffers incoming events until
@@ -441,7 +460,7 @@ impl CentralSite {
         ctrl_down_pub: Publisher<ControlMsg>,
         ctrl_up: &EventChannel<ControlMsg>,
     ) -> Self {
-        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, true)
+        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, true, None)
     }
 
     fn start_inner(
@@ -451,20 +470,40 @@ impl CentralSite {
         ctrl_down_pub: Publisher<ControlMsg>,
         ctrl_up: &EventChannel<ControlMsg>,
         await_seed: bool,
+        journal: Option<Arc<Journal>>,
     ) -> Self {
         assert!(handle.with(|a| a.is_central()));
         let updates = EventChannel::new("central.updates");
         let updates_pub = updates.publisher();
         let failed: Arc<Mutex<Vec<SiteId>>> = Arc::new(Mutex::new(Vec::new()));
         let failed_in_route = Arc::clone(&failed);
+        let journal_in_route = journal.clone();
+        // The aux unit has released its lock by the time actions are
+        // routed, so querying the backup queue's truncation floor from
+        // inside the route closure is deadlock-free.
+        let floor_handle = handle.clone();
         let route = move |action: &AuxAction| match action {
-            AuxAction::Mirror(ev) => {
+            AuxAction::Mirror { idx, event } => {
                 // One publish fans out to every mirror subscriber as an
                 // Arc clone; the wire encoding is computed at most once
-                // across all bridges (SharedEvent's cache).
-                data_pub.publish(SharedEvent::new(Arc::clone(ev)));
+                // across all consumers (SharedEvent's cache) — the journal
+                // writer forces it off-thread and bridges then reuse it.
+                let shared = SharedEvent::new(Arc::clone(event));
+                if let Some(j) = &journal_in_route {
+                    // Write-ahead: the event is durable (per the fsync
+                    // policy) before the mirrors acknowledge a checkpoint
+                    // covering it.
+                    j.append(*idx, &shared);
+                }
+                data_pub.publish(shared);
             }
             AuxAction::ControlToMirrors(m) => {
+                if let (Some(j), ControlMsg::Commit { .. }) = (&journal_in_route, m) {
+                    // The aux unit pruned its backup queue when it emitted
+                    // this commit; the queue's oldest retained index is the
+                    // durable truncation watermark.
+                    j.commit(floor_handle.truncation_floor());
+                }
                 ctrl_down_pub.publish(m.clone());
             }
             AuxAction::MirrorFailed(site) => {
@@ -484,7 +523,7 @@ impl CentralSite {
         // Forward checkpoint replies from mirrors into the aux inbox.
         let up_sub = ctrl_up.subscribe();
         let mut site =
-            CentralSite { core, updates, failed, links: Arc::new(Mutex::new(Vec::new())) };
+            CentralSite { core, updates, failed, links: Arc::new(Mutex::new(Vec::new())), journal };
         let stop = Arc::clone(&site.core.stop);
         let fwd = std::thread::Builder::new()
             .name("central-ctrl-up".into())
@@ -572,6 +611,27 @@ impl CentralSite {
                 }
             }
         }
+    }
+
+    /// The durable journal, when this site was started with one.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Persist the current EDE state as the durable recovery snapshot
+    /// (atomic replace), consistent with the main unit's processed
+    /// frontier. Returns the number of flights captured.
+    ///
+    /// Errors if the site has no journal or the save fails.
+    pub fn persist_snapshot(&self) -> std::io::Result<usize> {
+        let journal = self.journal.as_ref().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::Unsupported, "site has no durable store")
+        })?;
+        let as_of: VectorTimestamp = self.core.shared.responder.lock().processed().clone();
+        let ede = self.core.shared.ede.lock();
+        let state = ede.state();
+        journal.save_snapshot(state, &as_of)?;
+        Ok(state.flights().len())
     }
 
     site_common_impl!();

@@ -1,0 +1,300 @@
+//! Atomic, checksummed persistence for EDE snapshots.
+//!
+//! A persisted snapshot is the durable twin of [`mirror_ede::Snapshot`]: the
+//! full per-flight view map plus the vector timestamp (`as_of`) it is
+//! consistent with. One file, written atomically (tmp + rename + dir fsync)
+//! so a crash mid-save leaves the previous snapshot intact, and guarded by a
+//! trailing CRC-32 so a partially persisted file reads as "no snapshot"
+//! rather than as corrupt state.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! magic  "MSNP"  version u8=1
+//! u32 stamp_width, then width × u64 stamp components
+//! u32 flight_count, then per flight:
+//!   u32 id   u8 status   u8 has_position
+//!   [f64 lat, lon, alt_ft, speed_kts, heading_deg]  (only if has_position)
+//!   u64 position_seq
+//!   u32 boarded  u32 expected  u32 bags_loaded  u32 bags_reconciled
+//!   u64 updates
+//! u32 crc32 over everything above
+//! ```
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+
+use mirror_core::event::{FlightId, FlightStatus, PositionFix};
+use mirror_core::timestamp::VectorTimestamp;
+use mirror_ede::flight::FlightView;
+use mirror_ede::state::OperationalState;
+
+use crate::crc::crc32;
+
+const MAGIC: &[u8; 4] = b"MSNP";
+const VERSION: u8 = 1;
+const FILE: &str = "snapshot.bin";
+const TMP: &str = "snapshot.tmp";
+
+/// A snapshot read back from disk: the flight map plus the vector timestamp
+/// it is consistent with.
+#[derive(Debug, Clone)]
+pub struct PersistedSnapshot {
+    /// Per-flight operational views at capture time.
+    pub flights: HashMap<FlightId, FlightView>,
+    /// Checkpoint frontier the snapshot is consistent with.
+    pub as_of: VectorTimestamp,
+}
+
+impl PersistedSnapshot {
+    /// Rebuild an [`OperationalState`] holding exactly these flights.
+    pub fn into_state(self) -> OperationalState {
+        let mut state = OperationalState::new();
+        state.install(self.flights);
+        state
+    }
+}
+
+/// Snapshot persistence rooted at one directory (shared with the event log).
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Create the store, ensuring `dir` exists.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// Atomically persist `state` as a snapshot consistent with `as_of`,
+    /// replacing any previous snapshot.
+    pub fn save(&self, state: &OperationalState, as_of: &VectorTimestamp) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(64 + state.flights().len() * 64);
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        let comps = as_of.components();
+        buf.extend_from_slice(&(comps.len() as u32).to_le_bytes());
+        for &c in comps {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        // Deterministic order: ids sorted, so identical states produce
+        // byte-identical files (handy for test diffing).
+        let mut ids: Vec<FlightId> = state.flights().keys().copied().collect();
+        ids.sort_unstable();
+        buf.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for id in ids {
+            let v = &state.flights()[&id];
+            buf.extend_from_slice(&id.to_le_bytes());
+            buf.push(v.status as u8);
+            match &v.position {
+                Some(p) => {
+                    buf.push(1);
+                    for f in [p.lat, p.lon, p.alt_ft, p.speed_kts, p.heading_deg] {
+                        buf.extend_from_slice(&f.to_le_bytes());
+                    }
+                }
+                None => buf.push(0),
+            }
+            buf.extend_from_slice(&v.position_seq.to_le_bytes());
+            for n in [v.boarded, v.expected, v.bags_loaded, v.bags_reconciled] {
+                buf.extend_from_slice(&n.to_le_bytes());
+            }
+            buf.extend_from_slice(&v.updates.to_le_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+
+        let tmp = self.dir.join(TMP);
+        let fin = self.dir.join(FILE);
+        let mut f = File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_data()?;
+        fs::rename(&tmp, &fin)?;
+        File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
+
+    /// Load the persisted snapshot. `Ok(None)` if no snapshot exists or the
+    /// file fails its integrity check (a torn save is treated as absent, not
+    /// as an error — the caller falls back to full log replay).
+    pub fn load(&self) -> io::Result<Option<PersistedSnapshot>> {
+        let mut buf = Vec::new();
+        match File::open(self.dir.join(FILE)) {
+            Ok(mut f) => f.read_to_end(&mut buf)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if buf.len() < MAGIC.len() + 1 + 4 {
+            return Ok(None);
+        }
+        let (body, tail) = buf.split_at(buf.len() - 4);
+        let stored_crc = u32::from_le_bytes(tail.try_into().unwrap());
+        if crc32(body) != stored_crc || &body[..4] != MAGIC || body[4] != VERSION {
+            return Ok(None);
+        }
+
+        let mut r = Cursor { buf: &body[5..] };
+        let width = r.u32()? as usize;
+        let mut comps = Vec::with_capacity(width);
+        for _ in 0..width {
+            comps.push(r.u64()?);
+        }
+        let as_of = VectorTimestamp::from_components(comps);
+        let count = r.u32()? as usize;
+        let mut flights = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let id = r.u32()?;
+            let status = FlightStatus::from_u8(r.u8()?)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status"))?;
+            let position = if r.u8()? == 1 {
+                Some(PositionFix {
+                    lat: r.f64()?,
+                    lon: r.f64()?,
+                    alt_ft: r.f64()?,
+                    speed_kts: r.f64()?,
+                    heading_deg: r.f64()?,
+                })
+            } else {
+                None
+            };
+            let view = FlightView {
+                status,
+                position,
+                position_seq: r.u64()?,
+                boarded: r.u32()?,
+                expected: r.u32()?,
+                bags_loaded: r.u32()?,
+                bags_reconciled: r.u32()?,
+                updates: r.u64()?,
+            };
+            flights.insert(id, view);
+        }
+        Ok(Some(PersistedSnapshot { flights, as_of }))
+    }
+
+    /// Whether a snapshot file currently exists (integrity not checked).
+    pub fn exists(&self) -> bool {
+        self.dir.join(FILE).exists()
+    }
+}
+
+/// Minimal little-endian reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> io::Result<&[u8]> {
+        if self.buf.len() < n {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short snapshot"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirror_core::event::Event;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mirror-snap-{}-{}", std::process::id(), tag));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn populated_state() -> OperationalState {
+        let mut s = OperationalState::new();
+        for seq in 1..=50u64 {
+            let e = Event::faa_position(
+                seq,
+                (seq % 7) as u32,
+                PositionFix {
+                    lat: seq as f64,
+                    lon: -(seq as f64),
+                    alt_ft: 100.0 * seq as f64,
+                    speed_kts: 400.0,
+                    heading_deg: 90.0,
+                },
+            );
+            s.apply(&e);
+        }
+        s
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_state_hash() {
+        let dir = test_dir("roundtrip");
+        let state = populated_state();
+        let mut as_of = VectorTimestamp::new(2);
+        as_of.advance(0, 50);
+
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.save(&state, &as_of).unwrap();
+        let loaded = store.load().unwrap().expect("snapshot present");
+        assert_eq!(loaded.as_of, as_of);
+        let restored = loaded.into_state();
+        assert_eq!(restored.state_hash(), state.state_hash());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_and_corrupt_snapshots_read_as_none() {
+        let dir = test_dir("corrupt");
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert!(store.load().unwrap().is_none());
+
+        let state = populated_state();
+        store.save(&state, &VectorTimestamp::new(2)).unwrap();
+        assert!(store.load().unwrap().is_some());
+
+        // Flip one byte: the CRC must reject the file.
+        let path = dir.join(FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load().unwrap().is_none(), "corrupt snapshot must read as absent");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_replaces_previous_snapshot() {
+        let dir = test_dir("replace");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let mut s1 = OperationalState::new();
+        s1.apply(&Event::faa_position(
+            1,
+            1,
+            PositionFix { lat: 0.0, lon: 0.0, alt_ft: 0.0, speed_kts: 0.0, heading_deg: 90.0 },
+        ));
+        store.save(&s1, &VectorTimestamp::new(1)).unwrap();
+
+        let s2 = populated_state();
+        let mut as_of = VectorTimestamp::new(1);
+        as_of.advance(0, 50);
+        store.save(&s2, &as_of).unwrap();
+
+        let loaded = store.load().unwrap().unwrap();
+        assert_eq!(loaded.into_state().state_hash(), s2.state_hash());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

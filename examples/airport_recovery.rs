@@ -40,6 +40,7 @@ fn main() {
         mirrors: 4,
         kind: MirrorFnKind::Simple,
         suspect_after: 0,
+        durability: None,
     }));
 
     // Background ops feed: a steady stream of position updates.

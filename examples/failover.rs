@@ -37,8 +37,12 @@ fn feed(cluster: &Cluster, seq: &mut u64, n: u64) {
 }
 
 fn main() {
-    let mut cluster =
-        Cluster::start(ClusterConfig { mirrors: 2, kind: MirrorFnKind::Simple, suspect_after: 5 });
+    let mut cluster = Cluster::start(ClusterConfig {
+        mirrors: 2,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 5,
+        durability: None,
+    });
     cluster.central().handle().set_params(false, 1, 20);
     let mut balancer = Balancer::new(vec![1, 2], BalancerPolicy::RoundRobin);
     let mut seq = 0u64;

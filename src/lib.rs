@@ -29,6 +29,7 @@
 //!     mirrors: 2,
 //!     kind: MirrorFnKind::Simple,
 //!     suspect_after: 0,
+//!     durability: None,
 //! });
 //! let fix = PositionFix { lat: 33.6, lon: -84.4, alt_ft: 31000.0,
 //!                         speed_kts: 450.0, heading_deg: 270.0 };

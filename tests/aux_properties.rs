@@ -87,7 +87,7 @@ proptest! {
                     AuxAction::ForwardToMain(f) => {
                         full.process(&f);
                     }
-                    AuxAction::Mirror(m) => {
+                    AuxAction::Mirror { event: m, .. } => {
                         thin.process(&m);
                     }
                     _ => {}
@@ -96,7 +96,7 @@ proptest! {
         }
         // Drain any coalescing tail.
         for a in aux.handle(AuxInput::Flush) {
-            if let AuxAction::Mirror(m) = a {
+            if let AuxAction::Mirror { event: m, .. } = a {
                 thin.process(&m);
             }
         }
@@ -161,7 +161,7 @@ fn coalescing_conserves_counts_across_flushes() {
     for seq in 1..=97u64 {
         let e = Event::faa_position(seq, (seq % 3) as u32, fix(seq as f64));
         for a in aux.handle(AuxInput::Data(e.into())) {
-            if let AuxAction::Mirror(m) = a {
+            if let AuxAction::Mirror { event: m, .. } = a {
                 sent += 1;
                 if let EventBody::Coalesced { count, .. } = m.body {
                     total_represented += count as u64;
@@ -172,7 +172,7 @@ fn coalescing_conserves_counts_across_flushes() {
         }
         if seq % 13 == 0 {
             for a in aux.handle(AuxInput::Flush) {
-                if let AuxAction::Mirror(m) = a {
+                if let AuxAction::Mirror { event: m, .. } = a {
                     sent += 1;
                     if let EventBody::Coalesced { count, .. } = m.body {
                         total_represented += count as u64;
@@ -184,7 +184,7 @@ fn coalescing_conserves_counts_across_flushes() {
         }
     }
     for a in aux.handle(AuxInput::Flush) {
-        if let AuxAction::Mirror(m) = a {
+        if let AuxAction::Mirror { event: m, .. } = a {
             sent += 1;
             if let EventBody::Coalesced { count, .. } = m.body {
                 total_represented += count as u64;

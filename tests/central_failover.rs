@@ -16,8 +16,12 @@ fn fix() -> PositionFix {
 
 #[test]
 fn promoted_mirror_takes_over_as_coordinator() {
-    let mut cluster =
-        Cluster::start(ClusterConfig { mirrors: 3, kind: MirrorFnKind::Simple, suspect_after: 0 });
+    let mut cluster = Cluster::start(ClusterConfig {
+        mirrors: 3,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 0,
+        durability: None,
+    });
     cluster.central().handle().set_params(false, 1, 20);
     let updates = cluster.subscribe_updates();
 

@@ -28,8 +28,12 @@ fn feed(cluster: &Cluster, from: u64, to: u64) {
 
 #[test]
 fn dead_mirror_is_detected_and_commits_resume() {
-    let mut cluster =
-        Cluster::start(ClusterConfig { mirrors: 2, kind: MirrorFnKind::Simple, suspect_after: 5 });
+    let mut cluster = Cluster::start(ClusterConfig {
+        mirrors: 2,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 5,
+        durability: None,
+    });
     cluster.central().handle().set_params(false, 1, 20);
 
     feed(&cluster, 1, 100);
@@ -56,8 +60,12 @@ fn dead_mirror_is_detected_and_commits_resume() {
 
 #[test]
 fn rejoined_mirror_recovers_full_state_and_participates() {
-    let mut cluster =
-        Cluster::start(ClusterConfig { mirrors: 2, kind: MirrorFnKind::Simple, suspect_after: 5 });
+    let mut cluster = Cluster::start(ClusterConfig {
+        mirrors: 2,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 5,
+        durability: None,
+    });
     cluster.central().handle().set_params(false, 1, 20);
 
     feed(&cluster, 1, 200);
@@ -103,6 +111,7 @@ fn detection_disabled_by_default_never_excludes() {
         mirrors: 2,
         kind: MirrorFnKind::Simple,
         suspect_after: 0, // paper default: no timeouts, no exclusion
+        durability: None,
     });
     cluster.central().handle().set_params(false, 1, 10);
     feed(&cluster, 1, 50);

@@ -22,6 +22,7 @@ fn request_storm_engages_and_releases_adaptation_live() {
         mirrors: 1,
         kind: MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 25 },
         suspect_after: 0,
+        durability: None,
     });
     // Configure adaptation through the Table-1 API on the live cluster.
     let normal = MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 25 };

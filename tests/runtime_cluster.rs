@@ -84,6 +84,7 @@ fn concurrent_submitters_do_not_corrupt_state() {
         mirrors: 2,
         kind: MirrorFnKind::Simple,
         suspect_after: 0,
+        durability: None,
     }));
     // Four threads, each its own stream id, so per-stream seq stays unique.
     let mut handles = Vec::new();

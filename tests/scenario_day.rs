@@ -43,8 +43,12 @@ fn full_day_through_live_cluster_matches_ground_truth() {
     let day = generate(&cfg);
     assert!(!day.late_inbounds.is_empty(), "scenario must contain late inbounds");
 
-    let cluster =
-        Cluster::start(ClusterConfig { mirrors: 2, kind: MirrorFnKind::Simple, suspect_after: 0 });
+    let cluster = Cluster::start(ClusterConfig {
+        mirrors: 2,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 0,
+        durability: None,
+    });
     let updates = cluster.subscribe_updates();
 
     // Stream the day (events carry scenario ingress times; delivery order
@@ -121,7 +125,8 @@ fn scenario_state_is_identical_under_selective_mirroring_at_the_central() {
     let day = generate(&ScenarioConfig { banks: 2, flights_per_bank: 6, ..Default::default() });
 
     let run = |kind| {
-        let cluster = Cluster::start(ClusterConfig { mirrors: 1, kind, suspect_after: 0 });
+        let cluster =
+            Cluster::start(ClusterConfig { mirrors: 1, kind, suspect_after: 0, durability: None });
         for (_, e) in &day.events {
             cluster.submit(e.clone());
         }
