@@ -144,6 +144,15 @@ impl CentralCheckpointer {
     /// resumes participating in checkpoint rounds.
     pub fn readmit(&mut self, site: SiteId) {
         self.failed.retain(|&s| s != site);
+        // A round begun before this readmission addressed its CHKPT to the
+        // site's *old* instance; the replacement never saw the proposal and
+        // will never reply, so it must stop gating that round. Otherwise a
+        // participant evicted and readmitted mid-round would be back in the
+        // membership with no reply ever coming — permanently incompletable,
+        // yet never classified wedged by `pending_wedged`.
+        if let Some(p) = &mut self.pending {
+            p.participants.retain(|&s| s != site);
+        }
         // Give the rejoined site a fresh baseline so it is not instantly
         // re-flagged for rounds it never saw.
         let newest = self.last_reply_round.values().copied().max().unwrap_or(0);
@@ -172,10 +181,13 @@ impl CentralCheckpointer {
     ///
     /// True exactly when every participant still in the membership has
     /// already replied and yet the round did not commit. That state is
-    /// only reachable when membership shrank *after* the last reply was
-    /// consumed: completion is checked on reply arrival, so an eviction
-    /// that removes the one straggler leaves nothing to trigger it. The
-    /// round must be abandoned and restarted. A round merely waiting on a
+    /// reachable when membership shrank *after* the last reply was
+    /// consumed (completion is checked on reply arrival, so an eviction
+    /// that removes the one straggler leaves nothing to trigger it), or
+    /// when a participant was evicted and readmitted mid-round
+    /// ([`readmit`](Self::readmit) drops it from the round's participant
+    /// set — its new instance never saw the CHKPT and will never reply).
+    /// The round must be abandoned and restarted. A round merely waiting on a
     /// slow or partitioned member is **not** wedged — its reply will
     /// arrive (or detection will evict it, producing this state).
     pub fn pending_wedged(&self) -> bool {
@@ -667,6 +679,31 @@ mod tests {
         central.on_reply(central.rounds_started, 2, vt(&[3]));
         assert!(central.on_reply(central.rounds_started, CENTRAL_SITE, vt(&[3])).is_some());
         assert!(central.failed.is_empty(), "failed: {:?}", central.failed);
+    }
+
+    #[test]
+    fn evict_then_readmit_mid_round_leaves_round_wedged_not_stuck() {
+        let mut central = CentralCheckpointer::new(vec![1, 2]);
+        central.begin(vt(&[5]));
+        assert!(central.on_reply(1, 1, vt(&[5])).is_none());
+        assert!(central.on_reply(1, CENTRAL_SITE, vt(&[5])).is_none());
+        assert!(!central.pending_wedged(), "mirror 2's reply is still possible");
+        // Mirror 2 dies and is replaced mid-round: its new instance never
+        // saw round 1's CHKPT, so no reply for this round will ever come.
+        assert!(central.declare_failed(2));
+        central.readmit(2);
+        assert_eq!(central.mirrors(), &[1, 2]);
+        assert!(central.round_in_flight());
+        assert!(
+            central.pending_wedged(),
+            "a readmitted participant must not gate a round begun before its readmission"
+        );
+        // The wedged round is restartable and the fresh one commits with
+        // both mirrors.
+        central.begin(vt(&[6]));
+        assert!(central.on_reply(2, 1, vt(&[6])).is_none());
+        assert!(central.on_reply(2, 2, vt(&[6])).is_none());
+        assert!(central.on_reply(2, CENTRAL_SITE, vt(&[6])).is_some());
     }
 
     #[test]

@@ -298,9 +298,16 @@ impl Cluster {
     /// instead ([`rejoin_mirror`](Self::rejoin_mirror) /
     /// [`recover_site`](Self::recover_site)).
     pub fn resync_mirror(&self, from_idx: u64) -> ResyncOutcome {
-        let floor = self.central.handle().truncation_floor();
-        if from_idx >= floor {
-            let events = self.central.handle().retransmit_from(from_idx);
+        // Floor check and retransmission under ONE aux lock: checkpoint
+        // commits prune under the same lock, so a commit landing between a
+        // separate check and replay could move the floor past `from_idx`
+        // and turn the "replayed" result into a silent gap.
+        let (floor, events) = self.central.handle().with(|a| {
+            let floor = a.truncation_floor();
+            let events = (from_idx >= floor).then(|| a.retransmit_from(from_idx));
+            (floor, events)
+        });
+        if let Some(events) = events {
             let n = events.len();
             let data_pub = self.data.publisher();
             for (_, e) in events {
@@ -403,13 +410,19 @@ impl Cluster {
         );
         // Subscriptions are live; rebuild state from disk and seed it.
         // Anything published between here and the seed install is buffered
-        // by the awaiting-seed main thread and replayed on top. The live
-        // journal must first push queued/buffered appends into the files
-        // this read is about to scan.
-        if let Some(j) = self.central.journal() {
-            j.flush()?;
-        }
-        let recovered = mirror_store::recover(&dir)?;
+        // by the awaiting-seed main thread and replayed on top.
+        //
+        // With a live journal the recovery read MUST go through it: its
+        // lock-protected EventLog serves the replay, so concurrent
+        // publishes keep journaling safely. `mirror_store::recover` —
+        // which opens a second EventLog on the directory and runs
+        // *destructive* crash repair, corrupting a log that is still being
+        // appended to — is reserved for the no-live-writer case (e.g. the
+        // journaled central was stopped, or replaced by promotion).
+        let recovered = match self.central.journal() {
+            Some(j) => j.recover()?,
+            None => mirror_store::recover(&dir)?,
+        };
         replacement.seed(recovered.state, recovered.frontier);
         self.central.readmit_mirror(site);
         self.mirrors[(site - 1) as usize] = replacement;

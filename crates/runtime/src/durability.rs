@@ -225,6 +225,32 @@ impl Journal {
         self.snapshots.save(state, as_of)
     }
 
+    /// Load the persisted EDE snapshot, if one exists and is intact (a
+    /// torn/corrupt file reads as absent). Non-mutating.
+    pub fn load_snapshot(&self) -> io::Result<Option<mirror_store::PersistedSnapshot>> {
+        self.snapshots.load()
+    }
+
+    /// Cold-start recovery **through** the live journal: load the persisted
+    /// snapshot, replay the full retained log suffix, and rebuild the EDE
+    /// state — all served by this journal's own lock-protected
+    /// [`EventLog`], with a drain barrier covering every op enqueued before
+    /// the call.
+    ///
+    /// This is the only safe way to recover while the journal is live:
+    /// [`mirror_store::recover`] opens a *second* `EventLog` on the
+    /// directory, whose destructive crash repair (truncation, segment
+    /// deletion) races any append this journal flushes mid-scan and can
+    /// permanently corrupt the live log. Concurrent appends stay safe here
+    /// because the replay holds the log mutex; events journaled after the
+    /// drain barrier are simply not part of the replay — a seeding caller
+    /// picks them up from its live subscription instead.
+    pub fn recover(&self) -> io::Result<mirror_store::Recovered> {
+        let snapshot = self.snapshots.load()?;
+        let entries = self.replay_from(0)?;
+        Ok(mirror_store::rebuild(snapshot, entries))
+    }
+
     /// The first IO error the journal swallowed on the write path, if any.
     /// Drains first, so a sick disk surfaces as soon as an op has hit it.
     pub fn last_error(&self) -> Option<io::ErrorKind> {

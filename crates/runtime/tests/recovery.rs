@@ -183,6 +183,55 @@ fn recover_site_from_snapshot_and_log_matches_live_peers() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Recovery must be safe while traffic is still flowing: the store read
+/// goes through the live journal's lock-protected log, never a second
+/// (destructive) `EventLog::open` on the directory the journal is
+/// appending to. Submissions are still in flight through the channels and
+/// the journal writer queue when `recover_site` runs, so appends race the
+/// recovery read — the journal must stay healthy and the log must still
+/// serve the complete stream afterwards.
+#[test]
+fn recover_site_under_live_traffic_keeps_journal_intact() {
+    let (cfg, dir) = durable_cfg("liverec", 2);
+    let mut cluster = Cluster::start(cfg);
+    cluster.central().handle().set_params(false, 1, 25);
+
+    feed(&cluster, 1, 100);
+    assert!(cluster.wait_all_processed(100, Duration::from_secs(5)));
+    cluster.persist_snapshot().expect("persist snapshot");
+
+    cluster.fail_mirror(1);
+    // Recover WITHOUT quiescing: these events are still draining through
+    // the pumps and the journal writer while the store is read.
+    feed(&cluster, 101, 400);
+    let replayed = cluster.recover_site(1).expect("recover under live traffic");
+    assert!(replayed > 0, "recovery must replay the log suffix");
+    feed(&cluster, 401, 440);
+
+    assert!(
+        cluster.wait(Duration::from_secs(10), |c| {
+            c.central().processed() >= 440
+                && c.central().committed().map(|t| t.get(0) >= 400).unwrap_or(false)
+                && hashes_converged(c)
+        }),
+        "recovered mirror must converge under live traffic: hashes={:?} committed={:?}",
+        cluster.state_hashes(),
+        cluster.central().committed(),
+    );
+    let journal = cluster.central().journal().unwrap();
+    assert!(journal.last_error().is_none(), "journal must stay healthy");
+    // The log survived the concurrent recovery read: the full stream is
+    // still replayable (no truncation hole from a racing repair).
+    match cluster.resync_mirror(1) {
+        ResyncOutcome::Replayed { events, source: ResyncSource::DurableLog } => {
+            assert_eq!(events, 440, "log must still hold the complete stream");
+        }
+        other => panic!("expected durable-log replay of the full stream, got {other:?}"),
+    }
+    cluster.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// Recovery without durability configured is a typed error, not a panic.
 #[test]
 fn recover_site_without_store_is_unsupported() {

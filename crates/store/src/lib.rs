@@ -35,7 +35,9 @@ pub use crate::snapshot::{PersistedSnapshot, SnapshotStore};
 
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
+use mirror_core::event::Event;
 use mirror_core::timestamp::VectorTimestamp;
 use mirror_ede::state::OperationalState;
 
@@ -56,6 +58,14 @@ pub struct Recovered {
 /// Rebuild EDE state from a store directory: snapshot (if present and
 /// intact) plus a full replay of the retained log suffix.
 ///
+/// **Requires exclusive access to `dir`.** [`EventLog::open`] runs
+/// destructive crash repair (truncating torn tails, deleting segments past
+/// a hole); running it on a directory a live `EventLog` is still appending
+/// to can truncate the live writer's active segment out from under it and
+/// permanently corrupt the log. An embedding that holds a live log must
+/// recover *through* it (replay under its lock, e.g. the runtime's
+/// `Journal::recover`) and call [`rebuild`] on the result instead.
+///
 /// The entire retained log is replayed, not just the part after the
 /// snapshot's frontier — computing the exact cut would need a per-entry
 /// stamp comparison, and the EDE's idempotent guards make over-replay free
@@ -63,17 +73,24 @@ pub struct Recovered {
 /// to pure log replay.
 pub fn recover(dir: impl AsRef<Path>) -> io::Result<Recovered> {
     let dir = dir.as_ref();
-    let snap_store = SnapshotStore::open(dir)?;
-    let (mut state, mut frontier) = match snap_store.load()? {
+    let snapshot = SnapshotStore::open(dir)?.load()?;
+    let mut log = EventLog::open(dir, LogConfig::default())?;
+    let entries = log.replay_from(0)?;
+    Ok(rebuild(snapshot, entries))
+}
+
+/// Assemble recovered state from already-loaded pieces: restore `snapshot`
+/// (if any), then replay `entries` on top. Pure in-memory — no file access
+/// — so it composes with any way of obtaining the log suffix, in
+/// particular a replay served by a live, lock-protected log.
+pub fn rebuild(snapshot: Option<PersistedSnapshot>, entries: Vec<(u64, Arc<Event>)>) -> Recovered {
+    let (mut state, mut frontier) = match snapshot {
         Some(snap) => {
             let as_of = snap.as_of.clone();
             (snap.into_state(), as_of)
         }
         None => (OperationalState::new(), VectorTimestamp::empty()),
     };
-
-    let mut log = EventLog::open(dir, LogConfig::default())?;
-    let entries = log.replay_from(0)?;
     let replayed = entries.len();
     let mut last_replayed_idx = None;
     for (idx, ev) in entries {
@@ -81,8 +98,7 @@ pub fn recover(dir: impl AsRef<Path>) -> io::Result<Recovered> {
         frontier.merge(&ev.stamp);
         last_replayed_idx = Some(idx);
     }
-
-    Ok(Recovered { state, frontier, replayed, last_replayed_idx })
+    Recovered { state, frontier, replayed, last_replayed_idx }
 }
 
 #[cfg(test)]

@@ -326,7 +326,17 @@ impl EventLog {
                 fs::remove_file(path)?;
                 continue;
             }
-            let (frames, valid_end) = scan_segment(path)?;
+            let (mut frames, mut valid_end) = scan_segment(path)?;
+            // Monotonicity across the segment boundary: scan_segment only
+            // checks within one file, so a corrupt/misnamed segment whose
+            // first frame does not exceed the previous segment's last index
+            // would otherwise replay overlapping or out-of-order indices.
+            // Treat the regression like any other corruption: discard this
+            // segment entirely (and, via `hole`, everything after it).
+            if last_idx.is_some_and(|last| frames.first().is_some_and(|f| f.idx <= last)) {
+                frames.clear();
+                valid_end = 0;
+            }
             let file_len = fs::metadata(path)?.len();
             if valid_end < file_len {
                 // Torn/corrupt tail: truncate to the last valid frame.
@@ -722,6 +732,29 @@ mod tests {
         let mut log = EventLog::open(&dir, LogConfig::default()).unwrap();
         assert_eq!(log.last_idx(), Some(2), "frames 3..5 follow the corruption");
         assert_eq!(log.replay_from(1).unwrap().len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overlapping_segment_is_discarded_as_corruption() {
+        let dir = test_dir("overlap");
+        let mut log = EventLog::open(&dir, LogConfig::default()).unwrap();
+        for i in 1..=5u64 {
+            let (_, b) = wire_bytes(i);
+            log.append(i, &b).unwrap();
+        }
+        drop(log);
+        // A second segment claiming to start at 6 but holding frames 1..=5
+        // again: its first frame regresses below the predecessor's last
+        // index, so the whole segment must be treated as corruption.
+        fs::copy(segment_path(&dir, 1), segment_path(&dir, 6)).unwrap();
+
+        let mut log = EventLog::open(&dir, LogConfig::default()).unwrap();
+        assert_eq!(log.last_idx(), Some(5), "overlap must not extend the log");
+        let got = log.replay_from(1).unwrap();
+        assert_eq!(got.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(log.segment_count(), 1, "the overlapping segment is deleted");
+        assert!(!segment_path(&dir, 6).exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 
