@@ -16,6 +16,7 @@ use mirror_core::mirrorfn::MirrorFnKind;
 use mirror_core::params::MirrorParams;
 use mirror_core::timestamp::VectorTimestamp;
 use mirror_core::ControlMsg;
+use mirror_ede::{FlightView, Snapshot};
 
 /// Wire-format version byte; bumped on incompatible change.
 pub const WIRE_VERSION: u8 = 1;
@@ -27,6 +28,7 @@ const KIND_SEQ: u8 = 2;
 const KIND_ACK: u8 = 3;
 const KIND_HELLO: u8 = 4;
 const KIND_BATCH: u8 = 5;
+const KIND_SNAPSHOT: u8 = 6;
 
 /// Decoding/encoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -631,6 +633,96 @@ fn decode_kind(buf: &mut Bytes) -> Result<Option<MirrorFnKind>, WireError> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot codec
+// ---------------------------------------------------------------------
+
+/// Encode an initial-state [`Snapshot`] into a standalone wire frame.
+///
+/// Snapshots travel the *request* path (gateway → recovering display), not
+/// the mirroring stream, so the codec is deliberately not a [`Frame`]
+/// variant: data-path decoders never see `KIND_SNAPSHOT` and need no
+/// changes. Layout: version u8, kind u8, flight-count u32, `as_of` stamp,
+/// then one entry per flight **in ascending flight-id order** (canonical —
+/// equal snapshots encode to equal bytes): id u32, status u8,
+/// position-presence u8, position fix (40 B, when present), position-seq
+/// u64, boarded u32, expected u32, bags-loaded u32, bags-reconciled u32,
+/// updates u64.
+///
+/// The returned [`Bytes`] is the encode-once handle for storm serving: the
+/// gateway's epoch cache encodes a snapshot once and hands the same buffer
+/// (a reference-count bump per request) to every client of that epoch.
+pub fn encode_snapshot(snap: &Snapshot) -> Bytes {
+    let mut entries: Vec<_> = snap.iter().collect();
+    entries.sort_unstable_by_key(|(id, _)| **id);
+    let mut buf = BytesMut::with_capacity(snap.wire_size() + entries.len() * 10);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(KIND_SNAPSHOT);
+    buf.put_u32_le(entries.len() as u32);
+    encode_stamp(&snap.as_of, &mut buf);
+    for (id, f) in entries {
+        buf.put_u32_le(*id);
+        buf.put_u8(f.status as u8);
+        match &f.position {
+            Some(p) => {
+                buf.put_u8(1);
+                encode_fix(p, &mut buf);
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_u64_le(f.position_seq);
+        buf.put_u32_le(f.boarded);
+        buf.put_u32_le(f.expected);
+        buf.put_u32_le(f.bags_loaded);
+        buf.put_u32_le(f.bags_reconciled);
+        buf.put_u64_le(f.updates);
+    }
+    buf.freeze()
+}
+
+/// Decode a snapshot frame produced by [`encode_snapshot`]. The restored
+/// snapshot compares equal to the original (and `restore()` hashes
+/// identically to the captured state).
+pub fn decode_snapshot(mut buf: Bytes) -> Result<Snapshot, WireError> {
+    need(&buf, 2)?;
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = buf.get_u8();
+    if kind != KIND_SNAPSHOT {
+        return Err(WireError::BadTag(kind));
+    }
+    need(&buf, 4)?;
+    let count = buf.get_u32_le() as usize;
+    let as_of = decode_stamp(&mut buf)?;
+    let mut flights = std::collections::HashMap::with_capacity(count);
+    for _ in 0..count {
+        need(&buf, 4)?;
+        let id = buf.get_u32_le();
+        let status = decode_status(&mut buf)?;
+        need(&buf, 1)?;
+        let position = match buf.get_u8() {
+            0 => None,
+            1 => Some(decode_fix(&mut buf)?),
+            t => return Err(WireError::BadTag(t)),
+        };
+        need(&buf, 8 + 4 + 4 + 4 + 4 + 8)?;
+        let view = FlightView {
+            status,
+            position,
+            position_seq: buf.get_u64_le(),
+            boarded: buf.get_u32_le(),
+            expected: buf.get_u32_le(),
+            bags_loaded: buf.get_u32_le(),
+            bags_reconciled: buf.get_u32_le(),
+            updates: buf.get_u64_le(),
+        };
+        flights.insert(id, view);
+    }
+    Ok(Snapshot::from_parts(flights, as_of))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -860,6 +952,55 @@ mod tests {
         assert_eq!(first, again);
         assert_eq!(first, encode_frame(&Frame::Data(Arc::new(e.clone()))));
         assert_eq!(shared, SharedEvent::from(e));
+    }
+
+    fn snapshot_state() -> mirror_ede::OperationalState {
+        let mut s = mirror_ede::OperationalState::new();
+        for f in 0..25u32 {
+            s.apply(&Event::faa_position(u64::from(f) + 1, f, fix()));
+            s.apply(&Event::delta_status(u64::from(f) + 2, f, FlightStatus::EnRoute));
+        }
+        // One flight with no position fix at all (presence byte = 0).
+        s.apply(&Event::delta_status(1, 999, FlightStatus::Scheduled));
+        s
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_preserves_state_hash() {
+        let state = snapshot_state();
+        let snap = Snapshot::capture(&state, VectorTimestamp::from_components(vec![7, 3, 9]));
+        let decoded = decode_snapshot(encode_snapshot(&snap)).expect("decode");
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.as_of, snap.as_of);
+        assert_eq!(decoded.restore().state_hash(), state.state_hash());
+    }
+
+    #[test]
+    fn snapshot_encoding_is_canonical() {
+        // Equal snapshots encode to identical bytes regardless of the hash
+        // map's iteration order (entries are sorted by flight id).
+        let state = snapshot_state();
+        let snap = Snapshot::capture(&state, VectorTimestamp::from_components(vec![1]));
+        assert_eq!(encode_snapshot(&snap), encode_snapshot(&snap.clone()));
+        let rebuilt = Snapshot::capture(&snap.restore(), VectorTimestamp::from_components(vec![1]));
+        assert_eq!(encode_snapshot(&snap), encode_snapshot(&rebuilt));
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_malformed_frames() {
+        let snap = Snapshot::capture(&snapshot_state(), VectorTimestamp::from_components(vec![2]));
+        let good = encode_snapshot(&snap);
+        // Truncations at every prefix length fail cleanly.
+        for len in 0..good.len() {
+            assert!(decode_snapshot(good.slice(0..len)).is_err(), "prefix {len} must not decode");
+        }
+        // Wrong version byte and wrong kind byte.
+        let mut bad = good.to_vec();
+        bad[0] = WIRE_VERSION + 1;
+        assert!(matches!(decode_snapshot(Bytes::from(bad)), Err(WireError::BadVersion(_))));
+        let mut bad = good.to_vec();
+        bad[1] = KIND_DATA;
+        assert!(matches!(decode_snapshot(Bytes::from(bad)), Err(WireError::BadTag(_))));
     }
 
     #[test]

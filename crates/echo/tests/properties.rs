@@ -16,12 +16,16 @@ use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 
-use mirror_core::event::{Event, FlightStatus};
+use mirror_core::event::{Event, FlightStatus, PositionFix};
+use mirror_core::timestamp::VectorTimestamp;
 use mirror_echo::faults::{FaultPlan, FaultState, FaultyTransport};
 use mirror_echo::resilient::{ResilientTransport, RetryPolicy};
 use mirror_echo::transport::{inproc_rendezvous, InProcDialer, InProcListener, Polled, MAX_FRAME};
-use mirror_echo::wire::{decode_frame, encode_frame, Frame, WIRE_VERSION};
+use mirror_echo::wire::{
+    decode_frame, decode_snapshot, encode_frame, encode_snapshot, Frame, WIRE_VERSION,
+};
 use mirror_echo::{TcpTransport, Transport};
+use mirror_ede::{FlightView, Snapshot};
 
 fn data(seq: u64) -> Frame {
     Frame::Data(Arc::new(Event::delta_status(seq, (seq % 40) as u32, FlightStatus::Boarding)))
@@ -167,6 +171,65 @@ fn faulty_dialer(
 
 fn acceptor(mut listener: InProcListener) -> impl FnMut() -> io::Result<Box<dyn Transport>> {
     move || listener.accept(Duration::from_millis(5)).map(|t| Box::new(t) as Box<dyn Transport>)
+}
+
+/// An arbitrary per-flight view, covering the full field space the
+/// snapshot codec must carry (including the `None`-position case and the
+/// non-hashed `updates` odometer).
+fn arb_flight_view() -> impl Strategy<Value = FlightView> {
+    (
+        (
+            prop::sample::select(FlightStatus::ALL.to_vec()),
+            any::<bool>(),
+            // Finite coordinates: the codec is bit-exact for any f64, but
+            // a NaN position would defeat the equality check (NaN != NaN).
+            (-90.0f64..90.0, -180.0f64..180.0, -1000.0f64..60_000.0, 0.0f64..1200.0, 0.0f64..360.0),
+        ),
+        (any::<u64>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()),
+    )
+        .prop_map(
+            |((status, has_pos, coords), (position_seq, boarded, expected, l, r, upd))| {
+                let (lat, lon, alt_ft, speed_kts, heading_deg) = coords;
+                let mut v = FlightView::new();
+                v.status = status;
+                v.position =
+                    has_pos.then_some(PositionFix { lat, lon, alt_ft, speed_kts, heading_deg });
+                v.position_seq = position_seq;
+                v.boarded = boarded;
+                v.expected = expected;
+                v.bags_loaded = l;
+                v.bags_reconciled = r;
+                v.updates = upd;
+                v
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The snapshot wire codec roundtrips arbitrary operational states:
+    /// encode → decode reproduces the snapshot exactly — same `as_of`
+    /// frontier, and a restored store with an identical `state_hash`.
+    #[test]
+    fn snapshot_codec_roundtrips_arbitrary_states(
+        entries in prop::collection::vec((any::<u32>(), arb_flight_view()), 0..40),
+        stamp in prop::collection::vec(any::<u64>(), 0..6),
+    ) {
+        let flights: std::collections::HashMap<_, _> = entries.into_iter().collect();
+        let as_of = VectorTimestamp::from_components(stamp);
+        let snap = Snapshot::from_parts(flights, as_of);
+        let decoded = decode_snapshot(encode_snapshot(&snap)).expect("roundtrip decode");
+        prop_assert_eq!(&decoded.as_of, &snap.as_of);
+        prop_assert_eq!(decoded.restore().state_hash(), snap.restore().state_hash());
+        prop_assert_eq!(decoded, snap);
+    }
+
+    /// Arbitrary byte soup never panics the snapshot decoder.
+    #[test]
+    fn decode_snapshot_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_snapshot(bytes::Bytes::from(bytes));
+    }
 }
 
 proptest! {

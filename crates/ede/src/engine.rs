@@ -55,9 +55,19 @@ impl Ede {
         &self.state
     }
 
-    /// Install externally built state (snapshot recovery).
+    /// Install externally built state (snapshot recovery). The engine's
+    /// epoch stays strictly monotone across the swap — a recovered state
+    /// carrying a smaller epoch must not make stale snapshot-cache entries
+    /// look fresh.
     pub fn install_state(&mut self, state: OperationalState) {
+        let floor = self.state.epoch().max(state.epoch()) + 1;
         self.state = state;
+        self.state.force_epoch(floor);
+    }
+
+    /// Current state epoch (see [`OperationalState::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch()
     }
 
     /// Canonical digest of the engine's application state.

@@ -62,9 +62,29 @@ impl Snapshot {
         s
     }
 
+    /// By-value [`restore`](Self::restore): consumes the snapshot and moves
+    /// the flight map into the new store, skipping the second clone. The
+    /// right call for one-shot recovery (a rejoining mirror, a cold-started
+    /// site, a display initializing from its fetched snapshot).
+    pub fn into_state(self) -> OperationalState {
+        let mut s = OperationalState::new();
+        s.install(self.flights);
+        s
+    }
+
     /// Look up one flight.
     pub fn flight(&self, id: FlightId) -> Option<&FlightView> {
         self.flights.get(&id)
+    }
+
+    /// Iterate flight entries in unspecified order (wire encoders sort).
+    pub fn iter(&self) -> impl Iterator<Item = (&FlightId, &FlightView)> {
+        self.flights.iter()
+    }
+
+    /// Reassemble a snapshot from its parts (wire decoding).
+    pub fn from_parts(flights: HashMap<FlightId, FlightView>, as_of: VectorTimestamp) -> Self {
+        Snapshot { flights, as_of }
     }
 }
 

@@ -20,6 +20,12 @@ pub struct OperationalState {
     flights: HashMap<FlightId, FlightView>,
     /// Events applied (including ones absorbed as stale).
     pub applied: u64,
+    /// Store version: bumped on every apply that changed the store
+    /// (including creating a flight entry) and on [`install`](Self::install).
+    /// A *local* cache-invalidation counter — deliberately excluded from
+    /// [`state_hash`](Self::state_hash), so it never participates in
+    /// cross-mirror consistency checks.
+    epoch: u64,
 }
 
 impl OperationalState {
@@ -33,8 +39,9 @@ impl OperationalState {
     /// Returns `true` if the event changed state.
     pub fn apply(&mut self, event: &Event) -> bool {
         self.applied += 1;
+        let flights_before = self.flights.len();
         let view = self.flights.entry(event.flight).or_default();
-        match &event.body {
+        let changed = match &event.body {
             EventBody::Position(p) => view.apply_position(event.seq, *p),
             EventBody::Coalesced { last, count: _ } => view.apply_position(event.seq, *last),
             EventBody::Status(s) => view.transition(*s).is_ok(),
@@ -45,7 +52,21 @@ impl OperationalState {
             }
             EventBody::Baggage { loaded, reconciled } => view.apply_baggage(*loaded, *reconciled),
             EventBody::Opaque(_) => false,
+        };
+        // A freshly created entry changes the hash even when the body was
+        // absorbed, so it must invalidate snapshot caches too.
+        if changed || self.flights.len() != flights_before {
+            self.epoch += 1;
         }
+        changed
+    }
+
+    /// Current store version (see the field docs): compare two readings to
+    /// tell whether the state changed in between. Local bookkeeping — two
+    /// mirrors applying *equivalent but differently coalesced* streams may
+    /// disagree on epochs while agreeing on `state_hash`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Look up a flight.
@@ -109,6 +130,13 @@ impl OperationalState {
     /// Replace this store's contents (used when installing a snapshot).
     pub fn install(&mut self, flights: HashMap<FlightId, FlightView>) {
         self.flights = flights;
+        self.epoch += 1;
+    }
+
+    /// Pin the epoch (engine-internal: keeps it monotone across
+    /// [`Ede::install_state`](crate::Ede::install_state)).
+    pub(crate) fn force_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Clone out the flight map (snapshot construction).
@@ -211,6 +239,42 @@ mod tests {
         let h = s.state_hash();
         assert!(!s.apply(&Event::new(1, 3, 7, EventBody::Baggage { loaded: 10, reconciled: 5 })));
         assert_eq!(s.state_hash(), h);
+    }
+
+    #[test]
+    fn epoch_tracks_state_changes_not_applies() {
+        let mut s = OperationalState::new();
+        assert_eq!(s.epoch(), 0);
+        s.apply(&Event::faa_position(5, 1, fix(1000.0)));
+        assert_eq!(s.epoch(), 1);
+        // Stale update on an existing flight: absorbed, no epoch bump.
+        s.apply(&Event::faa_position(2, 1, fix(9999.0)));
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.applied, 2);
+        // An absorbed body can still *create* a flight entry — that changes
+        // the hash, so it must bump the epoch.
+        let before = s.state_hash();
+        s.apply(&Event::new(1, 1, 42, EventBody::Opaque(vec![1, 2, 3].into())));
+        assert_ne!(s.state_hash(), before);
+        assert_eq!(s.epoch(), 2);
+        // Installing a snapshot replaces the store wholesale.
+        let flights = s.flights().clone();
+        s.install(flights);
+        assert_eq!(s.epoch(), 3);
+    }
+
+    #[test]
+    fn epoch_stays_out_of_the_state_hash() {
+        // Two stores that converge to the same hashed state via different
+        // update histories disagree on epoch — proof the epoch is local
+        // bookkeeping, not part of the replicated digest.
+        let mut a = OperationalState::new();
+        let mut b = OperationalState::new();
+        a.apply(&Event::faa_position(3, 9, fix(12000.0)));
+        b.apply(&Event::faa_position(1, 9, fix(500.0)));
+        b.apply(&Event::faa_position(3, 9, fix(12000.0)));
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_ne!(a.epoch(), b.epoch());
     }
 
     #[test]

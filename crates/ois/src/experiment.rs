@@ -102,6 +102,11 @@ pub struct ExperimentConfig {
     /// paper's in-memory-only protocol). Prices the `mirror-store`
     /// fsync-policy trade-off inside the §4-style experiments.
     pub journal: Option<crate::site::JournalCost>,
+    /// Simulated epoch-keyed snapshot cache at every serving site (`None`
+    /// = every request pays the full capture+encode cost — the pre-cache
+    /// serving path). Prices the runtime's bounded-staleness storm-serving
+    /// path inside the experiments.
+    pub snapshot_cache: Option<crate::site::SnapshotCacheCost>,
     /// Seed for the request schedule.
     pub seed: u64,
 }
@@ -123,6 +128,7 @@ impl Default for ExperimentConfig {
             cost: CostModel::calibrated(),
             flush_period_us: 50_000,
             journal: None,
+            snapshot_cache: None,
             seed: 7,
         }
     }
@@ -198,6 +204,9 @@ pub fn run(cfg: &ExperimentConfig) -> ExperimentResult {
     if let Some(journal) = cfg.journal {
         central = central.with_journal(journal);
     }
+    if let Some(cache) = cfg.snapshot_cache {
+        central = central.with_snapshot_cache(cache);
+    }
     let (central_shared, central_handle) = Shared::new(central);
 
     let mut mirror_handles: Vec<Arc<Mutex<SiteProcess>>> = Vec::new();
@@ -205,7 +214,10 @@ pub fn run(cfg: &ExperimentConfig) -> ExperimentResult {
     for site in mirror_sites {
         let mut aux = MirrorConfig::default().build_mirror(site);
         aux.install_kind(cfg.kind);
-        let proc = SiteProcess::mirror(aux, site as usize, 0, sink_node, cfg.cost);
+        let mut proc = SiteProcess::mirror(aux, site as usize, 0, sink_node, cfg.cost);
+        if let Some(cache) = cfg.snapshot_cache {
+            proc = proc.with_snapshot_cache(cache);
+        }
         let (shared, handle) = Shared::new(proc);
         procs.push(Box::new(shared));
         mirror_handles.push(handle);
@@ -540,5 +552,44 @@ mod tests {
         });
         assert!(r.adaptations >= 1, "storm must trigger adaptation");
         assert!(r.max_pending_requests >= 20);
+    }
+
+    #[test]
+    fn snapshot_cache_absorbs_a_recovery_storm() {
+        // Same storm, with and without the simulated epoch-keyed snapshot
+        // cache: the cached run answers most requests at hit cost, so the
+        // storm resolves sooner and request latency collapses.
+        let storm = |cache: Option<crate::site::SnapshotCacheCost>| {
+            run(&ExperimentConfig {
+                mirrors: 1,
+                kind: MirrorFnKind::Simple,
+                faa: small_faa(3000, 1000),
+                ingest: Ingest::Paced,
+                requests: RequestPattern::RecoveryStorm {
+                    at_us: 1_000_000,
+                    count: 400,
+                    spread_us: 100_000,
+                },
+                targets: RequestTargets::MirrorsOnly,
+                snapshot_cache: cache,
+                ..Default::default()
+            })
+        };
+        let plain = storm(None);
+        let cached = storm(Some(crate::site::SnapshotCacheCost::default()));
+        assert_eq!(plain.requests_served, 400);
+        assert_eq!(cached.requests_served, 400);
+        assert!(
+            cached.request_latency.mean_us() < plain.request_latency.mean_us(),
+            "cache must cut storm latency: cached {:.0}µs vs plain {:.0}µs",
+            cached.request_latency.mean_us(),
+            plain.request_latency.mean_us()
+        );
+        assert!(
+            cached.total_time_s <= plain.total_time_s,
+            "cached storm must not extend the run: {:.3}s vs {:.3}s",
+            cached.total_time_s,
+            plain.total_time_s
+        );
     }
 }

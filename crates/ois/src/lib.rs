@@ -26,4 +26,4 @@ pub mod site;
 pub use balancer::{Balancer, BalancerPolicy};
 pub use experiment::{ExperimentConfig, ExperimentResult, Ingest, RequestTargets};
 pub use payload::Payload;
-pub use site::{ClientSink, JournalCost, SiteProcess};
+pub use site::{ClientSink, JournalCost, SiteProcess, SnapshotCacheCost};

@@ -35,6 +35,8 @@ pub struct SiteMetrics {
     pub delay_series: TimeSeries,
     /// Client requests served here.
     pub requests_served: u64,
+    /// Requests answered from the simulated snapshot cache.
+    pub snapshot_cache_hits: u64,
     /// Events processed by this site's EDE.
     pub events_processed: u64,
     /// Adaptation directives applied.
@@ -81,6 +83,32 @@ impl JournalCost {
     }
 }
 
+/// Simulated cost of the runtime's epoch-keyed snapshot cache at the
+/// serving task: a request arriving while the EDE has advanced at most
+/// `max_stale_events` state changes past the last full capture is answered
+/// at `hit_us` (an `Arc` clone of the already-captured, already-encoded
+/// snapshot) instead of the full per-request capture+encode
+/// [`CostModel::request_cost`]. Lets the §4-style experiments price the
+/// request-storm serving path the way [`JournalCost`] prices durability.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotCacheCost {
+    /// Cost (µs) of answering from the cached snapshot.
+    pub hit_us: u64,
+    /// Serve from cache while the EDE is at most this many state changes
+    /// past the cached capture (the bounded-staleness window — clients
+    /// replay the update stream from the snapshot frontier, so a slightly
+    /// stale base converges after replay).
+    pub max_stale_events: u64,
+}
+
+impl Default for SnapshotCacheCost {
+    fn default() -> Self {
+        // ~5µs: reference-count bumps plus queueing a pre-encoded buffer,
+        // matching the runtime cache's default 64-event staleness bound.
+        SnapshotCacheCost { hit_us: 5, max_stale_events: 64 }
+    }
+}
+
 /// One cluster node: main unit + auxiliary unit + request servicing.
 pub struct SiteProcess {
     site: SiteId,
@@ -105,6 +133,11 @@ pub struct SiteProcess {
     journal: Option<JournalCost>,
     /// Appends charged so far (drives the every-N fsync cadence).
     journal_appends: u64,
+    /// Snapshot-cache cost knob (`None` = every request pays the full
+    /// capture+encode cost — the pre-cache serving path).
+    snap_cache: Option<SnapshotCacheCost>,
+    /// EDE epoch the cached capture reflects (`None` = cache cold).
+    cached_epoch: Option<u64>,
     /// Metrics, readable by the harness through `Shared`.
     pub metrics: SiteMetrics,
 }
@@ -138,6 +171,8 @@ impl SiteProcess {
             events_seen: 0,
             journal: None,
             journal_appends: 0,
+            snap_cache: None,
+            cached_epoch: None,
             metrics: SiteMetrics::default(),
         }
     }
@@ -147,6 +182,13 @@ impl SiteProcess {
     pub fn with_journal(mut self, journal: JournalCost) -> Self {
         assert!(self.aux.is_central(), "only the central site journals");
         self.journal = Some(journal);
+        self
+    }
+
+    /// Serve requests through a simulated epoch-keyed snapshot cache (see
+    /// [`SnapshotCacheCost`]); any site can cache, mirroring the runtime.
+    pub fn with_snapshot_cache(mut self, cache: SnapshotCacheCost) -> Self {
+        self.snap_cache = Some(cache);
         self
     }
 
@@ -177,6 +219,8 @@ impl SiteProcess {
             events_seen: 0,
             journal: None,
             journal_appends: 0,
+            snap_cache: None,
+            cached_epoch: None,
             metrics: SiteMetrics::default(),
         }
     }
@@ -404,7 +448,22 @@ impl SimProcess<Payload> for SiteProcess {
                 if let Some(r) = self.req_buf.pop_front() {
                     let flights = self.ede.state().flight_count();
                     let bytes = 16 + flights * self.snapshot_entry_bytes();
-                    cpu += self.cost.request_cost(flights, bytes);
+                    let epoch = self.ede.epoch();
+                    let hit = match (&self.snap_cache, self.cached_epoch) {
+                        (Some(c), Some(cached)) => {
+                            epoch >= cached && epoch - cached <= c.max_stale_events
+                        }
+                        _ => false,
+                    };
+                    if let (Some(c), true) = (&self.snap_cache, hit) {
+                        cpu += c.hit_us;
+                        self.metrics.snapshot_cache_hits += 1;
+                    } else {
+                        cpu += self.cost.request_cost(flights, bytes);
+                        if self.snap_cache.is_some() {
+                            self.cached_epoch = Some(epoch);
+                        }
+                    }
                     self.metrics.requests_served += 1;
                     step.sends.push(mirror_sim::engine::Send {
                         to: self.sink_node,

@@ -60,6 +60,14 @@ pub struct SiteStats {
     pub adaptations: u64,
     /// Mean update delay so far (µs; central only in practice).
     pub mean_update_delay_us: f64,
+    /// Initial-state requests answered by this site's gateway.
+    pub requests_served: u64,
+    /// Mean gateway request latency, submit to reply (µs).
+    pub mean_request_latency_us: f64,
+    /// Gateway requests answered from the epoch-keyed snapshot cache.
+    pub snapshot_cache_hits: u64,
+    /// Gateway requests that had to capture the live state.
+    pub snapshot_cache_misses: u64,
 }
 
 /// Point-in-time statistics across a running cluster.
@@ -209,6 +217,10 @@ impl Cluster {
             snapshots: c.snapshots.load(Ordering::Relaxed),
             adaptations: c.adaptations.load(Ordering::Relaxed),
             mean_update_delay_us: c.mean_delay_us(),
+            requests_served: c.requests_served.load(Ordering::Relaxed),
+            mean_request_latency_us: c.mean_request_latency_us(),
+            snapshot_cache_hits: c.snapshot_cache_hits.load(Ordering::Relaxed),
+            snapshot_cache_misses: c.snapshot_cache_misses.load(Ordering::Relaxed),
         };
         ClusterStats {
             central: site(self.central.counters()),
@@ -366,7 +378,9 @@ impl Cluster {
         // Subscriptions are live; now capture the recovery state and seed.
         let snapshot = self.central.snapshot();
         let frontier = snapshot.as_of.clone();
-        replacement.seed(snapshot.restore(), frontier);
+        // By-value restore: the captured flight map moves into the seed
+        // instead of being deep-cloned a second time.
+        replacement.seed(snapshot.into_state(), frontier);
         self.central.readmit_mirror(site);
         self.mirrors[(site - 1) as usize] = replacement;
     }
@@ -493,7 +507,8 @@ impl Cluster {
             self.ctrl_down.publisher(),
             &self.ctrl_up,
         );
-        replacement.seed(snapshot.restore(), snapshot.as_of.clone());
+        let frontier = snapshot.as_of.clone();
+        replacement.seed(snapshot.into_state(), frontier);
         self.central = replacement;
         survivors
     }

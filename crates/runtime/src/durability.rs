@@ -103,6 +103,11 @@ pub struct Journal {
     log: Arc<Mutex<EventLog>>,
     snapshots: SnapshotStore,
     error: Arc<Mutex<Option<io::Error>>>,
+    /// Fault injection: artificial stall (µs) inside
+    /// [`save_snapshot`](Journal::save_snapshot), modeling a slow or
+    /// contended disk. Tests use it to prove snapshot persistence never
+    /// blocks event processing.
+    snapshot_save_pad_us: std::sync::atomic::AtomicU64,
 }
 
 impl Journal {
@@ -157,7 +162,14 @@ impl Journal {
                 })
                 .expect("spawn mirror-journal writer")
         };
-        Ok(Self { queue, writer: Mutex::new(Some(writer)), log, snapshots, error })
+        Ok(Self {
+            queue,
+            writer: Mutex::new(Some(writer)),
+            log,
+            snapshots,
+            error,
+            snapshot_save_pad_us: std::sync::atomic::AtomicU64::new(0),
+        })
     }
 
     fn send(&self, op: Op, notify: bool) {
@@ -222,7 +234,21 @@ impl Journal {
         state: &OperationalState,
         as_of: &VectorTimestamp,
     ) -> io::Result<()> {
+        let pad = self.snapshot_save_pad_us.load(std::sync::atomic::Ordering::Relaxed);
+        if pad > 0 {
+            thread::sleep(Duration::from_micros(pad));
+        }
         self.snapshots.save(state, as_of)
+    }
+
+    /// Inject an artificial stall into every subsequent
+    /// [`save_snapshot`](Journal::save_snapshot) (fault injection,
+    /// mirroring the transport-level `faults` machinery): tests assert
+    /// that a slow durable save cannot stall the event hot path.
+    #[doc(hidden)]
+    pub fn set_snapshot_save_pad(&self, pad: Duration) {
+        self.snapshot_save_pad_us
+            .store(pad.as_micros() as u64, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Load the persisted EDE snapshot, if one exists and is intact (a

@@ -22,9 +22,11 @@ pub mod cluster;
 pub mod durability;
 pub mod requests;
 pub mod site;
+pub mod snapcache;
 
 pub use clock::RuntimeClock;
 pub use cluster::{Cluster, ClusterConfig, ClusterStats, SiteStats};
 pub use durability::{DurabilityConfig, Journal, ResyncOutcome, ResyncSource};
-pub use requests::{RequestClient, RequestGateway};
+pub use requests::{GatewayConfig, RequestClient, RequestError, RequestGateway};
 pub use site::{CentralSite, MirrorSite};
+pub use snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};

@@ -3,29 +3,96 @@
 //! In the paper, client requests arrive over the network and queue in "an
 //! application level buffer holding all pending client requests" — one of
 //! the monitored variables driving adaptive mirroring (§3.2.2). A
-//! [`RequestGateway`] gives a running site exactly that: a serving thread
-//! with a FIFO of initial-state requests whose occupancy feeds the site's
-//! pending-requests gauge (and therefore the checkpoint-piggybacked
-//! monitor reports), so the central adaptation controller reacts to real
-//! request pressure in the live runtime, not just in the simulator.
+//! [`RequestGateway`] gives a running site exactly that: a **worker pool**
+//! draining a shared FIFO of initial-state requests, whose occupancy feeds
+//! the site's pending-requests gauge (and therefore the
+//! checkpoint-piggybacked monitor reports), so the central adaptation
+//! controller reacts to real request pressure in the live runtime, not
+//! just in the simulator.
+//!
+//! Three properties make storms cheap (the perf PR's serving path):
+//!
+//! * requests are answered from the epoch-keyed [`SnapshotCache`] — one
+//!   state capture (and one wire encoding) per epoch window, shared by
+//!   every request it satisfies, under the bounded-staleness contract of
+//!   [`SnapshotCachePolicy`];
+//! * the FIFO drains on `workers` threads (default `min(4, cores)`), so
+//!   service pads and reply marshalling parallelize instead of queueing
+//!   behind one clone loop;
+//! * the pending gauge is maintained by increment (at submit) and
+//!   decrement (at reply) on a shared atomic — exact under concurrency,
+//!   where the old absolute `store(len)` could overwrite a newer reading.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
 
 use mirror_ede::Snapshot;
 
-/// A request job: answered with a state snapshot.
+use crate::site::SiteCounters;
+use crate::snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};
+
+/// A request job: answered with a served (cache-shared) snapshot.
 struct Job {
-    reply: Sender<Snapshot>,
+    reply: Sender<ServedSnapshot>,
+    submitted: Instant,
+}
+
+/// What travels the gateway FIFO: work, or a shutdown pill. `stop()`
+/// enqueues exactly one `Stop` per worker, so every worker — including one
+/// parked in a blocking `recv` — wakes immediately, with none of the old
+/// 20 ms stop-flag poll latency.
+enum Msg {
+    Job(Job),
+    Stop,
+}
+
+/// How a site answers initial-state requests.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Worker threads draining the request FIFO. `0` means auto:
+    /// `min(4, available cores)`.
+    pub workers: usize,
+    /// Bounded-staleness snapshot cache; `None` disables caching entirely
+    /// (every request captures the live state — the pre-cache path, kept
+    /// for benchmarking baselines).
+    pub cache: Option<SnapshotCachePolicy>,
+    /// Per-request service time beyond the in-memory snapshot — models
+    /// marshalling and pushing the initial view over a client link (zero
+    /// for pure functional tests). This is what makes request storms
+    /// *load*.
+    pub service_pad: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            cache: Some(SnapshotCachePolicy::default()),
+            service_pad: Duration::ZERO,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Resolve `workers == 0` to the auto default.
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).clamp(1, 4)
+    }
 }
 
 /// Client-side handle: submit initial-state requests to a site's gateway.
 #[derive(Clone)]
 pub struct RequestClient {
-    tx: Sender<Job>,
+    tx: Sender<Msg>,
+    pending_gauge: Arc<AtomicU64>,
+    stopped: Arc<AtomicBool>,
 }
 
 /// Why a gateway request failed.
@@ -48,78 +115,127 @@ impl std::fmt::Display for RequestError {
 impl std::error::Error for RequestError {}
 
 impl RequestClient {
-    /// Submit a request and wait for the snapshot (with a deadline).
-    pub fn fetch(&self, timeout: Duration) -> Result<Snapshot, RequestError> {
+    /// Enqueue one job, bumping the pending gauge first so the occupancy
+    /// a monitor observes always covers every submitted-but-unanswered
+    /// request (the worker decrements after replying).
+    fn submit(&self) -> Result<Receiver<ServedSnapshot>, RequestError> {
+        if self.stopped.load(Ordering::Acquire) {
+            return Err(RequestError::Closed);
+        }
         let (reply_tx, reply_rx) = channel::bounded(1);
-        self.tx.send(Job { reply: reply_tx }).map_err(|_| RequestError::Closed)?;
+        self.pending_gauge.fetch_add(1, Ordering::Relaxed);
+        if self.tx.send(Msg::Job(Job { reply: reply_tx, submitted: Instant::now() })).is_err() {
+            self.pending_gauge.fetch_sub(1, Ordering::Relaxed);
+            return Err(RequestError::Closed);
+        }
+        Ok(reply_rx)
+    }
+
+    /// Submit a request and wait for the snapshot (with a deadline).
+    pub fn fetch(&self, timeout: Duration) -> Result<ServedSnapshot, RequestError> {
+        let reply_rx = self.submit()?;
         reply_rx.recv_timeout(timeout).map_err(|_| RequestError::Timeout)
     }
 
     /// Fire a request without waiting (load-generation helper); the reply
     /// is discarded when the returned receiver is dropped.
-    pub fn fire(&self) -> Result<Receiver<Snapshot>, RequestError> {
-        let (reply_tx, reply_rx) = channel::bounded(1);
-        self.tx.send(Job { reply: reply_tx }).map_err(|_| RequestError::Closed)?;
-        Ok(reply_rx)
+    pub fn fire(&self) -> Result<Receiver<ServedSnapshot>, RequestError> {
+        self.submit()
     }
 }
 
 /// The serving side of a gateway, owned by the site wrapper.
 pub struct RequestGateway {
     client: RequestClient,
-    stop: Arc<std::sync::atomic::AtomicBool>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    /// The FIFO the pool drains: one receiver, shared — a worker holds the
+    /// lock only across the (instant) dequeue, never across a serve.
+    jobs_rx: Arc<Mutex<Receiver<Msg>>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl RequestGateway {
-    /// Spawn a gateway thread serving snapshots via `snapshot_fn`, pushing
-    /// queue occupancy into `pending_gauge` (the site's monitored
-    /// variable) and counting completions into `served`.
+    /// Spawn the gateway worker pool.
     ///
-    /// `service_pad` models the per-request work beyond the in-memory
-    /// snapshot clone — marshalling and pushing the initial view over a
-    /// client link — which is what makes request storms *load* (zero for
-    /// pure functional tests).
+    /// `capture` snapshots the live state and returns it **with the epoch
+    /// it reflects**, read under the same state lock — the pair keys the
+    /// shared [`SnapshotCache`]. `live_epoch` is the site's published
+    /// epoch, read lock-free on every request for the staleness check.
+    /// Cache hits, misses, served counts, and request latency land in
+    /// `counters`; queue occupancy in `pending_gauge`.
     pub(crate) fn spawn(
-        snapshot_fn: impl Fn() -> Snapshot + Send + 'static,
+        capture: impl Fn() -> (Snapshot, u64) + Send + Sync + 'static,
+        live_epoch: Arc<AtomicU64>,
         pending_gauge: Arc<AtomicU64>,
-        served: Arc<AtomicU64>,
-        service_pad: Duration,
+        counters: Arc<SiteCounters>,
+        config: GatewayConfig,
     ) -> Self {
-        let (tx, rx) = channel::unbounded::<Job>();
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        let stop_in_thread = Arc::clone(&stop);
-        let thread = std::thread::Builder::new()
-            .name("request-gateway".into())
-            .spawn(move || {
-                loop {
-                    // Check the stop flag every iteration, not only on
-                    // timeouts — a steady stream of requests must not be
-                    // able to starve shutdown.
-                    if stop_in_thread.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let job = match rx.recv_timeout(Duration::from_millis(20)) {
-                        Ok(j) => j,
-                        Err(channel::RecvTimeoutError::Timeout) => continue,
-                        Err(channel::RecvTimeoutError::Disconnected) => break,
-                    };
-                    // Occupancy right now: this job plus everything queued.
-                    pending_gauge.store(rx.len() as u64 + 1, Ordering::Relaxed);
-                    let snap = snapshot_fn();
-                    if !service_pad.is_zero() {
-                        std::thread::sleep(service_pad);
-                    }
-                    // Count before replying: a caller woken by the reply
-                    // must already observe its own completion in `served`.
-                    served.fetch_add(1, Ordering::Relaxed);
-                    let _ = job.reply.send(snap);
-                    pending_gauge.store(rx.len() as u64, Ordering::Relaxed);
-                }
-                pending_gauge.store(0, Ordering::Relaxed);
-            })
-            .expect("spawn request gateway");
-        RequestGateway { client: RequestClient { tx }, stop, thread: Some(thread) }
+        let (tx, rx) = channel::unbounded::<Msg>();
+        let rx = Arc::new(Mutex::new(rx));
+        let stopped = Arc::new(AtomicBool::new(false));
+        let capture = Arc::new(capture);
+        let cache = config.cache.map(|policy| Arc::new(SnapshotCache::new(policy)));
+
+        let mut threads = Vec::new();
+        for w in 0..config.resolved_workers() {
+            let rx = Arc::clone(&rx);
+            let stopped = Arc::clone(&stopped);
+            let capture = Arc::clone(&capture);
+            let cache = cache.clone();
+            let live_epoch = Arc::clone(&live_epoch);
+            let pending_gauge = Arc::clone(&pending_gauge);
+            let counters = Arc::clone(&counters);
+            let service_pad = config.service_pad;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("request-gateway-{w}"))
+                    .spawn(move || loop {
+                        // Blocking dequeue under the receiver lock: the
+                        // lock spans only the dequeue itself (at most one
+                        // worker parks in recv; the rest park on the
+                        // mutex), never a serve.
+                        let msg = rx.lock().recv();
+                        let job = match msg {
+                            Ok(Msg::Job(job)) => job,
+                            Ok(Msg::Stop) | Err(_) => break,
+                        };
+                        if stopped.load(Ordering::Acquire) {
+                            // Shutting down: discard instead of serving so
+                            // stop() is bounded by one in-flight job, not
+                            // the whole backlog. Dropping the reply sender
+                            // surfaces as an error at the caller.
+                            pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        let (served, hit) = match cache.as_deref() {
+                            Some(cache) => {
+                                cache.get(live_epoch.load(Ordering::Acquire), || capture())
+                            }
+                            None => (ServedSnapshot::new(capture().0), false),
+                        };
+                        if hit {
+                            counters.snapshot_cache_hits.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            counters.snapshot_cache_misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if !service_pad.is_zero() {
+                            std::thread::sleep(service_pad);
+                        }
+                        let latency = job.submitted.elapsed().as_micros() as u64;
+                        counters.request_latency_sum_us.fetch_add(latency, Ordering::Relaxed);
+                        // Count before replying: a caller woken by the
+                        // reply must already observe its own completion.
+                        counters.requests_served.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.reply.send(served);
+                        pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                    })
+                    .expect("spawn request gateway worker"),
+            );
+        }
+        RequestGateway {
+            client: RequestClient { tx, pending_gauge, stopped },
+            jobs_rx: rx,
+            threads,
+        }
     }
 
     /// A client handle for this gateway (cheap to clone).
@@ -127,13 +243,28 @@ impl RequestGateway {
         self.client.clone()
     }
 
-    /// Stop the gateway: the queue drains no further; pending `fetch`
-    /// calls see [`RequestError::Timeout`], new ones
-    /// [`RequestError::Closed`] once every client handle is gone.
+    /// Stop the gateway: new submissions see [`RequestError::Closed`],
+    /// workers finish their in-flight job and exit on the next dequeue
+    /// (pill-based wakeup — no poll latency), and jobs still queued are
+    /// discarded with their gauge contributions released (their `fetch`
+    /// callers see an error).
     pub fn stop(mut self) {
-        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
-        if let Some(t) = self.thread.take() {
+        self.client.stopped.store(true, Ordering::Release);
+        // One pill per worker: each consumes exactly one and exits; a
+        // worker parked in recv wakes on the first pill to reach it.
+        for _ in 0..self.threads.len() {
+            let _ = self.client.tx.send(Msg::Stop);
+        }
+        for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        // Release the gauge slots of jobs nobody will answer (queued after
+        // the pills, or racing the stop flag).
+        let rx = self.jobs_rx.lock();
+        while let Ok(msg) = rx.try_recv() {
+            if matches!(msg, Msg::Job(_)) {
+                self.client.pending_gauge.fetch_sub(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -141,30 +272,40 @@ impl RequestGateway {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mirror_core::event::{Event, PositionFix};
     use mirror_core::timestamp::VectorTimestamp;
     use mirror_ede::OperationalState;
+    use parking_lot::Mutex;
 
-    fn gateway(pad: Duration) -> (RequestGateway, Arc<AtomicU64>, Arc<AtomicU64>) {
+    fn fix() -> PositionFix {
+        PositionFix { lat: 1.0, lon: 2.0, alt_ft: 30000.0, speed_kts: 450.0, heading_deg: 10.0 }
+    }
+
+    fn spawn_empty(config: GatewayConfig) -> (RequestGateway, Arc<AtomicU64>, Arc<SiteCounters>) {
         let pending = Arc::new(AtomicU64::new(0));
-        let served = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(SiteCounters::default());
         let gw = RequestGateway::spawn(
-            || Snapshot::capture(&OperationalState::new(), VectorTimestamp::empty()),
+            || (Snapshot::capture(&OperationalState::new(), VectorTimestamp::empty()), 0),
+            Arc::new(AtomicU64::new(0)),
             Arc::clone(&pending),
-            Arc::clone(&served),
-            pad,
+            Arc::clone(&counters),
+            config,
         );
-        (gw, pending, served)
+        (gw, pending, counters)
     }
 
     #[test]
     fn serves_requests_and_counts() {
-        let (gw, _pending, served) = gateway(Duration::ZERO);
+        let (gw, _pending, counters) = spawn_empty(GatewayConfig::default());
         let client = gw.client();
         for _ in 0..20 {
             let snap = client.fetch(Duration::from_secs(5)).unwrap();
             assert_eq!(snap.flight_count(), 0);
         }
-        assert_eq!(served.load(Ordering::Relaxed), 20);
+        assert_eq!(counters.requests_served.load(Ordering::Relaxed), 20);
+        let hits = counters.snapshot_cache_hits.load(Ordering::Relaxed);
+        let misses = counters.snapshot_cache_misses.load(Ordering::Relaxed);
+        assert_eq!(hits + misses, 20);
         drop(client);
         gw.stop();
     }
@@ -172,49 +313,41 @@ mod tests {
     #[test]
     fn backlog_raises_the_pending_gauge() {
         let pending = Arc::new(AtomicU64::new(0));
-        let served = Arc::new(AtomicU64::new(0));
-        // Gate each serve on a permit: the backlog is held open for as
+        let counters = Arc::new(SiteCounters::default());
+        // Gate each capture on a permit: the backlog is held open for as
         // long as the test needs to observe it, whatever the scheduler
-        // does to this thread meanwhile.
+        // does to this thread meanwhile. Cache disabled so every request
+        // goes through the gated capture.
         let (permit_tx, permit_rx) = channel::unbounded::<()>();
+        let permit_rx = Mutex::new(permit_rx);
         let gw = RequestGateway::spawn(
             move || {
-                let _ = permit_rx.recv_timeout(Duration::from_secs(10));
-                Snapshot::capture(&OperationalState::new(), VectorTimestamp::empty())
+                let _ = permit_rx.lock().recv_timeout(Duration::from_secs(10));
+                (Snapshot::capture(&OperationalState::new(), VectorTimestamp::empty()), 0)
             },
+            Arc::new(AtomicU64::new(0)),
             Arc::clone(&pending),
-            Arc::clone(&served),
-            Duration::ZERO,
+            Arc::clone(&counters),
+            GatewayConfig { workers: 2, cache: None, service_pad: Duration::ZERO },
         );
         let client = gw.client();
         let mut receivers = Vec::new();
         for _ in 0..30 {
             receivers.push(client.fire().unwrap());
         }
-        // Let one request through: completing it makes the gateway
-        // dequeue the next job, which publishes the still-held backlog.
-        permit_tx.send(()).unwrap();
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        let mut peak = 0;
-        while std::time::Instant::now() < deadline {
-            peak = peak.max(pending.load(Ordering::Relaxed));
-            if peak >= 10 {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        assert!(peak >= 10, "queue must be observable, peak {peak}");
-        for _ in 0..29 {
+        // Submissions increment the gauge immediately: the full backlog is
+        // visible before any serve completes.
+        assert_eq!(pending.load(Ordering::Relaxed), 30);
+        for _ in 0..30 {
             permit_tx.send(()).unwrap();
         }
         for r in receivers {
-            assert!(r.recv_timeout(Duration::from_secs(5)).is_ok());
+            assert!(r.recv_timeout(Duration::from_secs(10)).is_ok());
         }
-        assert_eq!(served.load(Ordering::Relaxed), 30);
-        // The final gauge store trails the last reply; under a loaded
-        // machine the gateway thread can be starved for a while first.
-        let drained = std::time::Instant::now() + Duration::from_secs(10);
-        while pending.load(Ordering::Relaxed) != 0 && std::time::Instant::now() < drained {
+        assert_eq!(counters.requests_served.load(Ordering::Relaxed), 30);
+        // The decrement trails the reply; give a loaded scheduler room.
+        let drained = Instant::now() + Duration::from_secs(10);
+        while pending.load(Ordering::Relaxed) != 0 && Instant::now() < drained {
             std::thread::sleep(Duration::from_millis(1));
         }
         assert_eq!(pending.load(Ordering::Relaxed), 0);
@@ -224,12 +357,114 @@ mod tests {
 
     #[test]
     fn closed_gateway_reports_errors() {
-        let (gw, _, _) = gateway(Duration::ZERO);
+        let (gw, pending, _) = spawn_empty(GatewayConfig::default());
         let client = gw.client();
         gw.stop();
-        assert!(matches!(
-            client.fetch(Duration::from_millis(100)),
-            Err(RequestError::Closed) | Err(RequestError::Timeout)
-        ));
+        assert!(matches!(client.fetch(Duration::from_millis(100)), Err(RequestError::Closed)));
+        assert_eq!(pending.load(Ordering::Relaxed), 0, "rejected submits leave no gauge residue");
+    }
+
+    #[test]
+    fn stop_releases_gauge_slots_of_unanswered_jobs() {
+        let pending = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(SiteCounters::default());
+        // A capture that blocks until stop: jobs pile up behind it.
+        let (permit_tx, permit_rx) = channel::unbounded::<()>();
+        let permit_rx = Mutex::new(permit_rx);
+        let gw = RequestGateway::spawn(
+            move || {
+                let _ = permit_rx.lock().recv_timeout(Duration::from_secs(10));
+                (Snapshot::capture(&OperationalState::new(), VectorTimestamp::empty()), 0)
+            },
+            Arc::new(AtomicU64::new(0)),
+            Arc::clone(&pending),
+            Arc::clone(&counters),
+            GatewayConfig { workers: 1, cache: None, service_pad: Duration::ZERO },
+        );
+        let client = gw.client();
+        let mut receivers = Vec::new();
+        for _ in 0..10 {
+            receivers.push(client.fire().unwrap());
+        }
+        assert_eq!(pending.load(Ordering::Relaxed), 10);
+        permit_tx.send(()).unwrap(); // let the in-flight job finish
+        gw.stop();
+        assert_eq!(
+            pending.load(Ordering::Relaxed),
+            0,
+            "stop must release abandoned jobs' gauge slots"
+        );
+    }
+
+    #[test]
+    fn worker_pool_parallelizes_service_pads() {
+        // 8 concurrent requests with a 50 ms pad: 4 workers need ~2 pad
+        // rounds of wall clock; a single worker would need 8. The pad is a
+        // sleep, so this holds even on a single-core host.
+        let (gw, _pending, counters) = spawn_empty(GatewayConfig {
+            workers: 4,
+            cache: Some(SnapshotCachePolicy::default()),
+            service_pad: Duration::from_millis(50),
+        });
+        let client = gw.client();
+        let t0 = Instant::now();
+        let receivers: Vec<_> = (0..8).map(|_| client.fire().unwrap()).collect();
+        for r in receivers {
+            assert!(r.recv_timeout(Duration::from_secs(10)).is_ok());
+        }
+        let wall = t0.elapsed();
+        assert_eq!(counters.requests_served.load(Ordering::Relaxed), 8);
+        assert!(
+            wall < Duration::from_millis(8 * 50 - 100),
+            "8 padded requests must overlap across the pool, took {wall:?}"
+        );
+        drop(client);
+        gw.stop();
+    }
+
+    #[test]
+    fn storm_against_live_state_shares_captures() {
+        // A mutating state served under the default policy: far fewer
+        // captures (misses) than requests, and every served snapshot is a
+        // valid state (capture and epoch read under the same lock).
+        let state = Arc::new(Mutex::new(OperationalState::new()));
+        let live_epoch = Arc::new(AtomicU64::new(0));
+        let pending = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(SiteCounters::default());
+        let cap_state = Arc::clone(&state);
+        let gw = RequestGateway::spawn(
+            move || {
+                let s = cap_state.lock();
+                (Snapshot::capture(&s, VectorTimestamp::empty()), s.epoch())
+            },
+            Arc::clone(&live_epoch),
+            Arc::clone(&pending),
+            Arc::clone(&counters),
+            GatewayConfig {
+                workers: 2,
+                cache: Some(SnapshotCachePolicy {
+                    max_stale_events: 1_000,
+                    max_stale: Duration::from_secs(10),
+                }),
+                service_pad: Duration::ZERO,
+            },
+        );
+        // Feed some state, then fire a burst.
+        for f in 0..50u32 {
+            let mut s = state.lock();
+            s.apply(&Event::faa_position(1, f, fix()));
+            live_epoch.store(s.epoch(), Ordering::Release);
+        }
+        let client = gw.client();
+        for _ in 0..100 {
+            let snap = client.fetch(Duration::from_secs(10)).unwrap();
+            assert_eq!(snap.flight_count(), 50);
+        }
+        let hits = counters.snapshot_cache_hits.load(Ordering::Relaxed);
+        let misses = counters.snapshot_cache_misses.load(Ordering::Relaxed);
+        assert_eq!(hits + misses, 100);
+        assert!(misses <= 2, "burst against a quiet state must share captures, {misses} misses");
+        drop(client);
+        gw.stop();
     }
 }

@@ -76,8 +76,16 @@ pub struct SiteCounters {
     pub delay_count: AtomicU64,
     /// Adaptation directives applied.
     pub adaptations: AtomicU64,
-    /// Snapshots served.
+    /// Snapshots served (direct synchronous `snapshot` calls).
     pub snapshots: AtomicU64,
+    /// Initial-state requests answered through a gateway worker pool.
+    pub requests_served: AtomicU64,
+    /// Gateway request latency sum (µs, submit → reply) backing the mean.
+    pub request_latency_sum_us: AtomicU64,
+    /// Gateway requests answered from the epoch cache.
+    pub snapshot_cache_hits: AtomicU64,
+    /// Gateway requests that captured fresh state (cache stale or absent).
+    pub snapshot_cache_misses: AtomicU64,
 }
 
 impl SiteCounters {
@@ -90,16 +98,44 @@ impl SiteCounters {
             self.delay_sum_us.load(Ordering::Relaxed) as f64 / n as f64
         }
     }
+
+    /// Mean gateway request latency (µs) so far.
+    pub fn mean_request_latency_us(&self) -> f64 {
+        let n = self.requests_served.load(Ordering::Relaxed);
+        if n == 0 {
+            0.0
+        } else {
+            self.request_latency_sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Epoch-cache hit rate across gateway requests so far (0.0 with no
+    /// requests).
+    pub fn snapshot_cache_hit_rate(&self) -> f64 {
+        let hits = self.snapshot_cache_hits.load(Ordering::Relaxed);
+        let total = hits + self.snapshot_cache_misses.load(Ordering::Relaxed);
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
 }
 
 /// State shared by a site's threads and its owner.
 struct SiteShared {
     ede: Mutex<Ede>,
     responder: Mutex<MainUnitResponder>,
-    counters: SiteCounters,
+    /// Shared with gateway workers, which account served requests and
+    /// cache hits into it.
+    counters: Arc<SiteCounters>,
     /// Pending client requests at this site (the §3.2.2 monitored
     /// variable); shared with any request gateway serving this site.
     pending_gauge: Arc<AtomicU64>,
+    /// The EDE's state epoch, published by the main thread after every
+    /// apply/seed so gateway workers check snapshot-cache freshness
+    /// without touching the EDE mutex.
+    epoch: Arc<AtomicU64>,
     clock: RuntimeClock,
 }
 
@@ -132,8 +168,9 @@ impl SiteCore {
         let shared = Arc::new(SiteShared {
             ede: Mutex::new(Ede::new()),
             responder: Mutex::new(MainUnitResponder::new(site)),
-            counters: SiteCounters::default(),
+            counters: Arc::new(SiteCounters::default()),
             pending_gauge: Arc::new(AtomicU64::new(0)),
+            epoch: Arc::new(AtomicU64::new(0)),
             clock,
         });
 
@@ -189,7 +226,15 @@ impl SiteCore {
                 let process_event = |shared: &Arc<SiteShared>, ev: &Event| {
                     // Apply to the EDE before advancing the frontier: see
                     // the ordering note below (snapshot safety).
-                    let out = shared.ede.lock().process(ev);
+                    let (out, epoch) = {
+                        let mut ede = shared.ede.lock();
+                        let out = ede.process(ev);
+                        (out, ede.epoch())
+                    };
+                    // Publish the epoch the gateway's staleness check
+                    // reads (lock-free, may trail the EDE by an in-flight
+                    // apply — the staleness bound absorbs that skew).
+                    shared.epoch.store(epoch, Ordering::Release);
                     shared.responder.lock().record_processed(&ev.stamp);
                     shared.counters.processed.fetch_add(1, Ordering::Relaxed);
                     let now = shared.clock.now_us();
@@ -212,7 +257,11 @@ impl SiteCore {
                             process_event(&main_shared, &ev);
                         }
                         MainMsg::Seed(state, frontier) => {
-                            main_shared.ede.lock().install_state(*state);
+                            {
+                                let mut ede = main_shared.ede.lock();
+                                ede.install_state(*state);
+                                main_shared.epoch.store(ede.epoch(), Ordering::Release);
+                            }
                             main_shared.responder.lock().record_processed(&frontier);
                             awaiting_seed = false;
                             for ev in seed_buffer.drain(..) {
@@ -340,28 +389,48 @@ macro_rules! site_common_impl {
             self.core.shared.counters.processed.load(Ordering::Relaxed)
         }
 
-        /// Spawn a request gateway for this site: a serving thread with a
-        /// FIFO of initial-state requests whose occupancy feeds the site's
-        /// pending-requests monitored variable (so live adaptation reacts
-        /// to real request pressure). `service_pad` models per-request
-        /// transfer work beyond the in-memory snapshot.
+        /// Spawn a request gateway for this site with the default
+        /// [`GatewayConfig`](crate::requests::GatewayConfig) (auto-sized
+        /// worker pool, default epoch-cache staleness bound) and the given
+        /// per-request service pad — the pad models transfer work beyond
+        /// the in-memory snapshot.
         pub fn serve_requests(
             &self,
             service_pad: std::time::Duration,
         ) -> crate::requests::RequestGateway {
+            self.serve_requests_with(crate::requests::GatewayConfig {
+                service_pad,
+                ..Default::default()
+            })
+        }
+
+        /// Spawn a request gateway for this site: a worker pool draining a
+        /// FIFO of initial-state requests whose occupancy feeds the site's
+        /// pending-requests monitored variable (so live adaptation reacts
+        /// to real request pressure). Requests are answered through the
+        /// epoch-keyed snapshot cache configured by `config` — one state
+        /// capture and one wire encoding per epoch window, shared across
+        /// the burst they satisfy.
+        pub fn serve_requests_with(
+            &self,
+            config: crate::requests::GatewayConfig,
+        ) -> crate::requests::RequestGateway {
             let shared = Arc::clone(&self.core.shared);
-            let served = Arc::new(AtomicU64::new(0));
-            // Mirror the gateway gauge into the aux unit's monitored
-            // variable on every checkpoint reply via the shared field.
-            let snapshot_fn = move || {
+            // Frontier, state, and epoch are read under the EDE lock (the
+            // responder first — the frontier may only *trail* the state a
+            // snapshot reflects, never lead it; trailing events are
+            // replayed idempotently by the client).
+            let capture = move || {
                 let as_of: VectorTimestamp = shared.responder.lock().processed().clone();
-                Snapshot::capture(shared.ede.lock().state(), as_of)
+                let ede = shared.ede.lock();
+                (Snapshot::capture(ede.state(), as_of), ede.epoch())
             };
             crate::requests::RequestGateway::spawn(
-                snapshot_fn,
+                capture,
+                Arc::clone(&self.core.shared.epoch),
                 self.pending_gauge(),
-                served,
-                service_pad,
+                Arc::clone(&self.core.shared.counters),
+                config,
             )
         }
 
@@ -382,10 +451,10 @@ macro_rules! site_common_impl {
         /// at its processed frontier (the thin-client recovery path).
         pub fn snapshot(&self) -> Snapshot {
             // Note: direct synchronous snapshots do NOT touch the shared
-            // pending-requests gauge — a gateway owns that gauge with
-            // absolute stores, and mixing add/sub here could interleave
-            // into an underflow. Queued request pressure is the gateway's
-            // to report.
+            // pending-requests gauge — the gauge counts *queued* gateway
+            // requests (incremented at submit, decremented at reply); a
+            // synchronous call never queues, so it contributes no
+            // pressure for the adaptation controller to react to.
             let as_of: VectorTimestamp = self.core.shared.responder.lock().processed().clone();
             let snap = Snapshot::capture(self.core.shared.ede.lock().state(), as_of);
             self.core.shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);
@@ -628,9 +697,12 @@ impl CentralSite {
             std::io::Error::new(std::io::ErrorKind::Unsupported, "site has no durable store")
         })?;
         let as_of: VectorTimestamp = self.core.shared.responder.lock().processed().clone();
-        let ede = self.core.shared.ede.lock();
-        let state = ede.state();
-        journal.save_snapshot(state, &as_of)?;
+        // Clone under the lock, write after releasing it: the disk write
+        // (serialize + temp file + fsync + rename) must not stall event
+        // processing — holding the EDE mutex across it froze the main
+        // thread for the whole save.
+        let state = self.core.shared.ede.lock().state().clone();
+        journal.save_snapshot(&state, &as_of)?;
         Ok(state.flights().len())
     }
 

@@ -1,0 +1,287 @@
+//! Epoch-keyed snapshot cache for the initial-state serving path.
+//!
+//! A request storm — the paper's recovering-airport case (§1) — used to
+//! cost one full flight-map deep-clone *under the EDE mutex* per request.
+//! The cache collapses a storm to O(1) amortized: the first request of an
+//! epoch captures the state once, every later request of the same (or a
+//! close-enough) epoch clones an `Arc`, and the wire encoding is computed
+//! once per cached snapshot and shared by reference count
+//! ([`ServedSnapshot::wire`], the PR-§11 encode-once pattern applied to
+//! snapshots).
+//!
+//! Staleness is **bounded, not zero**: [`SnapshotCachePolicy`] allows a
+//! cached snapshot to be served while it is at most `max_stale_events`
+//! state changes and `max_stale` wall-clock behind the live state. That is
+//! safe by construction — a snapshot carries its `as_of` frontier and
+//! clients replay the update stream from there, so a slightly stale base
+//! converges to the live state after replay (the same argument that makes
+//! the paper's coalescing/selective mirror functions safe).
+
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use mirror_ede::Snapshot;
+
+/// How stale a cached snapshot may be and still be served.
+///
+/// `Default` allows 64 state-changing events or 2 ms of age, whichever
+/// trips first — deep enough to absorb a burst arriving alongside a live
+/// update stream, shallow enough that a recovering display replays only a
+/// handful of events it would have received anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotCachePolicy {
+    /// Serve a cached snapshot while the live epoch is at most this many
+    /// state changes ahead of the snapshot's epoch.
+    pub max_stale_events: u64,
+    /// ... and the snapshot is at most this old.
+    pub max_stale: Duration,
+}
+
+impl Default for SnapshotCachePolicy {
+    fn default() -> Self {
+        Self { max_stale_events: 64, max_stale: Duration::from_millis(2) }
+    }
+}
+
+impl SnapshotCachePolicy {
+    /// Zero-staleness policy: every request recaptures the live state —
+    /// the pre-cache behaviour, kept for benchmarking and for callers that
+    /// insist on exactly-current snapshots.
+    pub fn fresh() -> Self {
+        Self { max_stale_events: 0, max_stale: Duration::ZERO }
+    }
+}
+
+/// A snapshot as handed to a requesting client: shared state plus a
+/// lazily-computed, shared wire encoding.
+///
+/// Cloning is two reference-count bumps. Derefs to [`Snapshot`], so
+/// existing consumers (`flight_count`, `restore`, `as_of`, ...) read it
+/// unchanged; [`wire`](Self::wire) yields the encode-once frame bytes that
+/// every client of the same cached snapshot shares.
+#[derive(Clone)]
+pub struct ServedSnapshot {
+    snap: Arc<Snapshot>,
+    wire: Arc<OnceLock<Bytes>>,
+}
+
+impl ServedSnapshot {
+    /// Wrap a freshly captured snapshot (encoding not yet computed).
+    pub fn new(snap: Snapshot) -> Self {
+        Self { snap: Arc::new(snap), wire: Arc::new(OnceLock::new()) }
+    }
+
+    /// The shared snapshot.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snap
+    }
+
+    /// The wire encoding ([`mirror_echo::wire::encode_snapshot`]): encoded
+    /// at most once per cached snapshot, shared by every clone. Cloning
+    /// the returned [`Bytes`] is a reference-count bump.
+    pub fn wire(&self) -> Bytes {
+        self.wire.get_or_init(|| mirror_echo::wire::encode_snapshot(&self.snap)).clone()
+    }
+
+    /// Extract an owned [`Snapshot`], cloning only if other handles to the
+    /// same cached snapshot are still alive.
+    pub fn into_snapshot(self) -> Snapshot {
+        drop(self.wire);
+        Arc::try_unwrap(self.snap).unwrap_or_else(|arc| (*arc).clone())
+    }
+}
+
+impl std::ops::Deref for ServedSnapshot {
+    type Target = Snapshot;
+    fn deref(&self) -> &Snapshot {
+        &self.snap
+    }
+}
+
+impl std::fmt::Debug for ServedSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedSnapshot")
+            .field("flights", &self.snap.flight_count())
+            .field("as_of", &self.snap.as_of)
+            .field("encoded", &self.wire.get().is_some())
+            .finish()
+    }
+}
+
+/// One cached capture, tagged with the epoch and instant it reflects.
+struct Entry {
+    epoch: u64,
+    taken: Instant,
+    served: ServedSnapshot,
+}
+
+/// The gateway workers' shared snapshot cache.
+///
+/// `get` holds the cache mutex across a miss's capture on purpose: under a
+/// storm, concurrent misses collapse into **one** capture (single-flight) —
+/// the waiting workers then hit the freshly inserted entry instead of
+/// piling duplicate deep-clones onto the EDE mutex.
+pub struct SnapshotCache {
+    policy: SnapshotCachePolicy,
+    slot: Mutex<Option<Entry>>,
+}
+
+impl SnapshotCache {
+    /// An empty cache under `policy`.
+    pub fn new(policy: SnapshotCachePolicy) -> Self {
+        Self { policy, slot: Mutex::new(None) }
+    }
+
+    /// The staleness bound this cache enforces.
+    pub fn policy(&self) -> SnapshotCachePolicy {
+        self.policy
+    }
+
+    /// Serve from cache if the cached entry is within the staleness bound
+    /// of `live_epoch`, else capture via `capture` (which returns the
+    /// snapshot *and* the epoch it reflects, read under the same state
+    /// lock) and cache the result. Returns the snapshot and whether it was
+    /// a cache hit.
+    pub fn get(
+        &self,
+        live_epoch: u64,
+        capture: impl FnOnce() -> (Snapshot, u64),
+    ) -> (ServedSnapshot, bool) {
+        let mut slot = self.slot.lock();
+        if let Some(e) = slot.as_ref() {
+            // An epoch *regression* (live < cached, e.g. around a state
+            // reinstall) is never a hit, however small the distance.
+            let fresh_enough = live_epoch >= e.epoch
+                && live_epoch - e.epoch <= self.policy.max_stale_events
+                && e.taken.elapsed() <= self.policy.max_stale;
+            if fresh_enough {
+                return (e.served.clone(), true);
+            }
+        }
+        let (snap, epoch) = capture();
+        let served = ServedSnapshot::new(snap);
+        *slot = Some(Entry { epoch, taken: Instant::now(), served: served.clone() });
+        (served, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirror_core::event::{Event, PositionFix};
+    use mirror_core::timestamp::VectorTimestamp;
+    use mirror_ede::OperationalState;
+
+    fn fix() -> PositionFix {
+        PositionFix { lat: 1.0, lon: 2.0, alt_ft: 30000.0, speed_kts: 450.0, heading_deg: 10.0 }
+    }
+
+    fn state(n: u32) -> OperationalState {
+        let mut s = OperationalState::new();
+        for f in 0..n {
+            s.apply(&Event::faa_position(1, f, fix()));
+        }
+        s
+    }
+
+    fn capture_from(s: &OperationalState) -> (Snapshot, u64) {
+        (Snapshot::capture(s, VectorTimestamp::empty()), s.epoch())
+    }
+
+    #[test]
+    fn same_epoch_hits_without_recapture() {
+        let s = state(5);
+        let cache = SnapshotCache::new(SnapshotCachePolicy {
+            max_stale_events: 0,
+            max_stale: Duration::from_secs(3600),
+        });
+        let mut captures = 0;
+        for i in 0..10 {
+            let (served, hit) = cache.get(s.epoch(), || {
+                captures += 1;
+                capture_from(&s)
+            });
+            assert_eq!(served.flight_count(), 5);
+            assert_eq!(hit, i > 0);
+        }
+        assert_eq!(captures, 1);
+    }
+
+    #[test]
+    fn bounded_staleness_window() {
+        let mut s = state(5);
+        let cache = SnapshotCache::new(SnapshotCachePolicy {
+            max_stale_events: 3,
+            max_stale: Duration::from_secs(3600),
+        });
+        let (_, hit) = cache.get(s.epoch(), || capture_from(&s));
+        assert!(!hit);
+        // Within the event bound: still a hit, even though state moved.
+        for f in 100..103 {
+            s.apply(&Event::faa_position(1, f, fix()));
+        }
+        let (served, hit) = cache.get(s.epoch(), || capture_from(&s));
+        assert!(hit, "3 events behind is within the bound");
+        assert_eq!(served.flight_count(), 5, "cached capture served");
+        // One more change crosses the bound: recapture.
+        s.apply(&Event::faa_position(1, 103, fix()));
+        let (served, hit) = cache.get(s.epoch(), || capture_from(&s));
+        assert!(!hit, "4 events behind exceeds the bound");
+        assert_eq!(served.flight_count(), 9);
+    }
+
+    #[test]
+    fn age_bound_expires_entries() {
+        let s = state(2);
+        let cache = SnapshotCache::new(SnapshotCachePolicy {
+            max_stale_events: u64::MAX,
+            max_stale: Duration::from_millis(20),
+        });
+        let (_, hit) = cache.get(s.epoch(), || capture_from(&s));
+        assert!(!hit);
+        let (_, hit) = cache.get(s.epoch(), || capture_from(&s));
+        assert!(hit);
+        std::thread::sleep(Duration::from_millis(30));
+        let (_, hit) = cache.get(s.epoch(), || capture_from(&s));
+        assert!(!hit, "aged-out entry must recapture");
+    }
+
+    #[test]
+    fn epoch_regression_is_a_miss() {
+        let s = state(2);
+        let cache = SnapshotCache::new(SnapshotCachePolicy {
+            max_stale_events: u64::MAX,
+            max_stale: Duration::from_secs(3600),
+        });
+        let (_, hit) = cache.get(100, || (Snapshot::capture(&s, VectorTimestamp::empty()), 100));
+        assert!(!hit);
+        // Live epoch below the cached epoch (reinstalled state): miss.
+        let (_, hit) = cache.get(7, || (Snapshot::capture(&s, VectorTimestamp::empty()), 7));
+        assert!(!hit, "epoch regression must not serve the stale cache");
+    }
+
+    #[test]
+    fn wire_encodes_once_and_is_shared() {
+        let s = state(4);
+        let served = ServedSnapshot::new(Snapshot::capture(&s, VectorTimestamp::empty()));
+        let clone = served.clone();
+        let w1 = served.wire();
+        let w2 = clone.wire();
+        // Same buffer, not merely equal bytes: the encode-once contract.
+        assert_eq!(w1.as_ptr(), w2.as_ptr());
+        let decoded = mirror_echo::wire::decode_snapshot(w1).expect("decode");
+        assert_eq!(decoded.restore().state_hash(), s.state_hash());
+    }
+
+    #[test]
+    fn into_snapshot_avoids_clone_when_unique() {
+        let s = state(3);
+        let served = ServedSnapshot::new(Snapshot::capture(&s, VectorTimestamp::empty()));
+        let snap = served.into_snapshot();
+        assert_eq!(snap.flight_count(), 3);
+        assert_eq!(snap.into_state().state_hash(), s.state_hash());
+    }
+}

@@ -79,9 +79,10 @@ fn main() {
     for h in handles {
         let (_display, _site, snap, latency) = h.join().expect("display thread");
         worst = worst.max(latency);
-        // The display verifies it can resume: restore then check it holds
-        // a view for every active flight.
-        let restored = snap.restore();
+        // The display verifies it can resume: move the snapshot into an
+        // operational state (no second deep-clone) and check it holds a
+        // view for every active flight.
+        let restored = snap.into_state();
         assert!(restored.flight_count() > 0, "snapshot must carry state");
         recovered += 1;
     }

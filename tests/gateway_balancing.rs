@@ -80,3 +80,70 @@ fn gateways_answer_with_converged_state() {
     gw2.stop();
     cluster.shutdown();
 }
+
+/// The bounded-staleness contract that makes the epoch cache safe: a
+/// cached snapshot served K events stale, restored by value and followed
+/// by a replay of the update stream, converges to the live state hash.
+#[test]
+fn stale_cached_snapshot_plus_replay_converges() {
+    use adaptable_mirroring::runtime::{GatewayConfig, SnapshotCachePolicy};
+    use std::time::Instant;
+
+    let cluster = Cluster::start(ClusterConfig::default());
+    // Subscribe before fetching so the replay stream misses nothing.
+    let updates = cluster.subscribe_updates();
+    for seq in 1..=60u64 {
+        cluster.submit(Event::faa_position(seq, (seq % 7) as u32, fix()));
+    }
+    assert!(cluster.wait_all_processed(60, Duration::from_secs(5)));
+
+    // A staleness bound deep enough that the second fetch is guaranteed to
+    // be served from the (by then stale) cached capture.
+    let gw = cluster.central().serve_requests_with(GatewayConfig {
+        workers: 1,
+        cache: Some(SnapshotCachePolicy {
+            max_stale_events: 10_000,
+            max_stale: Duration::from_secs(3600),
+        }),
+        service_pad: Duration::ZERO,
+    });
+    let client = gw.client();
+    let first = client.fetch(Duration::from_secs(5)).unwrap(); // miss: primes the cache
+    for seq in 61..=120u64 {
+        cluster.submit(Event::faa_position(seq, (seq % 7) as u32, fix()));
+    }
+    assert!(cluster.wait_all_processed(120, Duration::from_secs(5)));
+    let stale = client.fetch(Duration::from_secs(5)).unwrap();
+    assert_eq!(stale.as_of, first.as_of, "second fetch must reuse the cached capture");
+
+    let stats = cluster.stats();
+    assert_eq!(stats.central.snapshot_cache_misses, 1);
+    assert_eq!(stats.central.snapshot_cache_hits, 1);
+    assert_eq!(stats.central.requests_served, 2);
+
+    // A recovering display: move the stale snapshot into an operational
+    // state, then replay the update stream over it (idempotent absorption
+    // makes replaying from before the frontier harmless).
+    let mut state = stale.into_snapshot().into_state();
+    assert_ne!(
+        state.state_hash(),
+        cluster.central().state_hash(),
+        "precondition: the cached snapshot is genuinely stale"
+    );
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while state.state_hash() != cluster.central().state_hash() && Instant::now() < deadline {
+        match updates.recv_timeout(Duration::from_millis(200)) {
+            Some(u) => {
+                state.apply(&u);
+            }
+            None => break,
+        }
+    }
+    assert_eq!(
+        state.state_hash(),
+        cluster.central().state_hash(),
+        "stale snapshot + frontier replay must converge to the live state"
+    );
+    gw.stop();
+    cluster.shutdown();
+}
