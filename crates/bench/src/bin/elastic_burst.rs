@@ -1,0 +1,252 @@
+//! Elastic scale-out under a request storm — fixed vs. elastic capacity.
+//!
+//! Both cases run the same workload: a steady flight-event stream plus a
+//! storm of synchronous initial-state fetches from a pool of display
+//! threads, against gateways with a per-request service pad (so capacity,
+//! not channel latency, is the bottleneck). Reported per case:
+//!
+//! * **requests/sec** — fetches completed over the storm window;
+//! * **p50/p99 request latency** — client-observed fetch latency;
+//!
+//! and for the `elastic` case additionally:
+//!
+//! * **spawn_ms** — storm start → the `ScalePolicy` has spawned a second
+//!   mirror and its gateway is serving;
+//! * **epochs** — membership epochs traversed (spawn + retire);
+//! * **retired** — whether the quiesce after the storm scaled back in.
+//!
+//! * `fixed` — one mirror for the whole run (`scale: None`);
+//! * `elastic` — starts with one mirror and a [`ScalePolicy`] allowed to
+//!   scale out to two on sustained pending-request pressure.
+//!
+//! Emits `results/BENCH_elastic_burst.json` with a `throughput_gain`
+//! field (elastic vs fixed requests/sec). `--smoke` shrinks the run for
+//! CI; `--storm-ms`, `--displays`, `--pad-us`, `--out` override defaults.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mirror_core::adapt::{MonitorThresholds, ScalePolicy};
+use mirror_core::event::{Event, PositionFix};
+use mirror_core::mirrorfn::MirrorFnKind;
+use mirror_runtime::{Cluster, ClusterConfig, RequestClient, ScaleEvent};
+
+fn fix(seq: u64) -> PositionFix {
+    PositionFix {
+        lat: 30.0 + (seq % 19) as f64 * 0.3,
+        lon: -95.0 + (seq % 23) as f64 * 0.5,
+        alt_ft: 30_000.0,
+        speed_kts: 455.0,
+        heading_deg: (seq % 360) as f64,
+    }
+}
+
+fn pctile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct BurstConfig {
+    storm: Duration,
+    displays: usize,
+    pad: Duration,
+}
+
+struct CaseStats {
+    requests: u64,
+    requests_per_sec: f64,
+    lat_p50_us: u64,
+    lat_p99_us: u64,
+    spawn_ms: Option<f64>,
+    epochs: u64,
+    retired: bool,
+}
+
+fn run_case(cfg: &BurstConfig, elastic: bool) -> CaseStats {
+    let cluster = Arc::new(Cluster::start(ClusterConfig {
+        mirrors: 1,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 0,
+        durability: None,
+        scale: elastic.then(|| ScalePolicy {
+            thresholds: MonitorThresholds::new(12, 8),
+            sustain: 2,
+            cooldown: 4,
+            max_mirrors: 2,
+            min_mirrors: 1,
+        }),
+    }));
+    cluster.central().handle().set_params(false, 1, 10);
+
+    // Steady stream keeps checkpoint rounds (the scale-signal transport)
+    // turning over.
+    let stop_feed = Arc::new(AtomicBool::new(false));
+    let feeder = {
+        let (cluster, stop) = (Arc::clone(&cluster), Arc::clone(&stop_feed));
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                seq += 1;
+                cluster.submit(Event::faa_position(seq, (seq % 24) as u32, fix(seq)));
+                std::thread::sleep(Duration::from_micros(250));
+            }
+        })
+    };
+
+    let mut gateways = vec![cluster.mirror(1).serve_requests(cfg.pad)];
+    let clients: Arc<Mutex<Vec<RequestClient>>> = Arc::new(Mutex::new(vec![gateways[0].client()]));
+
+    // Display pool: synchronous fetches round-robined over whatever
+    // gateways exist at pick time.
+    let storming = Arc::new(AtomicBool::new(true));
+    let rr = Arc::new(AtomicUsize::new(0));
+    let served = Arc::new(AtomicU64::new(0));
+    let mut displays = Vec::new();
+    for _ in 0..cfg.displays {
+        let (clients, storming, rr, served) =
+            (Arc::clone(&clients), Arc::clone(&storming), Arc::clone(&rr), Arc::clone(&served));
+        displays.push(std::thread::spawn(move || {
+            let mut latencies = Vec::new();
+            while storming.load(Ordering::Relaxed) {
+                let client = {
+                    let pool = clients.lock().unwrap();
+                    pool[rr.fetch_add(1, Ordering::Relaxed) % pool.len()].clone()
+                };
+                let t0 = Instant::now();
+                if client.fetch(Duration::from_secs(5)).is_ok() {
+                    latencies.push(t0.elapsed().as_micros() as u64);
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            latencies
+        }));
+    }
+
+    // Storm window: the main thread watches for scale events and wires a
+    // spawned mirror straight into the serving pool.
+    let storm_start = Instant::now();
+    let mut spawn_ms = None;
+    while storm_start.elapsed() < cfg.storm {
+        for ev in cluster.poll_scale() {
+            if let ScaleEvent::Spawned { site, .. } = ev {
+                gateways.push(cluster.mirror(site).serve_requests(cfg.pad));
+                clients.lock().unwrap().push(gateways.last().unwrap().client());
+                spawn_ms = Some(storm_start.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    storming.store(false, Ordering::Relaxed);
+    let mut latencies: Vec<u64> = Vec::new();
+    for d in displays {
+        latencies.extend(d.join().expect("display thread"));
+    }
+    latencies.sort_unstable();
+    let requests = served.load(Ordering::Relaxed);
+
+    // Quiesce: give the elastic policy time to scale back in.
+    let mut retired = false;
+    if elastic {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !retired && Instant::now() < deadline {
+            for ev in cluster.poll_scale() {
+                if matches!(ev, ScaleEvent::Retired { .. }) {
+                    retired = true;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let epochs = cluster.epoch();
+
+    stop_feed.store(true, Ordering::Relaxed);
+    feeder.join().expect("feeder");
+    for gw in gateways {
+        gw.stop();
+    }
+    let cluster = Arc::try_unwrap(cluster).unwrap_or_else(|_| panic!("cluster still shared"));
+    cluster.shutdown();
+
+    CaseStats {
+        requests,
+        requests_per_sec: requests as f64 / cfg.storm.as_secs_f64(),
+        lat_p50_us: pctile(&latencies, 0.50),
+        lat_p99_us: pctile(&latencies, 0.99),
+        spawn_ms,
+        epochs,
+        retired,
+    }
+}
+
+fn json_case(s: &CaseStats) -> String {
+    let spawn = s.spawn_ms.map_or("null".to_string(), |v| format!("{v:.1}"));
+    format!(
+        "{{\"requests\": {}, \"requests_per_sec\": {:.1}, \"lat_p50_us\": {}, \
+         \"lat_p99_us\": {}, \"spawn_ms\": {}, \"epochs\": {}, \"retired\": {}}}",
+        s.requests, s.requests_per_sec, s.lat_p50_us, s.lat_p99_us, spawn, s.epochs, s.retired,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|v| v.to_string())
+    };
+
+    let smoke = flag("--smoke");
+    let storm_ms: u64 = opt("--storm-ms")
+        .map(|v| v.parse().expect("--storm-ms"))
+        .unwrap_or(if smoke { 600 } else { 2_000 });
+    let displays: usize = opt("--displays").map(|v| v.parse().expect("--displays")).unwrap_or(16);
+    let pad_us: u64 = opt("--pad-us").map(|v| v.parse().expect("--pad-us")).unwrap_or(3_000);
+    let out = opt("--out").unwrap_or_else(|| "results/BENCH_elastic_burst.json".to_string());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    let cfg = BurstConfig {
+        storm: Duration::from_millis(storm_ms),
+        displays,
+        pad: Duration::from_micros(pad_us),
+    };
+
+    println!(
+        "elastic_burst: {displays} displays, {storm_ms} ms storm, {pad_us} µs pad \
+         (smoke={smoke})"
+    );
+    let mut rows = Vec::new();
+    let mut rps = Vec::new();
+    for (name, elastic) in [("fixed", false), ("elastic", true)] {
+        let s = run_case(&cfg, elastic);
+        println!(
+            "  {:<8} {:>7.0} req/s  p50 {:>6} µs  p99 {:>6} µs  spawn {:>8}  \
+             epochs {}  retired {}",
+            name,
+            s.requests_per_sec,
+            s.lat_p50_us,
+            s.lat_p99_us,
+            s.spawn_ms.map_or("-".to_string(), |v| format!("{v:.0} ms")),
+            s.epochs,
+            s.retired,
+        );
+        rows.push(format!("    \"{name}\": {}", json_case(&s)));
+        rps.push(s.requests_per_sec);
+    }
+    let gain = if rps[0] > 0.0 { rps[1] / rps[0] } else { 0.0 };
+    println!("  throughput gain (elastic/fixed): {gain:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"elastic_burst\",\n  \"smoke\": {smoke},\n  \"config\": \
+         {{\"storm_ms\": {storm_ms}, \"displays\": {displays}, \"pad_us\": {pad_us}}},\n  \
+         \"cases\": {{\n{}\n  }},\n  \"throughput_gain\": {gain:.3}\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+}

@@ -130,8 +130,7 @@ fn run_case(cfg: &StormConfig, spec: &CaseSpec) -> CaseStats {
     let cluster = Arc::new(Cluster::start(ClusterConfig {
         mirrors: 1,
         kind: MirrorFnKind::Simple,
-        suspect_after: 0,
-        durability: None,
+        ..Default::default()
     }));
 
     // Preload: one position per flight builds the 2k-flight state.
@@ -276,7 +275,8 @@ fn run_case(cfg: &StormConfig, spec: &CaseSpec) -> CaseStats {
 /// legacy gateway, which never touches them... almost: misses are counted
 /// for uncached serves too, so hits are the discriminating number).
 fn gateway_cache_counters(cluster: &Cluster) -> (u64, u64) {
-    let c = cluster.central().counters();
+    let central = cluster.central();
+    let c = central.counters();
     (c.snapshot_cache_hits.load(Ordering::Relaxed), c.snapshot_cache_misses.load(Ordering::Relaxed))
 }
 

@@ -117,6 +117,56 @@ pub enum AdaptAction {
     },
 }
 
+/// Elastic-capacity policy: the same §3.2.2 hysteresis machinery, but the
+/// adaptation target is the **mirror set itself** rather than the
+/// mirroring function.
+///
+/// The controller watches the aggregated `PendingRequests` monitor (the
+/// paper's bursty-request signal): sustained pressure at or above
+/// `thresholds.primary` for `sustain` consecutive checkpoint rounds directs
+/// *spawn a mirror*; sustained calm below the release point
+/// (`primary − secondary`) directs *retire one*. Like every other
+/// adaptation, the decision is made centrally, once per checkpoint round —
+/// the embedding (e.g. `mirror-runtime`'s `Cluster`) executes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScalePolicy {
+    /// Primary/secondary thresholds on the aggregated pending-request
+    /// gauge (hysteresis exactly as for mirror-function adaptation).
+    pub thresholds: MonitorThresholds,
+    /// Consecutive rounds the signal must hold before a decision fires
+    /// (spawning a site is costlier than swapping a mirror function, so a
+    /// single-round spike should not trigger it).
+    pub sustain: u32,
+    /// Rounds to hold *all* scale decisions after one fires, giving a
+    /// freshly spawned (or retired) mirror time to change the signal.
+    pub cooldown: u32,
+    /// Never scale out beyond this many live mirrors.
+    pub max_mirrors: usize,
+    /// Never scale in below this many live mirrors.
+    pub min_mirrors: usize,
+}
+
+impl Default for ScalePolicy {
+    fn default() -> Self {
+        ScalePolicy {
+            thresholds: MonitorThresholds::new(64, 32),
+            sustain: 2,
+            cooldown: 8,
+            max_mirrors: 4,
+            min_mirrors: 1,
+        }
+    }
+}
+
+/// A capacity decision produced by [`AdaptationController::decide_scale`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Spawn one additional mirror site.
+    SpawnMirror,
+    /// Retire one mirror site.
+    RetireMirror,
+}
+
 /// Outcome of feeding monitor reports to the controller.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AdaptDecision {
@@ -142,6 +192,17 @@ pub struct AdaptationController {
     reports: HashMap<SiteId, MonitorReport>,
     /// Engage/release transitions taken (for experiment output).
     pub transitions: u64,
+    /// Elastic-capacity policy, if installed.
+    scale: Option<ScalePolicy>,
+    /// Consecutive rounds the pending signal has held over primary.
+    scale_over: u32,
+    /// Consecutive rounds the pending signal has held under the release
+    /// point.
+    scale_under: u32,
+    /// Rounds left before another scale decision may fire.
+    scale_cooldown: u32,
+    /// Scale decisions taken (for experiment output).
+    pub scale_decisions: u64,
 }
 
 impl AdaptationController {
@@ -155,7 +216,63 @@ impl AdaptationController {
             engaged: false,
             reports: HashMap::new(),
             transitions: 0,
+            scale: None,
+            scale_over: 0,
+            scale_under: 0,
+            scale_cooldown: 0,
+            scale_decisions: 0,
         }
+    }
+
+    /// Install (or replace) the elastic-capacity policy.
+    pub fn set_scale_policy(&mut self, policy: ScalePolicy) {
+        self.scale = Some(policy);
+        self.scale_over = 0;
+        self.scale_under = 0;
+        self.scale_cooldown = 0;
+    }
+
+    /// The installed elastic-capacity policy, if any.
+    pub fn scale_policy(&self) -> Option<&ScalePolicy> {
+        self.scale.as_ref()
+    }
+
+    /// Evaluate the elastic-capacity rule against the latest reports.
+    /// Called once per checkpoint round alongside [`decide`](Self::decide);
+    /// `live_mirrors` is the current live mirror count (used for the
+    /// min/max bounds).
+    pub fn decide_scale(&mut self, live_mirrors: usize) -> Option<ScaleDecision> {
+        let policy = self.scale?;
+        let pending = self.aggregate().pending_requests;
+        if pending >= policy.thresholds.primary {
+            self.scale_over += 1;
+            self.scale_under = 0;
+        } else if pending < policy.thresholds.release_point() {
+            self.scale_under += 1;
+            self.scale_over = 0;
+        } else {
+            // Inside the hysteresis band: both streaks reset, so a
+            // wobbling signal never accumulates toward a decision.
+            self.scale_over = 0;
+            self.scale_under = 0;
+        }
+        if self.scale_cooldown > 0 {
+            self.scale_cooldown -= 1;
+            return None;
+        }
+        if self.scale_over >= policy.sustain && live_mirrors < policy.max_mirrors {
+            self.scale_over = 0;
+            self.scale_cooldown = policy.cooldown;
+            self.scale_decisions += 1;
+            return Some(ScaleDecision::SpawnMirror);
+        }
+        if self.scale_under >= policy.sustain && live_mirrors > policy.min_mirrors {
+            self.scale_under = 0;
+            self.scale_cooldown = policy.cooldown;
+            self.scale_decisions += 1;
+            return Some(ScaleDecision::RetireMirror);
+        }
+        None
     }
 
     /// `set_monitor_values(index, p, s)`: install thresholds for a
@@ -366,5 +483,82 @@ mod tests {
     fn thresholds_release_point_saturates() {
         let t = MonitorThresholds::new(10, 30);
         assert_eq!(t.release_point(), 0);
+    }
+
+    fn controller_with_scale(sustain: u32, cooldown: u32) -> AdaptationController {
+        let mut c = AdaptationController::new(MirrorParams::default());
+        c.set_scale_policy(ScalePolicy {
+            thresholds: MonitorThresholds::new(10, 6),
+            sustain,
+            cooldown,
+            max_mirrors: 3,
+            min_mirrors: 1,
+        });
+        c
+    }
+
+    #[test]
+    fn scale_out_requires_sustained_pressure() {
+        let mut c = controller_with_scale(2, 0);
+        c.record_report(1, report(50));
+        assert_eq!(c.decide_scale(1), None, "one hot round is not sustained");
+        assert_eq!(c.decide_scale(1), Some(ScaleDecision::SpawnMirror));
+        assert_eq!(c.scale_decisions, 1);
+    }
+
+    #[test]
+    fn spike_then_dip_resets_the_streak() {
+        let mut c = controller_with_scale(2, 0);
+        c.record_report(1, report(50));
+        assert_eq!(c.decide_scale(1), None);
+        // Signal falls inside the hysteresis band (release 4 ≤ 7 < 10):
+        // the over-streak resets and no decision ever fires.
+        c.record_report(1, report(7));
+        assert_eq!(c.decide_scale(1), None);
+        c.record_report(1, report(50));
+        assert_eq!(c.decide_scale(1), None, "streak restarted from zero");
+    }
+
+    #[test]
+    fn scale_in_on_sustained_quiesce_with_floor() {
+        let mut c = controller_with_scale(2, 0);
+        c.record_report(1, report(0));
+        assert_eq!(c.decide_scale(2), None);
+        assert_eq!(c.decide_scale(2), Some(ScaleDecision::RetireMirror));
+        // At the min_mirrors floor the calm signal never retires further.
+        assert_eq!(c.decide_scale(1), None);
+        assert_eq!(c.decide_scale(1), None);
+    }
+
+    #[test]
+    fn max_mirrors_caps_scale_out() {
+        let mut c = controller_with_scale(1, 0);
+        c.record_report(1, report(100));
+        assert_eq!(c.decide_scale(3), None, "already at max_mirrors");
+    }
+
+    #[test]
+    fn cooldown_spaces_decisions() {
+        let mut c = controller_with_scale(1, 2);
+        c.record_report(1, report(100));
+        assert_eq!(c.decide_scale(1), Some(ScaleDecision::SpawnMirror));
+        assert_eq!(c.decide_scale(2), None, "cooldown round 1");
+        assert_eq!(c.decide_scale(2), None, "cooldown round 2");
+        assert_eq!(c.decide_scale(2), Some(ScaleDecision::SpawnMirror));
+    }
+
+    #[test]
+    fn scale_and_mirror_fn_adaptation_are_independent() {
+        let mut c = controller_with_switch();
+        c.set_scale_policy(ScalePolicy {
+            thresholds: MonitorThresholds::new(10, 6),
+            sustain: 1,
+            cooldown: 0,
+            max_mirrors: 4,
+            min_mirrors: 1,
+        });
+        c.record_report(1, report(150));
+        assert!(matches!(c.decide(), AdaptDecision::Engage(_)));
+        assert_eq!(c.decide_scale(1), Some(ScaleDecision::SpawnMirror));
     }
 }

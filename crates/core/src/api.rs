@@ -268,6 +268,14 @@ impl MirrorHandle {
         });
     }
 
+    /// Install an elastic-capacity policy (central site only): sustained
+    /// pending-request pressure then directs mirror spawn/retire once per
+    /// checkpoint round (surfaced as
+    /// [`AuxAction::ScaleDirective`](crate::aux_unit::AuxAction)).
+    pub fn set_scale_policy(&self, policy: crate::adapt::ScalePolicy) {
+        self.with(|aux| aux.set_scale_policy(policy));
+    }
+
     /// Current parameters (snapshot).
     pub fn params(&self) -> MirrorParams {
         self.with(|aux| aux.params().clone())

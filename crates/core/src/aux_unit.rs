@@ -23,7 +23,9 @@
 
 use std::sync::Arc;
 
-use crate::adapt::{AdaptDecision, AdaptationController, MonitorReport};
+use crate::adapt::{
+    AdaptDecision, AdaptationController, MonitorReport, ScaleDecision, ScalePolicy,
+};
 use crate::checkpoint::{CentralCheckpointer, CheckpointMsg, MirrorRelay};
 use crate::control::{AdaptDirective, ControlMsg};
 use crate::event::Event;
@@ -89,6 +91,11 @@ pub enum AuxAction {
     /// several consecutive rounds); embeddings should stop routing client
     /// requests and mirroring traffic to it.
     MirrorFailed(SiteId),
+    /// The central adaptation controller's [`ScalePolicy`] directs a
+    /// capacity change (spawn or retire a mirror). Decided centrally once
+    /// per checkpoint round, like every other adaptation; the embedding
+    /// (which owns site lifecycles) executes it.
+    ScaleDirective(ScaleDecision),
 }
 
 /// Role-specific state of an auxiliary unit.
@@ -124,6 +131,10 @@ pub struct AuxUnit {
     /// Pending client requests at this site (set by the embedding server;
     /// reported to the adaptation controller).
     pending_requests: u64,
+    /// Membership epoch this unit has most recently observed: at the
+    /// central site the epoch it stamps onto rounds, at a mirror the
+    /// newest epoch seen on CHKPT/COMMIT traffic.
+    membership_epoch: u64,
     counters: AuxCounters,
 }
 
@@ -146,6 +157,7 @@ impl AuxUnit {
             clock: VectorTimestamp::empty(),
             processed_since_chkpt: 0,
             pending_requests: 0,
+            membership_epoch: 0,
             counters: AuxCounters::default(),
         }
     }
@@ -166,6 +178,7 @@ impl AuxUnit {
             clock: VectorTimestamp::empty(),
             processed_since_chkpt: 0,
             pending_requests: 0,
+            membership_epoch: 0,
             counters: AuxCounters::default(),
         }
     }
@@ -283,6 +296,53 @@ impl AuxUnit {
     pub fn readmit_mirror(&mut self, site: SiteId) {
         if let Role::Central { checkpointer, .. } = &mut self.role {
             checkpointer.readmit(site);
+        }
+    }
+
+    /// Record a membership change: at the central site, `epoch` is stamped
+    /// onto every subsequent CHKPT/COMMIT; at a mirror this is normally
+    /// learned from control traffic instead.
+    pub fn set_membership_epoch(&mut self, epoch: u64) {
+        self.membership_epoch = self.membership_epoch.max(epoch);
+        if let Role::Central { checkpointer, .. } = &mut self.role {
+            checkpointer.set_epoch(self.membership_epoch);
+        }
+    }
+
+    /// The membership epoch this unit most recently observed: at the
+    /// central site the epoch it stamps onto rounds, at a mirror the
+    /// newest epoch carried by CHKPT/COMMIT traffic.
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership_epoch
+    }
+
+    /// Admit a brand-new mirror at `epoch` (central site only): it joins
+    /// checkpoint rounds from the next round on — a round already in
+    /// flight is never gated on a site that did not see its proposal
+    /// (same machinery as [`readmit_mirror`](Self::readmit_mirror)).
+    pub fn admit_mirror(&mut self, site: SiteId, epoch: u64) {
+        self.set_membership_epoch(epoch);
+        self.readmit_mirror(site);
+    }
+
+    /// Gracefully retire a mirror at `epoch` (central site only): remove
+    /// it from checkpoint rounds without marking it failed, and drop its
+    /// monitor report so a retired site's last pressure reading cannot
+    /// keep driving adaptation.
+    pub fn retire_mirror(&mut self, site: SiteId, epoch: u64) {
+        self.set_membership_epoch(epoch);
+        if let Role::Central { checkpointer, adapt } = &mut self.role {
+            checkpointer.retire(site);
+            adapt.remove_report(site);
+        }
+    }
+
+    /// Install an elastic-capacity policy (central site only): each
+    /// checkpoint round the controller may then emit an
+    /// [`AuxAction::ScaleDirective`].
+    pub fn set_scale_policy(&mut self, policy: ScalePolicy) {
+        if let Role::Central { adapt, .. } = &mut self.role {
+            adapt.set_scale_policy(policy);
         }
     }
 
@@ -538,6 +598,12 @@ impl AuxUnit {
                             AdaptDecision::Hold => None,
                             AdaptDecision::Engage(d) | AdaptDecision::Release(d) => Some(d),
                         };
+                        // Elastic capacity is decided at the same point —
+                        // once per committed round, centrally — but is an
+                        // embedding-level action (the aux unit does not own
+                        // site lifecycles), so it surfaces as its own
+                        // action rather than riding the COMMIT.
+                        let scale = adapt.decide_scale(checkpointer.mirrors().len());
                         self.backup.prune(&commit);
                         let mut actions = Vec::new();
                         for m in msgs {
@@ -549,6 +615,9 @@ impl AuxUnit {
                         }
                         self.counters.control_msgs += actions.len() as u64;
                         failure_actions.extend(actions);
+                        if let Some(s) = scale {
+                            failure_actions.push(AuxAction::ScaleDirective(s));
+                        }
                         failure_actions
                     }
                 }
@@ -558,6 +627,9 @@ impl AuxUnit {
 
             // --- mirror site --------------------------------------------------
             (Role::Mirror { relay }, msg @ ControlMsg::Chkpt { .. }) => {
+                if let Some(e) = msg.epoch() {
+                    self.membership_epoch = self.membership_epoch.max(e);
+                }
                 let msgs = relay.on_chkpt(msg);
                 self.counters.control_msgs += msgs.len() as u64;
                 self.route_checkpoint_msgs(msgs)
@@ -576,6 +648,9 @@ impl AuxUnit {
                 self.route_checkpoint_msgs(msgs)
             }
             (Role::Mirror { relay }, msg @ ControlMsg::Commit { .. }) => {
+                if let Some(e) = msg.epoch() {
+                    self.membership_epoch = self.membership_epoch.max(e);
+                }
                 let directive = match &msg {
                     ControlMsg::Commit { adapt, .. } => adapt.clone(),
                     _ => None,
@@ -644,8 +719,8 @@ impl AuxUnit {
 fn attach_directive(msg: CheckpointMsg, directive: &Option<AdaptDirective>) -> CheckpointMsg {
     let Some(d) = directive else { return msg };
     let patch = |m: ControlMsg| match m {
-        ControlMsg::Commit { round, stamp, .. } => {
-            ControlMsg::Commit { round, stamp, adapt: Some(d.clone()) }
+        ControlMsg::Commit { round, stamp, epoch, .. } => {
+            ControlMsg::Commit { round, stamp, epoch, adapt: Some(d.clone()) }
         }
         other => other,
     };
@@ -844,6 +919,7 @@ mod tests {
         let commit = ControlMsg::Commit {
             round: 1,
             stamp: VectorTimestamp::empty(),
+            epoch: 0,
             adapt: Some(AdaptDirective {
                 params: new_params.clone(),
                 mirror_fn: Some(MirrorFnKind::Coalescing { coalesce: 20, checkpoint_every: 100 }),
@@ -860,6 +936,7 @@ mod tests {
         let commit = ControlMsg::Commit {
             round: 2,
             stamp: VectorTimestamp::empty(),
+            epoch: 0,
             adapt: Some(AdaptDirective { params: stale, mirror_fn: None }),
         };
         let actions = mirror.handle(AuxInput::Control(commit));
@@ -928,6 +1005,73 @@ mod tests {
         assert!(
             actions.iter().any(|a| matches!(a, AuxAction::ControlToMirrors(_))),
             "wedged round must be superseded, got {actions:?}"
+        );
+    }
+
+    #[test]
+    fn mirror_learns_membership_epoch_from_control_traffic() {
+        let mut mirror = AuxUnit::mirror(1, MirrorParams::default());
+        assert_eq!(mirror.membership_epoch(), 0);
+        mirror.handle(AuxInput::Control(ControlMsg::Chkpt {
+            round: 1,
+            stamp: VectorTimestamp::empty(),
+            epoch: 3,
+        }));
+        assert_eq!(mirror.membership_epoch(), 3);
+        mirror.handle(AuxInput::Control(ControlMsg::Commit {
+            round: 1,
+            stamp: VectorTimestamp::empty(),
+            epoch: 5,
+            adapt: None,
+        }));
+        assert_eq!(mirror.membership_epoch(), 5);
+        // A delayed message from an older epoch never regresses it.
+        mirror.handle(AuxInput::Control(ControlMsg::Chkpt {
+            round: 2,
+            stamp: VectorTimestamp::empty(),
+            epoch: 4,
+        }));
+        assert_eq!(mirror.membership_epoch(), 5);
+    }
+
+    #[test]
+    fn sustained_pending_pressure_emits_scale_directive() {
+        use crate::adapt::{MonitorThresholds, ScaleDecision, ScalePolicy};
+
+        let mut params = MirrorParams::default();
+        params.checkpoint_every = 1;
+        let mut aux = AuxUnit::central(vec![1], params);
+        aux.set_scale_policy(ScalePolicy {
+            thresholds: MonitorThresholds::new(10, 6),
+            sustain: 2,
+            cooldown: 0,
+            max_mirrors: 2,
+            min_mirrors: 1,
+        });
+        let mut scale_directives = Vec::new();
+        for round in 1..=3u64 {
+            // Each data event (checkpoint_every=1) starts a round.
+            aux.handle(AuxInput::Data(pos(round, 1).into()));
+            let stamp = aux.clock().clone();
+            let hot = MonitorReport { pending_requests: 50, ..Default::default() };
+            for site in [CENTRAL_SITE, 1] {
+                let acts = aux.handle(AuxInput::Control(ControlMsg::ChkptRep {
+                    round,
+                    site,
+                    stamp: stamp.clone(),
+                    monitor: hot,
+                }));
+                for a in acts {
+                    if let AuxAction::ScaleDirective(s) = a {
+                        scale_directives.push(s);
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            scale_directives,
+            vec![ScaleDecision::SpawnMirror],
+            "two sustained hot rounds spawn exactly one mirror (then at max)"
         );
     }
 

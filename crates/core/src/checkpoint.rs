@@ -71,6 +71,10 @@ pub const DEFAULT_SUSPECT_AFTER: u32 = 0;
 #[derive(Debug)]
 pub struct CentralCheckpointer {
     mirrors: Vec<SiteId>,
+    /// Membership epoch stamped onto outgoing `CHKPT`/`COMMIT` messages
+    /// (see [`crate::membership`]); the embedding advances it on every
+    /// membership change.
+    epoch: u64,
     next_round: u64,
     pending: Option<PendingRound>,
     committed: VectorTimestamp,
@@ -100,6 +104,7 @@ impl CentralCheckpointer {
     pub fn new(mirrors: Vec<SiteId>) -> Self {
         CentralCheckpointer {
             mirrors,
+            epoch: 0,
             next_round: 1,
             pending: None,
             committed: VectorTimestamp::empty(),
@@ -125,6 +130,31 @@ impl CentralCheckpointer {
     /// embedding should stop routing requests and data to them.
     pub fn take_newly_failed(&mut self) -> Vec<SiteId> {
         std::mem::take(&mut self.newly_failed)
+    }
+
+    /// Set the membership epoch stamped onto every subsequent `CHKPT` and
+    /// `COMMIT`.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The membership epoch currently stamped onto outgoing rounds.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Gracefully retire a mirror (scale-in): remove it from the
+    /// participant set **without** marking it failed. If it was gating the
+    /// in-flight round, the round either completes on the next reply
+    /// (membership is re-checked per participant) or — if no further reply
+    /// is due — becomes [`pending_wedged`](Self::pending_wedged) and is
+    /// restarted by the coordinator's idle tick. Returns `true` if the
+    /// site was a participant.
+    pub fn retire(&mut self, site: SiteId) -> bool {
+        let was_in = self.mirrors.contains(&site);
+        self.mirrors.retain(|&s| s != site);
+        self.last_reply_round.remove(&site);
+        was_in
     }
 
     /// Declare a mirror failed out-of-band — the transport layer reports
@@ -217,7 +247,7 @@ impl CentralCheckpointer {
             participants,
             replies: Vec::new(),
         });
-        let msg = ControlMsg::Chkpt { round, stamp: proposal };
+        let msg = ControlMsg::Chkpt { round, stamp: proposal, epoch: self.epoch };
         vec![CheckpointMsg::BroadcastToMirrors(msg.clone()), CheckpointMsg::ToLocalMain(msg)]
     }
 
@@ -303,7 +333,12 @@ impl CentralCheckpointer {
             pending.replies.iter().fold(pending.proposal.clone(), |acc, (_, s)| acc.meet(s));
         self.committed.merge(&commit);
         self.rounds_committed += 1;
-        let msg = ControlMsg::Commit { round: pending.round, stamp: commit.clone(), adapt: None };
+        let msg = ControlMsg::Commit {
+            round: pending.round,
+            stamp: commit.clone(),
+            epoch: self.epoch,
+            adapt: None,
+        };
         Some((
             commit,
             vec![CheckpointMsg::BroadcastToMirrors(msg.clone()), CheckpointMsg::ToLocalMain(msg)],
@@ -430,7 +465,7 @@ impl MainUnitResponder {
     /// Handle a `CHKPT`: reply with `min{chkpt, last processed}` plus the
     /// caller-supplied monitor report, addressed to the local aux unit.
     pub fn on_chkpt(&mut self, msg: &ControlMsg, monitor: MonitorReport) -> Option<ControlMsg> {
-        if let ControlMsg::Chkpt { round, stamp } = msg {
+        if let ControlMsg::Chkpt { round, stamp, .. } = msg {
             let rep = stamp.meet(&self.processed);
             Some(ControlMsg::ChkptRep { round: *round, site: self.site, stamp: rep, monitor })
         } else {
@@ -508,7 +543,7 @@ mod tests {
     fn main_unit_caps_reply_at_its_processed_frontier() {
         let mut main = MainUnitResponder::new(3);
         main.record_processed(&vt(&[4, 2]));
-        let chkpt = ControlMsg::Chkpt { round: 1, stamp: vt(&[10, 1]) };
+        let chkpt = ControlMsg::Chkpt { round: 1, stamp: vt(&[10, 1]), epoch: 0 };
         let rep = main.on_chkpt(&chkpt, MonitorReport::default()).unwrap();
         match rep {
             ControlMsg::ChkptRep { site, stamp, .. } => {
@@ -551,7 +586,7 @@ mod tests {
         backup.push(stamped(0, 1));
         backup.push(stamped(0, 2));
         backup.push(stamped(0, 3));
-        let commit = ControlMsg::Commit { round: 1, stamp: vt(&[2]), adapt: None };
+        let commit = ControlMsg::Commit { round: 1, stamp: vt(&[2]), epoch: 0, adapt: None };
         let (pruned, out) = relay.on_commit(commit, &mut backup);
         assert_eq!(pruned, 2);
         assert_eq!(backup.len(), 1);
@@ -566,7 +601,7 @@ mod tests {
         let mut backup = BackupQueue::new();
         backup.push(stamped(0, 1));
         // A commit on a stream this site never saw.
-        let commit = ControlMsg::Commit { round: 1, stamp: vt(&[0, 42]), adapt: None };
+        let commit = ControlMsg::Commit { round: 1, stamp: vt(&[0, 42]), epoch: 0, adapt: None };
         let (pruned, out) = relay.on_commit(commit, &mut backup);
         assert_eq!(pruned, 0);
         assert_eq!(backup.len(), 1);
@@ -577,9 +612,9 @@ mod tests {
     #[test]
     fn committed_frontier_is_monotone_under_reordering() {
         let mut main = MainUnitResponder::new(1);
-        main.on_commit(&ControlMsg::Commit { round: 2, stamp: vt(&[5, 5]), adapt: None });
+        main.on_commit(&ControlMsg::Commit { round: 2, stamp: vt(&[5, 5]), epoch: 0, adapt: None });
         // An older commit arriving late cannot regress the frontier.
-        main.on_commit(&ControlMsg::Commit { round: 1, stamp: vt(&[3, 9]), adapt: None });
+        main.on_commit(&ControlMsg::Commit { round: 1, stamp: vt(&[3, 9]), epoch: 0, adapt: None });
         assert_eq!(main.committed(), &vt(&[5, 9]));
     }
 
@@ -704,6 +739,59 @@ mod tests {
         assert!(central.on_reply(2, 1, vt(&[6])).is_none());
         assert!(central.on_reply(2, 2, vt(&[6])).is_none());
         assert!(central.on_reply(2, CENTRAL_SITE, vt(&[6])).is_some());
+    }
+
+    #[test]
+    fn rounds_carry_the_membership_epoch() {
+        let mut central = CentralCheckpointer::new(vec![1]);
+        central.set_epoch(7);
+        let msgs = central.begin(vt(&[3]));
+        match &msgs[0] {
+            CheckpointMsg::BroadcastToMirrors(m) => assert_eq!(m.epoch(), Some(7)),
+            m => panic!("unexpected {m:?}"),
+        }
+        central.on_reply(1, 1, vt(&[3]));
+        let (_, out) = central.on_reply(1, CENTRAL_SITE, vt(&[3])).unwrap();
+        match &out[0] {
+            CheckpointMsg::BroadcastToMirrors(m) => assert_eq!(m.epoch(), Some(7)),
+            m => panic!("unexpected {m:?}"),
+        }
+    }
+
+    #[test]
+    fn retired_mirror_stops_gating_rounds_without_failure_marking() {
+        let mut central = CentralCheckpointer::new(vec![1, 2]);
+        central.begin(vt(&[5]));
+        assert!(central.on_reply(1, 1, vt(&[5])).is_none());
+        assert!(central.on_reply(1, CENTRAL_SITE, vt(&[5])).is_none());
+        // Mirror 2 is gracefully retired mid-round: not a failure, but the
+        // round it was gating can no longer complete on a future reply.
+        assert!(central.retire(2));
+        assert_eq!(central.mirrors(), &[1]);
+        assert!(central.failed.is_empty(), "retire is not failure");
+        assert!(central.pending_wedged(), "retire removed the last awaited participant");
+        // The coordinator restarts; the fresh round commits among
+        // survivors, and a straggler reply from the retired site is inert.
+        central.begin(vt(&[6]));
+        assert!(central.on_reply(2, 2, vt(&[6])).is_none(), "retired site's reply ignored");
+        assert!(central.on_reply(2, 1, vt(&[6])).is_none());
+        assert!(central.on_reply(2, CENTRAL_SITE, vt(&[6])).is_some());
+    }
+
+    #[test]
+    fn admitted_mirror_joins_at_next_round() {
+        let mut central = CentralCheckpointer::new(vec![1]);
+        central.begin(vt(&[4]));
+        // Site 2 is admitted while round 1 is in flight: it must not gate
+        // round 1 (it never saw the proposal) but participates from the
+        // next round on.
+        central.readmit(2);
+        assert!(central.on_reply(1, 1, vt(&[4])).is_none());
+        assert!(central.on_reply(1, CENTRAL_SITE, vt(&[4])).is_some(), "round 1 commits without 2");
+        central.begin(vt(&[8]));
+        assert!(central.on_reply(2, 1, vt(&[8])).is_none());
+        assert!(central.on_reply(2, CENTRAL_SITE, vt(&[8])).is_none(), "now gated on site 2");
+        assert!(central.on_reply(2, 2, vt(&[8])).is_some());
     }
 
     #[test]

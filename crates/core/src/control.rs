@@ -5,6 +5,14 @@
 //! defined here (§3.3): checkpoint voting/commit traffic, and — piggybacked
 //! onto it to avoid extra adaptation traffic (§3.2.2) — monitored-variable
 //! reports (mirror → central) and adaptation directives (central → mirror).
+//!
+//! The *set* of sites those channels connect is **not** fixed at startup:
+//! membership is epoch-stamped (see [`crate::membership`]) and mirrors are
+//! admitted and retired while traffic flows. `CHKPT` and `COMMIT` therefore
+//! carry the membership epoch in force when
+//! the round was formed, so every site — including one that joined
+//! mid-stream — knows which membership generation a round and its
+//! piggybacked directives belong to.
 
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +52,9 @@ pub enum ControlMsg {
         round: u64,
         /// Proposed committable timestamp.
         stamp: VectorTimestamp,
+        /// Membership epoch in force at the coordinator when this round
+        /// was proposed.
+        epoch: u64,
     },
     /// A site's reply: the most recent event its business logic has
     /// processed, capped by the proposal (`min{chkpt, last in backup}`).
@@ -64,6 +75,9 @@ pub enum ControlMsg {
         round: u64,
         /// Committed timestamp.
         stamp: VectorTimestamp,
+        /// Membership epoch in force at the coordinator when this commit
+        /// was issued.
+        epoch: u64,
         /// Piggybacked adaptation directive, if the controller decided to
         /// change mirroring behaviour this round.
         adapt: Option<AdaptDirective>,
@@ -76,12 +90,23 @@ impl ControlMsg {
     pub fn wire_size(&self) -> usize {
         let base = 1 + 8; // tag + round
         match self {
-            ControlMsg::Chkpt { stamp, .. } => base + 2 + stamp.wire_size(),
+            // Chkpt/Commit carry the 8-byte membership epoch.
+            ControlMsg::Chkpt { stamp, .. } => base + 2 + 8 + stamp.wire_size(),
             ControlMsg::ChkptRep { stamp, .. } => base + 2 + 2 + stamp.wire_size() + 3 * 8,
             ControlMsg::Commit { stamp, adapt, .. } => {
                 // A full MirrorParams is 4+4+4+1+8 ≈ 21 bytes plus kind.
-                base + 2 + stamp.wire_size() + if adapt.is_some() { 32 } else { 1 }
+                base + 2 + 8 + stamp.wire_size() + if adapt.is_some() { 32 } else { 1 }
             }
+        }
+    }
+
+    /// The membership epoch stamped on this message, if it carries one
+    /// (`Chkpt` and `Commit` do; a `ChkptRep` answers whatever epoch its
+    /// round proposed).
+    pub fn epoch(&self) -> Option<u64> {
+        match self {
+            ControlMsg::Chkpt { epoch, .. } | ControlMsg::Commit { epoch, .. } => Some(*epoch),
+            ControlMsg::ChkptRep { .. } => None,
         }
     }
 
@@ -102,14 +127,14 @@ mod tests {
     #[test]
     fn wire_sizes_are_positive_and_ordered() {
         let stamp = VectorTimestamp::new(2);
-        let chkpt = ControlMsg::Chkpt { round: 1, stamp: stamp.clone() };
+        let chkpt = ControlMsg::Chkpt { round: 1, stamp: stamp.clone(), epoch: 0 };
         let rep = ControlMsg::ChkptRep {
             round: 1,
             site: 1,
             stamp: stamp.clone(),
             monitor: MonitorReport::default(),
         };
-        let commit = ControlMsg::Commit { round: 1, stamp, adapt: None };
+        let commit = ControlMsg::Commit { round: 1, stamp, epoch: 0, adapt: None };
         assert!(chkpt.wire_size() > 0);
         assert!(rep.wire_size() > chkpt.wire_size(), "reply carries a monitor report");
         assert!(commit.wire_size() > 0);
@@ -118,10 +143,11 @@ mod tests {
     #[test]
     fn commit_with_adaptation_is_larger() {
         let stamp = VectorTimestamp::new(2);
-        let bare = ControlMsg::Commit { round: 1, stamp: stamp.clone(), adapt: None };
+        let bare = ControlMsg::Commit { round: 1, stamp: stamp.clone(), epoch: 0, adapt: None };
         let full = ControlMsg::Commit {
             round: 1,
             stamp,
+            epoch: 0,
             adapt: Some(AdaptDirective { params: MirrorParams::default(), mirror_fn: None }),
         };
         assert!(full.wire_size() > bare.wire_size());
@@ -129,7 +155,8 @@ mod tests {
 
     #[test]
     fn round_accessor() {
-        let m = ControlMsg::Chkpt { round: 7, stamp: VectorTimestamp::empty() };
+        let m = ControlMsg::Chkpt { round: 7, stamp: VectorTimestamp::empty(), epoch: 3 };
         assert_eq!(m.round(), 7);
+        assert_eq!(m.epoch(), Some(3));
     }
 }

@@ -44,6 +44,7 @@ pub mod aux_unit;
 pub mod checkpoint;
 pub mod control;
 pub mod event;
+pub mod membership;
 pub mod metrics;
 pub mod mirrorfn;
 pub mod params;
@@ -52,12 +53,15 @@ pub mod rules;
 pub mod status;
 pub mod timestamp;
 
-pub use adapt::{AdaptAction, AdaptationController, MonitorKind, MonitorThresholds};
+pub use adapt::{
+    AdaptAction, AdaptationController, MonitorKind, MonitorThresholds, ScaleDecision, ScalePolicy,
+};
 pub use api::{MirrorConfig, MirrorHandle};
 pub use aux_unit::{AuxAction, AuxInput, AuxUnit, SiteId, CENTRAL_SITE};
 pub use checkpoint::{CentralCheckpointer, CheckpointMsg, MainUnitResponder, MirrorRelay};
 pub use control::ControlMsg;
 pub use event::{Event, EventBody, EventType, FlightId, FlightStatus, PositionFix, StreamId};
+pub use membership::{MembershipError, MembershipRegistry, MembershipView, SiteState};
 pub use mirrorfn::{MirrorDecision, MirrorFn, MirrorFnKind};
 pub use params::MirrorParams;
 pub use queue::{BackupQueue, ReadyQueue};

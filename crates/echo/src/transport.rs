@@ -459,6 +459,7 @@ mod tests {
         let ctrl = Frame::Control(ControlMsg::Chkpt {
             round: 9,
             stamp: VectorTimestamp::from_components(vec![1, 2, 3]),
+            epoch: 0,
         });
         c.send(&ctrl).unwrap();
         for i in 0..50 {

@@ -480,9 +480,10 @@ const CTRL_COMMIT: u8 = 2;
 /// Encode a control message.
 pub fn encode_control(c: &ControlMsg, buf: &mut BytesMut) {
     match c {
-        ControlMsg::Chkpt { round, stamp } => {
+        ControlMsg::Chkpt { round, stamp, epoch } => {
             buf.put_u8(CTRL_CHKPT);
             buf.put_u64_le(*round);
+            buf.put_u64_le(*epoch);
             encode_stamp(stamp, buf);
         }
         ControlMsg::ChkptRep { round, site, stamp, monitor } => {
@@ -494,9 +495,10 @@ pub fn encode_control(c: &ControlMsg, buf: &mut BytesMut) {
             buf.put_u64_le(monitor.backup_len);
             buf.put_u64_le(monitor.pending_requests);
         }
-        ControlMsg::Commit { round, stamp, adapt } => {
+        ControlMsg::Commit { round, stamp, epoch, adapt } => {
             buf.put_u8(CTRL_COMMIT);
             buf.put_u64_le(*round);
+            buf.put_u64_le(*epoch);
             encode_stamp(stamp, buf);
             match adapt {
                 None => buf.put_u8(0),
@@ -516,7 +518,11 @@ pub fn decode_control(buf: &mut Bytes) -> Result<ControlMsg, WireError> {
     let tag = buf.get_u8();
     let round = buf.get_u64_le();
     match tag {
-        CTRL_CHKPT => Ok(ControlMsg::Chkpt { round, stamp: decode_stamp(buf)? }),
+        CTRL_CHKPT => {
+            need(buf, 8)?;
+            let epoch = buf.get_u64_le();
+            Ok(ControlMsg::Chkpt { round, stamp: decode_stamp(buf)?, epoch })
+        }
         CTRL_REP => {
             need(buf, 2)?;
             let site = buf.get_u16_le();
@@ -530,6 +536,8 @@ pub fn decode_control(buf: &mut Bytes) -> Result<ControlMsg, WireError> {
             Ok(ControlMsg::ChkptRep { round, site, stamp, monitor })
         }
         CTRL_COMMIT => {
+            need(buf, 8)?;
+            let epoch = buf.get_u64_le();
             let stamp = decode_stamp(buf)?;
             need(buf, 1)?;
             let adapt = match buf.get_u8() {
@@ -540,7 +548,7 @@ pub fn decode_control(buf: &mut Bytes) -> Result<ControlMsg, WireError> {
                 }),
                 t => return Err(WireError::BadTag(t)),
             };
-            Ok(ControlMsg::Commit { round, stamp, adapt })
+            Ok(ControlMsg::Commit { round, stamp, epoch, adapt })
         }
         t => Err(WireError::BadTag(t)),
     }
@@ -787,17 +795,18 @@ mod tests {
     fn control_roundtrip_all_variants() {
         let stamp = VectorTimestamp::from_components(vec![5, 9]);
         let msgs = vec![
-            ControlMsg::Chkpt { round: 1, stamp: stamp.clone() },
+            ControlMsg::Chkpt { round: 1, stamp: stamp.clone(), epoch: 6 },
             ControlMsg::ChkptRep {
                 round: 2,
                 site: 3,
                 stamp: stamp.clone(),
                 monitor: MonitorReport { ready_len: 1, backup_len: 2, pending_requests: 3 },
             },
-            ControlMsg::Commit { round: 3, stamp: stamp.clone(), adapt: None },
+            ControlMsg::Commit { round: 3, stamp: stamp.clone(), epoch: 7, adapt: None },
             ControlMsg::Commit {
                 round: 4,
                 stamp,
+                epoch: u64::MAX,
                 adapt: Some(AdaptDirective {
                     params: MirrorParams::profile_degraded(),
                     mirror_fn: Some(MirrorFnKind::Coalescing {
@@ -862,6 +871,7 @@ mod tests {
                 inner: Box::new(Frame::Control(ControlMsg::Chkpt {
                     round: 7,
                     stamp: VectorTimestamp::from_components(vec![1, 2]),
+                    epoch: 2,
                 })),
             },
             Frame::Ack { cum: 0 },
@@ -899,6 +909,7 @@ mod tests {
             Frame::Control(ControlMsg::Chkpt {
                 round: 1,
                 stamp: VectorTimestamp::from_components(vec![3, 4]),
+                epoch: 1,
             }),
             Frame::Data(Arc::new(Event::delta_status(2, 8, FlightStatus::Landed))),
         ];

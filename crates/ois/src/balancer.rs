@@ -8,124 +8,206 @@
 //! least-pending, plus the failover behaviour the paper's §6 lists as
 //! future work: a site marked failed stops receiving requests and its share
 //! redistributes over the survivors.
+//!
+//! Least-pending routing reads each site's **live pending-request gauge**
+//! (the same `Arc<AtomicU64>` the site's gateway maintains) directly — there
+//! is no report/push plumbing between the gateway and the balancer, so the
+//! reading is never stale by more than one atomic load. A front-end tracks
+//! elastic membership by calling [`Balancer::sync`] with the current
+//! epoch-stamped [`MembershipView`]: newly admitted mirrors join the
+//! rotation, suspects are skipped, retired sites are dropped for good.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use mirror_core::aux_unit::SiteId;
+use mirror_core::membership::{MembershipView, SiteState};
 
 /// Balancing policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BalancerPolicy {
     /// Rotate through live sites.
     RoundRobin,
-    /// Pick the live site with the smallest reported backlog.
+    /// Pick the live site with the smallest pending-gauge reading.
     LeastPending,
+}
+
+#[derive(Debug, Clone)]
+struct SiteSlot {
+    site: SiteId,
+    alive: bool,
+    /// Shared pending-request gauge owned by the site's gateway. `None`
+    /// until attached; a gauge-less site balances as if idle.
+    gauge: Option<Arc<AtomicU64>>,
+    dispatched: u64,
+}
+
+impl SiteSlot {
+    fn idle(site: SiteId) -> Self {
+        SiteSlot { site, alive: true, gauge: None, dispatched: 0 }
+    }
+
+    fn pending(&self) -> u64 {
+        self.gauge.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
 }
 
 /// A request load balancer over a set of sites.
 #[derive(Debug, Clone)]
 pub struct Balancer {
-    sites: Vec<SiteId>,
-    alive: Vec<bool>,
-    pending: Vec<u64>,
+    slots: Vec<SiteSlot>,
     next: usize,
     policy: BalancerPolicy,
-    /// Requests dispatched per site (index-aligned with `sites`).
-    pub dispatched: Vec<u64>,
+    epoch: u64,
 }
 
 impl Balancer {
     /// A balancer over `sites` with the given policy.
     pub fn new(sites: Vec<SiteId>, policy: BalancerPolicy) -> Self {
         assert!(!sites.is_empty(), "balancer needs at least one site");
-        let n = sites.len();
         Balancer {
-            sites,
-            alive: vec![true; n],
-            pending: vec![0; n],
+            slots: sites.into_iter().map(SiteSlot::idle).collect(),
             next: 0,
             policy,
-            dispatched: vec![0; n],
+            epoch: 0,
         }
     }
 
-    /// Sites under management.
-    pub fn sites(&self) -> &[SiteId] {
-        &self.sites
+    /// Sites under management, in rotation order.
+    pub fn sites(&self) -> Vec<SiteId> {
+        self.slots.iter().map(|s| s.site).collect()
+    }
+
+    /// Requests dispatched per site, index-aligned with [`Balancer::sites`].
+    pub fn dispatched(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.dispatched).collect()
+    }
+
+    /// Requests dispatched to one site (0 for unknown sites).
+    pub fn dispatched_to(&self, site: SiteId) -> u64 {
+        self.slot(site).map_or(0, |i| self.slots[i].dispatched)
+    }
+
+    /// The membership epoch of the last [`Balancer::sync`] (0 before any).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of live sites.
     pub fn live_count(&self) -> usize {
-        self.alive.iter().filter(|a| **a).count()
+        self.slots.iter().filter(|s| s.alive).count()
+    }
+
+    fn slot(&self, site: SiteId) -> Option<usize> {
+        self.slots.iter().position(|s| s.site == site)
     }
 
     /// Mark a site failed: it stops receiving requests.
     pub fn mark_failed(&mut self, site: SiteId) {
-        if let Some(i) = self.sites.iter().position(|&s| s == site) {
-            self.alive[i] = false;
+        if let Some(i) = self.slot(site) {
+            self.slots[i].alive = false;
         }
     }
 
     /// Mark a site recovered.
     pub fn mark_recovered(&mut self, site: SiteId) {
-        if let Some(i) = self.sites.iter().position(|&s| s == site) {
-            self.alive[i] = true;
+        if let Some(i) = self.slot(site) {
+            self.slots[i].alive = true;
         }
     }
 
-    /// Update a site's reported backlog (for [`BalancerPolicy::LeastPending`]).
-    pub fn report_pending(&mut self, site: SiteId, pending: u64) {
-        if let Some(i) = self.sites.iter().position(|&s| s == site) {
-            self.pending[i] = pending;
+    /// Attach a site's live pending-request gauge (the `Arc<AtomicU64>`
+    /// its gateway maintains). [`BalancerPolicy::LeastPending`] reads it
+    /// on every pick; no reporting calls are needed.
+    pub fn attach_gauge(&mut self, site: SiteId, gauge: Arc<AtomicU64>) {
+        if let Some(i) = self.slot(site) {
+            self.slots[i].gauge = Some(gauge);
         }
+    }
+
+    /// Adopt an epoch-stamped membership view: admit newly live mirrors
+    /// into the rotation (gauge-less until [`Balancer::attach_gauge`]),
+    /// skip suspects, and drop retired sites permanently. Stale views
+    /// (epoch at or below the last synced one) are ignored, so out-of-order
+    /// deliveries cannot resurrect a retired site.
+    ///
+    /// Returns `true` if the view was adopted.
+    pub fn sync(&mut self, view: &MembershipView) -> bool {
+        if self.epoch != 0 && view.epoch() <= self.epoch {
+            return false;
+        }
+        for &(site, state) in view.entries() {
+            match (self.slot(site), state) {
+                (Some(i), SiteState::Live) => self.slots[i].alive = true,
+                (Some(i), SiteState::Suspect) => self.slots[i].alive = false,
+                (Some(i), SiteState::Retired) => {
+                    self.slots.remove(i);
+                }
+                (None, SiteState::Live) => self.slots.push(SiteSlot::idle(site)),
+                (None, _) => {}
+            }
+        }
+        if self.next >= self.slots.len() {
+            self.next = 0;
+        }
+        self.epoch = view.epoch();
+        true
     }
 
     /// Pick the site for the next request; `None` if every site is down.
+    ///
+    /// [`BalancerPolicy::LeastPending`] reads each live gauge at pick time
+    /// and breaks ties round-robin, so a burst of picks between gauge
+    /// movements spreads over equally loaded sites instead of dogpiling.
     pub fn pick(&mut self) -> Option<SiteId> {
-        if self.live_count() == 0 {
+        if self.live_count() == 0 || self.slots.is_empty() {
             return None;
         }
+        let n = self.slots.len();
         let idx = match self.policy {
             BalancerPolicy::RoundRobin => {
-                let n = self.sites.len();
                 let mut idx = self.next % n;
-                while !self.alive[idx] {
+                while !self.slots[idx].alive {
                     idx = (idx + 1) % n;
                 }
-                self.next = idx + 1;
                 idx
             }
             BalancerPolicy::LeastPending => {
-                let mut best = None;
-                for i in 0..self.sites.len() {
-                    if !self.alive[i] {
+                let mut best: Option<(usize, u64)> = None;
+                // Scan in rotation order from `next` so the strict `<`
+                // makes ties rotate.
+                for k in 0..n {
+                    let i = (self.next + k) % n;
+                    if !self.slots[i].alive {
                         continue;
                     }
+                    let p = self.slots[i].pending();
                     match best {
-                        None => best = Some(i),
-                        Some(b) if self.pending[i] < self.pending[b] => best = Some(i),
+                        None => best = Some((i, p)),
+                        Some((_, bp)) if p < bp => best = Some((i, p)),
                         _ => {}
                     }
                 }
-                best.expect("live_count > 0")
+                best.expect("live_count > 0").0
             }
         };
-        self.dispatched[idx] += 1;
-        // Optimistically count the dispatch toward the backlog so bursts
-        // spread even between pending reports.
-        self.pending[idx] += 1;
-        Some(self.sites[idx])
+        self.next = idx + 1;
+        self.slots[idx].dispatched += 1;
+        Some(self.slots[idx].site)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mirror_core::membership::MembershipRegistry;
 
     #[test]
     fn round_robin_cycles_evenly() {
         let mut b = Balancer::new(vec![1, 2, 3], BalancerPolicy::RoundRobin);
         let picks: Vec<SiteId> = (0..9).map(|_| b.pick().unwrap()).collect();
         assert_eq!(picks, vec![1, 2, 3, 1, 2, 3, 1, 2, 3]);
-        assert_eq!(b.dispatched, vec![3, 3, 3]);
+        assert_eq!(b.dispatched(), vec![3, 3, 3]);
     }
 
     #[test]
@@ -157,25 +239,58 @@ mod tests {
     }
 
     #[test]
-    fn least_pending_prefers_idle_site() {
+    fn least_pending_reads_live_gauges() {
         let mut b = Balancer::new(vec![1, 2], BalancerPolicy::LeastPending);
-        b.report_pending(1, 100);
-        b.report_pending(2, 0);
+        let g1 = Arc::new(AtomicU64::new(100));
+        let g2 = Arc::new(AtomicU64::new(0));
+        b.attach_gauge(1, Arc::clone(&g1));
+        b.attach_gauge(2, Arc::clone(&g2));
         assert_eq!(b.pick(), Some(2));
-        // The optimistic increment spreads a burst rather than dogpiling.
-        b.report_pending(1, 0);
-        b.report_pending(2, 0);
+        // Gauges drained and static: tied readings rotate, so a burst
+        // spreads instead of dogpiling one site between gauge movements.
+        g1.store(0, Ordering::Relaxed);
         let picks: Vec<SiteId> = (0..4).map(|_| b.pick().unwrap()).collect();
         assert_eq!(picks.iter().filter(|&&s| s == 1).count(), 2);
         assert_eq!(picks.iter().filter(|&&s| s == 2).count(), 2);
+        // Readings move: the lighter site wins outright.
+        g2.store(50, Ordering::Relaxed);
+        g1.store(1, Ordering::Relaxed);
+        assert_eq!(b.pick(), Some(1));
     }
 
     #[test]
     fn least_pending_skips_failed() {
         let mut b = Balancer::new(vec![1, 2], BalancerPolicy::LeastPending);
-        b.report_pending(1, 0);
-        b.report_pending(2, 50);
+        let g2 = Arc::new(AtomicU64::new(50));
+        b.attach_gauge(2, g2);
         b.mark_failed(1);
         assert_eq!(b.pick(), Some(2));
+    }
+
+    #[test]
+    fn sync_tracks_membership_epochs() {
+        let reg = MembershipRegistry::new(2);
+        let mut b = Balancer::new(vec![1, 2], BalancerPolicy::RoundRobin);
+
+        // Scale-out: site 3 admitted at epoch 1 joins the rotation.
+        let site = reg.next_site_id();
+        reg.admit(site).unwrap();
+        assert!(b.sync(&reg.view()));
+        assert_eq!(b.epoch(), 1);
+        assert_eq!(b.sites(), vec![1, 2, 3]);
+        let picks: Vec<SiteId> = (0..3).map(|_| b.pick().unwrap()).collect();
+        assert!(picks.contains(&3));
+
+        // Suspect drops out of rotation, retire removes permanently.
+        reg.suspect(2).unwrap();
+        assert!(b.sync(&reg.view()));
+        assert_eq!(b.live_count(), 2);
+        reg.retire(3).unwrap();
+        assert!(b.sync(&reg.view()));
+        assert_eq!(b.sites(), vec![1, 2]);
+
+        // A stale view is rejected: the retired site stays gone.
+        assert!(!b.sync(&MembershipView::initial(3)));
+        assert_eq!(b.sites(), vec![1, 2]);
     }
 }

@@ -398,6 +398,12 @@ impl SiteProcess {
                         self.mirror_nodes.retain(|&n| n != site as NodeId);
                         self.metrics.mirrors_failed.push(site);
                     }
+                    AuxAction::ScaleDirective(_) => {
+                        // Elastic capacity is a runtime-cluster concern; the
+                        // simulated topology is fixed, so scale directives
+                        // cost a control message and are otherwise inert.
+                        *cpu += self.cost.ctrl_msg_us;
+                    }
                 }
             }
         }

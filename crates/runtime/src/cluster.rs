@@ -5,12 +5,31 @@
 //! (central → mirrors), a control downlink (CHKPT/COMMIT broadcasts) and a
 //! control uplink (CHKPT_REP replies). All sites share one
 //! [`RuntimeClock`] so update delays are comparable.
+//!
+//! Membership is **elastic**: the mirror set is not frozen at start-up.
+//! Every site's lifecycle lives in an epoch-stamped
+//! [`MembershipView`] owned by a
+//! [`MembershipRegistry`], and every membership operation
+//! ([`add_mirror`](Cluster::add_mirror), [`fail_mirror`](Cluster::fail_mirror),
+//! [`rejoin_mirror`](Cluster::rejoin_mirror),
+//! [`retire_mirror`](Cluster::retire_mirror),
+//! [`promote_mirror`](Cluster::promote_mirror),
+//! [`recover_site`](Cluster::recover_site)) takes `&self` and returns a
+//! typed [`MembershipError`] instead of panicking on a bad site id — so a
+//! caller holding a shared `Cluster` (gateway, balancer, the
+//! [`ScalePolicy`] drain in
+//! [`poll_scale`](Cluster::poll_scale)) can change cluster *capacity* while
+//! traffic flows.
 
+use std::collections::BTreeMap;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
+use mirror_core::adapt::{ScaleDecision, ScalePolicy};
 use mirror_core::api::{MirrorConfig, MirrorHandle};
 use mirror_core::aux_unit::SiteId;
 use mirror_core::event::Event;
+use mirror_core::membership::{MembershipError, MembershipRegistry, MembershipView, SiteState};
 use mirror_core::mirrorfn::MirrorFnKind;
 use mirror_core::ControlMsg;
 use mirror_echo::channel::{EventChannel, Subscriber};
@@ -39,11 +58,22 @@ pub struct ClusterConfig {
     /// interval from the log, and [`Cluster::recover_site`] cold-starts
     /// mirrors from snapshot + replay without a live central seed.
     pub durability: Option<DurabilityConfig>,
+    /// Elastic capacity policy (`None` = fixed mirror set). With a policy
+    /// installed, the central adaptation controller emits
+    /// [`ScaleDecision`]s on sustained pending-request pressure;
+    /// [`Cluster::poll_scale`] turns them into mirror spawn/retire.
+    pub scale: Option<ScalePolicy>,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { mirrors: 1, kind: MirrorFnKind::Simple, suspect_after: 0, durability: None }
+        ClusterConfig {
+            mirrors: 1,
+            kind: MirrorFnKind::Simple,
+            suspect_after: 0,
+            durability: None,
+            scale: None,
+        }
     }
 }
 
@@ -75,8 +105,13 @@ pub struct SiteStats {
 pub struct ClusterStats {
     /// The central site.
     pub central: SiteStats,
-    /// Each mirror, in site order.
+    /// Each attached mirror, in site-id order (aligned with
+    /// [`mirror_ids`](Self::mirror_ids)).
     pub mirrors: Vec<SiteStats>,
+    /// The site ids the `mirrors` entries describe.
+    pub mirror_ids: Vec<SiteId>,
+    /// Membership epoch in force when the snapshot was taken.
+    pub epoch: u64,
     /// Last committed checkpoint at the coordinator.
     pub committed: Option<mirror_core::timestamp::VectorTimestamp>,
     /// Mirrors declared failed.
@@ -86,13 +121,71 @@ pub struct ClusterStats {
     pub links: Vec<(SiteId, LinkHealth)>,
 }
 
+/// One membership change performed by [`Cluster::poll_scale`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleEvent {
+    /// A fresh mirror was spawned, seeded and admitted.
+    Spawned {
+        /// The new mirror's site id.
+        site: SiteId,
+        /// Membership epoch after the admission.
+        epoch: u64,
+    },
+    /// A mirror was retired (scale-in on quiesce).
+    Retired {
+        /// The retired mirror's site id.
+        site: SiteId,
+        /// Membership epoch after the retirement.
+        epoch: u64,
+    },
+}
+
+/// Read a lock, tolerating poisoning (a panicked site thread must not
+/// take the whole cluster's observability down with it).
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write counterpart of [`read`].
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A read guard dereferencing to one attached mirror runtime (holds the
+/// site table's read lock for its lifetime — don't keep it across
+/// blocking waits).
+pub struct MirrorRef<'a> {
+    guard: RwLockReadGuard<'a, BTreeMap<SiteId, MirrorSite>>,
+    site: SiteId,
+}
+
+impl std::ops::Deref for MirrorRef<'_> {
+    type Target = MirrorSite;
+    fn deref(&self) -> &MirrorSite {
+        &self.guard[&self.site]
+    }
+}
+
 /// A running in-process cluster.
+///
+/// All membership operations take `&self`: the site tables live behind
+/// read-write locks and the membership registry swaps immutable
+/// epoch-stamped views, so concurrent readers (stats, routing, waits)
+/// never block a membership change for long and never observe a
+/// half-applied one.
 pub struct Cluster {
     clock: RuntimeClock,
-    central: CentralSite,
-    mirrors: Vec<MirrorSite>,
-    /// Mirror site ids retired by promotion (kept for index stability).
-    retired: Vec<SiteId>,
+    central: RwLock<CentralSite>,
+    /// Attached mirror runtimes by site id. Retired sites are removed;
+    /// failed (suspect) sites remain attached — stopped — until a rejoin
+    /// replaces them, matching the paper's recovery story.
+    sites: RwLock<BTreeMap<SiteId, MirrorSite>>,
+    /// Epoch-stamped membership: the single source of truth for which
+    /// sites exist and in what lifecycle state.
+    membership: MembershipRegistry,
+    /// The scale policy the cluster was started with (bounds re-checked at
+    /// [`poll_scale`](Self::poll_scale) time).
+    scale: Option<ScalePolicy>,
     /// Kept so late mirror processes (e.g. over a bridge) can join. The
     /// data channel carries [`SharedEvent`]s: one publish per mirrored
     /// event, one `Arc` clone per subscriber, one wire encoding across
@@ -115,23 +208,29 @@ impl Cluster {
 
         // Mirrors first, so their subscriptions exist before the central
         // publishes anything.
-        let mut mirrors = Vec::with_capacity(cfg.mirrors as usize);
+        let mut sites = BTreeMap::new();
         for site in 1..=cfg.mirrors {
             let mut aux = MirrorConfig::default().build_mirror(site);
             aux.install_kind(cfg.kind);
-            mirrors.push(MirrorSite::start(
-                MirrorHandle::new(aux),
-                clock.clone(),
-                &data,
-                &ctrl_down,
-                ctrl_up.publisher(),
-            ));
+            sites.insert(
+                site,
+                MirrorSite::start(
+                    MirrorHandle::new(aux),
+                    clock.clone(),
+                    &data,
+                    &ctrl_down,
+                    ctrl_up.publisher(),
+                ),
+            );
         }
 
-        let sites: Vec<SiteId> = (1..=cfg.mirrors).collect();
-        let mut aux = MirrorConfig::default().build_central(sites);
+        let roster: Vec<SiteId> = (1..=cfg.mirrors).collect();
+        let mut aux = MirrorConfig::default().build_central(roster);
         aux.install_kind(cfg.kind);
         aux.set_suspect_after(cfg.suspect_after);
+        if let Some(policy) = cfg.scale {
+            aux.set_scale_policy(policy);
+        }
         let central = match &cfg.durability {
             Some(dcfg) => {
                 let journal = Journal::open(dcfg)
@@ -156,9 +255,10 @@ impl Cluster {
 
         Cluster {
             clock,
-            central,
-            mirrors,
-            retired: Vec::new(),
+            central: RwLock::new(central),
+            sites: RwLock::new(sites),
+            membership: MembershipRegistry::new(cfg.mirrors),
+            scale: cfg.scale,
             data,
             ctrl_down,
             ctrl_up,
@@ -171,14 +271,40 @@ impl Cluster {
         &self.clock
     }
 
-    /// The central site.
-    pub fn central(&self) -> &CentralSite {
-        &self.central
+    /// The central site (read guard; clone handles out of it rather than
+    /// holding it across blocking work).
+    pub fn central(&self) -> RwLockReadGuard<'_, CentralSite> {
+        read(&self.central)
     }
 
-    /// Mirror sites, in site-id order (site 1 first).
-    pub fn mirrors(&self) -> &[MirrorSite] {
-        &self.mirrors
+    /// The mirror runtime for `site`, if one is attached.
+    pub fn try_mirror(&self, site: SiteId) -> Option<MirrorRef<'_>> {
+        let guard = read(&self.sites);
+        guard.contains_key(&site).then_some(MirrorRef { guard, site })
+    }
+
+    /// The mirror runtime for `site`. Panics if no such site is attached —
+    /// a convenience for tests and examples that just created the site;
+    /// fallible callers use [`try_mirror`](Self::try_mirror).
+    pub fn mirror(&self, site: SiteId) -> MirrorRef<'_> {
+        self.try_mirror(site).unwrap_or_else(|| panic!("no mirror with site id {site}"))
+    }
+
+    /// Site ids with an attached mirror runtime, ascending (includes
+    /// stopped/suspect sites awaiting rejoin; excludes retired ones).
+    pub fn mirror_ids(&self) -> Vec<SiteId> {
+        read(&self.sites).keys().copied().collect()
+    }
+
+    /// The current membership view (cheap `Arc` clone; see
+    /// [`MembershipView`]).
+    pub fn membership(&self) -> std::sync::Arc<MembershipView> {
+        self.membership.view()
+    }
+
+    /// The current membership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.membership.epoch()
     }
 
     /// The intra-cluster channels (for attaching bridged remote mirrors).
@@ -190,21 +316,27 @@ impl Cluster {
 
     /// Submit one source event to the central site.
     pub fn submit(&self, event: Event) {
-        self.central.submit(event);
+        read(&self.central).submit(event);
     }
 
     /// Subscribe to the regular-client update stream.
     pub fn subscribe_updates(&self) -> Subscriber<Event> {
-        self.central.subscribe_updates()
+        read(&self.central).subscribe_updates()
     }
 
-    /// Serve an initial-state request from the given mirror (0 = central —
+    /// Serve an initial-state request from the given site (0 = central —
     /// any site can answer, which is the point of mirroring).
-    pub fn snapshot(&self, site: SiteId) -> Snapshot {
-        if site == 0 {
-            self.central.snapshot()
-        } else {
-            self.mirrors[(site - 1) as usize].snapshot()
+    pub fn snapshot(&self, site: SiteId) -> Result<Snapshot, MembershipError> {
+        if site == mirror_core::CENTRAL_SITE {
+            return Ok(read(&self.central).snapshot());
+        }
+        match self.try_mirror(site) {
+            Some(m) => Ok(m.snapshot()),
+            None => match self.membership.view().state_of(site) {
+                Some(SiteState::Retired) => Err(MembershipError::Retired(site)),
+                Some(_) => Err(MembershipError::NotLive(site)),
+                None => Err(MembershipError::UnknownSite(site)),
+            },
         }
     }
 
@@ -222,35 +354,35 @@ impl Cluster {
             snapshot_cache_hits: c.snapshot_cache_hits.load(Ordering::Relaxed),
             snapshot_cache_misses: c.snapshot_cache_misses.load(Ordering::Relaxed),
         };
+        let central = read(&self.central);
+        let sites = read(&self.sites);
         ClusterStats {
-            central: site(self.central.counters()),
-            mirrors: self.mirrors.iter().map(|m| site(m.counters())).collect(),
-            committed: self.central.committed(),
-            failed_mirrors: self.failed_mirrors(),
-            links: self.central.link_health(),
+            central: site(central.counters()),
+            mirrors: sites.values().map(|m| site(m.counters())).collect(),
+            mirror_ids: sites.keys().copied().collect(),
+            epoch: self.membership.epoch(),
+            committed: central.committed(),
+            failed_mirrors: central.failed_mirrors(),
+            links: central.link_health(),
         }
     }
 
-    /// EDE state hashes: central first, then each mirror.
+    /// EDE state hashes: central first, then each attached mirror in
+    /// site-id order.
     pub fn state_hashes(&self) -> Vec<u64> {
-        let mut out = vec![self.central.state_hash()];
-        out.extend(self.mirrors.iter().map(|m| m.state_hash()));
+        let mut out = vec![read(&self.central).state_hash()];
+        out.extend(read(&self.sites).values().map(|m| m.state_hash()));
         out
     }
 
-    /// Block until every site's EDE has processed at least `n` events or
-    /// the timeout expires; returns whether the target was reached.
-    /// (Mirrors under selective/coalescing configurations see fewer events
-    /// than the central — pass per-site expectations via `predicate`
-    /// variants in tests when needed.)
+    /// Block until every attached site's EDE has processed at least `n`
+    /// events or the timeout expires; returns whether the target was
+    /// reached. (Mirrors under selective/coalescing configurations see
+    /// fewer events than the central — pass per-site expectations via
+    /// `predicate` variants in tests when needed.)
     pub fn wait_all_processed(&self, n: u64, timeout: Duration) -> bool {
         self.wait(timeout, |c| {
-            c.central.processed() >= n
-                && c.mirrors
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| !c.retired.contains(&((*i as SiteId) + 1)))
-                    .all(|(_, m)| m.processed() >= n)
+            read(&c.central).processed() >= n && read(&c.sites).values().all(|m| m.processed() >= n)
         })
     }
 
@@ -266,34 +398,39 @@ impl Cluster {
         predicate(self)
     }
 
-    /// Simulate a mirror crash (test/ops hook): stop the site's threads;
-    /// its subscriptions drop and it stops answering checkpoint rounds, so
+    /// Simulate a mirror crash (test/ops hook): mark the site suspect in
+    /// the membership view (epoch bumped) and stop its threads; its
+    /// subscriptions drop and it stops answering checkpoint rounds, so
     /// the coordinator's failure detector (if enabled) will exclude it.
-    pub fn fail_mirror(&mut self, site: SiteId) {
-        assert!(site >= 1 && (site as usize) <= self.mirrors.len());
-        self.mirrors[(site - 1) as usize].stop();
+    pub fn fail_mirror(&self, site: SiteId) -> Result<(), MembershipError> {
+        let epoch = self.membership.suspect(site)?;
+        read(&self.central).set_membership_epoch(epoch);
+        if let Some(m) = write(&self.sites).get_mut(&site) {
+            m.stop();
+        }
+        Ok(())
     }
 
     /// Mirrors the coordinator has declared failed.
     pub fn failed_mirrors(&self) -> Vec<SiteId> {
-        self.central.failed_mirrors()
+        read(&self.central).failed_mirrors()
     }
 
     /// Register the link monitor serving a bridged mirror so
     /// [`stats`](Self::stats) reports its health.
     pub fn attach_link_monitor(&self, site: SiteId, monitor: std::sync::Arc<LinkMonitor>) {
-        self.central.attach_link_monitor(site, monitor);
+        read(&self.central).attach_link_monitor(site, monitor);
     }
 
     /// Per-mirror transport link health (bridged mirrors only).
     pub fn link_health(&self) -> Vec<(SiteId, LinkHealth)> {
-        self.central.link_health()
+        read(&self.central).link_health()
     }
 
     /// Escalate a dead transport link into checkpoint-round exclusion
     /// (see [`CentralSite::declare_link_dead`]).
     pub fn declare_link_dead(&self, site: SiteId) {
-        self.central.declare_link_dead(site);
+        read(&self.central).declare_link_dead(site);
     }
 
     /// Replay the retained suffix from send index `from_idx` onto the
@@ -310,18 +447,28 @@ impl Cluster {
     /// instead ([`rejoin_mirror`](Self::rejoin_mirror) /
     /// [`recover_site`](Self::recover_site)).
     pub fn resync_mirror(&self, from_idx: u64) -> ResyncOutcome {
+        Self::resync_with(&read(&self.central), &self.data, from_idx)
+    }
+
+    /// [`resync_mirror`](Self::resync_mirror) against an already-held
+    /// central guard (so membership operations never re-enter the lock).
+    fn resync_with(
+        central: &CentralSite,
+        data: &EventChannel<SharedEvent>,
+        from_idx: u64,
+    ) -> ResyncOutcome {
         // Floor check and retransmission under ONE aux lock: checkpoint
         // commits prune under the same lock, so a commit landing between a
         // separate check and replay could move the floor past `from_idx`
         // and turn the "replayed" result into a silent gap.
-        let (floor, events) = self.central.handle().with(|a| {
+        let (floor, events) = central.handle().with(|a| {
             let floor = a.truncation_floor();
             let events = (from_idx >= floor).then(|| a.retransmit_from(from_idx));
             (floor, events)
         });
         if let Some(events) = events {
             let n = events.len();
-            let data_pub = self.data.publisher();
+            let data_pub = data.publisher();
             for (_, e) in events {
                 // Replays share the backup queue's allocation (Arc), like
                 // the original sends did.
@@ -330,13 +477,13 @@ impl Cluster {
             return ResyncOutcome::Replayed { events: n, source: ResyncSource::Memory };
         }
         // The queue was pruned past from_idx: fall back to the log.
-        if let Some(journal) = self.central.journal() {
+        if let Some(journal) = central.journal() {
             let log_first = journal.first_retained_idx();
             if log_first.is_some_and(|first| first <= from_idx) {
                 match journal.replay_from(from_idx) {
                     Ok(entries) => {
                         let n = entries.len();
-                        let data_pub = self.data.publisher();
+                        let data_pub = data.publisher();
                         for (_, e) in entries {
                             data_pub.publish(SharedEvent::new(e));
                         }
@@ -357,17 +504,136 @@ impl Cluster {
         ResyncOutcome::Gap { first_retained: Some(floor) }
     }
 
+    /// Spawn a **fresh** mirror at the next never-used site id, mid-traffic
+    /// and with no exclusive cluster access — the elastic scale-out path:
+    ///
+    /// 1. the new site subscribes to the data/control channels first
+    ///    (missing nothing published after this point);
+    /// 2. it is seeded from the central's cached seed frame (one capture
+    ///    shared across an admission burst, see
+    ///    [`CentralSite::seed_snapshot`]) and the data channel is replayed
+    ///    from the truncation floor recorded at that frame's capture —
+    ///    memory first, durable log past it — so the bounded-stale seed
+    ///    converges; replayed events are absorbed idempotently by every
+    ///    live site;
+    /// 3. membership admits the site (bumping the epoch) and the
+    ///    checkpoint coordinator gates rounds on it from the next
+    ///    proposal, stamping `CHKPT`/`COMMIT` with the new epoch.
+    ///
+    /// The mirror inherits the central's *current* mirror parameters and
+    /// rules — including any in-force adaptation directive and its
+    /// generation — not the start-up defaults.
+    ///
+    /// Returns the new site id.
+    pub fn add_mirror(&self) -> Result<SiteId, MembershipError> {
+        let site = self.membership.next_site_id();
+        let central = read(&self.central);
+        let params = central.handle().params();
+        let mut aux = MirrorConfig::with_params(params).build_mirror(site);
+        aux.set_rules(central.handle().with(|a| a.rules().clone()));
+        let replacement = MirrorSite::start_seeded(
+            MirrorHandle::new(aux),
+            self.clock.clone(),
+            &self.data,
+            &self.ctrl_down,
+            self.ctrl_up.publisher(),
+        );
+        // Subscriptions are live; seed from the shared cached frame.
+        let (served, floor) = central.seed_snapshot();
+        let frontier = served.as_of.clone();
+        replacement.seed(served.into_snapshot().into_state(), frontier);
+        // Bridge the cached capture to subscribe-time: replay from the
+        // floor recorded at the capture. A gap (floor pruned from memory
+        // AND log meanwhile) falls back to a fresh live capture, which is
+        // taken after the subscriptions and therefore needs no replay.
+        if let ResyncOutcome::Gap { .. } = Self::resync_with(&central, &self.data, floor) {
+            let fresh = central.snapshot();
+            let frontier = fresh.as_of.clone();
+            replacement.seed(fresh.into_state(), frontier);
+        }
+        let epoch = self.membership.admit(site)?;
+        central.admit_mirror(site, epoch);
+        write(&self.sites).insert(site, replacement);
+        Ok(site)
+    }
+
+    /// Reserve and admit the next never-used site id for a mirror
+    /// *process* attaching over a bridge: the cluster runs no local
+    /// threads for it, but checkpoint rounds gate on it from the next
+    /// proposal at the bumped epoch, and the remote endpoint attaches its
+    /// channels against that live epoch.
+    pub fn admit_bridged_mirror(&self) -> Result<SiteId, MembershipError> {
+        let site = self.membership.next_site_id();
+        let epoch = self.membership.admit(site)?;
+        read(&self.central).admit_mirror(site, epoch);
+        Ok(site)
+    }
+
+    /// Permanently retire a mirror (scale-in): membership moves it to
+    /// [`SiteState::Retired`] (its id is never reused), the checkpoint
+    /// coordinator drops it from round completion *without* marking it
+    /// failed, and its threads stop. In-flight rounds it was gating
+    /// restart via the coordinator's wedge detection.
+    pub fn retire_mirror(&self, site: SiteId) -> Result<(), MembershipError> {
+        let epoch = self.membership.retire(site)?;
+        read(&self.central).retire_mirror(site, epoch);
+        let removed = write(&self.sites).remove(&site);
+        if let Some(mut m) = removed {
+            m.stop();
+        }
+        Ok(())
+    }
+
+    /// Drain the adaptation controller's pending [`ScaleDecision`]s and
+    /// apply them: spawn on sustained pressure, retire the newest live
+    /// mirror on sustained quiesce (bounds re-checked against the current
+    /// membership view, so a stale directive cannot retire below the
+    /// policy floor). Returns the membership changes performed.
+    ///
+    /// Centralized decision, caller-paced application: any thread holding
+    /// the shared cluster may pump this — no `&mut Cluster` required.
+    pub fn poll_scale(&self) -> Vec<ScaleEvent> {
+        let directives = read(&self.central).take_scale_directives();
+        let mut events = Vec::new();
+        for d in directives {
+            match d {
+                ScaleDecision::SpawnMirror => {
+                    if let Ok(site) = self.add_mirror() {
+                        events.push(ScaleEvent::Spawned { site, epoch: self.membership.epoch() });
+                    }
+                }
+                ScaleDecision::RetireMirror => {
+                    let min = self.scale.map(|p| p.min_mirrors).unwrap_or(1);
+                    let live = self.membership.view().live_mirrors();
+                    if live.len() > min {
+                        if let Some(&site) = live.last() {
+                            if self.retire_mirror(site).is_ok() {
+                                events.push(ScaleEvent::Retired {
+                                    site,
+                                    epoch: self.membership.epoch(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        events
+    }
+
     /// Replace a failed mirror with a fresh one recovered from the central
     /// site's state (the paper's §6 recovery extension): the replacement
     /// subscribes first (missing nothing), is seeded with a snapshot from
     /// the central EDE, replays anything that arrived meanwhile, and is
-    /// readmitted into checkpoint rounds.
-    pub fn rejoin_mirror(&mut self, site: SiteId) {
-        assert!(site >= 1 && (site as usize) <= self.mirrors.len());
-        let kind_params = self.central.handle().params();
+    /// readmitted into checkpoint rounds at a bumped membership epoch.
+    pub fn rejoin_mirror(&self, site: SiteId) -> Result<(), MembershipError> {
+        let epoch = self.membership.restore(site)?;
+        let central = read(&self.central);
+        central.set_membership_epoch(epoch);
+        let kind_params = central.handle().params();
         let mut aux = MirrorConfig::with_params(kind_params).build_mirror(site);
         // Mirror rule/function config follows the central's current view.
-        aux.set_rules(self.central.handle().with(|a| a.rules().clone()));
+        aux.set_rules(central.handle().with(|a| a.rules().clone()));
         let replacement = MirrorSite::start_seeded(
             MirrorHandle::new(aux),
             self.clock.clone(),
@@ -376,13 +642,14 @@ impl Cluster {
             self.ctrl_up.publisher(),
         );
         // Subscriptions are live; now capture the recovery state and seed.
-        let snapshot = self.central.snapshot();
+        let snapshot = central.snapshot();
         let frontier = snapshot.as_of.clone();
         // By-value restore: the captured flight map moves into the seed
         // instead of being deep-cloned a second time.
         replacement.seed(snapshot.into_state(), frontier);
-        self.central.readmit_mirror(site);
-        self.mirrors[(site - 1) as usize] = replacement;
+        central.readmit_mirror(site);
+        write(&self.sites).insert(site, replacement);
+        Ok(())
     }
 
     /// Persist the central EDE state as the durable recovery snapshot
@@ -390,7 +657,7 @@ impl Cluster {
     /// replay work to the log suffix after this point. Returns the number
     /// of flights captured; errors if the cluster has no durable store.
     pub fn persist_snapshot(&self) -> std::io::Result<usize> {
-        self.central.persist_snapshot()
+        read(&self.central).persist_snapshot()
     }
 
     /// Cold-start recovery of a mirror from the durable store — no live
@@ -399,22 +666,27 @@ impl Cluster {
     /// central): the replacement subscribes first (missing nothing), its
     /// state is rebuilt from the persisted snapshot plus a full replay of
     /// the retained log suffix, and it is readmitted into checkpoint
-    /// rounds. Stale replays are absorbed by the EDE's idempotent
-    /// per-flight guards, so over-replay converges to the live peers'
-    /// state hash.
+    /// rounds at a bumped membership epoch. Stale replays are absorbed by
+    /// the EDE's idempotent per-flight guards, so over-replay converges to
+    /// the live peers' state hash.
     ///
     /// Returns the number of log entries replayed into the recovered
-    /// state. Errors if the cluster was started without a
-    /// [`DurabilityConfig`] or the store cannot be read.
-    pub fn recover_site(&mut self, site: SiteId) -> std::io::Result<usize> {
-        assert!(site >= 1 && (site as usize) <= self.mirrors.len());
-        let dir = self.durability.as_ref().map(|d| d.dir.clone()).ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::Unsupported, "cluster has no durable store")
-        })?;
+    /// state. Errors with [`MembershipError::NoDurableStore`] if the
+    /// cluster was started without a [`DurabilityConfig`], or
+    /// [`MembershipError::Store`] if the store cannot be read.
+    pub fn recover_site(&self, site: SiteId) -> Result<usize, MembershipError> {
+        let dir = self
+            .durability
+            .as_ref()
+            .map(|d| d.dir.clone())
+            .ok_or(MembershipError::NoDurableStore)?;
+        let epoch = self.membership.restore(site)?;
+        let central = read(&self.central);
+        central.set_membership_epoch(epoch);
 
-        let kind_params = self.central.handle().params();
+        let kind_params = central.handle().params();
         let mut aux = MirrorConfig::with_params(kind_params).build_mirror(site);
-        aux.set_rules(self.central.handle().with(|a| a.rules().clone()));
+        aux.set_rules(central.handle().with(|a| a.rules().clone()));
         let replacement = MirrorSite::start_seeded(
             MirrorHandle::new(aux),
             self.clock.clone(),
@@ -433,36 +705,41 @@ impl Cluster {
         // *destructive* crash repair, corrupting a log that is still being
         // appended to — is reserved for the no-live-writer case (e.g. the
         // journaled central was stopped, or replaced by promotion).
-        let recovered = match self.central.journal() {
+        let recovered = match central.journal() {
             Some(j) => j.recover()?,
             None => mirror_store::recover(&dir)?,
         };
         replacement.seed(recovered.state, recovered.frontier);
-        self.central.readmit_mirror(site);
-        self.mirrors[(site - 1) as usize] = replacement;
+        central.readmit_mirror(site);
+        write(&self.sites).insert(site, replacement);
         Ok(recovered.replayed)
     }
 
     /// Simulate a central-site crash (test/ops hook): stop its threads.
     /// The stream stalls until [`promote_mirror`](Self::promote_mirror)
     /// installs a new coordinator.
-    pub fn fail_central(&mut self) {
-        self.central.stop();
+    pub fn fail_central(&self) {
+        write(&self.central).stop();
     }
 
     /// Promote a mirror to be the new central site — the deepest payoff of
     /// mirroring: every site holds the replicated state, so any of them
     /// can take over coordination. The promoted mirror's state seeds the
-    /// new coordinator; the mirror itself is retired from the roster and
-    /// the survivors keep their subscriptions (data and control flow from
-    /// the new coordinator through the same channels).
+    /// new coordinator; the mirror itself is retired from the membership
+    /// view (epoch bumped, id never reused) and the survivors keep their
+    /// subscriptions (data and control flow from the new coordinator
+    /// through the same channels).
     ///
-    /// Returns the site ids of the mirrors remaining under the new
+    /// Returns the site ids of the live mirrors remaining under the new
     /// coordinator. Source traffic submitted after this call flows through
     /// the new central site.
-    pub fn promote_mirror(&mut self, site: SiteId) -> Vec<SiteId> {
-        assert!(site >= 1 && (site as usize) <= self.mirrors.len());
-        let idx = (site - 1) as usize;
+    pub fn promote_mirror(&self, site: SiteId) -> Result<Vec<SiteId>, MembershipError> {
+        match self.membership.view().state_of(site) {
+            Some(SiteState::Live) => {}
+            Some(SiteState::Suspect) => return Err(MembershipError::NotLive(site)),
+            Some(SiteState::Retired) => return Err(MembershipError::Retired(site)),
+            None => return Err(MembershipError::UnknownSite(site)),
+        }
 
         // Retire the promoted mirror FIRST, after quiescing: wait for its
         // processed counter to stop advancing (in-flight events draining
@@ -470,12 +747,12 @@ impl Cluster {
         // process everything already delivered before exiting — then
         // snapshot. The seed thus includes every event the old central
         // broadcast, so the new coordinator is not behind the survivors.
-        let mut last = self.mirrors[idx].processed();
+        let mut last = self.mirror(site).processed();
         let mut stable = 0;
         let deadline = Instant::now() + Duration::from_secs(2);
         while stable < 3 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
-            let now = self.mirrors[idx].processed();
+            let now = self.mirror(site).processed();
             if now == last {
                 stable += 1;
             } else {
@@ -483,23 +760,28 @@ impl Cluster {
                 last = now;
             }
         }
-        self.mirrors[idx].stop();
-        let snapshot = self.mirrors[idx].snapshot();
+        let mut promoted =
+            write(&self.sites).remove(&site).ok_or(MembershipError::UnknownSite(site))?;
+        promoted.stop();
+        let snapshot = promoted.snapshot();
 
-        // Survivors: every mirror except the promoted one (stopped sites
-        // stay in the vec as tombstones to keep site-id indexing stable;
-        // callers should not address them again).
-        let survivors: Vec<SiteId> = (1..=self.mirrors.len() as SiteId)
-            .filter(|&s| s != site && !self.retired.contains(&s))
-            .collect();
-        self.retired.push(site);
+        let epoch = self.membership.retire(site)?;
+        let survivors = self.membership.view().live_mirrors();
 
         // New coordinator: seeded from the promoted mirror's state; its
-        // subscriptions (ctrl-up) attach before any new traffic flows.
-        let params = self.central.handle().params();
-        let rules = self.central.handle().with(|a| a.rules().clone());
+        // subscriptions (ctrl-up) attach before any new traffic flows. It
+        // coordinates the surviving live sites at the bumped epoch and
+        // keeps the scale policy (if any) in force.
+        let (params, rules) = {
+            let central = read(&self.central);
+            (central.handle().params(), central.handle().with(|a| a.rules().clone()))
+        };
         let mut aux = MirrorConfig::with_params(params).build_central(survivors.clone());
         aux.set_rules(rules);
+        aux.set_membership_epoch(epoch);
+        if let Some(policy) = self.scale {
+            aux.set_scale_policy(policy);
+        }
         let replacement = CentralSite::start_seeded(
             MirrorHandle::new(aux),
             self.clock.clone(),
@@ -509,14 +791,14 @@ impl Cluster {
         );
         let frontier = snapshot.as_of.clone();
         replacement.seed(snapshot.into_state(), frontier);
-        self.central = replacement;
-        survivors
+        *write(&self.central) = replacement;
+        Ok(survivors)
     }
 
     /// Stop every site and join all threads.
-    pub fn shutdown(mut self) {
-        self.central.stop();
-        for m in &mut self.mirrors {
+    pub fn shutdown(self) {
+        write(&self.central).stop();
+        for (_, m) in write(&self.sites).iter_mut() {
             m.stop();
         }
     }
@@ -541,7 +823,7 @@ mod tests {
             cluster.wait_all_processed(200, Duration::from_secs(5)),
             "all sites must process 200 events; got central={} mirrors={:?}",
             cluster.central().processed(),
-            cluster.mirrors().iter().map(|m| m.processed()).collect::<Vec<_>>()
+            cluster.mirror_ids().iter().map(|&s| cluster.mirror(s).processed()).collect::<Vec<_>>()
         );
         let hashes = cluster.state_hashes();
         assert!(hashes.windows(2).all(|w| w[0] == w[1]), "hashes diverged: {hashes:?}");
@@ -575,7 +857,7 @@ mod tests {
         }
         cluster.submit(Event::delta_status(1, 2, FlightStatus::Landed));
         assert!(cluster.wait_all_processed(101, Duration::from_secs(5)));
-        let snap = cluster.snapshot(1);
+        let snap = cluster.snapshot(1).expect("site 1 is live");
         assert_eq!(snap.flight_count(), 5);
         let restored = snap.restore();
         assert_eq!(restored.state_hash(), cluster.state_hashes()[1]);
@@ -607,11 +889,13 @@ mod tests {
             cluster.submit(Event::faa_position(seq, 1, fix()));
         }
         assert!(cluster.wait_all_processed(60, Duration::from_secs(5)));
-        let _ = cluster.snapshot(1);
+        let _ = cluster.snapshot(1).unwrap();
         let stats = cluster.stats();
         assert_eq!(stats.central.processed, 60);
         assert_eq!(stats.central.mirrored, 60);
         assert_eq!(stats.mirrors.len(), 1);
+        assert_eq!(stats.mirror_ids, vec![1]);
+        assert_eq!(stats.epoch, 0, "no membership change yet");
         assert_eq!(stats.mirrors[0].processed, 60);
         assert_eq!(stats.mirrors[0].snapshots, 1);
         assert!(stats.failed_mirrors.is_empty());
@@ -624,8 +908,7 @@ mod tests {
         let cluster = Cluster::start(ClusterConfig {
             mirrors: 1,
             kind: MirrorFnKind::Selective { overwrite: 10 },
-            suspect_after: 0,
-            durability: None,
+            ..Default::default()
         });
         for seq in 1..=100u64 {
             cluster.submit(Event::faa_position(seq, 7, fix()));
@@ -633,10 +916,58 @@ mod tests {
         // Central processes all 100; the mirror only the overwrite
         // survivors (~10).
         assert!(cluster.wait(Duration::from_secs(5), |c| c.central().processed() >= 100));
-        assert!(cluster.wait(Duration::from_secs(5), |c| c.mirrors()[0].processed() >= 10));
+        assert!(cluster.wait(Duration::from_secs(5), |c| c.mirror(1).processed() >= 10));
         std::thread::sleep(Duration::from_millis(50));
-        let mirror_seen = cluster.mirrors()[0].processed();
+        let mirror_seen = cluster.mirror(1).processed();
         assert!(mirror_seen <= 15, "mirror saw {mirror_seen} events, expected ~10");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn add_mirror_mid_stream_converges_and_retires() {
+        let cluster = Cluster::start(ClusterConfig::default());
+        for seq in 1..=80u64 {
+            cluster.submit(Event::faa_position(seq, (seq % 4) as u32, fix()));
+        }
+        assert!(cluster.wait_all_processed(80, Duration::from_secs(5)));
+
+        let site = cluster.add_mirror().expect("spawn mid-stream");
+        assert_eq!(site, 2, "next never-used id");
+        assert_eq!(cluster.epoch(), 1, "admission bumps the epoch");
+        assert!(cluster.membership().is_live(site));
+
+        for seq in 81..=140u64 {
+            cluster.submit(Event::faa_position(seq, (seq % 4) as u32, fix()));
+        }
+        // The seeded site converges: same frontier, same state hash.
+        let converged = cluster.wait(Duration::from_secs(5), |c| {
+            let h = c.state_hashes();
+            h.len() == 3 && h.windows(2).all(|w| w[0] == w[1])
+        });
+        assert!(converged, "new mirror must converge: {:?}", cluster.state_hashes());
+
+        cluster.retire_mirror(site).expect("retire");
+        assert_eq!(cluster.epoch(), 2, "retirement bumps the epoch");
+        assert_eq!(cluster.mirror_ids(), vec![1]);
+        assert!(
+            matches!(cluster.snapshot(site), Err(MembershipError::Retired(2))),
+            "retired ids answer with a typed error"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn membership_errors_replace_index_panics() {
+        let cluster = Cluster::start(ClusterConfig::default());
+        assert_eq!(cluster.fail_mirror(9), Err(MembershipError::UnknownSite(9)));
+        assert_eq!(cluster.rejoin_mirror(9), Err(MembershipError::UnknownSite(9)));
+        assert_eq!(cluster.promote_mirror(9), Err(MembershipError::UnknownSite(9)));
+        assert!(matches!(cluster.snapshot(9), Err(MembershipError::UnknownSite(9))));
+        assert_eq!(
+            cluster.recover_site(1),
+            Err(MembershipError::NoDurableStore),
+            "recovery without a store is a typed error, not a panic"
+        );
         cluster.shutdown();
     }
 }

@@ -25,7 +25,7 @@ pub mod site;
 pub mod snapcache;
 
 pub use clock::RuntimeClock;
-pub use cluster::{Cluster, ClusterConfig, ClusterStats, SiteStats};
+pub use cluster::{Cluster, ClusterConfig, ClusterStats, MirrorRef, ScaleEvent, SiteStats};
 pub use durability::{DurabilityConfig, Journal, ResyncOutcome, ResyncSource};
 pub use requests::{GatewayConfig, RequestClient, RequestError, RequestGateway};
 pub use site::{CentralSite, MirrorSite};

@@ -19,7 +19,7 @@ use std::time::Duration;
 use crossbeam::channel::{self, Sender};
 use parking_lot::Mutex;
 
-use mirror_core::adapt::MonitorReport;
+use mirror_core::adapt::{MonitorReport, ScaleDecision};
 use mirror_core::api::MirrorHandle;
 use mirror_core::aux_unit::{AuxAction, AuxInput, SiteId};
 use mirror_core::checkpoint::MainUnitResponder;
@@ -33,6 +33,7 @@ use mirror_ede::{Ede, OperationalState, Snapshot};
 
 use crate::clock::RuntimeClock;
 use crate::durability::Journal;
+use crate::snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};
 
 /// How often an idle aux thread flushes coalescing buffers.
 const FLUSH_PERIOD: Duration = Duration::from_millis(20);
@@ -484,6 +485,21 @@ pub struct CentralSite {
     /// Durable event journal (present when the cluster was started with a
     /// [`DurabilityConfig`](crate::durability::DurabilityConfig)).
     journal: Option<Arc<Journal>>,
+    /// Scale directives emitted by the adaptation controller, queued for
+    /// collection by [`take_scale_directives`](Self::take_scale_directives)
+    /// (the cluster drains them into membership changes).
+    scale: Arc<Mutex<Vec<ScaleDecision>>>,
+    /// Seed-snapshot cache for elastic scale-out: mirrors admitted in one
+    /// burst share a single state capture (and, over bridges, one wire
+    /// frame) instead of deep-cloning the flight map per admission.
+    seed_cache: SnapshotCache,
+    /// Backup-queue truncation floor recorded when the cached seed
+    /// snapshot was captured; replaying the data channel from this floor
+    /// bridges a (bounded-stale) cached snapshot to subscribe-time.
+    seed_floor: Arc<Mutex<u64>>,
+    /// Serializes [`seed_snapshot`](Self::seed_snapshot) so the returned
+    /// (snapshot, floor) pair is always coherent.
+    seed_gate: Mutex<()>,
 }
 
 /// Shared registry of transport link monitors, keyed by mirror site.
@@ -546,6 +562,8 @@ impl CentralSite {
         let updates_pub = updates.publisher();
         let failed: Arc<Mutex<Vec<SiteId>>> = Arc::new(Mutex::new(Vec::new()));
         let failed_in_route = Arc::clone(&failed);
+        let scale: Arc<Mutex<Vec<ScaleDecision>>> = Arc::new(Mutex::new(Vec::new()));
+        let scale_in_route = Arc::clone(&scale);
         let journal_in_route = journal.clone();
         // The aux unit has released its lock by the time actions are
         // routed, so querying the backup queue's truncation floor from
@@ -578,6 +596,9 @@ impl CentralSite {
             AuxAction::MirrorFailed(site) => {
                 failed_in_route.lock().push(*site);
             }
+            AuxAction::ScaleDirective(d) => {
+                scale_in_route.lock().push(*d);
+            }
             _ => {}
         };
         let (core, inbox_tx) = SiteCore::spawn(
@@ -591,8 +612,23 @@ impl CentralSite {
 
         // Forward checkpoint replies from mirrors into the aux inbox.
         let up_sub = ctrl_up.subscribe();
-        let mut site =
-            CentralSite { core, updates, failed, links: Arc::new(Mutex::new(Vec::new())), journal };
+        let mut site = CentralSite {
+            core,
+            updates,
+            failed,
+            links: Arc::new(Mutex::new(Vec::new())),
+            journal,
+            scale,
+            // Wider-than-gateway staleness: seeding tolerates any bounded
+            // staleness because the admitting caller replays the data
+            // channel from the recorded floor on top of the seed.
+            seed_cache: SnapshotCache::new(SnapshotCachePolicy {
+                max_stale_events: 256,
+                max_stale: Duration::from_millis(100),
+            }),
+            seed_floor: Arc::new(Mutex::new(0)),
+            seed_gate: Mutex::new(()),
+        };
         let stop = Arc::clone(&site.core.stop);
         let fwd = std::thread::Builder::new()
             .name("central-ctrl-up".into())
@@ -631,6 +667,64 @@ impl CentralSite {
     pub fn readmit_mirror(&self, site: SiteId) {
         self.failed.lock().retain(|&s| s != site);
         self.core.handle.with(|a| a.readmit_mirror(site));
+    }
+
+    /// Raise the membership epoch stamped onto outgoing checkpoint rounds
+    /// (monotone: a lower epoch is ignored).
+    pub fn set_membership_epoch(&self, epoch: u64) {
+        self.core.handle.with(|a| a.set_membership_epoch(epoch));
+    }
+
+    /// Admit a mirror into checkpoint rounds at membership `epoch` — the
+    /// elastic scale-out path: the site gates rounds begun from the next
+    /// proposal on, and `CHKPT`/`COMMIT` carry the new epoch.
+    pub fn admit_mirror(&self, site: SiteId, epoch: u64) {
+        self.failed.lock().retain(|&s| s != site);
+        self.core.handle.with(|a| a.admit_mirror(site, epoch));
+    }
+
+    /// Retire a mirror from checkpoint rounds at membership `epoch`: it
+    /// stops gating round completion *without* being marked failed (this
+    /// is scale-in, not a crash).
+    pub fn retire_mirror(&self, site: SiteId, epoch: u64) {
+        self.failed.lock().retain(|&s| s != site);
+        self.core.handle.with(|a| a.retire_mirror(site, epoch));
+    }
+
+    /// Drain the scale directives the adaptation controller has emitted
+    /// since the last call (oldest first). The cluster turns these into
+    /// membership changes; see `Cluster::poll_scale`.
+    pub fn take_scale_directives(&self) -> Vec<ScaleDecision> {
+        std::mem::take(&mut *self.scale.lock())
+    }
+
+    /// Capture (or reuse) a seed snapshot for a newly admitted mirror,
+    /// returning it together with the backup-queue truncation floor
+    /// recorded **before** its capture.
+    ///
+    /// Safety of the pairing: the floor only moves up, so a floor read
+    /// before the state capture can only cause *extra* replays when the
+    /// admitting caller resyncs from it — never a gap — and stale replays
+    /// are absorbed idempotently by every EDE. A burst of admissions
+    /// shares one capture through the cache (the PR-§13 single-flight
+    /// pattern applied to seeding).
+    pub fn seed_snapshot(&self) -> (ServedSnapshot, u64) {
+        let _gate = self.seed_gate.lock();
+        let live_epoch = self.core.shared.epoch.load(Ordering::Acquire);
+        let floor_cell = Arc::clone(&self.seed_floor);
+        let shared = Arc::clone(&self.core.shared);
+        let handle = self.core.handle.clone();
+        let (served, _hit) = self.seed_cache.get(live_epoch, move || {
+            let floor = handle.truncation_floor();
+            *floor_cell.lock() = floor;
+            // Frontier before state, as everywhere: the frontier may only
+            // trail the state a snapshot reflects, never lead it.
+            let as_of: VectorTimestamp = shared.responder.lock().processed().clone();
+            let ede = shared.ede.lock();
+            (Snapshot::capture(ede.state(), as_of), ede.epoch())
+        });
+        let floor = *self.seed_floor.lock();
+        (served, floor)
     }
 
     /// Record `monitor` as the transport link serving `site`, so

@@ -63,9 +63,9 @@ fn bridged_mirror_survives_chaos_links() {
     // Roster holds sites 1 and 2; site 2's in-process incarnation is
     // stopped immediately and replaced by a bridged remote below, so its
     // checkpoint replies genuinely cross the faulty uplink.
-    let mut cluster =
+    let cluster =
         Cluster::start(ClusterConfig { mirrors: 2, suspect_after: 4, ..Default::default() });
-    cluster.fail_mirror(2);
+    cluster.fail_mirror(2).unwrap();
 
     // Two unidirectional links, both resilient, both faulty on the
     // sending side. The bridge writer batches bursts into single frames,
@@ -349,7 +349,7 @@ fn batched_frames_survive_chaos_exactly_once() {
 /// failover still works afterwards.
 #[test]
 fn dead_link_escalates_to_exclusion_and_failover_survives() {
-    let mut cluster = Cluster::start(ClusterConfig { mirrors: 2, ..Default::default() });
+    let cluster = Cluster::start(ClusterConfig { mirrors: 2, ..Default::default() });
     for seq in 1..=100u64 {
         cluster.submit(Event::faa_position(seq, (seq % 10) as u32, fix()));
     }
@@ -357,7 +357,7 @@ fn dead_link_escalates_to_exclusion_and_failover_survives() {
 
     // Site 2's node goes dark: its process stops and its (hypothetical)
     // bridge link can no longer connect at all.
-    cluster.fail_mirror(2);
+    cluster.fail_mirror(2).unwrap();
     let refused =
         || Err::<Box<dyn Transport>, _>(io::Error::new(io::ErrorKind::ConnectionRefused, "down"));
     let mut link = ResilientTransport::new(refused, RetryPolicy::fast(3), "dead.link")
@@ -370,7 +370,7 @@ fn dead_link_escalates_to_exclusion_and_failover_survives() {
     // Central failover under the same conditions: promote the surviving
     // mirror and keep serving traffic.
     cluster.fail_central();
-    let survivors = cluster.promote_mirror(1);
+    let survivors = cluster.promote_mirror(1).unwrap();
     assert!(!survivors.contains(&1));
     let updates = cluster.subscribe_updates();
     for seq in 101..=150u64 {

@@ -111,13 +111,13 @@ fn resync_falls_back_to_durable_log_past_the_prune() {
 /// heal and the snapshot-seeded rejoin path is mandatory.
 #[test]
 fn rejoin_after_commit_converges_all_sites() {
-    let mut cluster =
+    let cluster =
         Cluster::start(ClusterConfig { mirrors: 2, suspect_after: 3, ..Default::default() });
     cluster.central().handle().set_params(false, 1, 10);
     feed(&cluster, 1, 100);
     assert!(cluster.wait_all_processed(100, Duration::from_secs(5)));
 
-    cluster.fail_mirror(2);
+    cluster.fail_mirror(2).unwrap();
     feed(&cluster, 101, 220);
     // Drive commits well past the outage point so the backup queue prunes
     // the events mirror 2 missed.
@@ -134,11 +134,11 @@ fn rejoin_after_commit_converges_all_sites() {
     assert!(floor > 100, "outage events must be pruned, floor={floor}");
     assert!(matches!(cluster.resync_mirror(101), ResyncOutcome::Gap { .. }));
 
-    cluster.rejoin_mirror(2);
+    cluster.rejoin_mirror(2).unwrap();
     feed(&cluster, 221, 260);
     assert!(
         cluster.wait(Duration::from_secs(10), |c| {
-            c.mirrors()[1].processed() >= 40 && hashes_converged(c)
+            c.mirror(2).processed() >= 40 && hashes_converged(c)
         }),
         "rejoined mirror must converge: hashes={:?}",
         cluster.state_hashes()
@@ -152,7 +152,7 @@ fn rejoin_after_commit_converges_all_sites() {
 #[test]
 fn recover_site_from_snapshot_and_log_matches_live_peers() {
     let (cfg, dir) = durable_cfg("coldstart", 2);
-    let mut cluster = Cluster::start(cfg);
+    let cluster = Cluster::start(cfg);
     cluster.central().handle().set_params(false, 1, 10);
 
     feed(&cluster, 1, 150);
@@ -164,7 +164,7 @@ fn recover_site_from_snapshot_and_log_matches_live_peers() {
     feed(&cluster, 151, 300);
     assert!(cluster.wait_all_processed(300, Duration::from_secs(5)));
 
-    cluster.fail_mirror(1);
+    cluster.fail_mirror(1).unwrap();
     let replayed = cluster.recover_site(1).expect("recover from durable store");
     assert!(replayed > 0, "recovery must replay the log suffix");
 
@@ -193,14 +193,14 @@ fn recover_site_from_snapshot_and_log_matches_live_peers() {
 #[test]
 fn recover_site_under_live_traffic_keeps_journal_intact() {
     let (cfg, dir) = durable_cfg("liverec", 2);
-    let mut cluster = Cluster::start(cfg);
+    let cluster = Cluster::start(cfg);
     cluster.central().handle().set_params(false, 1, 25);
 
     feed(&cluster, 1, 100);
     assert!(cluster.wait_all_processed(100, Duration::from_secs(5)));
     cluster.persist_snapshot().expect("persist snapshot");
 
-    cluster.fail_mirror(1);
+    cluster.fail_mirror(1).unwrap();
     // Recover WITHOUT quiescing: these events are still draining through
     // the pumps and the journal writer while the store is read.
     feed(&cluster, 101, 400);
@@ -218,8 +218,9 @@ fn recover_site_under_live_traffic_keeps_journal_intact() {
         cluster.state_hashes(),
         cluster.central().committed(),
     );
-    let journal = cluster.central().journal().unwrap();
-    assert!(journal.last_error().is_none(), "journal must stay healthy");
+    let central = cluster.central();
+    assert!(central.journal().unwrap().last_error().is_none(), "journal must stay healthy");
+    drop(central);
     // The log survived the concurrent recovery read: the full stream is
     // still replayable (no truncation hole from a racing repair).
     match cluster.resync_mirror(1) {
@@ -235,9 +236,12 @@ fn recover_site_under_live_traffic_keeps_journal_intact() {
 /// Recovery without durability configured is a typed error, not a panic.
 #[test]
 fn recover_site_without_store_is_unsupported() {
-    let mut cluster = Cluster::start(ClusterConfig { mirrors: 1, ..Default::default() });
+    let cluster = Cluster::start(ClusterConfig { mirrors: 1, ..Default::default() });
     let err = cluster.recover_site(1).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+    assert!(
+        matches!(err, mirror_core::membership::MembershipError::NoDurableStore),
+        "expected NoDurableStore, got {err:?}"
+    );
     cluster.shutdown();
 }
 

@@ -40,7 +40,7 @@ fn main() {
         mirrors: 4,
         kind: MirrorFnKind::Simple,
         suspect_after: 0,
-        durability: None,
+        ..Default::default()
     }));
 
     // Background ops feed: a steady stream of position updates.
@@ -72,7 +72,7 @@ fn main() {
         let cluster = Arc::clone(&cluster);
         handles.push(std::thread::spawn(move || {
             let t0 = Instant::now();
-            let snap = cluster.snapshot(site);
+            let snap = cluster.snapshot(site).expect("mirror live");
             (display, site, snap, t0.elapsed())
         }));
     }
@@ -97,9 +97,9 @@ fn main() {
     println!(
         "requests per mirror      : {:?}",
         cluster
-            .mirrors()
+            .mirror_ids()
             .iter()
-            .map(|m| m.counters().snapshots.load(Ordering::Relaxed))
+            .map(|&s| cluster.mirror(s).counters().snapshots.load(Ordering::Relaxed))
             .collect::<Vec<_>>()
     );
     println!("events streamed          : {n}");

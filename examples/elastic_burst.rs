@@ -1,0 +1,177 @@
+//! Elastic mirroring under an airport request storm — membership as a
+//! runtime control plane. The cluster starts with a single mirror; a
+//! terminal's worth of displays storms the request gateways; the central
+//! `ScalePolicy` watches the pending-request gauge ride checkpoint
+//! replies and spawns a second mirror **mid-traffic** — seeded from the
+//! epoch-cached snapshot frame, admitted at the next membership epoch,
+//! and immediately routable. When the storm quiesces, the same policy
+//! retires it again. Every transition is epoch-stamped; the front-end
+//! balancer follows the membership view and the run prints per-epoch
+//! routing stats.
+//!
+//! Run with: `cargo run --example elastic_burst`
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adaptable_mirroring::core::adapt::{MonitorThresholds, ScalePolicy};
+use adaptable_mirroring::core::event::{Event, PositionFix};
+use adaptable_mirroring::core::mirrorfn::MirrorFnKind;
+use adaptable_mirroring::ois::balancer::{Balancer, BalancerPolicy};
+use adaptable_mirroring::runtime::{Cluster, ClusterConfig, RequestGateway, ScaleEvent};
+
+fn fix(seq: u64) -> PositionFix {
+    PositionFix {
+        lat: 30.0 + (seq % 19) as f64 * 0.3,
+        lon: -95.0 + (seq % 23) as f64 * 0.5,
+        alt_ft: 29_000.0,
+        speed_kts: 450.0,
+        heading_deg: (seq % 360) as f64,
+    }
+}
+
+/// Snapshot the balancer's per-site dispatch counters.
+fn routing(balancer: &Balancer) -> Vec<(u16, u64)> {
+    balancer.sites().into_iter().map(|s| (s, balancer.dispatched_to(s))).collect()
+}
+
+fn main() {
+    let cluster = Arc::new(Cluster::start(ClusterConfig {
+        mirrors: 1,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 0,
+        durability: None,
+        scale: Some(ScalePolicy {
+            thresholds: MonitorThresholds::new(12, 8),
+            sustain: 2,
+            cooldown: 4,
+            max_mirrors: 2,
+            min_mirrors: 1,
+        }),
+    }));
+    cluster.central().handle().set_params(false, 1, 10);
+
+    // Front-end: least-pending balancer over the live membership, reading
+    // each site's gateway gauge directly.
+    let mut balancer = Balancer::new(vec![1], BalancerPolicy::LeastPending);
+    let mut gateways: HashMap<u16, RequestGateway> = HashMap::new();
+    gateways.insert(1, cluster.mirror(1).serve_requests(Duration::from_millis(3)));
+    balancer.attach_gauge(1, cluster.mirror(1).pending_gauge());
+
+    // Steady flight stream keeps checkpoint rounds — the scale-signal
+    // transport — turning over for the whole run.
+    let stop = Arc::new(AtomicBool::new(false));
+    let seq = Arc::new(AtomicU64::new(0));
+    let feeder = {
+        let (cluster, stop, seq) = (Arc::clone(&cluster), Arc::clone(&stop), Arc::clone(&seq));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let s = seq.fetch_add(1, Ordering::Relaxed) + 1;
+                cluster.submit(Event::faa_position(s, (s % 24) as u32, fix(s)));
+                std::thread::sleep(Duration::from_micros(250));
+            }
+        })
+    };
+
+    println!("epoch {}: membership {:?} — storm begins", cluster.epoch(), cluster.mirror_ids());
+    let mut per_epoch: Vec<(u64, Vec<(u16, u64)>)> = Vec::new();
+
+    // -- storm: displays reconnect in bursts ----------------------------
+    let mut receivers = Vec::new();
+    let mut spawned_at = None;
+    let storm_start = Instant::now();
+    while spawned_at.is_none() && storm_start.elapsed() < Duration::from_secs(20) {
+        for _ in 0..40 {
+            let site = balancer.pick().expect("a live mirror");
+            receivers.push(gateways[&site].client().fire().expect("fire"));
+        }
+        for ev in cluster.poll_scale() {
+            if let ScaleEvent::Spawned { site, epoch } = ev {
+                println!(
+                    "epoch {epoch}: mirror {site} spawned mid-storm \
+                     ({:?} after storm start)",
+                    storm_start.elapsed()
+                );
+                per_epoch.push((epoch - 1, routing(&balancer)));
+                // The balancer follows the membership view; the fresh
+                // site gets its own gateway and gauge and joins routing.
+                balancer.sync(&cluster.membership());
+                gateways
+                    .insert(site, cluster.mirror(site).serve_requests(Duration::from_millis(3)));
+                balancer.attach_gauge(site, cluster.mirror(site).pending_gauge());
+                spawned_at = Some(Instant::now());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(spawned_at.is_some(), "storm must trigger scale-out");
+
+    // Keep the storm going briefly so the new mirror takes real load.
+    for _ in 0..10 {
+        for _ in 0..20 {
+            let site = balancer.pick().expect("a live mirror");
+            receivers.push(gateways[&site].client().fire().expect("fire"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let served = receivers.len();
+    for r in receivers {
+        let _ = r.recv_timeout(Duration::from_secs(10));
+    }
+    println!("storm served: {served} requests over {:?}", storm_start.elapsed());
+
+    // The spawned mirror holds the replicated state.
+    let converged = cluster.wait(Duration::from_secs(10), |c| {
+        let h = c.state_hashes();
+        c.mirror(2).processed() > 0 && h.windows(2).all(|w| w[0] == w[1])
+    });
+    println!("spawned mirror state-converged: {converged}");
+
+    // -- quiesce: the same policy scales back in -------------------------
+    let quiesce_start = Instant::now();
+    let mut retired = false;
+    while !retired && quiesce_start.elapsed() < Duration::from_secs(20) {
+        for ev in cluster.poll_scale() {
+            if let ScaleEvent::Retired { site, epoch } = ev {
+                println!(
+                    "epoch {epoch}: mirror {site} retired on quiesce \
+                     ({:?} after storm end)",
+                    quiesce_start.elapsed()
+                );
+                per_epoch.push((epoch - 1, routing(&balancer)));
+                if let Some(gw) = gateways.remove(&site) {
+                    gw.stop();
+                }
+                balancer.sync(&cluster.membership());
+                retired = true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(retired, "quiesce must retire the spawned mirror");
+    per_epoch.push((cluster.epoch(), routing(&balancer)));
+
+    println!("\nper-epoch routing (site: requests dispatched, cumulative):");
+    for (epoch, stats) in &per_epoch {
+        let line: Vec<String> = stats.iter().map(|(s, n)| format!("site {s}: {n}")).collect();
+        println!("  epoch {epoch}: [{}]", line.join(", "));
+    }
+    println!(
+        "final membership (epoch {}): {:?} — ids are never reused",
+        cluster.epoch(),
+        cluster.mirror_ids()
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    feeder.join().expect("feeder");
+    for (_, gw) in gateways {
+        gw.stop();
+    }
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => unreachable!("all threads joined"),
+    }
+    println!("done.");
+}

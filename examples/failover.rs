@@ -37,11 +37,12 @@ fn feed(cluster: &Cluster, seq: &mut u64, n: u64) {
 }
 
 fn main() {
-    let mut cluster = Cluster::start(ClusterConfig {
+    let cluster = Cluster::start(ClusterConfig {
         mirrors: 2,
         kind: MirrorFnKind::Simple,
         suspect_after: 5,
         durability: None,
+        scale: None,
     });
     cluster.central().handle().set_params(false, 1, 20);
     let mut balancer = Balancer::new(vec![1, 2], BalancerPolicy::RoundRobin);
@@ -52,14 +53,14 @@ fn main() {
     feed(&cluster, &mut seq, 200);
     for _ in 0..10 {
         let site = balancer.pick().unwrap();
-        let snap = cluster.snapshot(site);
+        let snap = cluster.snapshot(site).expect("live site");
         assert!(snap.flight_count() > 0);
         served += 1;
     }
     println!("phase 1: {} events, {served} requests over 2 mirrors", seq);
 
     // Mirror 2 crashes.
-    cluster.fail_mirror(2);
+    cluster.fail_mirror(2).unwrap();
     println!("phase 2: mirror 2 crashed");
     feed(&cluster, &mut seq, 300);
     let detected = cluster.wait(Duration::from_secs(10), |c| !c.failed_mirrors().is_empty());
@@ -71,7 +72,7 @@ fn main() {
     for _ in 0..10 {
         let site = balancer.pick().expect("a live mirror remains");
         assert_ne!(site, 2, "balancer must avoid the failed site");
-        let snap = cluster.snapshot(site);
+        let snap = cluster.snapshot(site).expect("live site");
         assert!(snap.flight_count() > 0);
         served += 1;
     }
@@ -84,7 +85,7 @@ fn main() {
     println!("commits past the crash point: {commits_resumed}");
 
     // A replacement node comes up, seeded from the central site.
-    cluster.rejoin_mirror(2);
+    cluster.rejoin_mirror(2).unwrap();
     balancer.mark_recovered(2);
     println!("phase 3: mirror 2 rejoined (seeded from central)");
     feed(&cluster, &mut seq, 200);
@@ -95,7 +96,7 @@ fn main() {
     println!("replacement converged to cluster state: {converged}");
     for _ in 0..10 {
         let site = balancer.pick().unwrap();
-        let snap = cluster.snapshot(site);
+        let snap = cluster.snapshot(site).expect("live site");
         assert!(snap.flight_count() > 0);
         served += 1;
     }

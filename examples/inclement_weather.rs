@@ -28,7 +28,7 @@ fn fix(alt: f64) -> PositionFix {
 
 fn main() {
     let cluster = Cluster::start(ClusterConfig { mirrors: 1, ..Default::default() });
-    let handle = cluster.central().handle();
+    let handle = cluster.central().handle().clone();
 
     // -- storm configuration ---------------------------------------------
     // Cruise traffic (≥ 10k ft): mirror 1-in-10 and drop anything above
@@ -77,7 +77,7 @@ fn main() {
     std::thread::sleep(Duration::from_millis(100)); // mirror drain
 
     let central = cluster.central().processed();
-    let mirrored = cluster.mirrors()[0].processed();
+    let mirrored = cluster.mirror(1).processed();
     let suppressed = cluster.central().handle().with(|a| a.counters().suppressed);
     println!("events processed centrally : {central}");
     println!("events reaching the mirror : {mirrored}");
@@ -89,7 +89,7 @@ fn main() {
 
     // The mirror still knows what matters: flight 3 arrived, flight 1 is
     // tracked on approach.
-    let snap = cluster.snapshot(1);
+    let snap = cluster.snapshot(1).unwrap();
     println!("mirror view of flight 3    : {:?}", snap.flight(3).map(|f| f.status));
     println!(
         "mirror tracks approach flt 1: {}",

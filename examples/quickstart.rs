@@ -39,13 +39,13 @@ fn main() {
     println!("state hashes      : {:?} (all equal = replicated)", cluster.state_hashes());
     println!("updates delivered : {}", updates.backlog());
     println!("arrival derived   : flight 2 is {:?}", {
-        let snap = cluster.snapshot(0);
+        let snap = cluster.snapshot(0).unwrap();
         snap.flight(2).map(|f| f.status)
     });
 
     // 3. A gate display at the airport reboots: it asks a *mirror* (not
     //    the central site) for its initial state, then replays updates.
-    let snapshot = cluster.snapshot(2);
+    let snapshot = cluster.snapshot(2).unwrap();
     println!(
         "thin client recovered from mirror 2: {} flights, as of {}",
         snapshot.flight_count(),
@@ -55,14 +55,14 @@ fn main() {
     // 4. Afternoon storm traffic forecast: switch to selective mirroring
     //    dynamically (Table-1 `set_overwrite`) — mirror 1-in-10 positions.
     cluster.central().handle().set_overwrite(EventType::FaaPosition, 10);
-    let before = cluster.mirrors()[0].processed();
+    let before = cluster.mirror(1).processed();
     for _ in 0..100 {
         seq += 1;
         cluster.submit(Event::faa_position(seq, 9, fix(40.0, -90.0, 33_000.0)));
     }
     assert!(cluster.wait(Duration::from_secs(5), |c| c.central().processed() >= 202));
     std::thread::sleep(Duration::from_millis(100)); // let mirrors drain
-    let mirrored = cluster.mirrors()[0].processed() - before;
+    let mirrored = cluster.mirror(1).processed() - before;
     println!("selective mirroring: mirror saw {mirrored} of 100 new events (≈10 expected)");
 
     cluster.shutdown();

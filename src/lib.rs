@@ -28,8 +28,7 @@
 //! let cluster = Cluster::start(ClusterConfig {
 //!     mirrors: 2,
 //!     kind: MirrorFnKind::Simple,
-//!     suspect_after: 0,
-//!     durability: None,
+//!     ..Default::default()
 //! });
 //! let fix = PositionFix { lat: 33.6, lon: -84.4, alt_ft: 31000.0,
 //!                         speed_kts: 450.0, heading_deg: 270.0 };
@@ -38,7 +37,7 @@
 //! }
 //! assert!(cluster.wait_all_processed(100, std::time::Duration::from_secs(5)));
 //! // Any mirror can now answer a thin client's initial-state request.
-//! let snapshot = cluster.snapshot(2);
+//! let snapshot = cluster.snapshot(2).expect("mirror 2 is live");
 //! assert_eq!(snapshot.flight_count(), 1);
 //! cluster.shutdown();
 //! ```

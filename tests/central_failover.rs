@@ -16,11 +16,12 @@ fn fix() -> PositionFix {
 
 #[test]
 fn promoted_mirror_takes_over_as_coordinator() {
-    let mut cluster = Cluster::start(ClusterConfig {
+    let cluster = Cluster::start(ClusterConfig {
         mirrors: 3,
         kind: MirrorFnKind::Simple,
         suspect_after: 0,
         durability: None,
+        scale: None,
     });
     cluster.central().handle().set_params(false, 1, 20);
     let updates = cluster.subscribe_updates();
@@ -35,7 +36,7 @@ fn promoted_mirror_takes_over_as_coordinator() {
 
     // The central node dies; mirror 2 is promoted.
     cluster.fail_central();
-    let survivors = cluster.promote_mirror(2);
+    let survivors = cluster.promote_mirror(2).unwrap();
     assert_eq!(survivors, vec![1, 3]);
 
     // The new coordinator starts from the replicated state…
@@ -58,14 +59,14 @@ fn promoted_mirror_takes_over_as_coordinator() {
     );
     // Survivor mirrors receive the post-promotion stream.
     let survivors_track = cluster.wait(Duration::from_secs(10), |c| {
-        [0usize, 2].iter().all(|&i| c.mirrors()[i].processed() >= 501)
+        [1u16, 3].iter().all(|&s| c.mirror(s).processed() >= 501)
     });
     assert!(survivors_track, "survivors must keep mirroring under the new coordinator");
 
     // State convergence across the new cluster (central + survivors).
     let converged = cluster.wait(Duration::from_secs(10), |c| {
         let h = c.state_hashes();
-        h[0] == h[1] && h[0] == h[3] // central, mirror 1, mirror 3
+        h[0] == h[1] && h[0] == h[2] // central, mirror 1, mirror 3
     });
     assert!(converged, "hashes: {:?}", cluster.state_hashes());
 
@@ -94,7 +95,7 @@ fn promoted_mirror_takes_over_as_coordinator() {
     assert!(committed, "commit frontier: {:?}", cluster.central().committed());
 
     // …and the new coordinator answers initial-state requests directly.
-    let snap = cluster.snapshot(0);
+    let snap = cluster.snapshot(0).unwrap();
     assert_eq!(snap.flight_count(), 9);
     cluster.shutdown();
 }

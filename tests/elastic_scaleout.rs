@@ -1,0 +1,231 @@
+//! Elastic membership end to end: a request storm drives the central
+//! `ScalePolicy` to spawn a fresh mirror mid-traffic — seeded from the
+//! epoch-cached snapshot frame plus replay, admitted at the next
+//! membership epoch, serving gateway requests — and the quiesce after the
+//! storm retires it again. No `&mut Cluster` anywhere: every membership
+//! change goes through the epoch-stamped registry.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adaptable_mirroring::core::adapt::{AdaptAction, MonitorKind, MonitorThresholds, ScalePolicy};
+use adaptable_mirroring::core::event::{Event, PositionFix};
+use adaptable_mirroring::core::membership::{MembershipError, SiteState};
+use adaptable_mirroring::core::mirrorfn::MirrorFnKind;
+use adaptable_mirroring::runtime::{Cluster, ClusterConfig, ScaleEvent};
+
+fn fix() -> PositionFix {
+    PositionFix { lat: 33.6, lon: -84.4, alt_ft: 31_000.0, speed_kts: 450.0, heading_deg: 270.0 }
+}
+
+/// Paced background feeder: keeps checkpoint rounds (the scale-signal
+/// transport) turning over until the test is done with it.
+fn spawn_feeder(
+    cluster: Arc<Cluster>,
+    stop: Arc<AtomicBool>,
+    seq: Arc<AtomicU64>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            let s = seq.fetch_add(1, Ordering::Relaxed) + 1;
+            cluster.submit(Event::faa_position(s, (s % 8) as u32, fix()));
+            std::thread::sleep(Duration::from_micros(250));
+        }
+    })
+}
+
+#[test]
+fn storm_triggers_scale_out_and_quiesce_retires() {
+    let cluster = Arc::new(Cluster::start(ClusterConfig {
+        mirrors: 1,
+        kind: MirrorFnKind::Simple,
+        suspect_after: 0,
+        durability: None,
+        scale: Some(ScalePolicy {
+            thresholds: MonitorThresholds::new(12, 8),
+            sustain: 2,
+            cooldown: 4,
+            max_mirrors: 2,
+            min_mirrors: 1,
+        }),
+    }));
+    cluster.central().handle().set_params(false, 1, 10);
+    assert_eq!(cluster.epoch(), 0);
+    assert_eq!(cluster.mirror_ids(), vec![1]);
+
+    // Gateway on the only mirror, with a per-request pad so a burst queues
+    // and the pending gauge rides checkpoint replies to the central
+    // controller.
+    let gateway = cluster.mirror(1).serve_requests(Duration::from_millis(3));
+    let client = gateway.client();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let seq = Arc::new(AtomicU64::new(0));
+    let feeder = spawn_feeder(Arc::clone(&cluster), Arc::clone(&stop), Arc::clone(&seq));
+
+    // Let normal operation settle; no scale event may fire while idle.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(cluster.poll_scale().is_empty(), "idle cluster must not scale");
+
+    // The storm: a deep queue of padded requests holds PendingRequests
+    // over the primary threshold across sustained rounds.
+    let mut receivers = Vec::new();
+    let mut spawned = None;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while spawned.is_none() && Instant::now() < deadline {
+        for _ in 0..40 {
+            receivers.push(client.fire().unwrap());
+        }
+        for ev in cluster.poll_scale() {
+            if let ScaleEvent::Spawned { site, epoch } = ev {
+                spawned = Some((site, epoch));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (site, spawn_epoch) = spawned.expect("storm must trigger scale-out");
+    assert_eq!(site, 2, "first elastic mirror takes the next never-used id");
+    assert!(spawn_epoch >= 1, "admission must bump the membership epoch");
+    assert_eq!(cluster.epoch(), spawn_epoch);
+    assert_eq!(cluster.membership().state_of(2), Some(SiteState::Live));
+    assert_eq!(cluster.mirror_ids(), vec![1, 2]);
+
+    // Drain the storm so the cluster can converge and later quiesce.
+    for r in receivers {
+        let _ = r.recv_timeout(Duration::from_secs(10));
+    }
+
+    // The spawned mirror converges to the same replicated state as the
+    // central site and the original mirror, under live traffic.
+    let converged = cluster.wait(Duration::from_secs(10), |c| {
+        let h = c.state_hashes();
+        c.mirror(2).processed() > 0 && h.windows(2).all(|w| w[0] == w[1])
+    });
+    assert!(converged, "spawned mirror must converge: {:?}", cluster.state_hashes());
+
+    // …and it serves gateway requests like any born-at-start mirror.
+    let gw2 = cluster.mirror(2).serve_requests(Duration::ZERO);
+    let snap = gw2.client().fetch(Duration::from_secs(5)).expect("spawned mirror serves");
+    assert!(snap.flight_count() > 0, "snapshot from the spawned mirror carries state");
+    gw2.stop();
+
+    // Checkpoint rounds kept committing across the epoch change.
+    let committed_after_spawn = cluster.central().committed().map(|t| t.get(0)).unwrap_or(0);
+    assert!(
+        cluster.wait(Duration::from_secs(10), |c| {
+            c.central().committed().map(|t| t.get(0) > committed_after_spawn + 50).unwrap_or(false)
+        }),
+        "commits must advance with the spawned mirror voting: {:?}",
+        cluster.central().committed()
+    );
+
+    // Quiesce: the gauge sits at zero, the sustained under-threshold
+    // streak (after the cooldown) retires the extra mirror.
+    let mut retired = None;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while retired.is_none() && Instant::now() < deadline {
+        for ev in cluster.poll_scale() {
+            if let ScaleEvent::Retired { site, epoch } = ev {
+                retired = Some((site, epoch));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (gone, retire_epoch) = retired.expect("quiesce must retire the spawned mirror");
+    assert_eq!(gone, 2, "scale-in retires the youngest mirror");
+    assert!(retire_epoch > spawn_epoch);
+    assert_eq!(cluster.epoch(), retire_epoch);
+    assert_eq!(cluster.membership().state_of(2), Some(SiteState::Retired));
+    assert_eq!(cluster.mirror_ids(), vec![1], "min_mirrors floor holds");
+    assert!(matches!(cluster.snapshot(2), Err(MembershipError::Retired(2))));
+
+    // Rounds still commit in the shrunk membership.
+    let committed_after_retire = cluster.central().committed().map(|t| t.get(0)).unwrap_or(0);
+    assert!(
+        cluster.wait(Duration::from_secs(10), |c| {
+            c.central().committed().map(|t| t.get(0) > committed_after_retire + 50).unwrap_or(false)
+        }),
+        "commits must survive the scale-in: {:?}",
+        cluster.central().committed()
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    feeder.join().unwrap();
+    gateway.stop();
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}
+
+/// Satellite: a mirror joining while the §4.3 adaptation oscillator has
+/// the degraded profile *engaged* adopts the in-force generation-stamped
+/// directive at seed time, then follows the release back down like every
+/// other site. Joining must not fork the parameter history.
+#[test]
+fn mirror_added_mid_engagement_adopts_in_force_directive() {
+    let normal = MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 25 };
+    let degraded = MirrorFnKind::Overwriting { overwrite: 20, checkpoint_every: 100 };
+    let cluster = Arc::new(Cluster::start(ClusterConfig {
+        mirrors: 1,
+        kind: normal,
+        suspect_after: 0,
+        durability: None,
+        scale: None,
+    }));
+    cluster.central().handle().set_monitor_values(MonitorKind::PendingRequests, 10, 7);
+    cluster
+        .central()
+        .handle()
+        .set_adapt_action(AdaptAction::SwitchMirrorFn { normal, engaged: degraded });
+
+    let gateway = cluster.mirror(1).serve_requests(Duration::from_millis(4));
+    let client = gateway.client();
+    let stop = Arc::new(AtomicBool::new(false));
+    let seq = Arc::new(AtomicU64::new(0));
+    let feeder = spawn_feeder(Arc::clone(&cluster), Arc::clone(&stop), Arc::clone(&seq));
+
+    // Deep storm: engagement must hold while the new site joins.
+    let mut receivers = Vec::new();
+    for _ in 0..200 {
+        receivers.push(client.fire().unwrap());
+    }
+    let engaged = cluster
+        .wait(Duration::from_secs(10), |c| c.central().handle().params().overwrite_max == 20);
+    assert!(engaged, "storm must engage the degraded profile");
+
+    // Join mid-engagement.
+    let site = cluster.add_mirror().expect("add mirror mid-engagement");
+    assert_eq!(site, 2);
+    let in_force = cluster.central().handle().params();
+    let adopted = cluster.mirror(2).handle().params();
+    assert_eq!(adopted.overwrite_max, 20, "new mirror must adopt the engaged profile");
+    assert_eq!(
+        adopted.generation, in_force.generation,
+        "adopted directive must carry the in-force generation stamp"
+    );
+
+    // Storm drains → the release directive (next generation) reaches the
+    // late joiner through the piggybacked commit, like every other site.
+    for r in receivers {
+        let _ = r.recv_timeout(Duration::from_secs(10));
+    }
+    let released = cluster.wait(Duration::from_secs(10), |c| {
+        let p = c.mirror(2).handle().params();
+        p.coalesce_max == 10 && p.checkpoint_every == 25 && p.generation > in_force.generation
+    });
+    assert!(released, "late joiner must follow the release: {:?}", {
+        let m = cluster.mirror(2);
+        let p = m.handle().params();
+        p
+    });
+
+    stop.store(true, Ordering::Relaxed);
+    feeder.join().unwrap();
+    gateway.stop();
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}

@@ -28,11 +28,12 @@ fn feed(cluster: &Cluster, from: u64, to: u64) {
 
 #[test]
 fn dead_mirror_is_detected_and_commits_resume() {
-    let mut cluster = Cluster::start(ClusterConfig {
+    let cluster = Cluster::start(ClusterConfig {
         mirrors: 2,
         kind: MirrorFnKind::Simple,
         suspect_after: 5,
         durability: None,
+        scale: None,
     });
     cluster.central().handle().set_params(false, 1, 20);
 
@@ -41,7 +42,7 @@ fn dead_mirror_is_detected_and_commits_resume() {
 
     // Mirror 2 crashes. Keep traffic flowing so checkpoint rounds keep
     // turning over (detection counts missed rounds, not wall time).
-    cluster.fail_mirror(2);
+    cluster.fail_mirror(2).unwrap();
     feed(&cluster, 101, 400);
 
     let detected = cluster.wait(Duration::from_secs(10), |c| c.failed_mirrors() == vec![2]);
@@ -60,24 +61,25 @@ fn dead_mirror_is_detected_and_commits_resume() {
 
 #[test]
 fn rejoined_mirror_recovers_full_state_and_participates() {
-    let mut cluster = Cluster::start(ClusterConfig {
+    let cluster = Cluster::start(ClusterConfig {
         mirrors: 2,
         kind: MirrorFnKind::Simple,
         suspect_after: 5,
         durability: None,
+        scale: None,
     });
     cluster.central().handle().set_params(false, 1, 20);
 
     feed(&cluster, 1, 200);
     assert!(cluster.wait_all_processed(200, Duration::from_secs(5)));
 
-    cluster.fail_mirror(2);
+    cluster.fail_mirror(2).unwrap();
     feed(&cluster, 201, 500);
     assert!(cluster.wait(Duration::from_secs(10), |c| c.failed_mirrors() == vec![2]));
 
     // Bring a replacement up, seeded from the central site, while traffic
     // continues to flow.
-    cluster.rejoin_mirror(2);
+    cluster.rejoin_mirror(2).unwrap();
     assert!(cluster.failed_mirrors().is_empty());
     feed(&cluster, 501, 700);
 
@@ -93,7 +95,7 @@ fn rejoined_mirror_recovers_full_state_and_participates() {
     assert!(converged, "hashes {:?}", cluster.state_hashes());
 
     // …and it answers initial-state requests like any other mirror.
-    let snap = cluster.snapshot(2);
+    let snap = cluster.snapshot(2).expect("rejoined mirror live");
     assert_eq!(snap.flight_count(), 6);
 
     // …and checkpoint rounds include it again (commits keep advancing).
@@ -107,16 +109,17 @@ fn rejoined_mirror_recovers_full_state_and_participates() {
 
 #[test]
 fn detection_disabled_by_default_never_excludes() {
-    let mut cluster = Cluster::start(ClusterConfig {
+    let cluster = Cluster::start(ClusterConfig {
         mirrors: 2,
         kind: MirrorFnKind::Simple,
         suspect_after: 0, // paper default: no timeouts, no exclusion
         durability: None,
+        scale: None,
     });
     cluster.central().handle().set_params(false, 1, 10);
     feed(&cluster, 1, 50);
     assert!(cluster.wait_all_processed(50, Duration::from_secs(5)));
-    cluster.fail_mirror(2);
+    cluster.fail_mirror(2).unwrap();
     feed(&cluster, 51, 300);
     assert!(cluster.wait(Duration::from_secs(5), |c| c.central().processed() >= 300));
     std::thread::sleep(Duration::from_millis(100));

@@ -3,7 +3,6 @@
 //! pending-request gauges, so a slow mirror automatically sheds load to a
 //! fast one.
 
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use adaptable_mirroring::core::event::{Event, PositionFix};
@@ -23,18 +22,18 @@ fn least_pending_balancer_sheds_load_from_the_slow_mirror() {
     assert!(cluster.wait_all_processed(100, Duration::from_secs(5)));
 
     // Mirror 1: slow gateway (5 ms per request); mirror 2: fast (none).
-    let slow = cluster.mirrors()[0].serve_requests(Duration::from_millis(5));
-    let fast = cluster.mirrors()[1].serve_requests(Duration::ZERO);
+    let slow = cluster.mirror(1).serve_requests(Duration::from_millis(5));
+    let fast = cluster.mirror(2).serve_requests(Duration::ZERO);
     let clients = [slow.client(), fast.client()];
-    let gauges = [cluster.mirrors()[0].pending_gauge(), cluster.mirrors()[1].pending_gauge()];
 
+    // The balancer reads each site's live pending gauge directly — no
+    // report/push plumbing between the gateways and the front-end.
     let mut balancer = Balancer::new(vec![1, 2], BalancerPolicy::LeastPending);
+    balancer.attach_gauge(1, cluster.mirror(1).pending_gauge());
+    balancer.attach_gauge(2, cluster.mirror(2).pending_gauge());
     let mut receivers = Vec::new();
     let mut dispatched = [0usize; 2];
     for _ in 0..80 {
-        // Feed live gauge readings to the balancer, as a front-end would.
-        balancer.report_pending(1, gauges[0].load(Ordering::Relaxed));
-        balancer.report_pending(2, gauges[1].load(Ordering::Relaxed));
         let site = balancer.pick().unwrap() as usize;
         dispatched[site - 1] += 1;
         receivers.push(clients[site - 1].fire().unwrap());
@@ -66,8 +65,8 @@ fn gateways_answer_with_converged_state() {
     assert!(cluster.wait_all_processed(150, Duration::from_secs(5)));
     std::thread::sleep(Duration::from_millis(30)); // settle
 
-    let gw1 = cluster.mirrors()[0].serve_requests(Duration::ZERO);
-    let gw2 = cluster.mirrors()[1].serve_requests(Duration::ZERO);
+    let gw1 = cluster.mirror(1).serve_requests(Duration::ZERO);
+    let gw2 = cluster.mirror(2).serve_requests(Duration::ZERO);
     let s1 = gw1.client().fetch(Duration::from_secs(5)).unwrap();
     let s2 = gw2.client().fetch(Duration::from_secs(5)).unwrap();
     assert_eq!(s1.flight_count(), 6);

@@ -22,7 +22,7 @@ fn request_storm_engages_and_releases_adaptation_live() {
         mirrors: 1,
         kind: MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 25 },
         suspect_after: 0,
-        durability: None,
+        ..Default::default()
     });
     // Configure adaptation through the Table-1 API on the live cluster.
     let normal = MirrorFnKind::Coalescing { coalesce: 10, checkpoint_every: 25 };
@@ -34,7 +34,7 @@ fn request_storm_engages_and_releases_adaptation_live() {
         .set_adapt_action(AdaptAction::SwitchMirrorFn { normal, engaged: degraded });
 
     // Gateway on the mirror with a per-request pad so a burst queues.
-    let gateway = cluster.mirrors()[0].serve_requests(Duration::from_millis(4));
+    let gateway = cluster.mirror(1).serve_requests(Duration::from_millis(4));
     let client = gateway.client();
 
     // Paced background stream keeps checkpoint rounds (the adaptation
@@ -65,7 +65,7 @@ fn request_storm_engages_and_releases_adaptation_live() {
     assert!(engaged, "storm must engage the degraded profile");
     // The mirror receives the piggybacked directive too.
     let mirror_engaged = cluster
-        .wait(Duration::from_secs(10), |c| c.mirrors()[0].handle().params().overwrite_max == 20);
+        .wait(Duration::from_secs(10), |c| c.mirror(1).handle().params().overwrite_max == 20);
     assert!(mirror_engaged, "directive must reach the mirror");
 
     // Storm drains → release back to the normal profile.

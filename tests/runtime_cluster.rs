@@ -44,12 +44,12 @@ fn four_mirror_cluster_replicates_a_full_day() {
         cluster.wait_all_processed(total, Duration::from_secs(10)),
         "processed: central {} mirrors {:?}",
         cluster.central().processed(),
-        cluster.mirrors().iter().map(|m| m.processed()).collect::<Vec<_>>()
+        cluster.mirror_ids().iter().map(|&s| cluster.mirror(s).processed()).collect::<Vec<_>>()
     );
     let hashes = cluster.state_hashes();
     assert!(hashes.windows(2).all(|w| w[0] == w[1]), "{hashes:?}");
     // Arrival derivation happened everywhere (AtGate ⇒ Arrived).
-    let snap = cluster.snapshot(3);
+    let snap = cluster.snapshot(3).expect("mirror 3 live");
     assert_eq!(snap.flight(0).map(|f| f.status), Some(FlightStatus::Arrived));
     cluster.shutdown();
 }
@@ -60,7 +60,7 @@ fn dynamic_reconfiguration_mid_stream() {
     for seq in 1..=50u64 {
         cluster.submit(Event::faa_position(seq, 1, fix(100.0)));
     }
-    assert!(cluster.wait(Duration::from_secs(5), |c| c.mirrors()[0].processed() >= 50));
+    assert!(cluster.wait(Duration::from_secs(5), |c| c.mirror(1).processed() >= 50));
 
     // Table-1 dynamic call: switch to 1-in-25 overwriting, live.
     cluster.central().handle().set_overwrite(EventType::FaaPosition, 25);
@@ -69,7 +69,7 @@ fn dynamic_reconfiguration_mid_stream() {
     }
     assert!(cluster.wait(Duration::from_secs(5), |c| c.central().processed() >= 150));
     std::thread::sleep(Duration::from_millis(100));
-    let mirror_seen = cluster.mirrors()[0].processed();
+    let mirror_seen = cluster.mirror(1).processed();
     assert!(
         (50..=60).contains(&(mirror_seen as i64)),
         "after reconfig the mirror should see ~4 of 100 new events, saw {} total",
@@ -85,6 +85,7 @@ fn concurrent_submitters_do_not_corrupt_state() {
         kind: MirrorFnKind::Simple,
         suspect_after: 0,
         durability: None,
+        scale: None,
     }));
     // Four threads, each its own stream id, so per-stream seq stays unique.
     let mut handles = Vec::new();

@@ -47,7 +47,7 @@ fn full_day_through_live_cluster_matches_ground_truth() {
         mirrors: 2,
         kind: MirrorFnKind::Simple,
         suspect_after: 0,
-        durability: None,
+        ..Default::default()
     });
     let updates = cluster.subscribe_updates();
 
@@ -125,8 +125,7 @@ fn scenario_state_is_identical_under_selective_mirroring_at_the_central() {
     let day = generate(&ScenarioConfig { banks: 2, flights_per_bank: 6, ..Default::default() });
 
     let run = |kind| {
-        let cluster =
-            Cluster::start(ClusterConfig { mirrors: 1, kind, suspect_after: 0, durability: None });
+        let cluster = Cluster::start(ClusterConfig { mirrors: 1, kind, ..Default::default() });
         for (_, e) in &day.events {
             cluster.submit(e.clone());
         }
