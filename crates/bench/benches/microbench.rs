@@ -191,9 +191,9 @@ fn bench_checkpoint(c: &mut Criterion) {
             }
             central.begin(stamp.clone());
             for site in [1u16, 2, 3, 4] {
-                central.on_reply(central.rounds_started, site, stamp.clone());
+                central.on_reply(central.rounds_started, site, stamp.clone(), 0);
             }
-            black_box(central.on_reply(central.rounds_started, 0, stamp))
+            black_box(central.on_reply(central.rounds_started, 0, stamp, 0))
         })
     });
     c.bench_function("chkpt_rep_encode_decode", |b| {
@@ -202,6 +202,7 @@ fn bench_checkpoint(c: &mut Criterion) {
             site: 3,
             stamp: VectorTimestamp::from_components(vec![100, 200]),
             monitor: MonitorReport { ready_len: 5, backup_len: 50, pending_requests: 12 },
+            term: 1,
         };
         b.iter(|| {
             let bytes = encode_frame(black_box(&Frame::Control(msg.clone())));

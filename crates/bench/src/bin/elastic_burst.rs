@@ -79,6 +79,7 @@ fn run_case(cfg: &BurstConfig, elastic: bool) -> CaseStats {
             max_mirrors: 2,
             min_mirrors: 1,
         }),
+        failover: None,
     }));
     cluster.central().handle().set_params(false, 1, 10);
 

@@ -1,0 +1,260 @@
+//! Central-site failover under load: time-to-recover and request loss.
+//!
+//! One scenario, measured end to end: a durable cluster serves a steady
+//! flight stream plus a storm of initial-state fetches from display
+//! threads; mid-storm the central **crashes** (threads abandoned, journal
+//! unflushed, final record possibly torn). The cadence detector declares
+//! death, the lowest live mirror self-promotes at a bumped leadership
+//! term, the journal tail is replayed (torn-write repair included), and
+//! serving resumes. Reported:
+//!
+//! * **detect_ms** — crash → `CoordinatorDead` declared;
+//! * **recover_ms** — crash → `Promoted` (successor seeded, journal
+//!   handed off, admission gate reopened);
+//! * **committed_events_lost** — events committed by the dead coordinator
+//!   but missing from the successor's frontier (**must be 0**);
+//! * **replayed** — journal entries applied beyond the successor's own
+//!   frontier during handoff;
+//! * **requests served / lost** — fetches completed vs. failed across the
+//!   whole storm (losses cluster in the takeover window, where gated
+//!   requests park and time out only if recovery outruns their budget).
+//!
+//! Emits `results/BENCH_failover.json`. `--smoke` shrinks the run for CI;
+//! `--storm-ms`, `--displays`, `--out` override defaults.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mirror_core::event::{Event, PositionFix};
+use mirror_runtime::durability::DurabilityConfig;
+use mirror_runtime::{Cluster, ClusterConfig, FailoverEvent, FailoverPolicy, GatewayConfig};
+use mirror_store::FsyncPolicy;
+
+fn fix(seq: u64) -> PositionFix {
+    PositionFix {
+        lat: 33.0 + (seq % 17) as f64 * 0.4,
+        lon: -97.0 + (seq % 29) as f64 * 0.3,
+        alt_ft: 31_000.0,
+        speed_kts: 460.0,
+        heading_deg: (seq % 360) as f64,
+    }
+}
+
+struct RunStats {
+    detect_ms: f64,
+    recover_ms: f64,
+    replayed: usize,
+    committed_events_lost: u64,
+    promoted_site: u16,
+    term: u64,
+    served_before: u64,
+    served_after: u64,
+    lost: u64,
+}
+
+fn run(storm: Duration, displays: usize) -> RunStats {
+    let dir = std::env::temp_dir().join(format!("mirror-bench-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cluster = Arc::new(Cluster::start(ClusterConfig {
+        mirrors: 3,
+        durability: Some(DurabilityConfig {
+            fsync: FsyncPolicy::EveryN(8),
+            ..DurabilityConfig::new(&dir)
+        }),
+        failover: Some(FailoverPolicy {
+            suspect_rounds: 3,
+            heartbeat_ticks: 2,
+            min_gap: Duration::from_millis(50),
+        }),
+        ..Default::default()
+    }));
+    cluster.central().handle().set_params(false, 1, 10);
+
+    // Steady stream keeps checkpoint rounds — the liveness signal — and
+    // the journal turning over.
+    let stop_feed = Arc::new(AtomicBool::new(false));
+    let feeder = {
+        let (cluster, stop) = (Arc::clone(&cluster), Arc::clone(&stop_feed));
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                seq += 1;
+                cluster.submit(Event::faa_position(seq, (seq % 16) as u32, fix(seq)));
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        })
+    };
+
+    // Display pool on a *surviving* mirror (site 2 — site 1 will be
+    // promoted out of serving), wired to the cluster's admission gate so
+    // takeover parks requests instead of racing the swap.
+    let gw = cluster.mirror(2).serve_requests_with(GatewayConfig {
+        gate: Some(cluster.request_gate()),
+        gate_wait: Duration::from_secs(2),
+        ..GatewayConfig::default()
+    });
+    let storming = Arc::new(AtomicBool::new(true));
+    let crashed_flag = Arc::new(AtomicBool::new(false));
+    let served_before = Arc::new(AtomicU64::new(0));
+    let served_after = Arc::new(AtomicU64::new(0));
+    let lost = Arc::new(AtomicU64::new(0));
+    let mut pool = Vec::new();
+    for _ in 0..displays {
+        let client = gw.client();
+        let (storming, crashed_flag) = (Arc::clone(&storming), Arc::clone(&crashed_flag));
+        let (served_before, served_after, lost) =
+            (Arc::clone(&served_before), Arc::clone(&served_after), Arc::clone(&lost));
+        pool.push(std::thread::spawn(move || {
+            while storming.load(Ordering::Relaxed) {
+                match client.fetch(Duration::from_secs(5)) {
+                    Ok(_) => {
+                        if crashed_flag.load(Ordering::Relaxed) {
+                            served_after.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            served_before.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(_) => {
+                        lost.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }));
+    }
+
+    // Warm-up third of the storm, then the kill.
+    std::thread::sleep(storm / 3);
+    let committed_before = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(t) = cluster.central().committed() {
+                break t;
+            }
+            assert!(Instant::now() < deadline, "no checkpoint committed before crash");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    cluster.crash_central();
+    crashed_flag.store(true, Ordering::Relaxed);
+    let t_crash = Instant::now();
+
+    // Pump the detector until it promotes.
+    let mut detect_ms = f64::NAN;
+    let mut recover_ms = f64::NAN;
+    let mut replayed = 0usize;
+    let mut promoted_site = 0u16;
+    let mut term = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    'outer: while Instant::now() < deadline {
+        for ev in cluster.poll_failover() {
+            match ev {
+                FailoverEvent::CoordinatorDead { .. } => {
+                    detect_ms = t_crash.elapsed().as_secs_f64() * 1e3;
+                }
+                FailoverEvent::Promoted { site, term: t, replayed: r, .. } => {
+                    recover_ms = t_crash.elapsed().as_secs_f64() * 1e3;
+                    promoted_site = site;
+                    term = t;
+                    replayed = r;
+                    break 'outer;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(recover_ms.is_finite(), "failover must complete within the run");
+
+    // Zero-loss check: every committed component must be inside the
+    // successor's frontier.
+    let frontier = cluster.snapshot(0).expect("successor snapshot").as_of;
+    let committed_events_lost: u64 = committed_before
+        .components()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c.saturating_sub(frontier.get(i)))
+        .sum();
+
+    // Ride out the rest of the storm under the new coordinator.
+    std::thread::sleep(storm * 2 / 3);
+    storming.store(false, Ordering::Relaxed);
+    for d in pool {
+        d.join().expect("display thread");
+    }
+    stop_feed.store(true, Ordering::Relaxed);
+    feeder.join().expect("feeder");
+    gw.stop();
+    let cluster = Arc::try_unwrap(cluster).unwrap_or_else(|_| panic!("cluster still shared"));
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    RunStats {
+        detect_ms,
+        recover_ms,
+        replayed,
+        committed_events_lost,
+        promoted_site,
+        term,
+        served_before: served_before.load(Ordering::Relaxed),
+        served_after: served_after.load(Ordering::Relaxed),
+        lost: lost.load(Ordering::Relaxed),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|v| v.to_string())
+    };
+
+    let smoke = flag("--smoke");
+    let storm_ms: u64 = opt("--storm-ms")
+        .map(|v| v.parse().expect("--storm-ms"))
+        .unwrap_or(if smoke { 1_500 } else { 6_000 });
+    let displays: usize = opt("--displays").map(|v| v.parse().expect("--displays")).unwrap_or(8);
+    let out = opt("--out").unwrap_or_else(|| "results/BENCH_failover.json".to_string());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+
+    println!("failover: {displays} displays, {storm_ms} ms storm (smoke={smoke})");
+    let s = run(Duration::from_millis(storm_ms), displays);
+    println!(
+        "  detect {:.0} ms  recover {:.0} ms  site {} term {}  replayed {}  \
+         committed lost {}  served {}+{}  lost {}",
+        s.detect_ms,
+        s.recover_ms,
+        s.promoted_site,
+        s.term,
+        s.replayed,
+        s.committed_events_lost,
+        s.served_before,
+        s.served_after,
+        s.lost,
+    );
+    assert_eq!(s.committed_events_lost, 0, "zero-loss handoff violated");
+
+    let json = format!(
+        "{{\n  \"bench\": \"failover\",\n  \"smoke\": {smoke},\n  \"config\": \
+         {{\"storm_ms\": {storm_ms}, \"displays\": {displays}}},\n  \
+         \"detect_ms\": {:.1},\n  \"recover_ms\": {:.1},\n  \"promoted_site\": {},\n  \
+         \"term\": {},\n  \"replayed\": {},\n  \"committed_events_lost\": {},\n  \
+         \"requests\": {{\"served_before_crash\": {}, \"served_after_crash\": {}, \
+         \"lost\": {}}}\n}}\n",
+        s.detect_ms,
+        s.recover_ms,
+        s.promoted_site,
+        s.term,
+        s.replayed,
+        s.committed_events_lost,
+        s.served_before,
+        s.served_after,
+        s.lost,
+    );
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+}

@@ -102,7 +102,12 @@ struct CaseSpec {
 const CASES: &[CaseSpec] = &[
     CaseSpec {
         name: "legacy",
-        gateway: || GatewayConfig { workers: 1, cache: None, service_pad: Duration::ZERO },
+        gateway: || GatewayConfig {
+            workers: 1,
+            cache: None,
+            service_pad: Duration::ZERO,
+            ..GatewayConfig::default()
+        },
         encode: false,
     },
     CaseSpec {
@@ -200,7 +205,8 @@ fn run_case(cfg: &StormConfig, spec: &CaseSpec) -> CaseStats {
     // steady-storm behaviour, not the fill.
     {
         let rx = client.fire().expect("warm fire");
-        let snap = rx.recv_timeout(Duration::from_secs(60)).expect("warm fetch");
+        let snap =
+            rx.recv_timeout(Duration::from_secs(60)).expect("warm fetch").expect("warm serve");
         if encode {
             assert!(!snap.wire().is_empty());
         }
@@ -220,7 +226,10 @@ fn run_case(cfg: &StormConfig, spec: &CaseSpec) -> CaseStats {
             inflight.push((Instant::now(), client.fire().expect("storm fire")));
         }
         for (fired, rx) in inflight.drain(..) {
-            let snap = rx.recv_timeout(Duration::from_secs(60)).expect("storm fetch");
+            let snap = rx
+                .recv_timeout(Duration::from_secs(60))
+                .expect("storm fetch")
+                .expect("storm serve");
             if encode {
                 // What a transport would ship: the shared frame bytes.
                 assert!(!snap.wire().is_empty(), "snapshot frame must encode");

@@ -135,6 +135,22 @@ pub struct AuxUnit {
     /// central site the epoch it stamps onto rounds, at a mirror the
     /// newest epoch seen on CHKPT/COMMIT traffic.
     membership_epoch: u64,
+    /// Leadership term this unit has most recently observed. At the
+    /// central site this is the term it coordinates under (mirrored into
+    /// the checkpointer, which stamps it onto CHKPT/COMMIT); at a mirror
+    /// it is the newest term seen on coordinator traffic, and frames
+    /// carrying an older term are fenced out (see
+    /// [`handle`](Self::handle)).
+    leader_term: u64,
+    /// Heartbeat threshold in idle sending-task wakeups (central site,
+    /// `0` = disabled): after this many consecutive
+    /// [`idle_checkpoint`](Self::idle_checkpoint) calls with nothing to
+    /// commit, start a checkpoint round anyway so mirrors watching
+    /// control-channel cadence can tell an idle coordinator from a dead
+    /// one.
+    heartbeat_after: u32,
+    /// Consecutive idle wakeups with no round to start.
+    heartbeat_idle_ticks: u32,
     counters: AuxCounters,
 }
 
@@ -158,6 +174,9 @@ impl AuxUnit {
             processed_since_chkpt: 0,
             pending_requests: 0,
             membership_epoch: 0,
+            leader_term: 0,
+            heartbeat_after: 0,
+            heartbeat_idle_ticks: 0,
             counters: AuxCounters::default(),
         }
     }
@@ -179,6 +198,9 @@ impl AuxUnit {
             processed_since_chkpt: 0,
             pending_requests: 0,
             membership_epoch: 0,
+            leader_term: 0,
+            heartbeat_after: 0,
+            heartbeat_idle_ticks: 0,
             counters: AuxCounters::default(),
         }
     }
@@ -314,6 +336,44 @@ impl AuxUnit {
     /// newest epoch carried by CHKPT/COMMIT traffic.
     pub fn membership_epoch(&self) -> u64 {
         self.membership_epoch
+    }
+
+    /// Adopt a leadership term (monotone — a lower value is ignored). At
+    /// the central site the term is stamped onto every subsequent
+    /// CHKPT/COMMIT and required of every accepted reply; a promoted
+    /// coordinator calls this with the bumped term before serving. At a
+    /// mirror it raises the fencing floor (normally learned from control
+    /// traffic instead).
+    pub fn set_leader_term(&mut self, term: u64) {
+        self.leader_term = self.leader_term.max(term);
+        if let Role::Central { checkpointer, .. } = &mut self.role {
+            checkpointer.set_term(self.leader_term);
+        }
+    }
+
+    /// The leadership term this unit most recently observed (coordinates
+    /// under, at the central site).
+    pub fn leader_term(&self) -> u64 {
+        self.leader_term
+    }
+
+    /// Enable idle heartbeat rounds (central site): after `ticks`
+    /// consecutive idle sending-task wakeups with nothing to commit, a
+    /// checkpoint round is started at the committed frontier anyway.
+    /// Failure detection at mirrors infers coordinator death from
+    /// control-channel silence, so when failover is armed, silence must
+    /// mean death — not an idle event stream. `0` (the default) disables
+    /// heartbeats, preserving the paper's no-timeout protocol exactly.
+    pub fn set_heartbeat_after(&mut self, ticks: u32) {
+        self.heartbeat_after = ticks;
+    }
+
+    /// Fast-forward the backup queue's next send index to at least `idx`
+    /// (see [`BackupQueue::resume_from`]): a coordinator promoted over an
+    /// existing durable journal must continue the journal's index
+    /// sequence, not restart at 1.
+    pub fn resume_send_idx(&mut self, idx: u64) {
+        self.backup.resume_from(idx);
     }
 
     /// Admit a brand-new mirror at `epoch` (central site only): it joins
@@ -516,18 +576,36 @@ impl AuxUnit {
     ///   it by starting a fresh round under current membership. A round
     ///   that is merely waiting on a slow or partitioned member is left
     ///   alone — restarting those would inflate the round counter during
-    ///   an outage and make the survivor's reply lag look like failure.
+    ///   an outage and make the survivor's reply lag look like failure;
+    /// * **heartbeat rounds** — with
+    ///   [`set_heartbeat_after`](Self::set_heartbeat_after) armed, an
+    ///   idle coordinator (no round in flight, nothing to commit) starts
+    ///   a round at the committed frontier every N wakeups so mirrors
+    ///   watching control-channel cadence can distinguish idle from dead.
     pub fn idle_checkpoint(&mut self) -> Vec<AuxAction> {
         let Role::Central { checkpointer, .. } = &self.role else {
             return Vec::new();
         };
         if checkpointer.round_in_flight() {
             if !checkpointer.pending_wedged() {
+                // Replies are still due: the control channel is live, so
+                // the heartbeat clock restarts.
+                self.heartbeat_idle_ticks = 0;
                 return Vec::new();
             }
         } else if self.backup.is_empty() {
-            return Vec::new();
+            if self.heartbeat_after == 0 {
+                return Vec::new();
+            }
+            self.heartbeat_idle_ticks += 1;
+            if self.heartbeat_idle_ticks < self.heartbeat_after {
+                return Vec::new();
+            }
+            // Heartbeat: an empty-backup round proposes the committed
+            // frontier; every participant's reply trivially covers it, so
+            // the round commits and CHKPT/COMMIT cadence keeps flowing.
         }
+        self.heartbeat_idle_ticks = 0;
         self.processed_since_chkpt = 0;
         self.begin_checkpoint()
     }
@@ -567,7 +645,7 @@ impl AuxUnit {
             // --- central site -------------------------------------------------
             (
                 Role::Central { checkpointer, adapt },
-                ControlMsg::ChkptRep { round, site, stamp, monitor },
+                ControlMsg::ChkptRep { round, site, stamp, monitor, term },
             ) => {
                 // The local main unit only knows the pending-request count;
                 // its reply must not clobber the central's real queue
@@ -582,7 +660,7 @@ impl AuxUnit {
                     monitor
                 };
                 adapt.record_report(site, monitor);
-                let reply = checkpointer.on_reply(round, site, stamp);
+                let reply = checkpointer.on_reply(round, site, stamp, term);
                 let failed = checkpointer.take_newly_failed();
                 for &f in &failed {
                     adapt.remove_report(f);
@@ -627,6 +705,14 @@ impl AuxUnit {
 
             // --- mirror site --------------------------------------------------
             (Role::Mirror { relay }, msg @ ControlMsg::Chkpt { .. }) => {
+                // Term fence: a CHKPT from an older term is a resurrected
+                // coordinator that has already been succeeded — relaying it
+                // to the main unit would let it split-brain the round.
+                if msg.term() < self.leader_term {
+                    self.counters.stale_term_rejects += 1;
+                    return Vec::new();
+                }
+                self.leader_term = msg.term();
                 if let Some(e) = msg.epoch() {
                     self.membership_epoch = self.membership_epoch.max(e);
                 }
@@ -634,20 +720,32 @@ impl AuxUnit {
                 self.counters.control_msgs += msgs.len() as u64;
                 self.route_checkpoint_msgs(msgs)
             }
-            (Role::Mirror { relay }, ControlMsg::ChkptRep { round, site, stamp, monitor }) => {
+            (
+                Role::Mirror { relay },
+                ControlMsg::ChkptRep { round, site, stamp, monitor, term },
+            ) => {
                 // Reply from our local main unit: refresh the monitored
                 // variables with this unit's own queue lengths (the main
                 // unit only knows the pending-request count) and relay.
+                // The reply echoes its proposal's term, which passed the
+                // fence on arrival — no re-check needed here.
                 let monitor = MonitorReport {
                     ready_len: self.ready.len() as u64,
                     backup_len: self.backup.len() as u64,
                     pending_requests: monitor.pending_requests.max(self.pending_requests),
                 };
-                let msgs = relay.on_main_reply(round, site, stamp, monitor, &self.backup);
+                let msgs = relay.on_main_reply(round, site, stamp, monitor, term, &self.backup);
                 self.counters.control_msgs += msgs.len() as u64;
                 self.route_checkpoint_msgs(msgs)
             }
             (Role::Mirror { relay }, msg @ ControlMsg::Commit { .. }) => {
+                // Same fence as CHKPT: a stale-term COMMIT must not prune
+                // the backup queue or reconfigure this site.
+                if msg.term() < self.leader_term {
+                    self.counters.stale_term_rejects += 1;
+                    return Vec::new();
+                }
+                self.leader_term = msg.term();
                 if let Some(e) = msg.epoch() {
                     self.membership_epoch = self.membership_epoch.max(e);
                 }
@@ -719,8 +817,8 @@ impl AuxUnit {
 fn attach_directive(msg: CheckpointMsg, directive: &Option<AdaptDirective>) -> CheckpointMsg {
     let Some(d) = directive else { return msg };
     let patch = |m: ControlMsg| match m {
-        ControlMsg::Commit { round, stamp, epoch, .. } => {
-            ControlMsg::Commit { round, stamp, epoch, adapt: Some(d.clone()) }
+        ControlMsg::Commit { round, stamp, epoch, term, .. } => {
+            ControlMsg::Commit { round, stamp, epoch, term, adapt: Some(d.clone()) }
         }
         other => other,
     };
@@ -920,6 +1018,7 @@ mod tests {
             round: 1,
             stamp: VectorTimestamp::empty(),
             epoch: 0,
+            term: 0,
             adapt: Some(AdaptDirective {
                 params: new_params.clone(),
                 mirror_fn: Some(MirrorFnKind::Coalescing { coalesce: 20, checkpoint_every: 100 }),
@@ -937,6 +1036,7 @@ mod tests {
             round: 2,
             stamp: VectorTimestamp::empty(),
             epoch: 0,
+            term: 0,
             adapt: Some(AdaptDirective { params: stale, mirror_fn: None }),
         };
         let actions = mirror.handle(AuxInput::Control(commit));
@@ -984,6 +1084,7 @@ mod tests {
             site,
             stamp: stamp.clone(),
             monitor: crate::adapt::MonitorReport::default(),
+            term: 0,
         };
         aux.handle(AuxInput::Control(reply(CENTRAL_SITE)));
         aux.handle(AuxInput::Control(reply(1)));
@@ -1016,12 +1117,14 @@ mod tests {
             round: 1,
             stamp: VectorTimestamp::empty(),
             epoch: 3,
+            term: 0,
         }));
         assert_eq!(mirror.membership_epoch(), 3);
         mirror.handle(AuxInput::Control(ControlMsg::Commit {
             round: 1,
             stamp: VectorTimestamp::empty(),
             epoch: 5,
+            term: 0,
             adapt: None,
         }));
         assert_eq!(mirror.membership_epoch(), 5);
@@ -1030,6 +1133,7 @@ mod tests {
             round: 2,
             stamp: VectorTimestamp::empty(),
             epoch: 4,
+            term: 0,
         }));
         assert_eq!(mirror.membership_epoch(), 5);
     }
@@ -1060,6 +1164,7 @@ mod tests {
                     site,
                     stamp: stamp.clone(),
                     monitor: hot,
+                    term: 0,
                 }));
                 for a in acts {
                     if let AuxAction::ScaleDirective(s) = a {
@@ -1073,6 +1178,97 @@ mod tests {
             vec![ScaleDecision::SpawnMirror],
             "two sustained hot rounds spawn exactly one mirror (then at max)"
         );
+    }
+
+    #[test]
+    fn mirror_fences_stale_term_frames() {
+        let mut mirror = AuxUnit::mirror(1, MirrorParams::default());
+        // Learn term 2 from a live coordinator.
+        let acts = mirror.handle(AuxInput::Control(ControlMsg::Chkpt {
+            round: 1,
+            stamp: VectorTimestamp::empty(),
+            epoch: 0,
+            term: 2,
+        }));
+        assert!(!acts.is_empty(), "current-term CHKPT relays to the main unit");
+        assert_eq!(mirror.leader_term(), 2);
+
+        // Retain an event, then let a resurrected term-1 coordinator try
+        // to prune it with a COMMIT: the frame must be rejected outright.
+        let mut e = pos(1, 4);
+        e.stamp.advance(0, 1);
+        mirror.handle(AuxInput::Data(e.into()));
+        assert_eq!(mirror.backup_len(), 1);
+        let stale_commit = ControlMsg::Commit {
+            round: 9,
+            stamp: VectorTimestamp::from_components(vec![1]),
+            epoch: 0,
+            term: 1,
+            adapt: None,
+        };
+        let acts = mirror.handle(AuxInput::Control(stale_commit));
+        assert!(acts.is_empty(), "stale-term COMMIT must produce no actions");
+        assert_eq!(mirror.backup_len(), 1, "stale-term COMMIT must not prune");
+        let stale_chkpt =
+            ControlMsg::Chkpt { round: 9, stamp: VectorTimestamp::empty(), epoch: 0, term: 1 };
+        assert!(mirror.handle(AuxInput::Control(stale_chkpt)).is_empty());
+        assert_eq!(mirror.counters().stale_term_rejects, 2);
+        assert_eq!(mirror.leader_term(), 2, "fencing never regresses the term");
+    }
+
+    #[test]
+    fn promoted_central_stamps_bumped_term_on_rounds() {
+        let mut params = MirrorParams::default();
+        params.checkpoint_every = 1;
+        let mut aux = AuxUnit::central(vec![1], params);
+        aux.set_leader_term(4);
+        assert_eq!(aux.leader_term(), 4);
+        let actions = aux.handle(AuxInput::Data(pos(1, 7).into()));
+        let chkpt = actions
+            .iter()
+            .find_map(|a| match a {
+                AuxAction::ControlToMirrors(m @ ControlMsg::Chkpt { .. }) => Some(m),
+                _ => None,
+            })
+            .expect("round started");
+        assert_eq!(chkpt.term(), 4);
+        // Monotone: a stale set_leader_term cannot step back.
+        aux.set_leader_term(2);
+        assert_eq!(aux.leader_term(), 4);
+    }
+
+    #[test]
+    fn idle_heartbeat_keeps_control_cadence_flowing() {
+        let mut aux = AuxUnit::central(vec![1], MirrorParams::default());
+        // Disabled by default: an idle coordinator stays silent forever.
+        for _ in 0..100 {
+            assert!(aux.idle_checkpoint().is_empty());
+        }
+        aux.set_heartbeat_after(3);
+        // Two idle ticks: still quiet; the third starts a heartbeat round.
+        assert!(aux.idle_checkpoint().is_empty());
+        assert!(aux.idle_checkpoint().is_empty());
+        let actions = aux.idle_checkpoint();
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, AuxAction::ControlToMirrors(ControlMsg::Chkpt { .. }))),
+            "heartbeat round must broadcast a CHKPT, got {actions:?}"
+        );
+        // The heartbeat round commits on empty replies, so cadence repeats.
+        let stamp = aux.clock().clone();
+        for site in [1, CENTRAL_SITE] {
+            aux.handle(AuxInput::Control(ControlMsg::ChkptRep {
+                round: 1,
+                site,
+                stamp: stamp.clone(),
+                monitor: crate::adapt::MonitorReport::default(),
+                term: 0,
+            }));
+        }
+        assert!(aux.idle_checkpoint().is_empty());
+        assert!(aux.idle_checkpoint().is_empty());
+        assert!(!aux.idle_checkpoint().is_empty(), "heartbeats repeat every N idle ticks");
     }
 
     #[test]

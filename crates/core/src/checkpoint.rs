@@ -75,6 +75,12 @@ pub struct CentralCheckpointer {
     /// (see [`crate::membership`]); the embedding advances it on every
     /// membership change.
     epoch: u64,
+    /// Leadership term stamped onto outgoing `CHKPT`/`COMMIT` messages and
+    /// fenced against on incoming replies. Round numbers restart at 1 in
+    /// every new coordinator, so the term — bumped at each promotion — is
+    /// what keeps a resurrected old coordinator's traffic (and replies
+    /// addressed to it) from being confused with this coordinator's.
+    term: u64,
     next_round: u64,
     pending: Option<PendingRound>,
     committed: VectorTimestamp,
@@ -97,6 +103,9 @@ pub struct CentralCheckpointer {
     pub rounds_committed: u64,
     /// Rounds abandoned because a newer round superseded them.
     pub rounds_abandoned: u64,
+    /// Replies discarded because they answered a different leadership term
+    /// (fencing evidence for tests and operators).
+    pub stale_term_replies: u64,
 }
 
 impl CentralCheckpointer {
@@ -105,6 +114,7 @@ impl CentralCheckpointer {
         CentralCheckpointer {
             mirrors,
             epoch: 0,
+            term: 0,
             next_round: 1,
             pending: None,
             committed: VectorTimestamp::empty(),
@@ -115,6 +125,7 @@ impl CentralCheckpointer {
             rounds_started: 0,
             rounds_committed: 0,
             rounds_abandoned: 0,
+            stale_term_replies: 0,
         }
     }
 
@@ -141,6 +152,19 @@ impl CentralCheckpointer {
     /// The membership epoch currently stamped onto outgoing rounds.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Set the leadership term stamped onto every subsequent `CHKPT` and
+    /// `COMMIT` and required of every accepted reply. Monotone: a lower
+    /// value is ignored (a coordinator never steps back behind a term it
+    /// has already claimed).
+    pub fn set_term(&mut self, term: u64) {
+        self.term = self.term.max(term);
+    }
+
+    /// The leadership term this coordinator is operating under.
+    pub fn term(&self) -> u64 {
+        self.term
     }
 
     /// Gracefully retire a mirror (scale-in): remove it from the
@@ -247,7 +271,7 @@ impl CentralCheckpointer {
             participants,
             replies: Vec::new(),
         });
-        let msg = ControlMsg::Chkpt { round, stamp: proposal, epoch: self.epoch };
+        let msg = ControlMsg::Chkpt { round, stamp: proposal, epoch: self.epoch, term: self.term };
         vec![CheckpointMsg::BroadcastToMirrors(msg.clone()), CheckpointMsg::ToLocalMain(msg)]
     }
 
@@ -257,13 +281,25 @@ impl CentralCheckpointer {
     /// record it, and emit the commit messages. The caller appends any
     /// adaptation directive and prunes the local backup queue.
     ///
-    /// Replies for abandoned rounds are ignored.
+    /// Replies for abandoned rounds are ignored, as are replies answering
+    /// a different leadership `term` — round numbers restart across
+    /// promotions, so a reply addressed to another coordinator can carry a
+    /// round number that collides with one of ours, and counting it would
+    /// split-brain the round.
     pub fn on_reply(
         &mut self,
         round: u64,
         site: SiteId,
         stamp: VectorTimestamp,
+        term: u64,
     ) -> Option<(VectorTimestamp, Vec<CheckpointMsg>)> {
+        if term != self.term {
+            // Fenced: the reply answers a proposal from a different
+            // coordinator. Not even sign-of-life evidence — its round
+            // numbering belongs to another term's sequence.
+            self.stale_term_replies += 1;
+            return None;
+        }
         // Any reply — even stale or duplicate — is a sign of life; record
         // the newest round this participant has answered.
         let newest = self.last_reply_round.entry(site).or_insert(0);
@@ -337,6 +373,7 @@ impl CentralCheckpointer {
             round: pending.round,
             stamp: commit.clone(),
             epoch: self.epoch,
+            term: self.term,
             adapt: None,
         };
         Some((
@@ -375,12 +412,14 @@ impl MirrorRelay {
     /// Handle the local main unit's `CHKPT_REP`: forward to the central
     /// site if the stamp is covered by this site's backup history ("if
     /// chkpt_rep in backup queue").
+    #[allow(clippy::too_many_arguments)]
     pub fn on_main_reply(
         &mut self,
         round: u64,
         site: SiteId,
         stamp: VectorTimestamp,
         monitor: MonitorReport,
+        term: u64,
         backup: &BackupQueue,
     ) -> Vec<CheckpointMsg> {
         // The paper's guard ("if chkpt_rep in backup queue") suppresses
@@ -390,7 +429,13 @@ impl MirrorRelay {
         // history is empty, and suppressing it would lock the site out of
         // rounds until new traffic arrived.
         if backup.covers(&stamp) || stamp.is_zero() || backup.is_fresh() {
-            vec![CheckpointMsg::ToCentral(ControlMsg::ChkptRep { round, site, stamp, monitor })]
+            vec![CheckpointMsg::ToCentral(ControlMsg::ChkptRep {
+                round,
+                site,
+                stamp,
+                monitor,
+                term,
+            })]
         } else {
             Vec::new()
         }
@@ -464,10 +509,18 @@ impl MainUnitResponder {
 
     /// Handle a `CHKPT`: reply with `min{chkpt, last processed}` plus the
     /// caller-supplied monitor report, addressed to the local aux unit.
+    /// The reply echoes the proposal's leadership term, so the coordinator
+    /// it reaches can tell whether it was the one being answered.
     pub fn on_chkpt(&mut self, msg: &ControlMsg, monitor: MonitorReport) -> Option<ControlMsg> {
-        if let ControlMsg::Chkpt { round, stamp, .. } = msg {
+        if let ControlMsg::Chkpt { round, stamp, term, .. } = msg {
             let rep = stamp.meet(&self.processed);
-            Some(ControlMsg::ChkptRep { round: *round, site: self.site, stamp: rep, monitor })
+            Some(ControlMsg::ChkptRep {
+                round: *round,
+                site: self.site,
+                stamp: rep,
+                monitor,
+                term: *term,
+            })
         } else {
             None
         }
@@ -504,9 +557,9 @@ mod tests {
         assert!(central.round_in_flight());
 
         // Mirror 1 processed everything, mirror 2 lags, central main mid.
-        assert!(central.on_reply(1, 1, vt(&[10, 5])).is_none());
-        assert!(central.on_reply(1, 2, vt(&[7, 5])).is_none());
-        let (commit, out) = central.on_reply(1, CENTRAL_SITE, vt(&[9, 4])).unwrap();
+        assert!(central.on_reply(1, 1, vt(&[10, 5]), 0).is_none());
+        assert!(central.on_reply(1, 2, vt(&[7, 5]), 0).is_none());
+        let (commit, out) = central.on_reply(1, CENTRAL_SITE, vt(&[9, 4]), 0).unwrap();
         assert_eq!(commit, vt(&[7, 4]));
         assert_eq!(out.len(), 2);
         assert_eq!(central.committed(), &vt(&[7, 4]));
@@ -518,24 +571,24 @@ mod tests {
     fn duplicate_replies_are_ignored() {
         let mut central = CentralCheckpointer::new(vec![1]);
         central.begin(vt(&[3]));
-        assert!(central.on_reply(1, 1, vt(&[3])).is_none());
-        assert!(central.on_reply(1, 1, vt(&[2])).is_none(), "duplicate site reply");
-        assert!(central.on_reply(1, CENTRAL_SITE, vt(&[3])).is_some());
+        assert!(central.on_reply(1, 1, vt(&[3]), 0).is_none());
+        assert!(central.on_reply(1, 1, vt(&[2]), 0).is_none(), "duplicate site reply");
+        assert!(central.on_reply(1, CENTRAL_SITE, vt(&[3]), 0).is_some());
     }
 
     #[test]
     fn later_round_supersedes_incomplete_earlier_round() {
         let mut central = CentralCheckpointer::new(vec![1, 2]);
         central.begin(vt(&[5]));
-        assert!(central.on_reply(1, 1, vt(&[5])).is_none());
+        assert!(central.on_reply(1, 1, vt(&[5]), 0).is_none());
         // Second round starts before the first completes.
         central.begin(vt(&[9]));
         assert_eq!(central.rounds_abandoned, 1);
         // Stale reply for round 1 is ignored.
-        assert!(central.on_reply(1, 2, vt(&[5])).is_none());
-        assert!(central.on_reply(2, 1, vt(&[9])).is_none());
-        assert!(central.on_reply(2, 2, vt(&[8])).is_none());
-        let (commit, _) = central.on_reply(2, CENTRAL_SITE, vt(&[9])).unwrap();
+        assert!(central.on_reply(1, 2, vt(&[5]), 0).is_none());
+        assert!(central.on_reply(2, 1, vt(&[9]), 0).is_none());
+        assert!(central.on_reply(2, 2, vt(&[8]), 0).is_none());
+        let (commit, _) = central.on_reply(2, CENTRAL_SITE, vt(&[9]), 0).unwrap();
         assert_eq!(commit, vt(&[8]));
     }
 
@@ -543,7 +596,7 @@ mod tests {
     fn main_unit_caps_reply_at_its_processed_frontier() {
         let mut main = MainUnitResponder::new(3);
         main.record_processed(&vt(&[4, 2]));
-        let chkpt = ControlMsg::Chkpt { round: 1, stamp: vt(&[10, 1]), epoch: 0 };
+        let chkpt = ControlMsg::Chkpt { round: 1, stamp: vt(&[10, 1]), epoch: 0, term: 0 };
         let rep = main.on_chkpt(&chkpt, MonitorReport::default()).unwrap();
         match rep {
             ControlMsg::ChkptRep { site, stamp, .. } => {
@@ -560,11 +613,11 @@ mod tests {
         let mut backup = BackupQueue::new();
         backup.push(stamped(0, 3));
         // Covered stamp → forwarded to central.
-        let out = relay.on_main_reply(1, 1, vt(&[2]), MonitorReport::default(), &backup);
+        let out = relay.on_main_reply(1, 1, vt(&[2]), MonitorReport::default(), 0, &backup);
         assert_eq!(out.len(), 1);
         assert!(matches!(&out[0], CheckpointMsg::ToCentral(ControlMsg::ChkptRep { .. })));
         // Uncovered stamp on a site WITH history → suppressed.
-        let out = relay.on_main_reply(1, 1, vt(&[9]), MonitorReport::default(), &backup);
+        let out = relay.on_main_reply(1, 1, vt(&[9]), MonitorReport::default(), 0, &backup);
         assert!(out.is_empty());
     }
 
@@ -575,7 +628,7 @@ mod tests {
         // can participate in rounds before new traffic arrives.
         let mut relay = MirrorRelay::new();
         let backup = BackupQueue::new();
-        let out = relay.on_main_reply(5, 2, vt(&[500]), MonitorReport::default(), &backup);
+        let out = relay.on_main_reply(5, 2, vt(&[500]), MonitorReport::default(), 0, &backup);
         assert_eq!(out.len(), 1, "fresh site must not be locked out of rounds");
     }
 
@@ -586,7 +639,8 @@ mod tests {
         backup.push(stamped(0, 1));
         backup.push(stamped(0, 2));
         backup.push(stamped(0, 3));
-        let commit = ControlMsg::Commit { round: 1, stamp: vt(&[2]), epoch: 0, adapt: None };
+        let commit =
+            ControlMsg::Commit { round: 1, stamp: vt(&[2]), epoch: 0, term: 0, adapt: None };
         let (pruned, out) = relay.on_commit(commit, &mut backup);
         assert_eq!(pruned, 2);
         assert_eq!(backup.len(), 1);
@@ -601,7 +655,8 @@ mod tests {
         let mut backup = BackupQueue::new();
         backup.push(stamped(0, 1));
         // A commit on a stream this site never saw.
-        let commit = ControlMsg::Commit { round: 1, stamp: vt(&[0, 42]), epoch: 0, adapt: None };
+        let commit =
+            ControlMsg::Commit { round: 1, stamp: vt(&[0, 42]), epoch: 0, term: 0, adapt: None };
         let (pruned, out) = relay.on_commit(commit, &mut backup);
         assert_eq!(pruned, 0);
         assert_eq!(backup.len(), 1);
@@ -612,9 +667,21 @@ mod tests {
     #[test]
     fn committed_frontier_is_monotone_under_reordering() {
         let mut main = MainUnitResponder::new(1);
-        main.on_commit(&ControlMsg::Commit { round: 2, stamp: vt(&[5, 5]), epoch: 0, adapt: None });
+        main.on_commit(&ControlMsg::Commit {
+            round: 2,
+            stamp: vt(&[5, 5]),
+            epoch: 0,
+            term: 0,
+            adapt: None,
+        });
         // An older commit arriving late cannot regress the frontier.
-        main.on_commit(&ControlMsg::Commit { round: 1, stamp: vt(&[3, 9]), epoch: 0, adapt: None });
+        main.on_commit(&ControlMsg::Commit {
+            round: 1,
+            stamp: vt(&[3, 9]),
+            epoch: 0,
+            term: 0,
+            adapt: None,
+        });
         assert_eq!(main.committed(), &vt(&[5, 9]));
     }
 
@@ -626,9 +693,9 @@ mod tests {
         // in-flight by one round, which must NOT trip detection.
         for i in 1..=5u64 {
             central.begin(vt(&[i]));
-            central.on_reply(central.rounds_started, 1, vt(&[i]));
+            central.on_reply(central.rounds_started, 1, vt(&[i]), 0);
             if i == 1 {
-                central.on_reply(central.rounds_started, 2, vt(&[1]));
+                central.on_reply(central.rounds_started, 2, vt(&[1]), 0);
             }
         }
         // Mirror 1's reply to round 5 arrived while mirror 2's newest is
@@ -637,14 +704,14 @@ mod tests {
         assert_eq!(central.mirrors(), &[1]);
         // The next round commits with the survivor alone.
         central.begin(vt(&[9]));
-        assert!(central.on_reply(central.rounds_started, 1, vt(&[9])).is_none());
-        let done = central.on_reply(central.rounds_started, CENTRAL_SITE, vt(&[9]));
+        assert!(central.on_reply(central.rounds_started, 1, vt(&[9]), 0).is_none());
+        let done = central.on_reply(central.rounds_started, CENTRAL_SITE, vt(&[9]), 0);
         assert!(done.is_some(), "commit must resume among survivors");
         // A straggler reply from the failed site is ignored.
         central.begin(vt(&[10]));
-        assert!(central.on_reply(central.rounds_started, 2, vt(&[10])).is_none());
-        assert!(central.on_reply(central.rounds_started, 1, vt(&[10])).is_none());
-        assert!(central.on_reply(central.rounds_started, CENTRAL_SITE, vt(&[10])).is_some());
+        assert!(central.on_reply(central.rounds_started, 2, vt(&[10]), 0).is_none());
+        assert!(central.on_reply(central.rounds_started, 1, vt(&[10]), 0).is_none());
+        assert!(central.on_reply(central.rounds_started, CENTRAL_SITE, vt(&[10]), 0).is_some());
     }
 
     #[test]
@@ -655,10 +722,10 @@ mod tests {
         central.set_suspect_after(3);
         for i in 1..=20u64 {
             central.begin(vt(&[i]));
-            central.on_reply(central.rounds_started, 1, vt(&[i]));
+            central.on_reply(central.rounds_started, 1, vt(&[i]), 0);
             if i > 1 {
                 // Mirror 2 answers the *previous* round, one behind.
-                central.on_reply(central.rounds_started - 1, 2, vt(&[i - 1]));
+                central.on_reply(central.rounds_started - 1, 2, vt(&[i - 1]), 0);
             }
         }
         assert!(central.take_newly_failed().is_empty());
@@ -679,21 +746,21 @@ mod tests {
             central.begin(vt(&[i]));
         }
         // Mirror 2's reply to round 4 drains first (stale: pending is 6).
-        assert!(central.on_reply(4, 2, vt(&[4])).is_none());
+        assert!(central.on_reply(4, 2, vt(&[4]), 0).is_none());
         assert!(central.take_newly_failed().is_empty(), "stale reply evicted a healthy peer");
         assert_eq!(central.mirrors(), &[1, 2]);
         // Mirror 1's queued replies drain next; its answer to the current
         // round IS admissible evidence, and mirror 2 (newest reply 4, lag
         // 2 < 3) still survives.
         for i in 1..=6u64 {
-            central.on_reply(i, 1, vt(&[i]));
+            central.on_reply(i, 1, vt(&[i]), 0);
         }
         assert!(central.take_newly_failed().is_empty());
         // Only when mirror 2 stays silent while current rounds keep being
         // answered does detection fire.
         for i in 7..=7u64 {
             central.begin(vt(&[i]));
-            central.on_reply(i, 1, vt(&[i]));
+            central.on_reply(i, 1, vt(&[i]), 0);
         }
         assert_eq!(central.take_newly_failed(), vec![2]);
     }
@@ -704,15 +771,15 @@ mod tests {
         central.set_suspect_after(2);
         for i in 1..=3u64 {
             central.begin(vt(&[i]));
-            central.on_reply(central.rounds_started, 1, vt(&[i]));
+            central.on_reply(central.rounds_started, 1, vt(&[i]), 0);
         }
         assert_eq!(central.take_newly_failed(), vec![2]);
         central.readmit(2);
         assert_eq!(central.mirrors(), &[1, 2]);
         // The in-flight round now completes with both mirrors replying
         // (the readmitted site got a fresh lag baseline).
-        central.on_reply(central.rounds_started, 2, vt(&[3]));
-        assert!(central.on_reply(central.rounds_started, CENTRAL_SITE, vt(&[3])).is_some());
+        central.on_reply(central.rounds_started, 2, vt(&[3]), 0);
+        assert!(central.on_reply(central.rounds_started, CENTRAL_SITE, vt(&[3]), 0).is_some());
         assert!(central.failed.is_empty(), "failed: {:?}", central.failed);
     }
 
@@ -720,8 +787,8 @@ mod tests {
     fn evict_then_readmit_mid_round_leaves_round_wedged_not_stuck() {
         let mut central = CentralCheckpointer::new(vec![1, 2]);
         central.begin(vt(&[5]));
-        assert!(central.on_reply(1, 1, vt(&[5])).is_none());
-        assert!(central.on_reply(1, CENTRAL_SITE, vt(&[5])).is_none());
+        assert!(central.on_reply(1, 1, vt(&[5]), 0).is_none());
+        assert!(central.on_reply(1, CENTRAL_SITE, vt(&[5]), 0).is_none());
         assert!(!central.pending_wedged(), "mirror 2's reply is still possible");
         // Mirror 2 dies and is replaced mid-round: its new instance never
         // saw round 1's CHKPT, so no reply for this round will ever come.
@@ -736,9 +803,9 @@ mod tests {
         // The wedged round is restartable and the fresh one commits with
         // both mirrors.
         central.begin(vt(&[6]));
-        assert!(central.on_reply(2, 1, vt(&[6])).is_none());
-        assert!(central.on_reply(2, 2, vt(&[6])).is_none());
-        assert!(central.on_reply(2, CENTRAL_SITE, vt(&[6])).is_some());
+        assert!(central.on_reply(2, 1, vt(&[6]), 0).is_none());
+        assert!(central.on_reply(2, 2, vt(&[6]), 0).is_none());
+        assert!(central.on_reply(2, CENTRAL_SITE, vt(&[6]), 0).is_some());
     }
 
     #[test]
@@ -750,8 +817,8 @@ mod tests {
             CheckpointMsg::BroadcastToMirrors(m) => assert_eq!(m.epoch(), Some(7)),
             m => panic!("unexpected {m:?}"),
         }
-        central.on_reply(1, 1, vt(&[3]));
-        let (_, out) = central.on_reply(1, CENTRAL_SITE, vt(&[3])).unwrap();
+        central.on_reply(1, 1, vt(&[3]), 0);
+        let (_, out) = central.on_reply(1, CENTRAL_SITE, vt(&[3]), 0).unwrap();
         match &out[0] {
             CheckpointMsg::BroadcastToMirrors(m) => assert_eq!(m.epoch(), Some(7)),
             m => panic!("unexpected {m:?}"),
@@ -762,8 +829,8 @@ mod tests {
     fn retired_mirror_stops_gating_rounds_without_failure_marking() {
         let mut central = CentralCheckpointer::new(vec![1, 2]);
         central.begin(vt(&[5]));
-        assert!(central.on_reply(1, 1, vt(&[5])).is_none());
-        assert!(central.on_reply(1, CENTRAL_SITE, vt(&[5])).is_none());
+        assert!(central.on_reply(1, 1, vt(&[5]), 0).is_none());
+        assert!(central.on_reply(1, CENTRAL_SITE, vt(&[5]), 0).is_none());
         // Mirror 2 is gracefully retired mid-round: not a failure, but the
         // round it was gating can no longer complete on a future reply.
         assert!(central.retire(2));
@@ -773,9 +840,9 @@ mod tests {
         // The coordinator restarts; the fresh round commits among
         // survivors, and a straggler reply from the retired site is inert.
         central.begin(vt(&[6]));
-        assert!(central.on_reply(2, 2, vt(&[6])).is_none(), "retired site's reply ignored");
-        assert!(central.on_reply(2, 1, vt(&[6])).is_none());
-        assert!(central.on_reply(2, CENTRAL_SITE, vt(&[6])).is_some());
+        assert!(central.on_reply(2, 2, vt(&[6]), 0).is_none(), "retired site's reply ignored");
+        assert!(central.on_reply(2, 1, vt(&[6]), 0).is_none());
+        assert!(central.on_reply(2, CENTRAL_SITE, vt(&[6]), 0).is_some());
     }
 
     #[test]
@@ -786,12 +853,43 @@ mod tests {
         // round 1 (it never saw the proposal) but participates from the
         // next round on.
         central.readmit(2);
-        assert!(central.on_reply(1, 1, vt(&[4])).is_none());
-        assert!(central.on_reply(1, CENTRAL_SITE, vt(&[4])).is_some(), "round 1 commits without 2");
+        assert!(central.on_reply(1, 1, vt(&[4]), 0).is_none());
+        assert!(
+            central.on_reply(1, CENTRAL_SITE, vt(&[4]), 0).is_some(),
+            "round 1 commits without 2"
+        );
         central.begin(vt(&[8]));
-        assert!(central.on_reply(2, 1, vt(&[8])).is_none());
-        assert!(central.on_reply(2, CENTRAL_SITE, vt(&[8])).is_none(), "now gated on site 2");
-        assert!(central.on_reply(2, 2, vt(&[8])).is_some());
+        assert!(central.on_reply(2, 1, vt(&[8]), 0).is_none());
+        assert!(central.on_reply(2, CENTRAL_SITE, vt(&[8]), 0).is_none(), "now gated on site 2");
+        assert!(central.on_reply(2, 2, vt(&[8]), 0).is_some());
+    }
+
+    #[test]
+    fn replies_from_another_term_are_fenced() {
+        let mut central = CentralCheckpointer::new(vec![1]);
+        central.set_term(3);
+        let msgs = central.begin(vt(&[4]));
+        match &msgs[0] {
+            CheckpointMsg::BroadcastToMirrors(m) => assert_eq!(m.term(), 3),
+            m => panic!("unexpected {m:?}"),
+        }
+        // A reply echoing another coordinator's term is discarded outright:
+        // its round numbering belongs to a different sequence, so even a
+        // matching (round, site) must not be counted.
+        assert!(central.on_reply(1, 1, vt(&[4]), 2).is_none());
+        assert_eq!(central.stale_term_replies, 1);
+        // The same site answering *this* term's proposal completes the
+        // round as usual.
+        assert!(central.on_reply(1, 1, vt(&[4]), 3).is_none());
+        let done = central.on_reply(1, CENTRAL_SITE, vt(&[4]), 3);
+        assert!(done.is_some(), "current-term replies commit the round");
+        match &done.unwrap().1[0] {
+            CheckpointMsg::BroadcastToMirrors(m) => assert_eq!(m.term(), 3),
+            m => panic!("unexpected {m:?}"),
+        }
+        // The term is monotone: an attempt to step back is ignored.
+        central.set_term(1);
+        assert_eq!(central.term(), 3);
     }
 
     #[test]
@@ -803,6 +901,7 @@ mod tests {
             2,
             VectorTimestamp::empty(),
             MonitorReport::default(),
+            0,
             &relay_backup,
         );
         assert_eq!(out.len(), 1, "zero stamp must not deadlock a fresh site");

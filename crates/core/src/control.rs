@@ -13,6 +13,17 @@
 //! the round was formed, so every site — including one that joined
 //! mid-stream — knows which membership generation a round and its
 //! piggybacked directives belong to.
+//!
+//! Nor is the *coordinator* fixed for the lifetime of the cluster: central
+//! failover promotes a mirror into the coordinator role at a bumped
+//! **leadership term**. Every control message carries the term of the
+//! coordinator that originated its round: `CHKPT`/`COMMIT` are stamped at
+//! the coordinator, and a `CHKPT_REP` echoes the term of the proposal it
+//! answers. Receivers fence on the term — a mirror discards frames from a
+//! stale term (a resurrected old coordinator), and a coordinator discards
+//! replies addressed to a different term — so two coordinators can never
+//! split-brain a round even though round numbers restart across
+//! promotions.
 
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +66,9 @@ pub enum ControlMsg {
         /// Membership epoch in force at the coordinator when this round
         /// was proposed.
         epoch: u64,
+        /// Leadership term of the coordinator proposing the round; stale
+        /// terms are fenced out at every receiver.
+        term: u64,
     },
     /// A site's reply: the most recent event its business logic has
     /// processed, capped by the proposal (`min{chkpt, last in backup}`).
@@ -67,6 +81,10 @@ pub enum ControlMsg {
         stamp: VectorTimestamp,
         /// Piggybacked monitored-variable report for adaptation.
         monitor: MonitorReport,
+        /// Leadership term of the proposal this reply answers (round
+        /// numbers restart across promotions, so the term — not the round
+        /// — identifies which coordinator the reply addresses).
+        term: u64,
     },
     /// Commit phase: every site may discard backup-queue events up to
     /// `stamp` (the minimum over all replies).
@@ -78,6 +96,8 @@ pub enum ControlMsg {
         /// Membership epoch in force at the coordinator when this commit
         /// was issued.
         epoch: u64,
+        /// Leadership term of the coordinator issuing the commit.
+        term: u64,
         /// Piggybacked adaptation directive, if the controller decided to
         /// change mirroring behaviour this round.
         adapt: Option<AdaptDirective>,
@@ -88,7 +108,7 @@ impl ControlMsg {
     /// Approximate bytes this message occupies on a link (header + stamp +
     /// payload); used by the simulator's link cost model.
     pub fn wire_size(&self) -> usize {
-        let base = 1 + 8; // tag + round
+        let base = 1 + 8 + 8; // tag + round + term
         match self {
             // Chkpt/Commit carry the 8-byte membership epoch.
             ControlMsg::Chkpt { stamp, .. } => base + 2 + 8 + stamp.wire_size(),
@@ -118,6 +138,16 @@ impl ControlMsg {
             | ControlMsg::Commit { round, .. } => *round,
         }
     }
+
+    /// The leadership term this message belongs to (coordinator-stamped
+    /// on `Chkpt`/`Commit`; echoed from the proposal on `ChkptRep`).
+    pub fn term(&self) -> u64 {
+        match self {
+            ControlMsg::Chkpt { term, .. }
+            | ControlMsg::ChkptRep { term, .. }
+            | ControlMsg::Commit { term, .. } => *term,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -127,14 +157,15 @@ mod tests {
     #[test]
     fn wire_sizes_are_positive_and_ordered() {
         let stamp = VectorTimestamp::new(2);
-        let chkpt = ControlMsg::Chkpt { round: 1, stamp: stamp.clone(), epoch: 0 };
+        let chkpt = ControlMsg::Chkpt { round: 1, stamp: stamp.clone(), epoch: 0, term: 0 };
         let rep = ControlMsg::ChkptRep {
             round: 1,
             site: 1,
             stamp: stamp.clone(),
             monitor: MonitorReport::default(),
+            term: 0,
         };
-        let commit = ControlMsg::Commit { round: 1, stamp, epoch: 0, adapt: None };
+        let commit = ControlMsg::Commit { round: 1, stamp, epoch: 0, term: 0, adapt: None };
         assert!(chkpt.wire_size() > 0);
         assert!(rep.wire_size() > chkpt.wire_size(), "reply carries a monitor report");
         assert!(commit.wire_size() > 0);
@@ -143,11 +174,13 @@ mod tests {
     #[test]
     fn commit_with_adaptation_is_larger() {
         let stamp = VectorTimestamp::new(2);
-        let bare = ControlMsg::Commit { round: 1, stamp: stamp.clone(), epoch: 0, adapt: None };
+        let bare =
+            ControlMsg::Commit { round: 1, stamp: stamp.clone(), epoch: 0, term: 0, adapt: None };
         let full = ControlMsg::Commit {
             round: 1,
             stamp,
             epoch: 0,
+            term: 0,
             adapt: Some(AdaptDirective { params: MirrorParams::default(), mirror_fn: None }),
         };
         assert!(full.wire_size() > bare.wire_size());
@@ -155,8 +188,9 @@ mod tests {
 
     #[test]
     fn round_accessor() {
-        let m = ControlMsg::Chkpt { round: 7, stamp: VectorTimestamp::empty(), epoch: 3 };
+        let m = ControlMsg::Chkpt { round: 7, stamp: VectorTimestamp::empty(), epoch: 3, term: 2 };
         assert_eq!(m.round(), 7);
         assert_eq!(m.epoch(), Some(3));
+        assert_eq!(m.term(), 2);
     }
 }

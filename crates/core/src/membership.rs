@@ -131,6 +131,26 @@ pub enum MembershipError {
     /// A durable-store operation failed; the payload is the underlying
     /// I/O error rendered to text.
     Store(String),
+    /// A control message (or reply) carried a leadership term older than
+    /// the one in force — it came from a fenced-out former coordinator
+    /// and was discarded.
+    StaleTerm {
+        /// The term the offending message carried.
+        stale: u64,
+        /// The term currently in force at the receiver.
+        current: u64,
+    },
+    /// A promotion's quiesce window expired while the candidate mirror was
+    /// still applying delivered events: seeding a coordinator from it now
+    /// would silently start the new central *behind* the survivors, so
+    /// the promotion was aborted instead.
+    QuiesceTimeout {
+        /// The mirror that failed to quiesce in time.
+        site: SiteId,
+        /// Events the mirror had processed when the deadline expired (its
+        /// counter was still advancing past this value).
+        processed: u64,
+    },
 }
 
 impl fmt::Display for MembershipError {
@@ -145,6 +165,16 @@ impl fmt::Display for MembershipError {
                 write!(f, "cluster was started without a durable store")
             }
             MembershipError::Store(e) => write!(f, "durable store error: {e}"),
+            MembershipError::StaleTerm { stale, current } => {
+                write!(f, "stale leadership term {stale} (term {current} is in force)")
+            }
+            MembershipError::QuiesceTimeout { site, processed } => {
+                write!(
+                    f,
+                    "site {site} did not quiesce before the promotion deadline \
+                     (still applying past {processed} processed events)"
+                )
+            }
         }
     }
 }

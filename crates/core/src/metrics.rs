@@ -203,6 +203,9 @@ pub struct AuxCounters {
     pub control_msgs: u64,
     /// Adaptation directives applied.
     pub adaptations: u64,
+    /// Control frames rejected because they carried a stale leadership
+    /// term (a fenced-out old coordinator still transmitting).
+    pub stale_term_rejects: u64,
 }
 
 #[cfg(test)]

@@ -143,6 +143,15 @@ impl BackupQueue {
         self.next_idx.max(1)
     }
 
+    /// Advance the next send index to at least `idx` (monotone; a lower
+    /// value is ignored). A coordinator promoted over an existing durable
+    /// journal resumes indexing *after* the journal's highest entry — the
+    /// send index doubles as the journal key, and the log requires strict
+    /// monotonicity across the handoff.
+    pub fn resume_from(&mut self, idx: u64) {
+        self.next_idx = self.next_idx.max(idx).max(1);
+    }
+
     /// The oldest send index still retained, if any.
     pub fn oldest_retained_idx(&self) -> Option<u64> {
         self.q.front().map(|(i, _)| *i)

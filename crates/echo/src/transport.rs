@@ -460,6 +460,7 @@ mod tests {
             round: 9,
             stamp: VectorTimestamp::from_components(vec![1, 2, 3]),
             epoch: 0,
+            term: 0,
         });
         c.send(&ctrl).unwrap();
         for i in 0..50 {

@@ -480,24 +480,27 @@ const CTRL_COMMIT: u8 = 2;
 /// Encode a control message.
 pub fn encode_control(c: &ControlMsg, buf: &mut BytesMut) {
     match c {
-        ControlMsg::Chkpt { round, stamp, epoch } => {
+        ControlMsg::Chkpt { round, stamp, epoch, term } => {
             buf.put_u8(CTRL_CHKPT);
             buf.put_u64_le(*round);
+            buf.put_u64_le(*term);
             buf.put_u64_le(*epoch);
             encode_stamp(stamp, buf);
         }
-        ControlMsg::ChkptRep { round, site, stamp, monitor } => {
+        ControlMsg::ChkptRep { round, site, stamp, monitor, term } => {
             buf.put_u8(CTRL_REP);
             buf.put_u64_le(*round);
+            buf.put_u64_le(*term);
             buf.put_u16_le(*site);
             encode_stamp(stamp, buf);
             buf.put_u64_le(monitor.ready_len);
             buf.put_u64_le(monitor.backup_len);
             buf.put_u64_le(monitor.pending_requests);
         }
-        ControlMsg::Commit { round, stamp, epoch, adapt } => {
+        ControlMsg::Commit { round, stamp, epoch, term, adapt } => {
             buf.put_u8(CTRL_COMMIT);
             buf.put_u64_le(*round);
+            buf.put_u64_le(*term);
             buf.put_u64_le(*epoch);
             encode_stamp(stamp, buf);
             match adapt {
@@ -514,14 +517,15 @@ pub fn encode_control(c: &ControlMsg, buf: &mut BytesMut) {
 
 /// Decode a control message.
 pub fn decode_control(buf: &mut Bytes) -> Result<ControlMsg, WireError> {
-    need(buf, 1 + 8)?;
+    need(buf, 1 + 8 + 8)?;
     let tag = buf.get_u8();
     let round = buf.get_u64_le();
+    let term = buf.get_u64_le();
     match tag {
         CTRL_CHKPT => {
             need(buf, 8)?;
             let epoch = buf.get_u64_le();
-            Ok(ControlMsg::Chkpt { round, stamp: decode_stamp(buf)?, epoch })
+            Ok(ControlMsg::Chkpt { round, stamp: decode_stamp(buf)?, epoch, term })
         }
         CTRL_REP => {
             need(buf, 2)?;
@@ -533,7 +537,7 @@ pub fn decode_control(buf: &mut Bytes) -> Result<ControlMsg, WireError> {
                 backup_len: buf.get_u64_le(),
                 pending_requests: buf.get_u64_le(),
             };
-            Ok(ControlMsg::ChkptRep { round, site, stamp, monitor })
+            Ok(ControlMsg::ChkptRep { round, site, stamp, monitor, term })
         }
         CTRL_COMMIT => {
             need(buf, 8)?;
@@ -548,7 +552,7 @@ pub fn decode_control(buf: &mut Bytes) -> Result<ControlMsg, WireError> {
                 }),
                 t => return Err(WireError::BadTag(t)),
             };
-            Ok(ControlMsg::Commit { round, stamp, epoch, adapt })
+            Ok(ControlMsg::Commit { round, stamp, epoch, term, adapt })
         }
         t => Err(WireError::BadTag(t)),
     }
@@ -795,18 +799,20 @@ mod tests {
     fn control_roundtrip_all_variants() {
         let stamp = VectorTimestamp::from_components(vec![5, 9]);
         let msgs = vec![
-            ControlMsg::Chkpt { round: 1, stamp: stamp.clone(), epoch: 6 },
+            ControlMsg::Chkpt { round: 1, stamp: stamp.clone(), epoch: 6, term: 4 },
             ControlMsg::ChkptRep {
                 round: 2,
                 site: 3,
                 stamp: stamp.clone(),
                 monitor: MonitorReport { ready_len: 1, backup_len: 2, pending_requests: 3 },
+                term: u64::MAX,
             },
-            ControlMsg::Commit { round: 3, stamp: stamp.clone(), epoch: 7, adapt: None },
+            ControlMsg::Commit { round: 3, stamp: stamp.clone(), epoch: 7, term: 0, adapt: None },
             ControlMsg::Commit {
                 round: 4,
                 stamp,
                 epoch: u64::MAX,
+                term: 9,
                 adapt: Some(AdaptDirective {
                     params: MirrorParams::profile_degraded(),
                     mirror_fn: Some(MirrorFnKind::Coalescing {
@@ -872,6 +878,7 @@ mod tests {
                     round: 7,
                     stamp: VectorTimestamp::from_components(vec![1, 2]),
                     epoch: 2,
+                    term: 3,
                 })),
             },
             Frame::Ack { cum: 0 },
@@ -910,6 +917,7 @@ mod tests {
                 round: 1,
                 stamp: VectorTimestamp::from_components(vec![3, 4]),
                 epoch: 1,
+                term: 1,
             }),
             Frame::Data(Arc::new(Event::delta_status(2, 8, FlightStatus::Landed))),
         ];

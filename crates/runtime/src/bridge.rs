@@ -424,7 +424,7 @@ mod tests {
 
         let mut stamp = mirror_core::timestamp::VectorTimestamp::new(1);
         stamp.advance(0, 20);
-        ctrl_down.publisher().publish(ControlMsg::Chkpt { round: 1, stamp, epoch: 0 });
+        ctrl_down.publisher().publish(ControlMsg::Chkpt { round: 1, stamp, epoch: 0, term: 0 });
         let rep = up_sub.recv_timeout(Duration::from_secs(5));
         match rep {
             Some(ControlMsg::ChkptRep { round: 1, site: 1, stamp, .. }) => {

@@ -22,7 +22,8 @@
 //! traffic flows.
 
 use std::collections::BTreeMap;
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 use mirror_core::adapt::{ScaleDecision, ScalePolicy};
@@ -39,6 +40,8 @@ use mirror_ede::Snapshot;
 
 use crate::clock::RuntimeClock;
 use crate::durability::{DurabilityConfig, Journal, ResyncOutcome, ResyncSource};
+use crate::failover::{CtrlCadence, FailoverEvent, FailoverPolicy};
+use crate::requests::RequestGate;
 use crate::site::{CentralSite, MirrorSite};
 
 /// Cluster start-up configuration.
@@ -63,6 +66,13 @@ pub struct ClusterConfig {
     /// [`ScaleDecision`]s on sustained pending-request pressure;
     /// [`Cluster::poll_scale`] turns them into mirror spawn/retire.
     pub scale: Option<ScalePolicy>,
+    /// Automatic central-site failover (`None` = the paper's protocol:
+    /// coordinator death needs operator intervention). With a policy
+    /// installed, the central emits idle heartbeat rounds, a watcher
+    /// tracks the control-downlink cadence, and
+    /// [`Cluster::poll_failover`] declares death on sustained silence and
+    /// self-promotes the lowest live mirror at a bumped leadership term.
+    pub failover: Option<FailoverPolicy>,
 }
 
 impl Default for ClusterConfig {
@@ -73,6 +83,7 @@ impl Default for ClusterConfig {
             suspect_after: 0,
             durability: None,
             scale: None,
+            failover: None,
         }
     }
 }
@@ -196,6 +207,27 @@ pub struct Cluster {
     /// The durable-store configuration the cluster was started with, kept
     /// for [`recover_site`](Cluster::recover_site).
     durability: Option<DurabilityConfig>,
+    /// Failover policy the cluster was started with (`None` = manual).
+    failover: Option<FailoverPolicy>,
+    /// The leadership term of the coordinator currently in force. Bumped
+    /// by every promotion; the successor coordinates at the new term and
+    /// stale-term frames from the fenced predecessor are rejected
+    /// everywhere.
+    term: AtomicU64,
+    /// Observed CHKPT/COMMIT cadence on the control downlink (fed by the
+    /// watcher thread when failover is armed).
+    cadence: Arc<CtrlCadence>,
+    /// Admission gate shared with request gateways: closed for the span
+    /// of a takeover so initial-state requests park instead of racing the
+    /// coordinator swap.
+    request_gate: Arc<RequestGate>,
+    /// Serializes promotions (manual and automatic): two racing takeovers
+    /// must resolve to one coherent coordinator, never a wedge.
+    promotion: parking_lot::Mutex<()>,
+    /// Control-downlink watcher thread (failover armed only).
+    watcher: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Stop flag for the watcher thread.
+    watcher_stop: Arc<AtomicBool>,
 }
 
 impl Cluster {
@@ -231,6 +263,12 @@ impl Cluster {
         if let Some(policy) = cfg.scale {
             aux.set_scale_policy(policy);
         }
+        if let Some(policy) = cfg.failover {
+            // Failover infers coordinator death from control-downlink
+            // silence, so silence must mean death: arm idle heartbeat
+            // rounds at the policy's cadence.
+            aux.set_heartbeat_after(policy.heartbeat_ticks);
+        }
         let central = match &cfg.durability {
             Some(dcfg) => {
                 let journal = Journal::open(dcfg)
@@ -253,6 +291,34 @@ impl Cluster {
             ),
         };
 
+        let cadence = Arc::new(CtrlCadence::new(clock.now_us()));
+        let watcher_stop = Arc::new(AtomicBool::new(false));
+        let watcher = cfg.failover.map(|_| {
+            // The watcher is a plain downlink subscriber: it sees exactly
+            // the CHKPT/COMMIT traffic the mirrors see, so its cadence
+            // estimate matches what a mirror-side detector would observe.
+            let sub = ctrl_down.subscribe();
+            let cadence = Arc::clone(&cadence);
+            let clock = clock.clone();
+            let stop = Arc::clone(&watcher_stop);
+            std::thread::Builder::new()
+                .name("failover-watch".into())
+                .spawn(move || {
+                    use mirror_echo::channel::RecvStatus;
+                    loop {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        match sub.recv_status(Duration::from_millis(20)) {
+                            RecvStatus::Msg(_) => cadence.on_ctrl(clock.now_us()),
+                            RecvStatus::Timeout => continue,
+                            RecvStatus::Disconnected => break,
+                        }
+                    }
+                })
+                .expect("spawn failover watcher")
+        });
+
         Cluster {
             clock,
             central: RwLock::new(central),
@@ -263,6 +329,13 @@ impl Cluster {
             ctrl_down,
             ctrl_up,
             durability: cfg.durability,
+            failover: cfg.failover,
+            term: AtomicU64::new(0),
+            cadence,
+            request_gate: Arc::new(RequestGate::new()),
+            promotion: parking_lot::Mutex::new(()),
+            watcher: parking_lot::Mutex::new(watcher),
+            watcher_stop,
         }
     }
 
@@ -715,11 +788,81 @@ impl Cluster {
         Ok(recovered.replayed)
     }
 
-    /// Simulate a central-site crash (test/ops hook): stop its threads.
-    /// The stream stalls until [`promote_mirror`](Self::promote_mirror)
-    /// installs a new coordinator.
-    pub fn fail_central(&self) {
+    /// Gracefully stop the central site (ops hook, e.g. for planned node
+    /// maintenance): its threads flush their coalescing buffers and the
+    /// journal (if any) drains cleanly before they exit. The stream stalls
+    /// until [`promote_mirror`](Self::promote_mirror) installs a new
+    /// coordinator — or, with failover armed,
+    /// [`poll_failover`](Self::poll_failover) installs one automatically.
+    pub fn stop_central(&self) {
         write(&self.central).stop();
+    }
+
+    /// Simulate the central *process dying* (test/chaos hook), as opposed
+    /// to the graceful [`stop_central`](Self::stop_central): threads
+    /// abandon queued work, coalescing buffers are lost, and the journal —
+    /// if any — is left un-flushed and un-fsynced, possibly with a torn
+    /// final record (exercising the durable store's crash repair on
+    /// takeover). See [`CentralSite::crash`].
+    pub fn crash_central(&self) {
+        write(&self.central).crash();
+    }
+
+    /// The leadership term of the coordinator currently in force (0 for
+    /// the original central; each promotion bumps it).
+    pub fn leader_term(&self) -> u64 {
+        self.term.load(Ordering::Acquire)
+    }
+
+    /// The admission gate takeovers close while the coordinator swaps.
+    /// Wire it into a gateway via
+    /// [`GatewayConfig::gate`](crate::requests::GatewayConfig::gate) so
+    /// initial-state requests park (bounded) during failover instead of
+    /// racing the swap.
+    pub fn request_gate(&self) -> Arc<RequestGate> {
+        Arc::clone(&self.request_gate)
+    }
+
+    /// Check the coordinator-liveness detector and, if the control
+    /// downlink has been silent past the policy threshold, promote the
+    /// lowest live mirror at a bumped leadership term — deterministic
+    /// succession, no election: every observer ranks the same live set.
+    ///
+    /// Returns the transitions performed (empty without a
+    /// [`FailoverPolicy`], or while the coordinator is healthy). Pump
+    /// this from any thread holding the shared cluster, like
+    /// [`poll_scale`](Self::poll_scale).
+    pub fn poll_failover(&self) -> Vec<FailoverEvent> {
+        let Some(policy) = self.failover else {
+            return Vec::new();
+        };
+        let now = self.clock.now_us();
+        let silent = self.cadence.silent_for(now);
+        let threshold =
+            u64::from(policy.suspect_rounds.max(1)) * self.cadence.expected_gap_us(policy.min_gap);
+        if silent < threshold {
+            return Vec::new();
+        }
+        let mut events = vec![FailoverEvent::CoordinatorDead {
+            silent_for: Duration::from_micros(silent),
+            term: self.term.load(Ordering::Acquire),
+        }];
+        // Deterministic succession: the lowest live site id takes over.
+        let successor = self.membership.view().live_mirrors().first().copied();
+        if let Some(site) = successor {
+            if let Ok((_, replayed)) = self.promote_mirror_with(site, Duration::from_secs(2)) {
+                events.push(FailoverEvent::Promoted {
+                    site,
+                    term: self.term.load(Ordering::Acquire),
+                    epoch: self.membership.epoch(),
+                    replayed,
+                });
+            }
+        }
+        // Whatever happened, restart the grace window: declaring death
+        // again on the very next poll helps nobody.
+        self.cadence.reset(self.clock.now_us());
+        events
     }
 
     /// Promote a mirror to be the new central site — the deepest payoff of
@@ -733,13 +876,63 @@ impl Cluster {
     /// Returns the site ids of the live mirrors remaining under the new
     /// coordinator. Source traffic submitted after this call flows through
     /// the new central site.
+    ///
+    /// Uses a 2-second quiesce deadline; see
+    /// [`promote_mirror_with`](Self::promote_mirror_with) for the deadline
+    /// semantics and the zero-loss handoff details.
     pub fn promote_mirror(&self, site: SiteId) -> Result<Vec<SiteId>, MembershipError> {
+        self.promote_mirror_with(site, Duration::from_secs(2)).map(|(survivors, _)| survivors)
+    }
+
+    /// [`promote_mirror`](Self::promote_mirror) with an explicit quiesce
+    /// deadline, returning `(survivors, replayed)` where `replayed` is the
+    /// number of journal entries applied beyond the successor's own
+    /// frontier during zero-loss handoff (0 without durability).
+    ///
+    /// Takeover sequence:
+    ///
+    /// 1. the promotion lock serializes racing takeovers, and the cluster's
+    ///    [`request_gate`](Self::request_gate) closes so initial-state
+    ///    requests park (bounded) instead of racing the swap;
+    /// 2. the candidate quiesces: its processed counter must hold still
+    ///    for 3 consecutive 10 ms samples within `quiesce`. If the
+    ///    deadline expires while the counter is still advancing, the
+    ///    promotion aborts with [`MembershipError::QuiesceTimeout`] — the
+    ///    mirror is left live and untouched, and the caller may retry;
+    /// 3. the mirror stops, is snapshotted, and is retired (epoch bump);
+    /// 4. **zero-loss handoff** (durability on): the successor adopts the
+    ///    journal — reusing the live one after a graceful
+    ///    [`stop_central`](Self::stop_central), or reopening the directory
+    ///    (running torn-write crash repair) after
+    ///    [`crash_central`](Self::crash_central) — replays the retained
+    ///    log beyond its own frontier, and republishes the tail on the
+    ///    data channel for the surviving mirrors (idempotent absorption);
+    /// 5. the new coordinator starts at a **bumped leadership term**,
+    ///    resuming the journal's send-index sequence, and every site
+    ///    rejects control frames from the fenced predecessor's lower term.
+    pub fn promote_mirror_with(
+        &self,
+        site: SiteId,
+        quiesce: Duration,
+    ) -> Result<(Vec<SiteId>, usize), MembershipError> {
+        let _promotion = self.promotion.lock();
         match self.membership.view().state_of(site) {
             Some(SiteState::Live) => {}
             Some(SiteState::Suspect) => return Err(MembershipError::NotLive(site)),
             Some(SiteState::Retired) => return Err(MembershipError::Retired(site)),
             None => return Err(MembershipError::UnknownSite(site)),
         }
+
+        // Park initial-state serving for the takeover window; reopen on
+        // every exit path (including the error returns below).
+        struct OpenOnDrop<'a>(&'a RequestGate);
+        impl Drop for OpenOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.open();
+            }
+        }
+        self.request_gate.close();
+        let _reopen = OpenOnDrop(&self.request_gate);
 
         // Retire the promoted mirror FIRST, after quiescing: wait for its
         // processed counter to stop advancing (in-flight events draining
@@ -749,7 +942,7 @@ impl Cluster {
         // broadcast, so the new coordinator is not behind the survivors.
         let mut last = self.mirror(site).processed();
         let mut stable = 0;
-        let deadline = Instant::now() + Duration::from_secs(2);
+        let deadline = Instant::now() + quiesce;
         while stable < 3 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
             let now = self.mirror(site).processed();
@@ -759,6 +952,13 @@ impl Cluster {
                 stable = 0;
                 last = now;
             }
+        }
+        if stable < 3 {
+            // Deadline expired while the candidate was still applying:
+            // promoting now would seed the new coordinator from a state
+            // that is provably behind the stream. Abort before touching
+            // membership — the mirror keeps running.
+            return Err(MembershipError::QuiesceTimeout { site, processed: last });
         }
         let mut promoted =
             write(&self.sites).remove(&site).ok_or(MembershipError::UnknownSite(site))?;
@@ -772,27 +972,91 @@ impl Cluster {
         // subscriptions (ctrl-up) attach before any new traffic flows. It
         // coordinates the surviving live sites at the bumped epoch and
         // keeps the scale policy (if any) in force.
-        let (params, rules) = {
+        let (params, rules, journal) = {
             let central = read(&self.central);
-            (central.handle().params(), central.handle().with(|a| a.rules().clone()))
+            let journal = match &self.durability {
+                None => None,
+                Some(dcfg) => match central.journal() {
+                    // Graceful handoff: the journal is healthy — the
+                    // successor simply takes over the live writer.
+                    Some(j) if !j.is_crashed() => Some(Arc::clone(j)),
+                    // The old central crashed (or somehow ran without a
+                    // journal): its writer is gone and its log abandoned,
+                    // so reopening the directory is safe — and runs the
+                    // store's torn-write crash repair over whatever the
+                    // dead process left behind.
+                    _ => Some(Arc::new(Journal::open(dcfg)?)),
+                },
+            };
+            (central.handle().params(), central.handle().with(|a| a.rules().clone()), journal)
         };
+
+        // Zero-loss handoff: replay the retained log onto the successor's
+        // snapshot. Entries at or below its frontier are absorbed
+        // idempotently; entries beyond it are exactly the events the dead
+        // central journaled but this mirror never received — counted, and
+        // republished on the data channel so the surviving mirrors catch
+        // up the same way.
+        let mut frontier = snapshot.as_of.clone();
+        let mut state = snapshot.into_state();
+        let mut replayed = 0usize;
+        if let Some(j) = &journal {
+            let entries = j.replay_from(0)?;
+            let data_pub = self.data.publisher();
+            for (_, e) in entries {
+                if !e.stamp.dominated_by(&frontier) {
+                    replayed += 1;
+                }
+                state.apply(&e);
+                frontier.merge(&e.stamp);
+                data_pub.publish(SharedEvent::new(e));
+            }
+        }
+
         let mut aux = MirrorConfig::with_params(params).build_central(survivors.clone());
         aux.set_rules(rules);
         aux.set_membership_epoch(epoch);
+        // Fencing: the successor coordinates at a strictly higher term.
+        // Replies to the old coordinator's rounds, or CHKPT/COMMIT frames
+        // from a resurrected old central, carry a lower term and are
+        // rejected by the checkpointer and by every mirror.
+        let new_term = self.term.fetch_add(1, Ordering::AcqRel) + 1;
+        aux.set_leader_term(new_term);
+        if let Some(policy) = self.failover {
+            aux.set_heartbeat_after(policy.heartbeat_ticks);
+        }
         if let Some(policy) = self.scale {
             aux.set_scale_policy(policy);
         }
-        let replacement = CentralSite::start_seeded(
-            MirrorHandle::new(aux),
-            self.clock.clone(),
-            self.data.publisher(),
-            self.ctrl_down.publisher(),
-            &self.ctrl_up,
-        );
-        let frontier = snapshot.as_of.clone();
-        replacement.seed(snapshot.into_state(), frontier);
+        if let Some(j) = &journal {
+            if let Some(last_idx) = j.last_idx() {
+                // Journal indices must stay monotone across coordinators:
+                // continue the sequence, don't restart at 1.
+                aux.resume_send_idx(last_idx + 1);
+            }
+        }
+        let replacement = match &journal {
+            Some(j) => CentralSite::start_seeded_journaled(
+                MirrorHandle::new(aux),
+                self.clock.clone(),
+                self.data.publisher(),
+                self.ctrl_down.publisher(),
+                &self.ctrl_up,
+                Arc::clone(j),
+            ),
+            None => CentralSite::start_seeded(
+                MirrorHandle::new(aux),
+                self.clock.clone(),
+                self.data.publisher(),
+                self.ctrl_down.publisher(),
+                &self.ctrl_up,
+            ),
+        };
+        replacement.seed(state, frontier);
         *write(&self.central) = replacement;
-        Ok(survivors)
+        // Fresh grace window for the new coordinator's first heartbeat.
+        self.cadence.reset(self.clock.now_us());
+        Ok((survivors, replayed))
     }
 
     /// Stop every site and join all threads.
@@ -800,6 +1064,16 @@ impl Cluster {
         write(&self.central).stop();
         for (_, m) in write(&self.sites).iter_mut() {
             m.stop();
+        }
+        // Dropping `self` joins the failover watcher (see `Drop`).
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.watcher_stop.store(true, Ordering::Release);
+        if let Some(w) = self.watcher.lock().take() {
+            let _ = w.join();
         }
     }
 }

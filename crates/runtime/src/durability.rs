@@ -108,6 +108,8 @@ pub struct Journal {
     /// contended disk. Tests use it to prove snapshot persistence never
     /// blocks event processing.
     snapshot_save_pad_us: std::sync::atomic::AtomicU64,
+    /// Crash simulation: see [`crash`](Journal::crash).
+    crashed: std::sync::atomic::AtomicBool,
 }
 
 impl Journal {
@@ -169,10 +171,16 @@ impl Journal {
             snapshots,
             error,
             snapshot_save_pad_us: std::sync::atomic::AtomicU64::new(0),
+            crashed: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
     fn send(&self, op: Op, notify: bool) {
+        if self.crashed.load(std::sync::atomic::Ordering::Acquire) {
+            // Dropping the op also drops a Barrier's ack sender, so a
+            // concurrent `drain` unblocks instead of hanging forever.
+            return;
+        }
         self.queue.state.lock().unwrap().0.push(op);
         if notify {
             self.queue.cv.notify_one();
@@ -283,12 +291,47 @@ impl Journal {
         self.drain();
         self.error.lock().as_ref().map(|e| e.kind())
     }
+
+    /// Simulate a process crash: queued-but-unwritten ops are discarded,
+    /// the writer thread exits, and the underlying [`EventLog`] is
+    /// abandoned mid-write (its buffered tail lost, a torn final record
+    /// possibly on disk). The directory is left exactly as a crashed
+    /// central would leave it — a later [`Journal::open`] on the same
+    /// [`DurabilityConfig`] runs the store's torn-write crash repair.
+    pub fn crash(&self) {
+        use std::sync::atomic::Ordering;
+        if self.crashed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        {
+            // Ops enqueued before the crash but not yet written are lost,
+            // like a process dying with its WAL inbox unflushed.
+            let mut state = self.queue.state.lock().unwrap();
+            state.0.clear();
+            state.1 = true;
+        }
+        self.queue.cv.notify_one();
+        if let Some(w) = self.writer.lock().take() {
+            let _ = w.join();
+        }
+        self.log.lock().abandon();
+    }
+
+    /// Whether [`crash`](Journal::crash) has been called.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(std::sync::atomic::Ordering::Acquire)
+    }
 }
 
 impl Drop for Journal {
     /// Close the queue and join the writer: every enqueued op reaches the
     /// log (whose own drop then flushes its append buffer).
     fn drop(&mut self) {
+        if self.is_crashed() {
+            // The writer is already joined and the log abandoned; a clean
+            // drain here would undo the simulated crash.
+            return;
+        }
         self.drain();
         self.queue.state.lock().unwrap().1 = true;
         self.queue.cv.notify_one();

@@ -1,0 +1,137 @@
+//! Automatic central-site failover: detection policy, coordinator-cadence
+//! tracking, and the events a takeover surfaces.
+//!
+//! The paper (§2.3) designates one site as the central mirroring
+//! coordinator but leaves its death to operator intervention. This module
+//! supplies the pieces that make succession automatic:
+//!
+//! * [`FailoverPolicy`] — when silence on the control downlink means the
+//!   coordinator is dead (the control-plane twin of the checkpoint
+//!   coordinator's `suspect_after` for mirrors);
+//! * [`CtrlCadence`] — a lock-free tracker of the observed CHKPT/COMMIT
+//!   cadence, so the death threshold adapts to the actual checkpoint rate
+//!   instead of a fixed wall-clock guess;
+//! * [`FailoverEvent`] — what `Cluster::poll_failover` reports when it
+//!   declares a death and promotes a successor.
+//!
+//! Succession is **deterministic**, not elected: every surviving site can
+//! rank the live membership by [`SiteId`], so the lowest live mirror is
+//! the unambiguous successor and no vote (and no extra message class) is
+//! needed. Fencing of the dead-but-maybe-resurrected old coordinator is
+//! the term check on control frames (see `mirror-core`): the successor
+//! takes over at a strictly higher term, and every site rejects frames
+//! from lower terms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use mirror_core::SiteId;
+
+/// When to declare the central coordinator dead, and how fast it must
+/// prove liveness while idle.
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverPolicy {
+    /// Declare the coordinator dead after this many *expected control
+    /// gaps* of complete silence on the control downlink. Mirrors' own
+    /// failure detector excludes a mirror after `suspect_after` rounds
+    /// without a reply; this is the same idea pointed the other way.
+    pub suspect_rounds: u32,
+    /// Idle aux-thread wakeups (one per flush period, ~20 ms) the central
+    /// tolerates with an empty backup queue before starting a heartbeat
+    /// checkpoint round — the liveness signal that keeps the control
+    /// downlink talking when no data flows.
+    pub heartbeat_ticks: u32,
+    /// Floor on the expected control gap. Guards against a burst of
+    /// back-to-back rounds training the cadence estimate so low that
+    /// ordinary scheduling jitter reads as death.
+    pub min_gap: Duration,
+}
+
+impl Default for FailoverPolicy {
+    fn default() -> Self {
+        Self { suspect_rounds: 5, heartbeat_ticks: 2, min_gap: Duration::from_millis(50) }
+    }
+}
+
+/// Lock-free tracker of the coordinator's control-downlink cadence.
+///
+/// Every CHKPT/COMMIT observed on the downlink calls
+/// [`on_ctrl`](Self::on_ctrl); the tracker keeps the arrival time of the
+/// latest frame and an EWMA of inter-frame gaps. A monitor then compares
+/// [`silent_for`](Self::silent_for) against `suspect_rounds ×`
+/// [`expected_gap_us`](Self::expected_gap_us): silence is only meaningful
+/// relative to how often this cluster's coordinator actually speaks.
+#[derive(Debug)]
+pub struct CtrlCadence {
+    /// Microsecond timestamp (cluster clock) of the latest control frame.
+    last_ctrl_us: AtomicU64,
+    /// EWMA of inter-frame gaps, µs (0 until two frames have arrived).
+    ewma_gap_us: AtomicU64,
+}
+
+impl CtrlCadence {
+    /// Start tracking, treating `now_us` as the moment of last contact
+    /// (so a freshly started cluster is not instantly "silent forever").
+    pub fn new(now_us: u64) -> Self {
+        Self { last_ctrl_us: AtomicU64::new(now_us), ewma_gap_us: AtomicU64::new(0) }
+    }
+
+    /// Record a control frame observed at `now_us`.
+    pub fn on_ctrl(&self, now_us: u64) {
+        let prev = self.last_ctrl_us.swap(now_us, Ordering::AcqRel);
+        let gap = now_us.saturating_sub(prev);
+        if gap == 0 {
+            return;
+        }
+        // EWMA with α = 1/4; a plain store is fine — the estimate only
+        // steers a threshold, and observers tolerate one stale reading.
+        let prev_ewma = self.ewma_gap_us.load(Ordering::Acquire);
+        let next = if prev_ewma == 0 { gap } else { prev_ewma - prev_ewma / 4 + gap / 4 };
+        self.ewma_gap_us.store(next, Ordering::Release);
+    }
+
+    /// Microseconds since the latest control frame, as of `now_us`.
+    pub fn silent_for(&self, now_us: u64) -> u64 {
+        now_us.saturating_sub(self.last_ctrl_us.load(Ordering::Acquire))
+    }
+
+    /// The gap (µs) after which one more silent period is "a missed
+    /// round": the cadence EWMA, floored by the policy's `min_gap`.
+    pub fn expected_gap_us(&self, min_gap: Duration) -> u64 {
+        self.ewma_gap_us.load(Ordering::Acquire).max(min_gap.as_micros() as u64)
+    }
+
+    /// Reset the last-contact mark to `now_us` — called after a takeover
+    /// so the new coordinator gets a full grace window.
+    pub fn reset(&self, now_us: u64) {
+        self.last_ctrl_us.store(now_us, Ordering::Release);
+    }
+}
+
+/// A failover transition observed by `Cluster::poll_failover` (drained in
+/// order, like `ScaleEvent` for elastic membership).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailoverEvent {
+    /// The control downlink went silent past the policy threshold: the
+    /// coordinator holding `term` is declared dead.
+    CoordinatorDead {
+        /// How long the downlink had been silent when death was declared.
+        silent_for: Duration,
+        /// The leadership term of the coordinator being given up on.
+        term: u64,
+    },
+    /// A mirror was promoted to coordinator.
+    Promoted {
+        /// The promoted site (lowest live [`SiteId`] at declaration time).
+        site: SiteId,
+        /// Its leadership term — strictly above every previous term, so
+        /// stale frames from the old coordinator are fenced everywhere.
+        term: u64,
+        /// The membership epoch the new coordinator stamps on rounds.
+        epoch: u64,
+        /// Journal entries replayed beyond the successor's own frontier
+        /// during zero-loss handoff (0 without durability, or when the
+        /// successor was already fully caught up).
+        replayed: usize,
+    },
+}

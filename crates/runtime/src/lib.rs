@@ -20,6 +20,7 @@ pub mod bridge;
 pub mod clock;
 pub mod cluster;
 pub mod durability;
+pub mod failover;
 pub mod requests;
 pub mod site;
 pub mod snapcache;
@@ -27,6 +28,7 @@ pub mod snapcache;
 pub use clock::RuntimeClock;
 pub use cluster::{Cluster, ClusterConfig, ClusterStats, MirrorRef, ScaleEvent, SiteStats};
 pub use durability::{DurabilityConfig, Journal, ResyncOutcome, ResyncSource};
-pub use requests::{GatewayConfig, RequestClient, RequestError, RequestGateway};
+pub use failover::{CtrlCadence, FailoverEvent, FailoverPolicy};
+pub use requests::{GatewayConfig, RequestClient, RequestError, RequestGate, RequestGateway};
 pub use site::{CentralSite, MirrorSite};
 pub use snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};

@@ -35,10 +35,78 @@ use mirror_ede::Snapshot;
 use crate::site::SiteCounters;
 use crate::snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};
 
-/// A request job: answered with a served (cache-shared) snapshot.
+/// A request job: answered with a served (cache-shared) snapshot, or a
+/// [`RequestError::Unavailable`] when the serving site is mid-takeover.
 struct Job {
-    reply: Sender<ServedSnapshot>,
+    reply: Sender<Result<ServedSnapshot, RequestError>>,
     submitted: Instant,
+}
+
+/// Admission gate for initial-state serving, shared between a cluster's
+/// gateways and its failover machinery.
+///
+/// During a coordinator takeover the cluster **closes** the gate: workers
+/// park arriving requests (bounded by [`GatewayConfig::gate_wait`]) instead
+/// of serving state that is about to be superseded. Requests still parked
+/// when the bound expires fail with [`RequestError::Unavailable`]; the rest
+/// resume the moment the successor **opens** the gate again.
+pub struct RequestGate {
+    /// `true` = open. A plain std mutex/condvar pair: the gate toggles a
+    /// handful of times per failover, never on the per-request hot path
+    /// while open (workers read the flag once under an uncontended lock).
+    open: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl RequestGate {
+    /// A gate that starts open.
+    pub fn new() -> Self {
+        Self { open: std::sync::Mutex::new(true), cv: std::sync::Condvar::new() }
+    }
+
+    /// Close the gate: workers park subsequent requests.
+    pub fn close(&self) {
+        *self.open.lock().unwrap_or_else(|e| e.into_inner()) = false;
+    }
+
+    /// Open the gate, releasing every parked worker.
+    pub fn open(&self) {
+        *self.open.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether the gate is currently open.
+    pub fn is_open(&self) -> bool {
+        *self.open.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Park until the gate opens or `timeout` passes; `true` iff open.
+    pub fn wait_open(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut open = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        while !*open {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) =
+                self.cv.wait_timeout(open, deadline - now).unwrap_or_else(|e| e.into_inner());
+            open = guard;
+        }
+        true
+    }
+}
+
+impl Default for RequestGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for RequestGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestGate").field("open", &self.is_open()).finish()
+    }
 }
 
 /// What travels the gateway FIFO: work, or a shutdown pill. `stop()`
@@ -51,7 +119,7 @@ enum Msg {
 }
 
 /// How a site answers initial-state requests.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GatewayConfig {
     /// Worker threads draining the request FIFO. `0` means auto:
     /// `min(4, available cores)`.
@@ -65,6 +133,13 @@ pub struct GatewayConfig {
     /// for pure functional tests). This is what makes request storms
     /// *load*.
     pub service_pad: Duration,
+    /// Admission gate shared with the cluster's failover machinery; `None`
+    /// serves unconditionally. When the gate is closed, workers park each
+    /// dequeued request up to [`gate_wait`](GatewayConfig::gate_wait)
+    /// before failing it with [`RequestError::Unavailable`].
+    pub gate: Option<Arc<RequestGate>>,
+    /// Longest a worker parks a request on a closed gate.
+    pub gate_wait: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -73,6 +148,8 @@ impl Default for GatewayConfig {
             workers: 0,
             cache: Some(SnapshotCachePolicy::default()),
             service_pad: Duration::ZERO,
+            gate: None,
+            gate_wait: Duration::from_secs(1),
         }
     }
 }
@@ -102,6 +179,10 @@ pub enum RequestError {
     Closed,
     /// No response within the deadline.
     Timeout,
+    /// The serving site is mid-takeover and the admission gate stayed
+    /// closed past [`GatewayConfig::gate_wait`] — retry once failover
+    /// completes.
+    Unavailable,
 }
 
 impl std::fmt::Display for RequestError {
@@ -109,6 +190,7 @@ impl std::fmt::Display for RequestError {
         match self {
             RequestError::Closed => write!(f, "gateway closed"),
             RequestError::Timeout => write!(f, "request timed out"),
+            RequestError::Unavailable => write!(f, "site unavailable during takeover"),
         }
     }
 }
@@ -118,7 +200,7 @@ impl RequestClient {
     /// Enqueue one job, bumping the pending gauge first so the occupancy
     /// a monitor observes always covers every submitted-but-unanswered
     /// request (the worker decrements after replying).
-    fn submit(&self) -> Result<Receiver<ServedSnapshot>, RequestError> {
+    fn submit(&self) -> Result<Receiver<Result<ServedSnapshot, RequestError>>, RequestError> {
         if self.stopped.load(Ordering::Acquire) {
             return Err(RequestError::Closed);
         }
@@ -134,12 +216,12 @@ impl RequestClient {
     /// Submit a request and wait for the snapshot (with a deadline).
     pub fn fetch(&self, timeout: Duration) -> Result<ServedSnapshot, RequestError> {
         let reply_rx = self.submit()?;
-        reply_rx.recv_timeout(timeout).map_err(|_| RequestError::Timeout)
+        reply_rx.recv_timeout(timeout).map_err(|_| RequestError::Timeout)?
     }
 
     /// Fire a request without waiting (load-generation helper); the reply
     /// is discarded when the returned receiver is dropped.
-    pub fn fire(&self) -> Result<Receiver<ServedSnapshot>, RequestError> {
+    pub fn fire(&self) -> Result<Receiver<Result<ServedSnapshot, RequestError>>, RequestError> {
         self.submit()
     }
 }
@@ -185,6 +267,8 @@ impl RequestGateway {
             let pending_gauge = Arc::clone(&pending_gauge);
             let counters = Arc::clone(&counters);
             let service_pad = config.service_pad;
+            let gate = config.gate.clone();
+            let gate_wait = config.gate_wait;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("request-gateway-{w}"))
@@ -206,6 +290,15 @@ impl RequestGateway {
                             pending_gauge.fetch_sub(1, Ordering::Relaxed);
                             continue;
                         }
+                        if let Some(gate) = &gate {
+                            // Takeover in progress: park (bounded) rather
+                            // than serve state about to be superseded.
+                            if !gate.wait_open(gate_wait) {
+                                let _ = job.reply.send(Err(RequestError::Unavailable));
+                                pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
                         let (served, hit) = match cache.as_deref() {
                             Some(cache) => {
                                 cache.get(live_epoch.load(Ordering::Acquire), || capture())
@@ -225,7 +318,7 @@ impl RequestGateway {
                         // Count before replying: a caller woken by the
                         // reply must already observe its own completion.
                         counters.requests_served.fetch_add(1, Ordering::Relaxed);
-                        let _ = job.reply.send(served);
+                        let _ = job.reply.send(Ok(served));
                         pending_gauge.fetch_sub(1, Ordering::Relaxed);
                     })
                     .expect("spawn request gateway worker"),
@@ -328,7 +421,12 @@ mod tests {
             Arc::new(AtomicU64::new(0)),
             Arc::clone(&pending),
             Arc::clone(&counters),
-            GatewayConfig { workers: 2, cache: None, service_pad: Duration::ZERO },
+            GatewayConfig {
+                workers: 2,
+                cache: None,
+                service_pad: Duration::ZERO,
+                ..GatewayConfig::default()
+            },
         );
         let client = gw.client();
         let mut receivers = Vec::new();
@@ -379,7 +477,12 @@ mod tests {
             Arc::new(AtomicU64::new(0)),
             Arc::clone(&pending),
             Arc::clone(&counters),
-            GatewayConfig { workers: 1, cache: None, service_pad: Duration::ZERO },
+            GatewayConfig {
+                workers: 1,
+                cache: None,
+                service_pad: Duration::ZERO,
+                ..GatewayConfig::default()
+            },
         );
         let client = gw.client();
         let mut receivers = Vec::new();
@@ -405,6 +508,7 @@ mod tests {
             workers: 4,
             cache: Some(SnapshotCachePolicy::default()),
             service_pad: Duration::from_millis(50),
+            ..GatewayConfig::default()
         });
         let client = gw.client();
         let t0 = Instant::now();
@@ -447,6 +551,7 @@ mod tests {
                     max_stale: Duration::from_secs(10),
                 }),
                 service_pad: Duration::ZERO,
+                ..GatewayConfig::default()
             },
         );
         // Feed some state, then fire a burst.

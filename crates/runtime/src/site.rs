@@ -148,6 +148,9 @@ struct SiteCore {
     /// Direct line to the main thread (mirror rejoin seeding).
     seed_tx: Sender<MainMsg>,
     stop: Arc<std::sync::atomic::AtomicBool>,
+    /// Crash simulation: when set, threads abandon queued work instead of
+    /// draining it on the way out (see [`CentralSite::crash`]).
+    crashed: Arc<std::sync::atomic::AtomicBool>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -166,6 +169,7 @@ impl SiteCore {
     ) -> (Self, Sender<SiteMsg>) {
         let (inbox_tx, inbox_rx) = channel::unbounded::<SiteMsg>();
         let (main_tx, main_rx) = channel::unbounded::<MainMsg>();
+        let crashed = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let shared = Arc::new(SiteShared {
             ede: Mutex::new(Ede::new()),
             responder: Mutex::new(MainUnitResponder::new(site)),
@@ -179,9 +183,18 @@ impl SiteCore {
         let aux_handle = handle.clone();
         let aux_shared = Arc::clone(&shared);
         let aux_main_tx = main_tx.clone();
+        let aux_crashed = Arc::clone(&crashed);
         let aux = std::thread::Builder::new()
             .name(format!("aux-{site}"))
             .spawn(move || loop {
+                if aux_crashed.load(Ordering::SeqCst) {
+                    // Simulated crash: queued inbox traffic and coalescing
+                    // buffers are abandoned, exactly as a dead process
+                    // would abandon them. The main thread is released so
+                    // the crashed site can be joined.
+                    let _ = aux_main_tx.send(MainMsg::Stop);
+                    break;
+                }
                 let msg = match inbox_rx.recv_timeout(FLUSH_PERIOD) {
                     Ok(m) => m,
                     Err(channel::RecvTimeoutError::Timeout) => {
@@ -204,8 +217,12 @@ impl SiteCore {
                         route_actions(actions, &aux_shared, &aux_main_tx, &on_action);
                     }
                     SiteMsg::Stop => {
-                        let actions = aux_handle.mirror();
-                        route_actions(actions, &aux_shared, &aux_main_tx, &on_action);
+                        if !aux_crashed.load(Ordering::SeqCst) {
+                            // Clean shutdown flushes the coalescing
+                            // buffers; a crash loses them.
+                            let actions = aux_handle.mirror();
+                            route_actions(actions, &aux_shared, &aux_main_tx, &on_action);
+                        }
                         let _ = aux_main_tx.send(MainMsg::Stop);
                         break;
                     }
@@ -300,6 +317,7 @@ impl SiteCore {
                 inbox_tx,
                 seed_tx: main_tx,
                 stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+                crashed,
                 threads: vec![aux, main],
             },
             tx,
@@ -308,14 +326,19 @@ impl SiteCore {
 }
 
 /// Pump a subscription into a sink until the stop flag is set or the
-/// channel closes.
+/// channel closes. A set `crashed` flag abandons the backlog instead of
+/// draining it — crash semantics for [`CentralSite::crash`].
 fn pump<T>(
     sub: Subscriber<T>,
     stop: Arc<std::sync::atomic::AtomicBool>,
+    crashed: Arc<std::sync::atomic::AtomicBool>,
     mut sink: impl FnMut(T) -> bool,
 ) {
     use mirror_echo::channel::RecvStatus;
     loop {
+        if crashed.load(Ordering::SeqCst) {
+            return;
+        }
         if stop.load(Ordering::SeqCst) {
             // Drain the backlog before exiting so a stop signal never
             // drops traffic that was already published.
@@ -548,6 +571,22 @@ impl CentralSite {
         Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, true, None)
     }
 
+    /// The promotion path with durability: like
+    /// [`start_seeded`](Self::start_seeded), but the successor also takes
+    /// over journaling — every event it mirrors from here on is appended
+    /// to `journal`, and its checkpoint commits drive log truncation, so
+    /// the zero-loss guarantee survives repeated failovers.
+    pub fn start_seeded_journaled(
+        handle: MirrorHandle,
+        clock: RuntimeClock,
+        data_pub: Publisher<SharedEvent>,
+        ctrl_down_pub: Publisher<ControlMsg>,
+        ctrl_up: &EventChannel<ControlMsg>,
+        journal: Arc<Journal>,
+    ) -> Self {
+        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, true, Some(journal))
+    }
+
     fn start_inner(
         handle: MirrorHandle,
         clock: RuntimeClock,
@@ -630,9 +669,12 @@ impl CentralSite {
             seed_gate: Mutex::new(()),
         };
         let stop = Arc::clone(&site.core.stop);
+        let crashed = Arc::clone(&site.core.crashed);
         let fwd = std::thread::Builder::new()
             .name("central-ctrl-up".into())
-            .spawn(move || pump(up_sub, stop, move |m| inbox_tx.send(SiteMsg::Ctrl(m)).is_ok()))
+            .spawn(move || {
+                pump(up_sub, stop, crashed, move |m| inbox_tx.send(SiteMsg::Ctrl(m)).is_ok())
+            })
             .expect("spawn ctrl-up forwarder");
         site.core.threads.push(fwd);
         site
@@ -781,6 +823,36 @@ impl CentralSite {
         self.journal.as_ref()
     }
 
+    /// Simulate the central process dying, as opposed to the graceful
+    /// [`stop`](Self::stop):
+    ///
+    /// * the journal (if any) is crashed first — queued appends are
+    ///   discarded, the event log is abandoned mid-write with its buffered
+    ///   tail lost and possibly a torn final record on disk;
+    /// * the aux thread abandons its inbox and coalescing buffers instead
+    ///   of flushing them;
+    /// * forwarder threads abandon channel backlogs instead of draining.
+    ///
+    /// Threads are still *joined* (a test process cannot leak them), but
+    /// everything they would have flushed on a clean stop is gone —
+    /// exactly the wreckage automatic failover must recover from.
+    pub fn crash(&mut self) {
+        if let Some(j) = &self.journal {
+            j.crash();
+        }
+        self.core.crashed.store(true, Ordering::SeqCst);
+        self.core.stop.store(true, Ordering::SeqCst);
+        let _ = self.core.inbox_tx.send(SiteMsg::Stop);
+        for t in self.core.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Whether [`crash`](Self::crash) has been called on this site.
+    pub fn is_crashed(&self) -> bool {
+        self.core.crashed.load(Ordering::SeqCst)
+    }
+
     /// Persist the current EDE state as the durable recovery snapshot
     /// (atomic replace), consistent with the main unit's processed
     /// frontier. Returns the number of flights captured.
@@ -857,19 +929,23 @@ impl MirrorSite {
         let data_sub = data.subscribe();
         let tx1 = inbox_tx.clone();
         let stop1 = Arc::clone(&s.core.stop);
+        let crashed1 = Arc::clone(&s.core.crashed);
         let f1 = std::thread::Builder::new()
             .name(format!("mirror-{site}-data"))
             .spawn(move || {
-                pump(data_sub, stop1, move |e: SharedEvent| {
+                pump(data_sub, stop1, crashed1, move |e: SharedEvent| {
                     tx1.send(SiteMsg::Data(e.into_event())).is_ok()
                 })
             })
             .expect("spawn data forwarder");
         let ctrl_sub = ctrl_down.subscribe();
         let stop2 = Arc::clone(&s.core.stop);
+        let crashed2 = Arc::clone(&s.core.crashed);
         let f2 = std::thread::Builder::new()
             .name(format!("mirror-{site}-ctrl"))
-            .spawn(move || pump(ctrl_sub, stop2, move |m| inbox_tx.send(SiteMsg::Ctrl(m)).is_ok()))
+            .spawn(move || {
+                pump(ctrl_sub, stop2, crashed2, move |m| inbox_tx.send(SiteMsg::Ctrl(m)).is_ok())
+            })
             .expect("spawn ctrl forwarder");
         s.core.threads.push(f1);
         s.core.threads.push(f2);

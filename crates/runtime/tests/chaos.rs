@@ -369,7 +369,7 @@ fn dead_link_escalates_to_exclusion_and_failover_survives() {
 
     // Central failover under the same conditions: promote the surviving
     // mirror and keep serving traffic.
-    cluster.fail_central();
+    cluster.stop_central();
     let survivors = cluster.promote_mirror(1).unwrap();
     assert!(!survivors.contains(&1));
     let updates = cluster.subscribe_updates();

@@ -1,0 +1,377 @@
+//! Automatic central-site failover under chaos: the acceptance scenario
+//! for leadership terms, cadence-based failure detection, fenced takeover
+//! and zero-loss journal handoff.
+//!
+//! The tentpole test kills the central *mid-storm* with durability on —
+//! threads abandoned, journal unflushed, final record possibly torn — and
+//! requires that
+//!
+//! * the liveness detector declares the coordinator dead from control
+//!   silence alone and the **lowest live mirror self-promotes at a bumped
+//!   leadership term** (deterministic succession, no election),
+//! * **no committed event is lost**: the successor's frontier dominates
+//!   the last committed checkpoint of the dead coordinator,
+//! * frames from the fenced old coordinator (stale term) are **rejected**
+//!   by the surviving mirrors.
+//!
+//! Satellites covered here: the typed `QuiesceTimeout` abort, promotion
+//! edge cases (suspect / retired / unknown / racing double promotion),
+//! takeover parking of initial-state requests, and promotion while a
+//! checkpoint round is pending.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mirror_core::control::ControlMsg;
+use mirror_core::event::{Event, PositionFix};
+use mirror_core::membership::MembershipError;
+use mirror_core::timestamp::VectorTimestamp;
+use mirror_runtime::durability::DurabilityConfig;
+use mirror_runtime::{
+    Cluster, ClusterConfig, FailoverEvent, FailoverPolicy, GatewayConfig, RequestError,
+};
+use mirror_store::FsyncPolicy;
+
+fn fix() -> PositionFix {
+    PositionFix { lat: 40.6, lon: -73.8, alt_ft: 28_000.0, speed_kts: 455.0, heading_deg: 75.0 }
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mirror-rt-fo-{}-{}", std::process::id(), tag));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn policy() -> FailoverPolicy {
+    FailoverPolicy { suspect_rounds: 3, heartbeat_ticks: 2, min_gap: Duration::from_millis(50) }
+}
+
+/// Poll `poll_failover` until it reports a promotion (collecting every
+/// event on the way) or the deadline expires.
+fn poll_until_promoted(cluster: &Cluster, timeout: Duration) -> Vec<FailoverEvent> {
+    let deadline = Instant::now() + timeout;
+    let mut events = Vec::new();
+    while Instant::now() < deadline {
+        events.extend(cluster.poll_failover());
+        if events.iter().any(|e| matches!(e, FailoverEvent::Promoted { .. })) {
+            return events;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    events
+}
+
+/// The acceptance-criteria scenario: central crashes mid-storm with
+/// durability on; a mirror self-promotes at a bumped term; no committed
+/// event is lost; the fenced old coordinator's stale-term frames are
+/// rejected by the survivors.
+#[test]
+fn crash_mid_storm_promotes_successor_with_zero_committed_loss() {
+    let dir = store_dir("chaos");
+    let cluster = Cluster::start(ClusterConfig {
+        mirrors: 3,
+        durability: Some(DurabilityConfig {
+            fsync: FsyncPolicy::EveryN(8),
+            ..DurabilityConfig::new(&dir)
+        }),
+        failover: Some(policy()),
+        ..Default::default()
+    });
+    cluster.central().handle().set_params(false, 1, 10); // frequent rounds
+    assert_eq!(cluster.leader_term(), 0);
+
+    // The storm: a feeder thread pumping position updates flat out.
+    let stop = Arc::new(AtomicBool::new(false));
+    let seq = Arc::new(AtomicU64::new(0));
+    let cluster = Arc::new(cluster);
+    let feeder = {
+        let (cluster, stop, seq) = (Arc::clone(&cluster), Arc::clone(&stop), Arc::clone(&seq));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let s = seq.fetch_add(1, Ordering::Relaxed) + 1;
+                cluster.submit(Event::faa_position(s, (s % 8) as u32, fix()));
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        })
+    };
+
+    // Let the protocol commit real work before the kill.
+    assert!(
+        cluster.wait(Duration::from_secs(10), |c| {
+            c.central()
+                .committed()
+                .map(|t| t.components().iter().sum::<u64>() >= 100)
+                .unwrap_or(false)
+        }),
+        "storm must commit checkpoints before the crash"
+    );
+    let committed_before = cluster.central().committed().expect("commits observed before crash");
+
+    // Kill it mid-storm: threads abandoned, journal unflushed + torn.
+    cluster.crash_central();
+    stop.store(true, Ordering::Relaxed);
+    feeder.join().unwrap();
+
+    // Silence on the control downlink must now be detected and the lowest
+    // live mirror promoted — no operator in the loop.
+    let events = poll_until_promoted(&cluster, Duration::from_secs(15));
+    assert!(
+        events.iter().any(|e| matches!(e, FailoverEvent::CoordinatorDead { term: 0, .. })),
+        "death of the term-0 coordinator must be declared, got {events:?}"
+    );
+    let (site, term, replayed) = events
+        .iter()
+        .find_map(|e| match e {
+            FailoverEvent::Promoted { site, term, replayed, .. } => Some((*site, *term, *replayed)),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no promotion in {events:?}"));
+    assert_eq!(site, 1, "deterministic succession: lowest live site takes over");
+    assert_eq!(term, 1, "takeover must bump the leadership term");
+    assert_eq!(cluster.leader_term(), 1);
+    println!("journal entries replayed beyond successor frontier: {replayed}");
+
+    // Zero committed-event loss: everything the dead coordinator had
+    // committed is inside the successor's frontier (replicated state plus
+    // the crash-repaired journal tail).
+    let successor_frontier = cluster.snapshot(0).unwrap().as_of;
+    assert!(
+        committed_before.dominated_by(&successor_frontier),
+        "committed {committed_before:?} must be ≤ successor frontier {successor_frontier:?}"
+    );
+
+    // Fencing: wait for a survivor to learn the new term from the new
+    // coordinator's rounds, then inject CHKPT/COMMIT frames as the
+    // resurrected old central (term 0) — both must be rejected.
+    assert!(
+        cluster.wait(Duration::from_secs(10), |c| {
+            c.mirror(2).handle().with(|a| a.leader_term()) >= 1
+        }),
+        "survivor must learn the bumped term from the new coordinator"
+    );
+    let (_, ctrl_down, _) = cluster.channels();
+    let stale = ctrl_down.publisher();
+    stale.publish(ControlMsg::Chkpt {
+        round: 9_999,
+        stamp: VectorTimestamp::empty(),
+        epoch: cluster.epoch(),
+        term: 0,
+    });
+    stale.publish(ControlMsg::Commit {
+        round: 9_999,
+        stamp: VectorTimestamp::empty(),
+        epoch: cluster.epoch(),
+        term: 0,
+        adapt: None,
+    });
+    assert!(
+        cluster.wait(Duration::from_secs(5), |c| {
+            c.mirror(2).handle().with(|a| a.counters()).stale_term_rejects >= 2
+        }),
+        "stale-term frames from the fenced old coordinator must be rejected"
+    );
+
+    // Service continues under the new coordinator.
+    let before = cluster.central().processed();
+    for s in 1..=100u64 {
+        cluster.submit(Event::faa_position(1_000_000 + s, (s % 8) as u32, fix()));
+    }
+    assert!(
+        cluster.wait(Duration::from_secs(10), |c| c.central().processed() >= before + 100),
+        "new coordinator must keep serving the stream"
+    );
+
+    Arc::try_unwrap(cluster).ok().expect("all clones dropped").shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Graceful-death detection: after `stop_central` the heartbeat stream
+/// stops, the detector declares death from cadence silence, and the new
+/// coordinator completes checkpoint rounds at the bumped term even though
+/// the old one may have died with a round pending.
+#[test]
+fn silent_coordinator_is_detected_and_rounds_restart_under_new_term() {
+    let cluster = Cluster::start(ClusterConfig {
+        mirrors: 2,
+        failover: Some(policy()),
+        ..Default::default()
+    });
+    cluster.central().handle().set_params(false, 1, 10);
+    for s in 1..=120u64 {
+        cluster.submit(Event::faa_position(s, (s % 6) as u32, fix()));
+    }
+    assert!(cluster.wait_all_processed(120, Duration::from_secs(10)));
+
+    // Healthy coordinator: heartbeats keep the cadence alive, so polling
+    // must never declare death.
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(cluster.poll_failover().is_empty(), "healthy coordinator must not be declared dead");
+
+    // Stop mid-protocol (a round may be pending; the successor restarts
+    // rounds under its own term rather than completing the orphan).
+    cluster.stop_central();
+    let events = poll_until_promoted(&cluster, Duration::from_secs(15));
+    let promoted = events.iter().find_map(|e| match e {
+        FailoverEvent::Promoted { site, term, .. } => Some((*site, *term)),
+        _ => None,
+    });
+    assert_eq!(promoted, Some((1, 1)), "lowest live mirror at term 1, got {events:?}");
+
+    // Checkpoint rounds run to commit under the new coordinator.
+    for s in 121..=240u64 {
+        cluster.submit(Event::faa_position(s, (s % 6) as u32, fix()));
+    }
+    assert!(
+        cluster.wait(Duration::from_secs(10), |c| {
+            c.central()
+                .committed()
+                .map(|t| t.components().iter().sum::<u64>() >= 100)
+                .unwrap_or(false)
+        }),
+        "rounds must commit under the new term"
+    );
+    cluster.shutdown();
+}
+
+/// Satellite: a promotion whose quiesce window expires while the mirror
+/// is still applying events aborts with the typed `QuiesceTimeout` — and
+/// leaves the mirror live and the cluster fully operational.
+#[test]
+fn quiesce_timeout_aborts_promotion_and_leaves_mirror_live() {
+    let cluster = Arc::new(Cluster::start(ClusterConfig { mirrors: 2, ..Default::default() }));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let feeder = {
+        let (cluster, stop) = (Arc::clone(&cluster), Arc::clone(&stop));
+        std::thread::spawn(move || {
+            let mut s = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                s += 1;
+                cluster.submit(Event::faa_position(s, (s % 4) as u32, fix()));
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            s
+        })
+    };
+    // Let the stream ramp so the candidate's processed counter is moving.
+    assert!(cluster.wait(Duration::from_secs(5), |c| c.mirror(1).processed() >= 50));
+
+    // A 120 ms window can never observe 3 stable 10 ms samples while the
+    // feeder keeps the counter advancing.
+    match cluster.promote_mirror_with(1, Duration::from_millis(120)) {
+        Err(MembershipError::QuiesceTimeout { site: 1, processed }) => {
+            assert!(processed >= 50, "reported frontier counter, got {processed}");
+        }
+        other => panic!("expected QuiesceTimeout, got {other:?}"),
+    }
+
+    // The failed promotion must leave the mirror untouched and live.
+    let before = cluster.mirror(1).processed();
+    assert!(
+        cluster.wait(Duration::from_secs(5), |c| c.mirror(1).processed() > before),
+        "mirror must still be applying the stream after the aborted promotion"
+    );
+
+    // Once the stream drains, the same promotion succeeds.
+    stop.store(true, Ordering::Relaxed);
+    let submitted = feeder.join().unwrap();
+    assert!(cluster.wait_all_processed(submitted, Duration::from_secs(10)));
+    let survivors = cluster.promote_mirror(1).expect("quiesced promotion succeeds");
+    assert_eq!(survivors, vec![2]);
+    Arc::try_unwrap(cluster).ok().expect("all clones dropped").shutdown();
+}
+
+/// Satellite: promotion edge cases — suspect, retired and unknown sites
+/// are typed errors, and two racing promotions of the same site resolve
+/// to exactly one winner (the loser sees the site already retired).
+#[test]
+fn promotion_edge_cases_and_racing_double_promotion() {
+    let cluster = Cluster::start(ClusterConfig { mirrors: 3, ..Default::default() });
+    for s in 1..=60u64 {
+        cluster.submit(Event::faa_position(s, (s % 5) as u32, fix()));
+    }
+    assert!(cluster.wait_all_processed(60, Duration::from_secs(5)));
+
+    // A suspect (failed) site cannot seed a coordinator.
+    cluster.fail_mirror(3).unwrap();
+    assert!(matches!(cluster.promote_mirror(3), Err(MembershipError::NotLive(3))));
+    // Nor can a site that was never admitted.
+    assert!(matches!(cluster.promote_mirror(99), Err(MembershipError::UnknownSite(99))));
+
+    // Two threads race to promote the same mirror: the promotion lock
+    // serializes them, exactly one wins, and the loser gets `Retired` —
+    // not a second coordinator.
+    let cluster = Arc::new(cluster);
+    let racers: Vec<_> = (0..2)
+        .map(|_| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || cluster.promote_mirror(1))
+        })
+        .collect();
+    let outcomes: Vec<_> = racers.into_iter().map(|t| t.join().unwrap()).collect();
+    let wins = outcomes.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(wins, 1, "exactly one racer may win: {outcomes:?}");
+    assert!(
+        outcomes.iter().any(|r| matches!(r, Err(MembershipError::Retired(1)))),
+        "the loser must see the site already retired: {outcomes:?}"
+    );
+    assert_eq!(cluster.leader_term(), 1, "one promotion, one term bump");
+
+    // And the retired id stays unpromotable forever.
+    assert!(matches!(cluster.promote_mirror(1), Err(MembershipError::Retired(1))));
+    Arc::try_unwrap(cluster).ok().expect("all clones dropped").shutdown();
+}
+
+/// Satellite: gateways wired to the cluster's request gate park
+/// initial-state requests while a takeover is in flight — a bounded wait,
+/// then the typed `Unavailable` error instead of racing the swap.
+#[test]
+fn request_gate_parks_initial_state_requests_during_takeover() {
+    let cluster = Cluster::start(ClusterConfig { mirrors: 2, ..Default::default() });
+    for s in 1..=40u64 {
+        cluster.submit(Event::faa_position(s, (s % 4) as u32, fix()));
+    }
+    assert!(cluster.wait_all_processed(40, Duration::from_secs(5)));
+
+    let gate = cluster.request_gate();
+    let gw = cluster.mirror(2).serve_requests_with(GatewayConfig {
+        gate: Some(Arc::clone(&gate)),
+        gate_wait: Duration::from_millis(150),
+        ..GatewayConfig::default()
+    });
+    let client = gw.client();
+
+    // Open gate: requests flow.
+    assert!(client.fetch(Duration::from_secs(5)).is_ok());
+
+    // Closed gate (as during a takeover window): the request parks for
+    // `gate_wait`, then fails typed — never a half-swapped snapshot.
+    gate.close();
+    match client.fetch(Duration::from_secs(5)) {
+        Err(RequestError::Unavailable) => {}
+        other => panic!("expected Unavailable behind a closed gate, got {other:?}"),
+    }
+
+    // A request issued while closed is served once the gate reopens in
+    // time (parked, not dropped).
+    gate.close();
+    let rx = client.fire().unwrap();
+    std::thread::sleep(Duration::from_millis(40));
+    gate.open();
+    match rx.recv_timeout(Duration::from_secs(5)) {
+        Ok(Ok(_)) => {}
+        other => panic!("parked request must be served after reopen, got {other:?}"),
+    }
+
+    // And a real promotion reopens the gate on completion, so service
+    // continues against the survivor.
+    cluster.stop_central();
+    cluster.promote_mirror(1).unwrap();
+    assert!(gate.is_open(), "promotion must reopen the admission gate");
+    assert!(client.fetch(Duration::from_secs(5)).is_ok());
+    gw.stop();
+    cluster.shutdown();
+}

@@ -266,6 +266,10 @@ pub struct EventLog {
     /// Background fsync thread, spawned lazily on the first `EveryN`
     /// schedule.
     flusher: Option<Flusher>,
+    /// Crash simulation: the log has been [`abandon`](EventLog::abandon)ed —
+    /// every further mutation is a no-op and `Drop` does not write out the
+    /// append buffer.
+    abandoned: bool,
 }
 
 struct ActiveSegment {
@@ -385,7 +389,41 @@ impl EventLog {
             None => None,
         };
 
-        Ok(Self { dir, cfg, closed, active, last_idx, watermark, unsynced: 0, flusher: None })
+        Ok(Self {
+            dir,
+            cfg,
+            closed,
+            active,
+            last_idx,
+            watermark,
+            unsynced: 0,
+            flusher: None,
+            abandoned: false,
+        })
+    }
+
+    /// Simulate a process crash: drop the log on the floor mid-write.
+    ///
+    /// A torn prefix of the append buffer is pushed into the active segment
+    /// file (a real crash can land anywhere inside a `write`); the rest of
+    /// the buffered tail is lost. Every later mutation is a no-op and `Drop`
+    /// skips the clean-shutdown flush, so the on-disk state is exactly what
+    /// the next [`EventLog::open`]'s torn-write repair must cope with.
+    pub fn abandon(&mut self) {
+        self.abandoned = true;
+        if let Some(a) = &mut self.active {
+            if !a.buf.is_empty() {
+                let torn = a.buf.len() / 2;
+                use std::io::Write as _;
+                let _ = a.file.write_all(&a.buf[..torn]);
+                a.buf.clear();
+            }
+        }
+    }
+
+    /// Whether [`abandon`](EventLog::abandon) has been called.
+    pub fn is_abandoned(&self) -> bool {
+        self.abandoned
     }
 
     /// The durable truncation floor (oldest index a recovery may need).
@@ -413,6 +451,9 @@ impl EventLog {
     /// [`Frame`] (as produced by `encode_frame`/`SharedEvent::encoded`);
     /// `idx` must exceed every previously appended index.
     pub fn append(&mut self, idx: u64, wire: &[u8]) -> io::Result<()> {
+        if self.abandoned {
+            return Ok(());
+        }
         if let Some(last) = self.last_idx {
             assert!(idx > last, "log indices must be monotone: {idx} after {last}");
         }
@@ -481,6 +522,9 @@ impl EventLog {
     /// barrier, whatever the append policy). Errors if a background sync
     /// previously failed.
     pub fn sync(&mut self) -> io::Result<()> {
+        if self.abandoned {
+            return Ok(());
+        }
         if let Some(f) = &self.flusher {
             f.check()?;
         }
@@ -497,6 +541,9 @@ impl EventLog {
     /// index after the prune), and delete whole segments every frame of
     /// which is below it. The watermark only moves forward.
     pub fn commit(&mut self, floor: u64) -> io::Result<()> {
+        if self.abandoned {
+            return Ok(());
+        }
         // Durability point: whatever the append policy, a commit makes the
         // suffix the mirrors just acknowledged recoverable.
         self.sync()?;
@@ -573,6 +620,9 @@ impl Drop for EventLog {
     /// gets the bytes, the policy's durability bound is unchanged), so only
     /// a crash can lose buffered frames.
     fn drop(&mut self) {
+        if self.abandoned {
+            return;
+        }
         if let Some(a) = &mut self.active {
             let _ = a.flush();
         }

@@ -43,6 +43,7 @@ fn main() {
         kind: MirrorFnKind::Simple,
         suspect_after: 0,
         durability: None,
+        failover: None,
         scale: Some(ScalePolicy {
             thresholds: MonitorThresholds::new(12, 8),
             sustain: 2,

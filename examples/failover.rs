@@ -42,6 +42,7 @@ fn main() {
         kind: MirrorFnKind::Simple,
         suspect_after: 5,
         durability: None,
+        failover: None,
         scale: None,
     });
     cluster.central().handle().set_params(false, 1, 20);

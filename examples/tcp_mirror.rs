@@ -83,7 +83,12 @@ fn main() {
     }
     // Run one checkpoint round across the wire.
     let up_sub = ctrl_up.subscribe();
-    ctrl_down.publisher().publish(ControlMsg::Chkpt { round: 1, stamp: clock.clone(), epoch: 0 });
+    ctrl_down.publisher().publish(ControlMsg::Chkpt {
+        round: 1,
+        stamp: clock.clone(),
+        epoch: 0,
+        term: 0,
+    });
     let reply = up_sub.recv_timeout(Duration::from_secs(10));
     // Signal our endpoint before joining the mirror process: its bridge
     // join completes only once this side's writer closes (see BridgeHandle).

@@ -21,6 +21,7 @@ fn promoted_mirror_takes_over_as_coordinator() {
         kind: MirrorFnKind::Simple,
         suspect_after: 0,
         durability: None,
+        failover: None,
         scale: None,
     });
     cluster.central().handle().set_params(false, 1, 20);
@@ -35,7 +36,7 @@ fn promoted_mirror_takes_over_as_coordinator() {
     let pre_crash_hash = cluster.state_hashes()[1]; // a mirror's view
 
     // The central node dies; mirror 2 is promoted.
-    cluster.fail_central();
+    cluster.stop_central();
     let survivors = cluster.promote_mirror(2).unwrap();
     assert_eq!(survivors, vec![1, 3]);
 

@@ -210,6 +210,7 @@ fn run_schedule(mirror_count: u8, steps: Vec<Step>) {
                         site,
                         stamp,
                         MonitorReport::default(),
+                        0,
                         &w.backup,
                     );
                     for o in out {
@@ -241,7 +242,7 @@ fn run_schedule(mirror_count: u8, steps: Vec<Step>) {
                 let w = &worlds[(site - 1) as usize];
                 assert!(stamp.get(0) <= w.main.processed().get(0), "reply beyond processed");
             }
-            if let Some((commit, msgs)) = central.on_reply(round, site, stamp) {
+            if let Some((commit, msgs)) = central.on_reply(round, site, stamp, 0) {
                 // Invariant 2: monotone commits.
                 assert!(
                     last_committed.dominated_by(&commit),
@@ -279,8 +280,14 @@ fn run_schedule(mirror_count: u8, steps: Vec<Step>) {
             if let Some(ControlMsg::ChkptRep { round, site, stamp, .. }) =
                 w.main.on_chkpt(&c, MonitorReport::default())
             {
-                let out =
-                    w.relay.on_main_reply(round, site, stamp, MonitorReport::default(), &w.backup);
+                let out = w.relay.on_main_reply(
+                    round,
+                    site,
+                    stamp,
+                    MonitorReport::default(),
+                    0,
+                    &w.backup,
+                );
                 for o in out {
                     if let CheckpointMsg::ToCentral(ControlMsg::ChkptRep {
                         round,
@@ -297,7 +304,7 @@ fn run_schedule(mirror_count: u8, steps: Vec<Step>) {
     }
     let mut committed_final = None;
     while let Some((round, site, stamp)) = replies_in_flight.pop() {
-        if let Some((commit, _)) = central.on_reply(round, site, stamp) {
+        if let Some((commit, _)) = central.on_reply(round, site, stamp, 0) {
             committed_final = Some(commit);
         }
     }

@@ -42,6 +42,7 @@ fn storm_triggers_scale_out_and_quiesce_retires() {
         kind: MirrorFnKind::Simple,
         suspect_after: 0,
         durability: None,
+        failover: None,
         scale: Some(ScalePolicy {
             thresholds: MonitorThresholds::new(12, 8),
             sustain: 2,
@@ -172,6 +173,7 @@ fn mirror_added_mid_engagement_adopts_in_force_directive() {
         kind: normal,
         suspect_after: 0,
         durability: None,
+        failover: None,
         scale: None,
     }));
     cluster.central().handle().set_monitor_values(MonitorKind::PendingRequests, 10, 7);

@@ -33,6 +33,7 @@ fn dead_mirror_is_detected_and_commits_resume() {
         kind: MirrorFnKind::Simple,
         suspect_after: 5,
         durability: None,
+        failover: None,
         scale: None,
     });
     cluster.central().handle().set_params(false, 1, 20);
@@ -66,6 +67,7 @@ fn rejoined_mirror_recovers_full_state_and_participates() {
         kind: MirrorFnKind::Simple,
         suspect_after: 5,
         durability: None,
+        failover: None,
         scale: None,
     });
     cluster.central().handle().set_params(false, 1, 20);
@@ -114,6 +116,7 @@ fn detection_disabled_by_default_never_excludes() {
         kind: MirrorFnKind::Simple,
         suspect_after: 0, // paper default: no timeouts, no exclusion
         durability: None,
+        failover: None,
         scale: None,
     });
     cluster.central().handle().set_params(false, 1, 10);

@@ -105,6 +105,7 @@ fn stale_cached_snapshot_plus_replay_converges() {
             max_stale: Duration::from_secs(3600),
         }),
         service_pad: Duration::ZERO,
+        ..GatewayConfig::default()
     });
     let client = gw.client();
     let first = client.fetch(Duration::from_secs(5)).unwrap(); // miss: primes the cache

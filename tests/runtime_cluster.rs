@@ -85,6 +85,7 @@ fn concurrent_submitters_do_not_corrupt_state() {
         kind: MirrorFnKind::Simple,
         suspect_after: 0,
         durability: None,
+        failover: None,
         scale: None,
     }));
     // Four threads, each its own stream id, so per-stream seq stays unique.
