@@ -26,25 +26,44 @@
 //! `journal_overhead` (journaled / plain throughput); the target is a
 //! < 15 % regression.
 //!
+//! A sixth case, `apply_saturation`, isolates the **apply path** of the
+//! sharded-EDE PR: no transports or bridges, just events flowing from a
+//! producer through the site's inbound hop into the EDE. `baseline`
+//! re-creates the pre-change apply loop verbatim (one crossbeam channel
+//! hop, a single global `Mutex<Ede>`, an allocated [`Ede::process`]
+//! output per event, a responder lock + frontier merge per event);
+//! `sharded` runs the real [`ApplyPool`] dispatcher/worker path (bounded
+//! lock-free rings, per-shard locks, clone-free `process_with`, batched
+//! bookkeeping). Both replay the identical pre-built stream and the
+//! binary asserts their canonical state hashes agree before reporting
+//! the speedup.
+//!
 //! Emits `results/BENCH_mirror_throughput.json` for CI artifact upload and
 //! prints a human-readable table. `--smoke` shrinks the stream for CI;
-//! `--events`, `--size` and `--trials` override the defaults; `--out`
-//! redirects the JSON.
+//! `--events`, `--size`, `--apply-events` and `--trials` override the
+//! defaults; `--out` redirects the JSON.
 
 use std::io;
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mirror_core::api::{MirrorConfig, MirrorHandle};
+use mirror_core::checkpoint::MainUnitResponder;
 use mirror_core::event::{Event, PositionFix};
+use mirror_core::ring::{self, RingRecv};
 use mirror_core::timestamp::VectorTimestamp;
 use mirror_echo::channel::EventChannel;
 use mirror_echo::transport::{InProcTransport, Polled, TcpTransport};
 use mirror_echo::wire::{encode_frame, Frame, SharedEvent};
 use mirror_echo::Transport;
+use mirror_ede::{Ede, ShardedEde};
 use mirror_runtime::bridge::{central_endpoint_with, mirror_endpoint_with, BatchPolicy};
-use mirror_runtime::{DurabilityConfig, Journal, MirrorSite, RuntimeClock};
+use mirror_runtime::site::SiteCounters;
+use mirror_runtime::{
+    ApplyPool, ApplyPoolConfig, ApplySink, DurabilityConfig, Journal, MirrorSite, RuntimeClock,
+};
 use mirror_store::FsyncPolicy;
 
 const MIRRORS: u16 = 2;
@@ -246,6 +265,196 @@ fn run_median(
     runs.remove(runs.len() / 2)
 }
 
+// ---------------------------------------------------------------------
+// apply_saturation: single-lock baseline vs sharded ApplyPool
+// ---------------------------------------------------------------------
+
+/// Shard count used by the runtime's sites (`site::APPLY_SHARDS`).
+const APPLY_SHARDS: usize = 8;
+/// Flights in the apply stream: enough to spread across every shard and
+/// defeat any single-flight fast path, few enough that flight views stay
+/// cache-hot.
+const APPLY_FLIGHTS: u64 = 256;
+
+struct ApplyStats {
+    events: u64,
+    secs: f64,
+    events_per_sec: f64,
+    state_hash: u64,
+}
+
+/// The apply stream: a representative OIS source mix round-robined over
+/// [`APPLY_FLIGHTS`] flights — 70 % FAA position fixes, 20 % gate-reader
+/// boarding records, 10 % Delta status transitions — each carrying the
+/// submitting site's full 3-stream vector stamp. Boarding counts are
+/// monotone per flight and saturate at the expected passenger count, so
+/// the stream exercises the boarding-complete derivation *and* the
+/// stale-boarding no-change path. Pre-built outside the timed region so
+/// both paths measure pure apply cost.
+fn apply_stream(n: u64) -> Vec<Arc<Event>> {
+    use mirror_core::event::{EventBody, FlightStatus};
+    let mut seqs = [0u64; 3];
+    (0..n)
+        .map(|i| {
+            let flight = (i % APPLY_FLIGHTS) as u32;
+            let (stream, body) = match i % 10 {
+                7 | 8 => (
+                    2,
+                    EventBody::Boarding {
+                        boarded: ((i / APPLY_FLIGHTS) as u32).min(180),
+                        expected: 180,
+                    },
+                ),
+                9 => (1, EventBody::Status(FlightStatus::EnRoute)),
+                _ => (0, EventBody::Position(fix())),
+            };
+            seqs[stream] += 1;
+            let mut e = Event::new(stream as u16, seqs[stream], flight, body);
+            let mut stamp = VectorTimestamp::new(3);
+            for (s, v) in seqs.iter().enumerate() {
+                stamp.advance(s, *v);
+            }
+            e.stamp = stamp;
+            Arc::new(e)
+        })
+        .collect()
+}
+
+/// The pre-change apply loop, restored verbatim: one crossbeam channel
+/// between the feeding thread and the EDE thread, a single global
+/// `Mutex<Ede>`, and per event — an allocated [`Ede::process`] output
+/// (client-update clones included), an epoch publish, a responder lock +
+/// frontier merge, a processed-counter bump and delay accounting. This is
+/// exactly the closure the site's main thread ran before the sharded
+/// rework (see git history of `runtime/src/site.rs`).
+fn run_apply_baseline(events: &[Arc<Event>]) -> ApplyStats {
+    let ede = Arc::new(parking_lot::Mutex::new(Ede::new()));
+    let responder = Arc::new(parking_lot::Mutex::new(MainUnitResponder::new(0)));
+    let counters = Arc::new(SiteCounters::default());
+    let epoch = Arc::new(AtomicU64::new(0));
+    let clock = RuntimeClock::new();
+    let (tx, rx) = crossbeam::channel::unbounded::<Arc<Event>>();
+
+    let consumer = {
+        let (ede, responder, counters, epoch, clock) = (
+            Arc::clone(&ede),
+            Arc::clone(&responder),
+            Arc::clone(&counters),
+            Arc::clone(&epoch),
+            clock.clone(),
+        );
+        std::thread::spawn(move || {
+            while let Ok(ev) = rx.recv() {
+                let (out, e) = {
+                    let mut ede = ede.lock();
+                    let out = ede.process(&ev);
+                    (out, ede.epoch())
+                };
+                epoch.store(e, Ordering::Release);
+                responder.lock().record_processed(&ev.stamp);
+                counters.processed.fetch_add(1, Ordering::Relaxed);
+                let now = clock.now_us();
+                for u in out.client_updates {
+                    let delay = now.saturating_sub(u.ingress_us);
+                    counters.delay_sum_us.fetch_add(delay, Ordering::Relaxed);
+                    counters.delay_count.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+    };
+
+    let start = Instant::now();
+    for ev in events {
+        tx.send(Arc::clone(ev)).expect("baseline consumer alive");
+    }
+    drop(tx);
+    consumer.join().expect("join baseline consumer");
+    let secs = start.elapsed().as_secs_f64();
+
+    let n = events.len() as u64;
+    assert_eq!(counters.processed.load(Ordering::Relaxed), n);
+    let state_hash = ede.lock().state_hash();
+    ApplyStats { events: n, secs, events_per_sec: n as f64 / secs, state_hash }
+}
+
+/// The sharded apply path as the runtime actually wires it: feeder →
+/// bounded MPSC ring (the aux→main hop) → dispatcher thread routing by
+/// flight shard → the real [`ApplyPool`] workers over a [`ShardedEde`].
+fn run_apply_sharded(events: &[Arc<Event>]) -> ApplyStats {
+    let ede = Arc::new(ShardedEde::new(APPLY_SHARDS));
+    let responder = Arc::new(parking_lot::Mutex::new(MainUnitResponder::new(0)));
+    let counters = Arc::new(SiteCounters::default());
+    let sink = ApplySink {
+        responder: Arc::clone(&responder),
+        counters: Arc::clone(&counters),
+        clock: RuntimeClock::new(),
+        updates: None,
+    };
+    let mut pool = ApplyPool::spawn(
+        Arc::clone(&ede),
+        sink,
+        Arc::new(AtomicBool::new(false)),
+        ApplyPoolConfig::default(),
+    );
+    let (tx, mut rx) = ring::mpsc::<Arc<Event>>(8192);
+    let dispatcher = std::thread::spawn(move || {
+        let mut spins = 0u32;
+        loop {
+            match rx.try_recv() {
+                RingRecv::Item(ev) => {
+                    spins = 0;
+                    pool.dispatch(ev);
+                }
+                RingRecv::Empty => {
+                    // Same escalation the site's dispatcher uses: spin,
+                    // then yield so the workers get the core.
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                RingRecv::Disconnected => {
+                    // Drains the worker rings before joining.
+                    pool.shutdown();
+                    break;
+                }
+            }
+        }
+    });
+
+    let start = Instant::now();
+    for ev in events {
+        tx.send(Arc::clone(ev)).expect("dispatcher alive");
+    }
+    drop(tx);
+    dispatcher.join().expect("join dispatcher");
+    let secs = start.elapsed().as_secs_f64();
+
+    let n = events.len() as u64;
+    assert_eq!(counters.processed.load(Ordering::Relaxed), n);
+    ApplyStats { events: n, secs, events_per_sec: n as f64 / secs, state_hash: ede.state_hash() }
+}
+
+/// Median-of-`trials` by events/sec, same rationale as [`run_median`].
+fn apply_median(
+    trials: usize,
+    events: &[Arc<Event>],
+    f: impl Fn(&[Arc<Event>]) -> ApplyStats,
+) -> ApplyStats {
+    let mut runs: Vec<ApplyStats> = (0..trials).map(|_| f(events)).collect();
+    runs.sort_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec));
+    runs.remove(runs.len() / 2)
+}
+
+fn json_apply(s: &ApplyStats) -> String {
+    format!(
+        "{{\"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.1}}}",
+        s.events, s.secs, s.events_per_sec
+    )
+}
+
 fn json_case(s: &RunStats) -> String {
     format!(
         "{{\"events\": {}, \"frame_bytes\": {}, \"secs\": {:.6}, \
@@ -305,6 +514,34 @@ fn main() {
         let o = &measured.iter().find(|(n, _)| *n == opt_name).unwrap().1;
         o.events_per_sec / b.events_per_sec
     };
+    // --- apply_saturation: the sharded-EDE PR's target metric ----------
+    let apply_n: u64 = opt("--apply-events")
+        .map(|v| v.parse().expect("--apply-events"))
+        .unwrap_or(if smoke { 40_000 } else { 400_000 });
+    println!(
+        "  apply_saturation: {apply_n} events, {APPLY_FLIGHTS} flights, {APPLY_SHARDS} shards"
+    );
+    let stream: Vec<Arc<Event>> = apply_stream(apply_n);
+    let apply_base = apply_median(trials, &stream, run_apply_baseline);
+    let apply_shard = apply_median(trials, &stream, run_apply_sharded);
+    // The tentpole's correctness gate, enforced in-binary: the sharded
+    // store must converge to the exact state the single-lock loop built.
+    assert_eq!(
+        apply_base.state_hash, apply_shard.state_hash,
+        "sharded apply diverged from the single-lock baseline state"
+    );
+    let apply_x = apply_shard.events_per_sec / apply_base.events_per_sec;
+    for (name, s) in [("apply_baseline", &apply_base), ("apply_sharded", &apply_shard)] {
+        println!(
+            "  {name:<22} {:>10.0} ev/s applied               ({:.3} s)",
+            s.events_per_sec, s.secs
+        );
+        rows.push(format!("    \"{name}\": {}", json_apply(s)));
+    }
+    println!(
+        "  apply speedup: {apply_x:.2}x (sharded pool vs single-lock loop, state hashes equal)"
+    );
+
     let inproc_x = speedup("inproc_baseline", "inproc_batched");
     let tcp_x = speedup("tcp_baseline", "tcp_batched");
     // Journaled / plain throughput: 1.0 = free, 0.85 = the 15 % regression
@@ -320,7 +557,10 @@ fn main() {
         "{{\n  \"bench\": \"mirror_throughput\",\n  \"event_size_bytes\": {size},\n  \
          \"events\": {n},\n  \"mirrors\": {MIRRORS},\n  \"smoke\": {smoke},\n  \
          \"runs\": {{\n{}\n  }},\n  \"speedup\": {{\"inproc\": {inproc_x:.3}, \
-         \"tcp\": {tcp_x:.3}}},\n  \"journal_overhead\": {journal_overhead:.3}\n}}\n",
+         \"tcp\": {tcp_x:.3}}},\n  \"journal_overhead\": {journal_overhead:.3},\n  \
+         \"apply_saturation\": {{\"events\": {apply_n}, \"flights\": {APPLY_FLIGHTS}, \
+         \"shards\": {APPLY_SHARDS}, \"speedup\": {apply_x:.3}, \
+         \"state_hash_equal\": true}}\n}}\n",
         rows.join(",\n")
     );
     std::fs::write(&out, json).expect("write benchmark json");

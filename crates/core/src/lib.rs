@@ -49,6 +49,7 @@ pub mod metrics;
 pub mod mirrorfn;
 pub mod params;
 pub mod queue;
+pub mod ring;
 pub mod rules;
 pub mod status;
 pub mod timestamp;
@@ -65,6 +66,9 @@ pub use membership::{MembershipError, MembershipRegistry, MembershipView, SiteSt
 pub use mirrorfn::{MirrorDecision, MirrorFn, MirrorFnKind};
 pub use params::MirrorParams;
 pub use queue::{BackupQueue, ReadyQueue};
+pub use ring::{
+    mpsc, spsc, MpscReceiver, MpscSender, RingRecv, RingSend, RingStats, SpscReceiver, SpscSender,
+};
 pub use rules::{RuleOutcome, RuleSet};
 pub use status::StatusTable;
 pub use timestamp::{Seq, StampOrdering, VectorTimestamp};

@@ -1,0 +1,645 @@
+//! Bounded lock-free rings for the hot apply path.
+//!
+//! The mutex-guarded [`queue`](crate::queue) structures are the *logical*
+//! ready/backup queues of the paper's auxiliary unit; when the runtime
+//! moves millions of events per second between threads, the per-event cost
+//! of a mutex acquisition (and of an unbounded channel's allocation) is
+//! what caps throughput. This module provides the two transfer shapes the
+//! sharded apply path needs, both **bounded** (backpressure instead of
+//! unbounded memory) and **lock-free** on the fast path:
+//!
+//! * [`spsc`] — a Lamport single-producer/single-consumer ring: one atomic
+//!   load + one atomic store per side per operation. Used to feed each
+//!   apply worker from the dispatcher (shard affinity makes every
+//!   dispatcher→worker edge single-producer/single-consumer by
+//!   construction).
+//! * [`mpsc`] — a Vyukov-style bounded multi-producer/single-consumer
+//!   ring (per-slot sequence numbers, one CAS per push). Used where
+//!   several threads feed one drain loop (e.g. the aux thread, seed
+//!   installers and shutdown all feeding a site's apply dispatcher).
+//!
+//! Both rings keep **exact** occupancy statistics ([`RingStats`]) for
+//! free: the ring positions themselves are the operation counts (`tail` =
+//! items ever pushed, `head` = items ever popped), so the stats cost no
+//! extra atomics on the hot path; only the high-watermark needs a
+//! producer-side observation per push.
+//!
+//! Disconnect semantics mirror a channel's: when every producer handle is
+//! dropped the consumer drains what remains and then observes
+//! [`RingRecv::Disconnected`]; when the consumer is dropped, pushes fail
+//! with [`RingSend::Disconnected`] so producers never spin against a dead
+//! drain.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Occupancy statistics for a ring; the lock-free analogue of
+/// [`QueueStats`](crate::queue::QueueStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Total items ever enqueued.
+    pub enqueued: u64,
+    /// Total items ever dequeued.
+    pub dequeued: u64,
+    /// Largest occupancy observed by the producer side at a push.
+    pub high_watermark: usize,
+}
+
+/// Why a push did not take the item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RingSend<T> {
+    /// The ring is at capacity; the item is handed back (backpressure).
+    Full(T),
+    /// The consumer is gone; the item is handed back.
+    Disconnected(T),
+}
+
+/// What a pop observed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RingRecv<T> {
+    /// An item.
+    Item(T),
+    /// Nothing buffered right now (producers still connected).
+    Empty,
+    /// Nothing buffered and every producer handle has been dropped.
+    Disconnected,
+}
+
+/// State shared by both sides of either ring flavour.
+struct Shared<T> {
+    /// Slot storage; `mask + 1` entries, capacity rounded up to a power of
+    /// two so index arithmetic is a mask, not a modulo.
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Next slot to write (producer side) / read (consumer side).
+    tail: CachePadded<AtomicUsize>,
+    head: CachePadded<AtomicUsize>,
+    /// Live producer handles; 0 with an empty ring = disconnected.
+    producers: AtomicUsize,
+    /// Consumer handle dropped.
+    consumer_gone: AtomicBool,
+    /// Largest occupancy any producer observed at a push. `tail`/`head`
+    /// double as the exact enqueue/dequeue counts, so this is the only
+    /// dedicated stats cell.
+    watermark: AtomicUsize,
+}
+
+struct Slot<T> {
+    /// Vyukov sequence number: `index` when free for the producer lap,
+    /// `index + 1` when filled for the consumer, and so on per lap.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Pad to a cache line so head and tail never false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+// Safety: slots are transferred between threads with acquire/release on
+// the per-slot sequence (mpsc) or head/tail (spsc); a slot's value is only
+// touched by the side that owns it per those orderings.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Shared {
+            slots,
+            mask: cap - 1,
+            tail: CachePadded(AtomicUsize::new(0)),
+            head: CachePadded(AtomicUsize::new(0)),
+            producers: AtomicUsize::new(1),
+            consumer_gone: AtomicBool::new(false),
+            watermark: AtomicUsize::new(0),
+        }
+    }
+
+    fn stats(&self) -> RingStats {
+        // `tail` advances once per completed (or, for MPSC, claimed) push
+        // and `head` once per pop, so the positions ARE the op counts.
+        RingStats {
+            enqueued: self.tail.0.load(Ordering::Acquire) as u64,
+            dequeued: self.head.0.load(Ordering::Acquire) as u64,
+            high_watermark: self.watermark.load(Ordering::Acquire),
+        }
+    }
+
+    fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    fn drain_in_place(&mut self) {
+        // Exclusive access (last Arc owner): drop any items never popped.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        for i in head..tail {
+            let slot = &self.slots[i & self.mask];
+            // A slot between head and tail holds a live value iff its seq
+            // marks it filled for this lap.
+            if slot.seq.load(Ordering::Relaxed) == i.wrapping_add(1) {
+                unsafe { (*slot.value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        self.drain_in_place();
+    }
+}
+
+// ---------------------------------------------------------------------
+// SPSC
+// ---------------------------------------------------------------------
+
+/// Single-producer, single-consumer bounded ring.
+///
+/// The producer half. Not `Clone` — the single-producer contract is
+/// enforced by ownership.
+pub struct SpscSender<T> {
+    shared: Arc<Shared<T>>,
+    /// Producer-local cache of the consumer's head, refreshed only when
+    /// the ring looks full — most pushes touch no shared cache line but
+    /// the slot and tail.
+    cached_head: usize,
+    /// Producer-local tail (the authoritative tail is published after each
+    /// push; reads of our own position need no atomic round-trip).
+    local_tail: usize,
+    /// Producer-local high-watermark mirror: the shared cell is only
+    /// stored when a push sets a new high, so the common push touches no
+    /// stats atomics at all.
+    local_watermark: usize,
+}
+
+/// The consumer half of an [`spsc`] ring.
+pub struct SpscReceiver<T> {
+    shared: Arc<Shared<T>>,
+    local_head: usize,
+    cached_tail: usize,
+}
+
+/// Create a bounded SPSC ring. `capacity` is rounded up to a power of two
+/// (minimum 2).
+pub fn spsc<T: Send>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    let shared = Arc::new(Shared::new(capacity));
+    (
+        SpscSender {
+            shared: Arc::clone(&shared),
+            cached_head: 0,
+            local_tail: 0,
+            local_watermark: 0,
+        },
+        SpscReceiver { shared, local_head: 0, cached_tail: 0 },
+    )
+}
+
+impl<T: Send> SpscSender<T> {
+    /// Push without blocking; on a full ring the item comes back
+    /// ([`RingSend::Full`] — bounded-capacity backpressure).
+    pub fn try_send(&mut self, value: T) -> Result<(), RingSend<T>> {
+        if self.shared.consumer_gone.load(Ordering::Acquire) {
+            return Err(RingSend::Disconnected(value));
+        }
+        let cap = self.shared.mask + 1;
+        if self.local_tail.wrapping_sub(self.cached_head) == cap {
+            self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+            if self.local_tail.wrapping_sub(self.cached_head) == cap {
+                return Err(RingSend::Full(value));
+            }
+        }
+        let slot = &self.shared.slots[self.local_tail & self.shared.mask];
+        unsafe { (*slot.value.get()).write(value) };
+        // Publish the value: seq = tail + 1 marks the slot filled, and the
+        // release pairs with the consumer's acquire load of it.
+        slot.seq.store(self.local_tail.wrapping_add(1), Ordering::Release);
+        self.local_tail = self.local_tail.wrapping_add(1);
+        self.shared.tail.0.store(self.local_tail, Ordering::Release);
+        // Occupancy as this producer sees it: `cached_head` never runs
+        // ahead of the real head, so this is ≥ the true occupancy but —
+        // by the full-check above — never exceeds capacity. Single
+        // producer ⇒ a plain store publishes a new high.
+        let occupancy = self.local_tail.wrapping_sub(self.cached_head);
+        if occupancy > self.local_watermark {
+            self.local_watermark = occupancy;
+            self.shared.watermark.store(occupancy, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Push, spinning (with escalating yields) while the ring is full.
+    /// Returns the item only if the consumer disappears.
+    pub fn send(&mut self, mut value: T) -> Result<(), T> {
+        let mut spins = 0u32;
+        loop {
+            match self.try_send(value) {
+                Ok(()) => return Ok(()),
+                Err(RingSend::Disconnected(v)) => return Err(v),
+                Err(RingSend::Full(v)) => {
+                    value = v;
+                    backoff(&mut spins);
+                }
+            }
+        }
+    }
+
+    /// Exact statistics so far.
+    pub fn stats(&self) -> RingStats {
+        self.shared.stats()
+    }
+
+    /// Current occupancy (exact for the producer's own view).
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slots in the ring (the rounded-up capacity).
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+}
+
+impl<T> Drop for SpscSender<T> {
+    fn drop(&mut self) {
+        self.shared.producers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<T: Send> SpscReceiver<T> {
+    /// Pop without blocking.
+    pub fn try_recv(&mut self) -> RingRecv<T> {
+        if self.local_head == self.cached_tail {
+            self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+            if self.local_head == self.cached_tail {
+                return if self.shared.producers.load(Ordering::Acquire) == 0 {
+                    // Re-check after observing the producer count: a push
+                    // completed before the producer dropped must be seen.
+                    self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+                    if self.local_head == self.cached_tail {
+                        RingRecv::Disconnected
+                    } else {
+                        self.pop_at()
+                    }
+                } else {
+                    RingRecv::Empty
+                };
+            }
+        }
+        self.pop_at()
+    }
+
+    fn pop_at(&mut self) -> RingRecv<T> {
+        let slot = &self.shared.slots[self.local_head & self.shared.mask];
+        // Wait (bounded: the producer already published tail past us) for
+        // the slot's fill marker.
+        let want = self.local_head.wrapping_add(1);
+        let mut spins = 0u32;
+        while slot.seq.load(Ordering::Acquire) != want {
+            backoff(&mut spins);
+        }
+        let value = unsafe { (*slot.value.get()).assume_init_read() };
+        // Publish the new head BEFORE freeing the slot: a producer that
+        // observes the freed slot (acquire on `seq`) then also sees this
+        // pop counted, so its occupancy observation never exceeds
+        // capacity.
+        self.local_head = self.local_head.wrapping_add(1);
+        self.shared.head.0.store(self.local_head, Ordering::Release);
+        // Free the slot for the producer's next lap.
+        slot.seq.store(self.local_head.wrapping_add(self.shared.mask), Ordering::Release);
+        RingRecv::Item(value)
+    }
+
+    /// Exact statistics so far.
+    pub fn stats(&self) -> RingStats {
+        self.shared.stats()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for SpscReceiver<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_gone.store(true, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------
+// MPSC
+// ---------------------------------------------------------------------
+
+/// A producer handle for an [`mpsc`] ring; clone freely across threads.
+pub struct MpscSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consumer half of an [`mpsc`] ring.
+pub struct MpscReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a bounded MPSC ring. `capacity` is rounded up to a power of two
+/// (minimum 2).
+pub fn mpsc<T: Send>(capacity: usize) -> (MpscSender<T>, MpscReceiver<T>) {
+    let shared = Arc::new(Shared::new(capacity));
+    (MpscSender { shared: Arc::clone(&shared) }, MpscReceiver { shared })
+}
+
+impl<T: Send> MpscSender<T> {
+    /// Push without blocking; on a full ring the item comes back.
+    pub fn try_send(&self, value: T) -> Result<(), RingSend<T>> {
+        if self.shared.consumer_gone.load(Ordering::Acquire) {
+            return Err(RingSend::Disconnected(value));
+        }
+        let mask = self.shared.mask;
+        let mut tail = self.shared.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.shared.slots[tail & mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == tail {
+                // Slot free for this lap: claim it by advancing tail.
+                match self.shared.tail.0.compare_exchange_weak(
+                    tail,
+                    tail.wrapping_add(1),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                        // Occupancy at this push: the claim acquired the
+                        // slot's free marker, which the consumer publishes
+                        // *after* its head advance — so the head read here
+                        // is recent enough that this never exceeds
+                        // capacity. The RMW runs only on a new high.
+                        let occupancy = tail
+                            .wrapping_add(1)
+                            .wrapping_sub(self.shared.head.0.load(Ordering::Relaxed));
+                        if occupancy > self.shared.watermark.load(Ordering::Relaxed) {
+                            self.shared.watermark.fetch_max(occupancy, Ordering::AcqRel);
+                        }
+                        return Ok(());
+                    }
+                    Err(t) => tail = t,
+                }
+            } else if (seq as isize).wrapping_sub(tail as isize) < 0 {
+                // A full lap behind: ring is full.
+                return Err(RingSend::Full(value));
+            } else {
+                // Another producer claimed this slot; follow the tail.
+                tail = self.shared.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Push, spinning while full; hands the item back only if the consumer
+    /// disappears.
+    pub fn send(&self, mut value: T) -> Result<(), T> {
+        let mut spins = 0u32;
+        loop {
+            match self.try_send(value) {
+                Ok(()) => return Ok(()),
+                Err(RingSend::Disconnected(v)) => return Err(v),
+                Err(RingSend::Full(v)) => {
+                    value = v;
+                    backoff(&mut spins);
+                }
+            }
+        }
+    }
+
+    /// Exact statistics so far.
+    pub fn stats(&self) -> RingStats {
+        self.shared.stats()
+    }
+
+    /// Current occupancy (a point-in-time estimate under concurrency).
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the ring appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slots in the ring (the rounded-up capacity).
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+}
+
+impl<T> Clone for MpscSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.producers.fetch_add(1, Ordering::AcqRel);
+        MpscSender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for MpscSender<T> {
+    fn drop(&mut self) {
+        self.shared.producers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<T: Send> MpscReceiver<T> {
+    /// Pop without blocking.
+    pub fn try_recv(&mut self) -> RingRecv<T> {
+        let mask = self.shared.mask;
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        let slot = &self.shared.slots[head & mask];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq == head.wrapping_add(1) {
+            let value = unsafe { (*slot.value.get()).assume_init_read() };
+            // Advance head BEFORE freeing the slot (see the SPSC pop):
+            // producers acquiring the free marker then observe a head
+            // that already counts this pop.
+            self.shared.head.0.store(head.wrapping_add(1), Ordering::Release);
+            slot.seq.store(head.wrapping_add(mask + 1), Ordering::Release);
+            return RingRecv::Item(value);
+        }
+        if self.shared.producers.load(Ordering::Acquire) == 0 {
+            // Producers are gone; if a racing push landed before the last
+            // drop, its slot marker is already visible — re-check once.
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == head.wrapping_add(1) {
+                return self.try_recv();
+            }
+            return RingRecv::Disconnected;
+        }
+        RingRecv::Empty
+    }
+
+    /// Exact statistics so far.
+    pub fn stats(&self) -> RingStats {
+        self.shared.stats()
+    }
+
+    /// Current occupancy (a point-in-time estimate under concurrency).
+    pub fn len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Whether the ring appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for MpscReceiver<T> {
+    fn drop(&mut self) {
+        self.shared.consumer_gone.store(true, Ordering::Release);
+    }
+}
+
+/// Escalating wait: spin briefly, then yield the CPU, then sleep — tuned
+/// for rings whose peers run on the same machine and drain in microseconds,
+/// degrading gracefully when the host is oversubscribed (e.g. a single-core
+/// CI runner where the peer cannot run until we yield).
+fn backoff(spins: &mut u32) {
+    *spins = spins.saturating_add(1);
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else if *spins < 1024 {
+        // A blocked ring peer means the other side is runnable: on an
+        // oversubscribed host (single-core CI) a yield hands it the CPU
+        // directly, where an early sleep strands both sides in µs-scale
+        // naps that serialize into dead time. Yield long before sleeping.
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn spsc_fifo_and_stats() {
+        let (mut tx, mut rx) = spsc::<u64>(8);
+        for i in 0..5 {
+            tx.try_send(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.try_recv(), RingRecv::Item(i));
+        }
+        assert_eq!(rx.try_recv(), RingRecv::Empty);
+        let st = rx.stats();
+        assert_eq!((st.enqueued, st.dequeued, st.high_watermark), (5, 5, 5));
+    }
+
+    #[test]
+    fn spsc_full_hands_the_item_back() {
+        let (mut tx, mut rx) = spsc::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(RingSend::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.try_recv(), RingRecv::Item(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn spsc_disconnect_both_ways() {
+        let (mut tx, mut rx) = spsc::<u32>(4);
+        tx.try_send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), RingRecv::Item(7), "drain before disconnect");
+        assert_eq!(rx.try_recv(), RingRecv::Disconnected);
+
+        let (mut tx, rx) = spsc::<u32>(4);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(RingSend::Disconnected(1))));
+    }
+
+    #[test]
+    fn mpsc_fifo_per_producer_and_stats() {
+        let (tx, mut rx) = mpsc::<u64>(16);
+        let tx2 = tx.clone();
+        for i in 0..4 {
+            tx.try_send(i).unwrap();
+            tx2.try_send(100 + i).unwrap();
+        }
+        let mut got = Vec::new();
+        while let RingRecv::Item(v) = rx.try_recv() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 8);
+        // Per-producer order is preserved.
+        let a: Vec<_> = got.iter().copied().filter(|v| *v < 100).collect();
+        let b: Vec<_> = got.iter().copied().filter(|v| *v >= 100).collect();
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        assert_eq!(b, vec![100, 101, 102, 103]);
+        let st = rx.stats();
+        assert_eq!((st.enqueued, st.dequeued), (8, 8));
+        assert!(st.high_watermark >= 1 && st.high_watermark <= 16);
+    }
+
+    #[test]
+    fn mpsc_disconnected_after_all_producers_drop() {
+        let (tx, mut rx) = mpsc::<u32>(4);
+        let tx2 = tx.clone();
+        tx.try_send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), RingRecv::Item(1));
+        assert_eq!(rx.try_recv(), RingRecv::Empty, "tx2 still alive");
+        drop(tx2);
+        assert_eq!(rx.try_recv(), RingRecv::Disconnected);
+    }
+
+    #[test]
+    fn dropping_a_nonempty_ring_drops_items() {
+        // Drop counting: items abandoned in the ring must still be freed.
+        #[derive(Debug)]
+        struct D(Arc<AtomicU64>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU64::new(0));
+        let (mut tx, rx) = spsc::<D>(8);
+        for _ in 0..5 {
+            tx.try_send(D(Arc::clone(&drops))).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        assert_eq!(drops.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = spsc::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = mpsc::<u8>(1);
+        assert_eq!(tx.capacity(), 2);
+    }
+}

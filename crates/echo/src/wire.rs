@@ -708,7 +708,7 @@ pub fn decode_snapshot(mut buf: Bytes) -> Result<Snapshot, WireError> {
     need(&buf, 4)?;
     let count = buf.get_u32_le() as usize;
     let as_of = decode_stamp(&mut buf)?;
-    let mut flights = std::collections::HashMap::with_capacity(count);
+    let mut flights = mirror_ede::FlightMap::with_capacity_and_hasher(count, Default::default());
     for _ in 0..count {
         need(&buf, 4)?;
         let id = buf.get_u32_le();

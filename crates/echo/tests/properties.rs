@@ -216,7 +216,7 @@ proptest! {
         entries in prop::collection::vec((any::<u32>(), arb_flight_view()), 0..40),
         stamp in prop::collection::vec(any::<u64>(), 0..6),
     ) {
-        let flights: std::collections::HashMap<_, _> = entries.into_iter().collect();
+        let flights: mirror_ede::FlightMap = entries.into_iter().collect();
         let as_of = VectorTimestamp::from_components(stamp);
         let snap = Snapshot::from_parts(flights, as_of);
         let decoded = decode_snapshot(encode_snapshot(&snap)).expect("roundtrip decode");

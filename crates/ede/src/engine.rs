@@ -77,8 +77,28 @@ impl Ede {
 
     /// Process one incoming event through the business rules.
     pub fn process(&mut self, event: &Event) -> EdeOutput {
-        self.processed += 1;
         let mut out = EdeOutput::default();
+        let EdeOutput { client_updates, derived } = &mut out;
+        self.process_with(event, |e| client_updates.push(e.clone()), |e| derived.push(e.clone()));
+        out
+    }
+
+    /// The allocation-free core of [`process`](Self::process): identical
+    /// business logic, but outputs are *borrowed* to the callbacks instead
+    /// of cloned into an [`EdeOutput`]. `on_update` sees every event a
+    /// regular client must receive (state-changing inputs and derived
+    /// events that changed state); `on_derived` sees every newly derived
+    /// application-level fact. The hot apply path uses this to process
+    /// millions of events per second without a `Vec` allocation or an
+    /// `Event` clone per event — callers that need owned events clone
+    /// inside their callback.
+    pub fn process_with(
+        &mut self,
+        event: &Event,
+        mut on_update: impl FnMut(&Event),
+        mut on_derived: impl FnMut(&Event),
+    ) {
+        self.processed += 1;
 
         // Pre-state needed by edge-triggered rules.
         let was_boarding_complete =
@@ -87,7 +107,7 @@ impl Ede {
         let changed = self.state.apply(event);
         if changed {
             // Regular clients receive every state-changing update.
-            out.client_updates.push(event.clone());
+            on_update(event);
         }
 
         // Rule 1 — boarding completion: "determine from multiple events
@@ -97,7 +117,8 @@ impl Ede {
             let now_complete =
                 self.state.flight(event.flight).map(|f| f.boarding_complete()).unwrap_or(false);
             if now_complete && !was_boarding_complete {
-                out.derived.push(self.derive(event, FlightStatus::Boarding, 1));
+                let d = self.derive(event, FlightStatus::Boarding, 1);
+                on_derived(&d);
             }
         }
 
@@ -108,12 +129,10 @@ impl Ede {
         if event.status_value() == Some(FlightStatus::AtGate) {
             let arrived = self.derive(event, FlightStatus::Arrived, 3);
             if self.state.apply(&arrived) {
-                out.client_updates.push(arrived.clone());
-                out.derived.push(arrived);
+                on_update(&arrived);
+                on_derived(&arrived);
             }
         }
-
-        out
     }
 
     /// Build a derived event attributed to the triggering event's flight

@@ -30,11 +30,13 @@
 pub mod engine;
 pub mod flight;
 pub mod ops;
+pub mod sharded;
 pub mod snapshot;
 pub mod state;
 
 pub use engine::{Ede, EdeOutput};
 pub use flight::{FlightView, TransitionError};
 pub use ops::{OpsAlert, OpsMonitor};
+pub use sharded::{ShardMap, ShardedEde};
 pub use snapshot::{Snapshot, SNAPSHOT_FLIGHT_WIRE_SIZE};
-pub use state::OperationalState;
+pub use state::{BuildFlightHasher, FlightMap, OperationalState};

@@ -12,13 +12,11 @@
 //! site heavily, and why spreading them across mirrors (and shedding
 //! mirroring overhead via adaptation) buys predictability.
 
-use std::collections::HashMap;
-
 use mirror_core::event::FlightId;
 use mirror_core::timestamp::VectorTimestamp;
 
 use crate::flight::FlightView;
-use crate::state::OperationalState;
+use crate::state::{FlightMap, OperationalState};
 
 /// On-wire footprint of one flight entry in a snapshot: id (4), status (1),
 /// position-seq (8), fix (40), boarded (4), expected (4), bags loaded (4),
@@ -29,7 +27,7 @@ pub const SNAPSHOT_FLIGHT_WIRE_SIZE: usize = 4 + 1 + 8 + 40 + 4 + 4 + 4 + 4;
 /// state plus the timestamp frontier it reflects.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
-    flights: HashMap<FlightId, FlightView>,
+    flights: FlightMap,
     /// Frontier of events reflected in this snapshot; the client resumes
     /// interpreting stream events from here.
     pub as_of: VectorTimestamp,
@@ -83,7 +81,7 @@ impl Snapshot {
     }
 
     /// Reassemble a snapshot from its parts (wire decoding).
-    pub fn from_parts(flights: HashMap<FlightId, FlightView>, as_of: VectorTimestamp) -> Self {
+    pub fn from_parts(flights: FlightMap, as_of: VectorTimestamp) -> Self {
         Snapshot { flights, as_of }
     }
 }

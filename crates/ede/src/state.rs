@@ -14,10 +14,54 @@ use mirror_core::event::{Event, EventBody, FlightId, FlightStatus};
 
 use crate::flight::FlightView;
 
+/// Hasher for flight-id keys: one Fibonacci multiply with an xor-fold.
+/// Flight ids are small dense integers, and the flight-table lookup sits on
+/// the per-event apply hot path — SipHash (std's default) costs more there
+/// than the field updates it guards.
+#[derive(Clone, Copy, Default)]
+pub struct FlightIdHasher(u64);
+
+impl std::hash::Hasher for FlightIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (never hit by u32 keys): byte-wise FNV-style mix.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // Fold the well-mixed high bits into the low bits the table
+        // indexes with.
+        self.0 = h ^ (h >> 32);
+    }
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FlightMap`].
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct BuildFlightHasher;
+
+impl std::hash::BuildHasher for BuildFlightHasher {
+    type Hasher = FlightIdHasher;
+    fn build_hasher(&self) -> FlightIdHasher {
+        FlightIdHasher::default()
+    }
+}
+
+/// The flight table: flight id → view, keyed with the cheap
+/// [`FlightIdHasher`].
+pub type FlightMap = HashMap<FlightId, FlightView, BuildFlightHasher>;
+
 /// The operational state of the OIS: one view per known flight.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OperationalState {
-    flights: HashMap<FlightId, FlightView>,
+    flights: FlightMap,
     /// Events applied (including ones absorbed as stale).
     pub applied: u64,
     /// Store version: bumped on every apply that changed the store
@@ -47,8 +91,13 @@ impl OperationalState {
             EventBody::Status(s) => view.transition(*s).is_ok(),
             EventBody::Derived { status, .. } => view.transition(*status).is_ok(),
             EventBody::Boarding { boarded, expected } => {
+                // `apply_boarding` returns the *completion edge*, not
+                // "changed" — compare the replicated fields instead, so a
+                // stale/duplicate gate report doesn't bump the epoch (and
+                // invalidate snapshot caches) for a no-op.
+                let before = (view.boarded, view.expected);
                 view.apply_boarding(*boarded, *expected);
-                true
+                (view.boarded, view.expected) != before
             }
             EventBody::Baggage { loaded, reconciled } => view.apply_baggage(*loaded, *reconciled),
             EventBody::Opaque(_) => false,
@@ -98,37 +147,13 @@ impl OperationalState {
     /// ascending flight-id order. Two mirrors hold identical application
     /// state iff their hashes agree.
     pub fn state_hash(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-        const FNV_PRIME: u64 = 0x100000001b3;
         let mut ids: Vec<FlightId> = self.flights.keys().copied().collect();
         ids.sort_unstable();
-        let mut h = FNV_OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(FNV_PRIME);
-            }
-        };
-        for id in ids {
-            let f = &self.flights[&id];
-            eat(&id.to_le_bytes());
-            eat(&[f.status as u8]);
-            eat(&f.position_seq.to_le_bytes());
-            if let Some(p) = &f.position {
-                eat(&p.lat.to_bits().to_le_bytes());
-                eat(&p.lon.to_bits().to_le_bytes());
-                eat(&p.alt_ft.to_bits().to_le_bytes());
-            }
-            eat(&f.boarded.to_le_bytes());
-            eat(&f.expected.to_le_bytes());
-            eat(&f.bags_loaded.to_le_bytes());
-            eat(&f.bags_reconciled.to_le_bytes());
-        }
-        h
+        hash_sorted_flights(ids.iter().map(|id| (*id, &self.flights[id])))
     }
 
     /// Replace this store's contents (used when installing a snapshot).
-    pub fn install(&mut self, flights: HashMap<FlightId, FlightView>) {
+    pub fn install(&mut self, flights: FlightMap) {
         self.flights = flights;
         self.epoch += 1;
     }
@@ -140,9 +165,43 @@ impl OperationalState {
     }
 
     /// Clone out the flight map (snapshot construction).
-    pub fn flights(&self) -> &HashMap<FlightId, FlightView> {
+    pub fn flights(&self) -> &FlightMap {
         &self.flights
     }
+}
+
+/// The canonical FNV-1a digest over flight views presented in **ascending
+/// flight-id order**. Shared by [`OperationalState::state_hash`] and the
+/// sharded store's merged hash (`sharded`): partitioning the flight map is
+/// invisible to the digest because both feed this function the same
+/// globally sorted sequence.
+pub(crate) fn hash_sorted_flights<'a>(
+    sorted: impl Iterator<Item = (FlightId, &'a FlightView)>,
+) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for (id, f) in sorted {
+        eat(&id.to_le_bytes());
+        eat(&[f.status as u8]);
+        eat(&f.position_seq.to_le_bytes());
+        if let Some(p) = &f.position {
+            eat(&p.lat.to_bits().to_le_bytes());
+            eat(&p.lon.to_bits().to_le_bytes());
+            eat(&p.alt_ft.to_bits().to_le_bytes());
+        }
+        eat(&f.boarded.to_le_bytes());
+        eat(&f.expected.to_le_bytes());
+        eat(&f.bags_loaded.to_le_bytes());
+        eat(&f.bags_reconciled.to_le_bytes());
+    }
+    h
 }
 
 #[cfg(test)]
@@ -224,6 +283,27 @@ mod tests {
         let h = s.state_hash();
         assert!(!s.apply(&Event::faa_position(2, 1, fix(9999.0))), "stale seq absorbed");
         assert_eq!(s.state_hash(), h);
+    }
+
+    #[test]
+    fn stale_boarding_does_not_change_state_or_epoch() {
+        // Regression: the Boarding arm used to report `true`
+        // unconditionally (apply_boarding returns the completion edge, not
+        // "changed"), so duplicate gate reports bumped the epoch and
+        // invalidated snapshot caches for no state change.
+        let mut s = OperationalState::new();
+        assert!(s.apply(&Event::new(1, 1, 7, EventBody::Boarding { boarded: 80, expected: 100 })));
+        let (h, epoch) = (s.state_hash(), s.epoch());
+        // Exact duplicate: no change.
+        assert!(!s.apply(&Event::new(1, 2, 7, EventBody::Boarding { boarded: 80, expected: 100 })));
+        // Stale (lower) count: monotone absorb, no change.
+        assert!(!s.apply(&Event::new(1, 3, 7, EventBody::Boarding { boarded: 50, expected: 100 })));
+        assert_eq!((s.state_hash(), s.epoch()), (h, epoch));
+        assert_eq!(s.applied, 3, "absorbed events still count as applied");
+        // A genuinely newer report changes state and bumps the epoch again.
+        assert!(s.apply(&Event::new(1, 4, 7, EventBody::Boarding { boarded: 100, expected: 100 })));
+        assert_ne!(s.state_hash(), h);
+        assert_eq!(s.epoch(), epoch + 1);
     }
 
     #[test]

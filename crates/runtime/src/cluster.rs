@@ -109,6 +109,11 @@ pub struct SiteStats {
     pub snapshot_cache_hits: u64,
     /// Gateway requests that had to capture the live state.
     pub snapshot_cache_misses: u64,
+    /// Events applied by each EDE shard, in shard order.
+    pub shard_applied: Vec<u64>,
+    /// Shard load imbalance: busiest shard's applied count over the
+    /// per-shard mean (1.0 = perfectly even, 0.0 = nothing applied yet).
+    pub shard_imbalance: f64,
 }
 
 /// Point-in-time statistics across a running cluster.
@@ -416,22 +421,30 @@ impl Cluster {
     /// A point-in-time statistics snapshot across the cluster.
     pub fn stats(&self) -> ClusterStats {
         use std::sync::atomic::Ordering;
-        let site = |c: &crate::site::SiteCounters| SiteStats {
-            processed: c.processed.load(Ordering::Relaxed),
-            mirrored: c.mirrored.load(Ordering::Relaxed),
-            snapshots: c.snapshots.load(Ordering::Relaxed),
-            adaptations: c.adaptations.load(Ordering::Relaxed),
-            mean_update_delay_us: c.mean_delay_us(),
-            requests_served: c.requests_served.load(Ordering::Relaxed),
-            mean_request_latency_us: c.mean_request_latency_us(),
-            snapshot_cache_hits: c.snapshot_cache_hits.load(Ordering::Relaxed),
-            snapshot_cache_misses: c.snapshot_cache_misses.load(Ordering::Relaxed),
-        };
+        let site =
+            |c: &crate::site::SiteCounters, shard_applied: Vec<u64>, shard_imbalance: f64| {
+                SiteStats {
+                    processed: c.processed.load(Ordering::Relaxed),
+                    mirrored: c.mirrored.load(Ordering::Relaxed),
+                    snapshots: c.snapshots.load(Ordering::Relaxed),
+                    adaptations: c.adaptations.load(Ordering::Relaxed),
+                    mean_update_delay_us: c.mean_delay_us(),
+                    requests_served: c.requests_served.load(Ordering::Relaxed),
+                    mean_request_latency_us: c.mean_request_latency_us(),
+                    snapshot_cache_hits: c.snapshot_cache_hits.load(Ordering::Relaxed),
+                    snapshot_cache_misses: c.snapshot_cache_misses.load(Ordering::Relaxed),
+                    shard_applied,
+                    shard_imbalance,
+                }
+            };
         let central = read(&self.central);
         let sites = read(&self.sites);
         ClusterStats {
-            central: site(central.counters()),
-            mirrors: sites.values().map(|m| site(m.counters())).collect(),
+            central: site(central.counters(), central.shard_applied(), central.shard_imbalance()),
+            mirrors: sites
+                .values()
+                .map(|m| site(m.counters(), m.shard_applied(), m.shard_imbalance()))
+                .collect(),
             mirror_ids: sites.keys().copied().collect(),
             epoch: self.membership.epoch(),
             committed: central.committed(),
@@ -1174,6 +1187,13 @@ mod tests {
         assert_eq!(stats.mirrors[0].snapshots, 1);
         assert!(stats.failed_mirrors.is_empty());
         assert!(stats.central.mean_update_delay_us > 0.0);
+        assert_eq!(
+            stats.central.shard_applied.iter().sum::<u64>(),
+            60,
+            "per-shard counters must account for every applied event"
+        );
+        assert!(stats.central.shard_imbalance >= 1.0);
+        assert_eq!(stats.mirrors[0].shard_applied.iter().sum::<u64>(), 60);
         cluster.shutdown();
     }
 

@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod applypool;
 pub mod bridge;
 pub mod clock;
 pub mod cluster;
@@ -25,6 +26,7 @@ pub mod requests;
 pub mod site;
 pub mod snapcache;
 
+pub use applypool::{ApplyPool, ApplyPoolConfig, ApplySink};
 pub use clock::RuntimeClock;
 pub use cluster::{Cluster, ClusterConfig, ClusterStats, MirrorRef, ScaleEvent, SiteStats};
 pub use durability::{DurabilityConfig, Journal, ResyncOutcome, ResyncSource};

@@ -11,8 +11,16 @@
 //!
 //! Channel-subscription forwarder threads pump `mirror-echo` subscriptions
 //! into a site's inbox, so no thread ever blocks on more than one source.
+//!
+//! The main thread is a **dispatcher** over a sharded apply path (see
+//! DESIGN.md §16): the aux thread feeds it over a bounded lock-free MPSC
+//! ring, and it routes data events by flight-id shard to the
+//! [`ApplyPool`]'s workers, which apply into
+//! a per-shard-locked [`ShardedEde`]. Control traffic (checkpoint rounds,
+//! seed installs) is handled inline by the dispatcher so it serializes
+//! with dispatch order.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -24,19 +32,33 @@ use mirror_core::api::MirrorHandle;
 use mirror_core::aux_unit::{AuxAction, AuxInput, SiteId};
 use mirror_core::checkpoint::MainUnitResponder;
 use mirror_core::event::Event;
+use mirror_core::ring::{self, MpscSender, RingRecv};
 use mirror_core::timestamp::VectorTimestamp;
 use mirror_core::ControlMsg;
 use mirror_echo::channel::{EventChannel, Publisher, Subscriber};
 use mirror_echo::resilient::{LinkEvent, LinkHealth, LinkMonitor};
 use mirror_echo::wire::SharedEvent;
-use mirror_ede::{Ede, OperationalState, Snapshot};
+use mirror_ede::{OperationalState, ShardedEde, Snapshot};
 
+use crate::applypool::{idle_backoff, ApplyPool, ApplyPoolConfig, ApplySink};
 use crate::clock::RuntimeClock;
 use crate::durability::Journal;
 use crate::snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};
 
 /// How often an idle aux thread flushes coalescing buffers.
 const FLUSH_PERIOD: Duration = Duration::from_millis(20);
+
+/// Shards in a site's operational store. More shards than the worker-pool
+/// maximum (4) so per-shard lock contention stays low even when captures
+/// interleave with applies; the shard map is invisible to the replicated
+/// digest, so the count is a pure tuning knob.
+const APPLY_SHARDS: usize = 8;
+
+/// Capacity of the aux→dispatcher MPSC ring (events in flight between the
+/// receiving task and the apply path before backpressure). Sized like the
+/// worker rings so the pipeline stages exchange the CPU in large quanta
+/// on oversubscribed hosts.
+const MAIN_RING_CAPACITY: usize = 8192;
 
 /// A message in a site's aux inbox.
 #[derive(Debug)]
@@ -59,8 +81,11 @@ enum MainMsg {
     Ctrl(ControlMsg),
     /// Install recovered state (mirror rejoin): the operational state plus
     /// the frontier it reflects. Events buffered while awaiting the seed
-    /// are replayed on top (stale ones are absorbed idempotently).
-    Seed(Box<mirror_ede::OperationalState>, VectorTimestamp),
+    /// are replayed on top (stale ones are absorbed idempotently). The
+    /// flag acks the install so [`seed`] can block until the state and
+    /// frontier are visible — callers (promotion, rejoin) snapshot the
+    /// site right after seeding and must not observe the pre-seed void.
+    Seed(Box<mirror_ede::OperationalState>, VectorTimestamp, Arc<AtomicBool>),
     Stop,
 }
 
@@ -87,6 +112,9 @@ pub struct SiteCounters {
     pub snapshot_cache_hits: AtomicU64,
     /// Gateway requests that captured fresh state (cache stale or absent).
     pub snapshot_cache_misses: AtomicU64,
+    /// Apply-worker bookkeeping batches flushed (processed ÷ batches =
+    /// achieved batching ratio on the sharded apply path).
+    pub apply_batches: AtomicU64,
 }
 
 impl SiteCounters {
@@ -125,17 +153,22 @@ impl SiteCounters {
 
 /// State shared by a site's threads and its owner.
 struct SiteShared {
-    ede: Mutex<Ede>,
-    responder: Mutex<MainUnitResponder>,
+    /// The sharded operational store: per-shard locks for parallel
+    /// applies, all-shard freeze for consistent captures.
+    ede: Arc<ShardedEde>,
+    /// Shared with the apply workers, which batch-merge processed stamps
+    /// into it.
+    responder: Arc<Mutex<MainUnitResponder>>,
     /// Shared with gateway workers, which account served requests and
     /// cache hits into it.
     counters: Arc<SiteCounters>,
     /// Pending client requests at this site (the §3.2.2 monitored
     /// variable); shared with any request gateway serving this site.
     pending_gauge: Arc<AtomicU64>,
-    /// The EDE's state epoch, published by the main thread after every
-    /// apply/seed so gateway workers check snapshot-cache freshness
-    /// without touching the EDE mutex.
+    /// The store's global epoch cell ([`ShardedEde::epoch_handle`]),
+    /// bumped under the owning shard's lock on every state change so
+    /// gateway workers check snapshot-cache freshness without touching
+    /// any shard lock.
     epoch: Arc<AtomicU64>,
     clock: RuntimeClock,
 }
@@ -146,7 +179,7 @@ struct SiteCore {
     handle: MirrorHandle,
     inbox_tx: Sender<SiteMsg>,
     /// Direct line to the main thread (mirror rejoin seeding).
-    seed_tx: Sender<MainMsg>,
+    seed_tx: MpscSender<MainMsg>,
     stop: Arc<std::sync::atomic::AtomicBool>,
     /// Crash simulation: when set, threads abandon queued work instead of
     /// draining it on the way out (see [`CentralSite::crash`]).
@@ -168,14 +201,18 @@ impl SiteCore {
         await_seed: bool,
     ) -> (Self, Sender<SiteMsg>) {
         let (inbox_tx, inbox_rx) = channel::unbounded::<SiteMsg>();
-        let (main_tx, main_rx) = channel::unbounded::<MainMsg>();
+        // Aux → dispatcher: a bounded lock-free MPSC ring (producers: the
+        // aux thread, seed installers, shutdown) replaces the unbounded
+        // mutex-and-allocation channel on the per-event hot path.
+        let (main_tx, mut main_rx) = ring::mpsc::<MainMsg>(MAIN_RING_CAPACITY);
         let crashed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let ede = Arc::new(ShardedEde::new(APPLY_SHARDS));
         let shared = Arc::new(SiteShared {
-            ede: Mutex::new(Ede::new()),
-            responder: Mutex::new(MainUnitResponder::new(site)),
+            epoch: ede.epoch_handle(),
+            ede,
+            responder: Arc::new(Mutex::new(MainUnitResponder::new(site))),
             counters: Arc::new(SiteCounters::default()),
             pending_gauge: Arc::new(AtomicU64::new(0)),
-            epoch: Arc::new(AtomicU64::new(0)),
             clock,
         });
 
@@ -230,60 +267,71 @@ impl SiteCore {
             })
             .expect("spawn aux thread");
 
-        // --- main (EDE) thread ----------------------------------------------
+        // --- main (dispatcher) thread -----------------------------------------
+        // Routes data events by flight-id shard to the apply worker pool;
+        // control traffic and seed installs are handled inline so they
+        // serialize with dispatch order.
         let main_shared = Arc::clone(&shared);
         let main_inbox = inbox_tx.clone();
+        let main_crashed = Arc::clone(&crashed);
         let main = std::thread::Builder::new()
             .name(format!("main-{site}"))
             .spawn(move || {
+                let sink = ApplySink {
+                    responder: Arc::clone(&main_shared.responder),
+                    counters: Arc::clone(&main_shared.counters),
+                    clock: main_shared.clock.clone(),
+                    updates: updates_pub,
+                };
+                let mut pool = ApplyPool::spawn(
+                    Arc::clone(&main_shared.ede),
+                    sink,
+                    Arc::clone(&main_crashed),
+                    ApplyPoolConfig::default(),
+                );
                 // Mirror rejoin: until the seed state arrives, data events
                 // are buffered; the seed install replays them on top
                 // (stale updates are absorbed idempotently by the EDE).
                 let mut awaiting_seed = await_seed;
                 let mut seed_buffer: Vec<Arc<Event>> = Vec::new();
-                let process_event = |shared: &Arc<SiteShared>, ev: &Event| {
-                    // Apply to the EDE before advancing the frontier: see
-                    // the ordering note below (snapshot safety).
-                    let (out, epoch) = {
-                        let mut ede = shared.ede.lock();
-                        let out = ede.process(ev);
-                        (out, ede.epoch())
-                    };
-                    // Publish the epoch the gateway's staleness check
-                    // reads (lock-free, may trail the EDE by an in-flight
-                    // apply — the staleness bound absorbs that skew).
-                    shared.epoch.store(epoch, Ordering::Release);
-                    shared.responder.lock().record_processed(&ev.stamp);
-                    shared.counters.processed.fetch_add(1, Ordering::Relaxed);
-                    let now = shared.clock.now_us();
-                    for u in out.client_updates {
-                        let delay = now.saturating_sub(u.ingress_us);
-                        shared.counters.delay_sum_us.fetch_add(delay, Ordering::Relaxed);
-                        shared.counters.delay_count.fetch_add(1, Ordering::Relaxed);
-                        if let Some(p) = &updates_pub {
-                            p.publish(u);
+                let mut spins = 0u32;
+                loop {
+                    let msg = match main_rx.try_recv() {
+                        RingRecv::Item(m) => {
+                            spins = 0;
+                            m
                         }
-                    }
-                };
-                while let Ok(msg) = main_rx.recv() {
+                        RingRecv::Empty => {
+                            if main_crashed.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            idle_backoff(&mut spins);
+                            continue;
+                        }
+                        RingRecv::Disconnected => break,
+                    };
                     match msg {
                         MainMsg::Event(ev) => {
                             if awaiting_seed {
                                 seed_buffer.push(ev);
                                 continue;
                             }
-                            process_event(&main_shared, &ev);
+                            pool.dispatch(ev);
                         }
-                        MainMsg::Seed(state, frontier) => {
-                            {
-                                let mut ede = main_shared.ede.lock();
-                                ede.install_state(*state);
-                                main_shared.epoch.store(ede.epoch(), Ordering::Release);
-                            }
+                        MainMsg::Seed(state, frontier, installed) => {
+                            // Quiesce: every worker drains its ring and
+                            // parks, the install swaps the store (bumping
+                            // the shared epoch), then applies resume on
+                            // top of the seed.
+                            pool.quiesce(|| main_shared.ede.install_state(*state));
                             main_shared.responder.lock().record_processed(&frontier);
+                            // Ack only after both the state and the
+                            // frontier are visible: the blocked seeder
+                            // snapshots immediately after.
+                            installed.store(true, Ordering::Release);
                             awaiting_seed = false;
                             for ev in seed_buffer.drain(..) {
-                                process_event(&main_shared, &ev);
+                                pool.dispatch(ev);
                             }
                         }
                         MainMsg::Ctrl(m) => match &m {
@@ -295,6 +343,10 @@ impl SiteCore {
                                         .pending_gauge
                                         .load(Ordering::Relaxed),
                                 };
+                                // The responder's frontier may trail
+                                // in-flight worker applies; the reply is
+                                // the meet with it, so a lag only makes
+                                // the commit conservative, never wrong.
                                 let rep = main_shared.responder.lock().on_chkpt(&m, report);
                                 if let Some(rep) = rep {
                                     let _ = main_inbox.send(SiteMsg::Ctrl(rep));
@@ -306,6 +358,9 @@ impl SiteCore {
                         MainMsg::Stop => break,
                     }
                 }
+                // Graceful stop drains worker rings; after a crash the
+                // workers observe the flag and abandon their backlogs.
+                pool.shutdown();
             })
             .expect("spawn main thread");
 
@@ -366,7 +421,7 @@ fn pump<T>(
 fn route_actions(
     actions: Vec<AuxAction>,
     shared: &Arc<SiteShared>,
-    main_tx: &Sender<MainMsg>,
+    main_tx: &MpscSender<MainMsg>,
     on_action: &impl Fn(&AuxAction),
 ) {
     for action in actions {
@@ -403,9 +458,21 @@ macro_rules! site_common_impl {
             &self.core.shared.counters
         }
 
-        /// Digest of this site's EDE state.
+        /// Digest of this site's EDE state (merged across shards; identical
+        /// to the hash an unsharded store of the same flights produces).
         pub fn state_hash(&self) -> u64 {
-            self.core.shared.ede.lock().state_hash()
+            self.core.shared.ede.state_hash()
+        }
+
+        /// Events applied per store shard (index = shard), lock-free.
+        pub fn shard_applied(&self) -> Vec<u64> {
+            self.core.shared.ede.applied_per_shard()
+        }
+
+        /// Shard imbalance: busiest shard's applied count over the
+        /// per-shard mean (1.0 = even; 0.0 before any apply).
+        pub fn shard_imbalance(&self) -> f64 {
+            self.core.shared.ede.imbalance()
         }
 
         /// Events this site's EDE has processed.
@@ -440,14 +507,12 @@ macro_rules! site_common_impl {
             config: crate::requests::GatewayConfig,
         ) -> crate::requests::RequestGateway {
             let shared = Arc::clone(&self.core.shared);
-            // Frontier, state, and epoch are read under the EDE lock (the
-            // responder first — the frontier may only *trail* the state a
-            // snapshot reflects, never lead it; trailing events are
-            // replayed idempotently by the client).
+            // Frontier first, then the all-shard freeze: the frontier may
+            // only *trail* the state a snapshot reflects, never lead it;
+            // trailing events are replayed idempotently by the client.
             let capture = move || {
                 let as_of: VectorTimestamp = shared.responder.lock().processed().clone();
-                let ede = shared.ede.lock();
-                (Snapshot::capture(ede.state(), as_of), ede.epoch())
+                shared.ede.freeze(as_of)
             };
             crate::requests::RequestGateway::spawn(
                 capture,
@@ -466,9 +531,23 @@ macro_rules! site_common_impl {
 
         /// Install recovered state into a site started in awaiting-seed
         /// mode; events buffered meanwhile replay on top (stale updates
-        /// are absorbed idempotently by the EDE).
+        /// are absorbed idempotently by the EDE). Blocks until the apply
+        /// loop has installed the state and frontier: callers (promotion
+        /// handoff, mirror rejoin) snapshot the site immediately after,
+        /// and must never observe the empty pre-seed store.
         pub fn seed(&self, state: OperationalState, frontier: VectorTimestamp) {
-            let _ = self.core.seed_tx.send(MainMsg::Seed(Box::new(state), frontier));
+            let installed = Arc::new(AtomicBool::new(false));
+            let msg = MainMsg::Seed(Box::new(state), frontier, Arc::clone(&installed));
+            if self.core.seed_tx.send(msg).is_err() {
+                return; // apply loop already gone (site stopping)
+            }
+            let mut spins = 0u32;
+            while !installed.load(Ordering::Acquire) {
+                if self.core.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                idle_backoff(&mut spins);
+            }
         }
 
         /// Serve an initial-state request: snapshot this site's EDE state
@@ -480,7 +559,7 @@ macro_rules! site_common_impl {
             // synchronous call never queues, so it contributes no
             // pressure for the adaptation controller to react to.
             let as_of: VectorTimestamp = self.core.shared.responder.lock().processed().clone();
-            let snap = Snapshot::capture(self.core.shared.ede.lock().state(), as_of);
+            let (snap, _epoch) = self.core.shared.ede.freeze(as_of);
             self.core.shared.counters.snapshots.fetch_add(1, Ordering::Relaxed);
             snap
         }
@@ -762,8 +841,7 @@ impl CentralSite {
             // Frontier before state, as everywhere: the frontier may only
             // trail the state a snapshot reflects, never lead it.
             let as_of: VectorTimestamp = shared.responder.lock().processed().clone();
-            let ede = shared.ede.lock();
-            (Snapshot::capture(ede.state(), as_of), ede.epoch())
+            shared.ede.freeze(as_of)
         });
         let floor = *self.seed_floor.lock();
         (served, floor)
@@ -863,11 +941,12 @@ impl CentralSite {
             std::io::Error::new(std::io::ErrorKind::Unsupported, "site has no durable store")
         })?;
         let as_of: VectorTimestamp = self.core.shared.responder.lock().processed().clone();
-        // Clone under the lock, write after releasing it: the disk write
-        // (serialize + temp file + fsync + rename) must not stall event
-        // processing — holding the EDE mutex across it froze the main
-        // thread for the whole save.
-        let state = self.core.shared.ede.lock().state().clone();
+        // Freeze (clone) under the shard locks, write after releasing
+        // them: the disk write (serialize + temp file + fsync + rename)
+        // must not stall event processing — holding the store locked
+        // across it would freeze every apply worker for the whole save.
+        let (snap, _epoch) = self.core.shared.ede.freeze(as_of.clone());
+        let state = snap.into_state();
         journal.save_snapshot(&state, &as_of)?;
         Ok(state.flights().len())
     }

@@ -21,7 +21,6 @@
 //! u32 crc32 over everything above
 //! ```
 
-use std::collections::HashMap;
 use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
@@ -43,7 +42,7 @@ const TMP: &str = "snapshot.tmp";
 #[derive(Debug, Clone)]
 pub struct PersistedSnapshot {
     /// Per-flight operational views at capture time.
-    pub flights: HashMap<FlightId, FlightView>,
+    pub flights: mirror_ede::FlightMap,
     /// Checkpoint frontier the snapshot is consistent with.
     pub as_of: VectorTimestamp,
 }
@@ -145,7 +144,8 @@ impl SnapshotStore {
         }
         let as_of = VectorTimestamp::from_components(comps);
         let count = r.u32()? as usize;
-        let mut flights = HashMap::with_capacity(count);
+        let mut flights =
+            mirror_ede::FlightMap::with_capacity_and_hasher(count, Default::default());
         for _ in 0..count {
             let id = r.u32()?;
             let status = FlightStatus::from_u8(r.u8()?)

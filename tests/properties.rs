@@ -11,7 +11,7 @@ use adaptable_mirroring::core::rules::{Rule, RuleSet};
 use adaptable_mirroring::core::status::StatusTable;
 use adaptable_mirroring::core::timestamp::{StampOrdering, VectorTimestamp};
 use adaptable_mirroring::echo::wire::{decode_frame, encode_frame, Frame};
-use adaptable_mirroring::ede::{Ede, OperationalState, Snapshot};
+use adaptable_mirroring::ede::{Ede, OperationalState, ShardMap, ShardedEde, Snapshot};
 
 // ---------------------------------------------------------------------
 // Generators
@@ -259,6 +259,88 @@ proptest! {
             client.apply(e);
         }
         prop_assert_eq!(client.state_hash(), server.state_hash());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded apply-path equivalence (PR 7)
+//
+// The tentpole claim behind the parallel apply path: because all EDE
+// state is per-flight and flight-id routing is sticky, partitioning the
+// store into any number of shards and applying events in any order that
+// preserves each flight's sub-sequence reaches the same operational
+// state as the serial single-store apply.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sharded_apply_matches_unsharded_hash(
+        events in arb_ops_events(),
+        shards in 1usize..12,
+        picks in prop::collection::vec(0usize..64, 0..240),
+    ) {
+        // Serial, unsharded reference.
+        let mut reference = Ede::new();
+        for e in &events {
+            reference.process(e);
+        }
+        let expected = reference.state_hash();
+
+        // Same stream through the sharded store, original order.
+        let map = ShardMap::new(shards);
+        let in_order = ShardedEde::new(shards);
+        for e in &events {
+            in_order.process_shard(map.shard_of(e.flight), e, |_| {}, |_| {});
+        }
+        prop_assert_eq!(in_order.state_hash(), expected,
+            "sharded in-order apply diverged (shards={})", shards);
+        prop_assert_eq!(in_order.applied(), events.len() as u64);
+
+        // An arbitrary per-flight-order-preserving interleaving: partition
+        // the stream into per-flight queues, then drain them in the pick
+        // order proptest chose. This models shard workers racing ahead of
+        // each other while each flight's events stay FIFO.
+        let mut queues: std::collections::BTreeMap<u32, std::collections::VecDeque<&Event>> =
+            std::collections::BTreeMap::new();
+        for e in &events {
+            queues.entry(e.flight).or_default().push_back(e);
+        }
+        let interleaved = ShardedEde::new(shards);
+        let mut picks = picks.into_iter().cycle();
+        while !queues.is_empty() {
+            let keys: Vec<u32> = queues.keys().copied().collect();
+            let k = keys[picks.next().unwrap_or(0) % keys.len()];
+            let q = queues.get_mut(&k).unwrap();
+            let e = q.pop_front().unwrap();
+            if q.is_empty() {
+                queues.remove(&k);
+            }
+            interleaved.process_shard(map.shard_of(e.flight), e, |_| {}, |_| {});
+        }
+        prop_assert_eq!(interleaved.state_hash(), expected,
+            "per-flight-preserving interleaving diverged (shards={})", shards);
+    }
+
+    #[test]
+    fn shard_counts_agree_with_each_other(
+        events in arb_ops_events(),
+        a in 1usize..10,
+        b in 1usize..10,
+    ) {
+        // Any two shard counts agree — the partition is invisible in the
+        // canonical hash even when no serial reference is consulted.
+        let build = |n: usize| {
+            let map = ShardMap::new(n);
+            let store = ShardedEde::new(n);
+            for e in &events {
+                store.process_shard(map.shard_of(e.flight), e, |_| {}, |_| {});
+            }
+            store
+        };
+        let sa = build(a);
+        let sb = build(b);
+        prop_assert_eq!(sa.state_hash(), sb.state_hash());
+        prop_assert_eq!(sa.flight_count(), sb.flight_count());
     }
 }
 
