@@ -80,6 +80,7 @@ fn run_case(cfg: &BurstConfig, elastic: bool) -> CaseStats {
             min_mirrors: 1,
         }),
         failover: None,
+        ..Default::default()
     }));
     cluster.central().handle().set_params(false, 1, 10);
 

@@ -9,7 +9,7 @@
 //! application's job — it is precisely the monitored queue growth that
 //! drives adaptive mirroring).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -25,6 +25,12 @@ struct Shared<T> {
     /// Lock-free counter: read by monitoring threads while publishers are
     /// hot, so it must not contend on the subscriber lock.
     published: AtomicU64,
+    /// Lock-free subscriber count, maintained by `subscribe` and the
+    /// publish-time prune. Read on apply hot paths (a mirror's per-update
+    /// "anyone listening?" check) where taking the subscriber lock — or
+    /// cloning the message first — would be a per-event tax paid even with
+    /// no edge attached.
+    sub_count: AtomicUsize,
 }
 
 /// A named, typed event channel.
@@ -46,6 +52,7 @@ impl<T: Clone + Send + 'static> EventChannel<T> {
                 name: name.into(),
                 subs: Mutex::new(Vec::new()),
                 published: AtomicU64::new(0),
+                sub_count: AtomicUsize::new(0),
             }),
         }
     }
@@ -64,7 +71,10 @@ impl<T: Clone + Send + 'static> EventChannel<T> {
     /// message published after this call.
     pub fn subscribe(&self) -> Subscriber<T> {
         let (tx, rx) = channel::unbounded();
-        self.shared.subs.lock().push(tx);
+        let mut subs = self.shared.subs.lock();
+        subs.push(tx);
+        self.shared.sub_count.store(subs.len(), Ordering::Release);
+        drop(subs);
         Subscriber { rx, name: self.shared.name.clone() }
     }
 
@@ -108,8 +118,20 @@ impl<T: Clone + Send + 'static> Publisher<T> {
                 false
             }
         });
+        self.shared.sub_count.store(subs.len(), Ordering::Release);
         self.shared.published.fetch_add(1, Ordering::Relaxed);
         delivered
+    }
+
+    /// `true` while at least one subscriber is attached — without taking
+    /// the subscriber lock. This is the hot-path guard that lets a site
+    /// skip the per-update clone + publish entirely when nothing listens
+    /// (the common case for a mirror with no edge tier attached). May
+    /// briefly report `true` for subscribers that were dropped but not yet
+    /// pruned by a publish; that costs one wasted publish, never a missed
+    /// one.
+    pub fn has_subscribers(&self) -> bool {
+        self.shared.sub_count.load(Ordering::Acquire) > 0
     }
 
     /// The channel's name.
@@ -326,6 +348,19 @@ mod tests {
         drop(p);
         drop(ch);
         assert_eq!(s.recv_status(Duration::from_millis(5)), RecvStatus::Disconnected);
+    }
+
+    #[test]
+    fn has_subscribers_tracks_attach_and_prune() {
+        let ch: EventChannel<u8> = EventChannel::new("t");
+        let p = ch.publisher();
+        assert!(!p.has_subscribers(), "fresh channel has no subscribers");
+        let s = ch.subscribe();
+        assert!(p.has_subscribers());
+        drop(s);
+        // Dropped-but-unpruned may still read true; a publish prunes.
+        p.publish(1);
+        assert!(!p.has_subscribers(), "prune must clear the flag");
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct FaultPlan {
     pub corrupt_per_mille: u32,
     /// Force a disconnect error after every N outbound frames (0 = never).
     pub disconnect_every: u64,
+    /// Chance (‰) that a bounded-wait read tick begins a stall run (see
+    /// [`ThrottleSchedule`]); models a slow consumer whose socket reads
+    /// fall behind rather than a lossy link.
+    pub stall_per_mille: u32,
+    /// Length of each stall run, in read ticks.
+    pub stall_ticks: u32,
 }
 
 impl FaultPlan {
@@ -55,6 +61,8 @@ impl FaultPlan {
             reorder_per_mille: 0,
             corrupt_per_mille: 0,
             disconnect_every: 0,
+            stall_per_mille: 0,
+            stall_ticks: 0,
         }
     }
 
@@ -88,6 +96,14 @@ impl FaultPlan {
         self
     }
 
+    /// Stall bounded-wait reads: each read tick starts a `ticks`-long stall
+    /// run with probability `per_mille`/1000 (the slow-consumer fault).
+    pub fn stalls(mut self, per_mille: u32, ticks: u32) -> Self {
+        self.stall_per_mille = per_mille;
+        self.stall_ticks = ticks;
+        self
+    }
+
     /// The adversarial preset used by the chaos tests: 15% drops, 10%
     /// duplicates, 5% reorders, disconnect every 100 frames.
     pub fn chaos(seed: u64) -> Self {
@@ -117,6 +133,58 @@ pub struct FaultSummary {
     pub corrupted: u64,
     /// Forced disconnects.
     pub disconnects: u64,
+    /// Bounded-wait read ticks swallowed by a stall run.
+    pub stalled: u64,
+}
+
+/// A deterministic, seedable schedule of read stalls: the slow-consumer
+/// half of the fault harness, usable standalone (an edge bench pacing its
+/// simulated subscribers' reads) or wired into a [`FaultyTransport`] via
+/// [`FaultPlan::stalls`].
+///
+/// Each call to [`stalled`](Self::stalled) is one *read tick*. A tick
+/// either falls inside a stall run (returns `true`) or rolls — purely from
+/// the seed and the tick counter — whether a new run of `stall_ticks`
+/// consecutive stalled ticks begins. Like every other fault decision, the
+/// schedule is a function of `(seed, tick)` alone, so a failing run
+/// reproduces from its seed.
+#[derive(Debug, Clone)]
+pub struct ThrottleSchedule {
+    seed: u64,
+    stall_per_mille: u32,
+    stall_ticks: u32,
+    tick: u64,
+    remaining: u32,
+}
+
+impl ThrottleSchedule {
+    /// A schedule where each tick starts a `stall_ticks`-long run with
+    /// probability `per_mille`/1000.
+    pub fn new(seed: u64, per_mille: u32, stall_ticks: u32) -> Self {
+        ThrottleSchedule { seed, stall_per_mille: per_mille, stall_ticks, tick: 0, remaining: 0 }
+    }
+
+    /// Advance one read tick; `true` means this tick is stalled (the
+    /// consumer does not read).
+    pub fn stalled(&mut self) -> bool {
+        self.tick += 1;
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            return true;
+        }
+        if self.stall_per_mille == 0 {
+            return false;
+        }
+        let roll =
+            (splitmix64(self.seed ^ SALT_STALL.wrapping_mul(0xA076_1D64_78BD_642F) ^ self.tick)
+                % 1000) as u32;
+        if roll < self.stall_per_mille {
+            self.remaining = self.stall_ticks.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Shared, lock-protected fault schedule state; see the module docs for
@@ -128,11 +196,15 @@ pub struct FaultState {
     /// A frame held back by a reorder decision, emitted after the next
     /// successfully sent frame.
     held: Option<Frame>,
+    /// Read-stall schedule, present when the plan enables stalls.
+    throttle: Option<ThrottleSchedule>,
 }
 
 impl FaultState {
     fn new(plan: FaultPlan) -> Self {
-        FaultState { plan, summary: FaultSummary::default(), held: None }
+        let throttle = (plan.stall_per_mille > 0)
+            .then(|| ThrottleSchedule::new(plan.seed, plan.stall_per_mille, plan.stall_ticks));
+        FaultState { plan, summary: FaultSummary::default(), held: None, throttle }
     }
 
     /// Snapshot the fault counters.
@@ -150,6 +222,7 @@ const SALT_DROP: u64 = 1;
 const SALT_DUP: u64 = 2;
 const SALT_REORDER: u64 = 3;
 const SALT_CORRUPT: u64 = 4;
+const SALT_STALL: u64 = 5;
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -267,6 +340,21 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 
     fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Polled> {
         self.check_broken()?;
+        // A stalled tick swallows the whole wait: the consumer does not
+        // read, as if its thread were descheduled. The decision is taken
+        // under the lock, the (real-time) stall happens outside it.
+        let stalled = {
+            let mut st = self.state.lock().expect("fault state poisoned");
+            let hit = st.throttle.as_mut().is_some_and(|t| t.stalled());
+            if hit {
+                st.summary.stalled += 1;
+            }
+            hit
+        };
+        if stalled {
+            std::thread::sleep(timeout);
+            return Ok(Polled::Idle);
+        }
         match self.inner.recv_timeout(timeout)? {
             Polled::Frame(f) => self.filter_inbound(f).map(Polled::Frame),
             other => Ok(other),
@@ -385,6 +473,58 @@ mod tests {
         seqs.sort_unstable();
         seqs.dedup();
         assert!(seqs.len() >= 9, "at most the final held frame may be missing");
+    }
+
+    #[test]
+    fn throttle_schedule_is_deterministic_and_runs_in_bursts() {
+        let mut a = ThrottleSchedule::new(9, 100, 5);
+        let mut b = ThrottleSchedule::new(9, 100, 5);
+        let ticks_a: Vec<bool> = (0..2000).map(|_| a.stalled()).collect();
+        let ticks_b: Vec<bool> = (0..2000).map(|_| b.stalled()).collect();
+        assert_eq!(ticks_a, ticks_b, "same seed, same schedule");
+        let stalled = ticks_a.iter().filter(|s| **s).count();
+        assert!(stalled > 0, "schedule should stall sometimes");
+        // Runs are at least stall_ticks long: every maximal run of `true`
+        // that ends before the tail has length >= 5.
+        let mut run = 0usize;
+        for (i, s) in ticks_a.iter().enumerate() {
+            if *s {
+                run += 1;
+            } else {
+                assert!(run == 0 || run >= 5, "short stall run of {run} ending at tick {i}");
+                run = 0;
+            }
+        }
+        let mut c = ThrottleSchedule::new(10, 100, 5);
+        assert_ne!(ticks_a, (0..2000).map(|_| c.stalled()).collect::<Vec<_>>());
+        let mut never = ThrottleSchedule::new(9, 0, 5);
+        assert!((0..100).all(|_| !never.stalled()));
+    }
+
+    #[test]
+    fn stalled_reads_delay_but_never_lose() {
+        let (mut near, far) = InProcTransport::pair("stall");
+        // Heavy stalling (50% chance of a 2-tick run): the frame arrives
+        // late, after some deterministically stalled Idle ticks, but it
+        // always arrives — stalls are delay, not loss.
+        let mut t = FaultyTransport::new(far, FaultPlan::new(21).stalls(500, 2));
+        for i in 1..=50 {
+            near.send(&ev(i)).unwrap();
+        }
+        let mut idles = 0u64;
+        let mut got = Vec::new();
+        while got.len() < 50 {
+            match t.recv_timeout(Duration::from_millis(1)).unwrap() {
+                Polled::Frame(f) => got.push(f),
+                Polled::Idle => idles += 1,
+                Polled::Eof => panic!("unexpected eof"),
+            }
+            assert!(idles < 1000, "stall schedule never yielded a read");
+        }
+        assert_eq!(got, (1..=50).map(ev).collect::<Vec<_>>(), "in order, nothing lost");
+        let summary = t.state().lock().unwrap().summary();
+        assert_eq!(summary.stalled, idles, "every idle tick was a stall");
+        assert!(summary.stalled > 0, "50 ticks at 50% should stall at least once");
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod transport;
 pub mod wire;
 
 pub use channel::{ChannelPair, EventChannel, Publisher, RecvStatus, Subscriber};
-pub use faults::{FaultPlan, FaultState, FaultSummary, FaultyTransport};
+pub use faults::{FaultPlan, FaultState, FaultSummary, FaultyTransport, ThrottleSchedule};
 pub use resilient::{
     Connector, LinkEvent, LinkHealth, LinkMonitor, ResilientTransport, RetryPolicy,
 };
@@ -49,6 +49,7 @@ pub use transport::{
     TcpTransport, Transport,
 };
 pub use wire::{
-    decode_frame, encode_batch_from_encoded, encode_frame, encode_frame_shared,
-    encode_seq_envelope, Frame, SharedEvent, WireError, WIRE_VERSION,
+    decode_frame, encode_batch_from_encoded, encode_edge_event, encode_frame, encode_frame_shared,
+    encode_reseed, encode_seq_envelope, Frame, SharedEvent, SubscriptionFilter, WireError,
+    WIRE_VERSION,
 };

@@ -29,6 +29,10 @@ const KIND_ACK: u8 = 3;
 const KIND_HELLO: u8 = 4;
 const KIND_BATCH: u8 = 5;
 const KIND_SNAPSHOT: u8 = 6;
+const KIND_SUBSCRIBE: u8 = 7;
+const KIND_RESUME: u8 = 8;
+const KIND_EDGE_EVENT: u8 = 9;
+const KIND_RESEED: u8 = 10;
 
 /// Decoding/encoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +56,30 @@ impl std::fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
+
+/// What subset of the flight map a subscriber wants pushed to it.
+///
+/// Carried on [`Frame::Subscribe`]; the edge tier uses it as first-class
+/// routing state (the Gryphon information-flow view): an event for flight
+/// `f` is delivered only to connections whose filter
+/// [`matches`](Self::matches) `f`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscriptionFilter {
+    /// Deliver every flight's updates (the airport-lobby display).
+    All,
+    /// Deliver only the listed flight ids (a gate display).
+    Flights(Vec<mirror_core::event::FlightId>),
+}
+
+impl SubscriptionFilter {
+    /// Does this filter select events for `flight`?
+    pub fn matches(&self, flight: mirror_core::event::FlightId) -> bool {
+        match self {
+            SubscriptionFilter::All => true,
+            SubscriptionFilter::Flights(ids) => ids.contains(&flight),
+        }
+    }
+}
 
 /// A decoded frame: an application event, a control message, or one of the
 /// reliability envelopes spoken by
@@ -94,6 +122,51 @@ pub enum Frame {
     /// batch and the resilient layer's exactly-once ordering applies to the
     /// batch as a unit.
     Batch(Vec<Frame>),
+    /// Edge-tier subscription request: the first frame a subscriber sends
+    /// after connecting. `client` identifies the subscriber across
+    /// reconnects (the edge keys its resume directory on it).
+    Subscribe {
+        /// Stable subscriber identity, chosen by the client.
+        client: u64,
+        /// Which flights to push.
+        filter: SubscriptionFilter,
+    },
+    /// Edge-tier reconnection: resume delivery for a previously subscribed
+    /// client from its last acknowledged publication sequence. The edge
+    /// replays matching retained events after `last_seq`, or reseeds from a
+    /// snapshot ([`Frame::Reseed`]) when `last_seq` has fallen out of the
+    /// retained window.
+    Resume {
+        /// Stable subscriber identity from the original subscribe.
+        client: u64,
+        /// Highest publication sequence the client has durably consumed
+        /// (0 = nothing yet).
+        last_seq: u64,
+    },
+    /// Edge-tier delivery: one applied event stamped with the edge's global
+    /// publication sequence. `pub_seq` is identical for every subscriber —
+    /// that is what lets one encoding be shared across 100k write queues —
+    /// so a conflating edge produces per-client *gaps* in `pub_seq`, never
+    /// per-client renumbering. The payload embeds the event's
+    /// [`Frame::Data`] encoding verbatim (see [`encode_edge_event`]).
+    EdgeEvent {
+        /// Global publication sequence (first published event is 1).
+        pub_seq: u64,
+        /// The applied event.
+        event: Arc<Event>,
+    },
+    /// Edge-tier reseed: a full snapshot replacing the client's state when
+    /// its resume point predates the retained window. The payload embeds an
+    /// [`encode_snapshot`] frame verbatim and is kept as opaque bytes here
+    /// so the cached encoding is forwarded zero-copy; clients decode it
+    /// with [`decode_snapshot`]. Delivery continues after `pub_seq`.
+    Reseed {
+        /// Publication frontier the snapshot reflects: every event with
+        /// `pub_seq <=` this value is folded into the snapshot.
+        pub_seq: u64,
+        /// Encoded snapshot ([`encode_snapshot`] output).
+        snapshot: Bytes,
+    },
 }
 
 /// Encode a frame (version + kind + payload) into a fresh buffer.
@@ -114,6 +187,13 @@ fn frame_size_hint(frame: &Frame) -> usize {
         Frame::Seq { seq: _, inner } => 8 + frame_size_hint(inner),
         Frame::Ack { .. } | Frame::Hello { .. } => 8,
         Frame::Control(_) | Frame::Batch(_) => 62,
+        Frame::Subscribe { filter, .. } => match filter {
+            SubscriptionFilter::All => 9,
+            SubscriptionFilter::Flights(ids) => 13 + ids.len() * 4,
+        },
+        Frame::Resume { .. } => 16,
+        Frame::EdgeEvent { event, .. } => 8 + 2 + event.wire_size(),
+        Frame::Reseed { snapshot, .. } => 8 + 4 + snapshot.len(),
     }
 }
 
@@ -143,6 +223,37 @@ pub fn encode_seq_envelope(seq: u64, inner_encoded: &Bytes) -> Bytes {
     buf.put_u8(KIND_SEQ);
     buf.put_u64_le(seq);
     buf.put_slice(inner_encoded);
+    buf.freeze()
+}
+
+/// Build the encoded form of `Frame::EdgeEvent { pub_seq, event }` by
+/// prepending the publication-sequence header to the event's existing
+/// [`Frame::Data`] encoding.
+///
+/// This is the edge tier's encode-once delivery path: the mirror's applied
+/// event is encoded exactly once (the [`SharedEvent::encoded`] cache or a
+/// single `encode_frame`), and every subscribed connection's write queue
+/// holds the same `Bytes` — building the delivery frame costs one 10-byte
+/// header copy, regardless of fan-out width.
+pub fn encode_edge_event(pub_seq: u64, data_encoded: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(10 + data_encoded.len());
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(KIND_EDGE_EVENT);
+    buf.put_u64_le(pub_seq);
+    buf.put_slice(data_encoded);
+    buf.freeze()
+}
+
+/// Build the encoded form of `Frame::Reseed { pub_seq, snapshot }` from an
+/// already-encoded snapshot ([`encode_snapshot`] output — e.g. the §13
+/// cache's shared encoding), copied once behind the 14-byte header.
+pub fn encode_reseed(pub_seq: u64, snapshot_wire: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(14 + snapshot_wire.len());
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(KIND_RESEED);
+    buf.put_u64_le(pub_seq);
+    buf.put_u32_le(snapshot_wire.len() as u32);
+    buf.put_slice(snapshot_wire);
     buf.freeze()
 }
 
@@ -256,6 +367,41 @@ fn encode_frame_into(frame: &Frame, buf: &mut BytesMut) {
                 buf.put_slice(&inner);
             }
         }
+        Frame::Subscribe { client, filter } => {
+            buf.put_u8(KIND_SUBSCRIBE);
+            buf.put_u64_le(*client);
+            match filter {
+                SubscriptionFilter::All => buf.put_u8(0),
+                SubscriptionFilter::Flights(ids) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(ids.len() as u32);
+                    for id in ids {
+                        buf.put_u32_le(*id);
+                    }
+                }
+            }
+        }
+        Frame::Resume { client, last_seq } => {
+            buf.put_u8(KIND_RESUME);
+            buf.put_u64_le(*client);
+            buf.put_u64_le(*last_seq);
+        }
+        Frame::EdgeEvent { pub_seq, event } => {
+            buf.put_u8(KIND_EDGE_EVENT);
+            buf.put_u64_le(*pub_seq);
+            // The embedded Data frame is byte-identical to its standalone
+            // encoding, so `encode_edge_event` can prepend this header to a
+            // cached encoding without re-encoding the event.
+            buf.put_u8(WIRE_VERSION);
+            buf.put_u8(KIND_DATA);
+            encode_event(event, buf);
+        }
+        Frame::Reseed { pub_seq, snapshot } => {
+            buf.put_u8(KIND_RESEED);
+            buf.put_u64_le(*pub_seq);
+            buf.put_u32_le(snapshot.len() as u32);
+            buf.put_slice(snapshot);
+        }
     }
 }
 
@@ -308,6 +454,56 @@ fn decode_frame_at(mut buf: Bytes, depth: u8) -> Result<Frame, WireError> {
                 frames.push(decode_frame_at(part, 2)?);
             }
             Ok(Frame::Batch(frames))
+        }
+        // Edge-tier frames are top-level only: the edge protocol never
+        // wraps them in Seq envelopes (pub_seq IS the sequencing) and never
+        // batches them through Frame::Batch (delivery batching reuses the
+        // shared Data encodings directly).
+        KIND_SUBSCRIBE if depth == 0 => {
+            need(&buf, 9)?;
+            let client = buf.get_u64_le();
+            let filter = match buf.get_u8() {
+                0 => SubscriptionFilter::All,
+                1 => {
+                    need(&buf, 4)?;
+                    let n = buf.get_u32_le() as usize;
+                    need(&buf, n * 4)?;
+                    let mut ids = Vec::with_capacity(n.min(65_536));
+                    for _ in 0..n {
+                        ids.push(buf.get_u32_le());
+                    }
+                    SubscriptionFilter::Flights(ids)
+                }
+                t => return Err(WireError::BadTag(t)),
+            };
+            Ok(Frame::Subscribe { client, filter })
+        }
+        KIND_RESUME if depth == 0 => {
+            need(&buf, 16)?;
+            let client = buf.get_u64_le();
+            let last_seq = buf.get_u64_le();
+            Ok(Frame::Resume { client, last_seq })
+        }
+        KIND_EDGE_EVENT if depth == 0 => {
+            need(&buf, 8)?;
+            let pub_seq = buf.get_u64_le();
+            // The remainder is an embedded Data frame, verbatim; decoding
+            // at depth 2 keeps reliability/edge frames from hiding inside.
+            match decode_frame_at(buf, 2)? {
+                Frame::Data(event) => Ok(Frame::EdgeEvent { pub_seq, event }),
+                _ => Err(WireError::BadTag(KIND_EDGE_EVENT)),
+            }
+        }
+        KIND_RESEED if depth == 0 => {
+            need(&buf, 12)?;
+            let pub_seq = buf.get_u64_le();
+            let len = buf.get_u32_le() as usize;
+            need(&buf, len)?;
+            // Zero-copy: the snapshot stays a slice of the receive buffer
+            // until the client decodes it with `decode_snapshot`.
+            let snapshot = buf.slice(..len);
+            buf.advance(len);
+            Ok(Frame::Reseed { pub_seq, snapshot })
         }
         t => Err(WireError::BadTag(t)),
     }
@@ -864,8 +1060,8 @@ mod tests {
 
         let mut raw = BytesMut::new();
         raw.put_u8(WIRE_VERSION);
-        raw.put_u8(7);
-        assert_eq!(decode_frame(raw.freeze()), Err(WireError::BadTag(7)));
+        raw.put_u8(0xEE);
+        assert_eq!(decode_frame(raw.freeze()), Err(WireError::BadTag(0xEE)));
     }
 
     #[test]
@@ -1020,6 +1216,102 @@ mod tests {
         let mut bad = good.to_vec();
         bad[1] = KIND_DATA;
         assert!(matches!(decode_snapshot(Bytes::from(bad)), Err(WireError::BadTag(_))));
+    }
+
+    #[test]
+    fn edge_frames_roundtrip() {
+        let snap = Snapshot::capture(&snapshot_state(), VectorTimestamp::from_components(vec![4]));
+        let frames = vec![
+            Frame::Subscribe { client: 1, filter: SubscriptionFilter::All },
+            Frame::Subscribe { client: u64::MAX, filter: SubscriptionFilter::Flights(vec![]) },
+            Frame::Subscribe {
+                client: 42,
+                filter: SubscriptionFilter::Flights(vec![7, 0, u32::MAX]),
+            },
+            Frame::Resume { client: 42, last_seq: 0 },
+            Frame::Resume { client: 9, last_seq: u64::MAX },
+            Frame::EdgeEvent { pub_seq: 1, event: Arc::new(stamped_event()) },
+            Frame::EdgeEvent {
+                pub_seq: u64::MAX,
+                event: Arc::new(Event::delta_status(2, 8, FlightStatus::Landed)),
+            },
+            Frame::Reseed { pub_seq: 77, snapshot: encode_snapshot(&snap) },
+        ];
+        for f in frames {
+            assert_eq!(decode_frame(encode_frame(&f)).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn edge_event_helper_matches_frame_encoding() {
+        let e = Arc::new(stamped_event());
+        let data_encoded = encode_frame_shared(&Frame::Data(Arc::clone(&e)));
+        let expect = encode_frame(&Frame::EdgeEvent { pub_seq: 314, event: e });
+        assert_eq!(encode_edge_event(314, &data_encoded), expect);
+    }
+
+    #[test]
+    fn reseed_helper_matches_frame_encoding_and_snapshot_survives() {
+        let snap = Snapshot::capture(&snapshot_state(), VectorTimestamp::from_components(vec![8]));
+        let wire = encode_snapshot(&snap);
+        let expect = encode_frame(&Frame::Reseed { pub_seq: 12, snapshot: wire.clone() });
+        assert_eq!(encode_reseed(12, &wire), expect);
+        match decode_frame(encode_reseed(12, &wire)).unwrap() {
+            Frame::Reseed { pub_seq, snapshot } => {
+                assert_eq!(pub_seq, 12);
+                assert_eq!(decode_snapshot(snapshot).unwrap(), snap);
+            }
+            f => panic!("wrong frame {f:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_frames_rejected_below_top_level() {
+        // Edge frames may not hide inside Seq envelopes or batches.
+        let sub = Frame::Subscribe { client: 1, filter: SubscriptionFilter::All };
+        let env = Frame::Seq { seq: 1, inner: Box::new(sub.clone()) };
+        assert_eq!(decode_frame(encode_frame(&env)), Err(WireError::BadTag(KIND_SUBSCRIBE)));
+        let batch = Frame::Batch(vec![Frame::Resume { client: 1, last_seq: 2 }]);
+        assert_eq!(decode_frame(encode_frame(&batch)), Err(WireError::BadTag(KIND_RESUME)));
+        let ee = Frame::EdgeEvent { pub_seq: 5, event: Arc::new(stamped_event()) };
+        let env = Frame::Seq { seq: 1, inner: Box::new(ee) };
+        assert_eq!(decode_frame(encode_frame(&env)), Err(WireError::BadTag(KIND_EDGE_EVENT)));
+    }
+
+    #[test]
+    fn edge_event_rejects_non_data_payload() {
+        // Hand-craft an EdgeEvent whose embedded frame is an Ack.
+        let mut raw = BytesMut::new();
+        raw.put_u8(WIRE_VERSION);
+        raw.put_u8(KIND_EDGE_EVENT);
+        raw.put_u64_le(3);
+        raw.put_slice(&encode_frame(&Frame::Ack { cum: 1 }));
+        assert!(decode_frame(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn truncated_edge_frames_error() {
+        let snap = Snapshot::capture(&snapshot_state(), VectorTimestamp::from_components(vec![1]));
+        let frames = vec![
+            Frame::Subscribe { client: 3, filter: SubscriptionFilter::Flights(vec![1, 2, 3]) },
+            Frame::Resume { client: 3, last_seq: 9 },
+            Frame::EdgeEvent { pub_seq: 4, event: Arc::new(stamped_event()) },
+            Frame::Reseed { pub_seq: 5, snapshot: encode_snapshot(&snap) },
+        ];
+        for f in frames {
+            let bytes = encode_frame(&f);
+            for cut in [2, 5, 9, 10, bytes.len() - 1] {
+                assert!(decode_frame(bytes.slice(..cut)).is_err(), "{f:?} cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn subscription_filter_matches() {
+        assert!(SubscriptionFilter::All.matches(7));
+        let f = SubscriptionFilter::Flights(vec![1, 5]);
+        assert!(f.matches(1) && f.matches(5) && !f.matches(2));
+        assert!(!SubscriptionFilter::Flights(vec![]).matches(0));
     }
 
     #[test]

@@ -22,7 +22,8 @@ use mirror_echo::faults::{FaultPlan, FaultState, FaultyTransport};
 use mirror_echo::resilient::{ResilientTransport, RetryPolicy};
 use mirror_echo::transport::{inproc_rendezvous, InProcDialer, InProcListener, Polled, MAX_FRAME};
 use mirror_echo::wire::{
-    decode_frame, decode_snapshot, encode_frame, encode_snapshot, Frame, WIRE_VERSION,
+    decode_frame, decode_snapshot, encode_edge_event, encode_frame, encode_frame_shared,
+    encode_reseed, encode_snapshot, Frame, SubscriptionFilter, WIRE_VERSION,
 };
 use mirror_echo::{TcpTransport, Transport};
 use mirror_ede::{FlightView, Snapshot};
@@ -100,6 +101,72 @@ proptest! {
         let inner = Frame::Batch(seqs.iter().map(|&s| data(s)).collect());
         let nested = Frame::Batch(vec![data(1), inner]);
         prop_assert!(decode_frame(encode_frame(&nested)).is_err());
+    }
+
+    /// The edge-tier subscription/resume/delivery frames roundtrip
+    /// bit-exactly for any field values, including empty and large flight
+    /// filters and extreme sequence numbers.
+    #[test]
+    fn edge_frames_roundtrip(
+        client in any::<u64>(),
+        last_seq in any::<u64>(),
+        pub_seq in any::<u64>(),
+        ids in prop::collection::vec(any::<u32>(), 0..64),
+        seq in 1u64..10_000,
+    ) {
+        let event = match data(seq) {
+            Frame::Data(e) => e,
+            _ => unreachable!(),
+        };
+        let frames = [
+            Frame::Subscribe { client, filter: SubscriptionFilter::All },
+            Frame::Subscribe { client, filter: SubscriptionFilter::Flights(ids) },
+            Frame::Resume { client, last_seq },
+            Frame::EdgeEvent { pub_seq, event },
+        ];
+        for f in frames {
+            prop_assert_eq!(decode_frame(encode_frame(&f)), Ok(f.clone()), "{:?}", f);
+        }
+    }
+
+    /// The encode-once delivery helpers produce bytes identical to a full
+    /// `encode_frame`, for any payload: prepending the edge header to a
+    /// cached encoding is not a second wire format.
+    #[test]
+    fn edge_helpers_match_frame_encoding(
+        pub_seq in any::<u64>(),
+        seq in 1u64..10_000,
+        snapshot in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let inner = data(seq);
+        let cached = encode_frame_shared(&inner);
+        let event = match inner {
+            Frame::Data(e) => e,
+            _ => unreachable!(),
+        };
+        let expect = encode_frame(&Frame::EdgeEvent { pub_seq, event });
+        prop_assert_eq!(encode_edge_event(pub_seq, &cached), expect);
+
+        let snap = bytes::Bytes::from(snapshot);
+        let frame = Frame::Reseed { pub_seq, snapshot: snap.clone() };
+        prop_assert_eq!(encode_reseed(pub_seq, &snap), encode_frame(&frame));
+        prop_assert_eq!(decode_frame(encode_reseed(pub_seq, &snap)), Ok(frame));
+    }
+
+    /// Truncating an edge frame at any byte boundary errors cleanly.
+    #[test]
+    fn truncated_edge_frames_never_decode(
+        pub_seq in any::<u64>(),
+        seq in 1u64..10_000,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let event = match data(seq) {
+            Frame::Data(e) => e,
+            _ => unreachable!(),
+        };
+        let bytes = encode_frame(&Frame::EdgeEvent { pub_seq, event });
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(decode_frame(bytes.slice(..cut)).is_err(), "cut at {}", cut);
     }
 }
 

@@ -239,7 +239,12 @@ fn worker_loop(
                         delay_sum += now.saturating_sub(u.ingress_us);
                         delay_count += 1;
                         if let Some(p) = &sink.updates {
-                            p.publish(u.clone());
+                            // One atomic load guards the clone + publish:
+                            // a site nobody listens to (the common case
+                            // for an edge-less mirror) skips both.
+                            if p.has_subscribers() {
+                                p.publish(u.clone());
+                            }
                         }
                     },
                     |_| {},

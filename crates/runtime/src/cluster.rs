@@ -37,12 +37,13 @@ use mirror_echo::channel::{EventChannel, Subscriber};
 use mirror_echo::resilient::{LinkHealth, LinkMonitor};
 use mirror_echo::wire::SharedEvent;
 use mirror_ede::Snapshot;
+use mirror_edge::{EdgeConfig, EdgeServer, EdgeStats, SnapshotProvider};
 
 use crate::clock::RuntimeClock;
 use crate::durability::{DurabilityConfig, Journal, ResyncOutcome, ResyncSource};
 use crate::failover::{CtrlCadence, FailoverEvent, FailoverPolicy};
 use crate::requests::RequestGate;
-use crate::site::{CentralSite, MirrorSite};
+use crate::site::{CentralSite, MirrorSite, DEFAULT_MAIN_RING_CAPACITY};
 
 /// Cluster start-up configuration.
 #[derive(Debug, Clone)]
@@ -73,6 +74,15 @@ pub struct ClusterConfig {
     /// [`Cluster::poll_failover`] declares death on sustained silence and
     /// self-promotes the lowest live mirror at a bumped leadership term.
     pub failover: Option<FailoverPolicy>,
+    /// Capacity of each site's aux→dispatcher ring — the depth of the
+    /// ingest pipeline between the receiving task and the sharded apply
+    /// path. Also the refusal threshold for
+    /// [`Cluster::try_submit`]: submissions are refused with a typed
+    /// [`SiteOverload`](crate::site::SiteOverload) once this many events
+    /// are queued, so saturation surfaces as backpressure the producer
+    /// can act on instead of unbounded queueing or silent spinning.
+    /// Rounded up to a power of two internally.
+    pub inbox_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -84,6 +94,7 @@ impl Default for ClusterConfig {
             durability: None,
             scale: None,
             failover: None,
+            inbox_capacity: DEFAULT_MAIN_RING_CAPACITY,
         }
     }
 }
@@ -135,6 +146,10 @@ pub struct ClusterStats {
     /// Transport link health per bridged mirror (empty for purely
     /// in-process clusters).
     pub links: Vec<(SiteId, LinkHealth)>,
+    /// Edge delivery tiers attached via [`Cluster::serve_edge`], keyed by
+    /// the site each one fronts (0 = central; edges re-pointed by a
+    /// promotion report their new central attachment).
+    pub edges: Vec<(SiteId, EdgeStats)>,
 }
 
 /// One membership change performed by [`Cluster::poll_scale`].
@@ -233,6 +248,13 @@ pub struct Cluster {
     watcher: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
     /// Stop flag for the watcher thread.
     watcher_stop: Arc<AtomicBool>,
+    /// Configured aux→dispatcher ring capacity, applied to every site this
+    /// cluster constructs (start, scale-out, rejoin, recovery, promotion).
+    inbox_capacity: usize,
+    /// Edge delivery tiers attached via [`serve_edge`](Self::serve_edge),
+    /// keyed by the site each one fronts. Promotions re-point entries
+    /// attached to the promoted site at the successor central.
+    edges: parking_lot::Mutex<Vec<(SiteId, Arc<EdgeServer>)>>,
 }
 
 impl Cluster {
@@ -251,12 +273,14 @@ impl Cluster {
             aux.install_kind(cfg.kind);
             sites.insert(
                 site,
-                MirrorSite::start(
+                MirrorSite::start_inner(
                     MirrorHandle::new(aux),
                     clock.clone(),
                     &data,
                     &ctrl_down,
                     ctrl_up.publisher(),
+                    false,
+                    cfg.inbox_capacity,
                 ),
             );
         }
@@ -274,27 +298,21 @@ impl Cluster {
             // rounds at the policy's cadence.
             aux.set_heartbeat_after(policy.heartbeat_ticks);
         }
-        let central = match &cfg.durability {
-            Some(dcfg) => {
-                let journal = Journal::open(dcfg)
-                    .unwrap_or_else(|e| panic!("open durable store at {:?}: {e}", dcfg.dir));
-                CentralSite::start_journaled(
-                    MirrorHandle::new(aux),
-                    clock.clone(),
-                    data.publisher(),
-                    ctrl_down.publisher(),
-                    &ctrl_up,
-                    std::sync::Arc::new(journal),
-                )
-            }
-            None => CentralSite::start(
-                MirrorHandle::new(aux),
-                clock.clone(),
-                data.publisher(),
-                ctrl_down.publisher(),
-                &ctrl_up,
-            ),
-        };
+        let journal = cfg.durability.as_ref().map(|dcfg| {
+            let journal = Journal::open(dcfg)
+                .unwrap_or_else(|e| panic!("open durable store at {:?}: {e}", dcfg.dir));
+            std::sync::Arc::new(journal)
+        });
+        let central = CentralSite::start_inner(
+            MirrorHandle::new(aux),
+            clock.clone(),
+            data.publisher(),
+            ctrl_down.publisher(),
+            &ctrl_up,
+            false,
+            journal,
+            cfg.inbox_capacity,
+        );
 
         let cadence = Arc::new(CtrlCadence::new(clock.now_us()));
         let watcher_stop = Arc::new(AtomicBool::new(false));
@@ -341,6 +359,8 @@ impl Cluster {
             promotion: parking_lot::Mutex::new(()),
             watcher: parking_lot::Mutex::new(watcher),
             watcher_stop,
+            inbox_capacity: cfg.inbox_capacity,
+            edges: parking_lot::Mutex::new(Vec::new()),
         }
     }
 
@@ -397,6 +417,69 @@ impl Cluster {
         read(&self.central).submit(event);
     }
 
+    /// Submit one source event unless the central site's ingest pipeline
+    /// is saturated — the backpressure-aware variant of
+    /// [`submit`](Self::submit). Refusals carry the observed depth and the
+    /// configured [`ClusterConfig::inbox_capacity`]; accepted events are
+    /// never dropped. See [`CentralSite::try_submit`].
+    pub fn try_submit(&self, event: Event) -> Result<(), crate::site::SiteOverload> {
+        read(&self.central).try_submit(event)
+    }
+
+    /// Attach a massive-fan-out edge delivery tier to `site` (0 = the
+    /// central): every state-changing update the site's EDE applies is
+    /// published into a fresh [`EdgeServer`], which fans it to its
+    /// subscribers with per-client conflation and sequence/ack resume, and
+    /// reseeds late or gapped clients from the site's live state
+    /// (frontier-before-freeze capture, same as the request gateway).
+    ///
+    /// The returned server is also registered with the cluster:
+    /// [`stats`](Self::stats) reports its [`EdgeStats`], a promotion of
+    /// `site` re-points it at the successor central, and
+    /// [`shutdown`](Self::shutdown) stops it.
+    pub fn serve_edge(
+        &self,
+        site: SiteId,
+        cfg: EdgeConfig,
+    ) -> Result<Arc<EdgeServer>, MembershipError> {
+        let (provider, updates): (SnapshotProvider, Subscriber<Event>) =
+            if site == mirror_core::CENTRAL_SITE {
+                let central = read(&self.central);
+                let capture = central.capture_fn();
+                (
+                    Box::new(move || mirror_echo::wire::encode_snapshot(&capture())),
+                    central.subscribe_updates(),
+                )
+            } else {
+                match self.try_mirror(site) {
+                    Some(m) => {
+                        let capture = m.capture_fn();
+                        (
+                            Box::new(move || mirror_echo::wire::encode_snapshot(&capture())),
+                            m.subscribe_updates(),
+                        )
+                    }
+                    None => {
+                        return Err(match self.membership.view().state_of(site) {
+                            Some(SiteState::Retired) => MembershipError::Retired(site),
+                            Some(_) => MembershipError::NotLive(site),
+                            None => MembershipError::UnknownSite(site),
+                        })
+                    }
+                }
+            };
+        let edge = Arc::new(EdgeServer::start(cfg, provider));
+        edge.pump_from(updates);
+        self.edges.lock().push((site, Arc::clone(&edge)));
+        Ok(edge)
+    }
+
+    /// Point-in-time stats for every edge tier attached via
+    /// [`serve_edge`](Self::serve_edge), keyed by the site it fronts.
+    pub fn edge_stats(&self) -> Vec<(SiteId, EdgeStats)> {
+        self.edges.lock().iter().map(|(s, e)| (*s, e.counters().snapshot())).collect()
+    }
+
     /// Subscribe to the regular-client update stream.
     pub fn subscribe_updates(&self) -> Subscriber<Event> {
         read(&self.central).subscribe_updates()
@@ -450,6 +533,7 @@ impl Cluster {
             committed: central.committed(),
             failed_mirrors: central.failed_mirrors(),
             links: central.link_health(),
+            edges: self.edge_stats(),
         }
     }
 
@@ -617,12 +701,14 @@ impl Cluster {
         let params = central.handle().params();
         let mut aux = MirrorConfig::with_params(params).build_mirror(site);
         aux.set_rules(central.handle().with(|a| a.rules().clone()));
-        let replacement = MirrorSite::start_seeded(
+        let replacement = MirrorSite::start_inner(
             MirrorHandle::new(aux),
             self.clock.clone(),
             &self.data,
             &self.ctrl_down,
             self.ctrl_up.publisher(),
+            true,
+            self.inbox_capacity,
         );
         // Subscriptions are live; seed from the shared cached frame.
         let (served, floor) = central.seed_snapshot();
@@ -720,12 +806,14 @@ impl Cluster {
         let mut aux = MirrorConfig::with_params(kind_params).build_mirror(site);
         // Mirror rule/function config follows the central's current view.
         aux.set_rules(central.handle().with(|a| a.rules().clone()));
-        let replacement = MirrorSite::start_seeded(
+        let replacement = MirrorSite::start_inner(
             MirrorHandle::new(aux),
             self.clock.clone(),
             &self.data,
             &self.ctrl_down,
             self.ctrl_up.publisher(),
+            true,
+            self.inbox_capacity,
         );
         // Subscriptions are live; now capture the recovery state and seed.
         let snapshot = central.snapshot();
@@ -773,12 +861,14 @@ impl Cluster {
         let kind_params = central.handle().params();
         let mut aux = MirrorConfig::with_params(kind_params).build_mirror(site);
         aux.set_rules(central.handle().with(|a| a.rules().clone()));
-        let replacement = MirrorSite::start_seeded(
+        let replacement = MirrorSite::start_inner(
             MirrorHandle::new(aux),
             self.clock.clone(),
             &self.data,
             &self.ctrl_down,
             self.ctrl_up.publisher(),
+            true,
+            self.inbox_capacity,
         );
         // Subscriptions are live; rebuild state from disk and seed it.
         // Anything published between here and the seed install is buffered
@@ -1048,25 +1138,45 @@ impl Cluster {
                 aux.resume_send_idx(last_idx + 1);
             }
         }
-        let replacement = match &journal {
-            Some(j) => CentralSite::start_seeded_journaled(
-                MirrorHandle::new(aux),
-                self.clock.clone(),
-                self.data.publisher(),
-                self.ctrl_down.publisher(),
-                &self.ctrl_up,
-                Arc::clone(j),
-            ),
-            None => CentralSite::start_seeded(
-                MirrorHandle::new(aux),
-                self.clock.clone(),
-                self.data.publisher(),
-                self.ctrl_down.publisher(),
-                &self.ctrl_up,
-            ),
-        };
+        let replacement = CentralSite::start_inner(
+            MirrorHandle::new(aux),
+            self.clock.clone(),
+            self.data.publisher(),
+            self.ctrl_down.publisher(),
+            &self.ctrl_up,
+            true,
+            journal.clone(),
+            self.inbox_capacity,
+        );
         replacement.seed(state, frontier);
         *write(&self.central) = replacement;
+
+        // Re-point edge tiers that fronted the promoted mirror at the
+        // successor central: swap the reseed provider (invalidating the
+        // cached reseed — a stale provider would break the edge's
+        // floor-before-capture coverage argument once new events flow)
+        // and pump the successor's applied-updates stream. Late or gapped
+        // subscribers reseed from the successor's state; the registry
+        // records the new attachment.
+        let repointed: Vec<Arc<EdgeServer>> = {
+            let mut edges = self.edges.lock();
+            let mut out = Vec::new();
+            for (s, e) in edges.iter_mut() {
+                if *s == site {
+                    *s = mirror_core::CENTRAL_SITE;
+                    out.push(Arc::clone(e));
+                }
+            }
+            out
+        };
+        if !repointed.is_empty() {
+            let central = read(&self.central);
+            for edge in repointed {
+                let capture = central.capture_fn();
+                edge.set_provider(Box::new(move || mirror_echo::wire::encode_snapshot(&capture())));
+                edge.pump_from(central.subscribe_updates());
+            }
+        }
         // Fresh grace window for the new coordinator's first heartbeat.
         self.cadence.reset(self.clock.now_us());
         Ok((survivors, replayed))
@@ -1074,6 +1184,9 @@ impl Cluster {
 
     /// Stop every site and join all threads.
     pub fn shutdown(self) {
+        for (_, e) in self.edges.lock().iter() {
+            e.stop();
+        }
         write(&self.central).stop();
         for (_, m) in write(&self.sites).iter_mut() {
             m.stop();

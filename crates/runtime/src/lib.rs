@@ -32,5 +32,5 @@ pub use cluster::{Cluster, ClusterConfig, ClusterStats, MirrorRef, ScaleEvent, S
 pub use durability::{DurabilityConfig, Journal, ResyncOutcome, ResyncSource};
 pub use failover::{CtrlCadence, FailoverEvent, FailoverPolicy};
 pub use requests::{GatewayConfig, RequestClient, RequestError, RequestGate, RequestGateway};
-pub use site::{CentralSite, MirrorSite};
+pub use site::{CentralSite, MirrorSite, SiteOverload, DEFAULT_MAIN_RING_CAPACITY};
 pub use snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};

@@ -54,11 +54,13 @@ const FLUSH_PERIOD: Duration = Duration::from_millis(20);
 /// digest, so the count is a pure tuning knob.
 const APPLY_SHARDS: usize = 8;
 
-/// Capacity of the aux→dispatcher MPSC ring (events in flight between the
-/// receiving task and the apply path before backpressure). Sized like the
-/// worker rings so the pipeline stages exchange the CPU in large quanta
-/// on oversubscribed hosts.
-const MAIN_RING_CAPACITY: usize = 8192;
+/// Default capacity of the aux→dispatcher MPSC ring (events in flight
+/// between the receiving task and the apply path before backpressure).
+/// Sized like the worker rings so the pipeline stages exchange the CPU in
+/// large quanta on oversubscribed hosts. Overridable per cluster via
+/// [`ClusterConfig::inbox_capacity`](crate::cluster::ClusterConfig); the
+/// direct site constructors use this default.
+pub const DEFAULT_MAIN_RING_CAPACITY: usize = 8192;
 
 /// A message in a site's aux inbox.
 #[derive(Debug)]
@@ -173,6 +175,33 @@ struct SiteShared {
     clock: RuntimeClock,
 }
 
+/// Typed overload error from [`CentralSite::try_submit`]: the ingest
+/// pipeline is saturated and the caller must back off (or shed). Carries
+/// the observed depth and the configured capacity so callers can log or
+/// adapt; saturation surfaces *here*, as backpressure the producer sees,
+/// never as silent spinning inside the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteOverload {
+    /// Events queued in the ingest pipeline (aux inbox + dispatch ring)
+    /// at refusal time.
+    pub queued: usize,
+    /// The configured pipeline capacity
+    /// ([`ClusterConfig::inbox_capacity`](crate::cluster::ClusterConfig)).
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for SiteOverload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "site ingest overloaded: {} events queued (capacity {})",
+            self.queued, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for SiteOverload {}
+
 /// Common runtime machinery for one site.
 struct SiteCore {
     shared: Arc<SiteShared>,
@@ -180,6 +209,9 @@ struct SiteCore {
     inbox_tx: Sender<SiteMsg>,
     /// Direct line to the main thread (mirror rejoin seeding).
     seed_tx: MpscSender<MainMsg>,
+    /// Configured aux→dispatcher ring capacity; also the refusal threshold
+    /// for [`CentralSite::try_submit`].
+    inbox_capacity: usize,
     stop: Arc<std::sync::atomic::AtomicBool>,
     /// Crash simulation: when set, threads abandon queued work instead of
     /// draining it on the way out (see [`CentralSite::crash`]).
@@ -199,12 +231,13 @@ impl SiteCore {
         on_action: impl Fn(&AuxAction) + Send + 'static,
         updates_pub: Option<Publisher<Event>>,
         await_seed: bool,
+        inbox_capacity: usize,
     ) -> (Self, Sender<SiteMsg>) {
         let (inbox_tx, inbox_rx) = channel::unbounded::<SiteMsg>();
         // Aux → dispatcher: a bounded lock-free MPSC ring (producers: the
         // aux thread, seed installers, shutdown) replaces the unbounded
         // mutex-and-allocation channel on the per-event hot path.
-        let (main_tx, mut main_rx) = ring::mpsc::<MainMsg>(MAIN_RING_CAPACITY);
+        let (main_tx, mut main_rx) = ring::mpsc::<MainMsg>(inbox_capacity);
         let crashed = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let ede = Arc::new(ShardedEde::new(APPLY_SHARDS));
         let shared = Arc::new(SiteShared {
@@ -371,6 +404,7 @@ impl SiteCore {
                 handle,
                 inbox_tx,
                 seed_tx: main_tx,
+                inbox_capacity,
                 stop: Arc::new(std::sync::atomic::AtomicBool::new(false)),
                 crashed,
                 threads: vec![aux, main],
@@ -529,6 +563,37 @@ macro_rules! site_common_impl {
             Arc::clone(&self.core.shared.pending_gauge)
         }
 
+        /// A detached capture closure producing this site's state snapshot
+        /// at its processed frontier, without borrowing the site — hand it
+        /// to long-lived consumers such as an edge tier's reseed provider.
+        /// Frontier first, then the all-shard freeze (the frontier may only
+        /// trail the state, never lead it), same as the gateway path.
+        pub fn capture_fn(&self) -> impl Fn() -> Snapshot + Send + Sync + 'static {
+            let shared = Arc::clone(&self.core.shared);
+            move || {
+                let as_of: VectorTimestamp = shared.responder.lock().processed().clone();
+                shared.ede.freeze(as_of).0
+            }
+        }
+
+        /// Events currently queued in the ingest pipeline: the aux inbox
+        /// plus the aux→dispatcher ring.
+        pub fn inbox_depth(&self) -> usize {
+            self.core.inbox_tx.len() + self.core.seed_tx.len()
+        }
+
+        /// The configured aux→dispatcher ring capacity (the
+        /// [`try_submit`](CentralSite::try_submit) refusal threshold).
+        pub fn inbox_capacity(&self) -> usize {
+            self.core.inbox_capacity
+        }
+
+        /// Lifetime stats of the aux→dispatcher ring (enqueued, dequeued,
+        /// high-watermark occupancy) — the overload observability hook.
+        pub fn dispatch_ring_stats(&self) -> mirror_core::ring::RingStats {
+            self.core.seed_tx.stats()
+        }
+
         /// Install recovered state into a site started in awaiting-seed
         /// mode; events buffered meanwhile replay on top (stale updates
         /// are absorbed idempotently by the EDE). Blocks until the apply
@@ -617,7 +682,16 @@ impl CentralSite {
         ctrl_down_pub: Publisher<ControlMsg>,
         ctrl_up: &EventChannel<ControlMsg>,
     ) -> Self {
-        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, false, None)
+        Self::start_inner(
+            handle,
+            clock,
+            data_pub,
+            ctrl_down_pub,
+            ctrl_up,
+            false,
+            None,
+            DEFAULT_MAIN_RING_CAPACITY,
+        )
     }
 
     /// Start a central site that journals every mirrored event (and its
@@ -632,7 +706,16 @@ impl CentralSite {
         ctrl_up: &EventChannel<ControlMsg>,
         journal: Arc<Journal>,
     ) -> Self {
-        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, false, Some(journal))
+        Self::start_inner(
+            handle,
+            clock,
+            data_pub,
+            ctrl_down_pub,
+            ctrl_up,
+            false,
+            Some(journal),
+            DEFAULT_MAIN_RING_CAPACITY,
+        )
     }
 
     /// Start a central site that buffers incoming events until
@@ -647,7 +730,16 @@ impl CentralSite {
         ctrl_down_pub: Publisher<ControlMsg>,
         ctrl_up: &EventChannel<ControlMsg>,
     ) -> Self {
-        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, true, None)
+        Self::start_inner(
+            handle,
+            clock,
+            data_pub,
+            ctrl_down_pub,
+            ctrl_up,
+            true,
+            None,
+            DEFAULT_MAIN_RING_CAPACITY,
+        )
     }
 
     /// The promotion path with durability: like
@@ -663,10 +755,20 @@ impl CentralSite {
         ctrl_up: &EventChannel<ControlMsg>,
         journal: Arc<Journal>,
     ) -> Self {
-        Self::start_inner(handle, clock, data_pub, ctrl_down_pub, ctrl_up, true, Some(journal))
+        Self::start_inner(
+            handle,
+            clock,
+            data_pub,
+            ctrl_down_pub,
+            ctrl_up,
+            true,
+            Some(journal),
+            DEFAULT_MAIN_RING_CAPACITY,
+        )
     }
 
-    fn start_inner(
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn start_inner(
         handle: MirrorHandle,
         clock: RuntimeClock,
         data_pub: Publisher<SharedEvent>,
@@ -674,6 +776,7 @@ impl CentralSite {
         ctrl_up: &EventChannel<ControlMsg>,
         await_seed: bool,
         journal: Option<Arc<Journal>>,
+        inbox_capacity: usize,
     ) -> Self {
         assert!(handle.with(|a| a.is_central()));
         let updates = EventChannel::new("central.updates");
@@ -726,6 +829,7 @@ impl CentralSite {
             route,
             Some(updates_pub),
             await_seed,
+            inbox_capacity,
         );
 
         // Forward checkpoint replies from mirrors into the aux inbox.
@@ -766,6 +870,27 @@ impl CentralSite {
             event.ingress_us = self.core.shared.clock.now_us();
         }
         let _ = self.core.inbox_tx.send(SiteMsg::Data(Arc::new(event)));
+    }
+
+    /// Submit a source event unless the ingest pipeline is saturated.
+    ///
+    /// When the aux inbox plus the aux→dispatcher ring hold at least
+    /// [`inbox_capacity`](Self::inbox_capacity) events, the submission is
+    /// refused with a typed [`SiteOverload`] instead of queueing further —
+    /// producers see backpressure they can act on (back off, shed, alert)
+    /// rather than growing the inbox without bound. Accepted events are
+    /// never dropped.
+    pub fn try_submit(&self, mut event: Event) -> Result<(), SiteOverload> {
+        let queued = self.inbox_depth();
+        let capacity = self.core.inbox_capacity;
+        if queued >= capacity {
+            return Err(SiteOverload { queued, capacity });
+        }
+        if event.ingress_us == 0 {
+            event.ingress_us = self.core.shared.clock.now_us();
+        }
+        let _ = self.core.inbox_tx.send(SiteMsg::Data(Arc::new(event)));
+        Ok(())
     }
 
     /// Subscribe to the regular-client update stream.
@@ -957,6 +1082,9 @@ impl CentralSite {
 /// A running mirror site.
 pub struct MirrorSite {
     core: SiteCore,
+    /// Applied-updates stream: every state-changing event this mirror's
+    /// EDE emits, in apply order — what an edge delivery tier fans out.
+    updates: EventChannel<Event>,
 }
 
 impl MirrorSite {
@@ -969,7 +1097,15 @@ impl MirrorSite {
         ctrl_down: &EventChannel<ControlMsg>,
         ctrl_up_pub: Publisher<ControlMsg>,
     ) -> Self {
-        Self::start_inner(handle, clock, data, ctrl_down, ctrl_up_pub, false)
+        Self::start_inner(
+            handle,
+            clock,
+            data,
+            ctrl_down,
+            ctrl_up_pub,
+            false,
+            DEFAULT_MAIN_RING_CAPACITY,
+        )
     }
 
     /// Start a mirror site that **buffers** incoming events until
@@ -984,16 +1120,25 @@ impl MirrorSite {
         ctrl_down: &EventChannel<ControlMsg>,
         ctrl_up_pub: Publisher<ControlMsg>,
     ) -> Self {
-        Self::start_inner(handle, clock, data, ctrl_down, ctrl_up_pub, true)
+        Self::start_inner(
+            handle,
+            clock,
+            data,
+            ctrl_down,
+            ctrl_up_pub,
+            true,
+            DEFAULT_MAIN_RING_CAPACITY,
+        )
     }
 
-    fn start_inner(
+    pub(crate) fn start_inner(
         handle: MirrorHandle,
         clock: RuntimeClock,
         data: &EventChannel<SharedEvent>,
         ctrl_down: &EventChannel<ControlMsg>,
         ctrl_up_pub: Publisher<ControlMsg>,
         await_seed: bool,
+        inbox_capacity: usize,
     ) -> Self {
         let site = handle.with(|a| a.site());
         assert_ne!(site, mirror_core::CENTRAL_SITE);
@@ -1002,9 +1147,19 @@ impl MirrorSite {
                 ctrl_up_pub.publish(m.clone());
             }
         };
-        let (core, inbox_tx) = SiteCore::spawn(site, handle, clock, route, None, await_seed);
+        let updates = EventChannel::new(format!("mirror{site}.updates"));
+        let updates_pub = updates.publisher();
+        let (core, inbox_tx) = SiteCore::spawn(
+            site,
+            handle,
+            clock,
+            route,
+            Some(updates_pub),
+            await_seed,
+            inbox_capacity,
+        );
 
-        let mut s = MirrorSite { core };
+        let mut s = MirrorSite { core, updates };
         let data_sub = data.subscribe();
         let tx1 = inbox_tx.clone();
         let stop1 = Arc::clone(&s.core.stop);
@@ -1034,6 +1189,14 @@ impl MirrorSite {
     /// This mirror's site id.
     pub fn site(&self) -> SiteId {
         self.core.handle.with(|a| a.site())
+    }
+
+    /// Subscribe to this mirror's applied-updates stream: the
+    /// state-changing events its EDE emits, in apply order. The apply
+    /// workers skip the publish entirely while nobody is subscribed, so an
+    /// edge-less mirror pays one atomic load per update.
+    pub fn subscribe_updates(&self) -> Subscriber<Event> {
+        self.updates.subscribe()
     }
 
     site_common_impl!();

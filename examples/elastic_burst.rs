@@ -51,6 +51,7 @@ fn main() {
             max_mirrors: 2,
             min_mirrors: 1,
         }),
+        ..Default::default()
     }));
     cluster.central().handle().set_params(false, 1, 10);
 

@@ -44,6 +44,7 @@ fn main() {
         durability: None,
         failover: None,
         scale: None,
+        ..Default::default()
     });
     cluster.central().handle().set_params(false, 1, 20);
     let mut balancer = Balancer::new(vec![1, 2], BalancerPolicy::RoundRobin);

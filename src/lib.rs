@@ -13,6 +13,7 @@
 //! * [`core`] — the mirroring engine (the paper's contribution)
 //! * [`echo`] — typed event channels, wire format, transports
 //! * [`ede`] — the airline Event Derivation Engine substrate
+//! * [`edge`] — the massive-fan-out subscriber delivery tier
 //! * [`sim`] — the deterministic cluster simulator
 //! * [`runtime`] — the threads-and-channels runtime
 //! * [`workload`] — FAA/Delta streams, request generators
@@ -47,6 +48,7 @@
 pub use mirror_core as core;
 pub use mirror_echo as echo;
 pub use mirror_ede as ede;
+pub use mirror_edge as edge;
 pub use mirror_ois as ois;
 pub use mirror_runtime as runtime;
 pub use mirror_sim as sim;

@@ -23,6 +23,7 @@ fn promoted_mirror_takes_over_as_coordinator() {
         durability: None,
         failover: None,
         scale: None,
+        ..Default::default()
     });
     cluster.central().handle().set_params(false, 1, 20);
     let updates = cluster.subscribe_updates();

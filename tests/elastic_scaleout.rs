@@ -50,6 +50,7 @@ fn storm_triggers_scale_out_and_quiesce_retires() {
             max_mirrors: 2,
             min_mirrors: 1,
         }),
+        ..Default::default()
     }));
     cluster.central().handle().set_params(false, 1, 10);
     assert_eq!(cluster.epoch(), 0);
@@ -175,6 +176,7 @@ fn mirror_added_mid_engagement_adopts_in_force_directive() {
         durability: None,
         failover: None,
         scale: None,
+        ..Default::default()
     }));
     cluster.central().handle().set_monitor_values(MonitorKind::PendingRequests, 10, 7);
     cluster

@@ -35,6 +35,7 @@ fn dead_mirror_is_detected_and_commits_resume() {
         durability: None,
         failover: None,
         scale: None,
+        ..Default::default()
     });
     cluster.central().handle().set_params(false, 1, 20);
 
@@ -69,6 +70,7 @@ fn rejoined_mirror_recovers_full_state_and_participates() {
         durability: None,
         failover: None,
         scale: None,
+        ..Default::default()
     });
     cluster.central().handle().set_params(false, 1, 20);
 
@@ -118,6 +120,7 @@ fn detection_disabled_by_default_never_excludes() {
         durability: None,
         failover: None,
         scale: None,
+        ..Default::default()
     });
     cluster.central().handle().set_params(false, 1, 10);
     feed(&cluster, 1, 50);

@@ -87,6 +87,7 @@ fn concurrent_submitters_do_not_corrupt_state() {
         durability: None,
         failover: None,
         scale: None,
+        ..Default::default()
     }));
     // Four threads, each its own stream id, so per-stream seq stays unique.
     let mut handles = Vec::new();
