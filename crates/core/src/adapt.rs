@@ -352,7 +352,7 @@ impl AdaptationController {
                 let mut params = kind.params(&self.baseline);
                 self.baseline.generation += 1;
                 params.generation = self.baseline.generation;
-                AdaptDirective { params, mirror_fn: Some(kind) }
+                AdaptDirective { params, mirror_fn: Some(kind), partition: None }
             }
             AdaptAction::AdjustParam { id, percent } => {
                 let mut params = self.baseline.clone();
@@ -362,7 +362,7 @@ impl AdaptationController {
                     params.touch();
                 }
                 self.baseline.generation = params.generation;
-                AdaptDirective { params, mirror_fn: None }
+                AdaptDirective { params, mirror_fn: None, partition: None }
             }
         }
     }

@@ -32,6 +32,7 @@ use crate::event::Event;
 use crate::metrics::AuxCounters;
 use crate::mirrorfn::{MirrorFn, MirrorFnKind};
 use crate::params::MirrorParams;
+use crate::partition::PartitionMap;
 use crate::queue::{BackupQueue, ReadyQueue};
 use crate::rules::RuleSet;
 use crate::status::StatusTable;
@@ -151,6 +152,13 @@ pub struct AuxUnit {
     heartbeat_after: u32,
     /// Consecutive idle wakeups with no round to start.
     heartbeat_idle_ticks: u32,
+    /// Cluster partition map this unit has adopted, when the cluster runs
+    /// in partitioned mode (`None` = classic full replication). Fenced on
+    /// the map's own epoch, independently of the params generation —
+    /// exactly the membership-epoch discipline. At the coordinator the
+    /// current map rides every COMMIT, so mirrors (including late joiners)
+    /// converge to the newest assignment.
+    partition: Option<PartitionMap>,
     counters: AuxCounters,
 }
 
@@ -177,6 +185,7 @@ impl AuxUnit {
             leader_term: 0,
             heartbeat_after: 0,
             heartbeat_idle_ticks: 0,
+            partition: None,
             counters: AuxCounters::default(),
         }
     }
@@ -201,6 +210,7 @@ impl AuxUnit {
             leader_term: 0,
             heartbeat_after: 0,
             heartbeat_idle_ticks: 0,
+            partition: None,
             counters: AuxCounters::default(),
         }
     }
@@ -355,6 +365,32 @@ impl AuxUnit {
     /// under, at the central site).
     pub fn leader_term(&self) -> u64 {
         self.leader_term
+    }
+
+    /// Install (or update) the cluster partition map. The map is adopted
+    /// through the same epoch fence mirrors apply
+    /// ([`PartitionMap::adopt`]), and at the coordinator the adopted map
+    /// then rides *every* subsequent COMMIT — not just the next one — so
+    /// mirrors that join or rejoin mid-stream still converge to the newest
+    /// assignment. Returns whether the map was newer than the current one.
+    pub fn set_partition_map(&mut self, pm: PartitionMap) -> bool {
+        let adopted = PartitionMap::adopt(&mut self.partition, &pm);
+        if adopted {
+            self.counters.partition_updates += 1;
+        }
+        adopted
+    }
+
+    /// The cluster partition map this unit has adopted (`None` = classic
+    /// full replication).
+    pub fn partition_map(&self) -> Option<&PartitionMap> {
+        self.partition.as_ref()
+    }
+
+    /// Epoch of the adopted partition map (`0` when unpartitioned) — the
+    /// monotone fencing value tests assert on.
+    pub fn partition_epoch(&self) -> u64 {
+        self.partition.as_ref().map_or(0, |p| p.epoch())
     }
 
     /// Enable idle heartbeat rounds (central site): after `ticks`
@@ -676,6 +712,24 @@ impl AuxUnit {
                             AdaptDecision::Hold => None,
                             AdaptDecision::Engage(d) | AdaptDecision::Release(d) => Some(d),
                         };
+                        // In partitioned mode the current map rides every
+                        // COMMIT. On a Hold round a carrier directive is
+                        // synthesized at the *current* params generation:
+                        // the receiver's generation guard skips the params,
+                        // and the partition map applies through its own
+                        // epoch fence.
+                        let directive = match (directive, &self.partition) {
+                            (Some(mut d), pm) => {
+                                d.partition = pm.clone();
+                                Some(d)
+                            }
+                            (None, Some(pm)) => Some(AdaptDirective {
+                                params: self.params.clone(),
+                                mirror_fn: None,
+                                partition: Some(pm.clone()),
+                            }),
+                            (None, None) => None,
+                        };
                         // Elastic capacity is decided at the same point —
                         // once per committed round, centrally — but is an
                         // embedding-level action (the aux unit does not own
@@ -768,6 +822,15 @@ impl AuxUnit {
 
     /// Apply a (generation-guarded) adaptation directive to this unit.
     fn apply_directive(&mut self, d: AdaptDirective) -> Vec<AuxAction> {
+        // The partition map fences on its own epoch, *before* and
+        // independently of the params generation guard: a directive whose
+        // params are stale can still carry a newer slot assignment (the
+        // coordinator re-sends the current map on every COMMIT).
+        if let Some(pm) = &d.partition {
+            if PartitionMap::adopt(&mut self.partition, pm) {
+                self.counters.partition_updates += 1;
+            }
+        }
         if d.params.generation <= self.params.generation {
             return Vec::new(); // stale directive
         }
@@ -1022,6 +1085,7 @@ mod tests {
             adapt: Some(AdaptDirective {
                 params: new_params.clone(),
                 mirror_fn: Some(MirrorFnKind::Coalescing { coalesce: 20, checkpoint_every: 100 }),
+                partition: None,
             }),
         };
         let actions = mirror.handle(AuxInput::Control(commit));
@@ -1037,11 +1101,102 @@ mod tests {
             stamp: VectorTimestamp::empty(),
             epoch: 0,
             term: 0,
-            adapt: Some(AdaptDirective { params: stale, mirror_fn: None }),
+            adapt: Some(AdaptDirective { params: stale, mirror_fn: None, partition: None }),
         };
         let actions = mirror.handle(AuxInput::Control(commit));
         assert!(actions.iter().all(|a| !matches!(a, AuxAction::Reconfigured(_))));
         assert_eq!(mirror.params().coalesce_max, 20);
+    }
+
+    #[test]
+    fn partition_map_rides_commits_and_fences_on_epoch() {
+        use crate::partition::PartitionMap;
+
+        // A stale-params directive still delivers a newer partition map:
+        // the two fences are independent.
+        let mut mirror = AuxUnit::mirror(1, MirrorParams::default());
+        let pm = PartitionMap::uniform(4);
+        let stale_params = MirrorParams::default(); // generation 0 = stale
+        let commit = ControlMsg::Commit {
+            round: 1,
+            stamp: VectorTimestamp::empty(),
+            epoch: 0,
+            term: 0,
+            adapt: Some(AdaptDirective {
+                params: stale_params.clone(),
+                mirror_fn: None,
+                partition: Some(pm.clone()),
+            }),
+        };
+        mirror.handle(AuxInput::Control(commit.clone()));
+        assert_eq!(mirror.partition_epoch(), pm.epoch());
+        assert_eq!(mirror.counters().partition_updates, 1);
+        assert_eq!(mirror.counters().adaptations, 0, "params were stale");
+
+        // Re-delivering the same map (the coordinator re-sends it every
+        // COMMIT) is a fenced no-op.
+        mirror.handle(AuxInput::Control(commit));
+        assert_eq!(mirror.counters().partition_updates, 1);
+
+        // An older map can never roll back a migration.
+        let old = PartitionMap::single();
+        let rollback = ControlMsg::Commit {
+            round: 2,
+            stamp: VectorTimestamp::empty(),
+            epoch: 0,
+            term: 0,
+            adapt: Some(AdaptDirective {
+                params: stale_params,
+                mirror_fn: None,
+                partition: Some(old),
+            }),
+        };
+        mirror.handle(AuxInput::Control(rollback));
+        assert_eq!(mirror.partition_epoch(), pm.epoch());
+
+        // A migrated (epoch-bumped) map is adopted.
+        let mut moved = pm.clone();
+        moved.assign(0, 3);
+        assert!(mirror.set_partition_map(moved.clone()));
+        assert_eq!(mirror.partition_map().unwrap(), &moved);
+        assert_eq!(mirror.counters().partition_updates, 2);
+    }
+
+    #[test]
+    fn central_attaches_partition_map_to_every_commit() {
+        use crate::partition::PartitionMap;
+
+        // Even on a Hold round (no adaptation decided), a partitioned
+        // coordinator synthesizes a carrier directive so the map reaches
+        // mirrors on every COMMIT.
+        let mut central = AuxUnit::central(vec![1], MirrorParams::default());
+        let mut mirror = AuxUnit::mirror(1, MirrorParams::default());
+        let mut mains = vec![
+            crate::checkpoint::MainUnitResponder::new(0),
+            crate::checkpoint::MainUnitResponder::new(1),
+        ];
+        central.set_partition_map(PartitionMap::uniform(2));
+
+        let mut actions = Vec::new();
+        for seq in 1..=50 {
+            let mut e = pos(seq, 7);
+            e.stamp.advance(0, seq);
+            actions.extend(central.handle(AuxInput::Data(Arc::new(e))));
+        }
+        let commits =
+            run_round(&mut central, std::slice::from_mut(&mut mirror), actions, &mut mains);
+        let mut carried = false;
+        for a in &commits {
+            if let AuxAction::ControlToMirrors(m @ ControlMsg::Commit { adapt, .. }) = a {
+                carried |= adapt
+                    .as_ref()
+                    .and_then(|d| d.partition.as_ref())
+                    .is_some_and(|p| p.epoch() == 1);
+                mirror.handle(AuxInput::Control(m.clone()));
+            }
+        }
+        assert!(carried, "commit must carry the partition map: {commits:?}");
+        assert_eq!(mirror.partition_epoch(), 1, "mirror adopted the map from the commit");
     }
 
     #[test]

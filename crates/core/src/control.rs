@@ -30,6 +30,7 @@ use serde::{Deserialize, Serialize};
 use crate::adapt::MonitorReport;
 use crate::mirrorfn::MirrorFnKind;
 use crate::params::MirrorParams;
+use crate::partition::PartitionMap;
 use crate::timestamp::VectorTimestamp;
 
 /// Identifier of a cluster site. Site 0 is by convention the central
@@ -48,6 +49,12 @@ pub struct AdaptDirective {
     pub params: MirrorParams,
     /// Optionally install a different named mirroring function.
     pub mirror_fn: Option<MirrorFnKind>,
+    /// Cluster partition map, when the cluster runs in partitioned mode.
+    /// Carried the same way the params are — piggybacked on `COMMIT` — but
+    /// fenced *independently* on its own epoch (like membership epochs),
+    /// so a directive whose params are generation-stale can still deliver
+    /// a newer partition assignment and vice versa.
+    pub partition: Option<PartitionMap>,
 }
 
 /// A message on the control channel.
@@ -114,8 +121,13 @@ impl ControlMsg {
             ControlMsg::Chkpt { stamp, .. } => base + 2 + 8 + stamp.wire_size(),
             ControlMsg::ChkptRep { stamp, .. } => base + 2 + 2 + stamp.wire_size() + 3 * 8,
             ControlMsg::Commit { stamp, adapt, .. } => {
-                // A full MirrorParams is 4+4+4+1+8 ≈ 21 bytes plus kind.
-                base + 2 + 8 + stamp.wire_size() + if adapt.is_some() { 32 } else { 1 }
+                // A full MirrorParams is 4+4+4+1+8 ≈ 21 bytes plus kind;
+                // a piggybacked partition map adds its epoch + slot table.
+                let directive = match adapt {
+                    None => 1,
+                    Some(d) => 32 + d.partition.as_ref().map_or(1, |p| 1 + p.wire_size()),
+                };
+                base + 2 + 8 + stamp.wire_size() + directive
             }
         }
     }
@@ -181,9 +193,25 @@ mod tests {
             stamp,
             epoch: 0,
             term: 0,
-            adapt: Some(AdaptDirective { params: MirrorParams::default(), mirror_fn: None }),
+            adapt: Some(AdaptDirective {
+                params: MirrorParams::default(),
+                mirror_fn: None,
+                partition: None,
+            }),
         };
         assert!(full.wire_size() > bare.wire_size());
+        let partitioned = ControlMsg::Commit {
+            round: 1,
+            stamp: VectorTimestamp::new(2),
+            epoch: 0,
+            term: 0,
+            adapt: Some(AdaptDirective {
+                params: MirrorParams::default(),
+                mirror_fn: None,
+                partition: Some(PartitionMap::uniform(4)),
+            }),
+        };
+        assert!(partitioned.wire_size() > full.wire_size(), "slot table costs wire bytes");
     }
 
     #[test]

@@ -44,10 +44,12 @@ pub mod aux_unit;
 pub mod checkpoint;
 pub mod control;
 pub mod event;
+pub mod hashing;
 pub mod membership;
 pub mod metrics;
 pub mod mirrorfn;
 pub mod params;
+pub mod partition;
 pub mod queue;
 pub mod ring;
 pub mod rules;
@@ -62,9 +64,11 @@ pub use aux_unit::{AuxAction, AuxInput, AuxUnit, SiteId, CENTRAL_SITE};
 pub use checkpoint::{CentralCheckpointer, CheckpointMsg, MainUnitResponder, MirrorRelay};
 pub use control::ControlMsg;
 pub use event::{Event, EventBody, EventType, FlightId, FlightStatus, PositionFix, StreamId};
+pub use hashing::{fib_mix64, fib_slot, BuildFlightHasher, FlightIdHasher, FIB_MULT};
 pub use membership::{MembershipError, MembershipRegistry, MembershipView, SiteState};
 pub use mirrorfn::{MirrorDecision, MirrorFn, MirrorFnKind};
 pub use params::MirrorParams;
+pub use partition::{GroupId, PartitionMap, PARTITION_SLOTS};
 pub use queue::{BackupQueue, ReadyQueue};
 pub use ring::{
     mpsc, spsc, MpscReceiver, MpscSender, RingRecv, RingSend, RingStats, SpscReceiver, SpscSender,

@@ -206,6 +206,8 @@ pub struct AuxCounters {
     /// Control frames rejected because they carried a stale leadership
     /// term (a fenced-out old coordinator still transmitting).
     pub stale_term_rejects: u64,
+    /// Partition-map adoptions (epoch-fenced; stale maps don't count).
+    pub partition_updates: u64,
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use mirror_core::control::AdaptDirective;
 use mirror_core::event::{Event, EventBody, FlightStatus, PositionFix};
 use mirror_core::mirrorfn::MirrorFnKind;
 use mirror_core::params::MirrorParams;
+use mirror_core::partition::PartitionMap;
 use mirror_core::timestamp::VectorTimestamp;
 use mirror_core::ControlMsg;
 use mirror_ede::{FlightView, Snapshot};
@@ -705,6 +706,7 @@ pub fn encode_control(c: &ControlMsg, buf: &mut BytesMut) {
                     buf.put_u8(1);
                     encode_params(&d.params, buf);
                     encode_kind(&d.mirror_fn, buf);
+                    encode_partition(&d.partition, buf);
                 }
             }
         }
@@ -745,6 +747,7 @@ pub fn decode_control(buf: &mut Bytes) -> Result<ControlMsg, WireError> {
                 1 => Some(AdaptDirective {
                     params: decode_params(buf)?,
                     mirror_fn: decode_kind(buf)?,
+                    partition: decode_partition(buf)?,
                 }),
                 t => return Err(WireError::BadTag(t)),
             };
@@ -770,6 +773,42 @@ fn decode_stamp(buf: &mut Bytes) -> Result<VectorTimestamp, WireError> {
         comps.push(buf.get_u64_le());
     }
     Ok(VectorTimestamp::from_components(comps))
+}
+
+fn encode_partition(p: &Option<PartitionMap>, buf: &mut BytesMut) {
+    match p {
+        None => buf.put_u8(0),
+        Some(pm) => {
+            buf.put_u8(1);
+            buf.put_u64_le(pm.epoch());
+            let slots = pm.slot_table();
+            buf.put_u16_le(slots.len() as u16);
+            for &g in slots {
+                buf.put_u16_le(g);
+            }
+        }
+    }
+}
+
+fn decode_partition(buf: &mut Bytes) -> Result<Option<PartitionMap>, WireError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => {
+            need(buf, 8 + 2)?;
+            let epoch = buf.get_u64_le();
+            let n = buf.get_u16_le() as usize;
+            need(buf, n * 2)?;
+            let mut slots = Vec::with_capacity(n);
+            for _ in 0..n {
+                slots.push(buf.get_u16_le());
+            }
+            // from_parts normalizes a wrong-length table instead of letting
+            // a malformed frame panic the routing path.
+            Ok(Some(PartitionMap::from_parts(epoch, slots)))
+        }
+        t => Err(WireError::BadTag(t)),
+    }
 }
 
 fn encode_params(p: &MirrorParams, buf: &mut BytesMut) {
@@ -1014,6 +1053,22 @@ mod tests {
                     mirror_fn: Some(MirrorFnKind::Coalescing {
                         coalesce: 20,
                         checkpoint_every: 100,
+                    }),
+                    partition: None,
+                }),
+            },
+            ControlMsg::Commit {
+                round: 5,
+                stamp: VectorTimestamp::from_components(vec![5, 9]),
+                epoch: 2,
+                term: 9,
+                adapt: Some(AdaptDirective {
+                    params: MirrorParams::default(),
+                    mirror_fn: None,
+                    partition: Some({
+                        let mut pm = PartitionMap::uniform(4);
+                        pm.assign(7, 0); // a migrated slot survives the roundtrip
+                        pm
                     }),
                 }),
             },

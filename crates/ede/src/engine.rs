@@ -65,6 +65,13 @@ impl Ede {
         self.state.force_epoch(floor);
     }
 
+    /// Mutable state access for the partition-migration merge/purge paths
+    /// (epoch discipline is enforced by the [`OperationalState`] methods
+    /// those paths use).
+    pub(crate) fn state_mut(&mut self) -> &mut OperationalState {
+        &mut self.state
+    }
+
     /// Current state epoch (see [`OperationalState::epoch`]).
     pub fn epoch(&self) -> u64 {
         self.state.epoch()

@@ -39,4 +39,6 @@ pub use flight::{FlightView, TransitionError};
 pub use ops::{OpsAlert, OpsMonitor};
 pub use sharded::{ShardMap, ShardedEde};
 pub use snapshot::{Snapshot, SNAPSHOT_FLIGHT_WIRE_SIZE};
-pub use state::{BuildFlightHasher, FlightMap, OperationalState};
+pub use state::{
+    hash_sorted_flights, union_state_hash, BuildFlightHasher, FlightMap, OperationalState,
+};

@@ -73,11 +73,10 @@ impl ShardMap {
     /// lands on the same shard, so per-flight event order is preserved by
     /// per-shard FIFO processing.
     pub fn shard_of(&self, flight: FlightId) -> usize {
-        // 2^64 / φ, the Fibonacci hashing constant.
-        let mixed = (flight as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        // High bits carry the mix; modulo by shard count keeps the map
-        // exact for non-power-of-two counts.
-        ((mixed >> 32) % self.shards as u64) as usize
+        // The same Fibonacci mix the cluster-level partition map and the
+        // flight-table hasher use (`mirror_core::hashing`): one constant,
+        // one bucketing rule, no way for the layers to disagree.
+        mirror_core::hashing::fib_slot(flight as u64, self.shards)
     }
 }
 
@@ -251,6 +250,49 @@ impl ShardedEde {
         // snapshot carries a larger epoch than this store has reached.
         let floor = self.epoch.load(Ordering::Acquire).max(incoming_epoch) + 1;
         self.epoch.store(floor, Ordering::Release);
+    }
+
+    /// Merge a recovered state **into** the store without replacing what is
+    /// already there: each incoming flight is inserted (or overwritten —
+    /// the incoming view is the migration source's authoritative copy) in
+    /// its owning shard. This is the partition-migration seed primitive:
+    /// unlike [`install_state`](Self::install_state), flights the store
+    /// already owns survive. All shard locks are held across the merge and
+    /// the global epoch stays strictly monotone, for the same
+    /// cache-invalidation reasons as install. Callers needing "buffered
+    /// events replay on top" semantics must quiesce appliers first.
+    pub fn merge_state(&self, state: OperationalState) {
+        let incoming_epoch = state.epoch();
+        let mut parts: Vec<Vec<(FlightId, &FlightView)>> =
+            (0..self.map.shards()).map(|_| Vec::new()).collect();
+        for (id, view) in state.flights() {
+            parts[self.map.shard_of(*id)].push((*id, view));
+        }
+        let mut guards = self.lock_all();
+        for (g, part) in guards.iter_mut().zip(parts) {
+            g.state_mut().merge_flights(part.into_iter());
+        }
+        let floor = self.epoch.load(Ordering::Acquire).max(incoming_epoch) + 1;
+        self.epoch.store(floor, Ordering::Release);
+    }
+
+    /// Drop every flight for which `keep` returns false, returning how many
+    /// were removed. This is the migration source's hand-off: after a slot's
+    /// flights are merged into the new owner group, the old owner purges
+    /// them so per-site memory stays flat and the cluster-wide union of
+    /// per-group states remains a partition (each flight in exactly one
+    /// group). All shard locks are held; the epoch is bumped when anything
+    /// was removed (the store's hash changed, caches must refresh).
+    pub fn retain_flights(&self, keep: impl Fn(FlightId) -> bool) -> usize {
+        let mut guards = self.lock_all();
+        let mut removed = 0;
+        for g in guards.iter_mut() {
+            removed += g.state_mut().retain_flights(&keep);
+        }
+        if removed > 0 {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        removed
     }
 
     /// Events applied per shard (lock-free; index = shard).

@@ -14,45 +14,10 @@ use mirror_core::event::{Event, EventBody, FlightId, FlightStatus};
 
 use crate::flight::FlightView;
 
-/// Hasher for flight-id keys: one Fibonacci multiply with an xor-fold.
-/// Flight ids are small dense integers, and the flight-table lookup sits on
-/// the per-event apply hot path — SipHash (std's default) costs more there
-/// than the field updates it guards.
-#[derive(Clone, Copy, Default)]
-pub struct FlightIdHasher(u64);
-
-impl std::hash::Hasher for FlightIdHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        // Generic fallback (never hit by u32 keys): byte-wise FNV-style mix.
-        for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        }
-    }
-    fn write_u32(&mut self, v: u32) {
-        let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        // Fold the well-mixed high bits into the low bits the table
-        // indexes with.
-        self.0 = h ^ (h >> 32);
-    }
-    fn write_u64(&mut self, v: u64) {
-        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        self.0 = h ^ (h >> 32);
-    }
-}
-
-/// [`std::hash::BuildHasher`] for [`FlightMap`].
-#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
-pub struct BuildFlightHasher;
-
-impl std::hash::BuildHasher for BuildFlightHasher {
-    type Hasher = FlightIdHasher;
-    fn build_hasher(&self) -> FlightIdHasher {
-        FlightIdHasher::default()
-    }
-}
+// The flight-id hasher lives in `mirror_core::hashing` so partition
+// routing, intra-site sharding, and the edge subscription index all derive
+// from the same Fibonacci mix; re-exported here for the table aliases below.
+pub use mirror_core::hashing::{BuildFlightHasher, FlightIdHasher};
 
 /// The flight table: flight id → view, keyed with the cheap
 /// [`FlightIdHasher`].
@@ -158,6 +123,36 @@ impl OperationalState {
         self.epoch += 1;
     }
 
+    /// Insert-or-overwrite flights from another store (the partition
+    /// migration merge: the incoming views are the source group's
+    /// authoritative copies). Bumps the epoch once when anything landed.
+    pub fn merge_flights<'a>(
+        &mut self,
+        incoming: impl Iterator<Item = (FlightId, &'a FlightView)>,
+    ) {
+        let mut any = false;
+        for (id, view) in incoming {
+            self.flights.insert(id, view.clone());
+            any = true;
+        }
+        if any {
+            self.epoch += 1;
+        }
+    }
+
+    /// Drop every flight for which `keep` returns false (the migration
+    /// source's purge). Returns the number removed; bumps the epoch when
+    /// anything was removed (the hash changed, caches must refresh).
+    pub fn retain_flights(&mut self, keep: impl Fn(FlightId) -> bool) -> usize {
+        let before = self.flights.len();
+        self.flights.retain(|id, _| keep(*id));
+        let removed = before - self.flights.len();
+        if removed > 0 {
+            self.epoch += 1;
+        }
+        removed
+    }
+
     /// Pin the epoch (engine-internal: keeps it monotone across
     /// [`Ede::install_state`](crate::Ede::install_state)).
     pub(crate) fn force_epoch(&mut self, epoch: u64) {
@@ -171,13 +166,12 @@ impl OperationalState {
 }
 
 /// The canonical FNV-1a digest over flight views presented in **ascending
-/// flight-id order**. Shared by [`OperationalState::state_hash`] and the
-/// sharded store's merged hash (`sharded`): partitioning the flight map is
-/// invisible to the digest because both feed this function the same
-/// globally sorted sequence.
-pub(crate) fn hash_sorted_flights<'a>(
-    sorted: impl Iterator<Item = (FlightId, &'a FlightView)>,
-) -> u64 {
+/// flight-id order**. Shared by [`OperationalState::state_hash`], the
+/// sharded store's merged hash (`sharded`), and the partitioned cluster's
+/// union hash: partitioning the flight map — per-shard or per-group — is
+/// invisible to the digest because every consumer feeds this function the
+/// same globally sorted sequence.
+pub fn hash_sorted_flights<'a>(sorted: impl Iterator<Item = (FlightId, &'a FlightView)>) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf29ce484222325;
     const FNV_PRIME: u64 = 0x100000001b3;
     let mut h = FNV_OFFSET;
@@ -202,6 +196,21 @@ pub(crate) fn hash_sorted_flights<'a>(
         eat(&f.bags_reconciled.to_le_bytes());
     }
     h
+}
+
+/// Canonical digest of the **union** of disjoint stores: every flight from
+/// every store, globally sorted, fed to [`hash_sorted_flights`]. When the
+/// stores partition the flight space (each flight lives in exactly one),
+/// this equals the [`OperationalState::state_hash`] of a single store that
+/// applied the whole stream — the equivalence the partitioned cluster's
+/// acceptance assert checks.
+pub fn union_state_hash<'a>(states: impl Iterator<Item = &'a OperationalState>) -> u64 {
+    let mut all: Vec<(FlightId, &FlightView)> = Vec::new();
+    for s in states {
+        all.extend(s.flights.iter().map(|(id, v)| (*id, v)));
+    }
+    all.sort_unstable_by_key(|(id, _)| *id);
+    hash_sorted_flights(all.into_iter())
 }
 
 #[cfg(test)]

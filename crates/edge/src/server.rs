@@ -548,8 +548,10 @@ struct Shard {
     filters: HashMap<u64, SubscriptionFilter>,
     /// Clients subscribed to every flight.
     all: Vec<u64>,
-    /// Flight-id postings for filtered subscribers.
-    by_flight: HashMap<FlightId, Vec<u64>>,
+    /// Flight-id postings for filtered subscribers, keyed by the shared
+    /// Fibonacci flight-id hasher — the same mix the EDE's flight map and
+    /// the partition router use, so the per-publish lookup skips SipHash.
+    by_flight: HashMap<FlightId, Vec<u64>, mirror_core::BuildFlightHasher>,
 }
 
 impl Shard {
@@ -558,7 +560,7 @@ impl Shard {
             conns: HashMap::new(),
             filters: HashMap::new(),
             all: Vec::new(),
-            by_flight: HashMap::new(),
+            by_flight: HashMap::default(),
         }
     }
 

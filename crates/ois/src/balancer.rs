@@ -17,11 +17,13 @@
 //! epoch-stamped [`MembershipView`]: newly admitted mirrors join the
 //! rotation, suspects are skipped, retired sites are dropped for good.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mirror_core::aux_unit::SiteId;
 use mirror_core::membership::{MembershipView, SiteState};
+use mirror_core::{FlightId, GroupId, PartitionMap};
 
 /// Balancing policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +199,108 @@ impl Balancer {
     }
 }
 
+/// Partition-aware routing front-end for a content-partitioned cluster:
+/// one [`Balancer`] per mirror group plus a cached [`PartitionMap`].
+///
+/// A keyed request first resolves its flight to the owning group, then
+/// balances across that group's sites. The cached map can lag the cluster
+/// (it syncs off commits, or not at all) — that's fine, because a stale
+/// route is not silent: the gateway answers
+/// `RequestError::WrongPartition { owner_group }`, and
+/// [`on_wrong_partition`](GroupRouter::on_wrong_partition) both re-routes
+/// the request to the named owner *and* remembers the correction, so one
+/// misroute per moved slot is the steady-state cost of lag. Learned
+/// corrections are an overlay on the cached map, discarded whenever a
+/// genuinely newer map syncs in.
+#[derive(Debug, Clone)]
+pub struct GroupRouter {
+    map: PartitionMap,
+    /// Slot-level corrections learned from `WrongPartition` refusals;
+    /// consulted before the cached map, cleared on a newer map sync.
+    learned: HashMap<usize, GroupId>,
+    groups: Vec<Balancer>,
+    reroutes: u64,
+}
+
+impl GroupRouter {
+    /// A router over `groups` balancers (index = group id) under `map`.
+    pub fn new(map: PartitionMap, groups: Vec<Balancer>) -> Self {
+        assert!(!groups.is_empty(), "router needs at least one group");
+        assert!(
+            map.groups() <= groups.len(),
+            "map references group {} but only {} balancers given",
+            map.groups() - 1,
+            groups.len()
+        );
+        GroupRouter { map, learned: HashMap::new(), groups, reroutes: 0 }
+    }
+
+    /// The cached partition map.
+    pub fn map(&self) -> &PartitionMap {
+        &self.map
+    }
+
+    /// Adopt a newer partition map (epoch-fenced like every other map
+    /// consumer); learned corrections are discarded — the new map
+    /// supersedes them. Returns whether the map was adopted.
+    pub fn sync_map(&mut self, map: PartitionMap) -> bool {
+        if map.epoch() <= self.map.epoch() {
+            return false;
+        }
+        assert!(
+            map.groups() <= self.groups.len(),
+            "synced map references more groups than balancers"
+        );
+        self.map = map;
+        self.learned.clear();
+        true
+    }
+
+    /// The group this router would currently send `flight` to (learned
+    /// corrections first, then the cached map).
+    pub fn group_for(&self, flight: FlightId) -> GroupId {
+        let slot = PartitionMap::slot_of(flight);
+        self.learned.get(&slot).copied().unwrap_or_else(|| self.map.group_of(flight))
+    }
+
+    /// Misroutes corrected via
+    /// [`on_wrong_partition`](GroupRouter::on_wrong_partition) so far.
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes
+    }
+
+    /// The balancer of group `g` (for gauge attachment, membership sync,
+    /// failure marking).
+    pub fn balancer_mut(&mut self, g: GroupId) -> &mut Balancer {
+        &mut self.groups[g as usize]
+    }
+
+    /// Route a keyed request: the owning group's balancer picks the site.
+    /// `None` when every site of the owning group is down.
+    pub fn route(&mut self, flight: FlightId) -> Option<(GroupId, SiteId)> {
+        let g = self.group_for(flight);
+        let site = self.groups[g as usize].pick()?;
+        Some((g, site))
+    }
+
+    /// React to a `WrongPartition { owner_group }` refusal: learn the
+    /// correction for the flight's whole slot (every flight of the slot
+    /// moved with it) and immediately re-route to the named owner.
+    pub fn on_wrong_partition(
+        &mut self,
+        flight: FlightId,
+        owner_group: GroupId,
+    ) -> Option<(GroupId, SiteId)> {
+        if (owner_group as usize) >= self.groups.len() {
+            return None; // refusal names a group this router doesn't know
+        }
+        self.learned.insert(PartitionMap::slot_of(flight), owner_group);
+        self.reroutes += 1;
+        let site = self.groups[owner_group as usize].pick()?;
+        Some((owner_group, site))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +369,54 @@ mod tests {
         b.attach_gauge(2, g2);
         b.mark_failed(1);
         assert_eq!(b.pick(), Some(2));
+    }
+
+    #[test]
+    fn group_router_routes_by_partition() {
+        let mut r = GroupRouter::new(
+            PartitionMap::uniform(2),
+            vec![
+                Balancer::new(vec![1, 2], BalancerPolicy::RoundRobin),
+                Balancer::new(vec![3, 4], BalancerPolicy::RoundRobin),
+            ],
+        );
+        let f0 = (0..).find(|&f| r.map().group_of(f) == 0).unwrap();
+        let f1 = (0..).find(|&f| r.map().group_of(f) == 1).unwrap();
+        let (g0, s0) = r.route(f0).unwrap();
+        let (g1, s1) = r.route(f1).unwrap();
+        assert_eq!((g0, g1), (0, 1));
+        assert!([1, 2].contains(&s0) && [3, 4].contains(&s1));
+        // Repeated routes of the same flight rotate within the group.
+        let (_, s0b) = r.route(f0).unwrap();
+        assert_ne!(s0, s0b);
+    }
+
+    #[test]
+    fn group_router_learns_from_wrong_partition() {
+        let mut r = GroupRouter::new(
+            PartitionMap::uniform(2),
+            vec![
+                Balancer::new(vec![1], BalancerPolicy::RoundRobin),
+                Balancer::new(vec![3], BalancerPolicy::RoundRobin),
+            ],
+        );
+        let f = (0..).find(|&f| r.map().group_of(f) == 0).unwrap();
+        assert_eq!(r.route(f), Some((0, 1)));
+        // The gateway refused: the slot moved to group 1. The router
+        // re-routes immediately and remembers for the whole slot.
+        assert_eq!(r.on_wrong_partition(f, 1), Some((1, 3)));
+        assert_eq!(r.reroutes(), 1);
+        assert_eq!(r.route(f), Some((1, 3)));
+        // A refusal naming an unknown group is not followed blindly.
+        assert_eq!(r.on_wrong_partition(f, 7), None);
+        // A genuinely newer map supersedes learned corrections.
+        let mut newer = r.map().clone();
+        let slot = PartitionMap::slot_of(f);
+        newer.assign(slot, 0);
+        newer.assign(slot, 0); // two bumps: past uniform + the learned era
+        assert!(r.sync_map(newer.clone()));
+        assert_eq!(r.route(f), Some((0, 1)));
+        assert!(!r.sync_map(newer), "stale re-sync must be fenced");
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod experiment;
 pub mod payload;
 pub mod site;
 
-pub use balancer::{Balancer, BalancerPolicy};
+pub use balancer::{Balancer, BalancerPolicy, GroupRouter};
 pub use experiment::{ExperimentConfig, ExperimentResult, Ingest, RequestTargets};
 pub use payload::Payload;
 pub use site::{ClientSink, JournalCost, SiteProcess, SnapshotCacheCost};

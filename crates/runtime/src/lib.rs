@@ -22,6 +22,7 @@ pub mod clock;
 pub mod cluster;
 pub mod durability;
 pub mod failover;
+pub mod partition;
 pub mod requests;
 pub mod site;
 pub mod snapcache;
@@ -31,6 +32,9 @@ pub use clock::RuntimeClock;
 pub use cluster::{Cluster, ClusterConfig, ClusterStats, MirrorRef, ScaleEvent, SiteStats};
 pub use durability::{DurabilityConfig, Journal, ResyncOutcome, ResyncSource};
 pub use failover::{CtrlCadence, FailoverEvent, FailoverPolicy};
-pub use requests::{GatewayConfig, RequestClient, RequestError, RequestGate, RequestGateway};
+pub use partition::{MigrateError, MigrationReport, PartitionedCluster, PartitionedConfig};
+pub use requests::{
+    GatewayConfig, PartitionTable, RequestClient, RequestError, RequestGate, RequestGateway,
+};
 pub use site::{CentralSite, MirrorSite, SiteOverload, DEFAULT_MAIN_RING_CAPACITY};
 pub use snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};

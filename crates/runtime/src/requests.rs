@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 
+use mirror_core::{FlightId, GroupId, PartitionMap};
 use mirror_ede::Snapshot;
 
 use crate::site::SiteCounters;
@@ -40,6 +41,60 @@ use crate::snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};
 struct Job {
     reply: Sender<Result<ServedSnapshot, RequestError>>,
     submitted: Instant,
+    /// The flight the client is after, when it said so. Keyed requests are
+    /// ownership-checked against the gateway's partition table; unkeyed
+    /// requests (whole-state fetches) serve unconditionally.
+    key: Option<FlightId>,
+}
+
+/// A cluster's shared, epoch-fenced view of the partition map, consulted by
+/// every gateway on keyed requests.
+///
+/// One table is shared across all of a partitioned cluster's gateways and
+/// its migration machinery: installing a newer map (after a slot moves)
+/// redirects misrouted clients everywhere at once, while stale installs —
+/// e.g. a map learned off a lagging mirror's commit — are ignored, the same
+/// fence [`PartitionMap::adopt`] applies on control traffic.
+#[derive(Debug)]
+pub struct PartitionTable {
+    map: std::sync::RwLock<PartitionMap>,
+}
+
+impl PartitionTable {
+    /// A table starting at `map`.
+    pub fn new(map: PartitionMap) -> Self {
+        Self { map: std::sync::RwLock::new(map) }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, PartitionMap> {
+        self.map.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Install a newer map; `false` (no-op) when `map` isn't strictly
+    /// newer than the current epoch.
+    pub fn install(&self, map: PartitionMap) -> bool {
+        let mut cur = self.map.write().unwrap_or_else(|e| e.into_inner());
+        if map.epoch() <= cur.epoch() {
+            return false;
+        }
+        *cur = map;
+        true
+    }
+
+    /// The group owning `flight` under the current map.
+    pub fn group_of(&self, flight: FlightId) -> GroupId {
+        self.read().group_of(flight)
+    }
+
+    /// Epoch of the current map.
+    pub fn epoch(&self) -> u64 {
+        self.read().epoch()
+    }
+
+    /// A clone of the current map.
+    pub fn snapshot(&self) -> PartitionMap {
+        self.read().clone()
+    }
 }
 
 /// Admission gate for initial-state serving, shared between a cluster's
@@ -140,6 +195,13 @@ pub struct GatewayConfig {
     pub gate: Option<Arc<RequestGate>>,
     /// Longest a worker parks a request on a closed gate.
     pub gate_wait: Duration,
+    /// Content-partitioned serving: this gateway's own group plus the
+    /// cluster's shared [`PartitionTable`]. Keyed requests for flights
+    /// another group owns fail fast with
+    /// [`RequestError::WrongPartition`] naming the owner, instead of
+    /// serving a snapshot that silently lacks the flight. `None` (the
+    /// unpartitioned default) serves every request.
+    pub partition: Option<(GroupId, Arc<PartitionTable>)>,
 }
 
 impl Default for GatewayConfig {
@@ -150,6 +212,7 @@ impl Default for GatewayConfig {
             service_pad: Duration::ZERO,
             gate: None,
             gate_wait: Duration::from_secs(1),
+            partition: None,
         }
     }
 }
@@ -183,6 +246,15 @@ pub enum RequestError {
     /// closed past [`GatewayConfig::gate_wait`] — retry once failover
     /// completes.
     Unavailable,
+    /// The requested flight lives in a different partition group — retry
+    /// against a site of `owner_group`. The typed refusal replaces the
+    /// old silent failure mode (an empty-of-that-flight snapshot) and is
+    /// what the ois balancer's re-route learns from.
+    WrongPartition {
+        /// The group that owns the requested flight under the serving
+        /// gateway's current partition map.
+        owner_group: GroupId,
+    },
 }
 
 impl std::fmt::Display for RequestError {
@@ -191,6 +263,9 @@ impl std::fmt::Display for RequestError {
             RequestError::Closed => write!(f, "gateway closed"),
             RequestError::Timeout => write!(f, "request timed out"),
             RequestError::Unavailable => write!(f, "site unavailable during takeover"),
+            RequestError::WrongPartition { owner_group } => {
+                write!(f, "flight owned by partition group {owner_group}")
+            }
         }
     }
 }
@@ -200,13 +275,17 @@ impl RequestClient {
     /// Enqueue one job, bumping the pending gauge first so the occupancy
     /// a monitor observes always covers every submitted-but-unanswered
     /// request (the worker decrements after replying).
-    fn submit(&self) -> Result<Receiver<Result<ServedSnapshot, RequestError>>, RequestError> {
+    fn submit(
+        &self,
+        key: Option<FlightId>,
+    ) -> Result<Receiver<Result<ServedSnapshot, RequestError>>, RequestError> {
         if self.stopped.load(Ordering::Acquire) {
             return Err(RequestError::Closed);
         }
         let (reply_tx, reply_rx) = channel::bounded(1);
         self.pending_gauge.fetch_add(1, Ordering::Relaxed);
-        if self.tx.send(Msg::Job(Job { reply: reply_tx, submitted: Instant::now() })).is_err() {
+        if self.tx.send(Msg::Job(Job { reply: reply_tx, submitted: Instant::now(), key })).is_err()
+        {
             self.pending_gauge.fetch_sub(1, Ordering::Relaxed);
             return Err(RequestError::Closed);
         }
@@ -215,14 +294,27 @@ impl RequestClient {
 
     /// Submit a request and wait for the snapshot (with a deadline).
     pub fn fetch(&self, timeout: Duration) -> Result<ServedSnapshot, RequestError> {
-        let reply_rx = self.submit()?;
+        let reply_rx = self.submit(None)?;
+        reply_rx.recv_timeout(timeout).map_err(|_| RequestError::Timeout)?
+    }
+
+    /// Submit a request keyed by the flight the client is after. On a
+    /// partitioned gateway this is ownership-checked: a flight another
+    /// group owns fails with [`RequestError::WrongPartition`] instead of
+    /// a snapshot that doesn't contain it.
+    pub fn fetch_flight(
+        &self,
+        flight: FlightId,
+        timeout: Duration,
+    ) -> Result<ServedSnapshot, RequestError> {
+        let reply_rx = self.submit(Some(flight))?;
         reply_rx.recv_timeout(timeout).map_err(|_| RequestError::Timeout)?
     }
 
     /// Fire a request without waiting (load-generation helper); the reply
     /// is discarded when the returned receiver is dropped.
     pub fn fire(&self) -> Result<Receiver<Result<ServedSnapshot, RequestError>>, RequestError> {
-        self.submit()
+        self.submit(None)
     }
 }
 
@@ -269,6 +361,7 @@ impl RequestGateway {
             let service_pad = config.service_pad;
             let gate = config.gate.clone();
             let gate_wait = config.gate_wait;
+            let partition = config.partition.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("request-gateway-{w}"))
@@ -295,6 +388,21 @@ impl RequestGateway {
                             // than serve state about to be superseded.
                             if !gate.wait_open(gate_wait) {
                                 let _ = job.reply.send(Err(RequestError::Unavailable));
+                                pending_gauge.fetch_sub(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        }
+                        if let (Some((own_group, table)), Some(flight)) = (&partition, job.key) {
+                            // Ownership check against the shared table
+                            // (not a per-gateway copy): a slot migration
+                            // redirects every gateway the instant the new
+                            // map installs.
+                            let owner = table.group_of(flight);
+                            if owner != *own_group {
+                                counters.wrong_partition.fetch_add(1, Ordering::Relaxed);
+                                let _ = job
+                                    .reply
+                                    .send(Err(RequestError::WrongPartition { owner_group: owner }));
                                 pending_gauge.fetch_sub(1, Ordering::Relaxed);
                                 continue;
                             }
@@ -522,6 +630,41 @@ mod tests {
             wall < Duration::from_millis(8 * 50 - 100),
             "8 padded requests must overlap across the pool, took {wall:?}"
         );
+        drop(client);
+        gw.stop();
+    }
+
+    #[test]
+    fn keyed_requests_refuse_foreign_partitions() {
+        let table = Arc::new(PartitionTable::new(PartitionMap::uniform(2)));
+        let (gw, pending, counters) = spawn_empty(GatewayConfig {
+            partition: Some((0, Arc::clone(&table))),
+            ..GatewayConfig::default()
+        });
+        let client = gw.client();
+        // Find one flight per group under the uniform map.
+        let mine = (0..).find(|&f| table.group_of(f) == 0).unwrap();
+        let theirs = (0..).find(|&f| table.group_of(f) == 1).unwrap();
+        assert!(client.fetch_flight(mine, Duration::from_secs(5)).is_ok());
+        assert!(matches!(
+            client.fetch_flight(theirs, Duration::from_secs(5)),
+            Err(RequestError::WrongPartition { owner_group: 1 })
+        ));
+        // Unkeyed fetches serve unconditionally (whole-state recovery).
+        assert!(client.fetch(Duration::from_secs(5)).is_ok());
+        assert_eq!(counters.wrong_partition.load(Ordering::Relaxed), 1);
+        // A newer map claiming the flight for group 0 flips the verdict.
+        let mut remap = table.snapshot();
+        remap.assign(PartitionMap::slot_of(theirs), 0);
+        assert!(table.install(remap.clone()));
+        assert!(!table.install(remap), "stale re-install must be fenced");
+        assert!(client.fetch_flight(theirs, Duration::from_secs(5)).is_ok());
+        // The gauge decrement trails the reply; give the worker room.
+        let drained = Instant::now() + Duration::from_secs(10);
+        while pending.load(Ordering::Relaxed) != 0 && Instant::now() < drained {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pending.load(Ordering::Relaxed), 0);
         drop(client);
         gw.stop();
     }

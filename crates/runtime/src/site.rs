@@ -77,7 +77,6 @@ pub(crate) enum SiteMsg {
 }
 
 /// A message for a site's main (EDE) thread.
-#[derive(Debug)]
 enum MainMsg {
     Event(Arc<Event>),
     Ctrl(ControlMsg),
@@ -88,7 +87,32 @@ enum MainMsg {
     /// frontier are visible — callers (promotion, rejoin) snapshot the
     /// site right after seeding and must not observe the pre-seed void.
     Seed(Box<mirror_ede::OperationalState>, VectorTimestamp, Arc<AtomicBool>),
+    /// Merge migrated partition state **into** the store (slot migration
+    /// seeding): unlike `Seed`, flights the store already owns survive.
+    /// Runs under an apply-pool quiesce, serialized with dispatch order,
+    /// so on a target mirror's channel every event published *after* the
+    /// source group's drain barrier applies on top of the merged flights.
+    /// The flag acks completion (the migrator replays the slot's buffered
+    /// events immediately after).
+    Merge(Box<mirror_ede::OperationalState>, Arc<AtomicBool>),
+    /// Drop every flight the predicate rejects (the migration source's
+    /// purge after a slot moves away). The cell acks with the number of
+    /// flights removed (`u64::MAX` = still pending).
+    Retain(Arc<dyn Fn(mirror_core::FlightId) -> bool + Send + Sync>, Arc<AtomicU64>),
     Stop,
+}
+
+impl std::fmt::Debug for MainMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MainMsg::Event(e) => f.debug_tuple("Event").field(e).finish(),
+            MainMsg::Ctrl(m) => f.debug_tuple("Ctrl").field(m).finish(),
+            MainMsg::Seed(..) => f.write_str("Seed(..)"),
+            MainMsg::Merge(..) => f.write_str("Merge(..)"),
+            MainMsg::Retain(..) => f.write_str("Retain(..)"),
+            MainMsg::Stop => f.write_str("Stop"),
+        }
+    }
 }
 
 /// Shared atomic counters for a running site.
@@ -117,6 +141,10 @@ pub struct SiteCounters {
     /// Apply-worker bookkeeping batches flushed (processed ÷ batches =
     /// achieved batching ratio on the sharded apply path).
     pub apply_batches: AtomicU64,
+    /// Gateway requests refused because the requested flight belongs to a
+    /// different partition group (`RequestError::WrongPartition`) — the
+    /// misroute signal the ois balancer re-routes on.
+    pub wrong_partition: AtomicU64,
 }
 
 impl SiteCounters {
@@ -367,6 +395,19 @@ impl SiteCore {
                                 pool.dispatch(ev);
                             }
                         }
+                        MainMsg::Merge(state, done) => {
+                            // Same quiesce discipline as Seed, but the
+                            // incoming flights merge into (rather than
+                            // replace) the live store: migration seeds
+                            // land without disturbing resident partitions.
+                            pool.quiesce(|| main_shared.ede.merge_state(*state));
+                            done.store(true, Ordering::Release);
+                        }
+                        MainMsg::Retain(keep, removed) => {
+                            let mut n = 0usize;
+                            pool.quiesce(|| n = main_shared.ede.retain_flights(|f| keep(f)));
+                            removed.store(n as u64, Ordering::Release);
+                        }
                         MainMsg::Ctrl(m) => match &m {
                             ControlMsg::Chkpt { .. } => {
                                 let report = MonitorReport {
@@ -613,6 +654,64 @@ macro_rules! site_common_impl {
                 }
                 idle_backoff(&mut spins);
             }
+        }
+
+        /// Merge migrated flight state into this site's live store (slot
+        /// migration seeding). Unlike [`seed`](Self::seed) the resident
+        /// flights survive; the merge runs under an apply-pool quiesce so
+        /// it serializes with in-flight event application. Blocks until
+        /// the merge is visible — the migrator replays the slot's
+        /// buffered events right after, and those must apply on top.
+        pub fn merge_seed(&self, state: OperationalState) {
+            let done = Arc::new(AtomicBool::new(false));
+            let msg = MainMsg::Merge(Box::new(state), Arc::clone(&done));
+            if self.core.seed_tx.send(msg).is_err() {
+                return; // apply loop already gone (site stopping)
+            }
+            let mut spins = 0u32;
+            while !done.load(Ordering::Acquire) {
+                if self.core.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                idle_backoff(&mut spins);
+            }
+        }
+
+        /// Drop every flight the predicate rejects (the migration
+        /// source's purge once a slot's ownership moved away). Blocks
+        /// until the purge is applied and returns the number of flights
+        /// removed (0 if the site is stopping).
+        pub fn retain_flights(
+            &self,
+            keep: Arc<dyn Fn(mirror_core::FlightId) -> bool + Send + Sync>,
+        ) -> u64 {
+            let removed = Arc::new(AtomicU64::new(u64::MAX));
+            let msg = MainMsg::Retain(keep, Arc::clone(&removed));
+            if self.core.seed_tx.send(msg).is_err() {
+                return 0; // apply loop already gone (site stopping)
+            }
+            let mut spins = 0u32;
+            loop {
+                let n = removed.load(Ordering::Acquire);
+                if n != u64::MAX {
+                    return n;
+                }
+                if self.core.stop.load(Ordering::SeqCst) {
+                    return 0;
+                }
+                idle_backoff(&mut spins);
+            }
+        }
+
+        /// The partition map this site last adopted off checkpoint
+        /// control traffic, if any.
+        pub fn partition_map(&self) -> Option<mirror_core::PartitionMap> {
+            self.core.handle.with(|a| a.partition_map().cloned())
+        }
+
+        /// Epoch of the adopted partition map; 0 when unpartitioned.
+        pub fn partition_epoch(&self) -> u64 {
+            self.core.handle.with(|a| a.partition_epoch())
         }
 
         /// Serve an initial-state request: snapshot this site's EDE state
@@ -919,6 +1018,14 @@ impl CentralSite {
     /// (monotone: a lower epoch is ignored).
     pub fn set_membership_epoch(&self, epoch: u64) {
         self.core.handle.with(|a| a.set_membership_epoch(epoch));
+    }
+
+    /// Adopt a partition map on the coordinator (epoch-fenced: stale maps
+    /// are ignored). The adopted map rides every subsequent checkpoint
+    /// COMMIT, so mirrors — including late joiners — converge on it
+    /// without a dedicated broadcast. Returns whether the map was newer.
+    pub fn set_partition_map(&self, pm: mirror_core::PartitionMap) -> bool {
+        self.core.handle.with(|a| a.set_partition_map(pm))
     }
 
     /// Admit a mirror into checkpoint rounds at membership `epoch` — the

@@ -1,0 +1,184 @@
+//! Partition-migration chaos: slots move between mirror groups while a
+//! submission storm is in flight.
+//!
+//! The integration-level counterpart of the unit tests in
+//! `mirror_runtime::partition`: a [`PartitionedCluster`] under continuous
+//! load from a submitter thread while the main thread migrates slots back
+//! and forth between groups, asserting the tentpole guarantees —
+//!
+//! * **zero committed-event loss**: after the storm, the union state hash
+//!   across group centrals equals a serial reference applying the same
+//!   stream on one site (an event lost at a migration boundary, applied
+//!   twice, or applied out of per-flight order would break the hash);
+//! * **epoch monotonicity**: every migration strictly advances the
+//!   partition-map epoch, and every group coordinator converges on the
+//!   final epoch (from where it rides checkpoint COMMITs to mirrors);
+//! * **memory handoff**: migrated flights vanish from the source group
+//!   and appear at the target — no residue, no gaps.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mirror_core::event::{Event, PositionFix};
+use mirror_core::{FlightId, PartitionMap, PARTITION_SLOTS};
+use mirror_ede::OperationalState;
+use mirror_runtime::{ClusterConfig, PartitionedCluster, PartitionedConfig};
+
+fn fix(seed: u32) -> PositionFix {
+    PositionFix {
+        lat: (seed % 90) as f64,
+        lon: -((seed % 180) as f64),
+        alt_ft: 30_000.0 + (seed % 5_000) as f64,
+        speed_kts: 400.0 + (seed % 100) as f64,
+        heading_deg: (seed % 360) as f64,
+    }
+}
+
+#[test]
+fn slots_migrate_mid_storm_without_losing_committed_events() {
+    const FLIGHTS: u32 = 96;
+    const EVENTS: u64 = 4_000;
+
+    let pc = Arc::new(PartitionedCluster::start(PartitionedConfig {
+        groups: 2,
+        group: ClusterConfig { mirrors: 1, ..ClusterConfig::default() },
+    }));
+
+    // Submitter: one thread drives the whole storm and maintains the
+    // serial reference in submission order — the single global order makes
+    // the per-flight subsequences of reference and cluster identical.
+    let reference = Arc::new(Mutex::new(OperationalState::new()));
+    let done = Arc::new(AtomicBool::new(false));
+    let submitter = {
+        let pc = Arc::clone(&pc);
+        let reference = Arc::clone(&reference);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            for seq in 0..EVENTS {
+                let flight = (seq % FLIGHTS as u64) as FlightId;
+                let ev = Event::faa_position(seq, flight, fix(seq as u32));
+                reference.lock().unwrap().apply(&ev);
+                pc.submit(ev);
+                if seq % 512 == 0 {
+                    // Brief yields keep migrations interleaved with the
+                    // storm instead of racing past it on one core.
+                    std::thread::yield_now();
+                }
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+
+    // Chaos: while the storm runs, bounce slots between the groups. Every
+    // flight of a moved slot migrates mid-traffic; some slots move twice.
+    let mut epochs = vec![pc.epoch()];
+    let moves: Vec<(usize, u16)> = vec![(3, 1), (8, 0), (13, 1), (3, 0), (21, 0), (40, 1), (8, 1)];
+    for (slot, to) in moves {
+        assert!(slot < PARTITION_SLOTS);
+        let report = pc
+            .migrate_slot(slot, to, Duration::from_secs(60))
+            .unwrap_or_else(|e| panic!("migrate slot {slot} -> {to}: {e}"));
+        if report.from != report.to {
+            assert!(
+                report.epoch > *epochs.last().unwrap(),
+                "migration must strictly advance the map epoch"
+            );
+            epochs.push(report.epoch);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    submitter.join().expect("submitter");
+    assert!(done.load(Ordering::Acquire));
+
+    // Everything routed must drain everywhere.
+    assert!(pc.wait_quiesced(Duration::from_secs(60)), "groups must drain after the storm");
+
+    // Zero loss, zero duplication, per-flight order preserved.
+    let reference = reference.lock().unwrap();
+    assert_eq!(
+        pc.union_state_hash(),
+        reference.state_hash(),
+        "union of partitioned state must equal the serial reference"
+    );
+    assert_eq!(pc.total_flights(), FLIGHTS as usize, "no flight lost or duplicated");
+
+    // Epochs observed were strictly increasing; coordinators converged on
+    // the final map for COMMIT carriage.
+    assert!(epochs.windows(2).all(|w| w[0] < w[1]));
+    let final_epoch = *epochs.last().unwrap();
+    assert_eq!(pc.epoch(), final_epoch);
+    for g in 0..pc.groups() {
+        assert_eq!(
+            pc.group(g as u16).central().partition_epoch(),
+            final_epoch,
+            "group {g} coordinator must adopt the final map"
+        );
+    }
+
+    // Memory handoff: each flight lives exactly at its owning group's
+    // central and nowhere else.
+    let map = pc.map();
+    for flight in 0..FLIGHTS as FlightId {
+        let owner = map.group_of(flight);
+        for g in 0..pc.groups() as u16 {
+            let present = pc
+                .group(g)
+                .snapshot(mirror_core::CENTRAL_SITE)
+                .expect("central snapshot")
+                .flight(flight)
+                .is_some();
+            assert_eq!(
+                present,
+                g == owner,
+                "flight {flight} presence at group {g} (owner {owner})"
+            );
+        }
+    }
+    match Arc::try_unwrap(pc) {
+        Ok(pc) => pc.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}
+
+#[test]
+fn migration_redirects_keyed_requests() {
+    use mirror_runtime::{GatewayConfig, RequestError};
+
+    let pc =
+        PartitionedCluster::start(PartitionedConfig { groups: 2, group: ClusterConfig::default() });
+    let map = pc.map();
+    let flight: FlightId = (0..).find(|&f| map.group_of(f) == 0).unwrap();
+    let slot = PartitionMap::slot_of(flight);
+    for seq in 0..20u64 {
+        pc.submit(Event::faa_position(seq, flight, fix(seq as u32)));
+    }
+    assert!(pc.wait_quiesced(Duration::from_secs(20)));
+
+    let gw0 = pc.serve_group_requests(0, GatewayConfig::default());
+    let gw1 = pc.serve_group_requests(1, GatewayConfig::default());
+    let (c0, c1) = (gw0.client(), gw1.client());
+
+    // Before the move: group 0 serves the flight, group 1 refuses with
+    // the owner's id — the signal the ois GroupRouter re-routes on.
+    assert!(c0.fetch_flight(flight, Duration::from_secs(5)).is_ok());
+    assert!(matches!(
+        c1.fetch_flight(flight, Duration::from_secs(5)),
+        Err(RequestError::WrongPartition { owner_group: 0 })
+    ));
+
+    pc.migrate_slot(slot, 1, Duration::from_secs(30)).expect("migrate");
+
+    // After: the verdicts flip, through the shared table, no re-spawn.
+    assert!(matches!(
+        c0.fetch_flight(flight, Duration::from_secs(5)),
+        Err(RequestError::WrongPartition { owner_group: 1 })
+    ));
+    let served = c1.fetch_flight(flight, Duration::from_secs(5)).expect("target serves");
+    assert!(served.flight_count() >= 1);
+
+    drop((c0, c1));
+    gw0.stop();
+    gw1.stop();
+    pc.shutdown();
+}

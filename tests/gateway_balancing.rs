@@ -147,3 +147,64 @@ fn stale_cached_snapshot_plus_replay_converges() {
     gw.stop();
     cluster.shutdown();
 }
+
+#[test]
+fn group_router_recovers_from_stale_partition_map() {
+    use adaptable_mirroring::core::{FlightId, PartitionMap};
+    use adaptable_mirroring::ois::GroupRouter;
+    use adaptable_mirroring::runtime::{
+        GatewayConfig, PartitionedCluster, PartitionedConfig, RequestError,
+    };
+
+    // Two mirror groups; one gateway per group central (site id 0 in each
+    // group's namespace — the router balances groups, not sites, here).
+    let pc =
+        PartitionedCluster::start(PartitionedConfig { groups: 2, group: ClusterConfig::default() });
+    let flight: FlightId = (0..).find(|&f| pc.map().group_of(f) == 0).unwrap();
+    for seq in 0..10u64 {
+        pc.submit(Event::faa_position(seq, flight, fix()));
+    }
+    assert!(pc.wait_quiesced(Duration::from_secs(10)));
+    let gateways = [
+        pc.serve_group_requests(0, GatewayConfig::default()),
+        pc.serve_group_requests(1, GatewayConfig::default()),
+    ];
+    let clients = [gateways[0].client(), gateways[1].client()];
+
+    // The router caches the pre-migration map…
+    let mut router = GroupRouter::new(
+        pc.map(),
+        vec![
+            Balancer::new(vec![0], BalancerPolicy::RoundRobin),
+            Balancer::new(vec![0], BalancerPolicy::RoundRobin),
+        ],
+    );
+    // …and the cluster moves the flight's slot out from under it.
+    pc.migrate_slot(PartitionMap::slot_of(flight), 1, Duration::from_secs(30)).expect("migrate");
+
+    // First try lands on the stale group; the typed refusal names the
+    // owner; the router re-routes and the retry succeeds.
+    let (g, _site) = router.route(flight).expect("route");
+    let verdict = clients[g as usize].fetch_flight(flight, Duration::from_secs(5));
+    let served = match verdict {
+        Ok(snap) => snap,
+        Err(RequestError::WrongPartition { owner_group }) => {
+            let (g2, _) = router.on_wrong_partition(flight, owner_group).expect("re-route");
+            assert_eq!(g2, owner_group);
+            clients[g2 as usize]
+                .fetch_flight(flight, Duration::from_secs(5))
+                .expect("retry against the named owner must succeed")
+        }
+        Err(e) => panic!("unexpected gateway error: {e}"),
+    };
+    assert!(served.flight_count() >= 1);
+    assert_eq!(router.reroutes(), 1, "exactly one misroute per moved slot");
+    // The learned correction makes the next route go straight to group 1.
+    assert_eq!(router.route(flight).map(|(g, _)| g), Some(1));
+
+    drop(clients);
+    let [g0, g1] = gateways;
+    g0.stop();
+    g1.stop();
+    pc.shutdown();
+}
