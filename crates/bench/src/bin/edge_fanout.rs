@@ -126,7 +126,9 @@ fn run_shard(
                             report.latencies_us.push(now.saturating_sub(ev.event().ingress_us));
                         }
                     }
-                    Ok(Some(Delivery::Reseed { .. })) => busy = true,
+                    Ok(Some(Delivery::Reseed { .. })) | Ok(Some(Delivery::DeltaReseed { .. })) => {
+                        busy = true
+                    }
                     Ok(None) => break,
                     Err(EdgeDisconnect::SlowClient { .. }) => {
                         report.slow_disconnects += 1;
@@ -204,6 +206,12 @@ fn run_stateful(
                 assert!(pub_seq >= last, "subscriber {id}: reseed rewound");
                 let snap = mirror_echo::wire::decode_snapshot(snapshot).expect("decode reseed");
                 state = snap.into_state();
+                last = pub_seq;
+            }
+            Ok(Some(Delivery::DeltaReseed { pub_seq, delta })) => {
+                assert!(pub_seq >= last, "subscriber {id}: delta reseed rewound");
+                let d = mirror_echo::wire::decode_delta(delta).expect("decode delta reseed");
+                state.apply_delta(&d);
                 last = pub_seq;
             }
             Ok(None) => std::thread::sleep(Duration::from_micros(200)),

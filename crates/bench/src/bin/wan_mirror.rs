@@ -1,0 +1,296 @@
+//! WAN catch-up: delta vs full-snapshot resync over a shaped wide-area
+//! link, at several divergence levels.
+//!
+//! The scenario is the geo-mirror's partition aftermath: a WAN replica
+//! holds state captured at a base frontier; the central has since touched
+//! some fraction of the flights (the **divergence**). Catch-up can ship a
+//! full snapshot (every flight) or — through the unified `StateSync`
+//! transfer layer — a delta carrying only the flights that changed since
+//! the base.
+//!
+//! Both transfers cross the *same* simulated WAN link: a chunked,
+//! windowed transfer over [`FaultyTransport`] shaped by a
+//! [`LinkProfile`] (40 ms propagation, up to 10 ms jitter, no loss —
+//! loss-free so measured time is a pure function of bytes and round
+//! trips). Each window of chunks costs one shaped round trip, so a
+//! transfer moving 20× fewer bytes completes in correspondingly fewer
+//! round trips — which is the whole case for the WAN tier.
+//!
+//! Asserted in-binary (the PR-10 acceptance bar): at ≤5% divergence the
+//! delta moves **≥3× fewer bytes** and completes **≥2× faster** than the
+//! full snapshot. Emits `results/BENCH_wan_mirror.json`; `--smoke`
+//! shrinks the run for CI, `--flights`/`--out` override defaults.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use mirror_core::event::{Event, PositionFix};
+use mirror_core::timestamp::VectorTimestamp;
+use mirror_echo::faults::{FaultPlan, FaultyTransport};
+use mirror_echo::{Frame, InProcTransport, LinkProfile, Polled, Transport};
+use mirror_ede::{OperationalState, Snapshot};
+use mirror_runtime::{SnapshotCachePolicy, StateSync, Transfer};
+
+/// Path MTU-ish chunk the windowed transfer slices payloads into.
+const MSS: usize = 1460;
+/// Chunks in flight per round trip (the send window).
+const WINDOW: u64 = 32;
+
+fn fix(seq: u64) -> PositionFix {
+    PositionFix {
+        lat: 30.0 + (seq % 23) as f64 * 0.31,
+        lon: -100.0 + (seq % 41) as f64 * 0.17,
+        alt_ft: 29_000.0 + (seq % 80) as f64 * 25.0,
+        speed_kts: 455.0,
+        heading_deg: (seq % 360) as f64,
+    }
+}
+
+/// A `StateSync` over a bare `OperationalState` — the same closure shape a
+/// running site wires up, minus the threads.
+fn sync_over(state: Arc<Mutex<OperationalState>>, live: Arc<AtomicU64>) -> StateSync {
+    let s1 = Arc::clone(&state);
+    let s2 = Arc::clone(&state);
+    StateSync::new(
+        SnapshotCachePolicy::fresh(),
+        live,
+        move || {
+            let mut st = s1.lock();
+            let mut vt = VectorTimestamp::empty();
+            vt.advance(0, st.epoch());
+            st.mark_frontier(&vt);
+            (Snapshot::capture(&st, vt), st.epoch())
+        },
+        move |base| {
+            let mut st = s2.lock();
+            let mut vt = VectorTimestamp::empty();
+            vt.advance(0, st.epoch());
+            st.mark_frontier(&vt);
+            let epoch = st.epoch();
+            st.capture_delta(base, vt).map(|d| (d, epoch))
+        },
+        || 0,
+    )
+}
+
+/// Ship `payload` across the shaped link with a chunked, windowed,
+/// ack-clocked transfer; returns the wall-clock time from first send to
+/// the final cumulative ack. Both directions cross the same [`LinkProfile`]
+/// (data chunks out, acks back), so every window costs one round trip.
+fn wan_transfer(payload: &Bytes, profile: LinkProfile, seed: u64) -> Duration {
+    let (near, far) = InProcTransport::pair("wan-xfer");
+    let mut tx = FaultyTransport::new(near, FaultPlan::new(seed).link(profile));
+
+    let chunks: Vec<Bytes> = payload.chunks(MSS).map(Bytes::copy_from_slice).collect();
+    let total = chunks.len() as u64;
+
+    // Receiver: count arriving chunks, ack each window boundary (and the
+    // tail). Keeps polling between frames so its own shaped in-flight
+    // acks are flushed on schedule.
+    let receiver = std::thread::spawn(move || {
+        let mut rx = FaultyTransport::new(far, FaultPlan::new(seed ^ 0x5EED).link(profile));
+        let mut got = 0u64;
+        while got < total {
+            match rx.recv_timeout(Duration::from_millis(2)) {
+                Ok(Polled::Frame(Frame::Reseed { .. })) => {
+                    got += 1;
+                    if got.is_multiple_of(WINDOW) || got == total {
+                        rx.send(&Frame::Ack { cum: got }).expect("send ack");
+                    }
+                }
+                Ok(_) => {}
+                Err(e) => panic!("receiver link error: {e}"),
+            }
+        }
+        // Drain until the final ack has left the shaped link.
+        let settle = Instant::now() + Duration::from_millis(200);
+        while Instant::now() < settle {
+            let _ = rx.recv_timeout(Duration::from_millis(2));
+        }
+    });
+
+    let start = Instant::now();
+    let mut sent = 0u64;
+    let mut acked = 0u64;
+    for chunk in &chunks {
+        sent += 1;
+        tx.send(&Frame::Reseed { pub_seq: sent, snapshot: chunk.clone() }).expect("send chunk");
+        // Window full (or payload done): stall until the receiver's
+        // cumulative ack opens it again — the ack clock that makes time
+        // proportional to round trips, and round trips to bytes.
+        if sent.is_multiple_of(WINDOW) || sent == total {
+            while acked < sent {
+                match tx.recv_timeout(Duration::from_millis(2)) {
+                    Ok(Polled::Frame(Frame::Ack { cum })) => acked = acked.max(cum),
+                    Ok(_) => {}
+                    Err(e) => panic!("sender link error: {e}"),
+                }
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    receiver.join().expect("receiver thread");
+    elapsed
+}
+
+struct Level {
+    divergence_pct: u32,
+    changed: usize,
+    delta_bytes: usize,
+    full_bytes: usize,
+    delta_ms: f64,
+    full_ms: f64,
+}
+
+/// One divergence level, from a fresh store: seed `flights`, capture the
+/// replica's base, touch `pct`% of the flights, then race the two
+/// catch-up strategies over the same link.
+fn run_level(flights: usize, pct: u32, profile: LinkProfile, seed: u64) -> Level {
+    let state = Arc::new(Mutex::new(OperationalState::new()));
+    let mut seq = 0u64;
+    {
+        let mut st = state.lock();
+        for f in 0..flights as u32 {
+            seq += 1;
+            st.apply(&Event::faa_position(seq, f, fix(seq)));
+        }
+    }
+    let live = Arc::new(AtomicU64::new(0));
+    let sync = sync_over(Arc::clone(&state), Arc::clone(&live));
+
+    // The replica's base: what it held when the partition began.
+    let (base_snap, _) = sync.full();
+    let base = base_snap.as_of.clone();
+
+    // Divergence: the central touches pct% of the flights meanwhile.
+    let changed = (flights * pct as usize).div_ceil(100);
+    {
+        let mut st = state.lock();
+        for f in 0..changed as u32 {
+            seq += 1;
+            st.apply(&Event::faa_position(seq, f, fix(seq)));
+        }
+        live.store(st.epoch(), Ordering::Release);
+    }
+
+    // Delta catch-up through the unified transfer router.
+    let delta_wire = match sync.transfer_since(Some(&base)) {
+        Transfer::Delta(d) => {
+            assert_eq!(d.changed_count(), changed, "delta carries exactly the divergence");
+            d.wire()
+        }
+        Transfer::Full(_) => panic!("base was just captured; the producer must remember it"),
+    };
+    // Full-snapshot catch-up: what a transfer layer without deltas ships.
+    let full_wire = sync.capture_now().wire();
+
+    let delta_elapsed = wan_transfer(&delta_wire, profile, seed);
+    let full_elapsed = wan_transfer(&full_wire, profile, seed);
+
+    Level {
+        divergence_pct: pct,
+        changed,
+        delta_bytes: delta_wire.len(),
+        full_bytes: full_wire.len(),
+        delta_ms: delta_elapsed.as_secs_f64() * 1e3,
+        full_ms: full_elapsed.as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(|v| v.to_string())
+    };
+
+    let smoke = flag("--smoke");
+    let flights: usize = opt("--flights")
+        .map(|v| v.parse().expect("--flights"))
+        .unwrap_or(if smoke { 1_500 } else { 6_000 });
+    let out = opt("--out").unwrap_or_else(|| "results/BENCH_wan_mirror.json".to_string());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+
+    // The cross-country link, loss-free: time is bytes and round trips,
+    // not retransmission luck.
+    let profile = LinkProfile::new(40, 10, 0);
+    let levels_pct: &[u32] = &[1, 5, 20, 50];
+
+    println!(
+        "wan_mirror: {flights} flights over {}ms/{}ms-jitter link (smoke={smoke})",
+        profile.latency_ms, profile.jitter_ms
+    );
+    let mut levels = Vec::new();
+    for (i, &pct) in levels_pct.iter().enumerate() {
+        let l = run_level(flights, pct, profile, 0xAB5EED ^ i as u64);
+        println!(
+            "  {:>2}% diverged ({} flights): delta {:>8} B / {:>7.0} ms   \
+             full {:>8} B / {:>7.0} ms   ({:.1}x bytes, {:.1}x time)",
+            l.divergence_pct,
+            l.changed,
+            l.delta_bytes,
+            l.delta_ms,
+            l.full_bytes,
+            l.full_ms,
+            l.full_bytes as f64 / l.delta_bytes as f64,
+            l.full_ms / l.delta_ms,
+        );
+        levels.push(l);
+    }
+
+    // The acceptance bar: at <=5% divergence, a delta must move >=3x
+    // fewer bytes and complete >=2x faster than the full snapshot.
+    for l in levels.iter().filter(|l| l.divergence_pct <= 5) {
+        let byte_ratio = l.full_bytes as f64 / l.delta_bytes as f64;
+        let time_ratio = l.full_ms / l.delta_ms;
+        assert!(
+            byte_ratio >= 3.0,
+            "at {}% divergence the delta must move >=3x fewer bytes (got {byte_ratio:.2}x)",
+            l.divergence_pct
+        );
+        assert!(
+            time_ratio >= 2.0,
+            "at {}% divergence the delta must complete >=2x faster (got {time_ratio:.2}x)",
+            l.divergence_pct
+        );
+    }
+
+    let rows: Vec<String> = levels
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"divergence_pct\": {}, \"changed_flights\": {}, \
+                 \"delta_bytes\": {}, \"full_bytes\": {}, \"delta_ms\": {:.1}, \
+                 \"full_ms\": {:.1}, \"byte_ratio\": {:.2}, \"time_ratio\": {:.2}}}",
+                l.divergence_pct,
+                l.changed,
+                l.delta_bytes,
+                l.full_bytes,
+                l.delta_ms,
+                l.full_ms,
+                l.full_bytes as f64 / l.delta_bytes as f64,
+                l.full_ms / l.delta_ms,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"wan_mirror\",\n  \"smoke\": {smoke},\n  \"config\": \
+         {{\"flights\": {flights}, \"latency_ms\": {}, \"jitter_ms\": {}, \
+         \"loss_per_mille\": {}, \"mss\": {MSS}, \"window\": {WINDOW}}},\n  \
+         \"levels\": [\n{}\n  ]\n}}\n",
+        profile.latency_ms,
+        profile.jitter_ms,
+        profile.loss_per_mille,
+        rows.join(",\n"),
+    );
+    std::fs::write(&out, json).expect("write benchmark json");
+    println!("wrote {out}");
+}

@@ -16,9 +16,10 @@
 //! A one-way partition falls out of the design: wrap only one endpoint (or
 //! only one direction's transport) and the other direction stays healthy.
 
+use std::collections::VecDeque;
 use std::io;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::transport::{Polled, Transport};
 use crate::wire::Frame;
@@ -48,6 +49,10 @@ pub struct FaultPlan {
     pub stall_per_mille: u32,
     /// Length of each stall run, in read ticks.
     pub stall_ticks: u32,
+    /// WAN link shape (propagation latency, jitter, loss) applied to every
+    /// outbound frame after the frame-level faults above; `None` means an
+    /// ideal local link.
+    pub link: Option<LinkProfile>,
 }
 
 impl FaultPlan {
@@ -63,6 +68,7 @@ impl FaultPlan {
             disconnect_every: 0,
             stall_per_mille: 0,
             stall_ticks: 0,
+            link: None,
         }
     }
 
@@ -104,6 +110,15 @@ impl FaultPlan {
         self
     }
 
+    /// Shape every outbound frame through a WAN [`LinkProfile`]: fixed
+    /// propagation latency plus seeded jitter, and seeded loss. Symmetric
+    /// per-link: wrap both endpoints' transports with plans carrying the
+    /// same profile to shape both directions.
+    pub fn link(mut self, profile: LinkProfile) -> Self {
+        self.link = Some(profile);
+        self
+    }
+
     /// The adversarial preset used by the chaos tests: 15% drops, 10%
     /// duplicates, 5% reorders, disconnect every 100 frames.
     pub fn chaos(seed: u64) -> Self {
@@ -135,6 +150,105 @@ pub struct FaultSummary {
     pub disconnects: u64,
     /// Bounded-wait read ticks swallowed by a stall run.
     pub stalled: u64,
+    /// Frames lost by the WAN link profile.
+    pub link_lost: u64,
+    /// Frames delayed in flight by the WAN link profile.
+    pub link_delayed: u64,
+}
+
+/// The shape of a (simulated) WAN link: fixed propagation latency, bounded
+/// random jitter, and random loss. All randomness is seeded and per-frame
+/// deterministic (see [`LinkShaper`]), so a WAN chaos run reproduces from
+/// its seed. Loss is per-mille to match the rest of the fault plan.
+///
+/// A profile is *symmetric*: it describes one direction of a link, and the
+/// harness applies the same profile to each direction it wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkProfile {
+    /// Fixed one-way propagation delay applied to every delivered frame.
+    pub latency_ms: u64,
+    /// Maximum extra seeded delay; each frame draws uniformly from
+    /// `0..=jitter_ms` on top of `latency_ms`.
+    pub jitter_ms: u64,
+    /// Chance (‰) a frame is lost in flight.
+    pub loss_per_mille: u32,
+}
+
+impl LinkProfile {
+    /// A profile with the given latency, jitter bound and loss rate.
+    pub fn new(latency_ms: u64, jitter_ms: u64, loss_per_mille: u32) -> Self {
+        LinkProfile { latency_ms, jitter_ms, loss_per_mille }
+    }
+
+    /// An ideal link: no latency, no jitter, no loss.
+    pub fn ideal() -> Self {
+        LinkProfile::new(0, 0, 0)
+    }
+
+    /// A cross-country WAN preset: 40 ms propagation, up to 10 ms jitter,
+    /// 0.5% loss — the link class the geo-mirror benches run over.
+    pub fn wan(loss_per_mille: u32) -> Self {
+        LinkProfile::new(40, 10, loss_per_mille)
+    }
+
+    /// Does this profile shape anything at all?
+    pub fn is_ideal(&self) -> bool {
+        self.latency_ms == 0 && self.jitter_ms == 0 && self.loss_per_mille == 0
+    }
+}
+
+/// The seeded fate of one frame crossing a shaped link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// The frame is lost in flight; the sender never learns.
+    Lost,
+    /// The frame arrives after `delay` (propagation latency plus jitter).
+    Deliver {
+        /// How long the frame spends in flight.
+        delay: Duration,
+    },
+}
+
+/// Deterministic per-frame link shaping: each call to
+/// [`fate`](Self::fate) rolls — purely from the seed and a frame counter —
+/// whether the frame is lost and how long it spends in flight. Usable
+/// standalone (the WAN mirror's update pump shapes its feed with one) or
+/// wired into a [`FaultyTransport`] via [`FaultPlan::link`].
+#[derive(Debug, Clone)]
+pub struct LinkShaper {
+    seed: u64,
+    profile: LinkProfile,
+    idx: u64,
+}
+
+impl LinkShaper {
+    /// A shaper drawing its schedule from `seed` for `profile`.
+    pub fn new(seed: u64, profile: LinkProfile) -> Self {
+        LinkShaper { seed, profile, idx: 0 }
+    }
+
+    /// The profile this shaper draws from.
+    pub fn profile(&self) -> LinkProfile {
+        self.profile
+    }
+
+    /// Decide the fate of the next frame.
+    pub fn fate(&mut self) -> LinkFate {
+        self.idx += 1;
+        let p = self.profile;
+        if p.loss_per_mille > 0
+            && roll_per_mille(self.seed, SALT_LINK_LOSS, self.idx) < p.loss_per_mille
+        {
+            return LinkFate::Lost;
+        }
+        let mut delay_ms = p.latency_ms;
+        if p.jitter_ms > 0 {
+            delay_ms += splitmix64(
+                self.seed ^ SALT_LINK_JITTER.wrapping_mul(0xA076_1D64_78BD_642F) ^ self.idx,
+            ) % (p.jitter_ms + 1);
+        }
+        LinkFate::Deliver { delay: Duration::from_millis(delay_ms) }
+    }
 }
 
 /// A deterministic, seedable schedule of read stalls: the slow-consumer
@@ -175,9 +289,7 @@ impl ThrottleSchedule {
         if self.stall_per_mille == 0 {
             return false;
         }
-        let roll =
-            (splitmix64(self.seed ^ SALT_STALL.wrapping_mul(0xA076_1D64_78BD_642F) ^ self.tick)
-                % 1000) as u32;
+        let roll = roll_per_mille(self.seed, SALT_STALL, self.tick);
         if roll < self.stall_per_mille {
             self.remaining = self.stall_ticks.saturating_sub(1);
             true
@@ -198,13 +310,27 @@ pub struct FaultState {
     held: Option<Frame>,
     /// Read-stall schedule, present when the plan enables stalls.
     throttle: Option<ThrottleSchedule>,
+    /// WAN link shaper, present when the plan carries a [`LinkProfile`].
+    shaper: Option<LinkShaper>,
+    /// Frames in flight on the shaped link, with their delivery deadlines.
+    /// Flushed (in due order) on every subsequent transport call, so the
+    /// schedule — like the rest of the state — survives reconnect wraps.
+    in_flight: VecDeque<(Instant, Frame)>,
 }
 
 impl FaultState {
     fn new(plan: FaultPlan) -> Self {
         let throttle = (plan.stall_per_mille > 0)
             .then(|| ThrottleSchedule::new(plan.seed, plan.stall_per_mille, plan.stall_ticks));
-        FaultState { plan, summary: FaultSummary::default(), held: None, throttle }
+        let shaper = plan.link.filter(|p| !p.is_ideal()).map(|p| LinkShaper::new(plan.seed, p));
+        FaultState {
+            plan,
+            summary: FaultSummary::default(),
+            held: None,
+            throttle,
+            shaper,
+            in_flight: VecDeque::new(),
+        }
     }
 
     /// Snapshot the fault counters.
@@ -214,7 +340,24 @@ impl FaultState {
 
     /// Deterministic per-mille roll for frame `idx` and decision `salt`.
     fn roll(&self, salt: u64, idx: u64) -> u32 {
-        (splitmix64(self.plan.seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F) ^ idx) % 1000) as u32
+        roll_per_mille(self.plan.seed, salt, idx)
+    }
+
+    /// Earliest delivery deadline among frames in flight, if any.
+    fn next_due(&self) -> Option<Instant> {
+        self.in_flight.iter().map(|(due, _)| *due).min()
+    }
+
+    /// Remove and return the earliest in-flight frame already due at `now`.
+    fn pop_due(&mut self, now: Instant) -> Option<Frame> {
+        let pos = self
+            .in_flight
+            .iter()
+            .enumerate()
+            .filter(|(_, (due, _))| *due <= now)
+            .min_by_key(|(_, (due, _))| *due)
+            .map(|(i, _)| i);
+        pos.and_then(|i| self.in_flight.remove(i)).map(|(_, f)| f)
     }
 }
 
@@ -223,6 +366,14 @@ const SALT_DUP: u64 = 2;
 const SALT_REORDER: u64 = 3;
 const SALT_CORRUPT: u64 = 4;
 const SALT_STALL: u64 = 5;
+const SALT_LINK_LOSS: u64 = 6;
+const SALT_LINK_JITTER: u64 = 7;
+
+/// Deterministic per-mille roll shared by every fault decision: a pure
+/// function of `(seed, salt, idx)`.
+fn roll_per_mille(seed: u64, salt: u64, idx: u64) -> u32 {
+    (splitmix64(seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F) ^ idx) % 1000) as u32
+}
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -274,6 +425,51 @@ impl<T: Transport> FaultyTransport<T> {
         }
         Ok(frame)
     }
+
+    /// Push one frame through the link stage: decide its fate under the
+    /// lock, transmit (or queue, or swallow) outside it.
+    fn link_transmit(&mut self, frame: &Frame) -> io::Result<()> {
+        let fate = {
+            let mut st = self.state.lock().expect("fault state poisoned");
+            match st.shaper.as_mut() {
+                None => None,
+                Some(shaper) => {
+                    let fate = shaper.fate();
+                    match fate {
+                        LinkFate::Lost => st.summary.link_lost += 1,
+                        LinkFate::Deliver { delay } if !delay.is_zero() => {
+                            st.summary.link_delayed += 1;
+                            st.in_flight.push_back((Instant::now() + delay, frame.clone()));
+                        }
+                        LinkFate::Deliver { .. } => {}
+                    }
+                    Some(fate)
+                }
+            }
+        };
+        match fate {
+            // No shaper, or a zero-delay delivery: straight through.
+            None => self.inner.send(frame),
+            Some(LinkFate::Deliver { delay }) if delay.is_zero() => self.inner.send(frame),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Deliver every in-flight frame whose deadline has passed, earliest
+    /// first (jitter may reorder relative to send order — that is the
+    /// point).
+    fn flush_link(&mut self) -> io::Result<()> {
+        loop {
+            let frame = {
+                let mut st = self.state.lock().expect("fault state poisoned");
+                st.pop_due(Instant::now())
+            };
+            match frame {
+                Some(f) => self.inner.send(&f)?,
+                None => return Ok(()),
+            }
+        }
+    }
 }
 
 impl<T: Transport> Transport for FaultyTransport<T> {
@@ -318,20 +514,22 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         if drop || hold {
             // Swallowed (or delayed): the caller sees success, the peer
             // sees nothing (yet) — exactly what a lossy link looks like.
+            self.flush_link()?;
             return Ok(());
         }
-        self.inner.send(frame)?;
+        self.link_transmit(frame)?;
         if dup {
-            self.inner.send(frame)?;
+            self.link_transmit(frame)?;
         }
         if let Some(h) = release {
-            self.inner.send(&h)?;
+            self.link_transmit(&h)?;
         }
-        Ok(())
+        self.flush_link()
     }
 
     fn recv(&mut self) -> io::Result<Option<Frame>> {
         self.check_broken()?;
+        self.flush_link()?;
         match self.inner.recv()? {
             Some(f) => self.filter_inbound(f).map(Some),
             None => Ok(None),
@@ -355,9 +553,40 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             std::thread::sleep(timeout);
             return Ok(Polled::Idle);
         }
-        match self.inner.recv_timeout(timeout)? {
-            Polled::Frame(f) => self.filter_inbound(f).map(Polled::Frame),
-            other => Ok(other),
+        let has_link = {
+            let st = self.state.lock().expect("fault state poisoned");
+            st.shaper.is_some()
+        };
+        if !has_link {
+            return match self.inner.recv_timeout(timeout)? {
+                Polled::Frame(f) => self.filter_inbound(f).map(Polled::Frame),
+                other => Ok(other),
+            };
+        }
+        // With a shaped link, slice the wait so frames coming due mid-wait
+        // are flushed on time instead of after the full timeout.
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.flush_link()?;
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Polled::Idle);
+            }
+            let mut slice = deadline - now;
+            let next_due = {
+                let st = self.state.lock().expect("fault state poisoned");
+                st.next_due()
+            };
+            if let Some(due) = next_due {
+                if due > now {
+                    slice = slice.min(due - now);
+                }
+            }
+            match self.inner.recv_timeout(slice)? {
+                Polled::Frame(f) => return self.filter_inbound(f).map(Polled::Frame),
+                Polled::Eof => return Ok(Polled::Eof),
+                Polled::Idle => continue,
+            }
         }
     }
 
@@ -525,6 +754,72 @@ mod tests {
         let summary = t.state().lock().unwrap().summary();
         assert_eq!(summary.stalled, idles, "every idle tick was a stall");
         assert!(summary.stalled > 0, "50 ticks at 50% should stall at least once");
+    }
+
+    #[test]
+    fn link_shaper_is_deterministic() {
+        let profile = LinkProfile::wan(100);
+        let mut a = LinkShaper::new(17, profile);
+        let mut b = LinkShaper::new(17, profile);
+        let fates_a: Vec<LinkFate> = (0..2000).map(|_| a.fate()).collect();
+        let fates_b: Vec<LinkFate> = (0..2000).map(|_| b.fate()).collect();
+        assert_eq!(fates_a, fates_b, "same seed, same schedule");
+        let lost = fates_a.iter().filter(|f| **f == LinkFate::Lost).count();
+        let rate = lost as f64 / 2000.0;
+        assert!((0.05..0.15).contains(&rate), "loss rate {rate} out of band for 10%");
+        for f in &fates_a {
+            if let LinkFate::Deliver { delay } = f {
+                let ms = delay.as_millis() as u64;
+                assert!(
+                    (profile.latency_ms..=profile.latency_ms + profile.jitter_ms).contains(&ms),
+                    "delay {ms}ms outside latency+jitter band"
+                );
+            }
+        }
+        let mut c = LinkShaper::new(18, profile);
+        assert_ne!(fates_a, (0..2000).map(|_| c.fate()).collect::<Vec<_>>());
+        let mut ideal = LinkShaper::new(17, LinkProfile::ideal());
+        assert_eq!(ideal.fate(), LinkFate::Deliver { delay: Duration::ZERO });
+    }
+
+    #[test]
+    fn link_latency_delays_frames() {
+        let (near, mut far) = InProcTransport::pair("wan");
+        let plan = FaultPlan::new(13).link(LinkProfile::new(20, 0, 0));
+        let mut t = FaultyTransport::new(near, plan);
+        let start = Instant::now();
+        t.send(&ev(1)).unwrap();
+        // The frame is in flight: the peer must not have it yet.
+        assert_eq!(far.recv_timeout(Duration::from_millis(1)).unwrap(), Polled::Idle);
+        // Waiting on the shaped transport flushes the frame once due.
+        assert_eq!(t.recv_timeout(Duration::from_millis(200)).unwrap(), Polled::Idle);
+        let got = far.recv().unwrap().expect("frame delivered after latency");
+        assert_eq!(got, ev(1));
+        assert!(start.elapsed() >= Duration::from_millis(20), "delivered before latency elapsed");
+        let summary = t.state().lock().unwrap().summary();
+        assert_eq!(summary.link_delayed, 1);
+        assert_eq!(summary.link_lost, 0);
+    }
+
+    #[test]
+    fn link_loss_swallows_frames() {
+        let (near, mut far) = InProcTransport::pair("wan");
+        let plan = FaultPlan::new(29).link(LinkProfile::new(0, 0, 1000));
+        let mut t = FaultyTransport::new(near, plan);
+        for i in 1..=20 {
+            t.send(&ev(i)).unwrap();
+        }
+        assert_eq!(far.recv_timeout(Duration::from_millis(5)).unwrap(), Polled::Idle);
+        let summary = t.state().lock().unwrap().summary();
+        assert_eq!(summary.link_lost, 20, "total loss swallows every frame");
+        assert_eq!(summary.link_delayed, 0);
+    }
+
+    #[test]
+    fn ideal_link_profile_is_transparent() {
+        let (summary, got) = run_schedule(FaultPlan::new(1).link(LinkProfile::ideal()), 50);
+        assert_eq!(got.len(), 50);
+        assert_eq!(summary.link_lost + summary.link_delayed, 0);
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub mod transport;
 pub mod wire;
 
 pub use channel::{ChannelPair, EventChannel, Publisher, RecvStatus, Subscriber};
-pub use faults::{FaultPlan, FaultState, FaultSummary, FaultyTransport, ThrottleSchedule};
+pub use faults::{
+    FaultPlan, FaultState, FaultSummary, FaultyTransport, LinkFate, LinkProfile, LinkShaper,
+    ThrottleSchedule,
+};
 pub use resilient::{
     Connector, LinkEvent, LinkHealth, LinkMonitor, ResilientTransport, RetryPolicy,
 };
@@ -49,7 +52,7 @@ pub use transport::{
     TcpTransport, Transport,
 };
 pub use wire::{
-    decode_frame, encode_batch_from_encoded, encode_edge_event, encode_frame, encode_frame_shared,
-    encode_reseed, encode_seq_envelope, Frame, SharedEvent, SubscriptionFilter, WireError,
-    WIRE_VERSION,
+    decode_delta, decode_frame, encode_batch_from_encoded, encode_delta, encode_delta_reseed,
+    encode_edge_event, encode_frame, encode_frame_shared, encode_reseed, encode_seq_envelope,
+    Frame, SharedEvent, SubscriptionFilter, WireError, WIRE_VERSION,
 };

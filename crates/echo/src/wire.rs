@@ -17,7 +17,7 @@ use mirror_core::params::MirrorParams;
 use mirror_core::partition::PartitionMap;
 use mirror_core::timestamp::VectorTimestamp;
 use mirror_core::ControlMsg;
-use mirror_ede::{FlightView, Snapshot};
+use mirror_ede::{FlightView, Snapshot, StateDelta};
 
 /// Wire-format version byte; bumped on incompatible change.
 pub const WIRE_VERSION: u8 = 1;
@@ -34,6 +34,8 @@ const KIND_SUBSCRIBE: u8 = 7;
 const KIND_RESUME: u8 = 8;
 const KIND_EDGE_EVENT: u8 = 9;
 const KIND_RESEED: u8 = 10;
+const KIND_DELTA: u8 = 11;
+const KIND_DELTA_SNAPSHOT: u8 = 12;
 
 /// Decoding/encoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,6 +170,19 @@ pub enum Frame {
         /// Encoded snapshot ([`encode_snapshot`] output).
         snapshot: Bytes,
     },
+    /// Delta reseed: the cheap sibling of [`Frame::Reseed`] for a client
+    /// whose held state already covers the delta's base frontier — only the
+    /// flights changed (and removed) since the base travel. The payload
+    /// embeds an [`encode_delta`] frame verbatim, kept as opaque bytes so a
+    /// cached encoding forwards zero-copy; clients decode it with
+    /// [`decode_delta`]. Delivery continues after `pub_seq`.
+    DeltaSnapshot {
+        /// Publication frontier the delta reflects: every event with
+        /// `pub_seq <=` this value is folded into the delta's `as_of` state.
+        pub_seq: u64,
+        /// Encoded delta ([`encode_delta`] output).
+        delta: Bytes,
+    },
 }
 
 /// Encode a frame (version + kind + payload) into a fresh buffer.
@@ -195,6 +210,7 @@ fn frame_size_hint(frame: &Frame) -> usize {
         Frame::Resume { .. } => 16,
         Frame::EdgeEvent { event, .. } => 8 + 2 + event.wire_size(),
         Frame::Reseed { snapshot, .. } => 8 + 4 + snapshot.len(),
+        Frame::DeltaSnapshot { delta, .. } => 8 + 4 + delta.len(),
     }
 }
 
@@ -255,6 +271,19 @@ pub fn encode_reseed(pub_seq: u64, snapshot_wire: &Bytes) -> Bytes {
     buf.put_u64_le(pub_seq);
     buf.put_u32_le(snapshot_wire.len() as u32);
     buf.put_slice(snapshot_wire);
+    buf.freeze()
+}
+
+/// Build the encoded form of `Frame::DeltaSnapshot { pub_seq, delta }` from
+/// an already-encoded delta ([`encode_delta`] output — e.g. the StateSync
+/// cache's shared encoding), copied once behind the 14-byte header.
+pub fn encode_delta_reseed(pub_seq: u64, delta_wire: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(14 + delta_wire.len());
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(KIND_DELTA_SNAPSHOT);
+    buf.put_u64_le(pub_seq);
+    buf.put_u32_le(delta_wire.len() as u32);
+    buf.put_slice(delta_wire);
     buf.freeze()
 }
 
@@ -403,6 +432,12 @@ fn encode_frame_into(frame: &Frame, buf: &mut BytesMut) {
             buf.put_u32_le(snapshot.len() as u32);
             buf.put_slice(snapshot);
         }
+        Frame::DeltaSnapshot { pub_seq, delta } => {
+            buf.put_u8(KIND_DELTA_SNAPSHOT);
+            buf.put_u64_le(*pub_seq);
+            buf.put_u32_le(delta.len() as u32);
+            buf.put_slice(delta);
+        }
     }
 }
 
@@ -505,6 +540,17 @@ fn decode_frame_at(mut buf: Bytes, depth: u8) -> Result<Frame, WireError> {
             let snapshot = buf.slice(..len);
             buf.advance(len);
             Ok(Frame::Reseed { pub_seq, snapshot })
+        }
+        KIND_DELTA_SNAPSHOT if depth == 0 => {
+            need(&buf, 12)?;
+            let pub_seq = buf.get_u64_le();
+            let len = buf.get_u32_le() as usize;
+            need(&buf, len)?;
+            // Zero-copy, like Reseed: decoded by the client with
+            // `decode_delta` when it installs the catch-up.
+            let delta = buf.slice(..len);
+            buf.advance(len);
+            Ok(Frame::DeltaSnapshot { pub_seq, delta })
         }
         t => Err(WireError::BadTag(t)),
     }
@@ -908,23 +954,56 @@ pub fn encode_snapshot(snap: &Snapshot) -> Bytes {
     buf.put_u32_le(entries.len() as u32);
     encode_stamp(&snap.as_of, &mut buf);
     for (id, f) in entries {
-        buf.put_u32_le(*id);
-        buf.put_u8(f.status as u8);
-        match &f.position {
-            Some(p) => {
-                buf.put_u8(1);
-                encode_fix(p, &mut buf);
-            }
-            None => buf.put_u8(0),
-        }
-        buf.put_u64_le(f.position_seq);
-        buf.put_u32_le(f.boarded);
-        buf.put_u32_le(f.expected);
-        buf.put_u32_le(f.bags_loaded);
-        buf.put_u32_le(f.bags_reconciled);
-        buf.put_u64_le(f.updates);
+        encode_flight_entry(*id, f, &mut buf);
     }
     buf.freeze()
+}
+
+/// One snapshot/delta flight entry: id u32, status u8, position-presence
+/// u8, position fix (40 B, when present), position-seq u64, boarded u32,
+/// expected u32, bags-loaded u32, bags-reconciled u32, updates u64.
+/// Shared by [`encode_snapshot`] and [`encode_delta`], so a delta entry is
+/// byte-identical to the same flight's full-snapshot entry.
+fn encode_flight_entry(id: u32, f: &FlightView, buf: &mut BytesMut) {
+    buf.put_u32_le(id);
+    buf.put_u8(f.status as u8);
+    match &f.position {
+        Some(p) => {
+            buf.put_u8(1);
+            encode_fix(p, buf);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u64_le(f.position_seq);
+    buf.put_u32_le(f.boarded);
+    buf.put_u32_le(f.expected);
+    buf.put_u32_le(f.bags_loaded);
+    buf.put_u32_le(f.bags_reconciled);
+    buf.put_u64_le(f.updates);
+}
+
+fn decode_flight_entry(buf: &mut Bytes) -> Result<(u32, FlightView), WireError> {
+    need(buf, 4)?;
+    let id = buf.get_u32_le();
+    let status = decode_status(buf)?;
+    need(buf, 1)?;
+    let position = match buf.get_u8() {
+        0 => None,
+        1 => Some(decode_fix(buf)?),
+        t => return Err(WireError::BadTag(t)),
+    };
+    need(buf, 8 + 4 + 4 + 4 + 4 + 8)?;
+    let view = FlightView {
+        status,
+        position,
+        position_seq: buf.get_u64_le(),
+        boarded: buf.get_u32_le(),
+        expected: buf.get_u32_le(),
+        bags_loaded: buf.get_u32_le(),
+        bags_reconciled: buf.get_u32_le(),
+        updates: buf.get_u64_le(),
+    };
+    Ok((id, view))
 }
 
 /// Decode a snapshot frame produced by [`encode_snapshot`]. The restored
@@ -945,29 +1024,71 @@ pub fn decode_snapshot(mut buf: Bytes) -> Result<Snapshot, WireError> {
     let as_of = decode_stamp(&mut buf)?;
     let mut flights = mirror_ede::FlightMap::with_capacity_and_hasher(count, Default::default());
     for _ in 0..count {
-        need(&buf, 4)?;
-        let id = buf.get_u32_le();
-        let status = decode_status(&mut buf)?;
-        need(&buf, 1)?;
-        let position = match buf.get_u8() {
-            0 => None,
-            1 => Some(decode_fix(&mut buf)?),
-            t => return Err(WireError::BadTag(t)),
-        };
-        need(&buf, 8 + 4 + 4 + 4 + 4 + 8)?;
-        let view = FlightView {
-            status,
-            position,
-            position_seq: buf.get_u64_le(),
-            boarded: buf.get_u32_le(),
-            expected: buf.get_u32_le(),
-            bags_loaded: buf.get_u32_le(),
-            bags_reconciled: buf.get_u32_le(),
-            updates: buf.get_u64_le(),
-        };
+        let (id, view) = decode_flight_entry(&mut buf)?;
         flights.insert(id, view);
     }
     Ok(Snapshot::from_parts(flights, as_of))
+}
+
+/// Encode a [`StateDelta`] into a standalone wire frame.
+///
+/// Like [`encode_snapshot`], the delta codec travels the state-transfer
+/// path (StateSync provider → catching-up consumer), not the mirroring
+/// stream, so it is not a [`Frame`] variant; the edge tier carries it
+/// inside [`Frame::DeltaSnapshot`]. Layout: version u8, kind u8, `base`
+/// stamp, `as_of` stamp, removed-count u32 + removed ids (ascending),
+/// changed-count u32 + one snapshot-format flight entry per changed
+/// flight **in ascending flight-id order** (canonical — equal deltas encode
+/// to equal bytes).
+pub fn encode_delta(delta: &StateDelta) -> Bytes {
+    let mut entries: Vec<_> = delta.changed().iter().collect();
+    entries.sort_unstable_by_key(|(id, _)| **id);
+    let mut buf = BytesMut::with_capacity(delta.wire_size() + entries.len() * 10);
+    buf.put_u8(WIRE_VERSION);
+    buf.put_u8(KIND_DELTA);
+    encode_stamp(&delta.base, &mut buf);
+    encode_stamp(&delta.as_of, &mut buf);
+    buf.put_u32_le(delta.removed().len() as u32);
+    for id in delta.removed() {
+        buf.put_u32_le(*id);
+    }
+    buf.put_u32_le(entries.len() as u32);
+    for (id, f) in entries {
+        encode_flight_entry(*id, f, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decode a delta frame produced by [`encode_delta`]. The restored delta
+/// compares equal to the original, so applying it converges the consumer to
+/// the producer's `state_hash` exactly as the un-encoded delta would.
+pub fn decode_delta(mut buf: Bytes) -> Result<StateDelta, WireError> {
+    need(&buf, 2)?;
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = buf.get_u8();
+    if kind != KIND_DELTA {
+        return Err(WireError::BadTag(kind));
+    }
+    let base = decode_stamp(&mut buf)?;
+    let as_of = decode_stamp(&mut buf)?;
+    need(&buf, 4)?;
+    let removed_n = buf.get_u32_le() as usize;
+    need(&buf, removed_n * 4)?;
+    let mut removed = Vec::with_capacity(removed_n.min(65_536));
+    for _ in 0..removed_n {
+        removed.push(buf.get_u32_le());
+    }
+    need(&buf, 4)?;
+    let count = buf.get_u32_le() as usize;
+    let mut changed = mirror_ede::FlightMap::with_capacity_and_hasher(count, Default::default());
+    for _ in 0..count {
+        let (id, view) = decode_flight_entry(&mut buf)?;
+        changed.insert(id, view);
+    }
+    Ok(StateDelta::from_parts(changed, removed, base, as_of))
 }
 
 #[cfg(test)]
@@ -1317,6 +1438,88 @@ mod tests {
                 assert_eq!(decode_snapshot(snapshot).unwrap(), snap);
             }
             f => panic!("wrong frame {f:?}"),
+        }
+    }
+
+    fn sample_delta() -> StateDelta {
+        let state = snapshot_state();
+        let mut changed = mirror_ede::FlightMap::default();
+        for id in [3u32, 11, 999] {
+            changed.insert(id, state.flight(id).unwrap().clone());
+        }
+        StateDelta::from_parts(
+            changed,
+            vec![5, 17],
+            VectorTimestamp::from_components(vec![4, 2]),
+            VectorTimestamp::from_components(vec![9, 6]),
+        )
+    }
+
+    #[test]
+    fn delta_roundtrips_exactly() {
+        let delta = sample_delta();
+        let decoded = decode_delta(encode_delta(&delta)).expect("decode");
+        assert_eq!(decoded, delta);
+        assert_eq!(decoded.base, delta.base);
+        assert_eq!(decoded.as_of, delta.as_of);
+        // An empty delta roundtrips too.
+        let empty = StateDelta::from_parts(
+            mirror_ede::FlightMap::default(),
+            Vec::new(),
+            VectorTimestamp::empty(),
+            VectorTimestamp::empty(),
+        );
+        assert_eq!(decode_delta(encode_delta(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn delta_encoding_is_canonical() {
+        // Equal deltas encode to identical bytes regardless of hash-map
+        // iteration order (entries sorted by flight id, like snapshots).
+        let delta = sample_delta();
+        assert_eq!(encode_delta(&delta), encode_delta(&delta.clone()));
+        let rebuilt = decode_delta(encode_delta(&delta)).unwrap();
+        assert_eq!(encode_delta(&delta), encode_delta(&rebuilt));
+    }
+
+    #[test]
+    fn delta_decode_rejects_malformed_frames() {
+        let good = encode_delta(&sample_delta());
+        for len in 0..good.len() {
+            assert!(decode_delta(good.slice(0..len)).is_err(), "prefix {len} must not decode");
+        }
+        let mut bad = good.to_vec();
+        bad[0] = WIRE_VERSION + 1;
+        assert!(matches!(decode_delta(Bytes::from(bad)), Err(WireError::BadVersion(_))));
+        let mut bad = good.to_vec();
+        bad[1] = KIND_SNAPSHOT;
+        assert!(matches!(decode_delta(Bytes::from(bad)), Err(WireError::BadTag(_))));
+    }
+
+    #[test]
+    fn delta_snapshot_frame_roundtrips() {
+        let wire = encode_delta(&sample_delta());
+        let f = Frame::DeltaSnapshot { pub_seq: 88, delta: wire.clone() };
+        assert_eq!(decode_frame(encode_frame(&f)).unwrap(), f);
+        // Helper matches the Frame encoding, and the payload survives.
+        assert_eq!(encode_delta_reseed(88, &wire), encode_frame(&f));
+        match decode_frame(encode_delta_reseed(88, &wire)).unwrap() {
+            Frame::DeltaSnapshot { pub_seq, delta } => {
+                assert_eq!(pub_seq, 88);
+                assert_eq!(decode_delta(delta).unwrap(), sample_delta());
+            }
+            f => panic!("wrong frame {f:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_snapshot_frame_rejected_below_top_level_and_truncated() {
+        let f = Frame::DeltaSnapshot { pub_seq: 5, delta: encode_delta(&sample_delta()) };
+        let env = Frame::Seq { seq: 1, inner: Box::new(f.clone()) };
+        assert_eq!(decode_frame(encode_frame(&env)), Err(WireError::BadTag(KIND_DELTA_SNAPSHOT)));
+        let bytes = encode_frame(&f);
+        for cut in [2, 5, 9, 10, bytes.len() - 1] {
+            assert!(decode_frame(bytes.slice(..cut)).is_err(), "cut at {cut}");
         }
     }
 

@@ -77,6 +77,28 @@ impl Ede {
         self.state.epoch()
     }
 
+    /// Remember the current epoch as a delta base for a capture taken at
+    /// frontier `as_of` (see [`OperationalState::mark_frontier`]).
+    pub fn mark_frontier(&mut self, as_of: &mirror_core::timestamp::VectorTimestamp) {
+        self.state.mark_frontier(as_of);
+    }
+
+    /// Capture the changes since the capture at `since`, or `None` when the
+    /// base fell out of the delta window (caller ships a full snapshot).
+    pub fn capture_delta(
+        &self,
+        since: &mirror_core::timestamp::VectorTimestamp,
+        as_of: mirror_core::timestamp::VectorTimestamp,
+    ) -> Option<crate::delta::StateDelta> {
+        self.state.capture_delta(since, as_of)
+    }
+
+    /// Fold a delta produced by another engine's
+    /// [`capture_delta`](Self::capture_delta) into this state.
+    pub fn apply_delta(&mut self, delta: &crate::delta::StateDelta) {
+        self.state.apply_delta(delta);
+    }
+
     /// Canonical digest of the engine's application state.
     pub fn state_hash(&self) -> u64 {
         self.state.state_hash()

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod engine;
 pub mod flight;
 pub mod ops;
@@ -34,6 +35,7 @@ pub mod sharded;
 pub mod snapshot;
 pub mod state;
 
+pub use delta::StateDelta;
 pub use engine::{Ede, EdeOutput};
 pub use flight::{FlightView, TransitionError};
 pub use ops::{OpsAlert, OpsMonitor};
@@ -41,4 +43,5 @@ pub use sharded::{ShardMap, ShardedEde};
 pub use snapshot::{Snapshot, SNAPSHOT_FLIGHT_WIRE_SIZE};
 pub use state::{
     hash_sorted_flights, union_state_hash, BuildFlightHasher, FlightMap, OperationalState,
+    DELTA_BASE_WINDOW,
 };

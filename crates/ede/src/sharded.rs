@@ -40,6 +40,7 @@ use parking_lot::{Mutex, MutexGuard};
 use mirror_core::event::{Event, FlightId};
 use mirror_core::timestamp::VectorTimestamp;
 
+use crate::delta::StateDelta;
 use crate::engine::Ede;
 use crate::flight::FlightView;
 use crate::snapshot::Snapshot;
@@ -197,16 +198,78 @@ impl ShardedEde {
     /// Capture a consistent snapshot of the merged store at the given
     /// frontier, returning it with the epoch it reflects. All shard locks
     /// are held for the duration: the capture is point-in-time exact, just
-    /// like a single-lock store's.
+    /// like a single-lock store's. Every freeze also records `as_of` as a
+    /// delta base on every shard (under the same locks, so the per-shard
+    /// frontier logs stay in lockstep) — a consumer holding this snapshot
+    /// can later catch up via [`capture_delta`](Self::capture_delta)
+    /// instead of a second full snapshot.
     pub fn freeze(&self, as_of: VectorTimestamp) -> (Snapshot, u64) {
-        let guards = self.lock_all();
+        let mut guards = self.lock_all();
         let epoch = self.epoch.load(Ordering::Acquire);
+        for g in guards.iter_mut() {
+            g.mark_frontier(&as_of);
+        }
         let total: usize = guards.iter().map(|g| g.state().flight_count()).sum();
         let mut flights = FlightMap::with_capacity_and_hasher(total, Default::default());
-        for g in &guards {
+        for g in guards.iter() {
             flights.extend(g.state().flights().iter().map(|(id, v)| (*id, v.clone())));
         }
         (Snapshot::from_parts(flights, as_of), epoch)
+    }
+
+    /// Capture the merged changes since the capture at frontier `since`,
+    /// or `None` when any shard no longer remembers the base (the caller
+    /// falls back to [`freeze`](Self::freeze)). All shard locks are held:
+    /// like `freeze`, the capture is point-in-time exact, and `as_of` is
+    /// recorded as the next delta base on every shard so repeated catch-ups
+    /// chain (`resync → delta → resync → delta …`). Returns the delta and
+    /// the global epoch it reflects.
+    pub fn capture_delta(
+        &self,
+        since: &VectorTimestamp,
+        as_of: VectorTimestamp,
+    ) -> Option<(StateDelta, u64)> {
+        let mut guards = self.lock_all();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let mut changed = FlightMap::default();
+        let mut removed: Vec<FlightId> = Vec::new();
+        for g in guards.iter() {
+            // Shards mark frontiers in lockstep (freeze/capture hold all
+            // locks), so one miss means they all miss; bail to full.
+            let part = g.capture_delta(since, as_of.clone())?;
+            let (part_changed, part_removed) = (part.changed().clone(), part.removed().to_vec());
+            changed.extend(part_changed);
+            removed.extend(part_removed);
+        }
+        for g in guards.iter_mut() {
+            g.mark_frontier(&as_of);
+        }
+        removed.sort_unstable();
+        Some((StateDelta::from_parts(changed, removed, since.clone(), as_of), epoch))
+    }
+
+    /// Fold a delta captured at another site into this store: each changed
+    /// flight overwrites in its owning shard, removed flights drop. All
+    /// shard locks are held (point-in-time install, same as
+    /// [`install_state`](Self::install_state)); callers needing "buffered
+    /// events replay on top" semantics must quiesce appliers first. The
+    /// global epoch is bumped once.
+    pub fn apply_delta(&self, delta: &StateDelta) {
+        let mut parts: Vec<(FlightMap, Vec<FlightId>)> =
+            (0..self.map.shards()).map(|_| (FlightMap::default(), Vec::new())).collect();
+        for (id, view) in delta.changed() {
+            parts[self.map.shard_of(*id)].0.insert(*id, view.clone());
+        }
+        for id in delta.removed() {
+            parts[self.map.shard_of(*id)].1.push(*id);
+        }
+        let mut guards = self.lock_all();
+        for (g, (changed, removed)) in guards.iter_mut().zip(parts) {
+            let sub =
+                StateDelta::from_parts(changed, removed, delta.base.clone(), delta.as_of.clone());
+            g.apply_delta(&sub);
+        }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Canonical digest of the merged store — identical to the hash an
@@ -469,6 +532,48 @@ mod tests {
         assert_eq!(s.state_hash(), want);
         assert_eq!(s.applied(), events.len() as u64);
         assert!(s.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn sharded_delta_roundtrip_matches_full() {
+        let events = stream(16, 12);
+        let split = events.len() / 2;
+        let s = ShardedEde::new(4);
+        for e in &events[..split] {
+            s.process(e, |_| {}, |_| {});
+        }
+        let base_stamp = VectorTimestamp::from_components(vec![6]);
+        let (base_snap, _) = s.freeze(base_stamp.clone());
+
+        for e in &events[split..] {
+            s.process(e, |_| {}, |_| {});
+        }
+        let as_of = VectorTimestamp::from_components(vec![12]);
+        let (delta, epoch) = s.capture_delta(&base_stamp, as_of.clone()).expect("base in window");
+        assert!(epoch > 0);
+        assert!(delta.changed_count() <= 16);
+
+        // A differently-sharded consumer restores the base and catches up
+        // via the delta: digest-identical to the producer.
+        let t = ShardedEde::new(8);
+        t.install_state(base_snap.into_state());
+        t.apply_delta(&delta);
+        assert_eq!(t.state_hash(), s.state_hash());
+
+        // The delta's as_of chains: it is now a valid base itself.
+        let (next, _) = s
+            .capture_delta(&as_of, VectorTimestamp::from_components(vec![13]))
+            .expect("as_of became a base");
+        assert!(next.is_empty(), "nothing changed since the capture");
+    }
+
+    #[test]
+    fn sharded_delta_unknown_base_falls_back() {
+        let s = ShardedEde::new(4);
+        s.process(&Event::faa_position(1, 1, fix(1.0)), |_| {}, |_| {});
+        assert!(s
+            .capture_delta(&VectorTimestamp::from_components(vec![77]), VectorTimestamp::empty())
+            .is_none());
     }
 
     #[test]

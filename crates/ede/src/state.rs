@@ -8,10 +8,12 @@
 //! canonical digest (iteration-order independent) with which tests and the
 //! experiment harness verify cross-mirror consistency.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use mirror_core::event::{Event, EventBody, FlightId, FlightStatus};
+use mirror_core::timestamp::{StampOrdering, VectorTimestamp};
 
+use crate::delta::StateDelta;
 use crate::flight::FlightView;
 
 // The flight-id hasher lives in `mirror_core::hashing` so partition
@@ -22,6 +24,14 @@ pub use mirror_core::hashing::{BuildFlightHasher, FlightIdHasher};
 /// The flight table: flight id → view, keyed with the cheap
 /// [`FlightIdHasher`].
 pub type FlightMap = HashMap<FlightId, FlightView, BuildFlightHasher>;
+
+/// Per-flight change-epoch table (same cheap hasher as the flight table).
+type EpochMap = HashMap<FlightId, u64, BuildFlightHasher>;
+
+/// How many capture frontiers the store remembers as valid delta bases.
+/// A consumer whose base fell out of this window gets a full snapshot
+/// instead — the window bounds the tombstone set and the log itself.
+pub const DELTA_BASE_WINDOW: usize = 64;
 
 /// The operational state of the OIS: one view per known flight.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -35,6 +45,16 @@ pub struct OperationalState {
     /// [`state_hash`](Self::state_hash), so it never participates in
     /// cross-mirror consistency checks.
     epoch: u64,
+    /// Epoch at which each live flight last changed — the index a
+    /// [`capture_delta`](Self::capture_delta) scan filters against.
+    changed_at: EpochMap,
+    /// Flights removed (migration purges) and the epoch of their removal,
+    /// retained while any remembered base predates the removal.
+    tombstones: EpochMap,
+    /// Capture frontiers this store can serve deltas against: stamp → epoch
+    /// at capture time, appended by [`mark_frontier`](Self::mark_frontier),
+    /// bounded to [`DELTA_BASE_WINDOW`] entries.
+    frontier_log: VecDeque<(VectorTimestamp, u64)>,
 }
 
 impl OperationalState {
@@ -71,6 +91,11 @@ impl OperationalState {
         // absorbed, so it must invalidate snapshot caches too.
         if changed || self.flights.len() != flights_before {
             self.epoch += 1;
+            self.changed_at.insert(event.flight, self.epoch);
+            if self.flights.len() != flights_before {
+                // Re-created after a migration purge: the removal is moot.
+                self.tombstones.remove(&event.flight);
+            }
         }
         changed
     }
@@ -118,9 +143,15 @@ impl OperationalState {
     }
 
     /// Replace this store's contents (used when installing a snapshot).
+    /// The new store derives from none of the previously remembered capture
+    /// frontiers, so the delta base window resets: the first deltas become
+    /// servable again after the next [`mark_frontier`](Self::mark_frontier).
     pub fn install(&mut self, flights: FlightMap) {
         self.flights = flights;
         self.epoch += 1;
+        self.changed_at = self.flights.keys().map(|id| (*id, self.epoch)).collect();
+        self.tombstones.clear();
+        self.frontier_log.clear();
     }
 
     /// Insert-or-overwrite flights from another store (the partition
@@ -130,13 +161,17 @@ impl OperationalState {
         &mut self,
         incoming: impl Iterator<Item = (FlightId, &'a FlightView)>,
     ) {
-        let mut any = false;
+        let mut landed: Vec<FlightId> = Vec::new();
         for (id, view) in incoming {
             self.flights.insert(id, view.clone());
-            any = true;
+            landed.push(id);
         }
-        if any {
+        if !landed.is_empty() {
             self.epoch += 1;
+            for id in landed {
+                self.changed_at.insert(id, self.epoch);
+                self.tombstones.remove(&id);
+            }
         }
     }
 
@@ -145,12 +180,100 @@ impl OperationalState {
     /// anything was removed (the hash changed, caches must refresh).
     pub fn retain_flights(&mut self, keep: impl Fn(FlightId) -> bool) -> usize {
         let before = self.flights.len();
-        self.flights.retain(|id, _| keep(*id));
+        let mut gone: Vec<FlightId> = Vec::new();
+        self.flights.retain(|id, _| {
+            let k = keep(*id);
+            if !k {
+                gone.push(*id);
+            }
+            k
+        });
         let removed = before - self.flights.len();
         if removed > 0 {
             self.epoch += 1;
+            for id in gone {
+                self.changed_at.remove(&id);
+                self.tombstones.insert(id, self.epoch);
+            }
         }
         removed
+    }
+
+    /// Remember the current epoch as the delta base for a capture taken at
+    /// frontier `as_of`. Every snapshot capture calls this, turning the
+    /// capture into a frontier later consumers can hand back to
+    /// [`capture_delta`](Self::capture_delta). A stamp already in the log
+    /// keeps its original (older) entry: serving a delta against the older
+    /// epoch can only resend changes the consumer already holds, which the
+    /// authoritative whole-view entries absorb idempotently.
+    pub fn mark_frontier(&mut self, as_of: &VectorTimestamp) {
+        if self.lookup_base(as_of).is_some() {
+            return;
+        }
+        self.frontier_log.push_back((as_of.clone(), self.epoch));
+        if self.frontier_log.len() > DELTA_BASE_WINDOW {
+            self.frontier_log.pop_front();
+            // Tombstones at or before the oldest remembered base are folded
+            // into every servable delta's base state already.
+            if let Some(&(_, oldest)) = self.frontier_log.front() {
+                self.tombstones.retain(|_, &mut e| e > oldest);
+            }
+        }
+    }
+
+    fn lookup_base(&self, since: &VectorTimestamp) -> Option<u64> {
+        self.frontier_log
+            .iter()
+            .rev()
+            .find(|(stamp, _)| stamp.compare(since) == StampOrdering::Equal)
+            .map(|&(_, epoch)| epoch)
+    }
+
+    /// Capture everything that changed since the capture at frontier
+    /// `since`: flights whose views moved past the base epoch plus the ids
+    /// purged since. Returns `None` when `since` is not a remembered base
+    /// (fell out of the [`DELTA_BASE_WINDOW`], or was never marked) — the
+    /// caller falls back to a full snapshot. `as_of` is the frontier the
+    /// delta brings its consumer to, read *before* the store was frozen
+    /// (the same frontier-before-freeze discipline as full captures).
+    pub fn capture_delta(
+        &self,
+        since: &VectorTimestamp,
+        as_of: VectorTimestamp,
+    ) -> Option<StateDelta> {
+        let base_epoch = self.lookup_base(since)?;
+        let mut changed = FlightMap::default();
+        for (id, &at) in &self.changed_at {
+            if at > base_epoch {
+                changed.insert(*id, self.flights[id].clone());
+            }
+        }
+        let mut removed: Vec<FlightId> =
+            self.tombstones.iter().filter(|&(_, &e)| e > base_epoch).map(|(id, _)| *id).collect();
+        removed.sort_unstable();
+        Some(StateDelta::from_parts(changed, removed, since.clone(), as_of))
+    }
+
+    /// Fold a delta into this store: changed flights overwrite wholesale
+    /// (they are the producer's authoritative views), removed flights drop.
+    /// The caller is responsible for holding state derived from the delta's
+    /// base (see [`StateDelta`] docs). Bumps the epoch when anything moved.
+    pub fn apply_delta(&mut self, delta: &StateDelta) {
+        if delta.is_empty() {
+            return;
+        }
+        self.epoch += 1;
+        for (id, view) in delta.changed() {
+            self.flights.insert(*id, view.clone());
+            self.changed_at.insert(*id, self.epoch);
+            self.tombstones.remove(id);
+        }
+        for id in delta.removed() {
+            if self.flights.remove(id).is_some() {
+                self.changed_at.remove(id);
+                self.tombstones.insert(*id, self.epoch);
+            }
+        }
     }
 
     /// Pin the epoch (engine-internal: keeps it monotone across
@@ -364,6 +487,81 @@ mod tests {
         b.apply(&Event::faa_position(3, 9, fix(12000.0)));
         assert_eq!(a.state_hash(), b.state_hash());
         assert_ne!(a.epoch(), b.epoch());
+    }
+
+    #[test]
+    fn delta_capture_matches_full_replay() {
+        let mut s = OperationalState::new();
+        for f in 0..20u32 {
+            s.apply(&Event::faa_position(1, f, fix(1000.0)));
+        }
+        let base_stamp = VectorTimestamp::from_components(vec![20]);
+        s.mark_frontier(&base_stamp);
+        let base = s.clone();
+
+        // Diverge: touch a few flights, purge one.
+        s.apply(&Event::faa_position(2, 3, fix(2000.0)));
+        s.apply(&Event::delta_status(1, 7, FlightStatus::Landed));
+        s.retain_flights(|id| id != 11);
+        let as_of = VectorTimestamp::from_components(vec![23]);
+
+        let delta = s.capture_delta(&base_stamp, as_of.clone()).expect("base in window");
+        assert_eq!(delta.changed_count(), 2);
+        assert_eq!(delta.removed(), &[11]);
+        assert_eq!(delta.as_of, as_of);
+
+        let mut caught_up = base;
+        caught_up.apply_delta(&delta);
+        assert_eq!(caught_up.state_hash(), s.state_hash());
+    }
+
+    #[test]
+    fn delta_base_out_of_window_is_none() {
+        let mut s = OperationalState::new();
+        let old = VectorTimestamp::from_components(vec![1]);
+        s.mark_frontier(&old);
+        for i in 0..super::DELTA_BASE_WINDOW as u64 {
+            s.apply(&Event::faa_position(i + 2, (i % 5) as u32, fix(i as f64)));
+            s.mark_frontier(&VectorTimestamp::from_components(vec![i + 2]));
+        }
+        assert!(s.capture_delta(&old, VectorTimestamp::empty()).is_none(), "evicted base");
+        assert!(
+            s.capture_delta(&VectorTimestamp::from_components(vec![99]), VectorTimestamp::empty())
+                .is_none(),
+            "never-marked base"
+        );
+    }
+
+    #[test]
+    fn delta_recreated_flight_clears_tombstone() {
+        let mut s = OperationalState::new();
+        s.apply(&Event::faa_position(1, 5, fix(100.0)));
+        let base_stamp = VectorTimestamp::from_components(vec![1]);
+        s.mark_frontier(&base_stamp);
+        let base = s.clone();
+        s.retain_flights(|id| id != 5);
+        s.apply(&Event::faa_position(2, 5, fix(200.0)));
+        let delta =
+            s.capture_delta(&base_stamp, VectorTimestamp::from_components(vec![2])).unwrap();
+        assert!(delta.removed().is_empty(), "re-created flight must not carry a tombstone");
+        let mut caught_up = base;
+        caught_up.apply_delta(&delta);
+        assert_eq!(caught_up.state_hash(), s.state_hash());
+    }
+
+    #[test]
+    fn install_resets_delta_bases() {
+        let mut s = OperationalState::new();
+        s.apply(&Event::faa_position(1, 5, fix(100.0)));
+        let stamp = VectorTimestamp::from_components(vec![1]);
+        s.mark_frontier(&stamp);
+        assert!(s.capture_delta(&stamp, VectorTimestamp::empty()).is_some());
+        let flights = s.flights().clone();
+        s.install(flights);
+        assert!(
+            s.capture_delta(&stamp, VectorTimestamp::empty()).is_none(),
+            "installed store derives from none of the old bases"
+        );
     }
 
     #[test]

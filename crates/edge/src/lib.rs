@@ -22,7 +22,9 @@
 //!   reconnecting client from its last received sequence
 //!   (`Frame::Resume`), falling back to a cached-snapshot reseed
 //!   (`Frame::Reseed`, the §13 single-flight pattern) when the resume
-//!   point has fallen out of the window.
+//!   point has fallen out of the window — or, cheaper, to a **delta
+//!   reseed** (`Frame::DeltaSnapshot`) carrying only the flights changed
+//!   since a capture frontier the client's held state already covers.
 //! * **Slow clients get the paper's own medicine** — per-subscriber
 //!   conflation/overwriting: a slow display's pending buffer holds at most
 //!   the *latest* event per flight and event kind (exactly the overwriting
@@ -46,7 +48,7 @@ pub mod tcp;
 
 pub use server::{
     Delivery, EdgeClient, EdgeConfig, EdgeCounters, EdgeDisconnect, EdgeEvent, EdgeServer,
-    EdgeStats, ResumeError, SnapshotProvider,
+    EdgeStats, ResumeError, SnapshotFn, StateProvider,
 };
 
 use mirror_ede::FlightView;

@@ -53,6 +53,7 @@ use parking_lot::Mutex;
 
 use mirror_core::event::{Event, EventBody, FlightId};
 use mirror_core::ring::{self, MpscSender, RingRecv};
+use mirror_core::timestamp::VectorTimestamp;
 use mirror_echo::wire::{encode_edge_event, encode_frame_shared, Frame};
 use mirror_echo::{RecvStatus, Subscriber, SubscriptionFilter};
 
@@ -96,13 +97,46 @@ impl Default for EdgeConfig {
     }
 }
 
-/// Produces the current state as an encoded snapshot
-/// ([`mirror_echo::wire::encode_snapshot`] bytes) for reseeds. The edge
-/// reads its publication frontier *before* invoking the provider, so the
-/// returned snapshot must reflect at least every event already published
-/// to the edge at call time — true of any capture of the mirror's live
-/// state, since events are published only after they are applied.
-pub type SnapshotProvider = Box<dyn Fn() -> Bytes + Send + Sync>;
+/// Source of client-initialization state for reseeds: full snapshots and,
+/// when the producer still remembers the requested base frontier, cheap
+/// deltas.
+///
+/// Both methods must capture **fresh** — at or after the moment of the
+/// call. The edge reads its publication frontier *before* invoking the
+/// provider, so the returned state must reflect at least every event
+/// already published to the edge at call time — true of any fresh capture
+/// of the mirror's live state, since events are published only after they
+/// are applied. A capture cached on the provider side could predate the
+/// floor read and open a gap between its coverage and the window replay.
+pub trait StateProvider: Send + Sync {
+    /// Encoded full snapshot ([`mirror_echo::wire::encode_snapshot`]
+    /// bytes) plus the frontier it reflects — remembered by the edge as
+    /// the delta base later catch-ups can chain from.
+    fn full(&self) -> (Bytes, VectorTimestamp);
+
+    /// Encoded delta ([`mirror_echo::wire::encode_delta`] bytes) of
+    /// everything changed since `base`, or `None` when the producer no
+    /// longer remembers that frontier (fall back to [`full`](Self::full)).
+    fn delta(&self, base: &VectorTimestamp) -> Option<Bytes>;
+}
+
+/// Full-snapshot-only [`StateProvider`] adapter around a capture closure:
+/// never serves deltas, so every out-of-window resume ships a full
+/// snapshot. Handy for tests and for sites that don't track deltas.
+pub struct SnapshotFn<F>(pub F);
+
+impl<F> StateProvider for SnapshotFn<F>
+where
+    F: Fn() -> (Bytes, VectorTimestamp) + Send + Sync,
+{
+    fn full(&self) -> (Bytes, VectorTimestamp) {
+        (self.0)()
+    }
+
+    fn delta(&self, _base: &VectorTimestamp) -> Option<Bytes> {
+        None
+    }
+}
 
 /// One published event: the shared unit of delivery. Holds the global
 /// publication sequence, the applied event, and the lazily-encoded
@@ -160,6 +194,16 @@ pub enum Delivery {
         /// [`mirror_echo::wire::encode_snapshot`] bytes.
         snapshot: Bytes,
     },
+    /// A delta reseed: fold the delta into state the client already holds
+    /// (its held state covers the delta's base frontier), then continue
+    /// from `pub_seq`. Orders of magnitude cheaper than a full reseed when
+    /// little has changed.
+    DeltaReseed {
+        /// Publication frontier the delta covers.
+        pub_seq: u64,
+        /// [`mirror_echo::wire::encode_delta`] bytes.
+        delta: Bytes,
+    },
 }
 
 impl Delivery {
@@ -170,6 +214,9 @@ impl Delivery {
             Delivery::Reseed { pub_seq, snapshot } => {
                 mirror_echo::wire::encode_reseed(*pub_seq, snapshot)
             }
+            Delivery::DeltaReseed { pub_seq, delta } => {
+                mirror_echo::wire::encode_delta_reseed(*pub_seq, delta)
+            }
         }
     }
 
@@ -178,6 +225,7 @@ impl Delivery {
         match self {
             Delivery::Event(e) => e.pub_seq,
             Delivery::Reseed { pub_seq, .. } => *pub_seq,
+            Delivery::DeltaReseed { pub_seq, .. } => *pub_seq,
         }
     }
 }
@@ -241,6 +289,7 @@ pub struct EdgeCounters {
     conflated: AtomicU64,
     resumed: AtomicU64,
     reseeded: AtomicU64,
+    delta_reseeded: AtomicU64,
     disconnected_slow: AtomicU64,
 }
 
@@ -255,6 +304,7 @@ impl EdgeCounters {
             conflated: self.conflated.load(Ordering::Relaxed),
             resumed: self.resumed.load(Ordering::Relaxed),
             reseeded: self.reseeded.load(Ordering::Relaxed),
+            delta_reseeded: self.delta_reseeded.load(Ordering::Relaxed),
             disconnected_slow: self.disconnected_slow.load(Ordering::Relaxed),
         }
     }
@@ -278,6 +328,9 @@ pub struct EdgeStats {
     pub resumed: u64,
     /// Resumes that fell out of the window and were snapshot-reseeded.
     pub reseeded: u64,
+    /// Resumes that fell out of the window but were served a cheap delta
+    /// against a remembered reseed frontier instead of a full snapshot.
+    pub delta_reseeded: u64,
     /// Clients disconnected for exceeding the pending cap.
     pub disconnected_slow: u64,
 }
@@ -478,7 +531,30 @@ enum WorkMsg {
 struct ReseedEntry {
     floor: u64,
     wire: Bytes,
+    /// Frontier the snapshot reflects — the delta base a client who has
+    /// consumed at least up to `floor` can catch up from.
+    as_of: VectorTimestamp,
     taken: Instant,
+}
+
+/// A cached delta reseed: one per base frontier, same staleness policy as
+/// the full entry. `floor` was read before *its* capture, so serving the
+/// cached pair keeps the floor/coverage invariant.
+struct DeltaReseedEntry {
+    base: VectorTimestamp,
+    floor: u64,
+    wire: Bytes,
+    taken: Instant,
+}
+
+/// Reseed state behind one mutex: the current cached full entry, the
+/// previous entry's `(floor, as_of)` (still a valid delta base for clients
+/// who consumed past its floor), and the cached delta entry.
+#[derive(Default)]
+struct ReseedSlots {
+    current: Option<ReseedEntry>,
+    prev: Option<(u64, VectorTimestamp)>,
+    delta: Option<DeltaReseedEntry>,
 }
 
 struct Inner {
@@ -488,10 +564,10 @@ struct Inner {
     window: Mutex<VecDeque<Arc<EdgeEvent>>>,
     directory: Mutex<HashMap<u64, SubscriptionFilter>>,
     rings: Vec<MpscSender<WorkMsg>>,
-    reseed_slot: Mutex<Option<ReseedEntry>>,
+    reseed_slot: Mutex<ReseedSlots>,
     /// Swappable so a failover can re-point the edge at the successor's
     /// state (lock order: `reseed_slot` first, then `provider`).
-    provider: Mutex<SnapshotProvider>,
+    provider: Mutex<Box<dyn StateProvider>>,
     stop: AtomicBool,
 }
 
@@ -502,8 +578,8 @@ impl Inner {
     /// published before the read — and therefore applied to the mirror
     /// before the capture — is covered: conservative, never a gap.
     fn reseed(&self, min_floor: u64) -> (u64, Bytes) {
-        let mut slot = self.reseed_slot.lock();
-        if let Some(e) = slot.as_ref() {
+        let mut slots = self.reseed_slot.lock();
+        if let Some(e) = slots.current.as_ref() {
             let current = self.pub_seq.load(Ordering::Acquire);
             let fresh_enough = e.floor >= min_floor
                 && current.saturating_sub(e.floor) <= self.cfg.reseed_max_stale_events
@@ -513,9 +589,61 @@ impl Inner {
             }
         }
         let floor = self.pub_seq.load(Ordering::Acquire);
-        let wire = (self.provider.lock())();
-        *slot = Some(ReseedEntry { floor, wire: wire.clone(), taken: Instant::now() });
+        let (wire, as_of) = self.provider.lock().full();
+        // Floor-read-before-capture: the capture happened after the floor
+        // read, so its coverage can only exceed the floor — conservative,
+        // never a gap. (pub_seq is monotone; a regression here would mean
+        // the invariant broke.)
+        debug_assert!(
+            self.pub_seq.load(Ordering::Acquire) >= floor,
+            "publication frontier regressed across a reseed capture"
+        );
+        // The replaced entry's frontier remains a usable delta base for
+        // any client that consumed past its floor.
+        slots.prev = slots.current.take().map(|e| (e.floor, e.as_of));
+        slots.current =
+            Some(ReseedEntry { floor, wire: wire.clone(), as_of, taken: Instant::now() });
         (floor, wire)
+    }
+
+    /// Serve a delta reseed for a client resuming from `last`, when some
+    /// remembered reseed frontier has `floor <= last` — the client's held
+    /// state (that reseed plus every event it consumed since) covers the
+    /// base, so only the changes since need to travel. Returns the floor
+    /// (read before the capture, same invariant as [`reseed`](Self::reseed))
+    /// and the encoded delta; `None` falls back to a full reseed.
+    /// `min_floor` bounds how stale a *cached* delta may be: its floor must
+    /// still be inside the retained window so the replay after it is
+    /// gap-free.
+    fn reseed_delta(&self, last: u64, min_floor: u64) -> Option<(u64, Bytes)> {
+        let mut slots = self.reseed_slot.lock();
+        let base = slots
+            .current
+            .as_ref()
+            .filter(|e| e.floor <= last)
+            .map(|e| e.as_of.clone())
+            .or_else(|| {
+                slots.prev.as_ref().filter(|(floor, _)| *floor <= last).map(|(_, vt)| vt.clone())
+            })?;
+        if let Some(d) = slots.delta.as_ref() {
+            let current = self.pub_seq.load(Ordering::Acquire);
+            let fresh_enough = d.base == base
+                && d.floor >= min_floor
+                && current.saturating_sub(d.floor) <= self.cfg.reseed_max_stale_events
+                && d.taken.elapsed() <= self.cfg.reseed_max_stale;
+            if fresh_enough {
+                return Some((d.floor, d.wire.clone()));
+            }
+        }
+        let floor = self.pub_seq.load(Ordering::Acquire);
+        let wire = self.provider.lock().delta(&base)?;
+        debug_assert!(
+            self.pub_seq.load(Ordering::Acquire) >= floor,
+            "publication frontier regressed across a delta capture"
+        );
+        slots.delta =
+            Some(DeltaReseedEntry { base, floor, wire: wire.clone(), taken: Instant::now() });
+        Some((floor, wire))
     }
 
     fn publish(&self, event: Arc<Event>) {
@@ -708,16 +836,29 @@ fn attach(
         }
         other => {
             // Fresh subscribe, or the resume point fell out of the
-            // window: reseed from a snapshot covering at least the
-            // window floor, so the window replay after it is gap-free.
-            let (floor, wire) = inner.reseed(win_floor.saturating_sub(1));
-            if other.is_some() {
-                c.reseeded.fetch_add(1, Ordering::Relaxed);
-            }
+            // window: reseed so the window replay after it is gap-free.
+            // A resuming client whose held state covers a remembered
+            // reseed frontier gets a cheap delta; everyone else gets a
+            // full snapshot covering at least the window floor.
+            let min_floor = win_floor.saturating_sub(1);
+            let delta = other.and_then(|last| inner.reseed_delta(last, min_floor));
+            let (floor, delivery) = match delta {
+                Some((floor, wire)) => {
+                    c.delta_reseeded.fetch_add(1, Ordering::Relaxed);
+                    (floor, Delivery::DeltaReseed { pub_seq: floor, delta: wire })
+                }
+                None => {
+                    let (floor, wire) = inner.reseed(min_floor);
+                    if other.is_some() {
+                        c.reseeded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (floor, Delivery::Reseed { pub_seq: floor, snapshot: wire })
+                }
+            };
             let mut st = conn.state.lock();
             st.frontier = floor;
             st.consumed = floor;
-            st.queue.push_back(Delivery::Reseed { pub_seq: floor, snapshot: wire });
+            st.queue.push_back(delivery);
             st.queue_high = st.queue_high.max(st.queue.len());
             floor
         }
@@ -763,7 +904,7 @@ pub struct EdgeServer {
 
 impl EdgeServer {
     /// Start an edge with `cfg`, reseeding from `provider`.
-    pub fn start(cfg: EdgeConfig, provider: SnapshotProvider) -> Self {
+    pub fn start(cfg: EdgeConfig, provider: Box<dyn StateProvider>) -> Self {
         let workers = cfg.workers.max(1);
         let counters = Arc::new(EdgeCounters::default());
         let mut rings = Vec::with_capacity(workers);
@@ -780,7 +921,7 @@ impl EdgeServer {
             window: Mutex::new(VecDeque::new()),
             directory: Mutex::new(HashMap::new()),
             rings,
-            reseed_slot: Mutex::new(None),
+            reseed_slot: Mutex::new(ReseedSlots::default()),
             provider: Mutex::new(provider),
             stop: AtomicBool::new(false),
         });
@@ -896,13 +1037,15 @@ impl EdgeServer {
     /// This is the failover re-point: when the mirror this edge fronts is
     /// promoted (or replaced), the edge must capture reseeds from the site
     /// that now applies the events being published — otherwise the
-    /// floor-read-before-capture coverage argument in [`SnapshotProvider`]
-    /// breaks. Pair it with a fresh [`pump_from`](Self::pump_from) on the
-    /// successor's update stream.
-    pub fn set_provider(&self, provider: SnapshotProvider) {
+    /// floor-read-before-capture coverage argument in [`StateProvider`]
+    /// breaks. Remembered delta bases are invalidated along with the
+    /// cached entries (the successor may not remember the predecessor's
+    /// capture frontiers). Pair it with a fresh
+    /// [`pump_from`](Self::pump_from) on the successor's update stream.
+    pub fn set_provider(&self, provider: Box<dyn StateProvider>) {
         let mut slot = self.inner.reseed_slot.lock();
         *self.inner.provider.lock() = provider;
-        *slot = None;
+        *slot = ReseedSlots::default();
     }
 
     /// Stop workers and pumps; connected clients see
@@ -937,15 +1080,56 @@ mod tests {
         Arc::new(Event::faa_position(seq, flight, fix(seq as f64)))
     }
 
-    fn empty_provider() -> SnapshotProvider {
-        Box::new(|| {
+    fn empty_provider() -> Box<dyn StateProvider> {
+        Box::new(SnapshotFn(|| {
             let state = mirror_ede::OperationalState::new();
-            let snap = mirror_ede::Snapshot::capture(
-                &state,
-                mirror_core::timestamp::VectorTimestamp::empty(),
-            );
-            mirror_echo::wire::encode_snapshot(&snap)
-        })
+            let snap = mirror_ede::Snapshot::capture(&state, VectorTimestamp::empty());
+            (mirror_echo::wire::encode_snapshot(&snap), VectorTimestamp::empty())
+        }))
+    }
+
+    /// A delta-capable provider over a shared mutable state, mimicking a
+    /// mirror: captures mark frontiers so later deltas are servable.
+    #[derive(Clone)]
+    struct SharedProvider {
+        state: Arc<Mutex<mirror_ede::OperationalState>>,
+        tick: Arc<AtomicU64>,
+    }
+
+    impl SharedProvider {
+        fn new() -> Self {
+            SharedProvider {
+                state: Arc::new(Mutex::new(mirror_ede::OperationalState::new())),
+                tick: Arc::new(AtomicU64::new(0)),
+            }
+        }
+
+        fn apply(&self, e: &Event) {
+            self.state.lock().apply(e);
+        }
+
+        fn next_stamp(&self) -> VectorTimestamp {
+            let mut vt = VectorTimestamp::empty();
+            vt.advance(0, self.tick.fetch_add(1, Ordering::Relaxed) + 1);
+            vt
+        }
+    }
+
+    impl StateProvider for SharedProvider {
+        fn full(&self) -> (Bytes, VectorTimestamp) {
+            let mut st = self.state.lock();
+            let vt = self.next_stamp();
+            st.mark_frontier(&vt);
+            let snap = mirror_ede::Snapshot::capture(&st, vt.clone());
+            (mirror_echo::wire::encode_snapshot(&snap), vt)
+        }
+
+        fn delta(&self, base: &VectorTimestamp) -> Option<Bytes> {
+            let mut st = self.state.lock();
+            let vt = self.next_stamp();
+            st.mark_frontier(&vt);
+            st.capture_delta(base, vt).map(|d| mirror_echo::wire::encode_delta(&d))
+        }
     }
 
     fn drain(client: &EdgeClient) -> Vec<Delivery> {
@@ -1130,6 +1314,107 @@ mod tests {
             assert_eq!(d.pub_seq(), expect, "gap after reseed");
         }
         assert_eq!(edge.counters().snapshot().reseeded, 1);
+    }
+
+    #[test]
+    fn resume_past_window_serves_delta_against_remembered_base() {
+        let mut cfg = small_cfg();
+        cfg.window = 8;
+        cfg.max_pending = 1024;
+        // Generous staleness so the cached delta survives the test's waits.
+        cfg.reseed_max_stale = std::time::Duration::from_secs(5);
+        let provider = SharedProvider::new();
+        let edge = EdgeServer::start(cfg, Box::new(provider.clone()));
+        let a = edge.subscribe(1, SubscriptionFilter::All);
+        let b = edge.subscribe(2, SubscriptionFilter::All);
+        wait_for("attached", || edge.counters().snapshot().connections == 2);
+        // Both clients consume the initial reseed (base state at the
+        // remembered frontier) plus one live event.
+        let e = pos(1, 100);
+        provider.apply(&e);
+        edge.publish(Arc::clone(&e));
+        wait_for("delivered", || a.backlog() >= 2 && b.backlog() >= 2);
+        drain(&a);
+        drain(&b);
+        let (last_a, last_b) = (a.last_seq(), b.last_seq());
+        a.disconnect();
+        b.disconnect();
+        wait_for("detached", || edge.counters().snapshot().connections == 0);
+        // 20 more events blow the 8-event window; each also lands in the
+        // provider's state (publish-after-apply, like a real mirror).
+        for i in 2..=21u64 {
+            let e = pos(i, i as FlightId);
+            provider.apply(&e);
+            edge.publish(Arc::clone(&e));
+        }
+        // Client A resumes: out of the window, but its held state covers
+        // the initial reseed frontier — a delta travels, not a snapshot.
+        let ra = edge.resume(1, last_a).expect("known client");
+        wait_for("delta reseeded", || ra.backlog() > 0);
+        let got = drain(&ra);
+        let (floor, delta_wire) = match got.split_first() {
+            Some((Delivery::DeltaReseed { pub_seq, delta }, rest)) => {
+                // Deliveries after the delta are contiguous from its floor.
+                for (expect, d) in (*pub_seq + 1..).zip(rest.iter()) {
+                    assert_eq!(d.pub_seq(), expect, "gap after delta reseed");
+                }
+                (*pub_seq, delta.clone())
+            }
+            other => panic!("expected a delta reseed first, got {other:?}"),
+        };
+        assert!(floor >= 21, "floor read at capture covers every publish");
+        let delta = mirror_echo::wire::decode_delta(delta_wire.clone()).expect("decode");
+        assert_eq!(delta.changed_count(), 21, "every flight touched since the base travels");
+        // The delta is a strict subset of state; its wire must be what the
+        // client folds into the state it already holds.
+        assert!(delta.removed().is_empty());
+        // Client B resumes against the same base: the cached delta entry
+        // is served (one capture, shared bytes).
+        let rb = edge.resume(2, last_b).expect("known client");
+        wait_for("second delta reseed", || rb.backlog() > 0);
+        match drain(&rb).split_first() {
+            Some((Delivery::DeltaReseed { delta, .. }, _)) => {
+                assert_eq!(delta.as_ptr(), delta_wire.as_ptr(), "cached delta bytes are shared");
+            }
+            other => panic!("expected a delta reseed, got {other:?}"),
+        }
+        let stats = edge.counters().snapshot();
+        assert_eq!(stats.delta_reseeded, 2);
+        assert_eq!(stats.reseeded, 0, "no full reseed was needed");
+    }
+
+    #[test]
+    fn set_provider_forgets_delta_bases() {
+        let mut cfg = small_cfg();
+        cfg.window = 8;
+        cfg.max_pending = 1024;
+        let provider = SharedProvider::new();
+        let edge = EdgeServer::start(cfg, Box::new(provider.clone()));
+        let client = edge.subscribe(1, SubscriptionFilter::All);
+        wait_for("attached", || edge.counters().snapshot().connections == 1);
+        let e = pos(1, 100);
+        provider.apply(&e);
+        edge.publish(e);
+        wait_for("delivered", || client.backlog() >= 2);
+        drain(&client);
+        let last = client.last_seq();
+        client.disconnect();
+        wait_for("detached", || edge.counters().snapshot().connections == 0);
+        for i in 2..=21u64 {
+            let e = pos(i, i as FlightId);
+            provider.apply(&e);
+            edge.publish(e);
+        }
+        // A failover re-point: the successor does not remember the old
+        // provider's capture frontiers, so the resume must fall back to a
+        // full reseed rather than chain a delta from a forgotten base.
+        edge.set_provider(Box::new(SharedProvider::new()));
+        let resumed = edge.resume(1, last).expect("known client");
+        wait_for("reseeded", || resumed.backlog() > 0);
+        assert!(matches!(resumed.poll(), Ok(Some(Delivery::Reseed { .. }))));
+        let stats = edge.counters().snapshot();
+        assert_eq!(stats.delta_reseeded, 0);
+        assert_eq!(stats.reseeded, 1);
     }
 
     #[test]

@@ -97,12 +97,12 @@ fn build_event(i: usize, flight: FlightId, kind: &RawKind, ctr: &mut Counters) -
     }
 }
 
-fn empty_snapshot_provider() -> Box<dyn Fn() -> bytes::Bytes + Send + Sync> {
-    Box::new(|| {
+fn empty_snapshot_provider() -> Box<dyn mirror_edge::StateProvider> {
+    Box::new(mirror_edge::SnapshotFn(|| {
         let state = OperationalState::new();
         let snap = Snapshot::capture(&state, VectorTimestamp::empty());
-        mirror_echo::wire::encode_snapshot(&snap)
-    })
+        (mirror_echo::wire::encode_snapshot(&snap), VectorTimestamp::empty())
+    }))
 }
 
 proptest! {
@@ -157,6 +157,9 @@ proptest! {
                 Ok(Some(Delivery::Reseed { pub_seq, .. })) => {
                     // Initial attach only: empty snapshot at floor 0.
                     prop_assert_eq!(pub_seq, 0);
+                }
+                Ok(Some(d @ Delivery::DeltaReseed { .. })) => {
+                    panic!("fresh subscribe must not receive a delta reseed: {d:?}")
                 }
                 Ok(None) => break,
                 Err(e) => panic!("disconnected: {e}"),

@@ -12,12 +12,12 @@ use mirror_ede::{OperationalState, Snapshot};
 use mirror_edge::tcp::EdgeTcp;
 use mirror_edge::{EdgeConfig, EdgeServer};
 
-fn provider() -> Box<dyn Fn() -> bytes::Bytes + Send + Sync> {
-    Box::new(|| {
+fn provider() -> Box<dyn mirror_edge::StateProvider> {
+    Box::new(mirror_edge::SnapshotFn(|| {
         let state = OperationalState::new();
         let snap = Snapshot::capture(&state, VectorTimestamp::empty());
-        mirror_echo::wire::encode_snapshot(&snap)
-    })
+        (mirror_echo::wire::encode_snapshot(&snap), VectorTimestamp::empty())
+    }))
 }
 
 fn pos(seq: u64, flight: u32) -> Arc<Event> {

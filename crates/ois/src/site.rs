@@ -18,12 +18,20 @@ use mirror_core::checkpoint::MainUnitResponder;
 use mirror_core::event::Event;
 use mirror_core::metrics::{AuxCounters, DelayStats, TimeSeries};
 use mirror_core::ControlMsg;
-use mirror_ede::snapshot::SNAPSHOT_FLIGHT_WIRE_SIZE;
 use mirror_ede::Ede;
 use mirror_sim::engine::{NodeId, SimProcess, Step};
 use mirror_sim::{CostModel, SimTime};
 
 use crate::payload::Payload;
+
+/// Per-flight record size the simulation's snapshot cost model is
+/// calibrated at. Deliberately decoupled from the runtime encoder's
+/// [`SNAPSHOT_FLIGHT_WIRE_SIZE`](mirror_ede::SNAPSHOT_FLIGHT_WIRE_SIZE):
+/// the figures' service-rate parameters were fit against this record
+/// size (the paper's OIS record format is not our wire format), so
+/// retuning the wire encoder must not silently re-shape the reproduced
+/// figures. Exact live-path accounting uses `FlightView::wire_size`.
+const CALIBRATED_SNAPSHOT_ENTRY_BYTES: usize = 69;
 
 /// Metrics collected at one site during a run.
 #[derive(Debug, Default)]
@@ -254,7 +262,7 @@ impl SiteProcess {
     /// the fixed record plus the fraction of event payload that persists
     /// into state.
     fn snapshot_entry_bytes(&self) -> usize {
-        SNAPSHOT_FLIGHT_WIRE_SIZE
+        CALIBRATED_SNAPSHOT_ENTRY_BYTES
             + (self.cost.state_record_fraction * self.avg_event_bytes) as usize
     }
 

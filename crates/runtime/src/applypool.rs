@@ -208,6 +208,10 @@ fn worker_loop(
                 }
                 sink.counters.processed.fetch_add(applied, Ordering::Relaxed);
                 sink.counters.apply_batches.fetch_add(1, Ordering::Relaxed);
+                // The staleness gauge's raw signal: when this site last
+                // moved its applied frontier. `now` is the batch's single
+                // clock sample, so the stamp costs no extra clock read.
+                sink.counters.last_apply_us.fetch_max(now, Ordering::Relaxed);
                 if delay_count > 0 {
                     sink.counters.delay_sum_us.fetch_add(delay_sum, Ordering::Relaxed);
                     sink.counters.delay_count.fetch_add(delay_count, Ordering::Relaxed);

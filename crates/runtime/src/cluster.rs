@@ -37,7 +37,7 @@ use mirror_echo::channel::{EventChannel, Subscriber};
 use mirror_echo::resilient::{LinkHealth, LinkMonitor};
 use mirror_echo::wire::SharedEvent;
 use mirror_ede::Snapshot;
-use mirror_edge::{EdgeConfig, EdgeServer, EdgeStats, SnapshotProvider};
+use mirror_edge::{EdgeConfig, EdgeServer, EdgeStats};
 
 use crate::clock::RuntimeClock;
 use crate::durability::{DurabilityConfig, Journal, ResyncOutcome, ResyncSource};
@@ -125,6 +125,16 @@ pub struct SiteStats {
     /// Shard load imbalance: busiest shard's applied count over the
     /// per-shard mean (1.0 = perfectly even, 0.0 = nothing applied yet).
     pub shard_imbalance: f64,
+    /// Staleness gauge, in events: how far this site's applied-event count
+    /// trails the central's at the stats snapshot (0 for the central row).
+    /// Under selective/coalescing mirror configurations a mirror
+    /// legitimately processes fewer events than the central, so a steady
+    /// nonzero value here reflects thinning, not lag — watch the *trend*.
+    pub staleness_events: u64,
+    /// Staleness gauge, in µs: how far this site's last
+    /// frontier-advancing apply trails the central's (0 for the central
+    /// row, and 0 until both sites have applied at least once).
+    pub staleness_us: u64,
 }
 
 /// Point-in-time statistics across a running cluster.
@@ -442,23 +452,19 @@ impl Cluster {
         site: SiteId,
         cfg: EdgeConfig,
     ) -> Result<Arc<EdgeServer>, MembershipError> {
-        let (provider, updates): (SnapshotProvider, Subscriber<Event>) =
+        let (provider, updates): (Box<dyn mirror_edge::StateProvider>, Subscriber<Event>) =
             if site == mirror_core::CENTRAL_SITE {
                 let central = read(&self.central);
-                let capture = central.capture_fn();
                 (
-                    Box::new(move || mirror_echo::wire::encode_snapshot(&capture())),
+                    Box::new(crate::statesync::SyncStateProvider(central.state_sync())),
                     central.subscribe_updates(),
                 )
             } else {
                 match self.try_mirror(site) {
-                    Some(m) => {
-                        let capture = m.capture_fn();
-                        (
-                            Box::new(move || mirror_echo::wire::encode_snapshot(&capture())),
-                            m.subscribe_updates(),
-                        )
-                    }
+                    Some(m) => (
+                        Box::new(crate::statesync::SyncStateProvider(m.state_sync())),
+                        m.subscribe_updates(),
+                    ),
                     None => {
                         return Err(match self.membership.view().state_of(site) {
                             Some(SiteState::Retired) => MembershipError::Retired(site),
@@ -504,29 +510,57 @@ impl Cluster {
     /// A point-in-time statistics snapshot across the cluster.
     pub fn stats(&self) -> ClusterStats {
         use std::sync::atomic::Ordering;
-        let site =
-            |c: &crate::site::SiteCounters, shard_applied: Vec<u64>, shard_imbalance: f64| {
-                SiteStats {
-                    processed: c.processed.load(Ordering::Relaxed),
-                    mirrored: c.mirrored.load(Ordering::Relaxed),
-                    snapshots: c.snapshots.load(Ordering::Relaxed),
-                    adaptations: c.adaptations.load(Ordering::Relaxed),
-                    mean_update_delay_us: c.mean_delay_us(),
-                    requests_served: c.requests_served.load(Ordering::Relaxed),
-                    mean_request_latency_us: c.mean_request_latency_us(),
-                    snapshot_cache_hits: c.snapshot_cache_hits.load(Ordering::Relaxed),
-                    snapshot_cache_misses: c.snapshot_cache_misses.load(Ordering::Relaxed),
-                    shard_applied,
-                    shard_imbalance,
+        let site = |c: &crate::site::SiteCounters,
+                    shard_applied: Vec<u64>,
+                    shard_imbalance: f64,
+                    central_frontier: Option<(u64, u64)>| {
+            // The per-mirror staleness gauge: applied-frontier lag behind
+            // the central, in events and in wall time. `None` marks the
+            // central's own row (always 0 by definition).
+            let (staleness_events, staleness_us) = match central_frontier {
+                None => (0, 0),
+                Some((central_processed, central_apply_us)) => {
+                    let apply_us = c.last_apply_us.load(Ordering::Relaxed);
+                    let us = if apply_us == 0 || central_apply_us == 0 {
+                        0 // one side has not applied yet: no signal
+                    } else {
+                        central_apply_us.saturating_sub(apply_us)
+                    };
+                    (central_processed.saturating_sub(c.processed.load(Ordering::Relaxed)), us)
                 }
             };
+            SiteStats {
+                processed: c.processed.load(Ordering::Relaxed),
+                mirrored: c.mirrored.load(Ordering::Relaxed),
+                snapshots: c.snapshots.load(Ordering::Relaxed),
+                adaptations: c.adaptations.load(Ordering::Relaxed),
+                mean_update_delay_us: c.mean_delay_us(),
+                requests_served: c.requests_served.load(Ordering::Relaxed),
+                mean_request_latency_us: c.mean_request_latency_us(),
+                snapshot_cache_hits: c.snapshot_cache_hits.load(Ordering::Relaxed),
+                snapshot_cache_misses: c.snapshot_cache_misses.load(Ordering::Relaxed),
+                shard_applied,
+                shard_imbalance,
+                staleness_events,
+                staleness_us,
+            }
+        };
         let central = read(&self.central);
         let sites = read(&self.sites);
+        let frontier = (
+            central.counters().processed.load(Ordering::Relaxed),
+            central.counters().last_apply_us.load(Ordering::Relaxed),
+        );
         ClusterStats {
-            central: site(central.counters(), central.shard_applied(), central.shard_imbalance()),
+            central: site(
+                central.counters(),
+                central.shard_applied(),
+                central.shard_imbalance(),
+                None,
+            ),
             mirrors: sites
                 .values()
-                .map(|m| site(m.counters(), m.shard_applied(), m.shard_imbalance()))
+                .map(|m| site(m.counters(), m.shard_applied(), m.shard_imbalance(), Some(frontier)))
                 .collect(),
             mirror_ids: sites.keys().copied().collect(),
             epoch: self.membership.epoch(),
@@ -712,16 +746,24 @@ impl Cluster {
         );
         // Subscriptions are live; seed from the shared cached frame.
         let (served, floor) = central.seed_snapshot();
-        let frontier = served.as_of.clone();
-        replacement.seed(served.into_snapshot().into_state(), frontier);
+        let seed_as_of = served.as_of.clone();
+        replacement.seed(served.into_snapshot().into_state(), seed_as_of.clone());
         // Bridge the cached capture to subscribe-time: replay from the
-        // floor recorded at the capture. A gap (floor pruned from memory
-        // AND log meanwhile) falls back to a fresh live capture, which is
-        // taken after the subscriptions and therefore needs no replay.
+        // floor recorded at the capture. On a gap (floor pruned from
+        // memory AND log meanwhile) catch up with a delta from the seed's
+        // frontier — the seed capture is a marked delta base, so only the
+        // flights that changed since move; if the base was forgotten, fall
+        // back to a fresh full capture, which is taken after the
+        // subscriptions and therefore needs no replay.
         if let ResyncOutcome::Gap { .. } = Self::resync_with(&central, &self.data, floor) {
-            let fresh = central.snapshot();
-            let frontier = fresh.as_of.clone();
-            replacement.seed(fresh.into_state(), frontier);
+            match central.state_sync().delta_since(&seed_as_of) {
+                Some((delta, _hit)) => replacement.apply_delta(delta.into_delta()),
+                None => {
+                    let fresh = central.state_sync().capture_now();
+                    let frontier = fresh.as_of.clone();
+                    replacement.seed(fresh.into_snapshot().into_state(), frontier);
+                }
+            }
         }
         let epoch = self.membership.admit(site)?;
         central.admit_mirror(site, epoch);
@@ -816,11 +858,14 @@ impl Cluster {
             self.inbox_capacity,
         );
         // Subscriptions are live; now capture the recovery state and seed.
-        let snapshot = central.snapshot();
+        // The capture must be *fresh* (no cached frame): rejoin replays no
+        // floor, so a pre-subscribe capture would leave a silent gap
+        // between its frontier and subscribe-time.
+        let snapshot = central.state_sync().capture_now();
         let frontier = snapshot.as_of.clone();
         // By-value restore: the captured flight map moves into the seed
         // instead of being deep-cloned a second time.
-        replacement.seed(snapshot.into_state(), frontier);
+        replacement.seed(snapshot.into_snapshot().into_state(), frontier);
         central.readmit_mirror(site);
         write(&self.sites).insert(site, replacement);
         Ok(())
@@ -1172,8 +1217,9 @@ impl Cluster {
         if !repointed.is_empty() {
             let central = read(&self.central);
             for edge in repointed {
-                let capture = central.capture_fn();
-                edge.set_provider(Box::new(move || mirror_echo::wire::encode_snapshot(&capture())));
+                edge.set_provider(Box::new(crate::statesync::SyncStateProvider(
+                    central.state_sync(),
+                )));
                 edge.pump_from(central.subscribe_updates());
             }
         }

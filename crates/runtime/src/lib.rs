@@ -25,7 +25,8 @@ pub mod failover;
 pub mod partition;
 pub mod requests;
 pub mod site;
-pub mod snapcache;
+pub mod statesync;
+pub mod wan;
 
 pub use applypool::{ApplyPool, ApplyPoolConfig, ApplySink};
 pub use clock::RuntimeClock;
@@ -37,4 +38,8 @@ pub use requests::{
     GatewayConfig, PartitionTable, RequestClient, RequestError, RequestGate, RequestGateway,
 };
 pub use site::{CentralSite, MirrorSite, SiteOverload, DEFAULT_MAIN_RING_CAPACITY};
-pub use snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};
+pub use statesync::{
+    ServedDelta, ServedSnapshot, SnapshotCache, SnapshotCachePolicy, StateSync, SyncStateProvider,
+    Transfer,
+};
+pub use wan::{WanMirror, WanMirrorConfig, WanReadError, WanResync};

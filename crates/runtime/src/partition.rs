@@ -364,9 +364,11 @@ impl PartitionedCluster {
             }
             return Err(MigrateError::DrainTimeout);
         }
-        // Phase 3: capture the slot's flights from the drained source.
-        let snap =
-            source.cluster.snapshot(mirror_core::CENTRAL_SITE).expect("source central snapshot");
+        // Phase 3: capture the slot's flights from the drained source,
+        // through its unified state-transfer provider (a fresh capture —
+        // the drain barrier already guaranteed the frontier covers the
+        // cutover watermark).
+        let snap = source.cluster.central().state_sync().capture_now();
         let mut flights = FlightMap::default();
         for (&id, view) in snap.iter() {
             if PartitionMap::slot_of(id) == slot {

@@ -34,7 +34,7 @@ use mirror_core::{FlightId, GroupId, PartitionMap};
 use mirror_ede::Snapshot;
 
 use crate::site::SiteCounters;
-use crate::snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};
+use crate::statesync::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};
 
 /// A request job: answered with a served (cache-shared) snapshot, or a
 /// [`RequestError::Unavailable`] when the serving site is mid-takeover.

@@ -38,12 +38,12 @@ use mirror_core::ControlMsg;
 use mirror_echo::channel::{EventChannel, Publisher, Subscriber};
 use mirror_echo::resilient::{LinkEvent, LinkHealth, LinkMonitor};
 use mirror_echo::wire::SharedEvent;
-use mirror_ede::{OperationalState, ShardedEde, Snapshot};
+use mirror_ede::{OperationalState, ShardedEde, Snapshot, StateDelta};
 
 use crate::applypool::{idle_backoff, ApplyPool, ApplyPoolConfig, ApplySink};
 use crate::clock::RuntimeClock;
 use crate::durability::Journal;
-use crate::snapcache::{ServedSnapshot, SnapshotCache, SnapshotCachePolicy};
+use crate::statesync::{ServedSnapshot, SnapshotCachePolicy, StateSync};
 
 /// How often an idle aux thread flushes coalescing buffers.
 const FLUSH_PERIOD: Duration = Duration::from_millis(20);
@@ -99,6 +99,12 @@ enum MainMsg {
     /// purge after a slot moves away). The cell acks with the number of
     /// flights removed (`u64::MAX` = still pending).
     Retain(Arc<dyn Fn(mirror_core::FlightId) -> bool + Send + Sync>, Arc<AtomicU64>),
+    /// Fold a delta snapshot into the store (gap resync / WAN catch-up):
+    /// changed flights overwrite, removed flights drop, under an
+    /// apply-pool quiesce so the fold serializes with dispatch order, and
+    /// the processed frontier advances to the delta's `as_of`. The flag
+    /// acks completion.
+    Delta(Box<StateDelta>, Arc<AtomicBool>),
     Stop,
 }
 
@@ -110,6 +116,7 @@ impl std::fmt::Debug for MainMsg {
             MainMsg::Seed(..) => f.write_str("Seed(..)"),
             MainMsg::Merge(..) => f.write_str("Merge(..)"),
             MainMsg::Retain(..) => f.write_str("Retain(..)"),
+            MainMsg::Delta(..) => f.write_str("Delta(..)"),
             MainMsg::Stop => f.write_str("Stop"),
         }
     }
@@ -145,6 +152,11 @@ pub struct SiteCounters {
     /// different partition group (`RequestError::WrongPartition`) — the
     /// misroute signal the ois balancer re-routes on.
     pub wrong_partition: AtomicU64,
+    /// Shared-clock timestamp (µs) of the most recent apply-worker
+    /// bookkeeping flush — the raw signal behind the per-mirror staleness
+    /// gauge (central's stamp minus a mirror's stamp bounds how long the
+    /// mirror's applied frontier has trailed). 0 until the first flush.
+    pub last_apply_us: AtomicU64,
 }
 
 impl SiteCounters {
@@ -233,6 +245,9 @@ impl std::error::Error for SiteOverload {}
 /// Common runtime machinery for one site.
 struct SiteCore {
     shared: Arc<SiteShared>,
+    /// The site's unified state-transfer provider (DESIGN.md §19): every
+    /// seed/resync/reseed path captures through it.
+    sync: Arc<StateSync>,
     handle: MirrorHandle,
     inbox_tx: Sender<SiteMsg>,
     /// Direct line to the main thread (mirror rejoin seeding).
@@ -276,6 +291,35 @@ impl SiteCore {
             pending_gauge: Arc::new(AtomicU64::new(0)),
             clock,
         });
+
+        // The unified state-transfer provider. Frontier before the
+        // all-shard freeze in both capture closures: a served frontier may
+        // only *trail* the state it ships with, so replays on top are
+        // idempotent and nothing after it can be missing. Wider-than-
+        // gateway staleness: every consumer either replays the data
+        // channel from a floor recorded before the capture (seeds) or
+        // asked for a fresh capture explicitly (edge reseeds, rejoin).
+        let sync = {
+            let full_shared = Arc::clone(&shared);
+            let delta_shared = Arc::clone(&shared);
+            let floor_handle = handle.clone();
+            Arc::new(StateSync::new(
+                SnapshotCachePolicy {
+                    max_stale_events: 256,
+                    max_stale: Duration::from_millis(100),
+                },
+                Arc::clone(&shared.epoch),
+                move || {
+                    let as_of: VectorTimestamp = full_shared.responder.lock().processed().clone();
+                    full_shared.ede.freeze(as_of)
+                },
+                move |base| {
+                    let as_of: VectorTimestamp = delta_shared.responder.lock().processed().clone();
+                    delta_shared.ede.capture_delta(base, as_of)
+                },
+                move || floor_handle.truncation_floor(),
+            ))
+        };
 
         // --- aux thread -----------------------------------------------------
         let aux_handle = handle.clone();
@@ -408,6 +452,20 @@ impl SiteCore {
                             pool.quiesce(|| n = main_shared.ede.retain_flights(|f| keep(f)));
                             removed.store(n as u64, Ordering::Release);
                         }
+                        MainMsg::Delta(delta, done) => {
+                            // Same quiesce discipline as Seed/Merge: the
+                            // fold lands between two well-defined batches
+                            // of applies, then the frontier advances to
+                            // the delta's capture frontier. Events racing
+                            // the fold (published after the capture but
+                            // dispatched before this message) may be
+                            // overwritten and then re-converge off the
+                            // stream — the same idempotent-absorption
+                            // story as the full-seed install.
+                            pool.quiesce(|| main_shared.ede.apply_delta(&delta));
+                            main_shared.responder.lock().record_processed(&delta.as_of);
+                            done.store(true, Ordering::Release);
+                        }
                         MainMsg::Ctrl(m) => match &m {
                             ControlMsg::Chkpt { .. } => {
                                 let report = MonitorReport {
@@ -442,6 +500,7 @@ impl SiteCore {
         (
             SiteCore {
                 shared,
+                sync,
                 handle,
                 inbox_tx,
                 seed_tx: main_tx,
@@ -604,16 +663,32 @@ macro_rules! site_common_impl {
             Arc::clone(&self.core.shared.pending_gauge)
         }
 
-        /// A detached capture closure producing this site's state snapshot
-        /// at its processed frontier, without borrowing the site — hand it
-        /// to long-lived consumers such as an edge tier's reseed provider.
-        /// Frontier first, then the all-shard freeze (the frontier may only
-        /// trail the state, never lead it), same as the gateway path.
-        pub fn capture_fn(&self) -> impl Fn() -> Snapshot + Send + Sync + 'static {
-            let shared = Arc::clone(&self.core.shared);
-            move || {
-                let as_of: VectorTimestamp = shared.responder.lock().processed().clone();
-                shared.ede.freeze(as_of).0
+        /// This site's unified state-transfer provider: the single capture
+        /// point behind mirror seeding, partition resync, edge reseeds and
+        /// WAN delta catch-up (DESIGN.md §19). Cheap to clone and safe to
+        /// hold beyond the site's lifetime (captures after stop simply
+        /// freeze the final state).
+        pub fn state_sync(&self) -> Arc<crate::statesync::StateSync> {
+            Arc::clone(&self.core.sync)
+        }
+
+        /// Fold a captured delta into this site's live store, then advance
+        /// the applied frontier to the delta's capture frontier. Runs under
+        /// an apply-pool quiesce (same discipline as [`seed`](Self::seed) /
+        /// [`merge_seed`](Self::merge_seed)); blocks until visible so the
+        /// caller can immediately snapshot or serve reads.
+        pub fn apply_delta(&self, delta: mirror_ede::StateDelta) {
+            let done = Arc::new(AtomicBool::new(false));
+            let msg = MainMsg::Delta(Box::new(delta), Arc::clone(&done));
+            if self.core.seed_tx.send(msg).is_err() {
+                return; // apply loop already gone (site stopping)
+            }
+            let mut spins = 0u32;
+            while !done.load(Ordering::Acquire) {
+                if self.core.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                idle_backoff(&mut spins);
             }
         }
 
@@ -755,17 +830,6 @@ pub struct CentralSite {
     /// collection by [`take_scale_directives`](Self::take_scale_directives)
     /// (the cluster drains them into membership changes).
     scale: Arc<Mutex<Vec<ScaleDecision>>>,
-    /// Seed-snapshot cache for elastic scale-out: mirrors admitted in one
-    /// burst share a single state capture (and, over bridges, one wire
-    /// frame) instead of deep-cloning the flight map per admission.
-    seed_cache: SnapshotCache,
-    /// Backup-queue truncation floor recorded when the cached seed
-    /// snapshot was captured; replaying the data channel from this floor
-    /// bridges a (bounded-stale) cached snapshot to subscribe-time.
-    seed_floor: Arc<Mutex<u64>>,
-    /// Serializes [`seed_snapshot`](Self::seed_snapshot) so the returned
-    /// (snapshot, floor) pair is always coherent.
-    seed_gate: Mutex<()>,
 }
 
 /// Shared registry of transport link monitors, keyed by mirror site.
@@ -940,15 +1004,6 @@ impl CentralSite {
             links: Arc::new(Mutex::new(Vec::new())),
             journal,
             scale,
-            // Wider-than-gateway staleness: seeding tolerates any bounded
-            // staleness because the admitting caller replays the data
-            // channel from the recorded floor on top of the seed.
-            seed_cache: SnapshotCache::new(SnapshotCachePolicy {
-                max_stale_events: 256,
-                max_stale: Duration::from_millis(100),
-            }),
-            seed_floor: Arc::new(Mutex::new(0)),
-            seed_gate: Mutex::new(()),
         };
         let stop = Arc::clone(&site.core.stop);
         let crashed = Arc::clone(&site.core.crashed);
@@ -1062,21 +1117,7 @@ impl CentralSite {
     /// shares one capture through the cache (the PR-§13 single-flight
     /// pattern applied to seeding).
     pub fn seed_snapshot(&self) -> (ServedSnapshot, u64) {
-        let _gate = self.seed_gate.lock();
-        let live_epoch = self.core.shared.epoch.load(Ordering::Acquire);
-        let floor_cell = Arc::clone(&self.seed_floor);
-        let shared = Arc::clone(&self.core.shared);
-        let handle = self.core.handle.clone();
-        let (served, _hit) = self.seed_cache.get(live_epoch, move || {
-            let floor = handle.truncation_floor();
-            *floor_cell.lock() = floor;
-            // Frontier before state, as everywhere: the frontier may only
-            // trail the state a snapshot reflects, never lead it.
-            let as_of: VectorTimestamp = shared.responder.lock().processed().clone();
-            shared.ede.freeze(as_of)
-        });
-        let floor = *self.seed_floor.lock();
-        (served, floor)
+        self.core.sync.seed()
     }
 
     /// Record `monitor` as the transport link serving `site`, so

@@ -104,6 +104,19 @@ fn run_client(
                     state = snap.into_state();
                     last = pub_seq;
                 }
+                Ok(Polled::Frame(Frame::DeltaSnapshot { pub_seq, delta })) => {
+                    // A delta reseed: the resume fell behind the retained
+                    // window but the server still remembered the client's
+                    // frontier as a delta base — only the flights that
+                    // changed since travel, folded onto held state.
+                    assert!(
+                        pub_seq >= last,
+                        "client {client}: delta reseed floor {pub_seq} below consumed {last}"
+                    );
+                    let d = mirror_echo::wire::decode_delta(delta).expect("decode delta reseed");
+                    state.apply_delta(&d);
+                    last = pub_seq;
+                }
                 Ok(Polled::Frame(Frame::EdgeEvent { pub_seq, event })) => {
                     // Strictly increasing: no duplicate, no regression —
                     // the resume replay starts exactly after last_seq.

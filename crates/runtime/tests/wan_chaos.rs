@@ -1,0 +1,165 @@
+//! WAN mirror chaos: bounded-staleness reads and delta catch-up across a
+//! partition of the shaped wide-area link.
+//!
+//! The scenario the WAN tier exists for: a geo-replica streams the
+//! central's applied updates through a lossy, delayed link; the link is
+//! severed mid-storm; the replica's reads must start **refusing** once the
+//! outage outlives the staleness bound (never silently serving stale
+//! flights); and after the link heals, one [`WanMirror::resync`] through
+//! the central's unified `StateSync` provider closes the divergence with a
+//! **delta** — only the flights touched during the outage travel — and
+//! converges the replica to the central's exact state hash.
+//!
+//! All link randomness is seeded, so the run reproduces from its seed.
+
+use std::time::{Duration, Instant};
+
+use mirror_core::event::{Event, PositionFix};
+use mirror_echo::LinkProfile;
+use mirror_runtime::{Cluster, ClusterConfig, WanMirror, WanMirrorConfig, WanReadError};
+
+const FLIGHTS: u32 = 64;
+const STALENESS_BOUND: Duration = Duration::from_millis(300);
+const DEADLINE: Duration = Duration::from_secs(30);
+
+fn fix(seq: u64) -> PositionFix {
+    PositionFix {
+        lat: seq as f64 * 0.01,
+        lon: -70.0,
+        alt_ft: 33_000.0,
+        speed_kts: 470.0,
+        heading_deg: 180.0,
+    }
+}
+
+/// Wait until the replica's pump has drained: `applied` stable across a
+/// few polls longer than the link's worst-case delay.
+fn wait_pump_drained(wan: &WanMirror, deadline: Instant) {
+    let mut last = wan.applied();
+    let mut stable = 0;
+    while stable < 5 {
+        assert!(Instant::now() < deadline, "pump never drained (applied={last})");
+        std::thread::sleep(Duration::from_millis(20));
+        let now = wan.applied();
+        if now == last {
+            stable += 1;
+        } else {
+            stable = 0;
+            last = now;
+        }
+    }
+}
+
+#[test]
+fn partition_heal_resync_is_delta_and_bounded_staleness_holds() {
+    let cluster = Cluster::start(ClusterConfig { mirrors: 1, ..Default::default() });
+    let deadline = Instant::now() + DEADLINE;
+
+    // A fast-but-lossy link so the healthy phase streams with real loss
+    // and jitter without slowing the test down.
+    let wan = WanMirror::connect(
+        &cluster.central(),
+        WanMirrorConfig {
+            link: LinkProfile::new(5, 2, 20),
+            seed: 0xC1A0,
+            max_staleness: STALENESS_BOUND,
+        },
+    );
+
+    // Phase A — healthy streaming: a storm across every flight.
+    let mut seq = 0u64;
+    for _ in 0..30 {
+        for f in 0..FLIGHTS {
+            seq += 1;
+            cluster.submit(Event::faa_position(seq, f, fix(seq)));
+        }
+    }
+    assert!(cluster.wait_all_processed(seq, Duration::from_secs(10)));
+    wait_pump_drained(&wan, deadline);
+    assert!(wan.applied() > 0, "the pump must have streamed events");
+
+    // Healthy reads serve, and never error.
+    let view = wan.read(0).expect("healthy read serves");
+    assert!(view.is_some(), "flight 0 must be present on the replica");
+
+    // The shaped link lost frames, so close the healthy-phase divergence
+    // once: this also plants a fresh delta base for the partition test.
+    let first = wan.resync();
+    assert_eq!(
+        wan.state_hash(),
+        cluster.state_hashes()[0],
+        "post-resync replica must match the central exactly"
+    );
+    assert!(first.wire_bytes > 0);
+
+    // Phase B — partition mid-storm: sever the link, then touch a small
+    // subset of flights (the divergence the outage accumulates).
+    wan.partition();
+    assert!(wan.is_partitioned());
+    let touched = u64::from(FLIGHTS) / 16; // ~6% of the flight population
+    for f in 0..touched as u32 {
+        seq += 1;
+        cluster.submit(Event::faa_position(seq, f, fix(seq)));
+    }
+    assert!(cluster.wait_all_processed(seq, Duration::from_secs(10)));
+
+    // Inside the bound the replica still serves (stale but covered)…
+    assert!(wan.read(0).is_ok(), "reads inside the staleness bound must serve");
+
+    // …and once the outage outlives the bound, reads refuse instead of
+    // lying. Poll rather than sleep-once so the assertion is sharp.
+    loop {
+        assert!(Instant::now() < deadline, "staleness bound never tripped");
+        match wan.read(0) {
+            Ok(_) => std::thread::sleep(Duration::from_millis(10)),
+            Err(WanReadError::StaleBeyondBound { stale_for, bound }) => {
+                assert_eq!(bound, STALENESS_BOUND);
+                assert!(stale_for > bound, "refusal only after the bound: {stale_for:?}");
+                break;
+            }
+        }
+    }
+    assert!(
+        wan.stale_for().expect("partition started the stale clock") > STALENESS_BOUND,
+        "stale clock agrees with the read refusal"
+    );
+
+    // Phase C — heal the link, then close the hole. Healing alone must NOT
+    // restore reads: the outage left a coverage hole only a resync fills.
+    wan.heal();
+    assert!(!wan.is_partitioned());
+    assert!(
+        wan.read(0).is_err(),
+        "heal without resync must keep refusing (the lost window is still a hole)"
+    );
+
+    let resync = wan.resync();
+    assert!(resync.delta, "small divergence against a remembered base must travel as a delta");
+    assert!(
+        resync.flights_moved >= touched as usize && resync.flights_moved < FLIGHTS as usize / 2,
+        "the delta moves the touched subset, not the fleet: moved {} of {} (touched {})",
+        resync.flights_moved,
+        FLIGHTS,
+        touched
+    );
+    assert_eq!(
+        wan.state_hash(),
+        cluster.state_hashes()[0],
+        "delta resync must converge the replica to the central exactly"
+    );
+    assert_eq!(wan.flight_count(), FLIGHTS as usize);
+
+    // Coverage restored: reads serve again.
+    assert!(wan.read(0).expect("post-resync read serves").is_some());
+    assert!(wan.stale_for().is_none(), "resync clears the stale clock");
+
+    // The intra-cluster staleness gauge: with the feed quiesced and all
+    // sites drained, the LAN mirror reports no event lag.
+    let stats = cluster.stats();
+    assert_eq!(stats.central.staleness_events, 0, "central row is 0 by definition");
+    for m in &stats.mirrors {
+        assert_eq!(m.staleness_events, 0, "drained mirror must show no staleness");
+    }
+
+    cluster.shutdown();
+}

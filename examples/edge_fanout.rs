@@ -48,6 +48,12 @@ fn drain(display: &EdgeClient, state: &mut OperationalState, last: &mut u64) {
                 *state = snap.into_state();
                 *last = pub_seq;
             }
+            Delivery::DeltaReseed { pub_seq, delta } => {
+                let d = adaptable_mirroring::echo::wire::decode_delta(delta)
+                    .expect("decode delta reseed");
+                state.apply_delta(&d);
+                *last = pub_seq;
+            }
         }
     }
 }

@@ -404,6 +404,73 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Delta state-transfer: base + delta ≡ full restore (PR 10)
+//
+// The claim every StateSync consumer relies on: holding the state of a
+// marked base capture and folding in a delta captured against that base
+// reaches exactly the state a fresh full snapshot would install — for
+// any divergence, including migration purges (tombstones travel).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn delta_catchup_matches_full_restore(
+        events in arb_ops_events(),
+        split in 0usize..120,
+        purges in prop::collection::vec(0u32..8, 0..4),
+    ) {
+        let split = split.min(events.len());
+        // Producer applies the prefix, then marks the consumer's base —
+        // what a seed capture does on the live site.
+        let mut server = OperationalState::new();
+        for e in &events[..split] {
+            server.apply(e);
+        }
+        let mut base_frontier = VectorTimestamp::empty();
+        base_frontier.advance(0, split as u64);
+        server.mark_frontier(&base_frontier);
+        let base_snap = Snapshot::capture(&server, base_frontier.clone());
+
+        // Divergence: the tail of the stream plus migration purges.
+        for e in &events[split..] {
+            server.apply(e);
+        }
+        for &f in &purges {
+            server.retain_flights(|id| id != f);
+        }
+
+        let mut as_of = VectorTimestamp::empty();
+        as_of.advance(0, events.len() as u64 + 1);
+        let delta = server
+            .capture_delta(&base_frontier, as_of)
+            .expect("a just-marked base is inside the delta window");
+
+        // Catch-up: restore the base, fold the delta.
+        let mut caught_up = base_snap.restore();
+        caught_up.apply_delta(&delta);
+        prop_assert_eq!(caught_up.state_hash(), server.state_hash(),
+            "base+delta must hash identically to the producer");
+        // …and to what a full fresh snapshot would have installed.
+        let full = Snapshot::capture(&server, VectorTimestamp::empty()).restore();
+        prop_assert_eq!(caught_up.state_hash(), full.state_hash());
+
+        // Tombstones really travel: a purged flight is absent on the
+        // consumer exactly when it is absent on the producer.
+        for &f in &purges {
+            prop_assert_eq!(caught_up.flight(f).is_none(), server.flight(f).is_none(),
+                "purge of flight {} must replicate", f);
+        }
+
+        // The delta survives the wire byte-exactly (what the WAN tier
+        // actually ships).
+        let bytes = adaptable_mirroring::echo::wire::encode_delta(&delta);
+        prop_assert_eq!(bytes.len(), delta.wire_size(), "encode = declared wire size");
+        let back = adaptable_mirroring::echo::wire::decode_delta(bytes).unwrap();
+        prop_assert_eq!(back, delta);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Content partitioning: per-group apply ≡ unpartitioned apply
 // ---------------------------------------------------------------------
 
